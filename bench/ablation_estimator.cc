@@ -1,0 +1,84 @@
+// Ablation (Section 5.5): does "standard result size estimation" suffice?
+//
+// MinWork needs |V'|-|V| per view.  The paper asserts standard estimation
+// methods are enough; this bench compares the analytic first-order
+// estimator against the exact oracle on the TPC-D warehouse across change
+// profiles, and — the part that matters — checks whether estimate-driven
+// MinWork picks a plan as good as oracle-driven MinWork.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/min_work.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_views.h"
+
+int main() {
+  using namespace wuw;
+  bench::BenchEnv env = bench::FromEnv(/*default_scale_factor=*/0.01);
+  bench::PrintHeader("Ablation: analytic size estimation vs oracle",
+                     "TPC-D SF=" + std::to_string(env.scale_factor));
+
+  struct Profile {
+    const char* label;
+    double delete_fraction;
+    double insert_fraction;
+  };
+  const Profile profiles[] = {
+      {"deletions 10%", 0.10, 0.00},
+      {"deletions 2%", 0.02, 0.00},
+      {"inserts 10%", 0.00, 0.10},
+      {"mixed 5%/5%", 0.05, 0.05},
+      {"heavy 25%/10%", 0.25, 0.10},
+  };
+
+  tpcd::GeneratorOptions options;
+  options.scale_factor = env.scale_factor;
+  options.seed = env.seed;
+  Warehouse pristine = tpcd::MakeTpcdWarehouse(options, {"Q3", "Q5", "Q10"});
+
+  for (const Profile& p : profiles) {
+    Warehouse warehouse = pristine.Clone();
+    tpcd::ApplyPaperChangeWorkload(&warehouse, p.delete_fraction,
+                                   p.insert_fraction, env.seed + p.label[0]);
+    SizeMap est = warehouse.EstimatedSizes();
+    SizeMap stats_est = warehouse.EstimatedSizesWithStats();
+    SizeMap oracle = warehouse.OracleSizes();
+
+    std::printf("\n%s\n", p.label);
+    std::printf("  %-10s %13s %13s %12s\n", "view", "first-order",
+                "stats-based", "|dV| oracle");
+    double worst_ratio = 1.0;
+    for (const std::string& name : warehouse.vdag().DerivedViewsBottomUp()) {
+      double e = static_cast<double>(est.Get(name).delta_abs);
+      double se = static_cast<double>(stats_est.Get(name).delta_abs);
+      double o = static_cast<double>(oracle.Get(name).delta_abs);
+      double ratio = o > 0 ? se / o : (se > 0 ? 99.0 : 1.0);
+      worst_ratio = std::max(worst_ratio, std::max(ratio, 1.0 / ratio));
+      std::printf("  %-10s %13.0f %13.0f %12.0f\n", name.c_str(), e, se, o);
+    }
+
+    MinWorkResult with_est = MinWork(warehouse.vdag(), stats_est);
+    MinWorkResult with_oracle = MinWork(warehouse.vdag(), oracle);
+    // Both plans priced under the ORACLE sizes: the regret of planning
+    // with estimates.
+    double est_cost = EstimateStrategyWork(warehouse.vdag(),
+                                           with_est.strategy, oracle, {})
+                          .total;
+    double oracle_cost = EstimateStrategyWork(
+                             warehouse.vdag(), with_oracle.strategy, oracle,
+                             {})
+                             .total;
+    std::printf("  stats-based worst-case error: %.2fx\n", worst_ratio);
+    std::printf("  plan regret (est-planned / oracle-planned work): %.4fx\n",
+                est_cost / oracle_cost);
+    std::printf("  same strategy chosen: %s\n",
+                with_est.strategy == with_oracle.strategy ? "yes" : "no");
+  }
+
+  std::printf(
+      "\n  The ordering only needs RELATIVE net changes, so even multi-x\n"
+      "  absolute errors on derived deltas rarely change the plan —\n"
+      "  Section 5.5's claim that standard estimation suffices.\n");
+  return 0;
+}

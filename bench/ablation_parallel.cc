@@ -1,0 +1,141 @@
+// Section 9 ablation: parallel VDAG strategies.
+//
+// Two scenarios:
+//  1. The TPC-D VDAG (level 1 only): staging dual-stage vs 1-way shows the
+//     parallelism/total-work trade-off; flattening is a no-op there.
+//  2. A multi-level mart VDAG (SPJ intermediates feeding summary views):
+//     flattening inlines the intermediates so the top views' comps no
+//     longer wait on them — more parallelism, strictly more total work.
+// "Any benefit that arises from allowing more expressions to run in
+// parallel may be offset by an increase in total work" (Section 9).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/min_work.h"
+#include "core/strategy_space.h"
+#include "parallel/flatten.h"
+#include "parallel/parallel_strategy.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_views.h"
+
+namespace {
+
+using namespace wuw;
+
+Schema TripleSchema(const std::string& name) {
+  return Schema({{name + "_k", TypeId::kInt64},
+                 {name + "_v", TypeId::kInt64},
+                 {name + "_g", TypeId::kInt64}});
+}
+
+std::shared_ptr<const ViewDefinition> Spj(const std::string& name,
+                                          const std::string& a,
+                                          const std::string& b) {
+  return ViewDefinitionBuilder(name)
+      .From(a)
+      .From(b)
+      .JoinOn(a + "_k", b + "_k")
+      .SelectColumn(a + "_k", name + "_k")
+      .Select(ScalarExpr::Arith(ArithOp::kAdd, ScalarExpr::Column(a + "_v"),
+                                ScalarExpr::Column(b + "_v")),
+              name + "_v")
+      .SelectColumn(a + "_g", name + "_g")
+      .Build();
+}
+
+std::shared_ptr<const ViewDefinition> Agg(const std::string& name,
+                                          const std::string& a,
+                                          const std::string& b) {
+  return ViewDefinitionBuilder(name)
+      .From(a)
+      .From(b)
+      .JoinOn(a + "_k", b + "_k")
+      .SelectColumn(a + "_g", name + "_g")
+      .Sum(ScalarExpr::Column(a + "_v"), name + "_v")
+      .Build();
+}
+
+/// A two-level data mart: four base feeds, two SPJ "conformed" middles,
+/// two summary tops spanning the middles.
+Vdag MartVdag() {
+  Vdag vdag;
+  for (const char* base : {"A", "B", "C", "D"}) {
+    vdag.AddBaseView(base, TripleSchema(base));
+  }
+  vdag.AddDerivedView(Spj("M1", "A", "B"));
+  vdag.AddDerivedView(Spj("M2", "C", "D"));
+  vdag.AddDerivedView(Agg("T1", "M1", "M2"));
+  vdag.AddDerivedView(Agg("T2", "M2", "M1"));
+  return vdag;
+}
+
+void PrintScenario(const char* title, const Vdag& vdag, const SizeMap& sizes) {
+  Strategy one_way = MinWork(vdag, sizes).strategy;
+  Strategy dual = MakeDualStageVdagStrategy(vdag);
+  Vdag flat = FlattenVdag(vdag);
+  Strategy flat_dual = MakeDualStageVdagStrategy(flat);
+
+  ParallelStrategy p_one = ParallelizeStrategy(vdag, one_way);
+  ParallelStrategy p_dual = ParallelizeStrategy(vdag, dual);
+  ParallelStrategy p_flat = ParallelizeStrategy(flat, flat_dual);
+
+  std::printf("\n%s\n", title);
+  std::printf("  stages: 1-way=%zu dual=%zu flattened-dual=%zu\n",
+              p_one.stages.size(), p_dual.stages.size(),
+              p_flat.stages.size());
+  std::printf("  %8s  %16s  %16s  %16s\n", "workers", "1-way (MinWork)",
+              "dual-stage", "flattened dual");
+  for (int workers : {1, 2, 4, 8}) {
+    MakespanReport one = EstimateMakespan(vdag, p_one, sizes, {}, workers);
+    MakespanReport d = EstimateMakespan(vdag, p_dual, sizes, {}, workers);
+    MakespanReport f = EstimateMakespan(flat, p_flat, sizes, {}, workers);
+    std::printf("  %8d  %16.0f  %16.0f  %16.0f\n", workers, one.makespan,
+                d.makespan, f.makespan);
+  }
+  MakespanReport one1 = EstimateMakespan(vdag, p_one, sizes, {}, 1);
+  MakespanReport d1 = EstimateMakespan(vdag, p_dual, sizes, {}, 1);
+  MakespanReport f1 = EstimateMakespan(flat, p_flat, sizes, {}, 1);
+  std::printf("  total work: 1-way=%.0f dual=%.0f flattened=%.0f\n",
+              one1.total_work, d1.total_work, f1.total_work);
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::FromEnv();
+  bench::PrintHeader("Ablation (Section 9): parallel strategies",
+                     "makespan under the linear metric, k workers");
+
+  {
+    tpcd::GeneratorOptions options;
+    options.scale_factor = env.scale_factor;
+    options.seed = env.seed;
+    Warehouse warehouse =
+        tpcd::MakeTpcdWarehouse(options, {"Q3", "Q5", "Q10"});
+    tpcd::ApplyPaperChangeWorkload(&warehouse, 0.10, 0.0, env.seed);
+    PrintScenario("TPC-D VDAG (uniform, level 1; flattening is a no-op):",
+                  warehouse.vdag(), warehouse.EstimatedSizes());
+  }
+
+  {
+    Vdag vdag = MartVdag();
+    SizeMap sizes;
+    for (const char* base : {"A", "B", "C", "D"}) {
+      sizes.Set(base, {100000, 10000, -10000});
+    }
+    sizes.Set("M1", {80000, 15000, -8000});
+    sizes.Set("M2", {80000, 15000, -8000});
+    sizes.Set("T1", {500, 400, -10});
+    sizes.Set("T2", {500, 400, -10});
+    PrintScenario(
+        "Two-level mart VDAG (flattening inlines the SPJ middles):", vdag,
+        sizes);
+  }
+
+  std::printf(
+      "\n  The flattened plan gains stages (its top-view comps no longer\n"
+      "  wait on the middles) but pays more total work — the Section 9\n"
+      "  trade-off; \"an algorithm that intelligently decides the extent\n"
+      "  to which these techniques should be applied\" is future work.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation (Section 7 Discussion): is the term-aware linear work metric
+// the right cost model?
+//
+// The paper argues a plausible variant — summing each operand once per
+// Comp instead of once per term — would rank the dual-stage strategy best,
+// contradicting the measurements.  This bench computes both analytic
+// rankings and compares them against measured update windows.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/min_work.h"
+#include "core/strategy_space.h"
+#include "core/work_metric.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_views.h"
+
+int main() {
+  using namespace wuw;
+  bench::BenchEnv env = bench::FromEnv();
+  bench::PrintHeader(
+      "Ablation: linear work metric vs operands-once variant",
+      "Which analytic metric predicts the measured winner?");
+
+  tpcd::GeneratorOptions options;
+  options.scale_factor = env.scale_factor;
+  options.seed = env.seed;
+  Warehouse warehouse = tpcd::MakeTpcdWarehouse(options, {"Q3", "Q5", "Q10"});
+  tpcd::ApplyPaperChangeWorkload(&warehouse, 0.10, 0.0, env.seed);
+  SizeMap sizes = warehouse.EstimatedSizes();
+
+  Strategy one_way = MinWork(warehouse.vdag(), sizes).strategy;
+  Strategy dual = MakeDualStageVdagStrategy(warehouse.vdag());
+
+  double lw_one = EstimateStrategyWork(warehouse.vdag(), one_way, sizes, {}).total;
+  double lw_dual = EstimateStrategyWork(warehouse.vdag(), dual, sizes, {}).total;
+  double v_one =
+      EstimateStrategyWorkOperandsOnce(warehouse.vdag(), one_way, sizes, {})
+          .total;
+  double v_dual =
+      EstimateStrategyWorkOperandsOnce(warehouse.vdag(), dual, sizes, {})
+          .total;
+
+  double m_one = bench::RunOnClone(warehouse, one_way).total_seconds;
+  double m_dual = bench::RunOnClone(warehouse, dual).total_seconds;
+
+  std::printf("  %-22s %16s %18s %12s\n", "strategy", "linear metric",
+              "operands-once", "measured");
+  std::printf("  %-22s %16.0f %18.0f %11.3fs\n", "MinWork (1-way)", lw_one,
+              v_one, m_one);
+  std::printf("  %-22s %16.0f %18.0f %11.3fs\n", "dual-stage", lw_dual,
+              v_dual, m_dual);
+
+  const char* lw_pick = lw_one < lw_dual ? "MinWork" : "dual-stage";
+  const char* v_pick = v_one < v_dual ? "MinWork" : "dual-stage";
+  const char* measured_pick = m_one < m_dual ? "MinWork" : "dual-stage";
+  std::printf("\n  linear metric picks   : %s\n", lw_pick);
+  std::printf("  operands-once picks   : %s\n", v_pick);
+  std::printf("  measurement picks     : %s\n", measured_pick);
+  std::printf("\n  (paper: operands-once would wrongly prefer dual-stage;\n"
+              "   the term-aware linear metric tracks the real system)\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared plumbing for the experiment-reproduction binaries.
+//
+// Each bench binary regenerates one table/figure of the paper: it builds a
+// TPC-D warehouse, applies the experiment's change workload, executes the
+// competing strategies on clones, and prints the measured update windows
+// in the shape the paper reports.
+//
+// Environment knobs:
+//   WUW_SF    scale factor (default 0.01 ~ 60k LINEITEM rows)
+//   WUW_SEED  generator seed (default 42)
+#ifndef WUW_BENCH_BENCH_UTIL_H_
+#define WUW_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/strategy.h"
+#include "exec/executor.h"
+#include "exec/warehouse.h"
+
+namespace wuw {
+namespace bench {
+
+struct BenchEnv {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+};
+
+inline BenchEnv FromEnv(double default_scale_factor = 0.01) {
+  BenchEnv env;
+  env.scale_factor = default_scale_factor;
+  if (const char* sf = std::getenv("WUW_SF")) env.scale_factor = atof(sf);
+  if (const char* seed = std::getenv("WUW_SEED")) {
+    env.seed = strtoull(seed, nullptr, 10);
+  }
+  return env;
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& subtitle) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// A bar-chart row mirroring the paper's figures.
+inline void PrintBar(const std::string& label, double seconds,
+                     double max_seconds, int64_t linear_work) {
+  int width = max_seconds > 0
+                  ? static_cast<int>(40.0 * seconds / max_seconds)
+                  : 0;
+  std::string bar(static_cast<size_t>(width), '#');
+  std::printf("  %-34s %9.3fs  %-40s work=%lld\n", label.c_str(), seconds,
+              bar.c_str(), static_cast<long long>(linear_work));
+}
+
+/// Executes `strategy` against a clone of `base` (whose pending deltas are
+/// cloned too) and returns the measured update window.
+inline ExecutionReport RunOnClone(const Warehouse& base,
+                                  const Strategy& strategy) {
+  Warehouse clone = base.Clone();
+  Executor executor(&clone);
+  return executor.Execute(strategy);
+}
+
+/// Repeats RunOnClone `reps` times and keeps the fastest run — the same
+/// noise discipline the paper's timed SQL Server runs needed.  Linear work
+/// is deterministic across repetitions.
+inline ExecutionReport RunOnCloneBest(const Warehouse& base,
+                                      const Strategy& strategy,
+                                      int reps = 3) {
+  ExecutionReport best = RunOnClone(base, strategy);
+  for (int r = 1; r < reps; ++r) {
+    ExecutionReport next = RunOnClone(base, strategy);
+    if (next.total_seconds < best.total_seconds) best = std::move(next);
+  }
+  return best;
+}
+
+/// Measures several strategies with an untimed warmup pass and
+/// round-robin-interleaved repetitions (min per strategy), cancelling the
+/// slow drift (heap growth, page faults) that consecutive blocks of runs
+/// would fold into whichever strategy ran last.
+inline std::vector<ExecutionReport> MeasureInterleaved(
+    const Warehouse& base, const std::vector<Strategy>& strategies,
+    int reps = 3) {
+  std::vector<ExecutionReport> best(strategies.size());
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    (void)RunOnClone(base, strategies[i]);  // warmup
+  }
+  for (int r = 0; r < reps; ++r) {
+    for (size_t i = 0; i < strategies.size(); ++i) {
+      ExecutionReport next = RunOnClone(base, strategies[i]);
+      if (r == 0 || next.total_seconds < best[i].total_seconds) {
+        best[i] = std::move(next);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace bench
+}  // namespace wuw
+
+#endif  // WUW_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,125 @@
+// Experiment 1 (Figure 12): all 13 view strategies for Q3 under 10%
+// deletions of CUSTOMER, ORDERS, LINEITEM.
+//
+// Paper findings to reproduce in shape:
+//  * every 1-way strategy beats every 2-way strategy beats dual-stage;
+//  * MinWorkSingle is optimal or near-optimal among the 13;
+//  * dual-stage is ~2.3x the best strategy.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/min_work_single.h"
+#include "core/strategy_space.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_views.h"
+
+int main() {
+  using namespace wuw;
+  bench::BenchEnv env = bench::FromEnv(/*default_scale_factor=*/0.05);
+  bench::PrintHeader(
+      "Experiment 1 (Figure 12): Q3 view strategies",
+      "TPC-D SF=" + std::to_string(env.scale_factor) +
+          ", 10% deletions of C, O, L");
+
+  tpcd::GeneratorOptions options;
+  options.scale_factor = env.scale_factor;
+  options.seed = env.seed;
+  Warehouse warehouse = tpcd::MakeTpcdWarehouse(options, {"Q3"},
+                                             /*only_referenced_bases=*/true);
+  tpcd::ApplyPaperChangeWorkload(&warehouse, 0.10, 0.0, env.seed);
+
+  const std::vector<std::string>& sources = warehouse.vdag().sources("Q3");
+  Strategy mws = MinWorkSingle(warehouse.vdag(), "Q3",
+                               warehouse.EstimatedSizes());
+
+  struct Row {
+    std::string label;
+    Strategy strategy;
+    double seconds = 0;
+    int64_t work = 0;
+    size_t max_block = 0;
+    bool is_mws = false;
+  };
+  std::vector<Row> rows;
+  for (const OrderedPartition& partition :
+       EnumerateOrderedPartitions(sources.size())) {
+    Row row;
+    row.strategy = MakeViewStrategy("Q3", sources, partition);
+    row.is_mws = row.strategy == mws;
+    for (const auto& block : partition) {
+      row.max_block = std::max(row.max_block, block.size());
+      row.label += "{";
+      for (size_t i = 0; i < block.size(); ++i) {
+        if (i > 0) row.label += ",";
+        row.label += sources[block[i]][0];  // C / O / L initials
+      }
+      row.label += "}";
+    }
+    if (row.max_block == 1) {
+      row.label += " 1-way";
+    } else if (row.max_block == sources.size()) {
+      row.label += " dual-stage";
+    } else {
+      row.label += " 2-way";
+    }
+    if (row.is_mws) row.label += " <- MinWorkSingle";
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<Strategy> strategies;
+  for (const Row& row : rows) strategies.push_back(row.strategy);
+  std::vector<ExecutionReport> reports =
+      bench::MeasureInterleaved(warehouse, strategies, 3);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i].seconds = reports[i].total_seconds;
+    rows[i].work = reports[i].total_linear_work;
+  }
+
+  double max_seconds = 0, best_1way = 1e30, best_2way = 1e30, dual = 0,
+         mws_seconds = 0, best = 1e30;
+  for (const Row& row : rows) {
+    max_seconds = std::max(max_seconds, row.seconds);
+    best = std::min(best, row.seconds);
+    if (row.max_block == 1) best_1way = std::min(best_1way, row.seconds);
+    if (row.max_block == 2) best_2way = std::min(best_2way, row.seconds);
+    if (row.max_block == 3) dual = row.seconds;
+    if (row.is_mws) mws_seconds = row.seconds;
+  }
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.seconds < b.seconds; });
+  for (const Row& row : rows) {
+    bench::PrintBar(row.label, row.seconds, max_seconds, row.work);
+  }
+
+  std::printf("\nSummary (paper: 1-way < 2-way < dual-stage; dual ~2.3x):\n");
+  std::printf("  best 1-way     : %8.3fs\n", best_1way);
+  std::printf("  best 2-way     : %8.3fs  (%.2fx best)\n", best_2way,
+              best_2way / best);
+  std::printf("  dual-stage     : %8.3fs  (%.2fx best)\n", dual, dual / best);
+  std::printf("  MinWorkSingle  : %8.3fs  (%.2fx best)\n", mws_seconds,
+              mws_seconds / best);
+
+  // The deterministic row-work ranking (noise-free): verify the paper's
+  // class ordering exactly.
+  int64_t max_1way = 0, min_2way = INT64_MAX, max_2way = 0, dual_work = 0,
+          min_work = INT64_MAX;
+  for (const Row& row : rows) {
+    min_work = std::min(min_work, row.work);
+    if (row.max_block == 1) max_1way = std::max(max_1way, row.work);
+    if (row.max_block == 2) {
+      min_2way = std::min(min_2way, row.work);
+      max_2way = std::max(max_2way, row.work);
+    }
+    if (row.max_block == 3) dual_work = row.work;
+  }
+  std::printf("\nRow-work ranking: max 1-way %lld %s min 2-way %lld; "
+              "dual %lld = %.2fx best\n",
+              (long long)max_1way, max_1way < min_2way ? "<" : ">=",
+              (long long)min_2way, (long long)dual_work,
+              (double)dual_work / (double)min_work);
+  return 0;
+}

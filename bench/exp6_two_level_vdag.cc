@@ -1,0 +1,67 @@
+// Extension experiment: the two-level TPC-D VDAG ("derived views that
+// further summarize Q3, Q5 and Q10 can also be defined", Section 2).
+//
+// Q3_BY_PRIORITY and Q10_BY_NATION roll level-1 views up to level 2;
+// Q10_ORDER_STATUS joins Q10 back to ORDERS (levels 1 + 0), making the
+// VDAG non-uniform, so MinWork's optimality guarantee no longer holds for
+// every batch — the territory Sections 5.3/6 map out.  Compares MinWork,
+// Prune, and dual-stage, and reports whether ModifyOrdering had to fire.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/min_work.h"
+#include "core/prune.h"
+#include "core/strategy_space.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_views.h"
+
+int main() {
+  using namespace wuw;
+  bench::BenchEnv env = bench::FromEnv(/*default_scale_factor=*/0.02);
+  bench::PrintHeader(
+      "Experiment 6: two-level TPC-D VDAG (rollups over Q3/Q10)",
+      "TPC-D SF=" + std::to_string(env.scale_factor) + ", 10% deletions");
+
+  tpcd::GeneratorOptions options;
+  options.scale_factor = env.scale_factor;
+  options.seed = env.seed;
+  Warehouse warehouse = tpcd::MakeExtendedTpcdWarehouse(options);
+  std::printf("%s", warehouse.vdag().ToString().c_str());
+  std::printf("tree=%s uniform=%s (12 views, m=%zu with parents)\n\n",
+              warehouse.vdag().IsTree() ? "yes" : "no",
+              warehouse.vdag().IsUniform() ? "yes" : "no",
+              warehouse.vdag().ViewsWithParents().size());
+
+  tpcd::ApplyPaperChangeWorkload(&warehouse, 0.10, 0.0, env.seed);
+  SizeMap sizes = warehouse.EstimatedSizes();
+
+  MinWorkResult mw = MinWork(warehouse.vdag(), sizes);
+  std::printf("MinWork used ModifyOrdering: %s\n",
+              mw.used_modified_ordering ? "yes (cyclic EG)" : "no");
+  PruneResult pr = Prune(warehouse.vdag(), sizes);
+  std::printf("Prune searched %lld orderings (%lld infeasible)\n\n",
+              (long long)pr.orderings_examined,
+              (long long)pr.orderings_infeasible);
+  Strategy dual = MakeDualStageVdagStrategy(warehouse.vdag());
+
+  std::vector<ExecutionReport> reports = bench::MeasureInterleaved(
+      warehouse, {mw.strategy, pr.strategy, dual}, 3);
+  double max_s = std::max({reports[0].total_seconds,
+                           reports[1].total_seconds,
+                           reports[2].total_seconds});
+  bench::PrintBar("MinWork", reports[0].total_seconds, max_s,
+                  reports[0].total_linear_work);
+  bench::PrintBar("Prune", reports[1].total_seconds, max_s,
+                  reports[1].total_linear_work);
+  bench::PrintBar("dual-stage", reports[2].total_seconds, max_s,
+                  reports[2].total_linear_work);
+
+  double mw_work =
+      EstimateStrategyWork(warehouse.vdag(), mw.strategy, sizes, {}).total;
+  std::printf("\n  Prune/MinWork estimated work: %.4fx"
+              " (Prune can only improve on MinWork's fallback)\n",
+              pr.work / mw_work);
+  std::printf("  dual / MinWork measured: %.2fx\n",
+              reports[2].total_seconds / reports[0].total_seconds);
+  return 0;
+}

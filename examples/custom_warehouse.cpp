@@ -1,0 +1,151 @@
+// A multi-level custom warehouse exercising the parts of the library the
+// TPC-D scenario does not: derived-over-derived views, a non-uniform
+// non-tree VDAG (where MinWork may fall back to ModifyOrdering and Prune
+// shines), and the Section-9 parallel scheduling.
+//
+// Scenario: clickstream analytics.
+//   events(user, page, dwell)     pages(page, site)     users(user, tier)
+//   enriched  = events ⋈ pages ⋈ users                   (SPJ, level 1)
+//   site_tier = SELECT site, tier, SUM(dwell), COUNT(*)  (agg over enriched)
+//   by_tier   = SELECT tier, SUM(dwell)                  (agg over enriched)
+#include <cstdio>
+
+#include "core/min_work.h"
+#include "core/prune.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "parallel/parallel_strategy.h"
+#include "tpcd/tpcd_generator.h"
+
+using namespace wuw;
+
+namespace {
+
+Vdag BuildVdag() {
+  Vdag vdag;
+  vdag.AddBaseView("events", Schema({{"e_user", TypeId::kInt64},
+                                     {"e_page", TypeId::kInt64},
+                                     {"e_dwell", TypeId::kInt64}}));
+  vdag.AddBaseView("pages", Schema({{"p_page", TypeId::kInt64},
+                                    {"p_site", TypeId::kInt64}}));
+  vdag.AddBaseView("users", Schema({{"u_user", TypeId::kInt64},
+                                    {"u_tier", TypeId::kInt64}}));
+  vdag.AddBaseView("tiers", Schema({{"t_tier", TypeId::kInt64},
+                                    {"t_weight", TypeId::kInt64}}));
+  vdag.AddDerivedView(ViewDefinitionBuilder("enriched")
+                          .From("events")
+                          .From("pages")
+                          .From("users")
+                          .JoinOn("e_page", "p_page")
+                          .JoinOn("e_user", "u_user")
+                          .SelectColumn("p_site", "en_site")
+                          .SelectColumn("u_tier", "en_tier")
+                          .SelectColumn("e_dwell", "en_dwell")
+                          .Build());
+  vdag.AddDerivedView(ViewDefinitionBuilder("site_tier")
+                          .From("enriched")
+                          .SelectColumn("en_site", "st_site")
+                          .SelectColumn("en_tier", "st_tier")
+                          .Sum(ScalarExpr::Column("en_dwell"), "st_dwell")
+                          .Count("st_events")
+                          .Build());
+  // by_tier is defined over enriched AND tiers — mixing levels 0 and 1
+  // makes the VDAG non-uniform, and enriched feeding two views makes it a
+  // non-tree: exactly the class where Prune earns its keep.
+  vdag.AddDerivedView(ViewDefinitionBuilder("by_tier")
+                          .From("enriched")
+                          .From("tiers")
+                          .JoinOn("en_tier", "t_tier")
+                          .SelectColumn("t_tier", "bt_tier")
+                          .Sum(ScalarExpr::Arith(ArithOp::kMul,
+                                                 ScalarExpr::Column("en_dwell"),
+                                                 ScalarExpr::Column("t_weight")),
+                               "bt_dwell")
+                          .Build());
+  return vdag;
+}
+
+}  // namespace
+
+int main() {
+  Vdag vdag = BuildVdag();
+  std::printf("VDAG:\n%s", vdag.ToString().c_str());
+  std::printf("tree=%s uniform=%s\n\n", vdag.IsTree() ? "yes" : "no",
+              vdag.IsUniform() ? "yes" : "no");
+
+  Warehouse warehouse(vdag);
+  tpcd::Rng rng(7);
+  for (int64_t u = 0; u < 400; ++u) {
+    warehouse.base_table("users")->Add(
+        Tuple({Value::Int64(u), Value::Int64(u % 4)}), 1);
+  }
+  for (int64_t t = 0; t < 4; ++t) {
+    warehouse.base_table("tiers")->Add(
+        Tuple({Value::Int64(t), Value::Int64(t + 1)}), 1);
+  }
+  for (int64_t p = 0; p < 200; ++p) {
+    warehouse.base_table("pages")->Add(
+        Tuple({Value::Int64(p), Value::Int64(p % 12)}), 1);
+  }
+  for (int64_t e = 0; e < 20000; ++e) {
+    warehouse.base_table("events")->Add(
+        Tuple({Value::Int64(rng.Range(0, 399)), Value::Int64(rng.Range(0, 199)),
+               Value::Int64(rng.Range(1, 600))}),
+        1);
+  }
+  warehouse.RecomputeDerived();
+
+  // Nightly batch: 10% of events age out, a few thousand new ones arrive;
+  // a handful of users change tier (delete + insert).
+  DeltaRelation events_delta(vdag.OutputSchema("events"));
+  warehouse.catalog().MustGetTable("events")->ForEach(
+      [&](const Tuple& t, int64_t c) {
+        if (t.Hash() % 10 == 0) events_delta.Add(t, -c);
+      });
+  for (int64_t e = 0; e < 2000; ++e) {
+    events_delta.Add(
+        Tuple({Value::Int64(rng.Range(0, 399)), Value::Int64(rng.Range(0, 199)),
+               Value::Int64(rng.Range(1, 600))}),
+        1);
+  }
+  warehouse.SetBaseDelta("events", std::move(events_delta));
+
+  DeltaRelation users_delta(vdag.OutputSchema("users"));
+  for (int64_t u = 0; u < 10; ++u) {
+    users_delta.Add(Tuple({Value::Int64(u), Value::Int64(u % 4)}), -1);
+    users_delta.Add(Tuple({Value::Int64(u), Value::Int64((u + 1) % 4)}), 1);
+  }
+  warehouse.SetBaseDelta("users", std::move(users_delta));
+
+  SizeMap sizes = warehouse.EstimatedSizes();
+  MinWorkResult mw = MinWork(vdag, sizes);
+  PruneResult pr = Prune(vdag, sizes);
+  std::printf("MinWork used ModifyOrdering: %s\n",
+              mw.used_modified_ordering ? "yes" : "no");
+  std::printf("MinWork estimated work: %.0f\n",
+              EstimateStrategyWork(vdag, mw.strategy, sizes, {}).total);
+  std::printf("Prune   estimated work: %.0f  (examined %lld orderings)\n\n",
+              pr.work, (long long)pr.orderings_examined);
+
+  // Parallel scheduling of the winning plan and of dual-stage.
+  ParallelStrategy par = ParallelizeStrategy(vdag, pr.strategy);
+  ParallelStrategy par_dual =
+      ParallelizeStrategy(vdag, MakeDualStageVdagStrategy(vdag));
+  for (int workers : {1, 2, 4}) {
+    MakespanReport a = EstimateMakespan(vdag, par, sizes, {}, workers);
+    MakespanReport b = EstimateMakespan(vdag, par_dual, sizes, {}, workers);
+    std::printf("workers=%d  Prune-plan makespan %.0f | dual-stage %.0f\n",
+                workers, a.makespan, b.makespan);
+  }
+
+  // Execute the Prune plan for real.
+  Executor executor(&warehouse);
+  ExecutionReport report = executor.Execute(pr.strategy);
+  std::printf("\nExecuted Prune plan in %.4fs (linear work %lld)\n",
+              report.total_seconds, (long long)report.total_linear_work);
+  std::printf("\nsite_tier now:\n%s\n",
+              warehouse.catalog().MustGetTable("site_tier")->ToString(8).c_str());
+  std::printf("by_tier now:\n%s\n",
+              warehouse.catalog().MustGetTable("by_tier")->ToString(8).c_str());
+  return 0;
+}

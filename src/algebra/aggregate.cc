@@ -1,0 +1,120 @@
+#include "algebra/aggregate.h"
+
+#include <unordered_map>
+
+#include "algebra/key_util.h"
+#include "common/check.h"
+#include "expr/evaluator.h"
+
+namespace wuw {
+
+Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by,
+                     const std::vector<AggSpec>& aggs, OperatorStats* stats) {
+  std::vector<size_t> key_idx;
+  std::vector<Column> out_cols;
+  for (const std::string& name : group_by) {
+    size_t i = input.schema.MustIndexOf(name);
+    key_idx.push_back(i);
+    out_cols.push_back(input.schema.column(i));
+  }
+
+  std::vector<BoundExpr> args;
+  std::vector<bool> sum_is_int;
+  for (const AggSpec& spec : aggs) {
+    if (spec.fn == AggFn::kSum) {
+      WUW_CHECK(spec.arg != nullptr, "SUM requires an argument expression");
+      args.push_back(BoundExpr::Bind(spec.arg, input.schema));
+      bool is_int = args.back().result_type() == TypeId::kInt64;
+      sum_is_int.push_back(is_int);
+      out_cols.push_back(
+          Column{spec.name, is_int ? TypeId::kInt64 : TypeId::kDouble});
+    } else {
+      args.emplace_back();  // placeholder, unused
+      sum_is_int.push_back(true);
+      out_cols.push_back(Column{spec.name, TypeId::kInt64});
+    }
+  }
+  out_cols.push_back(Column{kGroupCountColumn, TypeId::kInt64});
+
+  // Per-group accumulators.  Integer sums accumulate exactly in int64 so
+  // that different evaluation orders (different strategies) agree bitwise.
+  // Grouping hashes key columns in place (no per-row key allocation); the
+  // key tuple of each group points at its first input row.
+  struct Acc {
+    Tuple exemplar;  // a row whose key columns identify this group
+    std::vector<int64_t> int_sums;
+    std::vector<double> dbl_sums;
+    int64_t count = 0;
+  };
+  std::vector<Acc> groups;
+  // Flat chained hash over groups (no per-bucket allocation).
+  size_t nbuckets = 16;
+  while (nbuckets < input.rows.size() + 16) nbuckets <<= 1;
+  const size_t mask = nbuckets - 1;
+  std::vector<int32_t> heads(nbuckets, -1);
+  std::vector<int32_t> chain;
+  std::vector<size_t> hashes;
+
+  // COUNT(arg) is really COUNT(*) here: the maintainable language has no
+  // NULL-filtering COUNT(col).
+  for (const auto& [tuple, mult] : input.rows) {
+    if (stats != nullptr) stats->rows_scanned += std::llabs(mult);
+    size_t hash = KeyHash(tuple, key_idx);
+    Acc* acc = nullptr;
+    for (int32_t g = heads[hash & mask]; g >= 0; g = chain[g]) {
+      if (hashes[g] == hash &&
+          KeysEqual(tuple, key_idx, groups[g].exemplar, key_idx)) {
+        acc = &groups[g];
+        break;
+      }
+    }
+    if (acc == nullptr) {
+      int32_t id = static_cast<int32_t>(groups.size());
+      groups.push_back(Acc{tuple,
+                           std::vector<int64_t>(aggs.size(), 0),
+                           std::vector<double>(aggs.size(), 0.0), 0});
+      hashes.push_back(hash);
+      chain.push_back(heads[hash & mask]);
+      heads[hash & mask] = id;
+      acc = &groups.back();
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (aggs[a].fn == AggFn::kCount) {
+        acc->int_sums[a] += mult;
+      } else if (sum_is_int[a]) {
+        Value v = args[a].Eval(tuple);
+        if (!v.is_null()) acc->int_sums[a] += mult * v.AsInt64();
+      } else {
+        Value v = args[a].Eval(tuple);
+        if (!v.is_null()) {
+          acc->dbl_sums[a] += static_cast<double>(mult) * v.NumericValue();
+        }
+      }
+    }
+    acc->count += mult;
+  }
+
+  Rows out((Schema(std::move(out_cols))));
+  for (const Acc& acc : groups) {
+    bool all_zero = acc.count == 0;
+    if (all_zero) {
+      for (size_t a = 0; a < aggs.size() && all_zero; ++a) {
+        if (sum_is_int[a] ? acc.int_sums[a] != 0 : acc.dbl_sums[a] != 0.0) {
+          all_zero = false;
+        }
+      }
+    }
+    if (all_zero) continue;
+    Tuple row = acc.exemplar.Project(key_idx);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.Append(sum_is_int[a] ? Value::Int64(acc.int_sums[a])
+                               : Value::Double(acc.dbl_sums[a]));
+    }
+    row.Append(Value::Int64(acc.count));
+    out.Add(std::move(row), 1);
+    if (stats != nullptr) stats->rows_produced += 1;
+  }
+  return out;
+}
+
+}  // namespace wuw

@@ -1,0 +1,22 @@
+#include "algebra/filter.h"
+
+#include "expr/evaluator.h"
+
+namespace wuw {
+
+Rows Filter(const Rows& input, const ScalarExpr::Ptr& predicate,
+            OperatorStats* stats) {
+  if (predicate == nullptr) return input;
+  Rows out(input.schema);
+  BoundExpr bound = BoundExpr::Bind(predicate, input.schema);
+  for (const auto& [tuple, count] : input.rows) {
+    if (stats != nullptr) stats->rows_scanned += std::llabs(count);
+    if (bound.EvalBool(tuple)) {
+      out.Add(tuple, count);
+      if (stats != nullptr) stats->rows_produced += std::llabs(count);
+    }
+  }
+  return out;
+}
+
+}  // namespace wuw

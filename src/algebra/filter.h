@@ -1,0 +1,18 @@
+// Selection over signed multisets.
+#ifndef WUW_ALGEBRA_FILTER_H_
+#define WUW_ALGEBRA_FILTER_H_
+
+#include "algebra/operator_stats.h"
+#include "algebra/rows.h"
+#include "expr/scalar_expr.h"
+
+namespace wuw {
+
+/// Returns the rows of `input` satisfying `predicate` (multiplicities kept
+/// verbatim).  A null predicate passes everything through.
+Rows Filter(const Rows& input, const ScalarExpr::Ptr& predicate,
+            OperatorStats* stats);
+
+}  // namespace wuw
+
+#endif  // WUW_ALGEBRA_FILTER_H_

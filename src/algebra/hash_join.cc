@@ -1,0 +1,64 @@
+#include "algebra/hash_join.h"
+
+#include <unordered_map>
+
+#include "algebra/key_util.h"
+#include "common/check.h"
+
+namespace wuw {
+
+Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
+              OperatorStats* stats) {
+  WUW_CHECK(keys.left_columns.size() == keys.right_columns.size(),
+            "join key arity mismatch");
+  std::vector<size_t> left_idx, right_idx;
+  for (const std::string& c : keys.left_columns) {
+    left_idx.push_back(left.schema.MustIndexOf(c));
+  }
+  for (const std::string& c : keys.right_columns) {
+    right_idx.push_back(right.schema.MustIndexOf(c));
+  }
+
+  // Build side: right input.  Flat chained hash table (two arrays, no
+  // per-key allocation); keys hash in place and collisions resolve by
+  // column-wise comparison at probe time.
+  const size_t n = right.rows.size();
+  size_t nbuckets = 16;
+  while (nbuckets < n * 2) nbuckets <<= 1;
+  const size_t mask = nbuckets - 1;
+  std::vector<int32_t> heads(nbuckets, -1);
+  std::vector<int32_t> chain(n);
+  std::vector<size_t> hashes(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& [tuple, count] = right.rows[i];
+    if (stats != nullptr) {
+      stats->rows_scanned += std::llabs(count);
+      stats->hash_build_rows += 1;
+    }
+    size_t h = KeyHash(tuple, right_idx);
+    hashes[i] = h;
+    chain[i] = heads[h & mask];
+    heads[h & mask] = static_cast<int32_t>(i);
+  }
+
+  Rows out(Schema::Concat(left.schema, right.schema));
+  for (const auto& [ltuple, lcount] : left.rows) {
+    if (stats != nullptr) {
+      stats->rows_scanned += std::llabs(lcount);
+      stats->hash_probes += 1;
+    }
+    size_t h = KeyHash(ltuple, left_idx);
+    for (int32_t i = heads[h & mask]; i >= 0; i = chain[i]) {
+      if (hashes[i] != h) continue;
+      const auto& [rtuple, rcount] = right.rows[i];
+      if (!KeysEqual(ltuple, left_idx, rtuple, right_idx)) continue;
+      out.Add(Tuple::Concat(ltuple, rtuple), lcount * rcount);
+      if (stats != nullptr) {
+        stats->rows_produced += std::llabs(lcount * rcount);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wuw

@@ -1,0 +1,31 @@
+// Equi hash join over signed multisets.
+//
+// Multiplicities multiply: joining a -2-weighted delta row with a
+// 3-weighted table row yields a -6-weighted output row, which is exactly
+// the counting semantics incremental view maintenance requires.
+#ifndef WUW_ALGEBRA_HASH_JOIN_H_
+#define WUW_ALGEBRA_HASH_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/operator_stats.h"
+#include "algebra/rows.h"
+
+namespace wuw {
+
+/// A conjunctive equi-join condition: left.key[i] == right.key[i] for all i.
+struct JoinKeys {
+  std::vector<std::string> left_columns;
+  std::vector<std::string> right_columns;
+};
+
+/// Hash join (build on `right`, probe with `left`).  Output schema is the
+/// concatenation left ++ right; callers guarantee column-name uniqueness
+/// (view binding qualifies ambiguous names before joining).
+Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
+              OperatorStats* stats);
+
+}  // namespace wuw
+
+#endif  // WUW_ALGEBRA_HASH_JOIN_H_

@@ -1,0 +1,20 @@
+#include "algebra/operator_stats.h"
+
+namespace wuw {
+
+OperatorStats& OperatorStats::operator+=(const OperatorStats& other) {
+  rows_scanned += other.rows_scanned;
+  rows_produced += other.rows_produced;
+  hash_probes += other.hash_probes;
+  hash_build_rows += other.hash_build_rows;
+  return *this;
+}
+
+std::string OperatorStats::ToString() const {
+  return "scanned=" + std::to_string(rows_scanned) +
+         " produced=" + std::to_string(rows_produced) +
+         " probes=" + std::to_string(hash_probes) +
+         " build=" + std::to_string(hash_build_rows);
+}
+
+}  // namespace wuw

@@ -1,0 +1,29 @@
+// Execution counters shared by all relational operators.
+//
+// rows_scanned tracks operand tuples read (the measured analogue of the
+// paper's linear work metric, Def 3.5); rows_produced tracks output size.
+// The Executor aggregates these per strategy expression so benchmarks can
+// report both wall time and abstract work.
+#ifndef WUW_ALGEBRA_OPERATOR_STATS_H_
+#define WUW_ALGEBRA_OPERATOR_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wuw {
+
+/// Accumulated counters for one execution scope (a Comp term, an Inst, a
+/// whole strategy...).
+struct OperatorStats {
+  int64_t rows_scanned = 0;
+  int64_t rows_produced = 0;
+  int64_t hash_probes = 0;
+  int64_t hash_build_rows = 0;
+
+  OperatorStats& operator+=(const OperatorStats& other);
+  std::string ToString() const;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_ALGEBRA_OPERATOR_STATS_H_

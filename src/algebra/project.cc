@@ -1,0 +1,29 @@
+#include "algebra/project.h"
+
+#include "expr/evaluator.h"
+
+namespace wuw {
+
+Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
+             OperatorStats* stats) {
+  std::vector<BoundExpr> bound;
+  std::vector<Column> out_cols;
+  bound.reserve(items.size());
+  for (const ProjectItem& item : items) {
+    bound.push_back(BoundExpr::Bind(item.expr, input.schema));
+    out_cols.push_back(Column{item.name, bound.back().result_type()});
+  }
+  Rows out((Schema(std::move(out_cols))));
+  out.rows.reserve(input.rows.size());
+  for (const auto& [tuple, count] : input.rows) {
+    if (stats != nullptr) stats->rows_scanned += std::llabs(count);
+    std::vector<Value> values;
+    values.reserve(bound.size());
+    for (const BoundExpr& b : bound) values.push_back(b.Eval(tuple));
+    out.Add(Tuple(std::move(values)), count);
+    if (stats != nullptr) stats->rows_produced += std::llabs(count);
+  }
+  return out;
+}
+
+}  // namespace wuw

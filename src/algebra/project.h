@@ -1,0 +1,27 @@
+// Generalized projection over signed multisets.
+#ifndef WUW_ALGEBRA_PROJECT_H_
+#define WUW_ALGEBRA_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/operator_stats.h"
+#include "algebra/rows.h"
+#include "expr/scalar_expr.h"
+
+namespace wuw {
+
+/// One output column of a projection: an expression plus an output name.
+struct ProjectItem {
+  ScalarExpr::Ptr expr;
+  std::string name;
+};
+
+/// Evaluates `items` over every row of `input`.  Duplicates are NOT
+/// collapsed (multiset projection); multiplicities are kept verbatim.
+Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
+             OperatorStats* stats);
+
+}  // namespace wuw
+
+#endif  // WUW_ALGEBRA_PROJECT_H_

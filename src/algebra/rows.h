@@ -1,0 +1,62 @@
+// Pipeline row batches: the intermediate representation flowing between
+// relational operators.
+//
+// A Rows value is a materialized signed multiset — each tuple carries a
+// signed multiplicity.  Positive multiplicities are ordinary rows; negative
+// ones are deletions flowing through delta computations.  Both full tables
+// and delta relations convert into Rows for processing.
+#ifndef WUW_ALGEBRA_ROWS_H_
+#define WUW_ALGEBRA_ROWS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/tuple.h"
+
+namespace wuw {
+
+/// A materialized signed multiset of tuples with a schema.
+struct Rows {
+  Schema schema;
+  std::vector<std::pair<Tuple, int64_t>> rows;
+
+  Rows() = default;
+  explicit Rows(Schema s) : schema(std::move(s)) {}
+
+  void Add(Tuple t, int64_t count) {
+    if (count != 0) rows.emplace_back(std::move(t), count);
+  }
+
+  /// Sum of multiplicities (may be negative for deltas).
+  int64_t SignedCardinality() const {
+    int64_t n = 0;
+    for (const auto& [t, c] : rows) n += c;
+    return n;
+  }
+
+  /// Sum of |multiplicity| — the "size" of the batch as an operand, which
+  /// is what the linear work metric charges for scanning it.
+  int64_t AbsCardinality() const {
+    int64_t n = 0;
+    for (const auto& [t, c] : rows) n += std::llabs(c);
+    return n;
+  }
+
+  bool empty() const { return rows.empty(); }
+
+  /// Snapshot of a table as +1-weighted rows (multiplicities preserved).
+  static Rows FromTable(const Table& table) {
+    Rows out(table.schema());
+    out.rows.reserve(table.distinct_size());
+    table.ForEach([&](const Tuple& t, int64_t c) { out.Add(t, c); });
+    return out;
+  }
+};
+
+}  // namespace wuw
+
+#endif  // WUW_ALGEBRA_ROWS_H_

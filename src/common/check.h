@@ -1,0 +1,23 @@
+// Lightweight invariant-checking macros used across the library.
+//
+// WUW_CHECK is enabled in all build types: the conditions it guards are
+// API-contract violations (e.g. evaluating a strategy against the wrong
+// catalog) whose cost is negligible next to the relational work being done.
+#ifndef WUW_COMMON_CHECK_H_
+#define WUW_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define WUW_CHECK(cond, msg)                                                  \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "WUW_CHECK failed at %s:%d: %s\n  %s\n", __FILE__, \
+                   __LINE__, #cond, msg);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define WUW_CHECK_EQ(a, b, msg) WUW_CHECK((a) == (b), msg)
+
+#endif  // WUW_COMMON_CHECK_H_

@@ -1,0 +1,93 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "core/correctness.h"
+#include "core/expression_graph.h"
+#include "core/min_work.h"
+#include "core/prune.h"
+#include "core/strategy_space.h"
+
+namespace wuw {
+
+std::vector<StrategyAdvice> Advise(const Vdag& vdag, const SizeMap& sizes,
+                                   const AdvisorOptions& options) {
+  std::vector<StrategyAdvice> advice;
+  auto add = [&](std::string name, Strategy strategy, std::string note) {
+    CorrectnessResult r = CheckVdagStrategy(vdag, strategy);
+    WUW_CHECK(r.ok, ("advisor produced incorrect strategy: " + r.violation)
+                        .c_str());
+    StrategyAdvice a;
+    a.name = std::move(name);
+    a.estimated_work =
+        EstimateStrategyWork(vdag, strategy, sizes, options.work_params)
+            .total;
+    a.strategy = std::move(strategy);
+    a.note = std::move(note);
+    advice.push_back(std::move(a));
+  };
+
+  MinWorkResult mw = MinWork(vdag, sizes);
+  std::string mw_note;
+  if (mw.used_modified_ordering) {
+    mw_note = "level-major fallback ordering (cyclic expression graph)";
+  } else if (vdag.IsTree()) {
+    mw_note = "optimal: tree VDAG (Lemma 5.1)";
+  } else if (vdag.IsUniform()) {
+    mw_note = "optimal: uniform VDAG (Lemma 5.2)";
+  } else {
+    mw_note = "optimal for this batch (acyclic expression graph)";
+  }
+  add("MinWork", mw.strategy, mw_note);
+
+  if (vdag.ViewsWithParents().size() <= options.prune_max_permutable) {
+    PruneOptions prune_options;
+    prune_options.work_params = options.work_params;
+    PruneResult pr = Prune(vdag, sizes, prune_options);
+    add("Prune", pr.strategy,
+        "best 1-way strategy (searched " +
+            std::to_string(pr.orderings_examined) + " orderings)");
+  }
+
+  add("dual-stage", MakeDualStageVdagStrategy(vdag),
+      "conventional propagate-then-install script [CGL+96]");
+
+  // The strawman: 1-way against the reversed desired ordering — what a
+  // plausible-but-wrong hand-written script costs.
+  std::vector<std::string> reversed(mw.ordering.rbegin(), mw.ordering.rend());
+  ExpressionGraph eg = ExpressionGraph::ConstructEG(vdag, reversed);
+  auto strategy = eg.TopologicalStrategy();
+  if (strategy.has_value()) {
+    add("reverse-order 1-way", std::move(*strategy),
+        "worst-case propagation order, for contrast");
+  }
+
+  std::sort(advice.begin(), advice.end(),
+            [](const StrategyAdvice& a, const StrategyAdvice& b) {
+              return a.estimated_work < b.estimated_work;
+            });
+  double best = advice.empty() ? 1.0 : advice.front().estimated_work;
+  for (StrategyAdvice& a : advice) {
+    a.relative_work = best > 0 ? a.estimated_work / best : 1.0;
+  }
+  return advice;
+}
+
+std::string AdviceToText(const std::vector<StrategyAdvice>& advice) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-22s %14s %8s  %s\n", "strategy",
+                "est. work", "vs best", "note");
+  out += line;
+  for (const StrategyAdvice& a : advice) {
+    std::snprintf(line, sizeof(line), "%-22s %14.0f %7.2fx  %s\n",
+                  a.name.c_str(), a.estimated_work, a.relative_work,
+                  a.note.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace wuw

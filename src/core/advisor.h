@@ -1,0 +1,50 @@
+// The warehouse administrator's strategy advisor.
+//
+// The paper's motivation: "the WHA can easily pick an inefficient update
+// strategy, or even worse an update strategy that incorrectly updates the
+// warehouse... the WHA may have to change the script frequently, since
+// what strategy is best depends on the current size of the warehouse views
+// and the current set of changes."  Advise() packages the paper's answer:
+// for tonight's batch it evaluates the candidate strategies under the
+// linear work metric and returns them ranked, each validated against
+// C1-C8.
+#ifndef WUW_CORE_ADVISOR_H_
+#define WUW_CORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "core/work_metric.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// One ranked candidate.
+struct StrategyAdvice {
+  std::string name;        // "MinWork", "Prune", "dual-stage", ...
+  Strategy strategy;
+  double estimated_work = 0;
+  /// Ratio vs the best candidate (1.0 for the winner).
+  double relative_work = 1.0;
+  std::string note;  // e.g. "optimal (uniform VDAG)", "fallback ordering"
+};
+
+struct AdvisorOptions {
+  /// Run Prune when at most this many views have parents (the m! search).
+  size_t prune_max_permutable = 8;
+  WorkParams work_params;
+};
+
+/// Evaluates the standard candidates (MinWork, Prune when feasible,
+/// dual-stage, and the reverse-ordering strawman) for the given batch
+/// statistics.  Result is sorted by estimated work, best first.
+std::vector<StrategyAdvice> Advise(const Vdag& vdag, const SizeMap& sizes,
+                                   const AdvisorOptions& options = {});
+
+/// Renders the advice as an aligned report for logs/CLIs.
+std::string AdviceToText(const std::vector<StrategyAdvice>& advice);
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_ADVISOR_H_

@@ -1,0 +1,191 @@
+#include "core/correctness.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace wuw {
+
+namespace {
+
+bool InList(const std::vector<std::string>& list, const std::string& s) {
+  return std::find(list.begin(), list.end(), s) != list.end();
+}
+
+}  // namespace
+
+CorrectnessResult CheckViewStrategy(const std::string& view,
+                                    const std::vector<std::string>& sources,
+                                    const Strategy& strategy,
+                                    const std::set<std::string>& known_empty) {
+  const auto& exprs = strategy.expressions();
+
+  // Structural sanity: only expressions a view strategy may contain.
+  for (const Expression& e : exprs) {
+    if (e.is_comp()) {
+      if (e.view != view) {
+        return CorrectnessResult::Fail("view strategy for " + view +
+                                       " contains " + e.ToString());
+      }
+      if (e.over.empty()) {
+        return CorrectnessResult::Fail("empty Comp set in " + e.ToString());
+      }
+      for (const std::string& y : e.over) {
+        if (!InList(sources, y)) {
+          return CorrectnessResult::Fail("Comp over non-source: " +
+                                         e.ToString());
+        }
+      }
+    } else if (e.view != view && !InList(sources, e.view)) {
+      return CorrectnessResult::Fail("Inst of unrelated view: " +
+                                     e.ToString());
+    }
+  }
+
+  // C6: no duplicate expressions.
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    for (size_t j = i + 1; j < exprs.size(); ++j) {
+      if (exprs[i] == exprs[j]) {
+        return CorrectnessResult::Fail("C6: duplicate " + exprs[i].ToString());
+      }
+    }
+  }
+
+  // C1: every source's changes are propagated by some Comp (waived for
+  // empty deltas, footnote 5).
+  for (const std::string& src : sources) {
+    if (known_empty.count(src) > 0) continue;
+    bool found = false;
+    for (const Expression& e : exprs) {
+      if (e.CompUses(src)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return CorrectnessResult::Fail("C1: no Comp propagates delta of " + src);
+    }
+  }
+
+  // C2: every source and the view itself is installed.
+  auto inst_pos = [&](const std::string& v) {
+    return strategy.IndexOf(Expression::Inst(v));
+  };
+  for (const std::string& src : sources) {
+    if (inst_pos(src) < 0 && known_empty.count(src) == 0) {
+      return CorrectnessResult::Fail("C2: missing Inst(" + src + ")");
+    }
+  }
+  if (inst_pos(view) < 0 && known_empty.count(view) == 0) {
+    return CorrectnessResult::Fail("C2: missing Inst(" + view + ")");
+  }
+
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (!exprs[i].is_comp()) continue;
+    // C3: Comp(V, {...Vi...}) < Inst(Vi).
+    for (const std::string& y : exprs[i].over) {
+      if (inst_pos(y) < static_cast<int>(i)) {
+        return CorrectnessResult::Fail("C3: Inst(" + y + ") precedes " +
+                                       exprs[i].ToString());
+      }
+    }
+    // C5: Comp(V, ...) < Inst(V).
+    if (inst_pos(view) < static_cast<int>(i)) {
+      return CorrectnessResult::Fail("C5: Inst(" + view + ") precedes " +
+                                     exprs[i].ToString());
+    }
+    // C4: for each later Comp, all of this Comp's views are installed
+    // before it.
+    for (size_t j = i + 1; j < exprs.size(); ++j) {
+      if (!exprs[j].is_comp()) continue;
+      for (const std::string& y : exprs[i].over) {
+        int pos = inst_pos(y);
+        if (pos < 0 && known_empty.count(y) > 0) continue;
+        if (pos < 0 || pos > static_cast<int>(j)) {
+          return CorrectnessResult::Fail(
+              "C4: Inst(" + y + ") does not precede " + exprs[j].ToString());
+        }
+      }
+    }
+  }
+  return CorrectnessResult::Ok();
+}
+
+CorrectnessResult CheckVdagStrategy(const Vdag& vdag,
+                                    const Strategy& strategy,
+                                    const std::set<std::string>& known_empty) {
+  const auto& exprs = strategy.expressions();
+
+  // Structural sanity against the VDAG.
+  std::unordered_map<std::string, int> inst_count;
+  for (const Expression& e : exprs) {
+    if (!vdag.HasView(e.view)) {
+      return CorrectnessResult::Fail("unknown view in " + e.ToString());
+    }
+    if (e.is_comp()) {
+      if (vdag.IsBaseView(e.view)) {
+        return CorrectnessResult::Fail("Comp for base view: " + e.ToString());
+      }
+      const auto& sources = vdag.sources(e.view);
+      if (e.over.empty()) {
+        return CorrectnessResult::Fail("empty Comp set in " + e.ToString());
+      }
+      for (const std::string& y : e.over) {
+        if (!InList(sources, y)) {
+          return CorrectnessResult::Fail("Comp over non-source: " +
+                                         e.ToString());
+        }
+      }
+    } else {
+      ++inst_count[e.view];
+    }
+  }
+
+  // One Inst per view (C2 across all used view strategies + C6); views
+  // with empty deltas may omit theirs.
+  for (const std::string& name : vdag.view_names()) {
+    auto it = inst_count.find(name);
+    int count = it == inst_count.end() ? 0 : it->second;
+    if (count == 0 && known_empty.count(name) > 0) continue;
+    if (count != 1) {
+      return CorrectnessResult::Fail("C2/C6: Inst(" + name + ") appears " +
+                                     std::to_string(count) + " times");
+    }
+  }
+
+  // C6 over the full sequence.
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    for (size_t j = i + 1; j < exprs.size(); ++j) {
+      if (exprs[i] == exprs[j]) {
+        return CorrectnessResult::Fail("C6: duplicate " + exprs[i].ToString());
+      }
+    }
+  }
+
+  // C7: every derived view is updated by a correct view strategy.
+  for (const std::string& name : vdag.DerivedViewsBottomUp()) {
+    Strategy used = strategy.UsedViewStrategy(name, vdag.sources(name));
+    CorrectnessResult r =
+        CheckViewStrategy(name, vdag.sources(name), used, known_empty);
+    if (!r.ok) {
+      return CorrectnessResult::Fail("C7 (view " + name + "): " + r.violation);
+    }
+  }
+
+  // C8: all Comp(Vj, ...) precede any Comp(Vk, {...Vj...}).
+  for (size_t k = 0; k < exprs.size(); ++k) {
+    if (!exprs[k].is_comp()) continue;
+    for (const std::string& vj : exprs[k].over) {
+      if (vdag.IsBaseView(vj)) continue;
+      for (size_t j = k + 1; j < exprs.size(); ++j) {
+        if (exprs[j].is_comp() && exprs[j].view == vj) {
+          return CorrectnessResult::Fail("C8: " + exprs[j].ToString() +
+                                         " follows " + exprs[k].ToString());
+        }
+      }
+    }
+  }
+  return CorrectnessResult::Ok();
+}
+
+}  // namespace wuw

@@ -1,0 +1,46 @@
+// Correctness of view strategies (Definition 3.1, conditions C1-C6) and
+// VDAG strategies (Definition 3.3, conditions C7-C8).
+#ifndef WUW_CORE_CORRECTNESS_H_
+#define WUW_CORE_CORRECTNESS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// Outcome of a correctness check.  `violation` names the failed condition
+/// and the offending expressions, e.g.
+/// "C3: Inst(ORDERS) precedes Comp(Q3, {ORDERS})".
+struct CorrectnessResult {
+  bool ok = true;
+  std::string violation;
+
+  static CorrectnessResult Ok() { return {}; }
+  static CorrectnessResult Fail(std::string message) {
+    return {false, std::move(message)};
+  }
+};
+
+/// Checks Definition 3.1 for a single view `view` defined over `sources`.
+/// The strategy must contain only Comp(view, ...) and Inst expressions over
+/// sources ∪ {view}.  Views in `known_empty` have provably empty deltas;
+/// footnote 5 waives C1/C2 for them (their propagation and installation
+/// are no-ops a simplified strategy may omit).
+CorrectnessResult CheckViewStrategy(const std::string& view,
+                                    const std::vector<std::string>& sources,
+                                    const Strategy& strategy,
+                                    const std::set<std::string>& known_empty = {});
+
+/// Checks Definition 3.3 (C7 via Definition 3.1 per view, plus C8 and the
+/// global single-Inst requirement) for a whole-VDAG strategy.
+/// `known_empty` as above (use EmptyDeltaClosure from core/simplify.h).
+CorrectnessResult CheckVdagStrategy(const Vdag& vdag, const Strategy& strategy,
+                                    const std::set<std::string>& known_empty = {});
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_CORRECTNESS_H_

@@ -1,0 +1,197 @@
+#include "core/exhaustive.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "core/strategy_space.h"
+
+namespace wuw {
+
+std::vector<EvaluatedStrategy> EnumerateAllViewStrategies(
+    const Vdag& vdag, const std::string& view, const SizeMap& sizes,
+    const WorkParams& params) {
+  std::vector<EvaluatedStrategy> out;
+  for (const Strategy& s : AllViewStrategies(view, vdag.sources(view))) {
+    WorkBreakdown w = EstimateStrategyWork(vdag, s, sizes, params);
+    out.push_back(EvaluatedStrategy{s, w.total});
+  }
+  return out;
+}
+
+namespace {
+
+/// Backtracking enumerator: a prefix is extended with every expression that
+/// keeps all correctness conditions satisfiable.
+class VdagStrategyEnumerator {
+ public:
+  VdagStrategyEnumerator(const Vdag& vdag, bool one_way_only, size_t limit)
+      : vdag_(vdag), one_way_only_(one_way_only), limit_(limit) {}
+
+  std::vector<Strategy> Run() {
+    // Choose a Comp partition per derived view, then interleave.
+    std::vector<std::string> derived = vdag_.DerivedViewsBottomUp();
+    ChoosePartitions(derived, 0);
+    return std::move(results_);
+  }
+
+ private:
+  void ChoosePartitions(const std::vector<std::string>& derived, size_t i) {
+    if (i == derived.size()) {
+      Interleave();
+      return;
+    }
+    const std::string& view = derived[i];
+    const auto& sources = vdag_.sources(view);
+    std::unordered_set<std::string> seen_blocks;
+    for (const OrderedPartition& partition :
+         EnumerateOrderedPartitions(sources.size())) {
+      if (one_way_only_) {
+        bool singleton = true;
+        for (const auto& block : partition) {
+          if (block.size() != 1) {
+            singleton = false;
+            break;
+          }
+        }
+        if (!singleton) continue;
+      }
+      // Record the Comp expressions this partition contributes.  Blocks of
+      // one partition are unordered *as a set choice*; their relative order
+      // in the strategy is decided during interleaving, so only the block
+      // contents matter here — enumerating ordered partitions would
+      // duplicate strategies.  Skip permuted duplicates of the same block
+      // multiset.
+      std::vector<std::vector<size_t>> blocks_sorted = partition;
+      std::sort(blocks_sorted.begin(), blocks_sorted.end());
+      if (!seen_blocks.insert(Key(blocks_sorted)).second) continue;
+
+      std::vector<Expression> comps;
+      for (const auto& block : partition) {
+        std::vector<std::string> over;
+        for (size_t s : block) over.push_back(sources[s]);
+        comps.push_back(Expression::Comp(view, over));
+      }
+      comps_of_[view] = comps;
+      ChoosePartitions(derived, i + 1);
+      comps_of_.erase(view);
+    }
+  }
+
+  static std::string Key(const std::vector<std::vector<size_t>>& blocks) {
+    std::string key;
+    for (const auto& b : blocks) {
+      for (size_t s : b) key += std::to_string(s) + ",";
+      key += "|";
+    }
+    return key;
+  }
+
+  void Interleave() {
+    std::vector<Expression> pool;
+    for (const auto& [view, comps] : comps_of_) {
+      pool.insert(pool.end(), comps.begin(), comps.end());
+    }
+    for (const std::string& view : vdag_.view_names()) {
+      pool.push_back(Expression::Inst(view));
+    }
+    std::sort(pool.begin(), pool.end());
+    std::vector<bool> used(pool.size(), false);
+    std::vector<Expression> prefix;
+    Extend(pool, used, &prefix);
+  }
+
+  void Extend(const std::vector<Expression>& pool, std::vector<bool>& used,
+              std::vector<Expression>* prefix) {
+    if (prefix->size() == pool.size()) {
+      WUW_CHECK(results_.size() < limit_,
+                "strategy enumeration exceeded the requested limit");
+      results_.push_back(Strategy(*prefix));
+      return;
+    }
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (used[i] || !CanPlace(pool, used, *prefix, pool[i])) continue;
+      used[i] = true;
+      prefix->push_back(pool[i]);
+      Extend(pool, used, prefix);
+      prefix->pop_back();
+      used[i] = false;
+    }
+  }
+
+  bool CanPlace(const std::vector<Expression>& pool,
+                const std::vector<bool>& used,
+                const std::vector<Expression>& prefix,
+                const Expression& next) const {
+    auto placed = [&](const Expression& e) {
+      return std::find(prefix.begin(), prefix.end(), e) != prefix.end();
+    };
+    if (next.is_inst()) {
+      const std::string& x = next.view;
+      // C3: every pool Comp using δX must already be placed.
+      // C5: every pool Comp for X must already be placed.
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (!pool[i].is_comp()) continue;
+        if ((pool[i].CompUses(x) || pool[i].view == x) && !used[i]) {
+          return false;
+        }
+      }
+      return true;
+    }
+    // Comp(V, B):
+    // C3: no member of B is installed yet.
+    for (const std::string& y : next.over) {
+      if (placed(Expression::Inst(y))) return false;
+    }
+    // C4: for every earlier Comp of V, its views are already installed.
+    for (const Expression& e : prefix) {
+      if (!e.is_comp() || e.view != next.view) continue;
+      for (const std::string& y : e.over) {
+        if (!placed(Expression::Inst(y))) return false;
+      }
+    }
+    // C5: Inst(V) not yet placed.
+    if (placed(Expression::Inst(next.view))) return false;
+    // C8: every Comp of a derived member of B is already placed.
+    for (const std::string& y : next.over) {
+      if (!vdag_.IsDerivedView(y)) continue;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (pool[i].is_comp() && pool[i].view == y && !used[i]) return false;
+      }
+    }
+    return true;
+  }
+
+  const Vdag& vdag_;
+  bool one_way_only_;
+  size_t limit_;
+  std::unordered_map<std::string, std::vector<Expression>> comps_of_;
+  std::vector<Strategy> results_;
+};
+
+}  // namespace
+
+std::vector<Strategy> EnumerateAllCorrectVdagStrategies(const Vdag& vdag,
+                                                        bool one_way_only,
+                                                        size_t limit) {
+  return VdagStrategyEnumerator(vdag, one_way_only, limit).Run();
+}
+
+EvaluatedStrategy BestOf(const Vdag& vdag,
+                         const std::vector<Strategy>& strategies,
+                         const SizeMap& sizes, const WorkParams& params) {
+  WUW_CHECK(!strategies.empty(), "BestOf over an empty strategy list");
+  EvaluatedStrategy best;
+  bool first = true;
+  for (const Strategy& s : strategies) {
+    double work = EstimateStrategyWork(vdag, s, sizes, params).total;
+    if (first || work < best.work) {
+      first = false;
+      best = EvaluatedStrategy{s, work};
+    }
+  }
+  return best;
+}
+
+}  // namespace wuw

@@ -1,0 +1,48 @@
+// Exhaustive enumeration baselines.
+//
+// These are validation tools, not production algorithms: they enumerate
+// (pieces of) the strategy space so tests can verify the optimality
+// theorems (4.1, 4.2, 5.2, 6.1) and benchmarks can chart the whole space
+// (Experiment 1 charts all 13 Q3 view strategies).
+#ifndef WUW_CORE_EXHAUSTIVE_H_
+#define WUW_CORE_EXHAUSTIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "core/work_metric.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// A strategy with its linear-metric work.
+struct EvaluatedStrategy {
+  Strategy strategy;
+  double work = 0;
+};
+
+/// Evaluates every view strategy of `view` (one per ordered partition of
+/// its sources) in the VDAG context.  The VDAG should contain just this
+/// view and its sources, or the caller accepts that the work excludes
+/// other views' expressions.
+std::vector<EvaluatedStrategy> EnumerateAllViewStrategies(
+    const Vdag& vdag, const std::string& view, const SizeMap& sizes,
+    const WorkParams& params = {});
+
+/// Enumerates every correct VDAG strategy by backtracking over the
+/// correctness conditions.  `one_way_only` restricts Comps to singletons.
+/// Aborts via WUW_CHECK if more than `limit` strategies exist (guards
+/// against accidental factorial blow-ups in tests).
+std::vector<Strategy> EnumerateAllCorrectVdagStrategies(const Vdag& vdag,
+                                                        bool one_way_only,
+                                                        size_t limit);
+
+/// Smallest-work strategy among `strategies` (ties: first).
+EvaluatedStrategy BestOf(const Vdag& vdag,
+                         const std::vector<Strategy>& strategies,
+                         const SizeMap& sizes, const WorkParams& params = {});
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_EXHAUSTIVE_H_

@@ -1,0 +1,42 @@
+#include "core/expression.h"
+
+#include <algorithm>
+
+namespace wuw {
+
+Expression Expression::Comp(std::string view, std::vector<std::string> over) {
+  std::sort(over.begin(), over.end());
+  return Expression{Kind::kComp, std::move(view), std::move(over)};
+}
+
+Expression Expression::Inst(std::string view) {
+  return Expression{Kind::kInst, std::move(view), {}};
+}
+
+bool Expression::CompUses(const std::string& source) const {
+  if (!is_comp()) return false;
+  return std::find(over.begin(), over.end(), source) != over.end();
+}
+
+bool Expression::operator==(const Expression& other) const {
+  return kind == other.kind && view == other.view && over == other.over;
+}
+
+bool Expression::operator<(const Expression& other) const {
+  if (kind != other.kind) return kind < other.kind;
+  if (view != other.view) return view < other.view;
+  return over < other.over;
+}
+
+std::string Expression::ToString() const {
+  if (is_inst()) return "Inst(" + view + ")";
+  std::string out = "Comp(" + view + ", {";
+  for (size_t i = 0; i < over.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += over[i];
+  }
+  out += "})";
+  return out;
+}
+
+}  // namespace wuw

@@ -1,0 +1,44 @@
+// Update-strategy expressions: Comp(V, Y) and Inst(V) (Section 2).
+#ifndef WUW_CORE_EXPRESSION_H_
+#define WUW_CORE_EXPRESSION_H_
+
+#include <string>
+#include <vector>
+
+namespace wuw {
+
+/// One step of an update strategy.
+///
+/// Comp(V, Y) propagates the changes of the views Y into δV using the
+/// standard maintenance expression restricted to Y (2^|Y|-1 terms).
+/// Inst(V) installs δV into the materialized extent of V.
+struct Expression {
+  enum class Kind : uint8_t { kComp, kInst };
+
+  Kind kind;
+  /// The view being maintained (Comp) or installed into (Inst).
+  std::string view;
+  /// Y: the views whose changes this Comp propagates (sorted; empty for
+  /// Inst).
+  std::vector<std::string> over;
+
+  static Expression Comp(std::string view, std::vector<std::string> over);
+  static Expression Inst(std::string view);
+
+  bool is_comp() const { return kind == Kind::kComp; }
+  bool is_inst() const { return kind == Kind::kInst; }
+
+  /// True if this is a Comp whose Y contains `source`.
+  bool CompUses(const std::string& source) const;
+
+  bool operator==(const Expression& other) const;
+  bool operator!=(const Expression& other) const { return !(*this == other); }
+  bool operator<(const Expression& other) const;  // lexicographic, for sets
+
+  /// "Comp(Q3, {LINEITEM})" / "Inst(ORDERS)".
+  std::string ToString() const;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_EXPRESSION_H_

@@ -1,0 +1,110 @@
+#include "core/expression_graph.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace wuw {
+
+namespace {
+
+/// Rank of each view in the ordering; views absent from the ordering are
+/// unconstrained.
+std::unordered_map<std::string, size_t> Ranks(
+    const std::vector<std::string>& ordering) {
+  std::unordered_map<std::string, size_t> ranks;
+  for (size_t i = 0; i < ordering.size(); ++i) ranks[ordering[i]] = i;
+  return ranks;
+}
+
+}  // namespace
+
+ExpressionGraph::ExpressionGraph(const Vdag& vdag,
+                                 const std::vector<std::string>& ordering,
+                                 bool strong) {
+  // Nodes: Comps grouped per derived view (bottom-up), then all Insts.
+  std::unordered_map<std::string, int> inst_id;
+  std::unordered_map<std::string, std::vector<int>> comps_of;  // by view
+  auto add_node = [&](Expression e) {
+    nodes_.push_back(std::move(e));
+    return static_cast<int>(nodes_.size() - 1);
+  };
+  for (const std::string& view : vdag.DerivedViewsBottomUp()) {
+    for (const std::string& src : vdag.sources(view)) {
+      comps_of[view].push_back(add_node(Expression::Comp(view, {src})));
+    }
+  }
+  for (const std::string& view : vdag.view_names()) {
+    inst_id[view] = add_node(Expression::Inst(view));
+  }
+  graph_ = Digraph(nodes_.size());
+
+  const auto ranks = Ranks(ordering);
+  auto rank_of = [&](const std::string& v) -> std::optional<size_t> {
+    auto it = ranks.find(v);
+    if (it == ranks.end()) return std::nullopt;
+    return it->second;
+  };
+
+  for (const std::string& view : vdag.DerivedViewsBottomUp()) {
+    const auto& comp_ids = comps_of[view];
+    const auto& sources = vdag.sources(view);
+    for (size_t a = 0; a < sources.size(); ++a) {
+      // C3: Inst(Vi) follows Comp(V, {Vi}).
+      graph_.AddEdge(inst_id[sources[a]], comp_ids[a]);
+      // C5: Inst(V) follows Comp(V, {Vi}).
+      graph_.AddEdge(inst_id[view], comp_ids[a]);
+      // C8: Comp(V, {Vi}) follows every Comp(Vi, ...).
+      if (vdag.IsDerivedView(sources[a])) {
+        for (int down : comps_of[sources[a]]) {
+          graph_.AddEdge(comp_ids[a], down);
+        }
+      }
+      // Ordering dependencies between Comps of the same view, with the C4
+      // edges they induce.
+      for (size_t b = 0; b < sources.size(); ++b) {
+        if (a == b) continue;
+        auto ra = rank_of(sources[a]), rb = rank_of(sources[b]);
+        if (ra && rb && *ra < *rb) {
+          // Vi=sources[a] precedes Vj=sources[b]: Comp(V,{Vj}) follows
+          // Comp(V,{Vi}) and follows Inst(Vi) (C4).
+          graph_.AddEdge(comp_ids[b], comp_ids[a]);
+          graph_.AddEdge(comp_ids[b], inst_id[sources[a]]);
+        }
+      }
+    }
+  }
+
+  if (strong) {
+    // Inst sequence must follow the ordering: chain consecutive ranks.
+    for (size_t i = 0; i + 1 < ordering.size(); ++i) {
+      graph_.AddEdge(inst_id.at(ordering[i + 1]), inst_id.at(ordering[i]));
+    }
+  }
+}
+
+ExpressionGraph ExpressionGraph::ConstructEG(
+    const Vdag& vdag, const std::vector<std::string>& ordering) {
+  return ExpressionGraph(vdag, ordering, /*strong=*/false);
+}
+
+ExpressionGraph ExpressionGraph::ConstructSEG(
+    const Vdag& vdag, const std::vector<std::string>& ordering) {
+  return ExpressionGraph(vdag, ordering, /*strong=*/true);
+}
+
+std::optional<Strategy> ExpressionGraph::TopologicalStrategy() const {
+  auto order = graph_.TopologicalSort();
+  if (!order.has_value()) return std::nullopt;
+  Strategy s;
+  for (size_t id : *order) s.Append(nodes_[id]);
+  return s;
+}
+
+std::vector<Expression> ExpressionGraph::FindCycle() const {
+  std::vector<Expression> out;
+  for (size_t id : graph_.FindCycle()) out.push_back(nodes_[id]);
+  return out;
+}
+
+}  // namespace wuw

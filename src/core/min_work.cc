@@ -1,0 +1,39 @@
+#include "core/min_work.h"
+
+#include "common/check.h"
+#include "core/expression_graph.h"
+#include "core/min_work_single.h"
+
+namespace wuw {
+
+std::vector<std::string> ModifyOrdering(
+    const Vdag& vdag, const std::vector<std::string>& ordering) {
+  std::vector<std::string> out;
+  for (int level = 0; level <= vdag.MaxLevel(); ++level) {
+    for (const std::string& view : ordering) {
+      if (vdag.Level(view) == level) out.push_back(view);
+    }
+  }
+  return out;
+}
+
+MinWorkResult MinWork(const Vdag& vdag, const SizeMap& sizes) {
+  MinWorkResult result;
+  result.ordering = DesiredViewOrdering(vdag.view_names(), sizes);
+
+  ExpressionGraph eg = ExpressionGraph::ConstructEG(vdag, result.ordering);
+  auto strategy = eg.TopologicalStrategy();
+  if (!strategy.has_value()) {
+    result.ordering = ModifyOrdering(vdag, result.ordering);
+    result.used_modified_ordering = true;
+    ExpressionGraph eg2 = ExpressionGraph::ConstructEG(vdag, result.ordering);
+    strategy = eg2.TopologicalStrategy();
+    WUW_CHECK(strategy.has_value(),
+              "ModifyOrdering must yield an acyclic expression graph "
+              "(Theorem 5.5)");
+  }
+  result.strategy = std::move(*strategy);
+  return result;
+}
+
+}  // namespace wuw

@@ -1,0 +1,42 @@
+// Algorithm 5.1 — MinWork: near-optimal VDAG strategies in O(n^3).
+//
+// MinWork computes the desired view ordering (increasing |V'|-|V|), builds
+// the expression graph, and topologically sorts it.  If the graph is
+// cyclic it falls back to ModifyOrdering (Algorithm 5.2) — a level-major
+// refinement of the desired ordering that always yields an acyclic graph
+// (Theorem 5.5).  For tree and uniform VDAGs the first attempt always
+// succeeds (Lemmas 5.1/5.2), making MinWork optimal there (Theorem 5.4).
+#ifndef WUW_CORE_MIN_WORK_H_
+#define WUW_CORE_MIN_WORK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "core/work_metric.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// Output of MinWork.
+struct MinWorkResult {
+  Strategy strategy;
+  /// The view ordering the strategy is consistent with.
+  std::vector<std::string> ordering;
+  /// True if the desired ordering's expression graph was cyclic and
+  /// ModifyOrdering had to be applied (the strategy may then be
+  /// sub-optimal, though still 1-way and correct).
+  bool used_modified_ordering = false;
+};
+
+/// Algorithm 5.2 — ModifyOrdering: reorders `ordering` level-major (lower
+/// Level first), preserving the given order within a level.
+std::vector<std::string> ModifyOrdering(const Vdag& vdag,
+                                        const std::vector<std::string>& ordering);
+
+/// Algorithm 5.1 — MinWork.
+MinWorkResult MinWork(const Vdag& vdag, const SizeMap& sizes);
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_MIN_WORK_H_

@@ -1,0 +1,28 @@
+#include "core/min_work_single.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/strategy_space.h"
+
+namespace wuw {
+
+std::vector<std::string> DesiredViewOrdering(std::vector<std::string> views,
+                                             const SizeMap& sizes) {
+  std::stable_sort(views.begin(), views.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     return sizes.NetChange(a) < sizes.NetChange(b);
+                   });
+  return views;
+}
+
+Strategy MinWorkSingle(const Vdag& vdag, const std::string& view,
+                       const SizeMap& sizes) {
+  WUW_CHECK(vdag.IsDerivedView(view),
+            "MinWorkSingle applies to derived views");
+  std::vector<std::string> ordered =
+      DesiredViewOrdering(vdag.sources(view), sizes);
+  return MakeOneWayViewStrategy(view, ordered);
+}
+
+}  // namespace wuw

@@ -1,0 +1,31 @@
+// Algorithm 4.1 — MinWorkSingle: the optimal single-view update strategy.
+//
+// By Theorem 4.1 only 1-way strategies need be considered, and by Theorem
+// 4.2 the optimal one propagates and installs source changes in increasing
+// |V'i| - |Vi| order.  O(n log n) (Theorem 4.3).
+#ifndef WUW_CORE_MIN_WORK_SINGLE_H_
+#define WUW_CORE_MIN_WORK_SINGLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "core/work_metric.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// Orders `views` by increasing net change |V'| - |V| (the "desired view
+/// ordering" of Section 4/5).  Ties break by the views' given order, making
+/// results deterministic.
+std::vector<std::string> DesiredViewOrdering(std::vector<std::string> views,
+                                             const SizeMap& sizes);
+
+/// MinWorkSingle (Algorithm 4.1): the optimal view strategy for `view`
+/// under the linear work metric, given the batch's size statistics.
+Strategy MinWorkSingle(const Vdag& vdag, const std::string& view,
+                       const SizeMap& sizes);
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_MIN_WORK_SINGLE_H_

@@ -1,0 +1,44 @@
+#include "core/prune.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/expression_graph.h"
+
+namespace wuw {
+
+PruneResult Prune(const Vdag& vdag, const SizeMap& sizes,
+                  const PruneOptions& options) {
+  std::vector<std::string> permutable =
+      options.permute_only_views_with_parents
+          ? vdag.ViewsWithParents()
+          : vdag.view_names();
+  std::sort(permutable.begin(), permutable.end());
+
+  PruneResult best;
+  bool found = false;
+  std::vector<std::string> ordering = permutable;
+  do {
+    ++best.orderings_examined;
+    ExpressionGraph seg = ExpressionGraph::ConstructSEG(vdag, ordering);
+    auto strategy = seg.TopologicalStrategy();
+    if (!strategy.has_value()) {
+      ++best.orderings_infeasible;
+      continue;
+    }
+    WorkBreakdown work =
+        EstimateStrategyWork(vdag, *strategy, sizes, options.work_params);
+    if (!found || work.total < best.work) {
+      found = true;
+      best.work = work.total;
+      best.strategy = std::move(*strategy);
+      best.ordering = ordering;
+    }
+  } while (std::next_permutation(ordering.begin(), ordering.end()));
+
+  WUW_CHECK(found, "Prune found no feasible ordering (identity ordering is "
+                   "always feasible for a valid VDAG)");
+  return best;
+}
+
+}  // namespace wuw

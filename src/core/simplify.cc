@@ -1,0 +1,39 @@
+#include "core/simplify.h"
+
+namespace wuw {
+
+std::set<std::string> EmptyDeltaClosure(
+    const Vdag& vdag, const std::set<std::string>& empty_base_deltas) {
+  std::set<std::string> empty = empty_base_deltas;
+  // Registration order is bottom-up, so one pass suffices.
+  for (const std::string& view : vdag.DerivedViewsBottomUp()) {
+    bool all_sources_empty = true;
+    for (const std::string& src : vdag.sources(view)) {
+      if (empty.count(src) == 0) {
+        all_sources_empty = false;
+        break;
+      }
+    }
+    if (all_sources_empty) empty.insert(view);
+  }
+  return empty;
+}
+
+Strategy SimplifyForEmptyDeltas(const Strategy& strategy,
+                                const std::set<std::string>& empty_views) {
+  Strategy out;
+  for (const Expression& e : strategy.expressions()) {
+    if (e.is_inst()) {
+      if (empty_views.count(e.view) == 0) out.Append(e);
+      continue;
+    }
+    std::vector<std::string> over;
+    for (const std::string& y : e.over) {
+      if (empty_views.count(y) == 0) over.push_back(y);
+    }
+    if (!over.empty()) out.Append(Expression::Comp(e.view, std::move(over)));
+  }
+  return out;
+}
+
+}  // namespace wuw

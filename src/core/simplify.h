@@ -1,0 +1,38 @@
+// Footnote 5: "Conditions C1 and C2, and our algorithms can be extended to
+// avoid using expressions that propagate and install δVi when δVi is
+// empty."
+//
+// Given the set of base views whose incoming deltas are empty, the
+// emptiness closure follows the VDAG upward (a derived view's delta is
+// empty when all its sources' deltas are).  SimplifyForEmptyDeltas then
+// rewrites a correct strategy:
+//   * Comp(V, Y) loses the empty members of Y (their terms contribute
+//     nothing); the Comp disappears when Y empties entirely;
+//   * Inst(X) disappears for views with empty deltas.
+// The result satisfies C1-C8 relative to the changed views (pass the
+// closure to CheckVdagStrategy's `known_empty`).
+#ifndef WUW_CORE_SIMPLIFY_H_
+#define WUW_CORE_SIMPLIFY_H_
+
+#include <set>
+#include <string>
+
+#include "core/strategy.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// The set of views with provably empty deltas, given the base views whose
+/// incoming batches are empty.
+std::set<std::string> EmptyDeltaClosure(
+    const Vdag& vdag, const std::set<std::string>& empty_base_deltas);
+
+/// Rewrites `strategy` to skip work on views in `empty_views` (use
+/// EmptyDeltaClosure).  Correctness and final state are preserved; the
+/// skipped expressions were all no-ops.
+Strategy SimplifyForEmptyDeltas(const Strategy& strategy,
+                                const std::set<std::string>& empty_views);
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_SIMPLIFY_H_

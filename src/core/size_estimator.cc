@@ -1,0 +1,83 @@
+#include "core/size_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace wuw {
+
+SizeMap EstimateSizes(const Vdag& vdag, const EstimatorInputs& inputs) {
+  SizeMap out;
+
+  auto extent = [&](const std::string& name) {
+    auto it = inputs.extent_sizes.find(name);
+    WUW_CHECK(it != inputs.extent_sizes.end(),
+              ("no extent size for view: " + name).c_str());
+    return it->second;
+  };
+
+  // Base views: exact.
+  for (const std::string& name : vdag.BaseViews()) {
+    auto it = inputs.base_deltas.find(name);
+    BaseDeltaStats d = it == inputs.base_deltas.end() ? BaseDeltaStats{}
+                                                      : it->second;
+    ViewSizes s;
+    s.size = extent(name);
+    s.delta_abs = d.plus + d.minus;
+    s.delta_net = d.plus - d.minus;
+    out.Set(name, s);
+  }
+
+  // Derived views bottom-up: first-order model under uniformity and
+  // cross-source independence.
+  for (const std::string& name : vdag.DerivedViewsBottomUp()) {
+    const int64_t size = extent(name);
+    double churn = 0;        // Σ_i (f+_i + f-_i)
+    double minus_total = 0;  // Σ_i f-_i
+    double survival = 1;     // Π_i (1 + f+_i - f-_i)
+    for (const std::string& src : vdag.sources(name)) {
+      const ViewSizes& s = out.Get(src);
+      double denom = std::max<int64_t>(s.size, 1);
+      double plus = (s.delta_abs + s.delta_net) / 2.0;
+      double minus = (s.delta_abs - s.delta_net) / 2.0;
+      churn += (plus + minus) / denom;
+      minus_total += minus / denom;
+      survival *= std::max(0.0, 1.0 + (plus - minus) / denom);
+    }
+    churn = std::min(churn, 1.0);
+    minus_total = std::min(minus_total, 1.0);
+
+    ViewSizes s;
+    s.size = size;
+    if (!vdag.definition(name)->is_aggregate()) {
+      // SPJ: the extent IS the join output; churn and survival apply
+      // directly.
+      s.delta_net = static_cast<int64_t>(std::llround(size * (survival - 1)));
+      s.delta_abs = std::max<int64_t>(
+          std::llabs(s.delta_net),
+          static_cast<int64_t>(std::llround(size * churn)));
+    } else {
+      // Aggregate: a group is touched when any of its ~g contributing join
+      // rows changes; a touched group yields a {-old,+new} pair.  Groups
+      // die when all their rows are deleted.  Insert-created groups are
+      // treated as negligible (first-order); use the oracle estimator when
+      // that assumption is too coarse.
+      auto jit = inputs.join_rows.find(name);
+      double join_rows =
+          jit != inputs.join_rows.end()
+              ? static_cast<double>(std::max<int64_t>(jit->second, size))
+              : static_cast<double>(size);
+      double g = size > 0 ? join_rows / size : 1.0;
+      double affected =
+          size * (1.0 - std::pow(1.0 - churn, std::max(1.0, g)));
+      double dead = size * std::pow(minus_total, std::max(1.0, g));
+      s.delta_abs = static_cast<int64_t>(std::llround(2 * affected - dead));
+      s.delta_net = -static_cast<int64_t>(std::llround(dead));
+    }
+    out.Set(name, s);
+  }
+  return out;
+}
+
+}  // namespace wuw

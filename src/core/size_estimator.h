@@ -1,0 +1,45 @@
+// Analytic size estimation: builds the SizeMap the algorithms consume.
+//
+// "Estimates of |δV| for derived views can be obtained using standard
+// query result size estimation methods; we proceed bottom-up" (Section
+// 5.5).  Base views are exact (their deltas arrived with the batch);
+// derived views use a first-order uniform-independence model over their
+// sources' change fractions.  When precision matters (multi-level VDAGs
+// with aggregate intermediates), exec/Warehouse also offers an oracle that
+// measures delta sizes on a cloned database.
+#ifndef WUW_CORE_SIZE_ESTIMATOR_H_
+#define WUW_CORE_SIZE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/work_metric.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// Plus/minus tuple counts of one base view's incoming delta.
+struct BaseDeltaStats {
+  int64_t plus = 0;
+  int64_t minus = 0;
+};
+
+/// Inputs to analytic estimation.
+struct EstimatorInputs {
+  /// |V| for every view (base and derived), from the catalog.
+  std::unordered_map<std::string, int64_t> extent_sizes;
+  /// Incoming delta stats per base view.
+  std::unordered_map<std::string, BaseDeltaStats> base_deltas;
+  /// For aggregate views: cardinality of the pre-aggregation join when the
+  /// view was last (re)computed.  Used to derive the average group size.
+  /// SPJ views do not need it (their extent equals the join).
+  std::unordered_map<std::string, int64_t> join_rows;
+};
+
+/// Builds a complete SizeMap bottom-up.
+SizeMap EstimateSizes(const Vdag& vdag, const EstimatorInputs& inputs);
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_SIZE_ESTIMATOR_H_

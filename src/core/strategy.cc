@@ -1,0 +1,54 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+
+namespace wuw {
+
+void Strategy::AppendAll(const Strategy& other) {
+  expressions_.insert(expressions_.end(), other.expressions_.begin(),
+                      other.expressions_.end());
+}
+
+int Strategy::IndexOf(const Expression& e) const {
+  for (size_t i = 0; i < expressions_.size(); ++i) {
+    if (expressions_[i] == e) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Strategy Strategy::UsedViewStrategy(
+    const std::string& view, const std::vector<std::string>& sources) const {
+  Strategy out;
+  for (const Expression& e : expressions_) {
+    bool relevant = false;
+    if (e.is_comp()) {
+      relevant = e.view == view;
+    } else {
+      relevant = e.view == view ||
+                 std::find(sources.begin(), sources.end(), e.view) !=
+                     sources.end();
+    }
+    if (relevant) out.Append(e);
+  }
+  return out;
+}
+
+std::vector<std::string> Strategy::InstOrder() const {
+  std::vector<std::string> out;
+  for (const Expression& e : expressions_) {
+    if (e.is_inst()) out.push_back(e.view);
+  }
+  return out;
+}
+
+std::string Strategy::ToString() const {
+  std::string out = "< ";
+  for (size_t i = 0; i < expressions_.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += expressions_[i].ToString();
+  }
+  out += " >";
+  return out;
+}
+
+}  // namespace wuw

@@ -1,0 +1,55 @@
+// Update strategies: sequences of Comp/Inst expressions (Section 3).
+#ifndef WUW_CORE_STRATEGY_H_
+#define WUW_CORE_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/expression.h"
+
+namespace wuw {
+
+/// A (view or VDAG) update strategy.  Whether it is *correct* for a given
+/// VDAG is checked by CheckVdagStrategy (core/correctness.h).
+class Strategy {
+ public:
+  Strategy() = default;
+  explicit Strategy(std::vector<Expression> expressions)
+      : expressions_(std::move(expressions)) {}
+
+  void Append(Expression e) { expressions_.push_back(std::move(e)); }
+  void AppendAll(const Strategy& other);
+
+  size_t size() const { return expressions_.size(); }
+  bool empty() const { return expressions_.empty(); }
+  const Expression& operator[](size_t i) const { return expressions_[i]; }
+  const std::vector<Expression>& expressions() const { return expressions_; }
+
+  /// Position of `e`, or -1 if absent.
+  int IndexOf(const Expression& e) const;
+
+  bool Contains(const Expression& e) const { return IndexOf(e) >= 0; }
+
+  /// The view strategy used by this VDAG strategy for `view` (Def 3.2):
+  /// the subsequence of Comp(view, ...), Inst(view), and Inst(Vi) for Vi a
+  /// source of `view`.
+  Strategy UsedViewStrategy(const std::string& view,
+                            const std::vector<std::string>& sources) const;
+
+  /// Order of views by their Inst positions — the unique view ordering a
+  /// 1-way VDAG strategy is strongly consistent with (Lemma 6.1).
+  std::vector<std::string> InstOrder() const;
+
+  bool operator==(const Strategy& other) const {
+    return expressions_ == other.expressions_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Expression> expressions_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_STRATEGY_H_

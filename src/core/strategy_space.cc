@@ -1,0 +1,147 @@
+#include "core/strategy_space.h"
+
+#include "common/check.h"
+
+namespace wuw {
+
+namespace {
+
+// Recursively assigns element `i` to every block of every ordered partition
+// of elements 0..i-1, or to a new block in every gap position.
+void Extend(size_t i, size_t n, OrderedPartition* current,
+            std::vector<OrderedPartition>* out) {
+  if (i == n) {
+    out->push_back(*current);
+    return;
+  }
+  // Add to an existing block.
+  for (size_t b = 0; b < current->size(); ++b) {
+    (*current)[b].push_back(i);
+    Extend(i + 1, n, current, out);
+    (*current)[b].pop_back();
+  }
+  // Or open a new singleton block at every position.
+  for (size_t pos = 0; pos <= current->size(); ++pos) {
+    current->insert(current->begin() + pos, {i});
+    Extend(i + 1, n, current, out);
+    current->erase(current->begin() + pos);
+  }
+}
+
+uint64_t Factorial(uint64_t k) {
+  uint64_t f = 1;
+  for (uint64_t i = 2; i <= k; ++i) f *= i;
+  return f;
+}
+
+uint64_t Binomial(uint64_t n, uint64_t k) {
+  return Factorial(n) / (Factorial(k) * Factorial(n - k));
+}
+
+uint64_t Power(uint64_t base, uint64_t exp) {
+  uint64_t p = 1;
+  for (uint64_t i = 0; i < exp; ++i) p *= base;
+  return p;
+}
+
+}  // namespace
+
+std::vector<OrderedPartition> EnumerateOrderedPartitions(size_t n) {
+  std::vector<OrderedPartition> out;
+  OrderedPartition current;
+  Extend(0, n, &current, &out);
+  return out;
+}
+
+uint64_t CountViewStrategies(size_t n) {
+  // Equation (5), with the inner sign on i (the paper's typeset formula
+  // reads (-1)^k but only the (-1)^i inclusion-exclusion form produces the
+  // published Table 1 values).
+  int64_t total = 0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    for (uint64_t i = 0; i < k; ++i) {
+      int64_t sign = (i % 2 == 0) ? 1 : -1;
+      total += sign *
+               static_cast<int64_t>(Factorial(k) /
+                                    (Factorial(i) * Factorial(k - i)) *
+                                    Power(k - i, n));
+    }
+  }
+  return static_cast<uint64_t>(total);
+}
+
+uint64_t CountViewStrategiesRecurrence(size_t n) {
+  // a(0)=1; a(n) = Σ_{k=1..n} C(n,k) a(n-k): choose the first block.
+  std::vector<uint64_t> a(n + 1, 0);
+  a[0] = 1;
+  for (size_t m = 1; m <= n; ++m) {
+    for (size_t k = 1; k <= m; ++k) {
+      a[m] += Binomial(m, k) * a[m - k];
+    }
+  }
+  return a[n];
+}
+
+Strategy MakeViewStrategy(const std::string& view,
+                          const std::vector<std::string>& sources,
+                          const OrderedPartition& partition) {
+  Strategy s;
+  for (const std::vector<size_t>& block : partition) {
+    std::vector<std::string> over;
+    for (size_t i : block) {
+      WUW_CHECK(i < sources.size(), "partition index out of range");
+      over.push_back(sources[i]);
+    }
+    s.Append(Expression::Comp(view, over));
+    for (size_t i : block) s.Append(Expression::Inst(sources[i]));
+  }
+  s.Append(Expression::Inst(view));
+  return s;
+}
+
+Strategy MakeOneWayViewStrategy(
+    const std::string& view, const std::vector<std::string>& ordered_sources) {
+  Strategy s;
+  for (const std::string& src : ordered_sources) {
+    s.Append(Expression::Comp(view, {src}));
+    s.Append(Expression::Inst(src));
+  }
+  s.Append(Expression::Inst(view));
+  return s;
+}
+
+Strategy MakeDualStageViewStrategy(const std::string& view,
+                                   const std::vector<std::string>& sources) {
+  Strategy s;
+  s.Append(Expression::Comp(view, sources));
+  for (const std::string& src : sources) s.Append(Expression::Inst(src));
+  s.Append(Expression::Inst(view));
+  return s;
+}
+
+std::vector<Strategy> AllViewStrategies(
+    const std::string& view, const std::vector<std::string>& sources) {
+  std::vector<Strategy> out;
+  for (const OrderedPartition& partition :
+       EnumerateOrderedPartitions(sources.size())) {
+    out.push_back(MakeViewStrategy(view, sources, partition));
+  }
+  return out;
+}
+
+Strategy MakeDualStageVdagStrategy(const Vdag& vdag) {
+  Strategy s;
+  // Propagate stage: one Comp per derived view over all its sources,
+  // bottom-up so that C8 holds.
+  for (const std::string& view : vdag.DerivedViewsBottomUp()) {
+    s.Append(Expression::Comp(view, vdag.sources(view)));
+  }
+  // Install stage: all views.  All dual-stage install orders incur the
+  // same work (footnote 3), so registration order is as good as any.
+  for (const std::string& view : vdag.view_names()) {
+    s.Append(Expression::Inst(view));
+  }
+  return s;
+}
+
+}  // namespace wuw

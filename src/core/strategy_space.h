@@ -1,0 +1,65 @@
+// The space of update strategies for a single view (Section 3.1).
+//
+// A view strategy is determined by an ordered set partition of the view's
+// sources: each block becomes one Comp over the block's deltas, followed by
+// the block members' Inst expressions; Inst(V) closes the strategy.
+// Singleton blocks give 1-way strategies, the single full block gives the
+// dual-stage strategy, and the count of ordered set partitions is the
+// paper's Equation (5) (the Fubini numbers of Table 1).
+#ifndef WUW_CORE_STRATEGY_SPACE_H_
+#define WUW_CORE_STRATEGY_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// An ordered set partition: blocks in processing order, each a set of
+/// element indices.
+using OrderedPartition = std::vector<std::vector<size_t>>;
+
+/// All ordered set partitions of {0..n-1}, deterministic order.
+std::vector<OrderedPartition> EnumerateOrderedPartitions(size_t n);
+
+/// Equation (5): the number of view strategies (with distinct work) for a
+/// view over n views.  Matches Table 1: 1, 3, 13, 75, 541, 4683, ...
+uint64_t CountViewStrategies(size_t n);
+
+/// Same count via the recurrence a(n) = Σ_{k=1..n} C(n,k)·a(n-k); used to
+/// cross-check the closed form.
+uint64_t CountViewStrategiesRecurrence(size_t n);
+
+/// Builds the canonical view strategy for one ordered partition of the
+/// sources: for each block B in order, Comp(view, B) then Inst of each
+/// member; finally Inst(view).
+Strategy MakeViewStrategy(const std::string& view,
+                          const std::vector<std::string>& sources,
+                          const OrderedPartition& partition);
+
+/// The 1-way view strategy propagating source changes in `ordered_sources`
+/// order (view strategy (3)/(4) of Section 3.1).
+Strategy MakeOneWayViewStrategy(const std::string& view,
+                                const std::vector<std::string>& ordered_sources);
+
+/// The dual-stage view strategy (view strategy (2); CGL+96): one Comp over
+/// all sources, then all installs.
+Strategy MakeDualStageViewStrategy(const std::string& view,
+                                   const std::vector<std::string>& sources);
+
+/// One representative strategy per ordered partition — the full space of
+/// distinct-work view strategies (Experiment 1 enumerates these for Q3).
+std::vector<Strategy> AllViewStrategies(const std::string& view,
+                                        const std::vector<std::string>& sources);
+
+/// The dual-stage VDAG strategy used as the conventional baseline in
+/// Experiment 4: every derived view uses its dual-stage view strategy,
+/// Comps ordered bottom-up (satisfying C8), all installs at the end.
+Strategy MakeDualStageVdagStrategy(const Vdag& vdag);
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_STRATEGY_SPACE_H_

@@ -1,0 +1,49 @@
+#include "core/transform.h"
+
+#include "common/check.h"
+
+namespace wuw {
+
+bool ApplySeparator(const Strategy& strategy, size_t from_index,
+                    Strategy* out) {
+  const auto& exprs = strategy.expressions();
+  for (size_t i = from_index; i < exprs.size(); ++i) {
+    const Expression& e = exprs[i];
+    if (!e.is_comp() || e.over.size() < 2) continue;
+
+    const std::string y1 = e.over.front();
+    std::vector<std::string> rest(e.over.begin() + 1, e.over.end());
+
+    *out = Strategy();
+    for (size_t j = 0; j < i; ++j) out->Append(exprs[j]);
+    out->Append(Expression::Comp(e.view, {y1}));
+    out->Append(Expression::Inst(y1));
+    out->Append(Expression::Comp(e.view, std::move(rest)));
+    bool removed_inst = false;
+    for (size_t j = i + 1; j < exprs.size(); ++j) {
+      if (!removed_inst && exprs[j] == Expression::Inst(y1)) {
+        removed_inst = true;  // moved to right after the separated Comp
+        continue;
+      }
+      out->Append(exprs[j]);
+    }
+    WUW_CHECK(removed_inst,
+              "separator: no later Inst for the separated view (is the "
+              "input a correct view strategy?)");
+    return true;
+  }
+  return false;
+}
+
+Strategy SeparateToOneWay(const Strategy& strategy) {
+  Strategy current = strategy;
+  Strategy next;
+  // Each application removes one view from some multi-view Comp, so the
+  // loop terminates after at most Σ|Y| steps.
+  while (ApplySeparator(current, 0, &next)) {
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace wuw

@@ -1,0 +1,38 @@
+// Strategy transformations from the optimality proofs.
+//
+// The proof of Theorem 4.1 (Appendix A) rewrites any non-1-way view
+// strategy into a 1-way one via the "separator" mapping:
+//
+//   < E_prec, Comp(W, Y), E_inst, E_succ >
+//     ==>  < E_prec, Comp(W,{Y1}), Inst(Y1), Comp(W, Y-{Y1}), E'_inst,
+//           E_succ >
+//
+// and shows each application never increases linear-metric work.  Having
+// the transformation as code lets tests verify the proof's inequality
+// mechanically over random strategies — and gives a constructive path
+// from any correct strategy to a 1-way strategy at most as expensive.
+#ifndef WUW_CORE_TRANSFORM_H_
+#define WUW_CORE_TRANSFORM_H_
+
+#include <string>
+
+#include "core/strategy.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// Applies one "separator" step: splits the first Comp with |Y| > 1 found
+/// at or after `from_index`, separating its first Y member.  Returns true
+/// and fills *out if a split happened; false if the strategy is already
+/// 1-way past that point.
+bool ApplySeparator(const Strategy& strategy, size_t from_index,
+                    Strategy* out);
+
+/// Exhaustively applies the separator until the strategy is 1-way.  The
+/// result is correct whenever the input is (Theorem A.1), and under the
+/// linear metric never costs more.
+Strategy SeparateToOneWay(const Strategy& strategy);
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_TRANSFORM_H_

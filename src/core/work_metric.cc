@@ -1,0 +1,115 @@
+#include "core/work_metric.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wuw {
+
+const ViewSizes& SizeMap::Get(const std::string& view) const {
+  auto it = map_.find(view);
+  WUW_CHECK(it != map_.end(), ("no size stats for view: " + view).c_str());
+  return it->second;
+}
+
+std::string SizeMap::ToString() const {
+  std::string out;
+  for (const auto& [view, s] : map_) {
+    out += view + ": |V|=" + std::to_string(s.size) +
+           " |dV|=" + std::to_string(s.delta_abs) +
+           " net=" + std::to_string(s.delta_net) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared replay loop; `comp_work` computes one Comp expression's work
+/// from (delta sizes of Y, current extents).
+template <typename CompWorkFn>
+WorkBreakdown Replay(const Vdag& vdag, const Strategy& strategy,
+                     const SizeMap& sizes, const WorkParams& params,
+                     const CompWorkFn& comp_work) {
+  std::unordered_map<std::string, int64_t> current;
+  for (const std::string& name : vdag.view_names()) {
+    current[name] = sizes.Get(name).size;
+  }
+
+  WorkBreakdown out;
+  for (const Expression& e : strategy.expressions()) {
+    double work = 0;
+    if (e.is_comp()) {
+      work = params.comp_per_row * comp_work(e, current);
+    } else {
+      work = params.inst_per_row *
+             static_cast<double>(sizes.Get(e.view).delta_abs);
+      current[e.view] += sizes.Get(e.view).delta_net;
+    }
+    out.per_expression.push_back(ExpressionWork{e, work});
+    out.total += work;
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkBreakdown EstimateStrategyWork(const Vdag& vdag, const Strategy& strategy,
+                                   const SizeMap& sizes,
+                                   const WorkParams& params) {
+  auto comp_work = [&](const Expression& e,
+                       const std::unordered_map<std::string, int64_t>&
+                           current) -> double {
+    const std::vector<std::string>& all_sources = vdag.sources(e.view);
+    const std::vector<std::string>& y = e.over;
+    const size_t m = y.size();
+    WUW_CHECK(m < 63, "Comp set too large for subset enumeration");
+
+    // Extents of sources outside Y are read by every one of the 2^m-1
+    // terms.
+    double other_extents = 0;
+    for (const std::string& src : all_sources) {
+      if (std::find(y.begin(), y.end(), src) == y.end()) {
+        other_extents += static_cast<double>(current.at(src));
+      }
+    }
+
+    double total = 0;
+    for (uint64_t mask = 1; mask < (uint64_t{1} << m); ++mask) {
+      double term = other_extents;
+      for (size_t k = 0; k < m; ++k) {
+        term += (mask >> k & 1)
+                    ? static_cast<double>(sizes.Get(y[k]).delta_abs)
+                    : static_cast<double>(current.at(y[k]));
+      }
+      total += term;
+    }
+    return total;
+  };
+  return Replay(vdag, strategy, sizes, params, comp_work);
+}
+
+WorkBreakdown EstimateStrategyWorkOperandsOnce(const Vdag& vdag,
+                                               const Strategy& strategy,
+                                               const SizeMap& sizes,
+                                               const WorkParams& params) {
+  auto comp_work = [&](const Expression& e,
+                       const std::unordered_map<std::string, int64_t>&
+                           current) -> double {
+    double total = 0;
+    for (const std::string& src : vdag.sources(e.view)) {
+      bool in_y = std::find(e.over.begin(), e.over.end(), src) != e.over.end();
+      if (in_y) {
+        total += static_cast<double>(sizes.Get(src).delta_abs);
+        // Extent of a Y view is also an operand (of the mixed terms) unless
+        // Y is a singleton, whose single term reads only the delta.
+        if (e.over.size() > 1) total += static_cast<double>(current.at(src));
+      } else {
+        total += static_cast<double>(current.at(src));
+      }
+    }
+    return total;
+  };
+  return Replay(vdag, strategy, sizes, params, comp_work);
+}
+
+}  // namespace wuw

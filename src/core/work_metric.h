@@ -1,0 +1,91 @@
+// The linear work metric (Definition 3.5) and analytic strategy-work
+// evaluation.
+//
+// Work(Inst(V))    = i * |δV|
+// Work(Comp(V,Y))  = c * Σ_terms Σ_operands |operand|, where each of the
+//                    2^|Y|-1 terms reads the delta/extent mix of Y it
+//                    selects plus the current extents of all other sources
+//                    of Def(V).
+//
+// "Current" is what makes strategies differ: Inst expressions executed
+// earlier in the strategy change the extents later Comps read.  The
+// evaluator below replays that evolution symbolically from a SizeMap.
+#ifndef WUW_CORE_WORK_METRIC_H_
+#define WUW_CORE_WORK_METRIC_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/strategy.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// Proportionality constants c (compute) and i (install) of Def 3.5.
+struct WorkParams {
+  double comp_per_row = 1.0;
+  double inst_per_row = 1.0;
+};
+
+/// Size statistics for one view, as of the start of the update window.
+struct ViewSizes {
+  /// |V|: current extent cardinality.
+  int64_t size = 0;
+  /// |δV|: plus tuples + minus tuples of the batch's delta.
+  int64_t delta_abs = 0;
+  /// |V'| - |V|: net cardinality change once δV installs.
+  int64_t delta_net = 0;
+};
+
+/// Per-view size statistics; the single input the paper's algorithms read.
+class SizeMap {
+ public:
+  void Set(const std::string& view, ViewSizes sizes) { map_[view] = sizes; }
+  const ViewSizes& Get(const std::string& view) const;
+  bool Has(const std::string& view) const { return map_.count(view) > 0; }
+
+  /// |V'| - |V| of `view` — the sort key of the desired view ordering
+  /// (Theorem 4.2).
+  int64_t NetChange(const std::string& view) const {
+    return Get(view).delta_net;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<std::string, ViewSizes> map_;
+};
+
+/// Work attributed to one expression of a strategy.
+struct ExpressionWork {
+  Expression expression;
+  double work = 0;
+};
+
+/// Total and per-expression work of a strategy under a metric.
+struct WorkBreakdown {
+  double total = 0;
+  std::vector<ExpressionWork> per_expression;
+};
+
+/// Evaluates Work(strategy) under the linear metric, replaying install
+/// effects on extent sizes.  The strategy should be correct; the evaluator
+/// itself only requires that referenced views exist.
+WorkBreakdown EstimateStrategyWork(const Vdag& vdag, const Strategy& strategy,
+                                   const SizeMap& sizes,
+                                   const WorkParams& params);
+
+/// The Section-7 "Discussion" variant metric that charges each distinct
+/// operand once per Comp instead of once per term.  Under this (flawed)
+/// metric the dual-stage strategy looks best; the ablation bench
+/// demonstrates why the term-aware metric is the right one.
+WorkBreakdown EstimateStrategyWorkOperandsOnce(const Vdag& vdag,
+                                               const Strategy& strategy,
+                                               const SizeMap& sizes,
+                                               const WorkParams& params);
+
+}  // namespace wuw
+
+#endif  // WUW_CORE_WORK_METRIC_H_

@@ -1,0 +1,15 @@
+#include "delta/install.h"
+
+#include "common/check.h"
+
+namespace wuw {
+
+void Install(const DeltaRelation& delta, Table* table, OperatorStats* stats) {
+  WUW_CHECK(table != nullptr, "Install requires a table");
+  delta.ForEach([&](const Tuple& tuple, int64_t count) {
+    table->Add(tuple, count);
+    if (stats != nullptr) stats->rows_scanned += std::llabs(count);
+  });
+}
+
+}  // namespace wuw

@@ -1,0 +1,18 @@
+// Inst(V): installing a delta relation into a materialized table.
+#ifndef WUW_DELTA_INSTALL_H_
+#define WUW_DELTA_INSTALL_H_
+
+#include "algebra/operator_stats.h"
+#include "delta/delta_relation.h"
+#include "storage/table.h"
+
+namespace wuw {
+
+/// Applies `delta` to `table`: plus tuples are inserted, minus tuples
+/// deleted (Section 2).  The work charged is proportional to |δV|
+/// (Def 3.5): stats->rows_scanned grows by delta.AbsCardinality().
+void Install(const DeltaRelation& delta, Table* table, OperatorStats* stats);
+
+}  // namespace wuw
+
+#endif  // WUW_DELTA_INSTALL_H_

@@ -1,0 +1,41 @@
+// Finalization: turning accumulated raw deltas into installable view-level
+// delta relations.
+//
+// SPJ views: the raw delta already holds output tuples; finalization merely
+// collapses duplicates.
+//
+// Aggregate views: the raw delta holds pre-aggregation (key, argument)
+// rows.  Finalization aggregates them into a *summary delta* (per-group
+// Δsum / Δcount, after MQM97) and combines it with the view's current
+// extent, emitting {-old_row, +new_row} pairs per affected group.  A group
+// whose contributing-row count drops to zero is deleted.
+//
+// Finalization must run after every Comp expression for the view and
+// before its delta is first used (by Inst(V) or by a parent's Comp) —
+// exactly the window conditions C3-C5/C8 guarantee exists.
+#ifndef WUW_DELTA_SUMMARY_DELTA_H_
+#define WUW_DELTA_SUMMARY_DELTA_H_
+
+#include "algebra/operator_stats.h"
+#include "algebra/rows.h"
+#include "delta/delta_relation.h"
+#include "storage/table.h"
+#include "view/view_definition.h"
+
+namespace wuw {
+
+/// Collapses an SPJ view's raw delta rows into a DeltaRelation over
+/// `output_schema`.
+DeltaRelation FinalizeSpjDelta(const Schema& output_schema, const Rows& raw,
+                               OperatorStats* stats);
+
+/// Combines an aggregate view's raw delta with its current extent
+/// (`current`, whose schema is keys + aggregates + __count) into the
+/// view-level delta.
+DeltaRelation FinalizeAggregateDelta(const ViewDefinition& def,
+                                     const Table& current, const Rows& raw,
+                                     OperatorStats* stats);
+
+}  // namespace wuw
+
+#endif  // WUW_DELTA_SUMMARY_DELTA_H_

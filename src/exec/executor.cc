@@ -1,0 +1,130 @@
+#include "exec/executor.h"
+
+#include <chrono>
+#include <set>
+
+#include "common/check.h"
+#include "core/correctness.h"
+#include "core/simplify.h"
+#include "delta/install.h"
+#include "view/comp_term.h"
+
+namespace wuw {
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string ExecutionReport::ToString() const {
+  char line[256];
+  std::string out;
+  for (const ExpressionReport& r : per_expression) {
+    std::snprintf(line, sizeof(line), "  %-50s %9.4fs  work=%lld\n",
+                  r.expression.ToString().c_str(), r.seconds,
+                  static_cast<long long>(r.linear_work));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  total: %.4fs  linear work=%lld\n",
+                total_seconds, static_cast<long long>(total_linear_work));
+  out += line;
+  return out;
+}
+
+Executor::Executor(Warehouse* warehouse, ExecutorOptions options)
+    : warehouse_(warehouse), options_(options) {
+  WUW_CHECK(warehouse_ != nullptr, "Executor needs a warehouse");
+}
+
+ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
+                                   const CompEvalOptions& comp_options,
+                                   std::pair<int64_t, int64_t>* delta_stats) {
+  const Vdag& vdag = warehouse->vdag();
+  ExpressionReport er;
+  er.expression = e;
+  double start = Now();
+
+  // Deltas of derived views finalize lazily on first use, against the
+  // view's pre-install extent (C3/C8 guarantee the window exists).
+  OperatorStats* finalize_stats = &er.stats;
+  DeltaProvider provider =
+      [&](const std::string& name) -> const DeltaRelation* {
+    if (vdag.IsBaseView(name)) return &warehouse->base_delta(name);
+    return &warehouse->accumulator(name)->Finalize(
+        *warehouse->catalog().MustGetTable(name), finalize_stats);
+  };
+
+  if (e.is_comp()) {
+    CompEvalResult result =
+        EvalComp(*vdag.definition(e.view), e.over, warehouse->catalog(),
+                 provider, comp_options, &er.stats);
+    warehouse->accumulator(e.view)->Accumulate(std::move(result.raw_delta));
+    er.linear_work = result.linear_operand_work;
+  } else {
+    Table* table = warehouse->catalog().MustGetTable(e.view);
+    const DeltaRelation* delta;
+    if (vdag.IsBaseView(e.view)) {
+      delta = &warehouse->base_delta(e.view);
+    } else {
+      delta = &warehouse->accumulator(e.view)->Finalize(*table, &er.stats);
+    }
+    if (delta_stats != nullptr) {
+      *delta_stats = {delta->AbsCardinality(), delta->NetCardinality()};
+    }
+    Install(*delta, table, &er.stats);
+    er.linear_work = delta->AbsCardinality();
+  }
+
+  er.seconds = Now() - start;
+  return er;
+}
+
+ExecutionReport Executor::Execute(const Strategy& strategy) {
+  const Vdag& vdag = warehouse_->vdag();
+
+  std::set<std::string> empty_views;
+  Strategy simplified;
+  const Strategy* to_run = &strategy;
+  if (options_.simplify_empty_deltas) {
+    std::set<std::string> empty_bases;
+    for (const std::string& base : vdag.BaseViews()) {
+      if (warehouse_->base_delta(base).empty()) empty_bases.insert(base);
+    }
+    empty_views = EmptyDeltaClosure(vdag, empty_bases);
+    simplified = SimplifyForEmptyDeltas(strategy, empty_views);
+    to_run = &simplified;
+  }
+  if (options_.validate) {
+    CorrectnessResult r = CheckVdagStrategy(vdag, *to_run, empty_views);
+    WUW_CHECK(r.ok, ("refusing to execute incorrect strategy: " + r.violation)
+                        .c_str());
+  }
+
+  ExecutionReport report;
+  CompEvalOptions comp_options;
+  comp_options.skip_empty_delta_terms = options_.skip_empty_delta_terms;
+
+  for (const Expression& e : to_run->expressions()) {
+    std::pair<int64_t, int64_t> delta_stats{0, 0};
+    ExpressionReport er = ExecuteExpression(
+        warehouse_, e, comp_options,
+        options_.capture_delta_stats && e.is_inst() ? &delta_stats : nullptr);
+    if (options_.capture_delta_stats && e.is_inst()) {
+      report.delta_stats[e.view] = delta_stats;
+    }
+    report.total_seconds += er.seconds;
+    report.total_linear_work += er.linear_work;
+    report.totals += er.stats;
+    report.per_expression.push_back(std::move(er));
+  }
+
+  warehouse_->ResetBatch();
+  return report;
+}
+
+}  // namespace wuw

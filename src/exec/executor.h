@@ -1,0 +1,83 @@
+// The strategy executor: runs a VDAG update strategy against a Warehouse,
+// mutating its state and measuring the update window.
+//
+// The executor is the stand-in for the paper's commercial RDBMS executing
+// the per-expression stored procedures: each Comp/Inst is one call, the
+// wall time of the whole sequence is the update window, and the measured
+// per-expression statistics let benchmarks compare against the linear work
+// metric's predictions.
+#ifndef WUW_EXEC_EXECUTOR_H_
+#define WUW_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/operator_stats.h"
+#include "core/strategy.h"
+#include "exec/warehouse.h"
+
+namespace wuw {
+
+struct ExecutorOptions {
+  /// Check C1-C8 before executing; abort on violation.
+  bool validate = true;
+  /// Footnote 5 extension: skip maintenance terms whose deltas are empty.
+  bool skip_empty_delta_terms = false;
+  /// Footnote 5 at strategy level: before running, drop the expressions
+  /// that only touch views with provably empty deltas (see
+  /// core/simplify.h).  Validation then uses the empty-delta closure.
+  bool simplify_empty_deltas = false;
+  /// Record each view's finalized (|δV|, net) in the report — used by the
+  /// oracle size estimator.
+  bool capture_delta_stats = false;
+};
+
+/// Measurements for one executed expression.
+struct ExpressionReport {
+  Expression expression;
+  double seconds = 0;
+  /// Run-time counterpart of the linear work metric: Σ over terms of
+  /// operand sizes (Comp), or |δV| (Inst).
+  int64_t linear_work = 0;
+  OperatorStats stats;
+};
+
+/// Measurements for one strategy run.
+struct ExecutionReport {
+  double total_seconds = 0;
+  int64_t total_linear_work = 0;
+  OperatorStats totals;
+  std::vector<ExpressionReport> per_expression;
+  /// view -> (|δV| abs, net); filled when capture_delta_stats is set.
+  std::unordered_map<std::string, std::pair<int64_t, int64_t>> delta_stats;
+
+  std::string ToString() const;
+};
+
+/// Executes one expression against the warehouse: the common kernel of
+/// the sequential Executor and the stage-parallel ParallelExecutor.  For
+/// Inst expressions, `delta_stats` (optional) receives the installed
+/// delta's (|δV|, net).
+ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
+                                   const struct CompEvalOptions& comp_options,
+                                   std::pair<int64_t, int64_t>* delta_stats);
+
+/// Executes strategies against one warehouse.
+class Executor {
+ public:
+  explicit Executor(Warehouse* warehouse, ExecutorOptions options = {});
+
+  /// Runs `strategy` to completion, consuming the pending update batch.
+  /// The warehouse afterwards reflects the new database state.
+  ExecutionReport Execute(const Strategy& strategy);
+
+ private:
+  Warehouse* warehouse_;
+  ExecutorOptions options_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_EXEC_EXECUTOR_H_

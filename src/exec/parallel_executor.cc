@@ -1,0 +1,76 @@
+#include "exec/parallel_executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "view/comp_term.h"
+
+namespace wuw {
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(Warehouse* warehouse,
+                                   ParallelExecutorOptions options)
+    : warehouse_(warehouse), options_(options) {
+  WUW_CHECK(warehouse_ != nullptr, "ParallelExecutor needs a warehouse");
+  WUW_CHECK(options_.workers >= 1, "need at least one worker");
+}
+
+ParallelExecutionReport ParallelExecutor::Execute(
+    const ParallelStrategy& strategy) {
+  ParallelExecutionReport report;
+  CompEvalOptions comp_options;
+  comp_options.skip_empty_delta_terms = options_.skip_empty_delta_terms;
+  comp_options.term_workers = options_.term_workers;
+
+  for (const std::vector<Expression>& stage : strategy.stages) {
+    double stage_start = Now();
+    std::vector<ExpressionReport> stage_reports(stage.size());
+    std::atomic<size_t> next{0};
+
+    auto worker = [&]() {
+      while (true) {
+        size_t i = next.fetch_add(1);
+        if (i >= stage.size()) break;
+        stage_reports[i] = ExecuteExpression(warehouse_, stage[i],
+                                             comp_options, nullptr);
+      }
+    };
+
+    size_t num_threads =
+        std::min<size_t>(static_cast<size_t>(options_.workers), stage.size());
+    if (num_threads <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(num_threads);
+      for (size_t t = 0; t < num_threads; ++t) {
+        threads.emplace_back(worker);
+      }
+      for (std::thread& t : threads) t.join();
+    }
+
+    double stage_seconds = Now() - stage_start;
+    report.stage_seconds.push_back(stage_seconds);
+    report.total_seconds += stage_seconds;
+    for (ExpressionReport& er : stage_reports) {
+      report.total_linear_work += er.linear_work;
+      report.per_expression.push_back(std::move(er));
+    }
+  }
+
+  warehouse_->ResetBatch();
+  return report;
+}
+
+}  // namespace wuw

@@ -1,0 +1,59 @@
+// Stage-parallel strategy execution (Section 9, realized).
+//
+// A ParallelStrategy's stages contain mutually non-conflicting expressions
+// (see parallel/parallel_strategy.h): within a stage no expression reads
+// state another writes, so the stage's expressions genuinely run on
+// worker threads.  Stages are separated by barriers.
+//
+// Shared state accessed concurrently: table extents (read-only within a
+// stage for any reader, by construction), base deltas (read-only), and
+// delta accumulators (internally locked — two Comps of one view may
+// accumulate concurrently, and two parents may race to finalize a child's
+// delta).
+#ifndef WUW_EXEC_PARALLEL_EXECUTOR_H_
+#define WUW_EXEC_PARALLEL_EXECUTOR_H_
+
+#include <vector>
+
+#include "exec/executor.h"
+#include "parallel/parallel_strategy.h"
+
+namespace wuw {
+
+/// Measurements for one stage-parallel run.
+struct ParallelExecutionReport {
+  double total_seconds = 0;  // wall time across all stage barriers
+  int64_t total_linear_work = 0;
+  std::vector<double> stage_seconds;
+  std::vector<ExpressionReport> per_expression;  // stage order, then index
+};
+
+struct ParallelExecutorOptions {
+  int workers = 4;
+  /// Footnote 5 extension at term level (see ExecutorOptions).
+  bool skip_empty_delta_terms = false;
+  /// Intra-expression parallelism: worker threads per Comp for its
+  /// independent maintenance terms (see CompEvalOptions::term_workers).
+  /// Lets a lone dual-stage Comp(V, all-sources) — 2^n-1 terms — use the
+  /// pool even when the stage has few expressions.
+  int term_workers = 1;
+};
+
+/// Runs staged strategies against one warehouse with a thread pool.
+class ParallelExecutor {
+ public:
+  ParallelExecutor(Warehouse* warehouse, ParallelExecutorOptions options);
+
+  /// Executes all stages; consumes the pending batch.  The final state
+  /// equals what the sequential Executor produces for the strategy the
+  /// stages were derived from.
+  ParallelExecutionReport Execute(const ParallelStrategy& strategy);
+
+ private:
+  Warehouse* warehouse_;
+  ParallelExecutorOptions options_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_EXEC_PARALLEL_EXECUTOR_H_

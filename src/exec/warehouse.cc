@@ -1,0 +1,149 @@
+#include "exec/warehouse.h"
+
+#include "common/check.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "stats/delta_estimator.h"
+#include "view/join_pipeline.h"
+#include "view/recompute.h"
+
+namespace wuw {
+
+Warehouse::Warehouse(Vdag vdag) : vdag_(std::move(vdag)) {
+  for (const std::string& name : vdag_.view_names()) {
+    catalog_.CreateTable(name, vdag_.OutputSchema(name));
+    if (vdag_.IsBaseView(name)) {
+      empty_deltas_.emplace(name, DeltaRelation(vdag_.OutputSchema(name)));
+    }
+    if (vdag_.IsDerivedView(name)) {
+      auto resolver = [this](const std::string& src) -> const Schema& {
+        return vdag_.OutputSchema(src);
+      };
+      const auto& def = vdag_.definition(name);
+      accumulators_.emplace(
+          name, std::make_unique<DeltaAccumulator>(
+                    def, RawSchema(*def, resolver), vdag_.OutputSchema(name)));
+    }
+  }
+}
+
+Table* Warehouse::base_table(const std::string& name) {
+  WUW_CHECK(vdag_.IsBaseView(name), ("not a base view: " + name).c_str());
+  return catalog_.MustGetTable(name);
+}
+
+void Warehouse::RecomputeDerived() {
+  for (const std::string& name : vdag_.DerivedViewsBottomUp()) {
+    int64_t join_rows = 0;
+    Table fresh = RecomputeView(*vdag_.definition(name), catalog_,
+                                /*stats=*/nullptr, &join_rows);
+    Table* table = catalog_.MustGetTable(name);
+    table->Clear();
+    fresh.ForEach([&](const Tuple& t, int64_t c) { table->Add(t, c); });
+    join_rows_[name] = join_rows;
+  }
+}
+
+void Warehouse::SetBaseDelta(const std::string& name, DeltaRelation delta) {
+  WUW_CHECK(vdag_.IsBaseView(name),
+            ("deltas arrive only for base views: " + name).c_str());
+  base_deltas_[name] = std::move(delta);
+}
+
+void Warehouse::MergeBaseDelta(const std::string& name,
+                               const DeltaRelation& delta) {
+  WUW_CHECK(vdag_.IsBaseView(name),
+            ("deltas arrive only for base views: " + name).c_str());
+  auto it = base_deltas_.find(name);
+  if (it == base_deltas_.end()) {
+    base_deltas_.emplace(name, DeltaRelation(vdag_.OutputSchema(name)));
+    it = base_deltas_.find(name);
+  }
+  it->second.Merge(delta);
+}
+
+const DeltaRelation& Warehouse::base_delta(const std::string& name) const {
+  auto it = base_deltas_.find(name);
+  if (it != base_deltas_.end()) return it->second;
+  auto empty = empty_deltas_.find(name);
+  WUW_CHECK(empty != empty_deltas_.end(),
+            ("not a base view: " + name).c_str());
+  return empty->second;
+}
+
+DeltaAccumulator* Warehouse::accumulator(const std::string& name) {
+  auto it = accumulators_.find(name);
+  WUW_CHECK(it != accumulators_.end(),
+            ("no accumulator (not a derived view?): " + name).c_str());
+  return it->second.get();
+}
+
+void Warehouse::ResetBatch() {
+  base_deltas_.clear();
+  for (auto& [name, acc] : accumulators_) acc->Reset();
+}
+
+SizeMap Warehouse::EstimatedSizes() const {
+  EstimatorInputs inputs;
+  for (const std::string& name : vdag_.view_names()) {
+    inputs.extent_sizes[name] = catalog_.MustGetTable(name)->cardinality();
+  }
+  for (const auto& [name, delta] : base_deltas_) {
+    inputs.base_deltas[name] =
+        BaseDeltaStats{delta.plus_count(), delta.minus_count()};
+  }
+  inputs.join_rows = join_rows_;
+  return EstimateSizes(vdag_, inputs);
+}
+
+SizeMap Warehouse::EstimatedSizesWithStats() const {
+  StatsEstimatorInputs inputs;
+  for (const std::string& name : vdag_.view_names()) {
+    inputs.extent_stats.emplace(
+        name, TableStats::Collect(*catalog_.MustGetTable(name)));
+  }
+  for (const auto& [name, delta] : base_deltas_) {
+    inputs.base_delta_stats.emplace(name, TableStats::Collect(delta));
+    inputs.base_delta_plus_minus.emplace(
+        name, std::make_pair(delta.plus_count(), delta.minus_count()));
+  }
+  return EstimateSizesWithStats(vdag_, inputs);
+}
+
+SizeMap Warehouse::OracleSizes() const {
+  Warehouse clone = Clone();
+  ExecutorOptions options;
+  options.validate = false;
+  options.capture_delta_stats = true;
+  Executor executor(&clone, options);
+  ExecutionReport report =
+      executor.Execute(MakeDualStageVdagStrategy(vdag_));
+
+  SizeMap out;
+  for (const std::string& name : vdag_.view_names()) {
+    ViewSizes s;
+    s.size = catalog_.MustGetTable(name)->cardinality();
+    auto it = report.delta_stats.find(name);
+    if (it != report.delta_stats.end()) {
+      s.delta_abs = it->second.first;
+      s.delta_net = it->second.second;
+    }
+    out.Set(name, s);
+  }
+  return out;
+}
+
+Warehouse Warehouse::Clone() const {
+  Warehouse out(vdag_);
+  out.catalog_ = catalog_.Clone();
+  out.base_deltas_ = base_deltas_;
+  out.join_rows_ = join_rows_;
+  return out;
+}
+
+int64_t Warehouse::join_rows(const std::string& view) const {
+  auto it = join_rows_.find(view);
+  return it == join_rows_.end() ? 0 : it->second;
+}
+
+}  // namespace wuw

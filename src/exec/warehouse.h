@@ -1,0 +1,100 @@
+// The warehouse runtime: a VDAG, its materialized extents, and the pending
+// update batch.
+//
+// Lifecycle per update window:
+//   1. SetBaseDelta(...) for each changed base view (changes "arrive").
+//   2. Pick a strategy (MinWork / Prune / hand-written), usually from
+//      EstimatedSizes() or OracleSizes().
+//   3. Executor(&warehouse).Execute(strategy) runs it and clears the batch.
+#ifndef WUW_EXEC_WAREHOUSE_H_
+#define WUW_EXEC_WAREHOUSE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/size_estimator.h"
+#include "core/work_metric.h"
+#include "delta/delta_relation.h"
+#include "graph/vdag.h"
+#include "storage/catalog.h"
+#include "view/maintenance.h"
+
+namespace wuw {
+
+/// A fully materialized warehouse instance.
+class Warehouse {
+ public:
+  explicit Warehouse(Vdag vdag);
+
+  Warehouse(Warehouse&&) = default;
+  Warehouse& operator=(Warehouse&&) = default;
+
+  const Vdag& vdag() const { return vdag_; }
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Direct access to a base view's extent for initial loading.
+  Table* base_table(const std::string& name);
+
+  /// (Re)materializes every derived view bottom-up from the current base
+  /// extents, refreshing the join-cardinality statistics.
+  void RecomputeDerived();
+
+  /// Registers the incoming changes of a base view for the next update
+  /// window.  Replaces any delta already pending for that view.
+  void SetBaseDelta(const std::string& name, DeltaRelation delta);
+
+  /// Merges another batch into the pending delta (deferred maintenance:
+  /// changes from several periods accumulate before one update window).
+  void MergeBaseDelta(const std::string& name, const DeltaRelation& delta);
+
+  /// The pending delta of a base view (empty delta if none was set).
+  const DeltaRelation& base_delta(const std::string& name) const;
+
+  /// The per-view raw-delta accumulator used during strategy execution.
+  DeltaAccumulator* accumulator(const std::string& name);
+
+  /// Clears pending base deltas and accumulators (Executor calls this
+  /// after a successful run).
+  void ResetBatch();
+
+  /// Analytic size statistics for the pending batch (Section 5.5's
+  /// "standard result size estimation"): exact for base views, first-order
+  /// model for derived views.
+  SizeMap EstimatedSizes() const;
+
+  /// Statistics-based estimation: runs an ANALYZE pass (per-column
+  /// distinct counts and ranges over every extent and pending delta) and
+  /// feeds the System-R cardinality model (stats/delta_estimator.h).
+  /// Slower than EstimatedSizes() but far tighter on filtered/insert-heavy
+  /// batches.
+  SizeMap EstimatedSizesWithStats() const;
+
+  /// Exact size statistics, obtained by executing a throwaway dual-stage
+  /// update on a cloned warehouse and measuring every finalized delta.
+  /// Expensive; used by tests and calibration.
+  SizeMap OracleSizes() const;
+
+  /// Deep copy (tables, pending deltas); accumulators start fresh.
+  Warehouse Clone() const;
+
+  /// Pre-aggregation join cardinality recorded at the last recompute.
+  int64_t join_rows(const std::string& view) const;
+
+ private:
+  Vdag vdag_;
+  Catalog catalog_;
+  std::unordered_map<std::string, DeltaRelation> base_deltas_;
+  std::unordered_map<std::string, std::unique_ptr<DeltaAccumulator>>
+      accumulators_;
+  std::unordered_map<std::string, int64_t> join_rows_;
+  /// Schema-typed empty deltas handed out for base views with no pending
+  /// changes.
+  std::unordered_map<std::string, DeltaRelation> empty_deltas_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_EXEC_WAREHOUSE_H_

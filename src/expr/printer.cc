@@ -1,0 +1,86 @@
+#include "expr/printer.h"
+
+namespace wuw {
+
+namespace {
+
+const char* ArithSymbol(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+const char* CompareSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string LiteralToSql(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kString: {
+      // SQL string literal with embedded quotes doubled.
+      std::string out = "'";
+      for (char c : v.AsString()) {
+        if (c == '\'') out += '\'';
+        out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case TypeId::kDate:
+      return "DATE '" + v.ToString() + "'";
+    default:
+      return v.ToString();
+  }
+}
+
+}  // namespace
+
+std::string ExprToSql(const ScalarExpr& e) {
+  switch (e.kind()) {
+    case ExprKind::kColumn:
+      return e.column_name();
+    case ExprKind::kLiteral:
+      return LiteralToSql(e.literal());
+    case ExprKind::kArith:
+      return "(" + ExprToSql(*e.lhs()) + " " + ArithSymbol(e.arith_op()) +
+             " " + ExprToSql(*e.rhs()) + ")";
+    case ExprKind::kCompare:
+      return ExprToSql(*e.lhs()) + " " + CompareSymbol(e.compare_op()) + " " +
+             ExprToSql(*e.rhs());
+    case ExprKind::kLogical:
+      return "(" + ExprToSql(*e.lhs()) +
+             (e.logical_op() == LogicalOp::kAnd ? " AND " : " OR ") +
+             ExprToSql(*e.rhs()) + ")";
+    case ExprKind::kNot:
+      return "NOT (" + ExprToSql(*e.lhs()) + ")";
+  }
+  return "?";
+}
+
+std::string ExprToSql(const ScalarExpr::Ptr& expr) {
+  return expr ? ExprToSql(*expr) : std::string("TRUE");
+}
+
+}  // namespace wuw

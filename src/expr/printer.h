@@ -1,0 +1,19 @@
+// SQL-flavoured pretty printing of scalar expressions, used by the stored-
+// procedure script generator (sqlgen/) and debug output.
+#ifndef WUW_EXPR_PRINTER_H_
+#define WUW_EXPR_PRINTER_H_
+
+#include <string>
+
+#include "expr/scalar_expr.h"
+
+namespace wuw {
+
+/// Renders `expr` as SQL text, e.g.
+/// "(l_extendedprice * (1 - l_discount))".
+std::string ExprToSql(const ScalarExpr& expr);
+std::string ExprToSql(const ScalarExpr::Ptr& expr);
+
+}  // namespace wuw
+
+#endif  // WUW_EXPR_PRINTER_H_

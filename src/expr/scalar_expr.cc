@@ -1,0 +1,83 @@
+#include "expr/scalar_expr.h"
+
+#include <set>
+
+namespace wuw {
+
+ScalarExpr::Ptr ScalarExpr::Column(std::string name) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ExprKind::kColumn;
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ScalarExpr::Ptr ScalarExpr::Literal(Value v) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ScalarExpr::Ptr ScalarExpr::Arith(ArithOp op, Ptr lhs, Ptr rhs) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ExprKind::kArith;
+  e->arith_op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ScalarExpr::Ptr ScalarExpr::Compare(CompareOp op, Ptr lhs, Ptr rhs) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ExprKind::kCompare;
+  e->compare_op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ScalarExpr::Ptr ScalarExpr::Logical(LogicalOp op, Ptr lhs, Ptr rhs) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ExprKind::kLogical;
+  e->logical_op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ScalarExpr::Ptr ScalarExpr::Not(Ptr operand) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = ExprKind::kNot;
+  e->lhs_ = std::move(operand);
+  return e;
+}
+
+ScalarExpr::Ptr ScalarExpr::AndAll(const std::vector<Ptr>& terms) {
+  if (terms.empty()) return True();
+  Ptr acc = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) acc = And(acc, terms[i]);
+  return acc;
+}
+
+namespace {
+void Collect(const ScalarExpr& e, std::set<std::string>* out) {
+  switch (e.kind()) {
+    case ExprKind::kColumn:
+      out->insert(e.column_name());
+      break;
+    case ExprKind::kLiteral:
+      break;
+    default:
+      if (e.lhs()) Collect(*e.lhs(), out);
+      if (e.rhs()) Collect(*e.rhs(), out);
+  }
+}
+}  // namespace
+
+std::vector<std::string> ScalarExpr::ReferencedColumns() const {
+  std::set<std::string> set;
+  Collect(*this, &set);
+  return {set.begin(), set.end()};
+}
+
+}  // namespace wuw

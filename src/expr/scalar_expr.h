@@ -1,0 +1,92 @@
+// Scalar expression trees over tuple columns.
+//
+// These expressions appear in three places: selection filters of view
+// definitions, projection items, and aggregate arguments (e.g. the TPC-D
+// revenue term l_extendedprice * (1 - l_discount)).  Expressions reference
+// columns by name and are bound to a concrete Schema before evaluation
+// (see evaluator.h).
+#ifndef WUW_EXPR_SCALAR_EXPR_H_
+#define WUW_EXPR_SCALAR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace wuw {
+
+enum class ExprKind : uint8_t {
+  kColumn,
+  kLiteral,
+  kArith,
+  kCompare,
+  kLogical,
+  kNot,
+};
+
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp : uint8_t { kAnd, kOr };
+
+/// Immutable expression node.  Shared subtrees are allowed (the tree is
+/// read-only after construction).
+class ScalarExpr {
+ public:
+  using Ptr = std::shared_ptr<const ScalarExpr>;
+
+  /// Column reference by name.
+  static Ptr Column(std::string name);
+  /// Constant.
+  static Ptr Literal(Value v);
+  static Ptr Arith(ArithOp op, Ptr lhs, Ptr rhs);
+  static Ptr Compare(CompareOp op, Ptr lhs, Ptr rhs);
+  static Ptr Logical(LogicalOp op, Ptr lhs, Ptr rhs);
+  static Ptr Not(Ptr operand);
+
+  // Convenience factories for the common filter shapes.
+  static Ptr ColEqString(const std::string& col, const std::string& s) {
+    return Compare(CompareOp::kEq, Column(col), Literal(Value::String(s)));
+  }
+  static Ptr ColLtDate(const std::string& col, int64_t yyyymmdd) {
+    return Compare(CompareOp::kLt, Column(col), Literal(Value::Date(yyyymmdd)));
+  }
+  static Ptr ColGtDate(const std::string& col, int64_t yyyymmdd) {
+    return Compare(CompareOp::kGt, Column(col), Literal(Value::Date(yyyymmdd)));
+  }
+  static Ptr ColGeDate(const std::string& col, int64_t yyyymmdd) {
+    return Compare(CompareOp::kGe, Column(col), Literal(Value::Date(yyyymmdd)));
+  }
+  static Ptr And(Ptr a, Ptr b) { return Logical(LogicalOp::kAnd, a, b); }
+  /// Conjunction of a list; empty list yields literal TRUE.
+  static Ptr AndAll(const std::vector<Ptr>& terms);
+  static Ptr True() { return Literal(Value::Int64(1)); }
+
+  ExprKind kind() const { return kind_; }
+  const std::string& column_name() const { return column_name_; }
+  const Value& literal() const { return literal_; }
+  ArithOp arith_op() const { return arith_op_; }
+  CompareOp compare_op() const { return compare_op_; }
+  LogicalOp logical_op() const { return logical_op_; }
+  const Ptr& lhs() const { return lhs_; }
+  const Ptr& rhs() const { return rhs_; }
+
+  /// All column names referenced by this subtree (with duplicates removed).
+  std::vector<std::string> ReferencedColumns() const;
+
+ private:
+  ScalarExpr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  std::string column_name_;
+  Value literal_;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  CompareOp compare_op_ = CompareOp::kEq;
+  LogicalOp logical_op_ = LogicalOp::kAnd;
+  Ptr lhs_;
+  Ptr rhs_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_EXPR_SCALAR_EXPR_H_

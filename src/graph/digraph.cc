@@ -1,0 +1,87 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+
+namespace wuw {
+
+Digraph::Digraph(size_t num_nodes) : deps_(num_nodes) {}
+
+void Digraph::AddEdge(size_t node, size_t prerequisite) {
+  deps_[node].push_back(prerequisite);
+}
+
+std::optional<std::vector<size_t>> Digraph::TopologicalSort() const {
+  const size_t n = deps_.size();
+  // dependents[v] = nodes that depend on v; indegree = #prerequisites.
+  std::vector<std::vector<size_t>> dependents(n);
+  std::vector<size_t> indegree(n, 0);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v : deps_[u]) {
+      dependents[v].push_back(u);
+      ++indegree[u];
+    }
+  }
+  std::priority_queue<size_t, std::vector<size_t>, std::greater<>> ready;
+  for (size_t u = 0; u < n; ++u) {
+    if (indegree[u] == 0) ready.push(u);
+  }
+  std::vector<size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    size_t u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (size_t w : dependents[u]) {
+      if (--indegree[w] == 0) ready.push(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool Digraph::HasCycle() const { return !TopologicalSort().has_value(); }
+
+std::vector<size_t> Digraph::FindCycle() const {
+  const size_t n = deps_.size();
+  enum { kWhite, kGray, kBlack };
+  std::vector<int> color(n, kWhite);
+  std::vector<size_t> parent(n, SIZE_MAX);
+
+  // Iterative DFS over prerequisite edges.
+  for (size_t root = 0; root < n; ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<std::pair<size_t, size_t>> stack;  // (node, next child idx)
+    stack.emplace_back(root, 0);
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [u, child] = stack.back();
+      if (child < deps_[u].size()) {
+        size_t v = deps_[u][child++];
+        if (color[v] == kWhite) {
+          color[v] = kGray;
+          parent[v] = u;
+          stack.emplace_back(v, 0);
+        } else if (color[v] == kGray) {
+          // Found a cycle v -> ... -> u -> v (u depends on v).
+          std::vector<size_t> cycle;
+          size_t w = u;
+          cycle.push_back(v);
+          while (w != v && w != SIZE_MAX) {
+            cycle.push_back(w);
+            w = parent[w];
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+      } else {
+        color[u] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace wuw

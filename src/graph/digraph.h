@@ -1,0 +1,44 @@
+// A small directed-graph utility: cycle detection and deterministic
+// topological sorting, shared by the VDAG and the expression graphs.
+#ifndef WUW_GRAPH_DIGRAPH_H_
+#define WUW_GRAPH_DIGRAPH_H_
+
+#include <optional>
+#include <vector>
+
+namespace wuw {
+
+/// Directed graph over nodes 0..n-1.  Edges are *dependency* edges:
+/// AddEdge(u, v) declares "u depends on v", i.e. v must come before u in
+/// any topological order.  (The paper's expression graphs draw an edge from
+/// Ej to Ei when Ej must follow Ei — the same orientation.)
+class Digraph {
+ public:
+  explicit Digraph(size_t num_nodes);
+
+  size_t num_nodes() const { return deps_.size(); }
+
+  /// Declares that `node` must come after `prerequisite`.  Duplicate edges
+  /// are tolerated.
+  void AddEdge(size_t node, size_t prerequisite);
+
+  const std::vector<size_t>& prerequisites(size_t node) const {
+    return deps_[node];
+  }
+
+  bool HasCycle() const;
+
+  /// Deterministic topological order (prerequisites first; ties broken by
+  /// smallest node index).  nullopt if cyclic.
+  std::optional<std::vector<size_t>> TopologicalSort() const;
+
+  /// Nodes of one cycle (in order), for diagnostics; empty if acyclic.
+  std::vector<size_t> FindCycle() const;
+
+ private:
+  std::vector<std::vector<size_t>> deps_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_GRAPH_DIGRAPH_H_

@@ -1,0 +1,59 @@
+#include "graph/dot.h"
+
+namespace wuw {
+
+namespace {
+
+std::string Quote(const std::string& s) { return "\"" + s + "\""; }
+
+}  // namespace
+
+std::string VdagToDot(const Vdag& vdag) {
+  std::string out = "digraph vdag {\n  rankdir=BT;\n";
+  for (const std::string& name : vdag.view_names()) {
+    out += "  " + Quote(name);
+    if (vdag.IsBaseView(name)) {
+      out += " [shape=box]";
+    } else {
+      out += " [shape=ellipse, label=" +
+             Quote(name + "\\nlevel " + std::to_string(vdag.Level(name))) +
+             "]";
+    }
+    out += ";\n";
+  }
+  for (const std::string& name : vdag.DerivedViewsBottomUp()) {
+    for (const std::string& src : vdag.sources(name)) {
+      out += "  " + Quote(name) + " -> " + Quote(src) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ExpressionGraphToDot(const Vdag& vdag,
+                                 const std::vector<std::string>& ordering,
+                                 bool strong) {
+  ExpressionGraph eg = strong
+                           ? ExpressionGraph::ConstructSEG(vdag, ordering)
+                           : ExpressionGraph::ConstructEG(vdag, ordering);
+  std::string out = "digraph expression_graph {\n";
+  out += "  label=\"" + std::string(strong ? "SEG" : "EG") +
+         (eg.IsAcyclic() ? " (acyclic)" : " (CYCLIC)") + "\";\n";
+  const auto& nodes = eg.nodes();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out += "  n" + std::to_string(i) + " [label=" +
+           Quote(nodes[i].ToString()) +
+           (nodes[i].is_inst() ? ", shape=box" : "") + "];\n";
+  }
+  for (size_t u = 0; u < nodes.size(); ++u) {
+    for (size_t v : eg.graph().prerequisites(u)) {
+      // Paper orientation: an edge from E_j to E_i means E_j follows E_i.
+      out += "  n" + std::to_string(u) + " -> n" + std::to_string(v) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace wuw

@@ -1,0 +1,28 @@
+// Graphviz DOT rendering for VDAGs and expression graphs — documentation
+// and debugging aids (the paper's Figures 3, 4, 7 and 16 are exactly these
+// drawings).
+#ifndef WUW_GRAPH_DOT_H_
+#define WUW_GRAPH_DOT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/expression_graph.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// DOT digraph of the VDAG: edges point from each derived view to the
+/// views it is defined over (as in Figures 1-4).
+std::string VdagToDot(const Vdag& vdag);
+
+/// DOT digraph of an expression graph: an edge E_j -> E_i means E_j must
+/// follow E_i (as in Figures 7 and 16).  Cyclic graphs render fine — the
+/// cycle is the interesting part.
+std::string ExpressionGraphToDot(const Vdag& vdag,
+                                 const std::vector<std::string>& ordering,
+                                 bool strong = false);
+
+}  // namespace wuw
+
+#endif  // WUW_GRAPH_DOT_H_

@@ -1,0 +1,161 @@
+#include "graph/vdag.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wuw {
+
+void Vdag::AddBaseView(const std::string& name, Schema schema) {
+  WUW_CHECK(!HasView(name), ("duplicate view: " + name).c_str());
+  Node n;
+  n.name = name;
+  n.is_base = true;
+  n.base_schema = std::move(schema);
+  n.level = 0;
+  nodes_.emplace(name, std::move(n));
+  names_.push_back(name);
+}
+
+void Vdag::AddDerivedView(std::shared_ptr<const ViewDefinition> def) {
+  WUW_CHECK(def != nullptr, "null view definition");
+  const std::string& name = def->name();
+  WUW_CHECK(!HasView(name), ("duplicate view: " + name).c_str());
+  int level = 0;
+  for (const std::string& src : def->sources()) {
+    WUW_CHECK(HasView(src),
+              ("view defined over unregistered source: " + src).c_str());
+    level = std::max(level, node(src).level + 1);
+  }
+  Node n;
+  n.name = name;
+  n.is_base = false;
+  n.def = def;
+  n.sources = def->sources();
+  n.level = level;
+  nodes_.emplace(name, std::move(n));
+  names_.push_back(name);
+  for (const std::string& src : def->sources()) {
+    node(src).parents.push_back(name);
+  }
+}
+
+bool Vdag::HasView(const std::string& name) const {
+  return nodes_.count(name) > 0;
+}
+
+bool Vdag::IsBaseView(const std::string& name) const {
+  return node(name).is_base;
+}
+
+const Vdag::Node& Vdag::node(const std::string& name) const {
+  auto it = nodes_.find(name);
+  WUW_CHECK(it != nodes_.end(), ("no such view: " + name).c_str());
+  return it->second;
+}
+
+Vdag::Node& Vdag::node(const std::string& name) {
+  auto it = nodes_.find(name);
+  WUW_CHECK(it != nodes_.end(), ("no such view: " + name).c_str());
+  return it->second;
+}
+
+const std::shared_ptr<const ViewDefinition>& Vdag::definition(
+    const std::string& name) const {
+  const Node& n = node(name);
+  WUW_CHECK(!n.is_base, ("base view has no definition: " + name).c_str());
+  return n.def;
+}
+
+const std::vector<std::string>& Vdag::sources(const std::string& name) const {
+  return node(name).sources;
+}
+
+const std::vector<std::string>& Vdag::parents(const std::string& name) const {
+  return node(name).parents;
+}
+
+const Schema& Vdag::OutputSchema(const std::string& name) const {
+  auto it = schema_cache_.find(name);
+  if (it != schema_cache_.end()) return it->second;
+  const Node& n = node(name);
+  Schema schema =
+      n.is_base ? n.base_schema
+                : n.def->OutputSchema([this](const std::string& src)
+                                          -> const Schema& {
+                    return OutputSchema(src);
+                  });
+  return schema_cache_.emplace(name, std::move(schema)).first->second;
+}
+
+int Vdag::Level(const std::string& name) const { return node(name).level; }
+
+int Vdag::MaxLevel() const {
+  int level = 0;
+  for (const std::string& name : names_) {
+    level = std::max(level, Level(name));
+  }
+  return level;
+}
+
+bool Vdag::IsTree() const {
+  for (const std::string& name : names_) {
+    if (node(name).parents.size() > 1) return false;
+  }
+  return true;
+}
+
+bool Vdag::IsUniform() const {
+  for (const std::string& name : names_) {
+    const Node& n = node(name);
+    if (n.is_base) continue;
+    for (const std::string& src : n.sources) {
+      if (node(src).level != n.level - 1) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> Vdag::DerivedViewsBottomUp() const {
+  std::vector<std::string> out;
+  for (const std::string& name : names_) {
+    if (!node(name).is_base) out.push_back(name);
+  }
+  return out;  // registration order is already bottom-up
+}
+
+std::vector<std::string> Vdag::BaseViews() const {
+  std::vector<std::string> out;
+  for (const std::string& name : names_) {
+    if (node(name).is_base) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> Vdag::ViewsWithParents() const {
+  std::vector<std::string> out;
+  for (const std::string& name : names_) {
+    if (!node(name).parents.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+std::string Vdag::ToString() const {
+  std::string out;
+  for (const std::string& name : names_) {
+    const Node& n = node(name);
+    out += name + " (level " + std::to_string(n.level) + ")";
+    if (!n.is_base) {
+      out += " over {";
+      for (size_t i = 0; i < n.sources.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += n.sources[i];
+      }
+      out += "}";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wuw

@@ -1,0 +1,101 @@
+// The view DAG (VDAG) of Section 2: the warehouse's views and their
+// defined-over relationships.
+//
+// Base views (dimension/fact tables derived from remote sources) carry a
+// schema; derived views (summary tables) carry a ViewDefinition over other
+// views.  An edge Vj -> Vi means Vj is defined over Vi.
+#ifndef WUW_GRAPH_VDAG_H_
+#define WUW_GRAPH_VDAG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/schema.h"
+#include "view/view_definition.h"
+
+namespace wuw {
+
+/// A warehouse's view graph.  Immutable once built (views are appended in
+/// dependency order: every source must already be registered).
+class Vdag {
+ public:
+  Vdag() = default;
+
+  /// Registers a base view with its schema.
+  void AddBaseView(const std::string& name, Schema schema);
+
+  /// Registers a derived view; all its sources must already exist.
+  void AddDerivedView(std::shared_ptr<const ViewDefinition> def);
+
+  size_t num_views() const { return names_.size(); }
+  /// View names in registration order (a valid bottom-up order).
+  const std::vector<std::string>& view_names() const { return names_; }
+
+  bool HasView(const std::string& name) const;
+  bool IsBaseView(const std::string& name) const;
+  bool IsDerivedView(const std::string& name) const {
+    return HasView(name) && !IsBaseView(name);
+  }
+
+  /// Definition of a derived view (aborts for base views).
+  const std::shared_ptr<const ViewDefinition>& definition(
+      const std::string& name) const;
+
+  /// Views `name` is defined over (empty for base views).
+  const std::vector<std::string>& sources(const std::string& name) const;
+
+  /// Views defined over `name` ("parents": the consumers of δname).
+  const std::vector<std::string>& parents(const std::string& name) const;
+
+  /// Output schema of any view (base schema or definition output schema),
+  /// resolved recursively and cached.
+  const Schema& OutputSchema(const std::string& name) const;
+
+  /// Level(V): maximum distance to a base view (Section 2).
+  int Level(const std::string& name) const;
+  int MaxLevel() const;
+
+  /// Tree VDAG (Def 5.1): no view is used in the definition of more than
+  /// one other view.
+  bool IsTree() const;
+
+  /// Uniform VDAG (Def 5.2): every derived view at level i is defined only
+  /// over views at level i-1.
+  bool IsUniform() const;
+
+  /// Derived views in bottom-up (source-before-consumer) order.
+  std::vector<std::string> DerivedViewsBottomUp() const;
+
+  /// Base view names in registration order.
+  std::vector<std::string> BaseViews() const;
+
+  /// Views with at least one parent — the m views whose install position
+  /// matters (Section 6's m! optimization of Prune).
+  std::vector<std::string> ViewsWithParents() const;
+
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    std::string name;
+    bool is_base;
+    Schema base_schema;  // base views only
+    std::shared_ptr<const ViewDefinition> def;  // derived views only
+    std::vector<std::string> sources;
+    std::vector<std::string> parents;
+    int level = 0;
+  };
+
+  const Node& node(const std::string& name) const;
+  Node& node(const std::string& name);
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Node> nodes_;
+  mutable std::unordered_map<std::string, Schema> schema_cache_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_GRAPH_VDAG_H_

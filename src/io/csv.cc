@@ -1,0 +1,281 @@
+#include "io/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+namespace wuw {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string ValueToField(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull:
+      return "";
+    case TypeId::kString:
+      return QuoteField(v.AsString());
+    default:
+      return v.ToString();
+  }
+}
+
+/// Reads one CSV record starting at *pos, honoring quoted fields (which
+/// may contain commas, quotes, and newlines).  Advances *pos past the
+/// record's newline.  Returns false at end of input or on error (error
+/// set only in the latter case).
+bool ReadRecord(const std::string& csv, size_t* pos,
+                std::vector<std::string>* fields, std::string* error) {
+  fields->clear();
+  size_t i = *pos;
+  if (i >= csv.size()) return false;
+  std::string current;
+  bool in_quotes = false;
+  bool any = false;
+  while (i < csv.size()) {
+    char c = csv[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          current += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      any = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields->push_back(std::move(current));
+      current.clear();
+      any = true;
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      ++i;
+      break;
+    }
+    if (c == '\r' && i + 1 < csv.size() && csv[i + 1] == '\n') {
+      i += 2;
+      break;
+    }
+    current += c;
+    any = true;
+    ++i;
+  }
+  if (in_quotes) {
+    *error = "unterminated quoted field";
+    return false;
+  }
+  *pos = i;
+  if (!any && current.empty() && fields->empty()) {
+    // Blank line: skip to the next record (recursion depth = #blank lines,
+    // negligible in practice).
+    return ReadRecord(csv, pos, fields, error);
+  }
+  fields->push_back(std::move(current));
+  return true;
+}
+
+bool ParseValue(const std::string& field, TypeId type, Value* out,
+                std::string* error) {
+  if (field.empty() && type != TypeId::kString) {
+    *out = Value::Null();
+    return true;
+  }
+  char* end = nullptr;
+  switch (type) {
+    case TypeId::kInt64: {
+      int64_t v = strtoll(field.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        *error = "bad INT64 value: " + field;
+        return false;
+      }
+      *out = Value::Int64(v);
+      return true;
+    }
+    case TypeId::kDouble: {
+      double v = strtod(field.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        *error = "bad DOUBLE value: " + field;
+        return false;
+      }
+      *out = Value::Double(v);
+      return true;
+    }
+    case TypeId::kDate: {
+      int year = 0, month = 0, day = 0;
+      if (std::sscanf(field.c_str(), "%d-%d-%d", &year, &month, &day) != 3) {
+        *error = "bad DATE value (want yyyy-mm-dd): " + field;
+        return false;
+      }
+      *out = Value::Date(year, month, day);
+      return true;
+    }
+    case TypeId::kString:
+      *out = Value::String(field);
+      return true;
+    case TypeId::kNull:
+      *out = Value::Null();
+      return true;
+  }
+  *error = "unknown column type";
+  return false;
+}
+
+std::string Header(const Schema& schema) {
+  std::string out = "__count";
+  for (const Column& c : schema.columns()) {
+    out += ",";
+    out += QuoteField(c.name);
+  }
+  out += "\n";
+  return out;
+}
+
+std::string Record(const Tuple& tuple, int64_t count) {
+  std::string line = std::to_string(count);
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    line += ",";
+    line += ValueToField(tuple.value(i));
+  }
+  line += "\n";
+  return line;
+}
+
+/// Shared reader: parses header + records, calling `emit(tuple, count)`.
+bool ParseCsv(const std::string& csv, const Schema& schema,
+              const std::function<void(Tuple, int64_t)>& emit,
+              std::string* error) {
+  size_t pos = 0;
+  size_t line_no = 0;
+  bool saw_header = false;
+  bool has_count_column = false;
+  std::vector<std::string> fields;
+  while (true) {
+    std::string read_error;
+    if (!ReadRecord(csv, &pos, &fields, &read_error)) {
+      if (!read_error.empty()) {
+        *error = read_error + " at record " + std::to_string(line_no + 1);
+        return false;
+      }
+      break;  // end of input
+    }
+    ++line_no;
+    // Trailing \r from CRLF already handled; strip any stray one.
+    if (!fields.empty() && !fields.back().empty() &&
+        fields.back().back() == '\r') {
+      fields.back().pop_back();
+    }
+    if (!saw_header) {
+      saw_header = true;
+      has_count_column = !fields.empty() && fields[0] == "__count";
+      size_t expected = schema.num_columns() + (has_count_column ? 1 : 0);
+      if (fields.size() != expected) {
+        *error = "header has " + std::to_string(fields.size()) +
+                 " columns, schema expects " + std::to_string(expected);
+        return false;
+      }
+      for (size_t i = 0; i < schema.num_columns(); ++i) {
+        const std::string& got = fields[i + (has_count_column ? 1 : 0)];
+        if (got != schema.column(i).name) {
+          *error = "header column '" + got + "' does not match schema '" +
+                   schema.column(i).name + "'";
+          return false;
+        }
+      }
+      continue;
+    }
+    size_t offset = has_count_column ? 1 : 0;
+    if (fields.size() != schema.num_columns() + offset) {
+      *error = "line " + std::to_string(line_no) + " has " +
+               std::to_string(fields.size()) + " fields";
+      return false;
+    }
+    int64_t count = 1;
+    if (has_count_column) {
+      char* end = nullptr;
+      count = strtoll(fields[0].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || count == 0) {
+        *error = "bad __count at line " + std::to_string(line_no);
+        return false;
+      }
+    }
+    std::vector<Value> values(schema.num_columns());
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      if (!ParseValue(fields[i + offset], schema.column(i).type, &values[i],
+                      error)) {
+        *error += " at line " + std::to_string(line_no);
+        return false;
+      }
+    }
+    emit(Tuple(std::move(values)), count);
+  }
+  if (!saw_header) {
+    *error = "empty CSV (no header)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out = Header(table.schema());
+  for (const auto& [tuple, count] : table.SortedRows()) {
+    out += Record(tuple, count);
+  }
+  return out;
+}
+
+bool CsvToTable(const std::string& csv, Table* table, std::string* error) {
+  return ParseCsv(
+      csv, table->schema(),
+      [&](Tuple t, int64_t count) { table->Add(t, count); }, error);
+}
+
+std::string DeltaToCsv(const DeltaRelation& delta) {
+  std::string out = Header(delta.schema());
+  std::vector<std::pair<Tuple, int64_t>> rows;
+  delta.ForEach([&](const Tuple& t, int64_t c) { rows.emplace_back(t, c); });
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [tuple, count] : rows) out += Record(tuple, count);
+  return out;
+}
+
+bool CsvToDelta(const std::string& csv, DeltaRelation* delta,
+                std::string* error) {
+  return ParseCsv(
+      csv, delta->schema(),
+      [&](Tuple t, int64_t count) { delta->Add(t, count); }, error);
+}
+
+}  // namespace wuw

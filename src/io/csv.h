@@ -1,0 +1,38 @@
+// CSV import/export for tables and delta relations.
+//
+// The warehouse's "extractor" interface: base-view snapshots and change
+// batches arrive as flat files in practice, and the examples/tools load
+// them from here.  Format: RFC-4180-ish, header row with column names,
+// values parsed per the table schema's column types (dates as yyyy-mm-dd).
+// Delta CSVs carry a leading "__count" column holding the signed
+// multiplicity.
+#ifndef WUW_IO_CSV_H_
+#define WUW_IO_CSV_H_
+
+#include <string>
+
+#include "delta/delta_relation.h"
+#include "storage/table.h"
+
+namespace wuw {
+
+/// Renders `table` as CSV (header + one line per distinct tuple per unit
+/// of multiplicity... no: multiplicity emitted via a leading __count
+/// column, keeping files compact for multisets).
+std::string TableToCsv(const Table& table);
+
+/// Parses CSV into `table` (whose schema determines column count/types).
+/// The header must match the schema's column names (with an optional
+/// leading __count column).  Returns false and fills *error on failure.
+bool CsvToTable(const std::string& csv, Table* table, std::string* error);
+
+/// Renders a delta relation as CSV with the signed __count column.
+std::string DeltaToCsv(const DeltaRelation& delta);
+
+/// Parses CSV (with __count column) into `delta`.
+bool CsvToDelta(const std::string& csv, DeltaRelation* delta,
+                std::string* error);
+
+}  // namespace wuw
+
+#endif  // WUW_IO_CSV_H_

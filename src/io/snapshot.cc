@@ -1,0 +1,119 @@
+#include "io/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+
+#include "io/csv.h"
+#include "parser/ddl_parser.h"
+
+namespace wuw {
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& contents,
+               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    *error = "cannot open " + path + " for writing: " + std::strerror(errno);
+    return false;
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  if (written != contents.size()) {
+    *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* contents,
+              std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  contents->clear();
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents->append(buffer, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    *error = "read error on " + path;
+    return false;
+  }
+  return true;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+bool SaveWarehouse(const Warehouse& warehouse, const std::string& dir,
+                   std::string* error) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    *error = "cannot create directory " + dir + ": " + std::strerror(errno);
+    return false;
+  }
+  const Vdag& vdag = warehouse.vdag();
+  if (!WriteFile(dir + "/schema.sql", DumpWarehouseScript(vdag), error)) {
+    return false;
+  }
+  for (const std::string& base : vdag.BaseViews()) {
+    const Table& table = *warehouse.catalog().MustGetTable(base);
+    if (!WriteFile(dir + "/" + base + ".csv", TableToCsv(table), error)) {
+      return false;
+    }
+    const DeltaRelation& delta = warehouse.base_delta(base);
+    std::string delta_path = dir + "/" + base + ".delta.csv";
+    if (!delta.empty()) {
+      if (!WriteFile(delta_path, DeltaToCsv(delta), error)) return false;
+    } else if (FileExists(delta_path)) {
+      std::remove(delta_path.c_str());
+    }
+  }
+  return true;
+}
+
+bool LoadWarehouse(const std::string& dir, Warehouse* out,
+                   std::string* error) {
+  std::string schema_sql;
+  if (!ReadFile(dir + "/schema.sql", &schema_sql, error)) return false;
+  ParsedWarehouse parsed = ParseWarehouseScript(schema_sql);
+  if (!parsed.ok()) {
+    *error = "schema.sql: " + parsed.error;
+    return false;
+  }
+  *out = Warehouse(std::move(parsed.vdag));
+  for (const std::string& base : out->vdag().BaseViews()) {
+    std::string csv;
+    if (!ReadFile(dir + "/" + base + ".csv", &csv, error)) return false;
+    if (!CsvToTable(csv, out->base_table(base), error)) {
+      *error = base + ".csv: " + *error;
+      return false;
+    }
+    std::string delta_path = dir + "/" + base + ".delta.csv";
+    if (FileExists(delta_path)) {
+      std::string delta_csv;
+      if (!ReadFile(delta_path, &delta_csv, error)) return false;
+      DeltaRelation delta(out->vdag().OutputSchema(base));
+      if (!CsvToDelta(delta_csv, &delta, error)) {
+        *error = base + ".delta.csv: " + *error;
+        return false;
+      }
+      out->SetBaseDelta(base, std::move(delta));
+    }
+  }
+  out->RecomputeDerived();
+  return true;
+}
+
+}  // namespace wuw

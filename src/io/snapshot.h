@@ -1,0 +1,30 @@
+// Warehouse snapshots: persist a warehouse as a directory of flat files.
+//
+//   <dir>/schema.sql     CREATE TABLE/VIEW script (parser/ddl_parser.h)
+//   <dir>/<base>.csv     one CSV per base view
+//   <dir>/<base>.delta.csv  pending change batch, if any
+//
+// Derived views are NOT persisted: LoadWarehouse rematerializes them from
+// the definitions, which doubles as an integrity check of the snapshot.
+#ifndef WUW_IO_SNAPSHOT_H_
+#define WUW_IO_SNAPSHOT_H_
+
+#include <string>
+
+#include "exec/warehouse.h"
+
+namespace wuw {
+
+/// Writes the warehouse to `dir` (created if absent).  Returns false and
+/// fills *error on I/O failure.
+bool SaveWarehouse(const Warehouse& warehouse, const std::string& dir,
+                   std::string* error);
+
+/// Reads a snapshot back: parses schema.sql, loads every base CSV, loads
+/// pending deltas, and recomputes derived views.  Returns false and fills
+/// *error on failure (*out is left in an unspecified state).
+bool LoadWarehouse(const std::string& dir, Warehouse* out, std::string* error);
+
+}  // namespace wuw
+
+#endif  // WUW_IO_SNAPSHOT_H_

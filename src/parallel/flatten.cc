@@ -1,0 +1,135 @@
+#include "parallel/flatten.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace wuw {
+
+namespace {
+
+using ReplacementMap =
+    std::unordered_map<std::string, ScalarExpr::Ptr>;
+
+/// Rewrites column references through `repl` (identity for unknown names).
+ScalarExpr::Ptr Substitute(const ScalarExpr::Ptr& e,
+                           const ReplacementMap& repl) {
+  switch (e->kind()) {
+    case ExprKind::kColumn: {
+      auto it = repl.find(e->column_name());
+      return it == repl.end() ? e : it->second;
+    }
+    case ExprKind::kLiteral:
+      return e;
+    case ExprKind::kArith:
+      return ScalarExpr::Arith(e->arith_op(), Substitute(e->lhs(), repl),
+                               Substitute(e->rhs(), repl));
+    case ExprKind::kCompare:
+      return ScalarExpr::Compare(e->compare_op(), Substitute(e->lhs(), repl),
+                                 Substitute(e->rhs(), repl));
+    case ExprKind::kLogical:
+      return ScalarExpr::Logical(e->logical_op(), Substitute(e->lhs(), repl),
+                                 Substitute(e->rhs(), repl));
+    case ExprKind::kNot:
+      return ScalarExpr::Not(Substitute(e->lhs(), repl));
+  }
+  return e;
+}
+
+/// Name a replacement resolves to if it is a plain column; empty otherwise.
+std::string AsPlainColumn(const ReplacementMap& repl,
+                          const std::string& name) {
+  auto it = repl.find(name);
+  if (it == repl.end()) return name;
+  if (it->second->kind() == ExprKind::kColumn) {
+    return it->second->column_name();
+  }
+  return "";
+}
+
+}  // namespace
+
+std::shared_ptr<const ViewDefinition> FlattenDefinition(
+    const Vdag& vdag, const std::string& view) {
+  const auto original = vdag.definition(view);
+
+  // Which sources can be inlined?
+  bool any = false;
+  for (const std::string& src : original->sources()) {
+    if (vdag.IsDerivedView(src) && !vdag.definition(src)->is_aggregate()) {
+      any = true;
+    }
+  }
+  if (!any) return original;
+
+  std::vector<std::string> sources;
+  std::vector<JoinCondition> joins;
+  std::vector<ScalarExpr::Ptr> filters;
+  ReplacementMap repl;
+
+  for (const std::string& src : original->sources()) {
+    if (!vdag.IsDerivedView(src) || vdag.definition(src)->is_aggregate()) {
+      sources.push_back(src);
+      continue;
+    }
+    // Recursively flattened child definition.
+    auto child = FlattenDefinition(vdag, src);
+    for (const std::string& cs : child->sources()) {
+      // Duplicate base usage would create column collisions; bail out to
+      // the unflattened definition.
+      for (const std::string& existing : sources) {
+        if (existing == cs) return original;
+      }
+      sources.push_back(cs);
+    }
+    joins.insert(joins.end(), child->joins().begin(), child->joins().end());
+    filters.insert(filters.end(), child->filters().begin(),
+                   child->filters().end());
+    for (const ProjectItem& item : child->projections()) {
+      repl[item.name] = item.expr;
+    }
+  }
+
+  // Parent join conditions must land on plain columns after substitution.
+  for (const JoinCondition& jc : original->joins()) {
+    std::string l = AsPlainColumn(repl, jc.left_column);
+    std::string r = AsPlainColumn(repl, jc.right_column);
+    if (l.empty() || r.empty()) return original;
+    joins.push_back(JoinCondition{l, r});
+  }
+  for (const ScalarExpr::Ptr& f : original->filters()) {
+    filters.push_back(Substitute(f, repl));
+  }
+
+  ViewDefinitionBuilder builder(original->name());
+  for (const std::string& src : sources) builder.From(src);
+  for (const JoinCondition& jc : joins) {
+    builder.JoinOn(jc.left_column, jc.right_column);
+  }
+  for (const ScalarExpr::Ptr& f : filters) builder.Where(f);
+  for (const ProjectItem& item : original->projections()) {
+    builder.Select(Substitute(item.expr, repl), item.name);
+  }
+  for (const AggSpec& agg : original->aggregates()) {
+    if (agg.fn == AggFn::kCount) {
+      builder.Count(agg.name);
+    } else {
+      builder.Sum(Substitute(agg.arg, repl), agg.name);
+    }
+  }
+  return builder.Build();
+}
+
+Vdag FlattenVdag(const Vdag& vdag) {
+  Vdag out;
+  for (const std::string& name : vdag.view_names()) {
+    if (vdag.IsBaseView(name)) {
+      out.AddBaseView(name, vdag.OutputSchema(name));
+    } else {
+      out.AddDerivedView(FlattenDefinition(vdag, name));
+    }
+  }
+  return out;
+}
+
+}  // namespace wuw

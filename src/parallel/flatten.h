@@ -1,0 +1,38 @@
+// VDAG flattening (Section 9, technique 2).
+//
+// "If we only use dual-stage view strategies, we can remove any remaining
+// dependencies among the expressions by flattening the VDAG: when updating
+// V5 it may be possible to treat V5 as if it was defined on V1, V2 and V3
+// instead of V4" — then the compute expressions of V5 and V4 can run in
+// parallel.
+//
+// Flattening composes view definitions: a derived source that is an SPJ
+// view is inlined (its sources, joins and filters merged; its output
+// columns substituted by their defining expressions).  Aggregate sources
+// cannot be inlined — SUM/COUNT does not compose with a further join —
+// and stay as-is.
+#ifndef WUW_PARALLEL_FLATTEN_H_
+#define WUW_PARALLEL_FLATTEN_H_
+
+#include <memory>
+
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// Definition of `view` with every SPJ derived source inlined
+/// (recursively).  Returns the original definition when nothing can be
+/// inlined.  Requires that any inlined view's columns used in the parent's
+/// join conditions are plain column projections (true for natural
+/// key-preserving SPJ views).
+std::shared_ptr<const ViewDefinition> FlattenDefinition(
+    const Vdag& vdag, const std::string& view);
+
+/// A new VDAG where every derived view's definition is flattened as far as
+/// possible.  View extents are unchanged; only maintenance structure
+/// differs.
+Vdag FlattenVdag(const Vdag& vdag);
+
+}  // namespace wuw
+
+#endif  // WUW_PARALLEL_FLATTEN_H_

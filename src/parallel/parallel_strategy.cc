@@ -1,0 +1,143 @@
+#include "parallel/parallel_strategy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wuw {
+
+size_t ParallelStrategy::num_expressions() const {
+  size_t n = 0;
+  for (const auto& stage : stages) n += stage.size();
+  return n;
+}
+
+Strategy ParallelStrategy::Linearize() const {
+  Strategy out;
+  for (const auto& stage : stages) {
+    for (const Expression& e : stage) out.Append(e);
+  }
+  return out;
+}
+
+std::string ParallelStrategy::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    out += "stage " + std::to_string(i) + ": { ";
+    for (size_t j = 0; j < stages[i].size(); ++j) {
+      if (j > 0) out += "; ";
+      out += stages[i][j].ToString();
+    }
+    out += " }\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// True if `a` (earlier in the sequential strategy) and `b` (later) must
+/// stay ordered: one writes state the other touches.
+bool Conflicts(const Vdag& vdag, const Expression& a, const Expression& b) {
+  auto reads_extent = [&](const Expression& e, const std::string& view) {
+    if (!e.is_comp()) return false;  // Inst reads only its own delta
+    const auto& sources = vdag.sources(e.view);
+    if (std::find(sources.begin(), sources.end(), view) == sources.end()) {
+      return false;
+    }
+    // Extents of Y views are only read by the mixed terms of multi-view
+    // Comps; a 1-way Comp reads just the delta of its single Y view.
+    bool in_y = e.CompUses(view);
+    return !in_y || e.over.size() >= 2;
+  };
+  auto reads_delta = [&](const Expression& e, const std::string& view) {
+    return (e.is_comp() && e.CompUses(view)) ||
+           (e.is_inst() && e.view == view);
+  };
+
+  // Inst(X) writes extent X; Comp(V, ...) writes delta V.
+  if (a.is_inst()) {
+    if (b.is_inst()) return false;  // distinct views, no shared state
+    return reads_extent(b, a.view);
+  }
+  if (b.is_inst()) {
+    return reads_extent(a, b.view) || reads_delta(b, a.view);
+  }
+  // Both Comp: ordered iff one consumes the other's delta (C8-style).
+  return reads_delta(b, a.view) || reads_delta(a, b.view);
+}
+
+}  // namespace
+
+ParallelStrategy ParallelizeStrategy(const Vdag& vdag,
+                                     const Strategy& sequential) {
+  const auto& exprs = sequential.expressions();
+  const size_t n = exprs.size();
+
+  // predecessors[j] = earlier expressions j must wait for.
+  std::vector<std::vector<size_t>> preds(n);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      if (Conflicts(vdag, exprs[i], exprs[j])) preds[j].push_back(i);
+    }
+  }
+
+  ParallelStrategy out;
+  std::vector<bool> done(n, false);
+  size_t remaining = n;
+  while (remaining > 0) {
+    std::vector<Expression> stage;
+    std::vector<size_t> chosen;
+    for (size_t j = 0; j < n; ++j) {
+      if (done[j]) continue;
+      bool ready = true;
+      for (size_t p : preds[j]) {
+        if (!done[p]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        chosen.push_back(j);
+        stage.push_back(exprs[j]);
+      }
+    }
+    WUW_CHECK(!stage.empty(), "parallelization deadlock (conflict cycle?)");
+    for (size_t j : chosen) done[j] = true;
+    remaining -= chosen.size();
+    out.stages.push_back(std::move(stage));
+  }
+  return out;
+}
+
+MakespanReport EstimateMakespan(const Vdag& vdag,
+                                const ParallelStrategy& parallel,
+                                const SizeMap& sizes, const WorkParams& params,
+                                int workers) {
+  WUW_CHECK(workers >= 1, "need at least one worker");
+  WorkBreakdown breakdown =
+      EstimateStrategyWork(vdag, parallel.Linearize(), sizes, params);
+
+  MakespanReport report;
+  report.num_stages = parallel.stages.size();
+  report.total_work = breakdown.total;
+
+  size_t cursor = 0;
+  for (const auto& stage : parallel.stages) {
+    // LPT: sort stage works descending, assign each to the least-loaded
+    // worker.
+    std::vector<double> works;
+    for (size_t i = 0; i < stage.size(); ++i) {
+      works.push_back(breakdown.per_expression[cursor + i].work);
+    }
+    cursor += stage.size();
+    std::sort(works.rbegin(), works.rend());
+    std::vector<double> load(static_cast<size_t>(workers), 0.0);
+    for (double w : works) {
+      *std::min_element(load.begin(), load.end()) += w;
+    }
+    report.makespan += *std::max_element(load.begin(), load.end());
+  }
+  return report;
+}
+
+}  // namespace wuw

@@ -1,0 +1,58 @@
+// Parallel VDAG strategies (Section 9).
+//
+// "An alternative model of a VDAG strategy is a sequence of expression
+// sets, wherein each set can be answered by the database in parallel."
+// ParallelizeStrategy derives that form from a sequential strategy by
+// conflict analysis: two expressions may share a stage iff neither reads
+// state the other writes (extents written by Inst, deltas written by
+// Comp).  EstimateMakespan then prices the staged plan on k workers under
+// the linear work metric — exposing the paper's observation that the extra
+// parallelism of dual-stage/flattened strategies can be offset by their
+// extra total work.
+#ifndef WUW_PARALLEL_PARALLEL_STRATEGY_H_
+#define WUW_PARALLEL_PARALLEL_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "core/work_metric.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// A strategy as a sequence of concurrently-executable expression sets.
+struct ParallelStrategy {
+  std::vector<std::vector<Expression>> stages;
+
+  size_t num_expressions() const;
+  /// The sequential strategy obtained by concatenating stages (used for
+  /// correctness checking and work evaluation).
+  Strategy Linearize() const;
+  std::string ToString() const;
+};
+
+/// Stages `sequential` greedily: each stage takes every not-yet-scheduled
+/// expression whose conflicting predecessors are all scheduled.  The
+/// result preserves the sequential strategy's semantics (same final state,
+/// same per-expression work).
+ParallelStrategy ParallelizeStrategy(const Vdag& vdag,
+                                     const Strategy& sequential);
+
+struct MakespanReport {
+  double makespan = 0;
+  double total_work = 0;
+  size_t num_stages = 0;
+};
+
+/// Prices a staged plan on `workers` workers: per stage, expressions are
+/// LPT-packed; the stage costs its maximum worker load; stages run in
+/// sequence.
+MakespanReport EstimateMakespan(const Vdag& vdag,
+                                const ParallelStrategy& parallel,
+                                const SizeMap& sizes, const WorkParams& params,
+                                int workers);
+
+}  // namespace wuw
+
+#endif  // WUW_PARALLEL_PARALLEL_STRATEGY_H_

@@ -1,0 +1,38 @@
+// Warehouse DDL: building a whole VDAG from one SQL script.
+//
+//   CREATE TABLE customer (c_custkey INT, c_name TEXT, ...);
+//   CREATE TABLE orders (...);
+//   CREATE VIEW q3 AS SELECT ... FROM customer, orders ... GROUP BY ...;
+//
+// CREATE TABLE declares a base view (types: INT/INTEGER/BIGINT -> INT64,
+// DOUBLE/FLOAT/REAL -> DOUBLE, TEXT/VARCHAR/CHAR -> STRING, DATE -> DATE);
+// CREATE VIEW declares a derived view whose SELECT body goes through
+// ParseViewDefinition.  Statements end with ';'.  Views may reference any
+// previously declared table or view.
+#ifndef WUW_PARSER_DDL_PARSER_H_
+#define WUW_PARSER_DDL_PARSER_H_
+
+#include <string>
+
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// Result of parsing a warehouse script.
+struct ParsedWarehouse {
+  Vdag vdag;
+  std::string error;  // empty on success
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses a script of CREATE TABLE / CREATE VIEW statements into a Vdag.
+ParsedWarehouse ParseWarehouseScript(const std::string& sql);
+
+/// Renders a Vdag back to DDL (CREATE TABLE for bases, CREATE VIEW for
+/// derived views).  ParseWarehouseScript(DumpWarehouseScript(v)) yields an
+/// equivalent VDAG — the persistence format of io/snapshot.h.
+std::string DumpWarehouseScript(const Vdag& vdag);
+
+}  // namespace wuw
+
+#endif  // WUW_PARSER_DDL_PARSER_H_

@@ -1,0 +1,477 @@
+#include "parser/sql_parser.h"
+
+#include <vector>
+
+#include "parser/tokenizer.h"
+
+namespace wuw {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const std::string& error() const { return error_; }
+  bool failed() const { return !error_.empty(); }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool AtKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kIdentifier && Peek().text == kw;
+  }
+  bool AtSymbol(const char* sym) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == sym;
+  }
+
+  void Advance() {
+    if (tokens_[pos_].kind != TokenKind::kEnd) ++pos_;
+  }
+
+  bool ConsumeKeyword(const char* kw) {
+    if (!AtKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool ConsumeSymbol(const char* sym) {
+    if (!AtSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+
+  void Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " (near offset " + std::to_string(Peek().offset) +
+               ", got '" + (Peek().kind == TokenKind::kEnd ? "<end>"
+                                                           : Peek().raw) +
+               "')";
+    }
+  }
+
+  /// Expects an identifier token; returns its original spelling.
+  std::string ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      Fail(std::string("expected ") + what);
+      return "";
+    }
+    std::string raw = Peek().raw;
+    Advance();
+    return raw;
+  }
+
+  // ---- Expression grammar ----
+  // expr    := or
+  // or      := and (OR and)*
+  // and     := not (AND not)*
+  // not     := NOT not | cmp
+  // cmp     := add ((=|<>|<|<=|>|>=) add)?
+  // add     := mul ((+|-) mul)*
+  // mul     := unary ((*|/) unary)*
+  // unary   := - unary | primary
+  // primary := INT | FLOAT | 'str' | DATE 'y-m-d' | ident | ( expr )
+
+  ScalarExpr::Ptr ParseExpr() { return ParseOr(); }
+
+  ScalarExpr::Ptr ParseOr() {
+    ScalarExpr::Ptr lhs = ParseAnd();
+    while (!failed() && AtKeyword("OR")) {
+      Advance();
+      ScalarExpr::Ptr rhs = ParseAnd();
+      if (failed()) return nullptr;
+      lhs = ScalarExpr::Logical(LogicalOp::kOr, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  ScalarExpr::Ptr ParseAnd() {
+    ScalarExpr::Ptr lhs = ParseNot();
+    while (!failed() && AtKeyword("AND")) {
+      Advance();
+      ScalarExpr::Ptr rhs = ParseNot();
+      if (failed()) return nullptr;
+      lhs = ScalarExpr::Logical(LogicalOp::kAnd, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  ScalarExpr::Ptr ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      ScalarExpr::Ptr operand = ParseNot();
+      if (failed()) return nullptr;
+      return ScalarExpr::Not(operand);
+    }
+    return ParseComparison();
+  }
+
+  ScalarExpr::Ptr ParseComparison() {
+    ScalarExpr::Ptr lhs = ParseAdditive();
+    if (failed()) return nullptr;
+    CompareOp op;
+    if (AtSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (AtSymbol("<>")) {
+      op = CompareOp::kNe;
+    } else if (AtSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (AtSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (AtSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (AtSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return lhs;
+    }
+    Advance();
+    ScalarExpr::Ptr rhs = ParseAdditive();
+    if (failed()) return nullptr;
+    return ScalarExpr::Compare(op, lhs, rhs);
+  }
+
+  ScalarExpr::Ptr ParseAdditive() {
+    ScalarExpr::Ptr lhs = ParseMultiplicative();
+    while (!failed() && (AtSymbol("+") || AtSymbol("-"))) {
+      ArithOp op = AtSymbol("+") ? ArithOp::kAdd : ArithOp::kSub;
+      Advance();
+      ScalarExpr::Ptr rhs = ParseMultiplicative();
+      if (failed()) return nullptr;
+      lhs = ScalarExpr::Arith(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  ScalarExpr::Ptr ParseMultiplicative() {
+    ScalarExpr::Ptr lhs = ParseUnary();
+    while (!failed() && (AtSymbol("*") || AtSymbol("/"))) {
+      ArithOp op = AtSymbol("*") ? ArithOp::kMul : ArithOp::kDiv;
+      Advance();
+      ScalarExpr::Ptr rhs = ParseUnary();
+      if (failed()) return nullptr;
+      lhs = ScalarExpr::Arith(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  ScalarExpr::Ptr ParseUnary() {
+    if (AtSymbol("-")) {
+      Advance();
+      ScalarExpr::Ptr operand = ParseUnary();
+      if (failed()) return nullptr;
+      // -x  ==>  0 - x (keeps the AST minimal).
+      return ScalarExpr::Arith(ArithOp::kSub,
+                               ScalarExpr::Literal(Value::Int64(0)), operand);
+    }
+    return ParsePrimary();
+  }
+
+  ScalarExpr::Ptr ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        int64_t v = strtoll(t.text.c_str(), nullptr, 10);
+        Advance();
+        return ScalarExpr::Literal(Value::Int64(v));
+      }
+      case TokenKind::kFloat: {
+        double v = strtod(t.text.c_str(), nullptr);
+        Advance();
+        return ScalarExpr::Literal(Value::Double(v));
+      }
+      case TokenKind::kString: {
+        std::string v = t.text;
+        Advance();
+        return ScalarExpr::Literal(Value::String(v));
+      }
+      case TokenKind::kIdentifier: {
+        if (t.text == "DATE") {
+          Advance();
+          return ParseDateLiteral();
+        }
+        if (t.text == "TRUE") {
+          Advance();
+          return ScalarExpr::True();
+        }
+        if (t.text == "FALSE") {
+          Advance();
+          return ScalarExpr::Literal(Value::Int64(0));
+        }
+        std::string name = t.raw;
+        Advance();
+        return ScalarExpr::Column(name);
+      }
+      case TokenKind::kSymbol:
+        if (ConsumeSymbol("(")) {
+          ScalarExpr::Ptr inner = ParseExpr();
+          if (failed()) return nullptr;
+          if (!ConsumeSymbol(")")) {
+            Fail("expected ')'");
+            return nullptr;
+          }
+          return inner;
+        }
+        break;
+      case TokenKind::kEnd:
+        break;
+    }
+    Fail("expected expression");
+    return nullptr;
+  }
+
+  ScalarExpr::Ptr ParseDateLiteral() {
+    if (Peek().kind != TokenKind::kString) {
+      Fail("expected date string after DATE");
+      return nullptr;
+    }
+    const std::string& s = Peek().text;
+    int year = 0, month = 0, day = 0;
+    if (std::sscanf(s.c_str(), "%d-%d-%d", &year, &month, &day) != 3 ||
+        month < 1 || month > 12 || day < 1 || day > 31) {
+      Fail("malformed date literal '" + s + "'");
+      return nullptr;
+    }
+    Advance();
+    return ScalarExpr::Literal(Value::Date(year, month, day));
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Splits top-level AND conjuncts of a parsed boolean expression.
+void SplitConjuncts(const ScalarExpr::Ptr& e,
+                    std::vector<ScalarExpr::Ptr>* out) {
+  if (e->kind() == ExprKind::kLogical && e->logical_op() == LogicalOp::kAnd) {
+    SplitConjuncts(e->lhs(), out);
+    SplitConjuncts(e->rhs(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+}  // namespace
+
+ScalarExpr::Ptr ParseScalarExpr(const std::string& sql, std::string* error) {
+  std::vector<Token> tokens;
+  if (!Tokenize(sql, &tokens, error)) return nullptr;
+  Parser parser(std::move(tokens));
+  ScalarExpr::Ptr e = parser.ParseExpr();
+  if (parser.failed()) {
+    *error = parser.error();
+    return nullptr;
+  }
+  if (parser.Peek().kind != TokenKind::kEnd) {
+    *error = "trailing input after expression at offset " +
+             std::to_string(parser.Peek().offset);
+    return nullptr;
+  }
+  return e;
+}
+
+std::vector<std::string> ExtractFromSources(const std::string& sql) {
+  std::vector<std::string> out;
+  std::vector<Token> tokens;
+  std::string error;
+  if (!Tokenize(sql, &tokens, &error)) return out;
+  size_t i = 0;
+  while (i < tokens.size() && !(tokens[i].kind == TokenKind::kIdentifier &&
+                                tokens[i].text == "FROM")) {
+    ++i;
+  }
+  for (++i; i < tokens.size(); ++i) {
+    if (tokens[i].kind == TokenKind::kIdentifier) {
+      if (tokens[i].text == "WHERE" || tokens[i].text == "GROUP") break;
+      out.push_back(tokens[i].raw);
+    } else if (!(tokens[i].kind == TokenKind::kSymbol &&
+                 tokens[i].text == ",")) {
+      break;
+    }
+  }
+  return out;
+}
+
+ParsedView ParseViewDefinition(
+    const std::string& view_name, const std::string& sql,
+    const ViewDefinition::SchemaResolver& resolver) {
+  ParsedView out;
+  std::vector<Token> tokens;
+  if (!Tokenize(sql, &tokens, &out.error)) return out;
+  Parser parser(std::move(tokens));
+
+  auto fail = [&](const std::string& message) {
+    out.error = message.empty() ? parser.error() : message;
+    out.definition = nullptr;
+    return out;
+  };
+
+  if (!parser.ConsumeKeyword("SELECT")) return fail("expected SELECT");
+
+  // SELECT list.
+  struct SelectItem {
+    bool is_sum = false;
+    bool is_count = false;
+    ScalarExpr::Ptr expr;  // null for COUNT(*)
+    std::string name;
+  };
+  std::vector<SelectItem> items;
+  do {
+    SelectItem item;
+    if (parser.AtKeyword("SUM")) {
+      parser.Advance();
+      if (!parser.ConsumeSymbol("(")) return fail("expected '(' after SUM");
+      item.is_sum = true;
+      item.expr = parser.ParseExpr();
+      if (parser.failed()) return fail("");
+      if (!parser.ConsumeSymbol(")")) return fail("expected ')' after SUM");
+    } else if (parser.AtKeyword("COUNT")) {
+      parser.Advance();
+      if (!parser.ConsumeSymbol("(")) return fail("expected '(' after COUNT");
+      if (!parser.ConsumeSymbol("*")) return fail("expected COUNT(*)");
+      if (!parser.ConsumeSymbol(")")) {
+        return fail("expected ')' after COUNT(*");
+      }
+      item.is_count = true;
+    } else {
+      item.expr = parser.ParseExpr();
+      if (parser.failed()) return fail("");
+    }
+    if (parser.ConsumeKeyword("AS")) {
+      item.name = parser.ExpectIdentifier("output column name");
+      if (parser.failed()) return fail("");
+    } else if (!item.is_sum && !item.is_count && item.expr != nullptr &&
+               item.expr->kind() == ExprKind::kColumn) {
+      item.name = item.expr->column_name();  // bare column keeps its name
+    } else {
+      return fail("aggregate / expression output needs an AS alias");
+    }
+    items.push_back(std::move(item));
+  } while (parser.ConsumeSymbol(","));
+
+  if (!parser.ConsumeKeyword("FROM")) return fail("expected FROM");
+  std::vector<std::string> sources;
+  do {
+    std::string source = parser.ExpectIdentifier("source view name");
+    if (parser.failed()) return fail("");
+    sources.push_back(source);
+  } while (parser.ConsumeSymbol(","));
+
+  // WHERE: split into top-level conjuncts.
+  std::vector<ScalarExpr::Ptr> conjuncts;
+  if (parser.ConsumeKeyword("WHERE")) {
+    ScalarExpr::Ptr predicate = parser.ParseExpr();
+    if (parser.failed()) return fail("");
+    SplitConjuncts(predicate, &conjuncts);
+  }
+
+  // GROUP BY keys.
+  std::vector<std::string> group_keys;
+  bool has_group_by = false;
+  if (parser.ConsumeKeyword("GROUP")) {
+    if (!parser.ConsumeKeyword("BY")) return fail("expected BY after GROUP");
+    has_group_by = true;
+    do {
+      std::string key = parser.ExpectIdentifier("group key");
+      if (parser.failed()) return fail("");
+      group_keys.push_back(key);
+    } while (parser.ConsumeSymbol(","));
+  }
+  if (parser.Peek().kind != TokenKind::kEnd) {
+    return fail("trailing input after statement");
+  }
+
+  // ---- Semantic assembly ----
+  // Locate the owning source of a column; empty if not found.
+  auto owner_of = [&](const std::string& column) -> std::string {
+    for (const std::string& src : sources) {
+      if (resolver(src).HasColumn(column)) return src;
+    }
+    return "";
+  };
+
+  // Validate every referenced column.
+  auto validate_columns = [&](const ScalarExpr::Ptr& e) -> std::string {
+    for (const std::string& col : e->ReferencedColumns()) {
+      if (owner_of(col).empty()) return col;
+    }
+    return "";
+  };
+
+  ViewDefinitionBuilder builder(view_name);
+  for (const std::string& src : sources) builder.From(src);
+
+  for (const ScalarExpr::Ptr& conjunct : conjuncts) {
+    std::string bad = validate_columns(conjunct);
+    if (!bad.empty()) return fail("unknown column in WHERE: " + bad);
+    // column = column across two different sources -> equi-join.
+    if (conjunct->kind() == ExprKind::kCompare &&
+        conjunct->compare_op() == CompareOp::kEq &&
+        conjunct->lhs()->kind() == ExprKind::kColumn &&
+        conjunct->rhs()->kind() == ExprKind::kColumn) {
+      std::string l = conjunct->lhs()->column_name();
+      std::string r = conjunct->rhs()->column_name();
+      if (owner_of(l) != owner_of(r)) {
+        builder.JoinOn(l, r);
+        continue;
+      }
+    }
+    builder.Where(conjunct);
+  }
+
+  // Aggregate statements: GROUP BY keys become the projections; plain
+  // SELECT items must match the keys.
+  bool has_aggregates = false;
+  for (const SelectItem& item : items) {
+    has_aggregates |= item.is_sum || item.is_count;
+  }
+  if (has_aggregates || has_group_by) {
+    if (!has_group_by) {
+      return fail("aggregates require a GROUP BY clause");
+    }
+    // Emit group keys in SELECT order (every non-aggregate item must be a
+    // grouped column / aliased expression over them).
+    for (const SelectItem& item : items) {
+      if (item.is_sum || item.is_count) continue;
+      std::string bad = validate_columns(item.expr);
+      if (!bad.empty()) return fail("unknown column in SELECT: " + bad);
+      builder.Select(item.expr, item.name);
+    }
+    for (const SelectItem& item : items) {
+      if (item.is_sum) {
+        std::string bad = validate_columns(item.expr);
+        if (!bad.empty()) return fail("unknown column in SUM: " + bad);
+        builder.Sum(item.expr, item.name);
+      } else if (item.is_count) {
+        builder.Count(item.name);
+      }
+    }
+    // Sanity: each GROUP BY key must appear among the plain select items.
+    for (const std::string& key : group_keys) {
+      bool found = false;
+      for (const SelectItem& item : items) {
+        if (!item.is_sum && !item.is_count &&
+            (item.name == key ||
+             (item.expr->kind() == ExprKind::kColumn &&
+              item.expr->column_name() == key))) {
+          found = true;
+        }
+      }
+      if (!found) {
+        return fail("GROUP BY key not in SELECT list: " + key);
+      }
+    }
+  } else {
+    for (const SelectItem& item : items) {
+      std::string bad = validate_columns(item.expr);
+      if (!bad.empty()) return fail("unknown column in SELECT: " + bad);
+      builder.Select(item.expr, item.name);
+    }
+  }
+
+  out.definition = builder.Build();
+  out.error.clear();
+  return out;
+}
+
+}  // namespace wuw

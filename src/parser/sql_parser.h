@@ -1,0 +1,58 @@
+// Parser for the SQL view-definition language of Section 2:
+// SELECT-FROM-WHERE-GROUPBY statements over warehouse views.
+//
+//   SELECT l_orderkey, o_orderdate, o_shippriority,
+//          SUM(l_extendedprice * (10000 - l_discount)) AS revenue
+//   FROM CUSTOMER, ORDERS, LINEITEM
+//   WHERE c_mktsegment = 'BUILDING'
+//     AND c_custkey = o_custkey AND o_orderkey = l_orderkey
+//     AND o_orderdate < DATE '1995-03-15'
+//   GROUP BY l_orderkey, o_orderdate, o_shippriority
+//
+// Top-level WHERE conjuncts of the form column = column whose sides live
+// in different FROM sources become equi-join conditions; everything else
+// is a filter.  Classification needs the source schemas, so parsing takes
+// a SchemaResolver (usually Vdag::OutputSchema).
+//
+// The grammar round-trips ViewDefinition::ToString(): parsing a rendered
+// definition yields an equivalent definition (property-tested).
+#ifndef WUW_PARSER_SQL_PARSER_H_
+#define WUW_PARSER_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "expr/scalar_expr.h"
+#include "view/view_definition.h"
+
+namespace wuw {
+
+/// Result of a parse: either a definition or an error message with
+/// position info.
+struct ParsedView {
+  std::shared_ptr<const ViewDefinition> definition;  // null on failure
+  std::string error;
+
+  bool ok() const { return definition != nullptr; }
+};
+
+/// Parses a SELECT statement into a ViewDefinition named `view_name`.
+/// `resolver` supplies the schemas of the FROM sources (for join/filter
+/// classification and column validation).
+ParsedView ParseViewDefinition(
+    const std::string& view_name, const std::string& sql,
+    const ViewDefinition::SchemaResolver& resolver);
+
+/// Parses a scalar expression over `schema` (exposed for tests and ad-hoc
+/// filter construction).  Returns null and sets *error on failure.
+ScalarExpr::Ptr ParseScalarExpr(const std::string& sql, std::string* error);
+
+/// Best-effort extraction of the FROM-clause source names, for validating
+/// them BEFORE full parsing (SchemaResolver implementations typically
+/// abort on unknown view names).  Returns an empty list when the text has
+/// no recognizable FROM clause.
+std::vector<std::string> ExtractFromSources(const std::string& sql);
+
+}  // namespace wuw
+
+#endif  // WUW_PARSER_SQL_PARSER_H_

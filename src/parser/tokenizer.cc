@@ -1,0 +1,119 @@
+#include "parser/tokenizer.h"
+
+#include <cctype>
+
+namespace wuw {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+bool Tokenize(const std::string& sql, std::vector<Token>* tokens,
+              std::string* error) {
+  tokens->clear();
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string raw = sql.substr(start, i - start);
+      tokens->push_back(Token{TokenKind::kIdentifier, Upper(raw), raw, start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string raw = sql.substr(start, i - start);
+      tokens->push_back(Token{is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                              raw, raw, start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += sql[i++];
+      }
+      if (!closed) {
+        *error = "unterminated string literal at offset " +
+                 std::to_string(start);
+        return false;
+      }
+      tokens->push_back(Token{TokenKind::kString, value, value, start});
+      continue;
+    }
+    // Multi-char operators first.
+    auto symbol = [&](const char* text, size_t len) {
+      tokens->push_back(
+          Token{TokenKind::kSymbol, text, sql.substr(start, len), start});
+      i += len;
+    };
+    if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+      symbol("<>", 2);
+      continue;
+    }
+    if (c == '<' && i + 1 < n && sql[i + 1] == '=') {
+      symbol("<=", 2);
+      continue;
+    }
+    if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      symbol(">=", 2);
+      continue;
+    }
+    if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      symbol("<>", 2);  // normalize != to <>
+      continue;
+    }
+    if (std::string("(),=<>+-*/.").find(c) != std::string::npos) {
+      symbol(std::string(1, c).c_str(), 1);
+      continue;
+    }
+    *error = std::string("unexpected character '") + c + "' at offset " +
+             std::to_string(start);
+    return false;
+  }
+  tokens->push_back(Token{TokenKind::kEnd, "", "", n});
+  return true;
+}
+
+}  // namespace wuw

@@ -1,0 +1,33 @@
+// SQL tokenizer for the view-definition language.
+#ifndef WUW_PARSER_TOKENIZER_H_
+#define WUW_PARSER_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wuw {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  // column / table names, keywords (case-insensitive)
+  kInteger,
+  kFloat,
+  kString,  // 'quoted'
+  kSymbol,  // ( ) , = <> < <= > >= + - * / .
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;     // normalized: keywords/idents upper-cased
+  std::string raw;      // original spelling
+  size_t offset = 0;    // byte offset in the input, for error messages
+};
+
+/// Splits `sql` into tokens.  On failure returns false and fills *error.
+bool Tokenize(const std::string& sql, std::vector<Token>* tokens,
+              std::string* error);
+
+}  // namespace wuw
+
+#endif  // WUW_PARSER_TOKENIZER_H_

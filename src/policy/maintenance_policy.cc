@@ -1,0 +1,89 @@
+#include "policy/maintenance_policy.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "core/min_work.h"
+
+namespace wuw {
+
+std::string PolicyReport::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "batches=%lld windows=%lld wall=%.4fs work=%lld "
+                "rows_installed=%lld",
+                static_cast<long long>(batches_received),
+                static_cast<long long>(windows_run), total_window_seconds,
+                static_cast<long long>(total_linear_work),
+                static_cast<long long>(rows_installed));
+  return buffer;
+}
+
+MaintenanceScheduler::MaintenanceScheduler(Warehouse* warehouse,
+                                           PolicyOptions options)
+    : warehouse_(warehouse), options_(options) {
+  WUW_CHECK(warehouse_ != nullptr, "scheduler needs a warehouse");
+  WUW_CHECK(options_.k >= 1, "EveryK policy needs k >= 1");
+}
+
+bool MaintenanceScheduler::OnBatch(
+    const std::unordered_map<std::string, DeltaRelation>& batch) {
+  for (const auto& [view, delta] : batch) {
+    warehouse_->MergeBaseDelta(view, delta);
+  }
+  ++report_.batches_received;
+  ++batches_since_window_;
+  if (!ShouldRun()) return false;
+  RunWindow();
+  return true;
+}
+
+void MaintenanceScheduler::Flush() {
+  bool pending = false;
+  for (const std::string& base : warehouse_->vdag().BaseViews()) {
+    if (!warehouse_->base_delta(base).empty()) pending = true;
+  }
+  if (pending) RunWindow();
+}
+
+bool MaintenanceScheduler::ShouldRun() const {
+  switch (options_.kind) {
+    case PolicyOptions::Kind::kImmediate:
+      return true;
+    case PolicyOptions::Kind::kEveryK:
+      return batches_since_window_ >= options_.k;
+    case PolicyOptions::Kind::kThreshold: {
+      int64_t pending = 0, total = 0;
+      for (const std::string& base : warehouse_->vdag().BaseViews()) {
+        pending += warehouse_->base_delta(base).AbsCardinality();
+        total += warehouse_->catalog().MustGetTable(base)->cardinality();
+      }
+      return total == 0 ||
+             static_cast<double>(pending) >=
+                 options_.threshold_fraction * static_cast<double>(total);
+    }
+  }
+  return true;
+}
+
+void MaintenanceScheduler::RunWindow() {
+  int64_t pending = 0;
+  for (const std::string& base : warehouse_->vdag().BaseViews()) {
+    pending += warehouse_->base_delta(base).AbsCardinality();
+  }
+
+  MinWorkResult plan =
+      MinWork(warehouse_->vdag(), warehouse_->EstimatedSizes());
+  ExecutorOptions exec_options = options_.executor;
+  exec_options.simplify_empty_deltas = true;
+  Executor executor(warehouse_, exec_options);
+  ExecutionReport window = executor.Execute(plan.strategy);
+
+  ++report_.windows_run;
+  report_.total_window_seconds += window.total_seconds;
+  report_.total_linear_work += window.total_linear_work;
+  report_.rows_installed += pending;
+  batches_since_window_ = 0;
+}
+
+}  // namespace wuw

@@ -1,0 +1,94 @@
+// Maintenance policies: deciding WHEN to run the update window.
+//
+// "Reference [CKL+97] presents a framework for supporting different
+// maintenance policies based on when changes are propagated to the views.
+// The algorithms we present are used when changes are actually propagated;
+// hence, the algorithms we present are complementary."  This module is
+// that complement's other half: a scheduler that accumulates incoming
+// batches (Warehouse::MergeBaseDelta — later deletions cancel earlier
+// inserts) and triggers the MinWork-planned window per policy.
+#ifndef WUW_POLICY_MAINTENANCE_POLICY_H_
+#define WUW_POLICY_MAINTENANCE_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "delta/delta_relation.h"
+#include "exec/executor.h"
+#include "exec/warehouse.h"
+
+namespace wuw {
+
+/// When to run the update window.
+struct PolicyOptions {
+  enum class Kind {
+    kImmediate,   // every batch opens a window
+    kEveryK,      // defer until k batches accumulated
+    kThreshold,   // defer until pending |δ| exceeds fraction of |warehouse|
+  };
+  Kind kind = Kind::kImmediate;
+  int k = 1;
+  double threshold_fraction = 0.05;
+  /// Executor settings for the windows (simplification on by default: a
+  /// deferred batch often leaves many views untouched).
+  ExecutorOptions executor;
+
+  static PolicyOptions Immediate() { return {}; }
+  static PolicyOptions EveryK(int k) {
+    PolicyOptions p;
+    p.kind = Kind::kEveryK;
+    p.k = k;
+    return p;
+  }
+  static PolicyOptions Threshold(double fraction) {
+    PolicyOptions p;
+    p.kind = Kind::kThreshold;
+    p.threshold_fraction = fraction;
+    return p;
+  }
+};
+
+/// Accumulated accounting across a scheduler's life.
+struct PolicyReport {
+  int64_t batches_received = 0;
+  int64_t windows_run = 0;
+  double total_window_seconds = 0;
+  int64_t total_linear_work = 0;
+  /// Sum of |δ| actually installed — smaller than the sum of incoming
+  /// batch sizes when deferral lets changes cancel.
+  int64_t rows_installed = 0;
+
+  std::string ToString() const;
+};
+
+/// Drives one warehouse under one policy.
+class MaintenanceScheduler {
+ public:
+  MaintenanceScheduler(Warehouse* warehouse, PolicyOptions options);
+
+  /// Feeds one incoming batch (view name -> delta).  Merges into the
+  /// pending state and runs the update window if the policy says so.
+  /// Returns true if a window ran.
+  bool OnBatch(
+      const std::unordered_map<std::string, DeltaRelation>& batch);
+
+  /// Forces a window now (end-of-period flush).  No-op without pending
+  /// changes.
+  void Flush();
+
+  const PolicyReport& report() const { return report_; }
+
+ private:
+  bool ShouldRun() const;
+  void RunWindow();
+
+  Warehouse* warehouse_;
+  PolicyOptions options_;
+  PolicyReport report_;
+  int batches_since_window_ = 0;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_POLICY_MAINTENANCE_POLICY_H_

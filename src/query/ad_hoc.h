@@ -1,0 +1,38 @@
+// Ad-hoc OLAP queries against the warehouse.
+//
+// The update window exists to serve readers: "during a warehouse update
+// either OLAP queries are not processed or OLAP queries compete with the
+// warehouse update for resources" (Section 1).  This module is the reader
+// side — one-shot SELECT statements evaluated against the current
+// materialized state, through the same parser and pipeline as view
+// maintenance.
+#ifndef WUW_QUERY_AD_HOC_H_
+#define WUW_QUERY_AD_HOC_H_
+
+#include <string>
+
+#include "algebra/rows.h"
+#include "exec/warehouse.h"
+
+namespace wuw {
+
+/// Result of an ad-hoc query.
+struct QueryResult {
+  Rows rows;           // materialized result (multiplicities >= 1)
+  std::string error;   // non-empty on failure
+  double seconds = 0;  // evaluation wall time
+
+  bool ok() const { return error.empty(); }
+
+  /// Render as an aligned text table (header + rows), for CLIs/examples.
+  std::string ToText(size_t max_rows = 50) const;
+};
+
+/// Evaluates `sql` (a SELECT over the warehouse's views — base or derived,
+/// including summary tables) against current state.  Aggregate queries
+/// carry the hidden __count column like materialized aggregate views.
+QueryResult ExecuteQuery(const Warehouse& warehouse, const std::string& sql);
+
+}  // namespace wuw
+
+#endif  // WUW_QUERY_AD_HOC_H_

@@ -1,0 +1,36 @@
+// SQL stored-procedure script generation (Section 5.5).
+//
+// "Based on the VDAG of the warehouse, a set of stored procedures is
+// defined, one for each compute or install expression... the resulting
+// VDAG strategy is executed with the help of the stored procedures."
+// This module emits that deployment artifact for a commercial RDBMS: one
+// CREATE PROCEDURE per 1-way expression of the VDAG, plus a driver script
+// for any given strategy.
+#ifndef WUW_SQLGEN_SQL_SCRIPT_H_
+#define WUW_SQLGEN_SQL_SCRIPT_H_
+
+#include <string>
+
+#include "core/strategy.h"
+#include "graph/vdag.h"
+
+namespace wuw {
+
+/// Deterministic procedure name for an expression, e.g.
+/// "wuw_comp_Q3__LINEITEM" or "wuw_inst_ORDERS".
+std::string ProcedureName(const Expression& expression);
+
+/// The CREATE PROCEDURE statement implementing one expression:
+/// Comp procedures INSERT the maintenance terms into delta_<V>;
+/// Inst procedures merge delta_<V> into V.
+std::string GenerateProcedure(const Vdag& vdag, const Expression& expression);
+
+/// All procedures for the VDAG's 1-way expressions plus delta-table DDL.
+std::string GenerateSetupScript(const Vdag& vdag);
+
+/// An EXEC driver running `strategy` via the procedures.
+std::string GenerateDriverScript(const Vdag& vdag, const Strategy& strategy);
+
+}  // namespace wuw
+
+#endif  // WUW_SQLGEN_SQL_SCRIPT_H_

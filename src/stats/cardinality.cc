@@ -1,0 +1,135 @@
+#include "stats/cardinality.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/selectivity.h"
+
+namespace wuw {
+
+JoinEstimate EstimateDefinitionOutput(
+    const ViewDefinition& def, const std::vector<SourceProfile>& sources) {
+  WUW_CHECK(sources.size() == def.num_sources(),
+            "need one profile per definition source");
+
+  // Combined schema/stats for cross-source predicates.
+  Schema combined;
+  TableStats combined_stats;
+  for (const SourceProfile& p : sources) {
+    combined = Schema::Concat(combined, p.schema);
+    combined_stats.columns.insert(combined_stats.columns.end(),
+                                  p.stats.columns.begin(),
+                                  p.stats.columns.end());
+  }
+
+  auto distinct_of = [&](const std::string& column) -> double {
+    int i = combined.IndexOf(column);
+    if (i < 0) return 1.0;
+    return static_cast<double>(
+        combined_stats.DistinctAt(static_cast<size_t>(i)));
+  };
+  auto column_stats_of = [&](const std::string& column) -> const ColumnStats* {
+    int i = combined.IndexOf(column);
+    if (i < 0 || static_cast<size_t>(i) >= combined_stats.columns.size()) {
+      return nullptr;
+    }
+    return &combined_stats.columns[static_cast<size_t>(i)];
+  };
+  // Do the two join columns' value ranges overlap at all?  Fresh surrogate
+  // keys (new orders, new customers) live outside the other side's domain;
+  // the plain containment assumption would wildly overestimate those
+  // joins, range-disjointness proves them empty.
+  auto ranges_overlap = [&](const std::string& a,
+                            const std::string& b) -> bool {
+    const ColumnStats* sa = column_stats_of(a);
+    const ColumnStats* sb = column_stats_of(b);
+    if (sa == nullptr || sb == nullptr) return true;
+    if (sa->min.is_null() || sb->min.is_null()) return true;  // empty side
+    if (sa->min.type() == TypeId::kString ||
+        sb->min.type() == TypeId::kString) {
+      return !(sa->max < sb->min) && !(sb->max < sa->min);
+    }
+    return sa->max.NumericValue() >= sb->min.NumericValue() &&
+           sb->max.NumericValue() >= sa->min.NumericValue();
+  };
+  auto owner_of = [&](const std::string& column) -> int {
+    for (size_t s = 0; s < sources.size(); ++s) {
+      if (sources[s].schema.HasColumn(column)) return static_cast<int>(s);
+    }
+    return -1;
+  };
+
+  // Base: product of effective source sizes (local filters pushed down).
+  double rows = 1.0;
+  for (size_t s = 0; s < sources.size(); ++s) {
+    double eff = static_cast<double>(std::max<int64_t>(sources[s].stats.rows, 0));
+    for (const ScalarExpr::Ptr& conjunct : def.filters()) {
+      // Local iff every referenced column belongs to this source.
+      bool local = true, any = false;
+      for (const std::string& col : conjunct->ReferencedColumns()) {
+        any = true;
+        if (!sources[s].schema.HasColumn(col)) local = false;
+      }
+      if (any && local) {
+        eff *= EstimateSelectivity(conjunct, sources[s].schema,
+                                   sources[s].stats);
+      }
+    }
+    rows *= eff;
+  }
+
+  // Join conditions: containment assumption, with range-disjoint joins
+  // proven empty.
+  for (const JoinCondition& jc : def.joins()) {
+    if (!ranges_overlap(jc.left_column, jc.right_column)) {
+      rows = 0;
+      break;
+    }
+    double d = std::max({distinct_of(jc.left_column),
+                         distinct_of(jc.right_column), 1.0});
+    rows /= d;
+  }
+
+  // Cross-source filter conjuncts.
+  for (const ScalarExpr::Ptr& conjunct : def.filters()) {
+    bool local = true;
+    int first = -1;
+    for (const std::string& col : conjunct->ReferencedColumns()) {
+      int owner = owner_of(col);
+      if (first == -1) first = owner;
+      if (owner != first) local = false;
+    }
+    if (!local) {
+      rows *= EstimateSelectivity(conjunct, combined, combined_stats);
+    }
+  }
+
+  JoinEstimate out;
+  out.rows = std::max(0.0, rows);
+
+  if (!def.is_aggregate()) {
+    out.groups = out.rows;
+    return out;
+  }
+  // Distinct groups: capped product of key-domain sizes (expression keys
+  // contribute their referenced columns' domains).
+  double domain = 1.0;
+  for (const ProjectItem& item : def.projections()) {
+    if (item.expr->kind() == ExprKind::kColumn) {
+      domain *= distinct_of(item.expr->column_name());
+    } else {
+      double d = 1.0;
+      for (const std::string& col : item.expr->ReferencedColumns()) {
+        d *= distinct_of(col);
+      }
+      domain *= std::max(1.0, d);
+    }
+    domain = std::min(domain, 1e15);  // avoid overflow on wide keys
+  }
+  // Yao-style cap: with R rows thrown into D cells, expected occupied
+  // cells = D(1 - (1 - 1/D)^R) ~ min(R, D) to first order.
+  out.groups = std::min(out.rows, domain);
+  return out;
+}
+
+}  // namespace wuw

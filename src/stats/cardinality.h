@@ -1,0 +1,40 @@
+// Join-output cardinality estimation — the System-R formula over the
+// view-definition IR:
+//
+//   |out| = Π_i (|S_i| · sel(local filters_i))
+//           · Π_{join a=b} 1 / max(d(a), d(b))
+//           · Π_{other conjuncts} sel
+//
+// plus a distinct-group estimate for aggregate views.  This is what turns
+// the column statistics into the |δV| estimates of Section 5.5.
+#ifndef WUW_STATS_CARDINALITY_H_
+#define WUW_STATS_CARDINALITY_H_
+
+#include <vector>
+
+#include "stats/table_stats.h"
+#include "view/view_definition.h"
+
+namespace wuw {
+
+/// One source's relation profile: its schema and statistics.  `rows` in
+/// the stats is the operand size (a delta profile uses |δ|).
+struct SourceProfile {
+  Schema schema;
+  TableStats stats;
+};
+
+/// Estimated sizes of a definition's output.
+struct JoinEstimate {
+  double rows = 0;    // join+filter output rows (pre-aggregation)
+  double groups = 0;  // distinct group keys (aggregate views; else = rows)
+};
+
+/// Estimates the output of `def` evaluated over the given per-source
+/// profiles (one per definition source, in order).
+JoinEstimate EstimateDefinitionOutput(
+    const ViewDefinition& def, const std::vector<SourceProfile>& sources);
+
+}  // namespace wuw
+
+#endif  // WUW_STATS_CARDINALITY_H_

@@ -1,0 +1,184 @@
+#include "stats/delta_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/cardinality.h"
+
+namespace wuw {
+
+namespace {
+
+/// Scales a relation profile down to `rows` rows: distinct counts cap at
+/// the new row count (a subset cannot have more distinct values than
+/// rows, nor more than the original relation had).
+TableStats ScaleStats(const TableStats& base, double rows) {
+  TableStats out = base;
+  out.rows = static_cast<int64_t>(std::llround(std::max(0.0, rows)));
+  for (ColumnStats& c : out.columns) {
+    c.distinct = std::max<int64_t>(
+        1, std::min<int64_t>(c.distinct, std::max<int64_t>(out.rows, 1)));
+  }
+  return out;
+}
+
+/// Post-install profile of a source: its extent merged with its pending
+/// delta (ranges unioned, distincts grown by the delta's, rows adjusted by
+/// the net).  The 1-way term sum telescopes through states where earlier
+/// sources are already installed; using post profiles for the non-delta
+/// operands models that — and lets fresh-key inserts (whose keys only
+/// exist post-install) join the deltas of later sources.
+TableStats MergePost(const TableStats& extent, const TableStats& delta,
+                     double plus, double minus) {
+  TableStats out = extent;
+  out.rows = std::max<int64_t>(
+      0, extent.rows + static_cast<int64_t>(std::llround(plus - minus)));
+  for (size_t c = 0; c < out.columns.size() && c < delta.columns.size();
+       ++c) {
+    const ColumnStats& dc = delta.columns[c];
+    ColumnStats& oc = out.columns[c];
+    if (!dc.min.is_null()) {
+      if (oc.min.is_null() || dc.min < oc.min) oc.min = dc.min;
+      if (oc.max.is_null() || oc.max < dc.max) oc.max = dc.max;
+    }
+    oc.distinct = std::max<int64_t>(
+        1, std::min<int64_t>(oc.distinct + dc.distinct,
+                             std::max<int64_t>(out.rows, 1)));
+  }
+  return out;
+}
+
+}  // namespace
+
+SizeMap EstimateSizesWithStats(const Vdag& vdag,
+                               const StatsEstimatorInputs& inputs) {
+  SizeMap out;
+
+  auto extent_stats_of = [&](const std::string& view) -> const TableStats& {
+    auto it = inputs.extent_stats.find(view);
+    WUW_CHECK(it != inputs.extent_stats.end(),
+              ("no extent stats for view: " + view).c_str());
+    return it->second;
+  };
+
+  // Delta profiles built bottom-up: base views from real delta stats,
+  // derived views synthesized from their own estimates.
+  struct DeltaProfile {
+    TableStats stats;   // absolute footprint
+    double plus = 0;    // estimated inserted rows
+    double minus = 0;   // estimated deleted rows
+  };
+  std::unordered_map<std::string, DeltaProfile> delta_profiles;
+
+  for (const std::string& name : vdag.BaseViews()) {
+    const TableStats& extent = extent_stats_of(name);
+    ViewSizes s;
+    s.size = extent.rows;
+
+    DeltaProfile profile;
+    auto it = inputs.base_delta_stats.find(name);
+    if (it != inputs.base_delta_stats.end()) {
+      profile.stats = it->second;
+      auto pm = inputs.base_delta_plus_minus.find(name);
+      if (pm != inputs.base_delta_plus_minus.end()) {
+        profile.plus = static_cast<double>(pm->second.first);
+        profile.minus = static_cast<double>(pm->second.second);
+      } else {
+        profile.minus = static_cast<double>(profile.stats.rows);
+      }
+    } else {
+      profile.stats = ScaleStats(extent, 0);
+    }
+    s.delta_abs = static_cast<int64_t>(
+        std::llround(profile.plus + profile.minus));
+    s.delta_net = static_cast<int64_t>(
+        std::llround(profile.plus - profile.minus));
+    out.Set(name, s);
+    delta_profiles.emplace(name, std::move(profile));
+  }
+
+  for (const std::string& name : vdag.DerivedViewsBottomUp()) {
+    const auto& def = vdag.definition(name);
+    const TableStats& extent = extent_stats_of(name);
+    const auto& sources = def->sources();
+
+    // Extent profiles (pre-install) and post-install profiles per source.
+    std::vector<SourceProfile> full;
+    std::vector<SourceProfile> post;
+    for (const std::string& src : sources) {
+      const TableStats& extent = extent_stats_of(src);
+      const DeltaProfile& dp = delta_profiles.at(src);
+      full.push_back(SourceProfile{vdag.OutputSchema(src), extent});
+      post.push_back(SourceProfile{
+          vdag.OutputSchema(src),
+          MergePost(extent, dp.stats, dp.plus, dp.minus)});
+    }
+
+    // 1-way term sum with proper telescoping: term i reads source i's
+    // delta, POST-install profiles for sources before i and PRE-install
+    // profiles after i — each changed (row, row) combination is counted by
+    // exactly one term, so cross-delta pairs are not double counted.
+    double raw_plus = 0, raw_minus = 0, raw_groups = 0;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const DeltaProfile& dp = delta_profiles.at(sources[i]);
+      if (dp.stats.rows <= 0 && dp.plus <= 0 && dp.minus <= 0) continue;
+
+      std::vector<SourceProfile> term;
+      for (size_t j = 0; j < sources.size(); ++j) {
+        term.push_back(j < i ? post[j] : full[j]);
+      }
+      term[i].stats = ScaleStats(dp.stats, dp.plus);
+      JoinEstimate plus_est = EstimateDefinitionOutput(*def, term);
+      term[i].stats = ScaleStats(dp.stats, dp.minus);
+      JoinEstimate minus_est = EstimateDefinitionOutput(*def, term);
+
+      raw_plus += plus_est.rows;
+      raw_minus += minus_est.rows;
+      raw_groups += plus_est.groups + minus_est.groups;
+    }
+
+    ViewSizes s;
+    s.size = extent.rows;
+    DeltaProfile profile;
+    if (!def->is_aggregate()) {
+      s.delta_net = static_cast<int64_t>(std::llround(raw_plus - raw_minus));
+      s.delta_abs = static_cast<int64_t>(std::llround(raw_plus + raw_minus));
+      profile.plus = raw_plus;
+      profile.minus = raw_minus;
+    } else {
+      // Aggregate: touched groups emit a {-old,+new} pair; groups die when
+      // all contributors vanish.
+      JoinEstimate full_join = EstimateDefinitionOutput(*def, full);
+      double group_size =
+          extent.rows > 0
+              ? std::max(1.0, full_join.rows /
+                                  static_cast<double>(extent.rows))
+              : 1.0;
+      double affected = std::min(static_cast<double>(extent.rows),
+                                 raw_groups);
+      double minus_fraction =
+          full_join.rows > 0 ? std::min(1.0, raw_minus / full_join.rows)
+                             : 0.0;
+      double dead = static_cast<double>(extent.rows) *
+                    std::pow(minus_fraction, group_size);
+      double born =
+          std::max(0.0, std::min(raw_plus / group_size,
+                                 raw_plus > 0 ? affected : 0.0) -
+                            affected * minus_fraction);
+      s.delta_abs = static_cast<int64_t>(
+          std::llround(std::max(0.0, 2 * affected - dead + born)));
+      s.delta_net =
+          static_cast<int64_t>(std::llround(born - dead));
+      profile.plus = affected + born;
+      profile.minus = affected + dead;
+    }
+    profile.stats =
+        ScaleStats(extent, static_cast<double>(s.delta_abs));
+    out.Set(name, s);
+    delta_profiles.emplace(name, std::move(profile));
+  }
+  return out;
+}
+
+}  // namespace wuw

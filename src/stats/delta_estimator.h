@@ -1,0 +1,39 @@
+// Statistics-based delta-size estimation (Section 5.5, done properly).
+//
+// Replaces core/size_estimator.h's first-order churn model with the
+// cardinality formula of stats/cardinality.h: each derived view's |δV| is
+// the sum of its 1-way maintenance-term estimates — the term for source i
+// swaps S_i's extent profile for its delta's profile.  Proceeds bottom-up
+// exactly as the paper prescribes ("assuming estimates of the underlying
+// views have been obtained, δV can be estimated using standard methods").
+#ifndef WUW_STATS_DELTA_ESTIMATOR_H_
+#define WUW_STATS_DELTA_ESTIMATOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "core/work_metric.h"
+#include "graph/vdag.h"
+#include "stats/table_stats.h"
+
+namespace wuw {
+
+/// Inputs for statistics-based estimation.
+struct StatsEstimatorInputs {
+  /// Current-extent statistics per view (base and derived).
+  std::unordered_map<std::string, TableStats> extent_stats;
+  /// Statistics of the pending delta per base view (absent = no changes).
+  std::unordered_map<std::string, TableStats> base_delta_stats;
+  /// Plus/minus row split of each base delta (rows in base_delta_stats is
+  /// the absolute total).
+  std::unordered_map<std::string, std::pair<int64_t, int64_t>>
+      base_delta_plus_minus;
+};
+
+/// Builds a complete SizeMap bottom-up using the cardinality model.
+SizeMap EstimateSizesWithStats(const Vdag& vdag,
+                               const StatsEstimatorInputs& inputs);
+
+}  // namespace wuw
+
+#endif  // WUW_STATS_DELTA_ESTIMATOR_H_

@@ -1,0 +1,141 @@
+#include "stats/selectivity.h"
+
+#include <algorithm>
+
+namespace wuw {
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// Linearizes a value for range interpolation.  Dates need care: the
+/// yyyymmdd integer encoding has gaps (xxxx1231 -> yyyy0101 jumps by
+/// 8870), which would skew uniform interpolation by ~3x; map them onto a
+/// continuous day axis first.
+double Linearize(const Value& v) {
+  if (v.type() == TypeId::kDate) {
+    int64_t d = v.AsDate();
+    int64_t year = d / 10000, month = (d / 100) % 100, day = d % 100;
+    return static_cast<double>((year * 12 + (month - 1)) * 31 + (day - 1));
+  }
+  return v.NumericValue();
+}
+
+/// Fraction of [min, max] strictly below `v` under a uniform assumption.
+double FractionBelow(const ColumnStats& stats, const Value& v) {
+  if (stats.min.is_null() || stats.max.is_null()) return kDefaultSelectivity;
+  // Only numeric-ish columns support range math.
+  if (v.type() == TypeId::kString || stats.min.type() == TypeId::kString) {
+    return kDefaultSelectivity;
+  }
+  double lo = Linearize(stats.min);
+  double hi = Linearize(stats.max);
+  double x = Linearize(v);
+  if (hi <= lo) return x > lo ? 1.0 : 0.0;
+  return Clamp01((x - lo) / (hi - lo));
+}
+
+double EstimateNode(const ScalarExpr& e, const Schema& schema,
+                    const TableStats& stats) {
+  switch (e.kind()) {
+    case ExprKind::kLiteral: {
+      // Constant TRUE/FALSE predicates.
+      const Value& v = e.literal();
+      if (v.is_null()) return 0.0;
+      if (v.type() == TypeId::kInt64) return v.AsInt64() != 0 ? 1.0 : 0.0;
+      return kDefaultSelectivity;
+    }
+    case ExprKind::kLogical: {
+      double l = EstimateNode(*e.lhs(), schema, stats);
+      double r = EstimateNode(*e.rhs(), schema, stats);
+      return e.logical_op() == LogicalOp::kAnd ? Clamp01(l * r)
+                                               : Clamp01(l + r - l * r);
+    }
+    case ExprKind::kNot:
+      return Clamp01(1.0 - EstimateNode(*e.lhs(), schema, stats));
+    case ExprKind::kCompare: {
+      const ScalarExpr::Ptr& lhs = e.lhs();
+      const ScalarExpr::Ptr& rhs = e.rhs();
+      bool l_col = lhs->kind() == ExprKind::kColumn;
+      bool r_col = rhs->kind() == ExprKind::kColumn;
+      bool l_lit = lhs->kind() == ExprKind::kLiteral;
+      bool r_lit = rhs->kind() == ExprKind::kLiteral;
+
+      // col = col (within one relation).
+      if (l_col && r_col && e.compare_op() == CompareOp::kEq) {
+        int li = schema.IndexOf(lhs->column_name());
+        int ri = schema.IndexOf(rhs->column_name());
+        if (li < 0 || ri < 0) return kDefaultSelectivity;
+        return 1.0 / static_cast<double>(
+                         std::max(stats.DistinctAt(static_cast<size_t>(li)),
+                                  stats.DistinctAt(static_cast<size_t>(ri))));
+      }
+
+      // Normalize to col OP const.
+      const ScalarExpr* col = nullptr;
+      const Value* constant = nullptr;
+      CompareOp op = e.compare_op();
+      if (l_col && r_lit) {
+        col = lhs.get();
+        constant = &rhs->literal();
+      } else if (r_col && l_lit) {
+        col = rhs.get();
+        constant = &lhs->literal();
+        // Mirror the operator: const OP col  ==  col OP' const.
+        switch (op) {
+          case CompareOp::kLt:
+            op = CompareOp::kGt;
+            break;
+          case CompareOp::kLe:
+            op = CompareOp::kGe;
+            break;
+          case CompareOp::kGt:
+            op = CompareOp::kLt;
+            break;
+          case CompareOp::kGe:
+            op = CompareOp::kLe;
+            break;
+          default:
+            break;
+        }
+      } else {
+        return kDefaultSelectivity;
+      }
+
+      int index = schema.IndexOf(col->column_name());
+      if (index < 0 ||
+          static_cast<size_t>(index) >= stats.columns.size()) {
+        return kDefaultSelectivity;
+      }
+      const ColumnStats& cs = stats.columns[static_cast<size_t>(index)];
+      switch (op) {
+        case CompareOp::kEq:
+          return 1.0 / static_cast<double>(
+                           stats.DistinctAt(static_cast<size_t>(index)));
+        case CompareOp::kNe:
+          return Clamp01(
+              1.0 - 1.0 / static_cast<double>(stats.DistinctAt(
+                              static_cast<size_t>(index))));
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+          return FractionBelow(cs, *constant);
+        case CompareOp::kGt:
+        case CompareOp::kGe:
+          return Clamp01(1.0 - FractionBelow(cs, *constant));
+      }
+      return kDefaultSelectivity;
+    }
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+}  // namespace
+
+double EstimateSelectivity(const ScalarExpr::Ptr& predicate,
+                           const Schema& schema, const TableStats& stats) {
+  if (predicate == nullptr) return 1.0;
+  return Clamp01(EstimateNode(*predicate, schema, stats));
+}
+
+}  // namespace wuw

@@ -1,0 +1,28 @@
+// Predicate selectivity estimation over column statistics — the textbook
+// System-R style rules ([Ull89] ch. 16):
+//   col = const          1 / distinct(col)
+//   col <  / > const     fraction of [min, max] below/above the constant
+//   col = col            1 / max(distinct, distinct)
+//   AND                  product;  OR  s1 + s2 - s1*s2;  NOT  1 - s
+//   anything else        1/3 (the classic magic number)
+#ifndef WUW_STATS_SELECTIVITY_H_
+#define WUW_STATS_SELECTIVITY_H_
+
+#include "expr/scalar_expr.h"
+#include "stats/table_stats.h"
+#include "storage/schema.h"
+
+namespace wuw {
+
+/// Default selectivity for unestimable predicates.
+inline constexpr double kDefaultSelectivity = 1.0 / 3.0;
+
+/// Estimated fraction of rows of a relation with `schema` / `stats`
+/// satisfying `predicate`.  Columns the stats don't cover fall back to the
+/// default.  Always in [0, 1].
+double EstimateSelectivity(const ScalarExpr::Ptr& predicate,
+                           const Schema& schema, const TableStats& stats);
+
+}  // namespace wuw
+
+#endif  // WUW_STATS_SELECTIVITY_H_

@@ -1,0 +1,80 @@
+#include "stats/table_stats.h"
+
+#include <unordered_set>
+
+namespace wuw {
+
+namespace {
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+class Collector {
+ public:
+  explicit Collector(size_t num_columns)
+      : seen_(num_columns), stats_(num_columns) {}
+
+  void Row(const Tuple& tuple, int64_t weight) {
+    rows_ += weight;
+    for (size_t c = 0; c < stats_.size(); ++c) {
+      const Value& v = tuple.value(c);
+      if (v.is_null()) continue;
+      if (seen_[c].insert(v).second) {
+        ++stats_[c].distinct;
+        if (stats_[c].min.is_null() || v < stats_[c].min) stats_[c].min = v;
+        if (stats_[c].max.is_null() || stats_[c].max < v) stats_[c].max = v;
+      }
+    }
+  }
+
+  TableStats Finish() {
+    TableStats out;
+    out.rows = rows_;
+    out.columns = std::move(stats_);
+    return out;
+  }
+
+ private:
+  std::vector<std::unordered_set<Value, ValueHash>> seen_;
+  std::vector<ColumnStats> stats_;
+  int64_t rows_ = 0;
+};
+
+}  // namespace
+
+TableStats TableStats::Collect(const Table& table) {
+  Collector collector(table.schema().num_columns());
+  table.ForEach(
+      [&](const Tuple& t, int64_t count) { collector.Row(t, count); });
+  return collector.Finish();
+}
+
+TableStats TableStats::Collect(const DeltaRelation& delta) {
+  Collector collector(delta.schema().num_columns());
+  delta.ForEach([&](const Tuple& t, int64_t count) {
+    collector.Row(t, count < 0 ? -count : count);
+  });
+  return collector.Finish();
+}
+
+int64_t TableStats::DistinctAt(size_t index) const {
+  if (index >= columns.size()) return 1;
+  return columns[index].distinct > 0 ? columns[index].distinct : 1;
+}
+
+std::string TableStats::ToString(const Schema& schema) const {
+  std::string out = "rows=" + std::to_string(rows) + "\n";
+  for (size_t c = 0; c < columns.size() && c < schema.num_columns(); ++c) {
+    out += "  " + schema.column(c).name +
+           ": distinct=" + std::to_string(columns[c].distinct);
+    if (!columns[c].min.is_null()) {
+      out += " range=[" + columns[c].min.ToString() + ", " +
+             columns[c].max.ToString() + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wuw

@@ -1,0 +1,49 @@
+// Table statistics — the ANALYZE side of the house.
+//
+// Section 5.5 leans on "standard query result size estimation methods
+// [Ull89]" to produce the |δV| and |V'| estimates the algorithms consume.
+// Those methods need per-column statistics; this module collects them
+// (row count, per-column distinct count and min/max) from tables and
+// delta relations.
+#ifndef WUW_STATS_TABLE_STATS_H_
+#define WUW_STATS_TABLE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "delta/delta_relation.h"
+#include "storage/table.h"
+
+namespace wuw {
+
+/// Statistics for one column.
+struct ColumnStats {
+  int64_t distinct = 0;
+  Value min;  // null when the column had no non-null values
+  Value max;
+};
+
+/// Statistics for one relation instance.
+struct TableStats {
+  int64_t rows = 0;  // counting multiplicity
+  std::vector<ColumnStats> columns;
+
+  /// Exact single-pass collection (distinct via hashing — fine at
+  /// warehouse-benchmark scales; a production system would sample or
+  /// sketch).
+  static TableStats Collect(const Table& table);
+
+  /// Stats over a delta's tuples (multiplicities by absolute value —
+  /// the delta's footprint as a join operand).
+  static TableStats Collect(const DeltaRelation& delta);
+
+  /// Distinct count of the column at `index`, clamped to >= 1.
+  int64_t DistinctAt(size_t index) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_STATS_TABLE_STATS_H_

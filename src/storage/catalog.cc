@@ -1,0 +1,62 @@
+#include "storage/catalog.h"
+
+#include "common/check.h"
+
+namespace wuw {
+
+Table* Catalog::CreateTable(const std::string& name, Schema schema) {
+  WUW_CHECK(!HasTable(name), ("table already exists: " + name).c_str());
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  names_.push_back(name);
+  return raw;
+}
+
+Table* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Catalog::MustGetTable(const std::string& name) {
+  Table* t = GetTable(name);
+  WUW_CHECK(t != nullptr, ("no such table: " + name).c_str());
+  return t;
+}
+
+const Table* Catalog::MustGetTable(const std::string& name) const {
+  const Table* t = GetTable(name);
+  WUW_CHECK(t != nullptr, ("no such table: " + name).c_str());
+  return t;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Catalog Catalog::Clone() const {
+  Catalog out;
+  for (const std::string& name : names_) {
+    const Table* src = MustGetTable(name);
+    Table* dst = out.CreateTable(name, src->schema());
+    src->ForEach([&](const Tuple& t, int64_t c) { dst->Add(t, c); });
+  }
+  return out;
+}
+
+bool Catalog::ContentsEqual(const Catalog& other) const {
+  if (names_.size() != other.names_.size()) return false;
+  for (const std::string& name : names_) {
+    const Table* mine = GetTable(name);
+    const Table* theirs = other.GetTable(name);
+    if (theirs == nullptr || !mine->ContentsEqual(*theirs)) return false;
+  }
+  return true;
+}
+
+}  // namespace wuw

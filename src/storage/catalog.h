@@ -1,0 +1,57 @@
+// Catalog: the named collection of materialized tables at the warehouse.
+#ifndef WUW_STORAGE_CATALOG_H_
+#define WUW_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace wuw {
+
+/// Maps view names to their materialized extents.  The Warehouse (exec/)
+/// couples a Catalog with a Vdag and pending deltas; the Catalog itself is
+/// pure storage.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Movable, not copyable (tables can be large); use Clone() when a test
+  // needs an independent copy of the database state.
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; aborts if the name exists.
+  Table* CreateTable(const std::string& name, Schema schema);
+
+  /// Lookup; nullptr if absent.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// Lookup; aborts if absent.
+  Table* MustGetTable(const std::string& name);
+  const Table* MustGetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Names in creation order (stable across runs, used for reporting).
+  const std::vector<std::string>& table_names() const { return names_; }
+
+  /// Deep copy of all tables.
+  Catalog Clone() const;
+
+  /// True iff both catalogs hold the same tables with identical contents.
+  bool ContentsEqual(const Catalog& other) const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_STORAGE_CATALOG_H_

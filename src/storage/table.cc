@@ -1,0 +1,120 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wuw {
+
+size_t Table::FindPosition(const Tuple& tuple, size_t hash) const {
+  auto it = index_.find(hash);
+  if (it == index_.end()) return SIZE_MAX;
+  for (uint32_t pos : it->second) {
+    if (rows_[pos].first == tuple) return pos;
+  }
+  return SIZE_MAX;
+}
+
+int64_t Table::Add(const Tuple& tuple, int64_t count) {
+  if (count == 0) return Count(tuple);
+  size_t hash = tuple.Hash();
+  size_t pos = FindPosition(tuple, hash);
+
+  if (pos == SIZE_MAX) {
+    if (count <= 0) return 0;  // clamp: deleting an absent tuple is a no-op
+    WUW_CHECK(rows_.size() < UINT32_MAX, "table too large for row index");
+    index_[hash].push_back(static_cast<uint32_t>(rows_.size()));
+    rows_.emplace_back(tuple, count);
+    cardinality_ += count;
+    return count;
+  }
+
+  int64_t next = rows_[pos].second + count;
+  if (next > 0) {
+    cardinality_ += next - rows_[pos].second;
+    rows_[pos].second = next;
+    return next;
+  }
+
+  // Remove the row: swap-with-last keeps rows_ dense.
+  cardinality_ -= rows_[pos].second;
+  size_t last = rows_.size() - 1;
+  if (pos != last) {
+    size_t moved_hash = rows_[last].first.Hash();
+    rows_[pos] = std::move(rows_[last]);
+    // Repoint the moved row's index entry.
+    auto& positions = index_[moved_hash];
+    for (uint32_t& p : positions) {
+      if (p == static_cast<uint32_t>(last)) {
+        p = static_cast<uint32_t>(pos);
+        break;
+      }
+    }
+  }
+  rows_.pop_back();
+  // Drop the erased tuple's index entry: exactly one stale entry with
+  // value `pos` remains in its bucket (if the moved row shares the bucket,
+  // both entries read `pos` and removing either leaves the moved row's
+  // single valid entry).
+  auto it = index_.find(hash);
+  auto& positions = it->second;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i] == static_cast<uint32_t>(pos)) {
+      positions[i] = positions.back();
+      positions.pop_back();
+      break;
+    }
+  }
+  if (positions.empty()) index_.erase(it);
+  return 0;
+}
+
+int64_t Table::Count(const Tuple& tuple) const {
+  size_t pos = FindPosition(tuple, tuple.Hash());
+  return pos == SIZE_MAX ? 0 : rows_[pos].second;
+}
+
+void Table::ForEach(
+    const std::function<void(const Tuple&, int64_t)>& fn) const {
+  for (const auto& [tuple, count] : rows_) fn(tuple, count);
+}
+
+std::vector<std::pair<Tuple, int64_t>> Table::SortedRows() const {
+  std::vector<std::pair<Tuple, int64_t>> out = rows_;
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  index_.clear();
+  cardinality_ = 0;
+}
+
+bool Table::ContentsEqual(const Table& other) const {
+  if (cardinality_ != other.cardinality_) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  for (const auto& [tuple, count] : rows_) {
+    if (other.Count(tuple) != count) return false;
+  }
+  return true;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString() + " {\n";
+  size_t shown = 0;
+  for (const auto& [tuple, count] : rows_) {
+    if (shown++ >= max_rows) {
+      out += "  ...\n";
+      break;
+    }
+    out += "  " + tuple.ToString();
+    if (count != 1) out += " x" + std::to_string(count);
+    out += "\n";
+  }
+  out += "} (" + std::to_string(cardinality_) + " rows)";
+  return out;
+}
+
+}  // namespace wuw

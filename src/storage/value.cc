@@ -1,0 +1,147 @@
+#include "storage/value.h"
+
+#include <functional>
+
+#include "common/check.h"
+
+namespace wuw {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kInt64:
+      return "INT64";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "STRING";
+    case TypeId::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt64() const {
+  WUW_CHECK(type_ == TypeId::kInt64, "Value is not an INT64");
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsDouble() const {
+  WUW_CHECK(type_ == TypeId::kDouble, "Value is not a DOUBLE");
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  WUW_CHECK(type_ == TypeId::kString, "Value is not a STRING");
+  return std::get<std::string>(rep_);
+}
+
+int64_t Value::AsDate() const {
+  WUW_CHECK(type_ == TypeId::kDate, "Value is not a DATE");
+  return std::get<int64_t>(rep_);
+}
+
+double Value::NumericValue() const {
+  switch (type_) {
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      return static_cast<double>(std::get<int64_t>(rep_));
+    case TypeId::kDouble:
+      return std::get<double>(rep_);
+    default:
+      WUW_CHECK(false, "Value is not numeric");
+  }
+  return 0.0;
+}
+
+namespace {
+
+// Rank used to order values of different type classes.  Numeric-ish types
+// (int64, double, date) share a rank and compare by numeric value so that
+// e.g. Int64(3) == Double(3.0) never arises by construction in typed
+// columns, yet heterogeneous comparison stays total.
+int TypeRank(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return 0;
+    case TypeId::kInt64:
+    case TypeId::kDouble:
+    case TypeId::kDate:
+      return 1;
+    case TypeId::kString:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+bool Value::operator==(const Value& other) const {
+  if (TypeRank(type_) != TypeRank(other.type_)) return false;
+  switch (TypeRank(type_)) {
+    case 0:
+      return true;  // null == null
+    case 1:
+      return NumericValue() == other.NumericValue();
+    default:
+      return AsString() == other.AsString();
+  }
+}
+
+bool Value::operator<(const Value& other) const {
+  int lr = TypeRank(type_), rr = TypeRank(other.type_);
+  if (lr != rr) return lr < rr;
+  switch (lr) {
+    case 0:
+      return false;
+    case 1:
+      return NumericValue() < other.NumericValue();
+    default:
+      return AsString() < other.AsString();
+  }
+}
+
+size_t Value::Hash() const {
+  switch (TypeRank(type_)) {
+    case 0:
+      return 0x9e3779b97f4a7c15ull;
+    case 1: {
+      // Hash numerics through their double image so that equal values hash
+      // equally regardless of representation.
+      double d = NumericValue();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      return std::hash<double>{}(d);
+    }
+    default:
+      return std::hash<std::string>{}(AsString());
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kInt64:
+      return std::to_string(std::get<int64_t>(rep_));
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", std::get<double>(rep_));
+      return buf;
+    }
+    case TypeId::kString:
+      return std::get<std::string>(rep_);
+    case TypeId::kDate: {
+      int64_t d = std::get<int64_t>(rep_);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                    static_cast<int>(d / 10000),
+                    static_cast<int>((d / 100) % 100),
+                    static_cast<int>(d % 100));
+      return buf;
+    }
+  }
+  return "?";
+}
+
+}  // namespace wuw

@@ -1,0 +1,90 @@
+// A dynamically-typed scalar value: the cell type of all warehouse tuples.
+//
+// The warehouse engine is deliberately small: four concrete types cover the
+// TPC-D columns used by the paper's experiments (integers and keys, money
+// amounts, fixed strings, and dates).  Dates are stored as int32 "yyyymmdd"
+// ordinals so that comparison operators order them chronologically without a
+// calendar library.
+#ifndef WUW_STORAGE_VALUE_H_
+#define WUW_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace wuw {
+
+/// Type tags for Value.  kNull is its own type (SQL-ish but simplified:
+/// nulls compare equal to each other and less than everything else, which
+/// gives tuples a total order usable for hashing and sorting).
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kDate = 4,
+};
+
+/// Human-readable type name ("INT64", "DATE", ...).
+const char* TypeName(TypeId t);
+
+/// A single scalar cell.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : type_(TypeId::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(TypeId::kInt64, v); }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = TypeId::kDouble;
+    out.rep_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = TypeId::kString;
+    out.rep_ = std::move(v);
+    return out;
+  }
+  /// Date encoded as yyyymmdd, e.g. 19950315.
+  static Value Date(int64_t yyyymmdd) { return Value(TypeId::kDate, yyyymmdd); }
+  /// Convenience constructor from calendar components.
+  static Value Date(int year, int month, int day) {
+    return Date(static_cast<int64_t>(year) * 10000 + month * 100 + day);
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return type_ == TypeId::kNull; }
+
+  /// Accessors abort if the type does not match; use type() first when
+  /// handling heterogeneous data.
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  int64_t AsDate() const;
+
+  /// Numeric view: int64 and date widen to double.  Aborts on strings/nulls.
+  double NumericValue() const;
+
+  /// Total order over all values (null < int64/double/date interleaved by
+  /// numeric value < string).  Used by tuple ordering and group-by maps.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+
+  size_t Hash() const;
+
+  /// Render for debugging and benchmark output ("1995-03-15" for dates).
+  std::string ToString() const;
+
+ private:
+  Value(TypeId t, int64_t v) : type_(t), rep_(v) {}
+
+  TypeId type_;
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_STORAGE_VALUE_H_

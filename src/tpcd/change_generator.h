@@ -1,0 +1,72 @@
+// Synthetic change batches for the update-window experiments.
+//
+// The paper's experiments change the remote sources so that each base view
+// shrinks by p% (Section 7); Experiment 3 sweeps p.  The generators here
+// produce those deletion batches deterministically, plus insertion batches
+// with fresh keys for mixed workloads.
+#ifndef WUW_TPCD_CHANGE_GENERATOR_H_
+#define WUW_TPCD_CHANGE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "delta/delta_relation.h"
+#include "exec/warehouse.h"
+#include "storage/table.h"
+#include "tpcd/tpcd_generator.h"
+
+namespace wuw {
+namespace tpcd {
+
+/// A deletion delta removing ~`fraction` of `current`'s rows, selected
+/// deterministically from `seed`.  Works on any table.
+DeltaRelation MakeDeletionDelta(const Table& current, double fraction,
+                                uint64_t seed);
+
+/// An insertion delta of `count` fresh rows for the named TPC-D table,
+/// with primary keys starting above `key_floor` (pass the current max key
+/// or table size).
+DeltaRelation MakeInsertionDelta(const std::string& table, int64_t count,
+                                 int64_t key_floor,
+                                 const GeneratorOptions& options);
+
+/// Per-experiment convenience: applies the paper's default workload to a
+/// warehouse's pending batch — every base view except REGION shrinks by
+/// `delete_fraction` (plus optional inserts of `insert_fraction`).
+void ApplyPaperChangeWorkload(Warehouse* warehouse, double delete_fraction,
+                              double insert_fraction, uint64_t seed);
+
+/// A coherent multi-batch change stream, the way an extractor produces it:
+/// every batch is drawn against the TRUE source state (all earlier batches
+/// applied), so a tuple is never deleted twice and deferred policies can
+/// merge batches safely.  The stream keeps a private mirror of the base
+/// tables; the warehouse being maintained is never touched.
+class SourceChangeStream {
+ public:
+  /// Mirrors the warehouse's base tables as the initial source state.
+  SourceChangeStream(const Warehouse& warehouse,
+                     const GeneratorOptions& options);
+
+  /// Produces the next batch (delete_fraction of current source rows per
+  /// table, plus fresh inserts of insert_fraction for ORDERS/LINEITEM/
+  /// CUSTOMER/SUPPLIER when they exist) and applies it to the mirror.
+  std::unordered_map<std::string, DeltaRelation> NextBatch(
+      double delete_fraction, double insert_fraction);
+
+  /// Current source state (for ground-truth comparisons).
+  const Catalog& source() const { return source_; }
+
+ private:
+  Catalog source_;
+  std::vector<std::string> bases_;
+  GeneratorOptions options_;
+  uint64_t batch_number_ = 0;
+  int64_t next_key_floor_;
+};
+
+}  // namespace tpcd
+}  // namespace wuw
+
+#endif  // WUW_TPCD_CHANGE_GENERATOR_H_

@@ -1,0 +1,71 @@
+// Deterministic synthetic TPC-D data generator.
+//
+// Row counts follow the TPC-D ratios at a given scale factor:
+//   SUPPLIER 10,000·SF   CUSTOMER 150,000·SF   ORDERS 1,500,000·SF
+//   LINEITEM ≈ 4 per order   NATION 25   REGION 5
+// Values are drawn from a seeded SplitMix64 stream, so the same
+// (scale_factor, seed) always produces the same database — benchmarks and
+// tests are exactly reproducible.
+#ifndef WUW_TPCD_TPCD_GENERATOR_H_
+#define WUW_TPCD_TPCD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace wuw {
+namespace tpcd {
+
+/// Seedable SplitMix64 stream (shared with the change generator).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 0x9e3779b97f4a7c15ull + 1) {}
+
+  uint64_t Next();
+  /// Uniform in [0, bound).
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+  double Unit() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_;
+};
+
+struct GeneratorOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+};
+
+/// Converts a day offset from 1992-01-01 into a yyyymmdd Value on the
+/// synthetic 360-day calendar.
+int64_t DateFromDayOffset(int64_t days);
+
+/// Populates `table` (which must have the matching TPC-D schema) with
+/// synthetic rows.  `first_key` lets the change generator mint fresh,
+/// non-colliding primary keys for insert deltas.
+void FillRegion(Table* table);
+void FillNation(Table* table);
+void FillSupplier(Table* table, const GeneratorOptions& options,
+                  int64_t first_key = 1, int64_t count = -1);
+void FillCustomer(Table* table, const GeneratorOptions& options,
+                  int64_t first_key = 1, int64_t count = -1);
+void FillOrders(Table* table, const GeneratorOptions& options,
+                int64_t first_key = 1, int64_t count = -1);
+void FillLineitem(Table* table, const GeneratorOptions& options,
+                  int64_t first_order_key = 1, int64_t order_count = -1);
+
+/// Default row count of a table at the given scale factor.
+int64_t DefaultRowCount(const std::string& table,
+                        const GeneratorOptions& options);
+
+/// Fills any TPC-D table by name with its default row count.
+void FillTable(const std::string& table, Table* out,
+               const GeneratorOptions& options);
+
+}  // namespace tpcd
+}  // namespace wuw
+
+#endif  // WUW_TPCD_TPCD_GENERATOR_H_

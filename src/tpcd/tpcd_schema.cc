@@ -1,0 +1,69 @@
+#include "tpcd/tpcd_schema.h"
+
+#include "common/check.h"
+
+namespace wuw {
+namespace tpcd {
+
+Schema RegionSchema() {
+  return Schema({{"r_regionkey", TypeId::kInt64}, {"r_name", TypeId::kString}});
+}
+
+Schema NationSchema() {
+  return Schema({{"n_nationkey", TypeId::kInt64},
+                 {"n_name", TypeId::kString},
+                 {"n_regionkey", TypeId::kInt64}});
+}
+
+Schema SupplierSchema() {
+  return Schema({{"s_suppkey", TypeId::kInt64},
+                 {"s_name", TypeId::kString},
+                 {"s_nationkey", TypeId::kInt64},
+                 {"s_acctbal", TypeId::kInt64}});
+}
+
+Schema CustomerSchema() {
+  return Schema({{"c_custkey", TypeId::kInt64},
+                 {"c_name", TypeId::kString},
+                 {"c_nationkey", TypeId::kInt64},
+                 {"c_mktsegment", TypeId::kString},
+                 {"c_acctbal", TypeId::kInt64},
+                 {"c_address", TypeId::kString},
+                 {"c_phone", TypeId::kString}});
+}
+
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", TypeId::kInt64},
+                 {"o_custkey", TypeId::kInt64},
+                 {"o_orderdate", TypeId::kDate},
+                 {"o_shippriority", TypeId::kInt64},
+                 {"o_orderstatus", TypeId::kString}});
+}
+
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", TypeId::kInt64},
+                 {"l_linenumber", TypeId::kInt64},
+                 {"l_suppkey", TypeId::kInt64},
+                 {"l_extendedprice", TypeId::kInt64},
+                 {"l_discount", TypeId::kInt64},
+                 {"l_shipdate", TypeId::kDate},
+                 {"l_returnflag", TypeId::kString}});
+}
+
+Schema SchemaFor(const std::string& table) {
+  if (table == kRegion) return RegionSchema();
+  if (table == kNation) return NationSchema();
+  if (table == kSupplier) return SupplierSchema();
+  if (table == kCustomer) return CustomerSchema();
+  if (table == kOrders) return OrdersSchema();
+  if (table == kLineitem) return LineitemSchema();
+  WUW_CHECK(false, ("unknown TPC-D table: " + table).c_str());
+  return Schema();
+}
+
+std::vector<std::string> AllTables() {
+  return {kOrders, kLineitem, kCustomer, kSupplier, kNation, kRegion};
+}
+
+}  // namespace tpcd
+}  // namespace wuw

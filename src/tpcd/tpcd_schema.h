@@ -1,0 +1,40 @@
+// TPC-D table schemas (the columns exercised by queries Q3, Q5, Q10).
+//
+// Two representation choices keep cross-strategy state comparisons exact:
+//  * money is int64 cents and discounts are int64 basis points, so revenue
+//    SUM(l_extendedprice * (10000 - l_discount)) accumulates exactly in
+//    int64 regardless of evaluation order;
+//  * dates are yyyymmdd ordinals on a synthetic 360-day calendar (12 months
+//    of 30 days), which preserves chronological comparison semantics.
+#ifndef WUW_TPCD_TPCD_SCHEMA_H_
+#define WUW_TPCD_TPCD_SCHEMA_H_
+
+#include "storage/schema.h"
+
+namespace wuw {
+namespace tpcd {
+
+inline const char* kRegion = "REGION";
+inline const char* kNation = "NATION";
+inline const char* kSupplier = "SUPPLIER";
+inline const char* kCustomer = "CUSTOMER";
+inline const char* kOrders = "ORDERS";
+inline const char* kLineitem = "LINEITEM";
+
+Schema RegionSchema();
+Schema NationSchema();
+Schema SupplierSchema();
+Schema CustomerSchema();
+Schema OrdersSchema();
+Schema LineitemSchema();
+
+/// Schema of a TPC-D table by name; aborts on unknown names.
+Schema SchemaFor(const std::string& table);
+
+/// All six base-table names in the order of Figure 4.
+std::vector<std::string> AllTables();
+
+}  // namespace tpcd
+}  // namespace wuw
+
+#endif  // WUW_TPCD_TPCD_SCHEMA_H_

@@ -1,0 +1,191 @@
+#include "tpcd/tpcd_views.h"
+
+#include "common/check.h"
+#include "tpcd/tpcd_schema.h"
+
+namespace wuw {
+namespace tpcd {
+
+namespace {
+
+ScalarExpr::Ptr Revenue() {
+  // l_extendedprice * (10000 - l_discount): cents x basis points.
+  return ScalarExpr::Arith(
+      ArithOp::kMul, ScalarExpr::Column("l_extendedprice"),
+      ScalarExpr::Arith(ArithOp::kSub,
+                        ScalarExpr::Literal(Value::Int64(10000)),
+                        ScalarExpr::Column("l_discount")));
+}
+
+}  // namespace
+
+std::shared_ptr<const ViewDefinition> Q3Definition() {
+  // SELECT l_orderkey, o_orderdate, o_shippriority, SUM(revenue)
+  // FROM customer, orders, lineitem
+  // WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+  //   AND l_orderkey = o_orderkey AND o_orderdate < '1995-03-15'
+  //   AND l_shipdate > '1995-03-15'
+  // GROUP BY l_orderkey, o_orderdate, o_shippriority
+  return ViewDefinitionBuilder("Q3")
+      .From(kCustomer)
+      .From(kOrders)
+      .From(kLineitem)
+      .JoinOn("c_custkey", "o_custkey")
+      .JoinOn("o_orderkey", "l_orderkey")
+      .Where(ScalarExpr::ColEqString("c_mktsegment", "BUILDING"))
+      .Where(ScalarExpr::ColLtDate("o_orderdate", 19950315))
+      .Where(ScalarExpr::ColGtDate("l_shipdate", 19950315))
+      .SelectColumn("l_orderkey")
+      .SelectColumn("o_orderdate")
+      .SelectColumn("o_shippriority")
+      .Sum(Revenue(), "revenue")
+      .Build();
+}
+
+std::shared_ptr<const ViewDefinition> Q5Definition() {
+  // SELECT n_name, SUM(revenue)
+  // FROM customer, orders, lineitem, supplier, nation, region
+  // WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  //   AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+  //   AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  //   AND r_name = 'ASIA'
+  //   AND o_orderdate >= '1994-01-01' AND o_orderdate < '1995-01-01'
+  // GROUP BY n_name
+  return ViewDefinitionBuilder("Q5")
+      .From(kCustomer)
+      .From(kOrders)
+      .From(kLineitem)
+      .From(kSupplier)
+      .From(kNation)
+      .From(kRegion)
+      .JoinOn("c_custkey", "o_custkey")
+      .JoinOn("o_orderkey", "l_orderkey")
+      .JoinOn("l_suppkey", "s_suppkey")
+      .JoinOn("c_nationkey", "s_nationkey")
+      .JoinOn("s_nationkey", "n_nationkey")
+      .JoinOn("n_regionkey", "r_regionkey")
+      .Where(ScalarExpr::ColEqString("r_name", "ASIA"))
+      .Where(ScalarExpr::ColGeDate("o_orderdate", 19940101))
+      .Where(ScalarExpr::ColLtDate("o_orderdate", 19950101))
+      .SelectColumn("n_name")
+      .Sum(Revenue(), "revenue")
+      .Build();
+}
+
+std::shared_ptr<const ViewDefinition> Q10Definition() {
+  // SELECT c_custkey, c_name, c_acctbal, n_name, c_address, c_phone,
+  //        SUM(revenue)
+  // FROM customer, orders, lineitem, nation
+  // WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  //   AND o_orderdate >= '1993-10-01' AND o_orderdate < '1994-01-01'
+  //   AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+  // GROUP BY c_custkey, c_name, c_acctbal, n_name, c_address, c_phone
+  return ViewDefinitionBuilder("Q10")
+      .From(kCustomer)
+      .From(kOrders)
+      .From(kLineitem)
+      .From(kNation)
+      .JoinOn("c_custkey", "o_custkey")
+      .JoinOn("o_orderkey", "l_orderkey")
+      .JoinOn("c_nationkey", "n_nationkey")
+      .Where(ScalarExpr::ColGeDate("o_orderdate", 19931001))
+      .Where(ScalarExpr::ColLtDate("o_orderdate", 19940101))
+      .Where(ScalarExpr::ColEqString("l_returnflag", "R"))
+      .SelectColumn("c_custkey")
+      .SelectColumn("c_name")
+      .SelectColumn("c_acctbal")
+      .SelectColumn("n_name")
+      .SelectColumn("c_address")
+      .SelectColumn("c_phone")
+      .Sum(Revenue(), "revenue")
+      .Build();
+}
+
+Vdag BuildTpcdVdag(const std::vector<std::string>& queries,
+                   bool only_referenced_bases) {
+  auto wants = [&](const std::string& q) {
+    return queries.empty() ||
+           std::find(queries.begin(), queries.end(), q) != queries.end();
+  };
+  std::vector<std::shared_ptr<const ViewDefinition>> defs;
+  if (wants("Q3")) defs.push_back(Q3Definition());
+  if (wants("Q5")) defs.push_back(Q5Definition());
+  if (wants("Q10")) defs.push_back(Q10Definition());
+
+  Vdag vdag;
+  for (const std::string& table : AllTables()) {
+    if (only_referenced_bases) {
+      bool referenced = false;
+      for (const auto& def : defs) {
+        if (def->SourceIndex(table) >= 0) referenced = true;
+      }
+      if (!referenced) continue;
+    }
+    vdag.AddBaseView(table, SchemaFor(table));
+  }
+  for (const auto& def : defs) vdag.AddDerivedView(def);
+  return vdag;
+}
+
+Warehouse MakeTpcdWarehouse(const GeneratorOptions& options,
+                            const std::vector<std::string>& queries,
+                            bool only_referenced_bases) {
+  Warehouse warehouse(BuildTpcdVdag(queries, only_referenced_bases));
+  for (const std::string& table : warehouse.vdag().BaseViews()) {
+    FillTable(table, warehouse.base_table(table), options);
+  }
+  warehouse.RecomputeDerived();
+  return warehouse;
+}
+
+std::shared_ptr<const ViewDefinition> Q3ByPriorityDefinition() {
+  // SELECT o_shippriority, SUM(revenue) FROM Q3 GROUP BY o_shippriority
+  return ViewDefinitionBuilder("Q3_BY_PRIORITY")
+      .From("Q3")
+      .SelectColumn("o_shippriority")
+      .Sum(ScalarExpr::Column("revenue"), "priority_revenue")
+      .Build();
+}
+
+std::shared_ptr<const ViewDefinition> Q10ByNationDefinition() {
+  // SELECT n_name, SUM(revenue) FROM Q10 GROUP BY n_name
+  return ViewDefinitionBuilder("Q10_BY_NATION")
+      .From("Q10")
+      .SelectColumn("n_name")
+      .Sum(ScalarExpr::Column("revenue"), "nation_revenue")
+      .Build();
+}
+
+std::shared_ptr<const ViewDefinition> Q10OrderStatusDefinition() {
+  // SELECT o_orderstatus, SUM(revenue) FROM Q10, ORDERS
+  // WHERE c_custkey = o_custkey GROUP BY o_orderstatus
+  // (returned-item revenue weighted by order activity; its definition
+  // spans levels 1 and 0, making the extended VDAG non-uniform)
+  return ViewDefinitionBuilder("Q10_ORDER_STATUS")
+      .From("Q10")
+      .From(kOrders)
+      .JoinOn("c_custkey", "o_custkey")
+      .SelectColumn("o_orderstatus")
+      .Sum(ScalarExpr::Column("revenue"), "status_revenue")
+      .Build();
+}
+
+Vdag BuildExtendedTpcdVdag() {
+  Vdag vdag = BuildTpcdVdag();
+  vdag.AddDerivedView(Q3ByPriorityDefinition());
+  vdag.AddDerivedView(Q10ByNationDefinition());
+  vdag.AddDerivedView(Q10OrderStatusDefinition());
+  return vdag;
+}
+
+Warehouse MakeExtendedTpcdWarehouse(const GeneratorOptions& options) {
+  Warehouse warehouse(BuildExtendedTpcdVdag());
+  for (const std::string& table : warehouse.vdag().BaseViews()) {
+    FillTable(table, warehouse.base_table(table), options);
+  }
+  warehouse.RecomputeDerived();
+  return warehouse;
+}
+
+}  // namespace tpcd
+}  // namespace wuw

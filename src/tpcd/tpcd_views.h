@@ -1,0 +1,64 @@
+// The TPC-D warehouse of Figure 4: six base views plus summary tables
+// defined by TPC-D queries Q3 ("Shipping Priority"), Q5 ("Local Supplier
+// Volume") and Q10 ("Returned Item Reporting").
+//
+// Revenue is SUM(l_extendedprice * (10000 - l_discount)) in
+// cent-basis-point units — the integer form of the TPC-D expression
+// l_extendedprice * (1 - l_discount), kept exact under any evaluation
+// order.
+#ifndef WUW_TPCD_TPCD_VIEWS_H_
+#define WUW_TPCD_TPCD_VIEWS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/warehouse.h"
+#include "graph/vdag.h"
+#include "tpcd/tpcd_generator.h"
+#include "view/view_definition.h"
+
+namespace wuw {
+namespace tpcd {
+
+/// Q3 over CUSTOMER, ORDERS, LINEITEM.
+std::shared_ptr<const ViewDefinition> Q3Definition();
+/// Q5 over all six base views.
+std::shared_ptr<const ViewDefinition> Q5Definition();
+/// Q10 over CUSTOMER, ORDERS, LINEITEM, NATION.
+std::shared_ptr<const ViewDefinition> Q10Definition();
+
+/// Builds the VDAG of Figure 4 restricted to the named derived views
+/// (subset of {"Q3","Q5","Q10"}; empty means all three).  With
+/// `only_referenced_bases`, base views no selected query reads are left
+/// out — the single-view experiments (1-3) study one summary table in
+/// isolation.
+Vdag BuildTpcdVdag(const std::vector<std::string>& queries = {},
+                   bool only_referenced_bases = false);
+
+/// Creates a fully loaded warehouse: base tables generated at
+/// options.scale_factor, derived views materialized.
+Warehouse MakeTpcdWarehouse(const GeneratorOptions& options,
+                            const std::vector<std::string>& queries = {},
+                            bool only_referenced_bases = false);
+
+/// Second-level summary tables ("derived views that further summarize Q3,
+/// Q5 and Q10 can also be defined", Section 2): priority-level rollup of
+/// Q3, nation-level rollup of Q10, and an order-status activity view that
+/// JOINS Q10 back to ORDERS — a level-2 view over levels 1 and 0, which
+/// makes the extended VDAG non-uniform: the territory where MinWork may
+/// need ModifyOrdering and Prune earns its keep.
+std::shared_ptr<const ViewDefinition> Q3ByPriorityDefinition();
+std::shared_ptr<const ViewDefinition> Q10ByNationDefinition();
+std::shared_ptr<const ViewDefinition> Q10OrderStatusDefinition();
+
+/// Figure-4 VDAG extended with the two rollups above.
+Vdag BuildExtendedTpcdVdag();
+
+/// Loaded warehouse over the extended VDAG.
+Warehouse MakeExtendedTpcdWarehouse(const GeneratorOptions& options);
+
+}  // namespace tpcd
+}  // namespace wuw
+
+#endif  // WUW_TPCD_TPCD_VIEWS_H_

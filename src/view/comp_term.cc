@@ -1,0 +1,125 @@
+#include "view/comp_term.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/check.h"
+#include "view/join_pipeline.h"
+
+namespace wuw {
+
+CompEvalResult EvalComp(const ViewDefinition& def,
+                        const std::vector<std::string>& over,
+                        const Catalog& catalog, const DeltaProvider& deltas,
+                        const CompEvalOptions& options, OperatorStats* stats) {
+  WUW_CHECK(!over.empty(), "Comp requires a non-empty view set Y");
+
+  // Map Y members to source positions.
+  std::vector<size_t> over_idx;
+  for (const std::string& name : over) {
+    int i = def.SourceIndex(name);
+    WUW_CHECK(i >= 0, ("Comp over non-source view: " + name).c_str());
+    over_idx.push_back(static_cast<size_t>(i));
+  }
+
+  const size_t n = def.num_sources();
+  std::vector<const Table*> tables(n);
+  for (size_t i = 0; i < n; ++i) {
+    tables[i] = catalog.MustGetTable(def.sources()[i]);
+  }
+  std::vector<const DeltaRelation*> delta_of(n, nullptr);
+  for (size_t k = 0; k < over_idx.size(); ++k) {
+    delta_of[over_idx[k]] = deltas(over[k]);
+    WUW_CHECK(delta_of[over_idx[k]] != nullptr,
+              ("no delta available for view: " + over[k]).c_str());
+  }
+
+  auto resolver = [&](const std::string& name) -> const Schema& {
+    return catalog.MustGetTable(name)->schema();
+  };
+
+  // Select the terms to evaluate.  Subset masks 1 .. 2^m-1: bit k set →
+  // over[k] contributes its delta.
+  const size_t m = over_idx.size();
+  std::vector<uint64_t> masks;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << m); ++mask) {
+    if (options.skip_empty_delta_terms) {
+      // A term joins the deltas of its selected views: one empty delta
+      // operand makes the whole term empty.
+      bool any_empty = false;
+      for (size_t k = 0; k < m; ++k) {
+        if ((mask >> k & 1) && delta_of[over_idx[k]]->empty()) {
+          any_empty = true;
+          break;
+        }
+      }
+      if (any_empty) continue;
+    }
+    masks.push_back(mask);
+  }
+
+  struct TermResult {
+    Rows raw;
+    int64_t work = 0;
+    OperatorStats stats;
+  };
+  std::vector<TermResult> term_results(masks.size());
+
+  auto eval_term = [&](size_t slot) {
+    uint64_t mask = masks[slot];
+    TermResult& out = term_results[slot];
+    std::vector<bool> use_delta(n, false);
+    for (size_t k = 0; k < m; ++k) {
+      if (mask >> k & 1) use_delta[over_idx[k]] = true;
+    }
+    std::vector<Rows> inputs;
+    inputs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (use_delta[i]) {
+        inputs.push_back(delta_of[i]->ToRows());
+        out.work += delta_of[i]->AbsCardinality();
+      } else {
+        inputs.push_back(Rows::FromTable(*tables[i]));
+        out.work += tables[i]->cardinality();
+      }
+    }
+    Rows joined = EvalJoinPipeline(def, std::move(inputs), &out.stats);
+    out.raw = ProjectToRaw(def, joined, &out.stats);
+  };
+
+  int workers = std::max(1, options.term_workers);
+  if (workers == 1 || masks.size() <= 1) {
+    for (size_t slot = 0; slot < masks.size(); ++slot) eval_term(slot);
+  } else {
+    // Terms are independent joins over read-only inputs: fan out.
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      while (true) {
+        size_t slot = next.fetch_add(1);
+        if (slot >= masks.size()) break;
+        eval_term(slot);
+      }
+    };
+    size_t num_threads =
+        std::min<size_t>(static_cast<size_t>(workers), masks.size());
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Merge in mask order: deterministic results regardless of scheduling.
+  CompEvalResult result;
+  result.raw_delta = Rows(RawSchema(def, resolver));
+  for (TermResult& term : term_results) {
+    for (auto& [tuple, count] : term.raw.rows) {
+      result.raw_delta.Add(std::move(tuple), count);
+    }
+    result.linear_operand_work += term.work;
+    if (stats != nullptr) *stats += term.stats;
+    ++result.num_terms;
+  }
+  return result;
+}
+
+}  // namespace wuw

@@ -1,0 +1,63 @@
+// Evaluation of Comp(V, Y) maintenance expressions.
+//
+// Comp(V, Y) has 2^|Y|-1 terms (Section 3.3): each term picks, for every
+// view in Y, its delta or its current extent — excluding the all-extent
+// combination — and additionally reads the current extent of every other
+// source of Def(V).  Terms are evaluated separately (the paper's
+// term-execution model); signed multiplicities make insertions and
+// deletions flow through one pipeline.
+//
+// Over the life of a correct strategy, the union of raw deltas produced by
+// the Comp expressions for V telescopes to exactly the change of V, because
+// installs interleave per conditions C3/C4 (Definition 3.1).
+#ifndef WUW_VIEW_COMP_TERM_H_
+#define WUW_VIEW_COMP_TERM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algebra/operator_stats.h"
+#include "algebra/rows.h"
+#include "delta/delta_relation.h"
+#include "storage/catalog.h"
+#include "view/view_definition.h"
+
+namespace wuw {
+
+/// Resolves the current-batch delta of a view by name (base deltas come
+/// from the sources; derived deltas from finished Comp sequences).
+using DeltaProvider =
+    std::function<const DeltaRelation*(const std::string&)>;
+
+/// Result of evaluating one Comp expression.
+struct CompEvalResult {
+  /// Accumulated raw delta across all terms (see join_pipeline.h for the
+  /// raw representation).
+  Rows raw_delta;
+  /// Measured linear-metric work: for each term, the sum of the sizes of
+  /// its operands (|δVi| for delta operands, |Vi| for extent operands),
+  /// totalled over terms.  This is the run-time counterpart of Def 3.5.
+  int64_t linear_operand_work = 0;
+  int64_t num_terms = 0;
+};
+
+struct CompEvalOptions {
+  /// Footnote 5 extension: skip terms whose delta operands are all empty.
+  /// Off by default to match the paper's measured execution model.
+  bool skip_empty_delta_terms = false;
+  /// Intra-expression parallelism: evaluate the 2^|Y|-1 maintenance terms
+  /// on this many worker threads (they are independent joins over
+  /// read-only inputs).  1 = sequential, the paper's execution model.
+  int term_workers = 1;
+};
+
+/// Evaluates Comp(V, over) where `def` = Def(V) and `over` ⊆ def.sources().
+CompEvalResult EvalComp(const ViewDefinition& def,
+                        const std::vector<std::string>& over,
+                        const Catalog& catalog, const DeltaProvider& deltas,
+                        const CompEvalOptions& options, OperatorStats* stats);
+
+}  // namespace wuw
+
+#endif  // WUW_VIEW_COMP_TERM_H_

@@ -1,0 +1,182 @@
+#include "view/join_pipeline.h"
+
+#include "algebra/filter.h"
+#include "algebra/hash_join.h"
+#include "algebra/project.h"
+#include "common/check.h"
+#include "expr/evaluator.h"
+
+namespace wuw {
+
+namespace {
+
+/// Index of the single source whose schema contains all `columns`, or -1 if
+/// they span sources (or reference nothing).
+int SingleSourceOf(const std::vector<Rows>& inputs,
+                   const std::vector<std::string>& columns) {
+  int found = -1;
+  for (const std::string& col : columns) {
+    int owner = -1;
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      if (inputs[s].schema.HasColumn(col)) {
+        owner = static_cast<int>(s);
+        break;
+      }
+    }
+    WUW_CHECK(owner >= 0, ("filter references unknown column: " + col).c_str());
+    if (found == -1) found = owner;
+    if (owner != found) return -1;
+  }
+  return found;
+}
+
+/// Largest source index that owns any of `columns` (the earliest join point
+/// at which a multi-source conjunct can run).
+int LastSourceOf(const std::vector<Rows>& inputs,
+                 const std::vector<std::string>& columns) {
+  int last = 0;
+  for (const std::string& col : columns) {
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      if (inputs[s].schema.HasColumn(col)) {
+        last = std::max(last, static_cast<int>(s));
+        break;
+      }
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+Rows EvalJoinPipeline(const ViewDefinition& def, std::vector<Rows> inputs,
+                      OperatorStats* stats) {
+  WUW_CHECK(inputs.size() == def.num_sources(),
+            "pipeline needs one input per definition source");
+
+  // Classify filter conjuncts: single-source ones run at the scan, the rest
+  // at the first join step where all their columns exist.
+  std::vector<std::vector<ScalarExpr::Ptr>> source_filters(inputs.size());
+  std::vector<std::vector<ScalarExpr::Ptr>> step_filters(inputs.size());
+  for (const ScalarExpr::Ptr& conjunct : def.filters()) {
+    std::vector<std::string> cols = conjunct->ReferencedColumns();
+    int single = SingleSourceOf(inputs, cols);
+    if (single >= 0) {
+      source_filters[single].push_back(conjunct);
+    } else {
+      step_filters[LastSourceOf(inputs, cols)].push_back(conjunct);
+    }
+  }
+
+  // Locate each join condition's owning sources.
+  auto owner_of = [&](const std::string& col) {
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      if (inputs[s].schema.HasColumn(col)) return static_cast<int>(s);
+    }
+    WUW_CHECK(false, ("join references unknown column: " + col).c_str());
+    return -1;
+  };
+
+  struct Edge {
+    std::string a_col, b_col;
+    int a_src, b_src;
+    bool used = false;
+  };
+  std::vector<Edge> edges;
+  for (const JoinCondition& jc : def.joins()) {
+    Edge e{jc.left_column, jc.right_column, owner_of(jc.left_column),
+           owner_of(jc.right_column), false};
+    WUW_CHECK(e.a_src != e.b_src,
+              "join condition must span two distinct sources");
+    edges.push_back(e);
+  }
+
+  auto scan = [&](size_t i) {
+    if (source_filters[i].empty()) return std::move(inputs[i]);
+    return Filter(inputs[i], ScalarExpr::AndAll(source_filters[i]), stats);
+  };
+
+  Rows acc = scan(0);
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    Rows right = scan(i);
+    // Keys: every unused edge with exactly one side in source i and the
+    // other in the accumulated prefix.
+    JoinKeys keys;
+    for (Edge& e : edges) {
+      if (e.used) continue;
+      int self = static_cast<int>(i);
+      if (e.a_src == self && e.b_src < self) {
+        keys.left_columns.push_back(e.b_col);
+        keys.right_columns.push_back(e.a_col);
+        e.used = true;
+      } else if (e.b_src == self && e.a_src < self) {
+        keys.left_columns.push_back(e.a_col);
+        keys.right_columns.push_back(e.b_col);
+        e.used = true;
+      }
+    }
+    acc = HashJoin(acc, right, keys, stats);
+    if (!step_filters[i].empty()) {
+      acc = Filter(acc, ScalarExpr::AndAll(step_filters[i]), stats);
+    }
+  }
+  for (const Edge& e : edges) {
+    WUW_CHECK(e.used || inputs.size() == 1,
+              "join condition never became applicable");
+  }
+  return acc;
+}
+
+Rows ProjectToRaw(const ViewDefinition& def, const Rows& joined,
+                  OperatorStats* stats) {
+  std::vector<ProjectItem> items = def.projections();
+  size_t arg_index = 0;
+  for (const AggSpec& spec : def.aggregates()) {
+    if (spec.fn == AggFn::kSum) {
+      items.push_back(
+          ProjectItem{spec.arg, "__arg" + std::to_string(arg_index)});
+    }
+    ++arg_index;
+  }
+  return Project(joined, items, stats);
+}
+
+Schema RawSchema(const ViewDefinition& def,
+                 const ViewDefinition::SchemaResolver& resolver) {
+  Schema combined;
+  for (const std::string& src : def.sources()) {
+    combined = Schema::Concat(combined, resolver(src));
+  }
+  std::vector<Column> cols;
+  for (const ProjectItem& item : def.projections()) {
+    cols.push_back(
+        Column{item.name, BoundExpr::Bind(item.expr, combined).result_type()});
+  }
+  size_t arg_index = 0;
+  for (const AggSpec& spec : def.aggregates()) {
+    if (spec.fn == AggFn::kSum) {
+      cols.push_back(
+          Column{"__arg" + std::to_string(arg_index),
+                 BoundExpr::Bind(spec.arg, combined).result_type()});
+    }
+    ++arg_index;
+  }
+  return Schema(std::move(cols));
+}
+
+std::vector<AggSpec> RawAggSpecs(const ViewDefinition& def) {
+  std::vector<AggSpec> specs;
+  size_t arg_index = 0;
+  for (const AggSpec& spec : def.aggregates()) {
+    if (spec.fn == AggFn::kSum) {
+      specs.push_back(AggSpec{
+          AggFn::kSum,
+          ScalarExpr::Column("__arg" + std::to_string(arg_index)), spec.name});
+    } else {
+      specs.push_back(AggSpec{AggFn::kCount, nullptr, spec.name});
+    }
+    ++arg_index;
+  }
+  return specs;
+}
+
+}  // namespace wuw

@@ -1,0 +1,46 @@
+// Shared join/filter pipeline used by both full recomputation and
+// maintenance-term evaluation.
+//
+// A term of a maintenance expression is "the view definition's join with
+// some sources replaced by their deltas" — so both paths run the same
+// left-deep pipeline over per-source inputs, differing only in what those
+// inputs are.  The pipeline mirrors a stored procedure's fixed plan
+// (Section 5.5): sources join in definition order, single-source filter
+// conjuncts are applied at the scans, and multi-source conjuncts as soon as
+// their columns are available.
+#ifndef WUW_VIEW_JOIN_PIPELINE_H_
+#define WUW_VIEW_JOIN_PIPELINE_H_
+
+#include <vector>
+
+#include "algebra/operator_stats.h"
+#include "algebra/rows.h"
+#include "view/view_definition.h"
+
+namespace wuw {
+
+/// Joins `inputs` (one Rows per definition source, in definition order)
+/// according to def's join graph and filters.  Returns rows over the
+/// concatenated source schema.
+Rows EvalJoinPipeline(const ViewDefinition& def, std::vector<Rows> inputs,
+                      OperatorStats* stats);
+
+/// Projects pipeline output to the view's "raw" representation:
+///  - SPJ view: the output tuples themselves;
+///  - aggregate view: group keys + one "__argN" column per SUM argument
+///    (COUNT needs no argument), pre-aggregation.
+/// Raw rows are what Comp expressions accumulate; see maintenance.h.
+Rows ProjectToRaw(const ViewDefinition& def, const Rows& joined,
+                  OperatorStats* stats);
+
+/// Schema of ProjectToRaw's output.
+Schema RawSchema(const ViewDefinition& def,
+                 const ViewDefinition::SchemaResolver& resolver);
+
+/// Aggregate specs rewritten to run over the raw schema (SUM(__argN) /
+/// COUNT), shared by recompute and summary-delta finalization.
+std::vector<AggSpec> RawAggSpecs(const ViewDefinition& def);
+
+}  // namespace wuw
+
+#endif  // WUW_VIEW_JOIN_PIPELINE_H_

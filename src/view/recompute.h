@@ -1,0 +1,26 @@
+// Full (non-incremental) view computation — the ground truth that every
+// correct update strategy must converge to (GMS93), and the way derived
+// views are initially populated.
+#ifndef WUW_VIEW_RECOMPUTE_H_
+#define WUW_VIEW_RECOMPUTE_H_
+
+#include "algebra/operator_stats.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "view/view_definition.h"
+
+namespace wuw {
+
+/// Computes Def(V) from the current extents of its sources in `catalog`
+/// (the sources must already be materialized).  Returns the full extent of
+/// V, including the hidden "__count" column for aggregate views.
+///
+/// If `join_rows` is non-null it receives the cardinality of the
+/// pre-aggregation join — the statistic the analytic size estimator uses to
+/// derive average group sizes.
+Table RecomputeView(const ViewDefinition& def, const Catalog& catalog,
+                    OperatorStats* stats, int64_t* join_rows = nullptr);
+
+}  // namespace wuw
+
+#endif  // WUW_VIEW_RECOMPUTE_H_

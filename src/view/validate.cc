@@ -1,0 +1,109 @@
+#include "view/validate.h"
+
+#include <set>
+
+namespace wuw {
+
+namespace {
+
+std::string CheckColumns(const std::string& where,
+                         const ScalarExpr::Ptr& expr, const Schema& combined,
+                         const std::string& view) {
+  if (expr == nullptr) return "view " + view + ": null expression in " + where;
+  for (const std::string& col : expr->ReferencedColumns()) {
+    if (!combined.HasColumn(col)) {
+      return "view " + view + ": unknown column '" + col + "' in " + where;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string ValidateDefinition(
+    const ViewDefinition& def,
+    const ViewDefinition::SchemaResolver& resolver) {
+  const std::string& view = def.name();
+  if (def.sources().empty()) return "view " + view + ": no sources";
+
+  // Column-name uniqueness across the combined input schema.
+  std::set<std::string> seen;
+  std::vector<Column> combined_columns;
+  for (const std::string& src : def.sources()) {
+    const Schema& schema = resolver(src);
+    for (const Column& c : schema.columns()) {
+      if (!seen.insert(c.name).second) {
+        return "view " + view + ": column '" + c.name +
+               "' appears in more than one source (rename to disambiguate)";
+      }
+      combined_columns.push_back(c);
+    }
+  }
+  Schema combined(std::move(combined_columns));
+
+  // Which source owns a column (by position ranges).
+  auto owner_of = [&](const std::string& col) -> std::string {
+    for (const std::string& src : def.sources()) {
+      if (resolver(src).HasColumn(col)) return src;
+    }
+    return "";
+  };
+
+  for (const JoinCondition& jc : def.joins()) {
+    if (!combined.HasColumn(jc.left_column)) {
+      return "view " + view + ": unknown join column '" + jc.left_column +
+             "'";
+    }
+    if (!combined.HasColumn(jc.right_column)) {
+      return "view " + view + ": unknown join column '" + jc.right_column +
+             "'";
+    }
+    if (owner_of(jc.left_column) == owner_of(jc.right_column)) {
+      return "view " + view + ": join condition " + jc.left_column + " = " +
+             jc.right_column + " does not span two sources";
+    }
+  }
+  for (const ScalarExpr::Ptr& f : def.filters()) {
+    std::string err = CheckColumns("WHERE", f, combined, view);
+    if (!err.empty()) return err;
+  }
+  if (def.projections().empty()) {
+    return "view " + view + ": no output columns";
+  }
+  std::set<std::string> output_names;
+  for (const ProjectItem& item : def.projections()) {
+    std::string err = CheckColumns("SELECT", item.expr, combined, view);
+    if (!err.empty()) return err;
+    if (!output_names.insert(item.name).second) {
+      return "view " + view + ": duplicate output column '" + item.name +
+             "'";
+    }
+  }
+  for (const AggSpec& agg : def.aggregates()) {
+    if (agg.fn == AggFn::kSum) {
+      std::string err = CheckColumns("SUM", agg.arg, combined, view);
+      if (!err.empty()) return err;
+    }
+    if (!output_names.insert(agg.name).second) {
+      return "view " + view + ": duplicate output column '" + agg.name + "'";
+    }
+    if (agg.name == kGroupCountColumn) {
+      return "view " + view + ": '" + std::string(kGroupCountColumn) +
+             "' is reserved";
+    }
+  }
+  return "";
+}
+
+std::string ValidateVdag(const Vdag& vdag) {
+  for (const std::string& name : vdag.DerivedViewsBottomUp()) {
+    std::string err = ValidateDefinition(
+        *vdag.definition(name), [&](const std::string& src) -> const Schema& {
+          return vdag.OutputSchema(src);
+        });
+    if (!err.empty()) return err;
+  }
+  return "";
+}
+
+}  // namespace wuw

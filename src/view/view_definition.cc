@@ -1,0 +1,144 @@
+#include "view/view_definition.h"
+
+#include "common/check.h"
+#include "expr/evaluator.h"
+#include "expr/printer.h"
+
+namespace wuw {
+
+int ViewDefinition::SourceIndex(const std::string& source) const {
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i] == source) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Schema ViewDefinition::OutputSchema(const SchemaResolver& resolver) const {
+  // Combined input schema: concatenation of all source schemas.
+  Schema combined;
+  for (const std::string& src : sources_) {
+    combined = Schema::Concat(combined, resolver(src));
+  }
+  std::vector<Column> out;
+  for (const ProjectItem& item : projections_) {
+    BoundExpr bound = BoundExpr::Bind(item.expr, combined);
+    out.push_back(Column{item.name, bound.result_type()});
+  }
+  for (const AggSpec& spec : aggregates_) {
+    if (spec.fn == AggFn::kCount) {
+      out.push_back(Column{spec.name, TypeId::kInt64});
+    } else {
+      BoundExpr bound = BoundExpr::Bind(spec.arg, combined);
+      out.push_back(Column{spec.name, bound.result_type() == TypeId::kInt64
+                                          ? TypeId::kInt64
+                                          : TypeId::kDouble});
+    }
+  }
+  if (is_aggregate()) {
+    out.push_back(Column{kGroupCountColumn, TypeId::kInt64});
+  }
+  return Schema(std::move(out));
+}
+
+std::vector<std::string> ViewDefinition::GroupKeyNames() const {
+  std::vector<std::string> names;
+  for (const ProjectItem& item : projections_) names.push_back(item.name);
+  return names;
+}
+
+std::string ViewDefinition::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < projections_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ExprToSql(projections_[i].expr) + " AS " + projections_[i].name;
+  }
+  for (const AggSpec& spec : aggregates_) {
+    out += ", ";
+    out += spec.fn == AggFn::kCount ? "COUNT(*)"
+                                    : "SUM(" + ExprToSql(spec.arg) + ")";
+    out += " AS " + spec.name;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sources_[i];
+  }
+  bool first = true;
+  for (const JoinCondition& j : joins_) {
+    out += first ? " WHERE " : " AND ";
+    first = false;
+    out += j.left_column + " = " + j.right_column;
+  }
+  for (const ScalarExpr::Ptr& f : filters_) {
+    out += first ? " WHERE " : " AND ";
+    first = false;
+    out += ExprToSql(f);
+  }
+  if (is_aggregate()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < projections_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += projections_[i].name;
+    }
+  }
+  return out;
+}
+
+ViewDefinitionBuilder::ViewDefinitionBuilder(std::string view_name)
+    : def_(new ViewDefinition()) {
+  def_->name_ = std::move(view_name);
+}
+
+ViewDefinitionBuilder& ViewDefinitionBuilder::From(const std::string& source) {
+  WUW_CHECK(def_->SourceIndex(source) < 0,
+            "duplicate source in view definition (rename for self-joins)");
+  def_->sources_.push_back(source);
+  return *this;
+}
+
+ViewDefinitionBuilder& ViewDefinitionBuilder::JoinOn(
+    const std::string& left_column, const std::string& right_column) {
+  def_->joins_.push_back(JoinCondition{left_column, right_column});
+  return *this;
+}
+
+ViewDefinitionBuilder& ViewDefinitionBuilder::Where(ScalarExpr::Ptr conjunct) {
+  def_->filters_.push_back(std::move(conjunct));
+  return *this;
+}
+
+ViewDefinitionBuilder& ViewDefinitionBuilder::Select(ScalarExpr::Ptr expr,
+                                                     const std::string& name) {
+  def_->projections_.push_back(ProjectItem{std::move(expr), name});
+  return *this;
+}
+
+ViewDefinitionBuilder& ViewDefinitionBuilder::SelectColumn(
+    const std::string& column) {
+  return Select(ScalarExpr::Column(column), column);
+}
+
+ViewDefinitionBuilder& ViewDefinitionBuilder::SelectColumn(
+    const std::string& column, const std::string& as) {
+  return Select(ScalarExpr::Column(column), as);
+}
+
+ViewDefinitionBuilder& ViewDefinitionBuilder::Sum(ScalarExpr::Ptr arg,
+                                                  const std::string& name) {
+  def_->aggregates_.push_back(AggSpec{AggFn::kSum, std::move(arg), name});
+  return *this;
+}
+
+ViewDefinitionBuilder& ViewDefinitionBuilder::Count(const std::string& name) {
+  def_->aggregates_.push_back(AggSpec{AggFn::kCount, nullptr, name});
+  return *this;
+}
+
+std::shared_ptr<const ViewDefinition> ViewDefinitionBuilder::Build() {
+  WUW_CHECK(!def_->sources_.empty(), "view definition needs >= 1 source");
+  WUW_CHECK(!def_->projections_.empty(),
+            "view definition needs >= 1 output column / group key");
+  return std::shared_ptr<const ViewDefinition>(def_.release());
+}
+
+}  // namespace wuw

@@ -1,0 +1,116 @@
+// View definitions: Def(V) in the paper.
+//
+// The maintainable view language covers the paper's scope — projection,
+// selection, equi-join, and SUM/COUNT aggregation (Section 2: "view
+// definitions in our model involve projection, selection, join, and
+// aggregation operations"), i.e. SELECT-FROM-WHERE-GROUPBY SQL.
+//
+// A definition lists its sources (other warehouse views, base or derived),
+// an equi-join graph over their columns, a conjunctive filter, and either a
+// plain projection (SPJ view) or group-by keys plus aggregates (summary
+// table).  Column names must be globally unique across the sources of one
+// definition, which TPC-D's per-table prefixes guarantee; use
+// ViewDefinitionBuilder::RenameSource to disambiguate self-joins.
+#ifndef WUW_VIEW_VIEW_DEFINITION_H_
+#define WUW_VIEW_VIEW_DEFINITION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/aggregate.h"
+#include "algebra/project.h"
+#include "expr/scalar_expr.h"
+#include "storage/schema.h"
+
+namespace wuw {
+
+/// An equi-join edge between two columns of (different) sources.  Columns
+/// are identified by name; the binder locates which source owns each.
+struct JoinCondition {
+  std::string left_column;
+  std::string right_column;
+};
+
+/// Def(V): everything needed to recompute V or to evaluate any maintenance
+/// term of V.
+class ViewDefinition {
+ public:
+  /// Resolves a source view's schema by name (provided by the Vdag).
+  using SchemaResolver = std::function<const Schema&(const std::string&)>;
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& sources() const { return sources_; }
+  const std::vector<JoinCondition>& joins() const { return joins_; }
+  const std::vector<ScalarExpr::Ptr>& filters() const { return filters_; }
+  const std::vector<ProjectItem>& projections() const { return projections_; }
+  const std::vector<AggSpec>& aggregates() const { return aggregates_; }
+  bool is_aggregate() const { return !aggregates_.empty(); }
+
+  /// Number of underlying views n; a view over n sources has
+  /// 2^|Y|-1 maintenance terms per Comp(V, Y) expression.
+  size_t num_sources() const { return sources_.size(); }
+
+  /// Position of `source` in sources(); -1 if absent.
+  int SourceIndex(const std::string& source) const;
+
+  /// Output schema: projection columns for SPJ views; group keys +
+  /// aggregate columns + the hidden "__count" column for aggregate views.
+  Schema OutputSchema(const SchemaResolver& resolver) const;
+
+  /// Group-key column names (aggregate views only).
+  std::vector<std::string> GroupKeyNames() const;
+
+  std::string ToString() const;
+
+ private:
+  friend class ViewDefinitionBuilder;
+  ViewDefinition() = default;
+
+  std::string name_;
+  std::vector<std::string> sources_;
+  std::vector<JoinCondition> joins_;
+  std::vector<ScalarExpr::Ptr> filters_;
+  // SPJ output (exclusive with aggregates_ + group keys in projections_):
+  // for aggregate views, projections_ holds the group-by key items.
+  std::vector<ProjectItem> projections_;
+  std::vector<AggSpec> aggregates_;
+};
+
+/// Fluent builder for ViewDefinition.
+class ViewDefinitionBuilder {
+ public:
+  explicit ViewDefinitionBuilder(std::string view_name);
+
+  /// Appends a source view.  The join order of maintenance terms follows
+  /// this order (left-deep), mirroring a stored procedure's fixed plan.
+  ViewDefinitionBuilder& From(const std::string& source);
+
+  /// Adds an equi-join condition between two columns of two sources.
+  ViewDefinitionBuilder& JoinOn(const std::string& left_column,
+                                const std::string& right_column);
+
+  /// Adds a conjunct to the WHERE clause.
+  ViewDefinitionBuilder& Where(ScalarExpr::Ptr conjunct);
+
+  /// Adds an SPJ output column (or a group-by key if aggregates are added).
+  ViewDefinitionBuilder& Select(ScalarExpr::Ptr expr, const std::string& name);
+  ViewDefinitionBuilder& SelectColumn(const std::string& column);
+  ViewDefinitionBuilder& SelectColumn(const std::string& column,
+                                      const std::string& as);
+
+  /// Adds SUM(arg) AS name.
+  ViewDefinitionBuilder& Sum(ScalarExpr::Ptr arg, const std::string& name);
+  /// Adds COUNT(*) AS name.
+  ViewDefinitionBuilder& Count(const std::string& name);
+
+  std::shared_ptr<const ViewDefinition> Build();
+
+ private:
+  std::unique_ptr<ViewDefinition> def_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_VIEW_VIEW_DEFINITION_H_

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/correctness.h"
+#include "exec/executor.h"
+#include "test_util.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+SizeMap UniformDeletionSizes(const Vdag& vdag) {
+  SizeMap sizes;
+  int64_t size = 100;
+  for (const std::string& name : vdag.view_names()) {
+    sizes.Set(name, {size, size / 10, -size / 10});
+    size = size * 2 + 10;  // asymmetry
+  }
+  return sizes;
+}
+
+TEST(AdvisorTest, RanksMinWorkFirstOnUniformVdag) {
+  Vdag vdag = tpcd::BuildTpcdVdag();
+  auto advice = Advise(vdag, UniformDeletionSizes(vdag));
+  ASSERT_GE(advice.size(), 3u);
+  // Winner is MinWork or Prune (equal work on a uniform VDAG).
+  EXPECT_TRUE(advice[0].name == "MinWork" || advice[0].name == "Prune")
+      << advice[0].name;
+  EXPECT_DOUBLE_EQ(advice[0].relative_work, 1.0);
+  // dual-stage is the most expensive candidate.
+  EXPECT_EQ(advice.back().name, "dual-stage");
+  EXPECT_GT(advice.back().relative_work, 1.5);
+}
+
+TEST(AdvisorTest, AllAdvicePassesCorrectness) {
+  for (Vdag vdag : {testutil::MakeFig3Vdag(), testutil::MakeFig10Vdag(),
+                    tpcd::BuildTpcdVdag({"Q3", "Q10"})}) {
+    auto advice = Advise(vdag, UniformDeletionSizes(vdag));
+    for (const StrategyAdvice& a : advice) {
+      EXPECT_TRUE(CheckVdagStrategy(vdag, a.strategy).ok) << a.name;
+    }
+  }
+}
+
+TEST(AdvisorTest, SortedByEstimatedWork) {
+  Vdag vdag = testutil::MakeFig10Vdag();
+  auto advice = Advise(vdag, UniformDeletionSizes(vdag));
+  for (size_t i = 1; i < advice.size(); ++i) {
+    EXPECT_LE(advice[i - 1].estimated_work, advice[i].estimated_work);
+    EXPECT_GE(advice[i].relative_work, 1.0);
+  }
+}
+
+TEST(AdvisorTest, PruneSkippedWhenTooManyPermutableViews) {
+  Vdag vdag = tpcd::BuildTpcdVdag();  // m = 6
+  AdvisorOptions options;
+  options.prune_max_permutable = 3;
+  auto advice = Advise(vdag, UniformDeletionSizes(vdag), options);
+  for (const StrategyAdvice& a : advice) {
+    EXPECT_NE(a.name, "Prune");
+  }
+}
+
+TEST(AdvisorTest, NotesExplainOptimality) {
+  Vdag tree = testutil::MakeFig3Vdag();
+  auto advice = Advise(tree, UniformDeletionSizes(tree));
+  bool found = false;
+  for (const StrategyAdvice& a : advice) {
+    if (a.name == "MinWork") {
+      EXPECT_NE(a.note.find("tree"), std::string::npos);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AdvisorTest, TextReportContainsAllCandidates) {
+  Vdag vdag = tpcd::BuildTpcdVdag();
+  auto advice = Advise(vdag, UniformDeletionSizes(vdag));
+  std::string text = AdviceToText(advice);
+  EXPECT_NE(text.find("MinWork"), std::string::npos);
+  EXPECT_NE(text.find("dual-stage"), std::string::npos);
+  EXPECT_NE(text.find("vs best"), std::string::npos);
+}
+
+TEST(AdvisorTest, WinnerExecutesAndConverges) {
+  Warehouse w = testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 50, 3);
+  testutil::ApplyTripleChanges(&w, 0.2, 5, 7);
+  Catalog truth = testutil::GroundTruthAfterChanges(w);
+  auto advice = Advise(w.vdag(), w.EstimatedSizes());
+  Executor executor(&w);
+  executor.Execute(advice.front().strategy);
+  EXPECT_TRUE(w.catalog().ContentsEqual(truth));
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,172 @@
+// The GMS93 convergence property, end to end: EVERY correct VDAG strategy
+// drives the warehouse to the same final state as full recomputation —
+// across VDAG shapes, view languages (SPJ / aggregate / multi-level), and
+// change workloads (deletions, insertions, mixed).
+#include <gtest/gtest.h>
+
+#include "core/exhaustive.h"
+#include "core/min_work.h"
+#include "core/prune.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "test_util.h"
+
+namespace wuw {
+namespace {
+
+using testutil::ApplyTripleChanges;
+using testutil::GroundTruthAfterChanges;
+using testutil::MakeLoadedWarehouse;
+
+/// Runs `strategy` on a clone of `w` and checks the final state.
+void ExpectConverges(const Warehouse& w, const Catalog& truth,
+                     const Strategy& strategy) {
+  Warehouse clone = w.Clone();
+  Executor executor(&clone);
+  executor.Execute(strategy);
+  ASSERT_TRUE(clone.catalog().ContentsEqual(truth))
+      << "diverged under " << strategy.ToString();
+}
+
+struct WorkloadParam {
+  const char* name;
+  double delete_fraction;
+  int64_t insert_rows;
+};
+
+class ConvergenceTest : public ::testing::TestWithParam<WorkloadParam> {};
+
+TEST_P(ConvergenceTest, AllViewStrategiesConvergeOnStarVdag) {
+  const WorkloadParam& p = GetParam();
+  for (bool aggregate : {false, true}) {
+    Warehouse w = MakeLoadedWarehouse(
+        testutil::MakeStarVdag("V", 3, aggregate), 50, 17);
+    ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, 23);
+    Catalog truth = GroundTruthAfterChanges(w);
+    // All 13 partition strategies for the derived view + base installs.
+    for (const Strategy& vs :
+         AllViewStrategies("V", w.vdag().sources("V"))) {
+      ExpectConverges(w, truth, vs);
+    }
+  }
+}
+
+TEST_P(ConvergenceTest, SampledOneWayVdagStrategiesConvergeOnFig3) {
+  const WorkloadParam& p = GetParam();
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 50, 31);
+  ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, 37);
+  Catalog truth = GroundTruthAfterChanges(w);
+
+  auto all = EnumerateAllCorrectVdagStrategies(w.vdag(), /*one_way_only=*/true,
+                                               5000000);
+  // Execute a deterministic sample (every k-th) to keep runtime bounded.
+  size_t step = std::max<size_t>(1, all.size() / 25);
+  for (size_t i = 0; i < all.size(); i += step) {
+    ExpectConverges(w, truth, all[i]);
+  }
+}
+
+TEST_P(ConvergenceTest, MixedPartitionStrategiesConvergeOnFig3) {
+  const WorkloadParam& p = GetParam();
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 40, 41);
+  ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, 43);
+  Catalog truth = GroundTruthAfterChanges(w);
+
+  auto all = EnumerateAllCorrectVdagStrategies(w.vdag(), /*one_way_only=*/false,
+                                               5000000);
+  size_t step = std::max<size_t>(1, all.size() / 25);
+  for (size_t i = 0; i < all.size(); i += step) {
+    ExpectConverges(w, truth, all[i]);
+  }
+}
+
+TEST_P(ConvergenceTest, OptimizerOutputsConvergeOnFig10) {
+  const WorkloadParam& p = GetParam();
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig10Vdag(), 60, 53);
+  ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, 59);
+  Catalog truth = GroundTruthAfterChanges(w);
+
+  SizeMap sizes = w.EstimatedSizes();
+  ExpectConverges(w, truth, MinWork(w.vdag(), sizes).strategy);
+  ExpectConverges(w, truth, Prune(w.vdag(), sizes).strategy);
+  ExpectConverges(w, truth, MakeDualStageVdagStrategy(w.vdag()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ConvergenceTest,
+    ::testing::Values(WorkloadParam{"deletions", 0.25, 0},
+                      WorkloadParam{"insertions", 0.0, 15},
+                      WorkloadParam{"mixed", 0.15, 10},
+                      WorkloadParam{"heavy", 0.5, 30}),
+    [](const ::testing::TestParamInfo<WorkloadParam>& info) {
+      return info.param.name;
+    });
+
+// Deeper pipelines: a 3-level chain with an aggregate at the top.
+TEST(ConvergenceDepthTest, ThreeLevelChainConverges) {
+  Vdag vdag;
+  vdag.AddBaseView("A", testutil::TripleSchema("A"));
+  vdag.AddBaseView("B", testutil::TripleSchema("B"));
+  vdag.AddBaseView("C", testutil::TripleSchema("C"));
+  vdag.AddDerivedView(testutil::SpjTripleView("D1", {"A", "B"}));
+  vdag.AddDerivedView(testutil::SpjTripleView("D2", {"D1", "C"}));
+  vdag.AddDerivedView(testutil::AggTripleView("D3", {"D2"}));
+
+  Warehouse w = MakeLoadedWarehouse(std::move(vdag), 60, 61);
+  ApplyTripleChanges(&w, 0.2, 12, 67);
+  Catalog truth = GroundTruthAfterChanges(w);
+
+  SizeMap sizes = w.EstimatedSizes();
+  ExpectConverges(w, truth, MinWork(w.vdag(), sizes).strategy);
+  ExpectConverges(w, truth, MakeDualStageVdagStrategy(w.vdag()));
+  ExpectConverges(w, truth, Prune(w.vdag(), sizes).strategy);
+}
+
+// Aggregate feeding a parent view: the parent consumes summary-delta
+// output including group deaths and births.
+TEST(ConvergenceDepthTest, ParentOverAggregateConverges) {
+  Vdag vdag;
+  vdag.AddBaseView("A", testutil::TripleSchema("A"));
+  vdag.AddBaseView("B", testutil::TripleSchema("B"));
+  vdag.AddDerivedView(testutil::AggTripleView("G", {"B"}));
+  // Parent joins A's group id against G's group key.
+  auto parent = ViewDefinitionBuilder("P")
+                    .From("A")
+                    .From("G")
+                    .JoinOn("A_g", "G_k")
+                    .SelectColumn("A_k", "P_k")
+                    .Select(ScalarExpr::Arith(ArithOp::kAdd,
+                                              ScalarExpr::Column("A_v"),
+                                              ScalarExpr::Column("G_v")),
+                            "P_v")
+                    .SelectColumn("A_g", "P_g")
+                    .Build();
+  vdag.AddDerivedView(parent);
+
+  Warehouse w = MakeLoadedWarehouse(std::move(vdag), 50, 71);
+  ApplyTripleChanges(&w, 0.3, 10, 73);
+  Catalog truth = GroundTruthAfterChanges(w);
+
+  SizeMap sizes = w.EstimatedSizes();
+  ExpectConverges(w, truth, MinWork(w.vdag(), sizes).strategy);
+  ExpectConverges(w, truth, MakeDualStageVdagStrategy(w.vdag()));
+}
+
+// Repeated rounds keep converging (no state leaks across batches).
+TEST(ConvergenceDepthTest, TenConsecutiveRounds) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 50, 79);
+  for (int round = 0; round < 10; ++round) {
+    ApplyTripleChanges(&w, 0.1, 5, 1000 + round);
+    Catalog truth = GroundTruthAfterChanges(w);
+    SizeMap sizes = w.EstimatedSizes();
+    Strategy s = (round % 2 == 0)
+                     ? MinWork(w.vdag(), sizes).strategy
+                     : MakeDualStageVdagStrategy(w.vdag());
+    Executor executor(&w);
+    executor.Execute(s);
+    ASSERT_TRUE(w.catalog().ContentsEqual(truth)) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace wuw

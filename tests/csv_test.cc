@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+#include "test_util.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_schema.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({{"id", TypeId::kInt64},
+                 {"name", TypeId::kString},
+                 {"price", TypeId::kDouble},
+                 {"day", TypeId::kDate}});
+}
+
+TEST(CsvTest, TableRoundTrip) {
+  Table t(MixedSchema());
+  t.Add(Tuple({Value::Int64(1), Value::String("widget"), Value::Double(9.5),
+               Value::Date(19950315)}),
+        1);
+  t.Add(Tuple({Value::Int64(2), Value::String("gadget, deluxe"),
+               Value::Double(1.25), Value::Date(19960101)}),
+        3);
+
+  std::string csv = TableToCsv(t);
+  Table back(MixedSchema());
+  std::string error;
+  ASSERT_TRUE(CsvToTable(csv, &back, &error)) << error;
+  EXPECT_TRUE(t.ContentsEqual(back));
+}
+
+TEST(CsvTest, QuotingEdgeCases) {
+  Table t(Schema({{"s", TypeId::kString}}));
+  t.Add(Tuple({Value::String("comma, here")}), 1);
+  t.Add(Tuple({Value::String("quote \" inside")}), 1);
+  t.Add(Tuple({Value::String("newline\ninside")}), 1);
+  t.Add(Tuple({Value::String("")}), 1);
+
+  std::string csv = TableToCsv(t);
+  Table back(Schema({{"s", TypeId::kString}}));
+  std::string error;
+  ASSERT_TRUE(CsvToTable(csv, &back, &error)) << error;
+  EXPECT_TRUE(t.ContentsEqual(back));
+}
+
+TEST(CsvTest, DeltaRoundTripKeepsSigns) {
+  DeltaRelation d(MixedSchema());
+  d.Add(Tuple({Value::Int64(1), Value::String("a"), Value::Double(1.0),
+               Value::Date(19950101)}),
+        -2);
+  d.Add(Tuple({Value::Int64(2), Value::String("b"), Value::Double(2.0),
+               Value::Date(19950102)}),
+        5);
+  std::string csv = DeltaToCsv(d);
+  DeltaRelation back(MixedSchema());
+  std::string error;
+  ASSERT_TRUE(CsvToDelta(csv, &back, &error)) << error;
+  EXPECT_EQ(back.plus_count(), 5);
+  EXPECT_EQ(back.minus_count(), 2);
+}
+
+TEST(CsvTest, HeaderWithoutCountColumnDefaultsToOne) {
+  Table t(Schema({{"x", TypeId::kInt64}}));
+  std::string error;
+  ASSERT_TRUE(CsvToTable("x\n1\n2\n2\n", &t, &error)) << error;
+  EXPECT_EQ(t.cardinality(), 3);
+  EXPECT_EQ(t.Count(Tuple({Value::Int64(2)})), 2);
+}
+
+TEST(CsvTest, WindowsLineEndings) {
+  Table t(Schema({{"x", TypeId::kInt64}}));
+  std::string error;
+  ASSERT_TRUE(CsvToTable("x\r\n7\r\n", &t, &error)) << error;
+  EXPECT_EQ(t.Count(Tuple({Value::Int64(7)})), 1);
+}
+
+TEST(CsvTest, ErrorOnHeaderMismatch) {
+  Table t(Schema({{"x", TypeId::kInt64}}));
+  std::string error;
+  EXPECT_FALSE(CsvToTable("y\n1\n", &t, &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(CsvTest, ErrorOnBadValue) {
+  Table t(Schema({{"x", TypeId::kInt64}}));
+  std::string error;
+  EXPECT_FALSE(CsvToTable("x\nhello\n", &t, &error));
+  EXPECT_NE(error.find("INT64"), std::string::npos);
+}
+
+TEST(CsvTest, ErrorOnFieldCountMismatch) {
+  Table t(Schema({{"x", TypeId::kInt64}}));
+  std::string error;
+  EXPECT_FALSE(CsvToTable("x\n1,2\n", &t, &error));
+}
+
+TEST(CsvTest, ErrorOnEmptyInput) {
+  Table t(Schema({{"x", TypeId::kInt64}}));
+  std::string error;
+  EXPECT_FALSE(CsvToTable("", &t, &error));
+}
+
+TEST(CsvTest, ErrorOnZeroCount) {
+  DeltaRelation d(Schema({{"x", TypeId::kInt64}}));
+  std::string error;
+  EXPECT_FALSE(CsvToDelta("__count,x\n0,1\n", &d, &error));
+}
+
+TEST(CsvTest, TpcdTableRoundTrip) {
+  tpcd::GeneratorOptions options;
+  options.scale_factor = 0.002;
+  Warehouse w = tpcd::MakeTpcdWarehouse(options, {"Q3"});
+  const Table& orders = *w.catalog().MustGetTable(tpcd::kOrders);
+  std::string csv = TableToCsv(orders);
+  Table back(orders.schema());
+  std::string error;
+  ASSERT_TRUE(CsvToTable(csv, &back, &error)) << error;
+  EXPECT_TRUE(orders.ContentsEqual(back));
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "graph/dot.h"
+#include "test_util.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+TEST(DotTest, VdagRendersNodesAndEdges) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  std::string dot = VdagToDot(vdag);
+  EXPECT_NE(dot.find("digraph vdag"), std::string::npos);
+  for (const std::string& name : vdag.view_names()) {
+    EXPECT_NE(dot.find("\"" + name + "\""), std::string::npos) << name;
+  }
+  EXPECT_NE(dot.find("\"V4\" -> \"B\""), std::string::npos);
+  EXPECT_NE(dot.find("\"V5\" -> \"V4\""), std::string::npos);
+  // Base views are boxes, derived views carry their level.
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("level 2"), std::string::npos);
+}
+
+TEST(DotTest, ExpressionGraphMarksAcyclicity) {
+  Vdag fig10 = testutil::MakeFig10Vdag();
+  std::string cyclic = ExpressionGraphToDot(
+      fig10, {"V4", "V2", "V1", "V3", "V5"});
+  EXPECT_NE(cyclic.find("CYCLIC"), std::string::npos);
+
+  std::string acyclic = ExpressionGraphToDot(
+      fig10, {"V1", "V2", "V3", "V4", "V5"});
+  EXPECT_NE(acyclic.find("(acyclic)"), std::string::npos);
+  EXPECT_NE(acyclic.find("Comp(V4, {V2})"), std::string::npos);
+  EXPECT_NE(acyclic.find("Inst(V5)"), std::string::npos);
+}
+
+TEST(DotTest, StrongGraphDiffersFromWeak) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  std::vector<std::string> ordering = vdag.view_names();
+  std::string eg = ExpressionGraphToDot(vdag, ordering, /*strong=*/false);
+  std::string seg = ExpressionGraphToDot(vdag, ordering, /*strong=*/true);
+  EXPECT_NE(eg.find("EG"), std::string::npos);
+  EXPECT_NE(seg.find("SEG"), std::string::npos);
+  // SEG has the extra Inst->Inst chain, so strictly more edges.
+  auto count_edges = [](const std::string& s) {
+    size_t n = 0, pos = 0;
+    while ((pos = s.find(" -> ", pos)) != std::string::npos) {
+      ++n;
+      pos += 4;
+    }
+    return n;
+  };
+  EXPECT_GT(count_edges(seg), count_edges(eg));
+}
+
+TEST(DotTest, TpcdVdagRenders) {
+  std::string dot = VdagToDot(tpcd::BuildTpcdVdag());
+  EXPECT_NE(dot.find("\"Q5\" -> \"REGION\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wuw

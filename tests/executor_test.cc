@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/min_work.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "test_util.h"
+
+namespace wuw {
+namespace {
+
+using testutil::ApplyTripleChanges;
+using testutil::GroundTruthAfterChanges;
+using testutil::MakeLoadedWarehouse;
+
+TEST(WarehouseTest, RecomputePopulatesDerivedViews) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 60, 1);
+  EXPECT_GT(w.catalog().MustGetTable("V4")->cardinality(), 0);
+  EXPECT_GT(w.catalog().MustGetTable("V5")->cardinality(), 0);
+  EXPECT_GT(w.join_rows("V5"), 0);
+}
+
+TEST(WarehouseTest, CloneIsIndependent) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 40, 2);
+  Warehouse clone = w.Clone();
+  clone.base_table("A")->Add(
+      Tuple({Value::Int64(-1), Value::Int64(0), Value::Int64(0)}), 1);
+  EXPECT_NE(w.catalog().MustGetTable("A")->cardinality(),
+            clone.catalog().MustGetTable("A")->cardinality());
+}
+
+TEST(ExecutorTest, DualStageReachesGroundTruth) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 60, 3);
+  ApplyTripleChanges(&w, 0.2, 10, 99);
+  Catalog truth = GroundTruthAfterChanges(w);
+
+  Executor executor(&w);
+  ExecutionReport report = executor.Execute(MakeDualStageVdagStrategy(w.vdag()));
+  EXPECT_TRUE(w.catalog().ContentsEqual(truth));
+  EXPECT_GT(report.total_linear_work, 0);
+  EXPECT_EQ(report.per_expression.size(), 7u);  // 2 comps + 5 insts
+}
+
+TEST(ExecutorTest, MinWorkReachesGroundTruth) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 60, 4);
+  ApplyTripleChanges(&w, 0.15, 8, 7);
+  Catalog truth = GroundTruthAfterChanges(w);
+
+  MinWorkResult mw = MinWork(w.vdag(), w.EstimatedSizes());
+  Executor executor(&w);
+  executor.Execute(mw.strategy);
+  EXPECT_TRUE(w.catalog().ContentsEqual(truth));
+}
+
+TEST(ExecutorTest, EmptyBatchIsNoop) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 30, 5);
+  Catalog before = w.catalog().Clone();
+  Executor executor(&w);
+  executor.Execute(MakeDualStageVdagStrategy(w.vdag()));
+  EXPECT_TRUE(w.catalog().ContentsEqual(before));
+}
+
+TEST(ExecutorTest, ValidatesStrategiesByDefault) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 30, 6);
+  Strategy bogus({Expression::Inst("V5")});
+  Executor executor(&w);
+  EXPECT_DEATH(executor.Execute(bogus), "incorrect strategy");
+}
+
+TEST(ExecutorTest, ReportContainsPerExpressionWork) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 60, 7);
+  ApplyTripleChanges(&w, 0.1, 0, 11);
+  Executor executor(&w);
+  ExecutionReport report =
+      executor.Execute(MakeDualStageVdagStrategy(w.vdag()));
+  int64_t sum = 0;
+  for (const ExpressionReport& er : report.per_expression) {
+    EXPECT_GE(er.linear_work, 0);
+    sum += er.linear_work;
+  }
+  EXPECT_EQ(sum, report.total_linear_work);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(ExecutorTest, MeasuredCompWorkMatchesLinearMetricPrediction) {
+  // With exact (oracle) sizes, the executor's measured linear_work per
+  // expression must equal EstimateStrategyWork's prediction.
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 80, 8);
+  ApplyTripleChanges(&w, 0.1, 5, 13);
+  SizeMap oracle = w.OracleSizes();
+  Strategy strategy = MinWork(w.vdag(), oracle).strategy;
+  WorkBreakdown predicted =
+      EstimateStrategyWork(w.vdag(), strategy, oracle, {});
+
+  Executor executor(&w);
+  ExecutionReport report = executor.Execute(strategy);
+  ASSERT_EQ(report.per_expression.size(), predicted.per_expression.size());
+  for (size_t i = 0; i < report.per_expression.size(); ++i) {
+    EXPECT_DOUBLE_EQ(static_cast<double>(report.per_expression[i].linear_work),
+                     predicted.per_expression[i].work)
+        << report.per_expression[i].expression.ToString();
+  }
+}
+
+TEST(ExecutorTest, ConsecutiveBatches) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 60, 9);
+  for (uint64_t round = 0; round < 3; ++round) {
+    ApplyTripleChanges(&w, 0.1, 6, 100 + round);
+    Catalog truth = GroundTruthAfterChanges(w);
+    MinWorkResult mw = MinWork(w.vdag(), w.EstimatedSizes());
+    Executor executor(&w);
+    executor.Execute(mw.strategy);
+    ASSERT_TRUE(w.catalog().ContentsEqual(truth)) << "round " << round;
+  }
+}
+
+TEST(ExecutorTest, OracleSizesMatchActualDeltas) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 60, 10);
+  ApplyTripleChanges(&w, 0.2, 10, 55);
+  SizeMap oracle = w.OracleSizes();
+
+  // Execute for real and compare final sizes.
+  std::unordered_map<std::string, int64_t> before;
+  for (const std::string& name : w.vdag().view_names()) {
+    before[name] = w.catalog().MustGetTable(name)->cardinality();
+  }
+  Executor executor(&w);
+  executor.Execute(MakeDualStageVdagStrategy(w.vdag()));
+  for (const std::string& name : w.vdag().view_names()) {
+    int64_t actual_net =
+        w.catalog().MustGetTable(name)->cardinality() - before[name];
+    EXPECT_EQ(oracle.Get(name).delta_net, actual_net) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wuw

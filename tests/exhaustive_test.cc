@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/correctness.h"
+#include "core/exhaustive.h"
+#include "core/strategy_space.h"
+#include "test_util.h"
+
+namespace wuw {
+namespace {
+
+TEST(ExhaustiveTest, SingleViewEnumerationMatchesTable1) {
+  Vdag v3 = testutil::MakeStarVdag("V", 3);
+  SizeMap sizes;
+  for (const std::string& name : v3.view_names()) {
+    sizes.Set(name, {100, 10, -10});
+  }
+  EXPECT_EQ(EnumerateAllViewStrategies(v3, "V", sizes).size(), 13u);
+
+  Vdag v4 = testutil::MakeStarVdag("W", 4);
+  SizeMap sizes4;
+  for (const std::string& name : v4.view_names()) {
+    sizes4.Set(name, {100, 10, -10});
+  }
+  EXPECT_EQ(EnumerateAllViewStrategies(v4, "W", sizes4).size(), 75u);
+}
+
+TEST(ExhaustiveTest, VdagEnumerationOnlyYieldsCorrectStrategies) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  auto all = EnumerateAllCorrectVdagStrategies(vdag, /*one_way_only=*/true,
+                                               /*limit=*/5000000);
+  EXPECT_GT(all.size(), 0u);
+  for (const Strategy& s : all) {
+    CorrectnessResult r = CheckVdagStrategy(vdag, s);
+    ASSERT_TRUE(r.ok) << s.ToString() << " -> " << r.violation;
+  }
+}
+
+TEST(ExhaustiveTest, VdagEnumerationIsDuplicateFree) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  auto all = EnumerateAllCorrectVdagStrategies(vdag, /*one_way_only=*/true,
+                                               /*limit=*/5000000);
+  std::set<std::string> seen;
+  for (const Strategy& s : all) {
+    EXPECT_TRUE(seen.insert(s.ToString()).second) << s.ToString();
+  }
+}
+
+// Cross-validate the backtracking enumerator against brute-force
+// permutation filtering on a tiny VDAG.
+TEST(ExhaustiveTest, EnumeratorAgreesWithPermutationFiltering) {
+  Vdag vdag;
+  vdag.AddBaseView("A", testutil::TripleSchema("A"));
+  vdag.AddBaseView("B", testutil::TripleSchema("B"));
+  vdag.AddDerivedView(testutil::SpjTripleView("V", {"A", "B"}));
+
+  // Permutation filtering over the 1-way expression multiset.
+  std::vector<Expression> pool = {
+      Expression::Comp("V", {"A"}), Expression::Comp("V", {"B"}),
+      Expression::Inst("A"), Expression::Inst("B"), Expression::Inst("V")};
+  std::sort(pool.begin(), pool.end());
+  std::set<std::string> filtered;
+  do {
+    Strategy s((std::vector<Expression>(pool)));
+    if (CheckVdagStrategy(vdag, s).ok) filtered.insert(s.ToString());
+  } while (std::next_permutation(
+      pool.begin(), pool.end(),
+      [](const Expression& a, const Expression& b) { return a < b; }));
+
+  std::set<std::string> enumerated;
+  for (const Strategy& s :
+       EnumerateAllCorrectVdagStrategies(vdag, /*one_way_only=*/true, 100000)) {
+    enumerated.insert(s.ToString());
+  }
+  EXPECT_EQ(filtered, enumerated);
+}
+
+// Include non-1-way strategies: for V over {A,B} the strategy space also
+// contains the dual-stage family.
+TEST(ExhaustiveTest, NonOneWayStrategiesIncludeDualStage) {
+  Vdag vdag;
+  vdag.AddBaseView("A", testutil::TripleSchema("A"));
+  vdag.AddBaseView("B", testutil::TripleSchema("B"));
+  vdag.AddDerivedView(testutil::SpjTripleView("V", {"A", "B"}));
+
+  auto all = EnumerateAllCorrectVdagStrategies(vdag, /*one_way_only=*/false,
+                                               100000);
+  auto one_way = EnumerateAllCorrectVdagStrategies(vdag, /*one_way_only=*/true,
+                                                   100000);
+  EXPECT_GT(all.size(), one_way.size());
+  bool has_dual = false;
+  for (const Strategy& s : all) {
+    for (const Expression& e : s.expressions()) {
+      if (e.is_comp() && e.over.size() == 2) has_dual = true;
+    }
+  }
+  EXPECT_TRUE(has_dual);
+}
+
+TEST(ExhaustiveTest, BestOfPicksMinimum) {
+  Vdag vdag = testutil::MakeStarVdag("V", 2);
+  SizeMap sizes;
+  sizes.Set("B0", {100, 10, -10});
+  sizes.Set("B1", {300, 60, -60});
+  sizes.Set("V", {50, 5, -5});
+  std::vector<Strategy> candidates = {
+      MakeDualStageViewStrategy("V", {"B0", "B1"}),
+      MakeOneWayViewStrategy("V", {"B0", "B1"}),
+      MakeOneWayViewStrategy("V", {"B1", "B0"}),
+  };
+  EvaluatedStrategy best = BestOf(vdag, candidates, sizes);
+  // Deletions: biggest shrink (B1) first is optimal.
+  EXPECT_EQ(best.strategy, candidates[2]);
+}
+
+TEST(ExhaustiveDeathTest, LimitGuards) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  EXPECT_DEATH(EnumerateAllCorrectVdagStrategies(vdag, true, /*limit=*/2),
+               "limit");
+}
+
+}  // namespace
+}  // namespace wuw

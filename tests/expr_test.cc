@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "expr/evaluator.h"
+#include "expr/printer.h"
+#include "expr/scalar_expr.h"
+
+namespace wuw {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"a", TypeId::kInt64},
+                 {"b", TypeId::kInt64},
+                 {"s", TypeId::kString},
+                 {"d", TypeId::kDate},
+                 {"f", TypeId::kDouble}});
+}
+
+Tuple TestTuple() {
+  return Tuple({Value::Int64(10), Value::Int64(3), Value::String("BUILDING"),
+                Value::Date(19950315), Value::Double(2.5)});
+}
+
+TEST(ScalarExprTest, ColumnAndLiteral) {
+  auto col = ScalarExpr::Column("a");
+  EXPECT_EQ(col->kind(), ExprKind::kColumn);
+  EXPECT_EQ(col->column_name(), "a");
+  auto lit = ScalarExpr::Literal(Value::Int64(5));
+  EXPECT_EQ(lit->literal().AsInt64(), 5);
+}
+
+TEST(ScalarExprTest, ReferencedColumns) {
+  auto e = ScalarExpr::And(
+      ScalarExpr::Compare(CompareOp::kLt, ScalarExpr::Column("a"),
+                          ScalarExpr::Column("b")),
+      ScalarExpr::ColEqString("s", "X"));
+  auto cols = e->ReferencedColumns();
+  EXPECT_EQ(cols, (std::vector<std::string>{"a", "b", "s"}));
+}
+
+TEST(ScalarExprTest, AndAllOfEmptyIsTrue) {
+  auto t = ScalarExpr::AndAll({});
+  BoundExpr b = BoundExpr::Bind(t, TestSchema());
+  EXPECT_TRUE(b.EvalBool(TestTuple()));
+}
+
+TEST(EvaluatorTest, IntegerArithmeticStaysExact) {
+  // a * (10000 - b): the revenue shape.
+  auto e = ScalarExpr::Arith(
+      ArithOp::kMul, ScalarExpr::Column("a"),
+      ScalarExpr::Arith(ArithOp::kSub, ScalarExpr::Literal(Value::Int64(10000)),
+                        ScalarExpr::Column("b")));
+  BoundExpr b = BoundExpr::Bind(e, TestSchema());
+  EXPECT_EQ(b.result_type(), TypeId::kInt64);
+  EXPECT_EQ(b.Eval(TestTuple()).AsInt64(), 10 * 9997);
+}
+
+TEST(EvaluatorTest, DivisionProducesDouble) {
+  auto e = ScalarExpr::Arith(ArithOp::kDiv, ScalarExpr::Column("a"),
+                             ScalarExpr::Column("b"));
+  BoundExpr b = BoundExpr::Bind(e, TestSchema());
+  EXPECT_EQ(b.result_type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(b.Eval(TestTuple()).NumericValue(), 10.0 / 3.0);
+}
+
+TEST(EvaluatorTest, DivisionByZeroIsNull) {
+  auto e = ScalarExpr::Arith(ArithOp::kDiv, ScalarExpr::Column("a"),
+                             ScalarExpr::Literal(Value::Int64(0)));
+  BoundExpr b = BoundExpr::Bind(e, TestSchema());
+  EXPECT_TRUE(b.Eval(TestTuple()).is_null());
+}
+
+TEST(EvaluatorTest, MixedArithmeticWidens) {
+  auto e = ScalarExpr::Arith(ArithOp::kAdd, ScalarExpr::Column("a"),
+                             ScalarExpr::Column("f"));
+  BoundExpr b = BoundExpr::Bind(e, TestSchema());
+  EXPECT_EQ(b.result_type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(b.Eval(TestTuple()).AsDouble(), 12.5);
+}
+
+TEST(EvaluatorTest, Comparisons) {
+  Schema s = TestSchema();
+  Tuple t = TestTuple();
+  auto check = [&](CompareOp op, const char* col, Value v, bool expect) {
+    auto e = ScalarExpr::Compare(op, ScalarExpr::Column(col),
+                                 ScalarExpr::Literal(std::move(v)));
+    EXPECT_EQ(BoundExpr::Bind(e, s).EvalBool(t), expect);
+  };
+  check(CompareOp::kEq, "a", Value::Int64(10), true);
+  check(CompareOp::kNe, "a", Value::Int64(10), false);
+  check(CompareOp::kLt, "d", Value::Date(19960101), true);
+  check(CompareOp::kLe, "a", Value::Int64(10), true);
+  check(CompareOp::kGt, "d", Value::Date(19950315), false);
+  check(CompareOp::kGe, "d", Value::Date(19950315), true);
+  check(CompareOp::kEq, "s", Value::String("BUILDING"), true);
+}
+
+TEST(EvaluatorTest, LogicalShortCircuit) {
+  // (a = 10) OR (bogus comparison) — must not matter since lhs is true.
+  auto e = ScalarExpr::Logical(
+      LogicalOp::kOr,
+      ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column("a"),
+                          ScalarExpr::Literal(Value::Int64(10))),
+      ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column("b"),
+                          ScalarExpr::Literal(Value::Int64(-1))));
+  EXPECT_TRUE(BoundExpr::Bind(e, TestSchema()).EvalBool(TestTuple()));
+
+  auto f = ScalarExpr::And(
+      ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column("a"),
+                          ScalarExpr::Literal(Value::Int64(11))),
+      ScalarExpr::True());
+  EXPECT_FALSE(BoundExpr::Bind(f, TestSchema()).EvalBool(TestTuple()));
+}
+
+TEST(EvaluatorTest, NotOperator) {
+  auto e = ScalarExpr::Not(ScalarExpr::ColEqString("s", "BUILDING"));
+  EXPECT_FALSE(BoundExpr::Bind(e, TestSchema()).EvalBool(TestTuple()));
+}
+
+TEST(EvaluatorTest, NullPropagationInComparison) {
+  Schema s({{"n", TypeId::kInt64}});
+  Tuple t({Value::Null()});
+  auto e = ScalarExpr::Compare(CompareOp::kEq, ScalarExpr::Column("n"),
+                               ScalarExpr::Literal(Value::Int64(1)));
+  EXPECT_FALSE(BoundExpr::Bind(e, s).EvalBool(t));
+}
+
+TEST(PrinterTest, RendersSql) {
+  auto rev = ScalarExpr::Arith(
+      ArithOp::kMul, ScalarExpr::Column("l_extendedprice"),
+      ScalarExpr::Arith(ArithOp::kSub, ScalarExpr::Literal(Value::Int64(1)),
+                        ScalarExpr::Column("l_discount")));
+  EXPECT_EQ(ExprToSql(rev), "(l_extendedprice * (1 - l_discount))");
+  EXPECT_EQ(ExprToSql(ScalarExpr::ColEqString("c_mktsegment", "BUILDING")),
+            "c_mktsegment = 'BUILDING'");
+  EXPECT_EQ(ExprToSql(ScalarExpr::ColLtDate("o_orderdate", 19950315)),
+            "o_orderdate < DATE '1995-03-15'");
+  EXPECT_EQ(ExprToSql(ScalarExpr::Ptr(nullptr)), "TRUE");
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/correctness.h"
+#include "core/expression_graph.h"
+#include "core/min_work.h"
+#include "test_util.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+std::vector<std::string> InstOrderOf(const Strategy& s) {
+  return s.InstOrder();
+}
+
+TEST(ExpressionGraphTest, NodesAreOneWayExpressions) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  ExpressionGraph eg =
+      ExpressionGraph::ConstructEG(vdag, vdag.view_names());
+  // Comps: V4x2 + V5x2; Insts: 5 views.
+  EXPECT_EQ(eg.nodes().size(), 9u);
+}
+
+TEST(ExpressionGraphTest, Example52TopologicalStrategy) {
+  // Figure 6/7: ordering <V4, V2, V1, V3, V5> (mapped: V1→A, V2→B, V3→C).
+  Vdag vdag = testutil::MakeFig3Vdag();
+  std::vector<std::string> ordering = {"V4", "B", "A", "C", "V5"};
+  ExpressionGraph eg = ExpressionGraph::ConstructEG(vdag, ordering);
+  EXPECT_TRUE(eg.IsAcyclic());
+  auto strategy = eg.TopologicalStrategy();
+  ASSERT_TRUE(strategy.has_value());
+  EXPECT_TRUE(CheckVdagStrategy(vdag, *strategy).ok);
+
+  // Consistency with the ordering: within V4's strategy, B's changes
+  // propagate before C's; within V5's, V4 before A.
+  int cb = strategy->IndexOf(Expression::Comp("V4", {"B"}));
+  int cc = strategy->IndexOf(Expression::Comp("V4", {"C"}));
+  int cv4 = strategy->IndexOf(Expression::Comp("V5", {"V4"}));
+  int ca = strategy->IndexOf(Expression::Comp("V5", {"A"}));
+  EXPECT_LT(cb, cc);
+  EXPECT_LT(cv4, ca);
+}
+
+TEST(ExpressionGraphTest, Lemma51TreeVdagsAlwaysAcyclic) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  std::vector<std::string> ordering = vdag.view_names();
+  std::sort(ordering.begin(), ordering.end());
+  do {
+    EXPECT_TRUE(ExpressionGraph::ConstructEG(vdag, ordering).IsAcyclic())
+        << "ordering failed";
+  } while (std::next_permutation(ordering.begin(), ordering.end()));
+}
+
+TEST(ExpressionGraphTest, Lemma52UniformVdagsAlwaysAcyclic) {
+  Vdag vdag = tpcd::BuildTpcdVdag({"Q3", "Q10"});
+  // Sample orderings (9! is too many; permute a subset deterministically).
+  std::vector<std::string> ordering = vdag.view_names();
+  for (int i = 0; i < 500; ++i) {
+    std::next_permutation(ordering.begin(), ordering.end());
+    EXPECT_TRUE(ExpressionGraph::ConstructEG(vdag, ordering).IsAcyclic());
+  }
+}
+
+TEST(ExpressionGraphTest, Fig10ProblemOrderingIsCyclic) {
+  // Appendix A / Figure 16: ordering <V4, V2, V1, V3, V5> on the Fig 10
+  // VDAG creates the C8(C4C3)+ cycle.
+  Vdag vdag = testutil::MakeFig10Vdag();
+  std::vector<std::string> ordering = {"V4", "V2", "V1", "V3", "V5"};
+  ExpressionGraph eg = ExpressionGraph::ConstructEG(vdag, ordering);
+  EXPECT_FALSE(eg.IsAcyclic());
+  EXPECT_FALSE(eg.TopologicalStrategy().has_value());
+  EXPECT_FALSE(eg.FindCycle().empty());
+}
+
+TEST(ExpressionGraphTest, Fig10LevelOrderingIsAcyclic) {
+  Vdag vdag = testutil::MakeFig10Vdag();
+  std::vector<std::string> ordering = {"V1", "V2", "V3", "V4", "V5"};
+  EXPECT_TRUE(ExpressionGraph::ConstructEG(vdag, ordering).IsAcyclic());
+}
+
+TEST(ExpressionGraphTest, SegForcesInstOrder) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  std::vector<std::string> ordering = {"C", "B", "A", "V4", "V5"};
+  ExpressionGraph seg = ExpressionGraph::ConstructSEG(vdag, ordering);
+  ASSERT_TRUE(seg.IsAcyclic());
+  auto strategy = seg.TopologicalStrategy();
+  ASSERT_TRUE(strategy.has_value());
+  EXPECT_EQ(InstOrderOf(*strategy),
+            (std::vector<std::string>{"C", "B", "A", "V4", "V5"}));
+  EXPECT_TRUE(CheckVdagStrategy(vdag, *strategy).ok);
+}
+
+TEST(ExpressionGraphTest, SegDetectsInfeasibleStrongOrdering) {
+  // Section 6's example: <V4, V1, V2, V3, V5> admits no strongly
+  // consistent 1-way strategy on the Fig 10 VDAG.
+  Vdag vdag = testutil::MakeFig10Vdag();
+  std::vector<std::string> ordering = {"V4", "V1", "V2", "V3", "V5"};
+  ExpressionGraph seg = ExpressionGraph::ConstructSEG(vdag, ordering);
+  EXPECT_FALSE(seg.IsAcyclic());
+}
+
+TEST(ExpressionGraphTest, SegPartialOrderingLeavesOthersFree) {
+  Vdag vdag = tpcd::BuildTpcdVdag();
+  // Only views with parents constrained (the m! optimization).
+  std::vector<std::string> ordering = vdag.ViewsWithParents();
+  ExpressionGraph seg = ExpressionGraph::ConstructSEG(vdag, ordering);
+  ASSERT_TRUE(seg.IsAcyclic());
+  auto strategy = seg.TopologicalStrategy();
+  ASSERT_TRUE(strategy.has_value());
+  EXPECT_TRUE(CheckVdagStrategy(vdag, *strategy).ok);
+}
+
+TEST(ModifyOrderingTest, LevelMajorStableWithinLevel) {
+  Vdag vdag = testutil::MakeFig10Vdag();
+  std::vector<std::string> ordering = {"V4", "V2", "V1", "V3", "V5"};
+  EXPECT_EQ(ModifyOrdering(vdag, ordering),
+            (std::vector<std::string>{"V2", "V1", "V3", "V4", "V5"}));
+}
+
+// Theorem 5.5: ModifyOrdering always repairs cyclic expression graphs.
+TEST(ModifyOrderingTest, AlwaysYieldsAcyclicEg) {
+  Vdag vdag = testutil::MakeFig10Vdag();
+  std::vector<std::string> ordering = vdag.view_names();
+  std::sort(ordering.begin(), ordering.end());
+  do {
+    std::vector<std::string> modified = ModifyOrdering(vdag, ordering);
+    EXPECT_TRUE(ExpressionGraph::ConstructEG(vdag, modified).IsAcyclic());
+  } while (std::next_permutation(ordering.begin(), ordering.end()));
+}
+
+}  // namespace
+}  // namespace wuw

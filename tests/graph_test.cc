@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/vdag.h"
+#include "test_util.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+TEST(DigraphTest, TopologicalSortRespectsPrerequisites) {
+  Digraph g(4);
+  g.AddEdge(1, 0);  // 1 after 0
+  g.AddEdge(2, 1);
+  g.AddEdge(3, 1);
+  auto order = g.TopologicalSort();
+  ASSERT_TRUE(order.has_value());
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+}
+
+TEST(DigraphTest, DeterministicTieBreak) {
+  Digraph g(3);  // no edges: expect 0,1,2
+  auto order = g.TopologicalSort();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(DigraphTest, DetectsCycle) {
+  Digraph g(3);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 1);
+  g.AddEdge(0, 2);
+  EXPECT_TRUE(g.HasCycle());
+  EXPECT_FALSE(g.TopologicalSort().has_value());
+  auto cycle = g.FindCycle();
+  EXPECT_EQ(cycle.size(), 3u);
+}
+
+TEST(DigraphTest, SelfLoopIsCycle) {
+  Digraph g(2);
+  g.AddEdge(0, 0);
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(DigraphTest, AcyclicFindCycleEmpty) {
+  Digraph g(3);
+  g.AddEdge(2, 0);
+  EXPECT_TRUE(g.FindCycle().empty());
+}
+
+TEST(VdagTest, LevelsOfFig3) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  EXPECT_EQ(vdag.Level("A"), 0);
+  EXPECT_EQ(vdag.Level("B"), 0);
+  EXPECT_EQ(vdag.Level("V4"), 1);
+  EXPECT_EQ(vdag.Level("V5"), 2);
+  EXPECT_EQ(vdag.MaxLevel(), 2);
+}
+
+TEST(VdagTest, ParentsAndSources) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  EXPECT_EQ(vdag.sources("V4"), (std::vector<std::string>{"B", "C"}));
+  EXPECT_EQ(vdag.parents("B"), (std::vector<std::string>{"V4"}));
+  EXPECT_EQ(vdag.parents("V4"), (std::vector<std::string>{"V5"}));
+  EXPECT_TRUE(vdag.parents("V5").empty());
+  EXPECT_TRUE(vdag.sources("A").empty());
+}
+
+TEST(VdagTest, Fig3IsTreeNotUniform) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  EXPECT_TRUE(vdag.IsTree());
+  EXPECT_FALSE(vdag.IsUniform());  // V5 spans levels 0 and 1
+}
+
+TEST(VdagTest, TpcdIsUniformNotTree) {
+  Vdag vdag = tpcd::BuildTpcdVdag();
+  EXPECT_TRUE(vdag.IsUniform());
+  EXPECT_FALSE(vdag.IsTree());  // LINEITEM feeds Q3, Q5 and Q10
+  EXPECT_EQ(vdag.MaxLevel(), 1);
+  EXPECT_EQ(vdag.num_views(), 9u);
+}
+
+TEST(VdagTest, Fig10IsNeitherTreeNorUniform) {
+  Vdag vdag = testutil::MakeFig10Vdag();
+  EXPECT_FALSE(vdag.IsTree());     // V2 feeds V4 and V5
+  EXPECT_FALSE(vdag.IsUniform());  // V5 over levels 0 and 1
+}
+
+TEST(VdagTest, ViewsWithParents) {
+  Vdag vdag = tpcd::BuildTpcdVdag();
+  // m = 6 base views; the three queries have no parents.
+  EXPECT_EQ(vdag.ViewsWithParents().size(), 6u);
+}
+
+TEST(VdagTest, BaseAndDerivedPartition) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  EXPECT_EQ(vdag.BaseViews().size(), 3u);
+  EXPECT_EQ(vdag.DerivedViewsBottomUp(),
+            (std::vector<std::string>{"V4", "V5"}));
+  EXPECT_TRUE(vdag.IsBaseView("A"));
+  EXPECT_TRUE(vdag.IsDerivedView("V5"));
+}
+
+TEST(VdagTest, OutputSchemaRecursesThroughDerivedViews) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  const Schema& v5 = vdag.OutputSchema("V5");
+  // Aggregate view: 2 keys + 1 sum + __count.
+  EXPECT_EQ(v5.num_columns(), 4u);
+  EXPECT_EQ(v5.column(3).name, "__count");
+  const Schema& v4 = vdag.OutputSchema("V4");
+  EXPECT_EQ(v4.num_columns(), 3u);
+}
+
+TEST(VdagDeathTest, RejectsUnknownSource) {
+  Vdag vdag;
+  vdag.AddBaseView("A", testutil::TripleSchema("A"));
+  EXPECT_DEATH(vdag.AddDerivedView(testutil::SpjTripleView("V", {"A", "Z"})),
+               "unregistered source");
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "core/exhaustive.h"
+#include "core/min_work_single.h"
+#include "test_util.h"
+#include "tpcd/tpcd_generator.h"
+
+namespace wuw {
+namespace {
+
+TEST(DesiredViewOrderingTest, SortsByNetChange) {
+  SizeMap sizes;
+  sizes.Set("A", {100, 5, +5});
+  sizes.Set("B", {100, 5, -5});
+  sizes.Set("C", {100, 5, 0});
+  EXPECT_EQ(DesiredViewOrdering({"A", "B", "C"}, sizes),
+            (std::vector<std::string>{"B", "C", "A"}));
+}
+
+TEST(DesiredViewOrderingTest, StableOnTies) {
+  SizeMap sizes;
+  sizes.Set("A", {100, 5, -1});
+  sizes.Set("B", {100, 5, -1});
+  EXPECT_EQ(DesiredViewOrdering({"A", "B"}, sizes),
+            (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(DesiredViewOrdering({"B", "A"}, sizes),
+            (std::vector<std::string>{"B", "A"}));
+}
+
+class MinWorkSingleTest : public ::testing::Test {
+ protected:
+  MinWorkSingleTest() : vdag_(testutil::MakeStarVdag("V", 4)) {}
+
+  SizeMap RandomSizes(uint64_t seed) {
+    tpcd::Rng rng(seed);
+    SizeMap sizes;
+    for (const std::string& name : vdag_.view_names()) {
+      int64_t size = rng.Range(50, 500);
+      int64_t minus = rng.Range(0, size / 3);
+      int64_t plus = rng.Range(0, size / 3);
+      sizes.Set(name, {size, plus + minus, plus - minus});
+    }
+    return sizes;
+  }
+
+  Vdag vdag_;
+};
+
+TEST_F(MinWorkSingleTest, ProducesCorrectOneWayStrategy) {
+  SizeMap sizes = RandomSizes(7);
+  Strategy s = MinWorkSingle(vdag_, "V", sizes);
+  EXPECT_TRUE(CheckViewStrategy("V", vdag_.sources("V"), s).ok);
+  // 1-way: every Comp is a singleton.
+  for (const Expression& e : s.expressions()) {
+    if (e.is_comp()) {
+      EXPECT_EQ(e.over.size(), 1u);
+    }
+  }
+  EXPECT_EQ(s.size(), 2 * 4 + 1);
+}
+
+// Theorem 4.2/4.3: MinWorkSingle matches the exhaustive optimum over ALL
+// view strategies (Theorem 4.1 included) under the linear metric.
+TEST_F(MinWorkSingleTest, MatchesExhaustiveOptimum) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    SizeMap sizes = RandomSizes(seed);
+    Strategy mws = MinWorkSingle(vdag_, "V", sizes);
+    double mws_work = EstimateStrategyWork(vdag_, mws, sizes, {}).total;
+
+    auto all = EnumerateAllViewStrategies(vdag_, "V", sizes);
+    EXPECT_EQ(all.size(), 75u);  // Table 1, n=4
+    double best = all[0].work;
+    for (const auto& es : all) best = std::min(best, es.work);
+    EXPECT_NEAR(mws_work, best, 1e-9) << "seed=" << seed;
+  }
+}
+
+// Theorem 4.1 in isolation: the best 1-way strategy is optimal over the
+// space of all strategies.
+TEST_F(MinWorkSingleTest, BestOneWayBeatsEveryPartitionStrategy) {
+  for (uint64_t seed = 100; seed <= 110; ++seed) {
+    SizeMap sizes = RandomSizes(seed);
+    double best_one_way = -1;
+    auto all = EnumerateAllViewStrategies(vdag_, "V", sizes);
+    for (const auto& es : all) {
+      bool one_way = true;
+      for (const Expression& e : es.strategy.expressions()) {
+        if (e.is_comp() && e.over.size() > 1) one_way = false;
+      }
+      if (one_way && (best_one_way < 0 || es.work < best_one_way)) {
+        best_one_way = es.work;
+      }
+    }
+    for (const auto& es : all) {
+      EXPECT_LE(best_one_way, es.work + 1e-9) << "seed=" << seed;
+    }
+  }
+}
+
+// With pure deletions everywhere, MinWorkSingle must order sources by
+// decreasing delta size (biggest shrink first).
+TEST_F(MinWorkSingleTest, DeletionWorkloadOrdersBiggestShrinkFirst) {
+  SizeMap sizes;
+  sizes.Set("B0", {100, 10, -10});
+  sizes.Set("B1", {100, 40, -40});
+  sizes.Set("B2", {100, 20, -20});
+  sizes.Set("B3", {100, 30, -30});
+  sizes.Set("V", {500, 0, 0});
+  Strategy s = MinWorkSingle(vdag_, "V", sizes);
+  std::vector<std::string> comp_order;
+  for (const Expression& e : s.expressions()) {
+    if (e.is_comp()) comp_order.push_back(e.over[0]);
+  }
+  EXPECT_EQ(comp_order,
+            (std::vector<std::string>{"B1", "B3", "B2", "B0"}));
+}
+
+}  // namespace
+}  // namespace wuw

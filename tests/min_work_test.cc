@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "core/exhaustive.h"
+#include "core/min_work.h"
+#include "core/min_work_single.h"
+#include "test_util.h"
+#include "tpcd/tpcd_generator.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+SizeMap RandomSizes(const Vdag& vdag, uint64_t seed) {
+  tpcd::Rng rng(seed);
+  SizeMap sizes;
+  for (const std::string& name : vdag.view_names()) {
+    int64_t size = rng.Range(50, 500);
+    int64_t minus = rng.Range(0, size / 3);
+    int64_t plus = rng.Range(0, size / 3);
+    sizes.Set(name, {size, plus + minus, plus - minus});
+  }
+  return sizes;
+}
+
+TEST(MinWorkTest, ProducesCorrectOneWayStrategy) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SizeMap sizes = RandomSizes(vdag, seed);
+    MinWorkResult r = MinWork(vdag, sizes);
+    EXPECT_TRUE(CheckVdagStrategy(vdag, r.strategy).ok)
+        << r.strategy.ToString();
+    for (const Expression& e : r.strategy.expressions()) {
+      if (e.is_comp()) {
+        EXPECT_EQ(e.over.size(), 1u);
+      }
+    }
+  }
+}
+
+TEST(MinWorkTest, TreeVdagNeverNeedsModifiedOrdering) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    MinWorkResult r = MinWork(vdag, RandomSizes(vdag, seed));
+    EXPECT_FALSE(r.used_modified_ordering);
+  }
+}
+
+TEST(MinWorkTest, UniformVdagNeverNeedsModifiedOrdering) {
+  Vdag vdag = tpcd::BuildTpcdVdag();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    MinWorkResult r = MinWork(vdag, RandomSizes(vdag, seed));
+    EXPECT_FALSE(r.used_modified_ordering);
+    EXPECT_TRUE(CheckVdagStrategy(vdag, r.strategy).ok);
+  }
+}
+
+TEST(MinWorkTest, Fig10AlwaysProducesSomeCorrectStrategy) {
+  // Theorem 5.5: even when the desired ordering's EG is cyclic, MinWork
+  // succeeds via ModifyOrdering.
+  Vdag vdag = testutil::MakeFig10Vdag();
+  int modified = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    MinWorkResult r = MinWork(vdag, RandomSizes(vdag, seed));
+    EXPECT_TRUE(CheckVdagStrategy(vdag, r.strategy).ok);
+    if (r.used_modified_ordering) ++modified;
+  }
+  // Some seeds must trigger the cyclic case (the problem VDAG exists for
+  // exactly this reason).
+  EXPECT_GT(modified, 0);
+}
+
+// Theorem 5.2/5.4: on tree/uniform VDAGs MinWork is optimal over ALL
+// correct VDAG strategies (validated by brute force on a small tree VDAG).
+TEST(MinWorkTest, OptimalOnSmallTreeVdagByBruteForce) {
+  Vdag vdag;
+  vdag.AddBaseView("A", testutil::TripleSchema("A"));
+  vdag.AddBaseView("B", testutil::TripleSchema("B"));
+  vdag.AddDerivedView(testutil::SpjTripleView("V", {"A", "B"}));
+
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    SizeMap sizes = RandomSizes(vdag, seed);
+    MinWorkResult r = MinWork(vdag, sizes);
+    double mw = EstimateStrategyWork(vdag, r.strategy, sizes, {}).total;
+
+    auto all = EnumerateAllCorrectVdagStrategies(vdag, /*one_way_only=*/false,
+                                                 /*limit=*/100000);
+    EvaluatedStrategy best = BestOf(vdag, all, sizes);
+    EXPECT_NEAR(mw, best.work, 1e-9)
+        << "seed=" << seed << "\nMinWork: " << r.strategy.ToString()
+        << "\nBest:    " << best.strategy.ToString();
+  }
+}
+
+TEST(MinWorkTest, OptimalOnFig3ByOneWayBruteForce) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SizeMap sizes = RandomSizes(vdag, seed);
+    MinWorkResult r = MinWork(vdag, sizes);
+    double mw = EstimateStrategyWork(vdag, r.strategy, sizes, {}).total;
+    auto one_way = EnumerateAllCorrectVdagStrategies(vdag, /*one_way_only=*/true,
+                                                     /*limit=*/2000000);
+    EvaluatedStrategy best = BestOf(vdag, one_way, sizes);
+    EXPECT_NEAR(mw, best.work, 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(MinWorkTest, OrderingMatchesDesiredOnAcyclicCase) {
+  Vdag vdag = tpcd::BuildTpcdVdag();
+  SizeMap sizes = RandomSizes(vdag, 3);
+  MinWorkResult r = MinWork(vdag, sizes);
+  EXPECT_EQ(r.ordering, DesiredViewOrdering(vdag.view_names(), sizes));
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/min_work.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "exec/parallel_executor.h"
+#include "parallel/flatten.h"
+#include "parallel/parallel_strategy.h"
+#include "test_util.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+using testutil::ApplyTripleChanges;
+using testutil::GroundTruthAfterChanges;
+using testutil::MakeLoadedWarehouse;
+
+class ParallelExecutorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelExecutorTest, DualStageStagesReachGroundTruth) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 80, 7);
+  ApplyTripleChanges(&w, 0.2, 10, 11);
+  Catalog truth = GroundTruthAfterChanges(w);
+
+  ParallelStrategy stages =
+      ParallelizeStrategy(w.vdag(), MakeDualStageVdagStrategy(w.vdag()));
+  ParallelExecutorOptions options;
+  options.workers = GetParam();
+  ParallelExecutor executor(&w, options);
+  ParallelExecutionReport report = executor.Execute(stages);
+
+  EXPECT_TRUE(w.catalog().ContentsEqual(truth));
+  EXPECT_EQ(report.per_expression.size(), stages.num_expressions());
+  EXPECT_EQ(report.stage_seconds.size(), stages.stages.size());
+}
+
+TEST_P(ParallelExecutorTest, MinWorkStagesReachGroundTruth) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig10Vdag(), 80, 13);
+  ApplyTripleChanges(&w, 0.15, 8, 17);
+  Catalog truth = GroundTruthAfterChanges(w);
+
+  Strategy sequential = MinWork(w.vdag(), w.EstimatedSizes()).strategy;
+  ParallelStrategy stages = ParallelizeStrategy(w.vdag(), sequential);
+  ParallelExecutorOptions options;
+  options.workers = GetParam();
+  ParallelExecutor executor(&w, options);
+  executor.Execute(stages);
+  EXPECT_TRUE(w.catalog().ContentsEqual(truth));
+}
+
+TEST_P(ParallelExecutorTest, FlattenedDualStageReachesGroundTruth) {
+  Vdag flat = FlattenVdag(testutil::MakeFig3Vdag());
+  Warehouse w = MakeLoadedWarehouse(flat, 60, 19);
+  ApplyTripleChanges(&w, 0.2, 6, 23);
+  Catalog truth = GroundTruthAfterChanges(w);
+
+  ParallelStrategy stages =
+      ParallelizeStrategy(flat, MakeDualStageVdagStrategy(flat));
+  ParallelExecutorOptions options;
+  options.workers = GetParam();
+  ParallelExecutor executor(&w, options);
+  executor.Execute(stages);
+  EXPECT_TRUE(w.catalog().ContentsEqual(truth));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ParallelExecutorTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelExecutorTest, MatchesSequentialExecutorWorkExactly) {
+  Warehouse seq_w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 60, 29);
+  ApplyTripleChanges(&seq_w, 0.15, 5, 31);
+  Warehouse par_w = seq_w.Clone();
+
+  Strategy strategy = MakeDualStageVdagStrategy(seq_w.vdag());
+  Executor sequential(&seq_w);
+  ExecutionReport seq_report = sequential.Execute(strategy);
+
+  ParallelStrategy stages = ParallelizeStrategy(par_w.vdag(), strategy);
+  ParallelExecutorOptions options;
+  options.workers = 4;
+  ParallelExecutor parallel(&par_w, options);
+  ParallelExecutionReport par_report = parallel.Execute(stages);
+
+  EXPECT_TRUE(seq_w.catalog().ContentsEqual(par_w.catalog()));
+  EXPECT_EQ(seq_report.total_linear_work, par_report.total_linear_work);
+}
+
+// Concurrency soak: many repetitions catch races in accumulator
+// finalization (two parents racing for one child's delta).
+TEST(ParallelExecutorTest, RepeatedRunsStayDeterministic) {
+  for (int round = 0; round < 15; ++round) {
+    Warehouse w = MakeLoadedWarehouse(testutil::MakeFig10Vdag(), 50,
+                                      100 + round);
+    ApplyTripleChanges(&w, 0.2, 6, 200 + round);
+    Catalog truth = GroundTruthAfterChanges(w);
+    ParallelStrategy stages = ParallelizeStrategy(
+        w.vdag(), MakeDualStageVdagStrategy(w.vdag()));
+    ParallelExecutorOptions options;
+    options.workers = 8;
+    ParallelExecutor executor(&w, options);
+    executor.Execute(stages);
+    ASSERT_TRUE(w.catalog().ContentsEqual(truth)) << "round " << round;
+  }
+}
+
+TEST(ParallelExecutorTest, TpcdStagedUpdateConverges) {
+  tpcd::GeneratorOptions options;
+  options.scale_factor = 0.002;
+  options.seed = 5;
+  Warehouse w = tpcd::MakeTpcdWarehouse(options, {"Q3", "Q5", "Q10"});
+  tpcd::ApplyPaperChangeWorkload(&w, 0.1, 0.05, 7);
+
+  Warehouse seq_w = w.Clone();
+  Executor sequential(&seq_w);
+  sequential.Execute(MakeDualStageVdagStrategy(w.vdag()));
+
+  ParallelStrategy stages = ParallelizeStrategy(
+      w.vdag(), MakeDualStageVdagStrategy(w.vdag()));
+  ParallelExecutorOptions exec_options;
+  exec_options.workers = 4;
+  ParallelExecutor parallel(&w, exec_options);
+  parallel.Execute(stages);
+  EXPECT_TRUE(w.catalog().ContentsEqual(seq_w.catalog()));
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include "expr/evaluator.h"
+#include "expr/printer.h"
+#include "parser/sql_parser.h"
+#include "parser/tokenizer.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "test_util.h"
+#include "tpcd/tpcd_schema.h"
+#include "tpcd/tpcd_views.h"
+#include "view/recompute.h"
+
+namespace wuw {
+namespace {
+
+// ---- Tokenizer ----
+
+TEST(TokenizerTest, BasicTokens) {
+  std::vector<Token> tokens;
+  std::string error;
+  ASSERT_TRUE(Tokenize("SELECT a_b, 42 1.5 'hi' <> <= (", &tokens, &error));
+  ASSERT_EQ(tokens.size(), 10u);  // incl. ',' and kEnd
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "A_B");
+  EXPECT_EQ(tokens[1].raw, "a_b");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[5].text, "hi");
+  EXPECT_EQ(tokens[6].text, "<>");
+  EXPECT_EQ(tokens[7].text, "<=");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(TokenizerTest, EscapedQuoteAndComments) {
+  std::vector<Token> tokens;
+  std::string error;
+  ASSERT_TRUE(Tokenize("'it''s' -- trailing comment\n7", &tokens, &error));
+  EXPECT_EQ(tokens[0].text, "it's");
+  EXPECT_EQ(tokens[1].text, "7");
+}
+
+TEST(TokenizerTest, NotEqualsNormalized) {
+  std::vector<Token> tokens;
+  std::string error;
+  ASSERT_TRUE(Tokenize("a != b", &tokens, &error));
+  EXPECT_EQ(tokens[1].text, "<>");
+}
+
+TEST(TokenizerTest, ErrorsOnUnterminatedString) {
+  std::vector<Token> tokens;
+  std::string error;
+  EXPECT_FALSE(Tokenize("'oops", &tokens, &error));
+  EXPECT_NE(error.find("unterminated"), std::string::npos);
+}
+
+TEST(TokenizerTest, ErrorsOnStrayCharacter) {
+  std::vector<Token> tokens;
+  std::string error;
+  EXPECT_FALSE(Tokenize("a ; b", &tokens, &error));
+}
+
+// ---- Scalar expressions ----
+
+Value EvalOn(const ScalarExpr::Ptr& e, const Schema& schema, const Tuple& t) {
+  return BoundExpr::Bind(e, schema).Eval(t);
+}
+
+TEST(ParseExprTest, ArithmeticPrecedence) {
+  std::string error;
+  auto e = ParseScalarExpr("1 + 2 * 3 - 4", &error);
+  ASSERT_NE(e, nullptr) << error;
+  EXPECT_EQ(EvalOn(e, Schema(), Tuple()).AsInt64(), 3);
+}
+
+TEST(ParseExprTest, ParenthesesOverridePrecedence) {
+  std::string error;
+  auto e = ParseScalarExpr("(1 + 2) * 3", &error);
+  ASSERT_NE(e, nullptr) << error;
+  EXPECT_EQ(EvalOn(e, Schema(), Tuple()).AsInt64(), 9);
+}
+
+TEST(ParseExprTest, UnaryMinus) {
+  std::string error;
+  auto e = ParseScalarExpr("-5 + 2", &error);
+  ASSERT_NE(e, nullptr) << error;
+  EXPECT_EQ(EvalOn(e, Schema(), Tuple()).AsInt64(), -3);
+}
+
+TEST(ParseExprTest, ComparisonAndLogic) {
+  Schema s({{"x", TypeId::kInt64}});
+  Tuple t({Value::Int64(7)});
+  std::string error;
+  auto e = ParseScalarExpr("x > 5 AND NOT (x = 8) OR x < 0", &error);
+  ASSERT_NE(e, nullptr) << error;
+  EXPECT_TRUE(BoundExpr::Bind(e, s).EvalBool(t));
+}
+
+TEST(ParseExprTest, DateLiteral) {
+  std::string error;
+  auto e = ParseScalarExpr("DATE '1995-03-15'", &error);
+  ASSERT_NE(e, nullptr) << error;
+  EXPECT_EQ(e->literal().AsDate(), 19950315);
+}
+
+TEST(ParseExprTest, RejectsMalformedDate) {
+  std::string error;
+  EXPECT_EQ(ParseScalarExpr("DATE '1995/03/15'", &error), nullptr);
+  EXPECT_EQ(ParseScalarExpr("DATE '1995-13-15'", &error), nullptr);
+}
+
+TEST(ParseExprTest, RejectsTrailingInput) {
+  std::string error;
+  EXPECT_EQ(ParseScalarExpr("1 + 2 extra", &error), nullptr);
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(ParseExprTest, CaseInsensitiveKeywordsPreserveIdentifierCase) {
+  std::string error;
+  auto e = ParseScalarExpr("c_mktsegment = 'BUILDING'", &error);
+  ASSERT_NE(e, nullptr) << error;
+  EXPECT_EQ(e->lhs()->column_name(), "c_mktsegment");
+}
+
+// ---- View definitions ----
+
+class ParseViewTest : public ::testing::Test {
+ protected:
+  ParseViewTest() : vdag_(tpcd::BuildTpcdVdag({"Q3"})) {}
+
+  ViewDefinition::SchemaResolver Resolver() {
+    return [this](const std::string& name) -> const Schema& {
+      return vdag_.OutputSchema(name);
+    };
+  }
+
+  Vdag vdag_;
+};
+
+TEST_F(ParseViewTest, ParsesQ3Statement) {
+  ParsedView parsed = ParseViewDefinition("MYQ3", R"sql(
+      SELECT l_orderkey, o_orderdate, o_shippriority,
+             SUM(l_extendedprice * (10000 - l_discount)) AS revenue
+      FROM CUSTOMER, ORDERS, LINEITEM
+      WHERE c_mktsegment = 'BUILDING'
+        AND c_custkey = o_custkey
+        AND o_orderkey = l_orderkey
+        AND o_orderdate < DATE '1995-03-15'
+        AND l_shipdate > DATE '1995-03-15'
+      GROUP BY l_orderkey, o_orderdate, o_shippriority)sql",
+                                         Resolver());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const ViewDefinition& def = *parsed.definition;
+  EXPECT_EQ(def.sources(),
+            (std::vector<std::string>{"CUSTOMER", "ORDERS", "LINEITEM"}));
+  EXPECT_EQ(def.joins().size(), 2u);   // the two cross-source equalities
+  EXPECT_EQ(def.filters().size(), 3u); // segment + two dates
+  EXPECT_TRUE(def.is_aggregate());
+  EXPECT_EQ(def.projections().size(), 3u);
+  EXPECT_EQ(def.aggregates().size(), 1u);
+  EXPECT_EQ(def.aggregates()[0].name, "revenue");
+}
+
+TEST_F(ParseViewTest, ParsedQ3MatchesBuiltinQ3Extent) {
+  // The parsed definition must compute exactly what the hand-built
+  // Q3Definition computes.
+  ParsedView parsed = ParseViewDefinition(
+      "Q3P", tpcd::Q3Definition()->ToString(), Resolver());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  tpcd::GeneratorOptions options;
+  options.scale_factor = 0.002;
+  Warehouse w = tpcd::MakeTpcdWarehouse(options, {"Q3"});
+  Table builtin = RecomputeView(*tpcd::Q3Definition(), w.catalog(), nullptr);
+  Table reparsed = RecomputeView(*parsed.definition, w.catalog(), nullptr);
+  EXPECT_TRUE(builtin.ContentsEqual(reparsed));
+}
+
+TEST_F(ParseViewTest, RoundTripsAllTpcdDefinitions) {
+  Vdag full = tpcd::BuildTpcdVdag();
+  auto resolver = [&](const std::string& name) -> const Schema& {
+    return full.OutputSchema(name);
+  };
+  for (const std::string q : {"Q3", "Q5", "Q10"}) {
+    const auto& def = full.definition(q);
+    ParsedView parsed = ParseViewDefinition(q + "_RT", def->ToString(),
+                                            resolver);
+    ASSERT_TRUE(parsed.ok()) << q << ": " << parsed.error;
+    EXPECT_EQ(parsed.definition->sources(), def->sources()) << q;
+    EXPECT_EQ(parsed.definition->joins().size(), def->joins().size()) << q;
+    EXPECT_EQ(parsed.definition->filters().size(), def->filters().size())
+        << q;
+    EXPECT_EQ(parsed.definition->aggregates().size(),
+              def->aggregates().size())
+        << q;
+  }
+}
+
+TEST_F(ParseViewTest, SpjViewWithoutGroupBy) {
+  ParsedView parsed = ParseViewDefinition("ORDERS_BUILDING", R"sql(
+      SELECT o_orderkey, o_orderdate, c_name AS customer
+      FROM CUSTOMER, ORDERS
+      WHERE c_custkey = o_custkey AND c_mktsegment = 'BUILDING')sql",
+                                         Resolver());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_FALSE(parsed.definition->is_aggregate());
+  EXPECT_EQ(parsed.definition->projections().size(), 3u);
+  EXPECT_EQ(parsed.definition->projections()[2].name, "customer");
+  EXPECT_EQ(parsed.definition->joins().size(), 1u);
+}
+
+TEST_F(ParseViewTest, SameSourceEqualityIsFilterNotJoin) {
+  ParsedView parsed = ParseViewDefinition("SELFCMP", R"sql(
+      SELECT o_orderkey
+      FROM ORDERS
+      WHERE o_orderkey = o_custkey)sql",
+                                          Resolver());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_TRUE(parsed.definition->joins().empty());
+  EXPECT_EQ(parsed.definition->filters().size(), 1u);
+}
+
+TEST_F(ParseViewTest, CountStar) {
+  ParsedView parsed = ParseViewDefinition("ORDERS_PER_DAY", R"sql(
+      SELECT o_orderdate, COUNT(*) AS n
+      FROM ORDERS
+      GROUP BY o_orderdate)sql",
+                                          Resolver());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.definition->aggregates()[0].fn, AggFn::kCount);
+}
+
+TEST_F(ParseViewTest, ErrorUnknownColumn) {
+  ParsedView parsed = ParseViewDefinition(
+      "BAD", "SELECT nope FROM ORDERS", Resolver());
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("nope"), std::string::npos);
+}
+
+TEST_F(ParseViewTest, ErrorAggregateWithoutGroupBy) {
+  ParsedView parsed = ParseViewDefinition(
+      "BAD", "SELECT o_orderdate, SUM(o_orderkey) AS s FROM ORDERS",
+      Resolver());
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("GROUP BY"), std::string::npos);
+}
+
+TEST_F(ParseViewTest, ErrorGroupKeyNotSelected) {
+  ParsedView parsed = ParseViewDefinition("BAD", R"sql(
+      SELECT o_orderdate, SUM(o_orderkey) AS s
+      FROM ORDERS GROUP BY o_custkey)sql",
+                                          Resolver());
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(ParseViewTest, ErrorMissingAlias) {
+  ParsedView parsed = ParseViewDefinition(
+      "BAD", "SELECT o_orderkey + 1 FROM ORDERS", Resolver());
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("AS"), std::string::npos);
+}
+
+TEST_F(ParseViewTest, ErrorMissingFrom) {
+  ParsedView parsed =
+      ParseViewDefinition("BAD", "SELECT o_orderkey", Resolver());
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(ParseViewTest, ErrorTrailingGarbage) {
+  ParsedView parsed = ParseViewDefinition(
+      "BAD", "SELECT o_orderkey FROM ORDERS LIMIT 5", Resolver());
+  EXPECT_FALSE(parsed.ok());
+}
+
+// Print/parse fixed point: rendering a parsed expression and reparsing it
+// is stable and evaluation-equivalent.
+TEST(ParseExprTest, PrintParseFixedPoint) {
+  Schema schema({{"x", TypeId::kInt64},
+                 {"y", TypeId::kInt64},
+                 {"s", TypeId::kString},
+                 {"d", TypeId::kDate}});
+  std::vector<Tuple> samples = {
+      Tuple({Value::Int64(3), Value::Int64(-7), Value::String("BUILDING"),
+             Value::Date(19950315)}),
+      Tuple({Value::Int64(0), Value::Int64(100), Value::String(""),
+             Value::Date(19920101)}),
+  };
+  const char* inputs[] = {
+      "x + y * 2 - 1",
+      "(x + y) * (x - y)",
+      "x > 0 AND (y < 10 OR NOT (s = 'BUILDING'))",
+      "d >= DATE '1994-01-01' AND d < DATE '1995-01-01'",
+      "x * (10000 - y)",
+      "-x + 3",
+      "x <> y OR s = 'it''s'",
+  };
+  for (const char* input : inputs) {
+    std::string error;
+    auto e1 = ParseScalarExpr(input, &error);
+    ASSERT_NE(e1, nullptr) << input << ": " << error;
+    std::string printed = ExprToSql(e1);
+    auto e2 = ParseScalarExpr(printed, &error);
+    ASSERT_NE(e2, nullptr) << printed << ": " << error;
+    EXPECT_EQ(ExprToSql(e2), printed) << input;  // fixed point after 1 round
+    BoundExpr b1 = BoundExpr::Bind(e1, schema);
+    BoundExpr b2 = BoundExpr::Bind(e2, schema);
+    for (const Tuple& t : samples) {
+      EXPECT_EQ(b1.Eval(t), b2.Eval(t)) << input;
+    }
+  }
+}
+
+TEST(ExtractFromSourcesTest, FindsSourceList) {
+  EXPECT_EQ(ExtractFromSources("SELECT a FROM T1, T2 WHERE a = b"),
+            (std::vector<std::string>{"T1", "T2"}));
+  EXPECT_EQ(ExtractFromSources("SELECT a FROM T GROUP BY a"),
+            (std::vector<std::string>{"T"}));
+  EXPECT_TRUE(ExtractFromSources("SELECT 1 + 2").empty());
+  EXPECT_TRUE(ExtractFromSources("garbage ' unterminated").empty());
+}
+
+// A parsed multi-level warehouse actually runs end to end.
+TEST(ParseViewIntegrationTest, ParsedViewsMaintainCorrectly) {
+  Vdag vdag;
+  vdag.AddBaseView("A", testutil::TripleSchema("A"));
+  vdag.AddBaseView("B", testutil::TripleSchema("B"));
+  auto resolver = [&](const std::string& name) -> const Schema& {
+    return vdag.OutputSchema(name);
+  };
+  ParsedView joined = ParseViewDefinition(
+      "J", "SELECT A_k AS J_k, A_v + B_v AS J_v, A_g AS J_g "
+           "FROM A, B WHERE A_k = B_k",
+      resolver);
+  ASSERT_TRUE(joined.ok()) << joined.error;
+  vdag.AddDerivedView(joined.definition);
+  ParsedView top = ParseViewDefinition(
+      "T", "SELECT J_g, SUM(J_v) AS total, COUNT(*) AS n "
+           "FROM J GROUP BY J_g",
+      resolver);
+  ASSERT_TRUE(top.ok()) << top.error;
+  vdag.AddDerivedView(top.definition);
+
+  Warehouse w = testutil::MakeLoadedWarehouse(std::move(vdag), 60, 5);
+  testutil::ApplyTripleChanges(&w, 0.2, 10, 7);
+  Catalog truth = testutil::GroundTruthAfterChanges(w);
+  Executor executor(&w);
+  executor.Execute(MakeDualStageVdagStrategy(w.vdag()));
+  EXPECT_TRUE(w.catalog().ContentsEqual(truth));
+}
+
+}  // namespace
+}  // namespace wuw

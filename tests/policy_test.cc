@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "policy/maintenance_policy.h"
+#include "test_util.h"
+#include "tpcd/change_generator.h"
+
+namespace wuw {
+namespace {
+
+using testutil::MakeLoadedWarehouse;
+
+/// A coherent change stream over triple-schema base views: each batch is
+/// drawn from a private mirror of the source (all earlier batches
+/// applied), so deferred policies can merge batches safely.
+class TripleStream {
+ public:
+  TripleStream(const Warehouse& w, uint64_t seed) : rng_(seed) {
+    for (const std::string& base : w.vdag().BaseViews()) {
+      Table* mirror =
+          mirror_.CreateTable(base, w.vdag().OutputSchema(base));
+      w.catalog().MustGetTable(base)->ForEach(
+          [&](const Tuple& t, int64_t c) { mirror->Add(t, c); });
+      bases_.push_back(base);
+    }
+  }
+
+  std::unordered_map<std::string, DeltaRelation> NextBatch(
+      double delete_fraction, int64_t inserts) {
+    ++batch_;
+    std::unordered_map<std::string, DeltaRelation> batch;
+    for (const std::string& base : bases_) {
+      Table* mirror = mirror_.MustGetTable(base);
+      DeltaRelation delta = tpcd::MakeDeletionDelta(
+          *mirror, delete_fraction, rng_.Next());
+      for (int64_t i = 0; i < inserts; ++i) {
+        int64_t k = 500000 + batch_ * 1000 + i;  // fresh keys per batch
+        delta.Add(Tuple({Value::Int64(k), Value::Int64(rng_.Range(0, 99)),
+                         Value::Int64(k % 5)}),
+                  1);
+      }
+      delta.ForEach([&](const Tuple& t, int64_t c) { mirror->Add(t, c); });
+      batch.emplace(base, std::move(delta));
+    }
+    return batch;
+  }
+
+  const Catalog& mirror() const { return mirror_; }
+
+ private:
+  Catalog mirror_;
+  std::vector<std::string> bases_;
+  tpcd::Rng rng_;
+  int64_t batch_ = 0;
+};
+
+TEST(PolicyTest, ImmediateRunsEveryBatch) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 50, 1);
+  TripleStream stream(w, 10);
+  MaintenanceScheduler scheduler(&w, PolicyOptions::Immediate());
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(scheduler.OnBatch(stream.NextBatch(0.05, 3)));
+  }
+  EXPECT_EQ(scheduler.report().windows_run, 5);
+  EXPECT_EQ(scheduler.report().batches_received, 5);
+  // Final state equals the source mirror on base views.
+  for (const std::string& base : w.vdag().BaseViews()) {
+    EXPECT_TRUE(w.catalog().MustGetTable(base)->ContentsEqual(
+        *stream.mirror().MustGetTable(base)))
+        << base;
+  }
+}
+
+TEST(PolicyTest, EveryKDefersAndMerges) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 50, 2);
+  TripleStream stream(w, 20);
+  MaintenanceScheduler scheduler(&w, PolicyOptions::EveryK(3));
+  int windows = 0;
+  for (uint64_t i = 0; i < 7; ++i) {
+    if (scheduler.OnBatch(stream.NextBatch(0.05, 3))) ++windows;
+  }
+  EXPECT_EQ(windows, 2);  // after batches 3 and 6
+  EXPECT_EQ(scheduler.report().windows_run, 2);
+  scheduler.Flush();  // batch 7 still pending
+  EXPECT_EQ(scheduler.report().windows_run, 3);
+  for (const std::string& base : w.vdag().BaseViews()) {
+    EXPECT_TRUE(w.catalog().MustGetTable(base)->ContentsEqual(
+        *stream.mirror().MustGetTable(base)))
+        << base;
+  }
+}
+
+TEST(PolicyTest, ThresholdTriggersOnVolume) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 100, 3);
+  TripleStream stream(w, 30);
+  MaintenanceScheduler scheduler(&w, PolicyOptions::Threshold(0.15));
+  // ~5% churn per batch: should run roughly every 2-4 batches.
+  int windows = 0;
+  for (uint64_t i = 0; i < 8; ++i) {
+    if (scheduler.OnBatch(stream.NextBatch(0.05, 0))) ++windows;
+  }
+  EXPECT_GT(windows, 0);
+  EXPECT_LT(windows, 8);
+}
+
+TEST(PolicyTest, DeferredStateMatchesImmediateState) {
+  // The SAME batch stream through different policies lands on the same
+  // final database state (after a flush), with fewer windows when
+  // deferred.
+  Warehouse immediate_w =
+      MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 60, 4);
+  Warehouse deferred_w = immediate_w.Clone();
+  TripleStream stream(immediate_w, 40);
+
+  MaintenanceScheduler immediate(&immediate_w, PolicyOptions::Immediate());
+  MaintenanceScheduler deferred(&deferred_w, PolicyOptions::EveryK(4));
+  for (uint64_t i = 0; i < 6; ++i) {
+    auto batch = stream.NextBatch(0.08, 4);
+    immediate.OnBatch(batch);
+    deferred.OnBatch(batch);
+  }
+  immediate.Flush();
+  deferred.Flush();
+  EXPECT_GT(immediate.report().windows_run, deferred.report().windows_run);
+  EXPECT_TRUE(immediate_w.catalog().ContentsEqual(deferred_w.catalog()));
+  // Merged batches cancel churn: deferred installs no more rows.
+  EXPECT_LE(deferred.report().rows_installed,
+            immediate.report().rows_installed);
+}
+
+TEST(PolicyTest, CancellationShrinksInstalledRows) {
+  // Insert N rows in batch 1 and delete the same rows in batch 2: the
+  // deferred policy installs (almost) nothing, immediate installs twice.
+  auto make_insert_batch = [](const Warehouse& w, int sign) {
+    std::unordered_map<std::string, DeltaRelation> batch;
+    for (const std::string& base : w.vdag().BaseViews()) {
+      DeltaRelation delta(w.vdag().OutputSchema(base));
+      for (int64_t i = 0; i < 50; ++i) {
+        delta.Add(Tuple({Value::Int64(900000 + i), Value::Int64(7),
+                         Value::Int64(i % 5)}),
+                  sign);
+      }
+      batch.emplace(base, std::move(delta));
+    }
+    return batch;
+  };
+
+  Warehouse immediate_w =
+      MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 40, 5);
+  Warehouse deferred_w = immediate_w.Clone();
+  Catalog original = immediate_w.catalog().Clone();
+
+  MaintenanceScheduler immediate(&immediate_w, PolicyOptions::Immediate());
+  immediate.OnBatch(make_insert_batch(immediate_w, +1));
+  immediate.OnBatch(make_insert_batch(immediate_w, -1));
+
+  MaintenanceScheduler deferred(&deferred_w, PolicyOptions::EveryK(2));
+  deferred.OnBatch(make_insert_batch(deferred_w, +1));
+  deferred.OnBatch(make_insert_batch(deferred_w, -1));
+
+  // Both end where they started.
+  EXPECT_TRUE(immediate_w.catalog().ContentsEqual(original));
+  EXPECT_TRUE(deferred_w.catalog().ContentsEqual(original));
+  // But the deferred policy installed nothing at all.
+  EXPECT_EQ(deferred.report().rows_installed, 0);
+  EXPECT_GT(immediate.report().rows_installed, 0);
+  EXPECT_LT(deferred.report().total_linear_work,
+            immediate.report().total_linear_work);
+}
+
+TEST(PolicyTest, ReportToStringMentionsCounts) {
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 30, 6);
+  TripleStream stream(w, 50);
+  MaintenanceScheduler scheduler(&w, PolicyOptions::Immediate());
+  scheduler.OnBatch(stream.NextBatch(0.1, 0));
+  std::string text = scheduler.report().ToString();
+  EXPECT_NE(text.find("windows=1"), std::string::npos);
+  EXPECT_NE(text.find("batches=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/correctness.h"
+#include "core/exhaustive.h"
+#include "core/min_work.h"
+#include "core/prune.h"
+#include "test_util.h"
+#include "tpcd/tpcd_generator.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+SizeMap RandomSizes(const Vdag& vdag, uint64_t seed) {
+  tpcd::Rng rng(seed);
+  SizeMap sizes;
+  for (const std::string& name : vdag.view_names()) {
+    int64_t size = rng.Range(50, 500);
+    int64_t minus = rng.Range(0, size / 3);
+    int64_t plus = rng.Range(0, size / 3);
+    sizes.Set(name, {size, plus + minus, plus - minus});
+  }
+  return sizes;
+}
+
+TEST(PruneTest, ProducesCorrectStrategy) {
+  Vdag vdag = testutil::MakeFig10Vdag();
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    PruneResult r = Prune(vdag, RandomSizes(vdag, seed));
+    EXPECT_TRUE(CheckVdagStrategy(vdag, r.strategy).ok)
+        << r.strategy.ToString();
+    EXPECT_GT(r.orderings_examined, 0);
+  }
+}
+
+// Prune's winner equals the brute-force best over ALL correct 1-way VDAG
+// strategies — its headline guarantee.
+TEST(PruneTest, MatchesBruteForceBestOneWay) {
+  Vdag vdag = testutil::MakeFig10Vdag();
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SizeMap sizes = RandomSizes(vdag, seed);
+    PruneResult r = Prune(vdag, sizes);
+    auto one_way = EnumerateAllCorrectVdagStrategies(vdag, /*one_way_only=*/true,
+                                                     /*limit=*/5000000);
+    EvaluatedStrategy best = BestOf(vdag, one_way, sizes);
+    EXPECT_NEAR(r.work, best.work, 1e-9)
+        << "seed=" << seed << "\nPrune: " << r.strategy.ToString()
+        << "\nBest:  " << best.strategy.ToString();
+  }
+}
+
+// The m! optimization must not change the answer.
+TEST(PruneTest, PermutingOnlyViewsWithParentsIsLossless) {
+  Vdag vdag = testutil::MakeFig10Vdag();
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SizeMap sizes = RandomSizes(vdag, seed);
+    PruneOptions full;
+    full.permute_only_views_with_parents = false;
+    PruneResult with_opt = Prune(vdag, sizes);
+    PruneResult without_opt = Prune(vdag, sizes, full);
+    EXPECT_NEAR(with_opt.work, without_opt.work, 1e-9) << "seed=" << seed;
+    EXPECT_LT(with_opt.orderings_examined, without_opt.orderings_examined);
+  }
+}
+
+TEST(PruneTest, TpcdSearchSpaceIs720Not362880) {
+  Vdag vdag = tpcd::BuildTpcdVdag();
+  SizeMap sizes = RandomSizes(vdag, 1);
+  PruneResult r = Prune(vdag, sizes);
+  // m = 6 views with parents -> 6! orderings (Section 6).
+  EXPECT_EQ(r.orderings_examined, 720);
+}
+
+// On VDAGs where MinWork's desired-ordering EG is acyclic, Prune can do no
+// better (both hit the 1-way optimum).
+TEST(PruneTest, AgreesWithMinWorkOnUniformVdag) {
+  Vdag vdag = tpcd::BuildTpcdVdag();
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SizeMap sizes = RandomSizes(vdag, seed);
+    MinWorkResult mw = MinWork(vdag, sizes);
+    ASSERT_FALSE(mw.used_modified_ordering);
+    double mw_work = EstimateStrategyWork(vdag, mw.strategy, sizes, {}).total;
+    PruneResult pr = Prune(vdag, sizes);
+    EXPECT_NEAR(mw_work, pr.work, 1e-9) << "seed=" << seed;
+  }
+}
+
+// On the problem VDAG, Prune is at least as good as MinWork and sometimes
+// strictly better (MinWork may fall back to a modified ordering).
+TEST(PruneTest, NeverWorseThanMinWork) {
+  Vdag vdag = testutil::MakeFig10Vdag();
+  bool strictly_better_somewhere = false;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    SizeMap sizes = RandomSizes(vdag, seed);
+    MinWorkResult mw = MinWork(vdag, sizes);
+    double mw_work = EstimateStrategyWork(vdag, mw.strategy, sizes, {}).total;
+    PruneResult pr = Prune(vdag, sizes);
+    EXPECT_LE(pr.work, mw_work + 1e-9) << "seed=" << seed;
+    if (pr.work < mw_work - 1e-9) strictly_better_somewhere = true;
+  }
+  (void)strictly_better_somewhere;  // informational; not guaranteed per-seed
+}
+
+// Lemma 6.1 / Theorem 6.1: every 1-way strategy is strongly consistent
+// with exactly one ordering, and same-partition strategies cost the same.
+TEST(PruneTest, StrategiesInSamePartitionIncurEqualWork) {
+  Vdag vdag = testutil::MakeFig3Vdag();
+  SizeMap sizes = RandomSizes(vdag, 5);
+  auto one_way = EnumerateAllCorrectVdagStrategies(vdag, /*one_way_only=*/true,
+                                                   /*limit=*/5000000);
+  std::map<std::vector<std::string>, double> partition_work;
+  for (const Strategy& s : one_way) {
+    std::vector<std::string> ordering = s.InstOrder();  // Lemma 6.1
+    double work = EstimateStrategyWork(vdag, s, sizes, {}).total;
+    auto [it, inserted] = partition_work.emplace(ordering, work);
+    if (!inserted) {
+      EXPECT_NEAR(it->second, work, 1e-9)
+          << "partition " << s.ToString();
+    }
+  }
+  EXPECT_GT(partition_work.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wuw

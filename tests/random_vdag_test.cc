@@ -1,0 +1,165 @@
+// Randomized end-to-end property tests: generate random VDAGs (random
+// shapes, SPJ/aggregate mixes, multi-level definitions) and random change
+// workloads, then check the full pipeline:
+//   * MinWork / Prune / dual-stage strategies are correct (C1-C8);
+//   * executing any of them converges to the recompute ground truth;
+//   * MinWork == Prune work on acyclic-EG cases;
+//   * the strategy simplifier preserves the final state.
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "core/min_work.h"
+#include "core/prune.h"
+#include "core/simplify.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "test_util.h"
+
+namespace wuw {
+namespace {
+
+using testutil::AggTripleView;
+using testutil::SpjTripleView;
+using testutil::TripleSchema;
+
+/// Builds a random VDAG over `num_bases` base views and `num_derived`
+/// derived views.  Every view follows the triple-column convention, so
+/// derived-over-derived definitions compose mechanically.  At most one
+/// aggregate source per definition (two would collide on __count).
+Vdag RandomVdag(tpcd::Rng* rng, size_t num_bases, size_t num_derived) {
+  Vdag vdag;
+  std::vector<std::string> pool;          // candidate sources
+  std::vector<bool> is_aggregate_view;    // parallel to pool
+  for (size_t i = 0; i < num_bases; ++i) {
+    std::string name = "B" + std::to_string(i);
+    vdag.AddBaseView(name, TripleSchema(name));
+    pool.push_back(name);
+    is_aggregate_view.push_back(false);
+  }
+  for (size_t i = 0; i < num_derived; ++i) {
+    std::string name = "D" + std::to_string(i);
+    size_t fanin = 1 + rng->Below(std::min<size_t>(3, pool.size()));
+    std::vector<std::string> sources;
+    bool has_aggregate_source = false;
+    while (sources.size() < fanin) {
+      size_t pick = rng->Below(pool.size());
+      if (std::find(sources.begin(), sources.end(), pool[pick]) !=
+          sources.end()) {
+        continue;
+      }
+      if (is_aggregate_view[pick]) {
+        if (has_aggregate_source) continue;
+        has_aggregate_source = true;
+      }
+      sources.push_back(pool[pick]);
+    }
+    bool aggregate = rng->Below(3) == 0;
+    vdag.AddDerivedView(aggregate
+                            ? AggTripleView(name, sources)
+                            : SpjTripleView(name, sources,
+                                            /*with_filter=*/rng->Below(2)));
+    pool.push_back(name);
+    is_aggregate_view.push_back(aggregate);
+  }
+  return vdag;
+}
+
+struct Scenario {
+  uint64_t seed;
+  size_t bases;
+  size_t derived;
+  double delete_fraction;
+  int64_t insert_rows;
+};
+
+class RandomVdagTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(RandomVdagTest, OptimizersProduceCorrectConvergingStrategies) {
+  const Scenario& sc = GetParam();
+  tpcd::Rng rng(sc.seed);
+  Vdag vdag = RandomVdag(&rng, sc.bases, sc.derived);
+
+  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 40, sc.seed * 31 + 1);
+  testutil::ApplyTripleChanges(&w, sc.delete_fraction, sc.insert_rows,
+                               sc.seed * 17 + 3);
+  Catalog truth = testutil::GroundTruthAfterChanges(w);
+
+  SizeMap sizes = sc.seed % 2 == 0 ? w.EstimatedSizesWithStats()
+                                   : w.EstimatedSizes();
+  MinWorkResult mw = MinWork(vdag, sizes);
+  PruneResult pr = Prune(vdag, sizes);
+  Strategy dual = MakeDualStageVdagStrategy(vdag);
+
+  for (const Strategy* s : {&mw.strategy, &pr.strategy, &dual}) {
+    CorrectnessResult r = CheckVdagStrategy(vdag, *s);
+    ASSERT_TRUE(r.ok) << r.violation << "\n" << s->ToString();
+    Warehouse clone = w.Clone();
+    Executor executor(&clone);
+    executor.Execute(*s);
+    ASSERT_TRUE(clone.catalog().ContentsEqual(truth))
+        << "diverged: " << s->ToString();
+  }
+
+  // Prune can never do worse than MinWork under the metric.
+  double mw_work = EstimateStrategyWork(vdag, mw.strategy, sizes, {}).total;
+  EXPECT_LE(pr.work, mw_work + 1e-6);
+  if (!mw.used_modified_ordering) {
+    EXPECT_NEAR(pr.work, mw_work, 1e-6);
+  }
+
+  // Simplification against the real empty set also converges.
+  std::set<std::string> empty_bases;
+  for (const std::string& base : vdag.BaseViews()) {
+    if (w.base_delta(base).empty()) empty_bases.insert(base);
+  }
+  Strategy simplified = SimplifyForEmptyDeltas(
+      mw.strategy, EmptyDeltaClosure(vdag, empty_bases));
+  Warehouse clone = w.Clone();
+  ExecutorOptions options;
+  options.validate = false;
+  Executor executor(&clone, options);
+  executor.Execute(simplified);
+  EXPECT_TRUE(clone.catalog().ContentsEqual(truth));
+}
+
+std::string ScenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  const Scenario& s = info.param;
+  return "seed" + std::to_string(s.seed) + "_b" + std::to_string(s.bases) +
+         "d" + std::to_string(s.derived) + "_del" +
+         std::to_string(static_cast<int>(s.delete_fraction * 100)) + "_ins" +
+         std::to_string(s.insert_rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomVdagTest,
+    ::testing::Values(
+        Scenario{1, 2, 1, 0.2, 5}, Scenario{2, 3, 2, 0.1, 10},
+        Scenario{3, 3, 3, 0.3, 0}, Scenario{4, 4, 2, 0.0, 20},
+        Scenario{5, 2, 3, 0.5, 8}, Scenario{6, 4, 4, 0.15, 15},
+        Scenario{7, 3, 2, 0.25, 3}, Scenario{8, 5, 3, 0.1, 12},
+        Scenario{9, 2, 4, 0.4, 6}, Scenario{10, 4, 3, 0.05, 25},
+        Scenario{11, 3, 4, 0.2, 0}, Scenario{12, 5, 4, 0.1, 10},
+        Scenario{13, 2, 2, 0.35, 18}, Scenario{14, 3, 3, 0.0, 30},
+        Scenario{15, 4, 4, 0.45, 4}, Scenario{16, 5, 2, 0.12, 9}),
+    ScenarioName);
+
+// A deeper soak: many small random rounds on one evolving warehouse.
+TEST(RandomVdagSoakTest, TwentyRoundsOnOneWarehouse) {
+  tpcd::Rng rng(77);
+  Vdag vdag = RandomVdag(&rng, 3, 3);
+  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 50, 99);
+  for (int round = 0; round < 20; ++round) {
+    testutil::ApplyTripleChanges(&w, 0.05 + 0.02 * (round % 5), 4,
+                                 1000 + round);
+    Catalog truth = testutil::GroundTruthAfterChanges(w);
+    Strategy s = (round % 3 == 0)
+                     ? MakeDualStageVdagStrategy(vdag)
+                     : MinWork(vdag, w.EstimatedSizes()).strategy;
+    Executor executor(&w);
+    executor.Execute(s);
+    ASSERT_TRUE(w.catalog().ContentsEqual(truth)) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/min_work.h"
+#include "exec/executor.h"
+#include "io/snapshot.h"
+#include "test_util.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* base = std::getenv("TMPDIR");
+    dir_ = std::string(base != nullptr ? base : "/tmp") + "/wuw_snapshot_" +
+           std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  }
+
+  void TearDown() override {
+    std::system(("rm -rf '" + dir_ + "'").c_str());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SnapshotTest, RoundTripsTripleWarehouse) {
+  Warehouse original =
+      testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 40, 11);
+  std::string error;
+  ASSERT_TRUE(SaveWarehouse(original, dir_, &error)) << error;
+
+  Warehouse loaded(Vdag{});
+  ASSERT_TRUE(LoadWarehouse(dir_, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.vdag().view_names(), original.vdag().view_names());
+  EXPECT_TRUE(loaded.catalog().ContentsEqual(original.catalog()));
+}
+
+TEST_F(SnapshotTest, RoundTripsPendingDeltas) {
+  Warehouse original =
+      testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 40, 13);
+  testutil::ApplyTripleChanges(&original, 0.2, 5, 17);
+  Catalog truth = testutil::GroundTruthAfterChanges(original);
+
+  std::string error;
+  ASSERT_TRUE(SaveWarehouse(original, dir_, &error)) << error;
+  Warehouse loaded(Vdag{});
+  ASSERT_TRUE(LoadWarehouse(dir_, &loaded, &error)) << error;
+
+  // The pending batch survived: running the update on the LOADED warehouse
+  // reaches the same state the original would have reached.
+  Executor executor(&loaded);
+  executor.Execute(MinWork(loaded.vdag(), loaded.EstimatedSizes()).strategy);
+  EXPECT_TRUE(loaded.catalog().ContentsEqual(truth));
+}
+
+TEST_F(SnapshotTest, RoundTripsTpcdWarehouse) {
+  tpcd::GeneratorOptions options;
+  options.scale_factor = 0.002;
+  Warehouse original = tpcd::MakeTpcdWarehouse(options, {"Q3"});
+  std::string error;
+  ASSERT_TRUE(SaveWarehouse(original, dir_, &error)) << error;
+  Warehouse loaded(Vdag{});
+  ASSERT_TRUE(LoadWarehouse(dir_, &loaded, &error)) << error;
+  EXPECT_TRUE(loaded.catalog().ContentsEqual(original.catalog()));
+  EXPECT_TRUE(loaded.vdag().IsUniform());
+}
+
+TEST_F(SnapshotTest, SaveClearsStaleDeltaFiles) {
+  Warehouse w =
+      testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 30, 19);
+  testutil::ApplyTripleChanges(&w, 0.2, 0, 23);
+  std::string error;
+  ASSERT_TRUE(SaveWarehouse(w, dir_, &error)) << error;
+
+  // Consume the batch and re-save: delta files must disappear.
+  Executor executor(&w);
+  executor.Execute(MinWork(w.vdag(), w.EstimatedSizes()).strategy);
+  ASSERT_TRUE(SaveWarehouse(w, dir_, &error)) << error;
+
+  Warehouse loaded(Vdag{});
+  ASSERT_TRUE(LoadWarehouse(dir_, &loaded, &error)) << error;
+  for (const std::string& base : loaded.vdag().BaseViews()) {
+    EXPECT_TRUE(loaded.base_delta(base).empty()) << base;
+  }
+  EXPECT_TRUE(loaded.catalog().ContentsEqual(w.catalog()));
+}
+
+TEST_F(SnapshotTest, LoadFailsOnMissingDirectory) {
+  Warehouse loaded(Vdag{});
+  std::string error;
+  EXPECT_FALSE(LoadWarehouse(dir_ + "_nonexistent", &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(SnapshotTest, LoadFailsOnCorruptCsv) {
+  Warehouse original =
+      testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 20, 29);
+  std::string error;
+  ASSERT_TRUE(SaveWarehouse(original, dir_, &error)) << error;
+  // Corrupt one base CSV.
+  std::FILE* f = std::fopen((dir_ + "/A.csv").c_str(), "w");
+  std::fputs("__count,A_k,A_v,A_g\n1,notanumber,2,3\n", f);
+  std::fclose(f);
+  Warehouse loaded(Vdag{});
+  EXPECT_FALSE(LoadWarehouse(dir_, &loaded, &error));
+  EXPECT_NE(error.find("A.csv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wuw

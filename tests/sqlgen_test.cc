@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/min_work.h"
+#include "core/strategy_space.h"
+#include "sqlgen/sql_script.h"
+#include "test_util.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+TEST(SqlGenTest, ProcedureNames) {
+  EXPECT_EQ(ProcedureName(Expression::Inst("ORDERS")), "wuw_inst_ORDERS");
+  EXPECT_EQ(ProcedureName(Expression::Comp("Q3", {"LINEITEM"})),
+            "wuw_comp_Q3__LINEITEM");
+  EXPECT_EQ(ProcedureName(Expression::Comp("Q3", {"ORDERS", "CUSTOMER"})),
+            "wuw_comp_Q3__CUSTOMER_ORDERS");
+}
+
+TEST(SqlGenTest, CompProcedureHasOneInsertPerTerm) {
+  Vdag vdag = tpcd::BuildTpcdVdag({"Q3"});
+  std::string one_way =
+      GenerateProcedure(vdag, Expression::Comp("Q3", {"LINEITEM"}));
+  std::string dual = GenerateProcedure(
+      vdag, Expression::Comp("Q3", {"CUSTOMER", "ORDERS", "LINEITEM"}));
+  auto count = [](const std::string& s, const std::string& needle) {
+    size_t n = 0, pos = 0;
+    while ((pos = s.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count(one_way, "INSERT INTO delta_Q3"), 1u);
+  EXPECT_EQ(count(dual, "INSERT INTO delta_Q3"), 7u);  // 2^3 - 1 terms
+  // Delta operands aliased from the delta tables.
+  EXPECT_NE(one_way.find("delta_LINEITEM AS LINEITEM"), std::string::npos);
+  EXPECT_NE(one_way.find("c_mktsegment = 'BUILDING'"), std::string::npos);
+}
+
+TEST(SqlGenTest, InstProcedureMergesAndTruncates) {
+  Vdag vdag = tpcd::BuildTpcdVdag({"Q3"});
+  std::string inst = GenerateProcedure(vdag, Expression::Inst("ORDERS"));
+  EXPECT_NE(inst.find("DELETE FROM ORDERS"), std::string::npos);
+  EXPECT_NE(inst.find("INSERT INTO ORDERS"), std::string::npos);
+  EXPECT_NE(inst.find("TRUNCATE TABLE delta_ORDERS"), std::string::npos);
+}
+
+TEST(SqlGenTest, SetupScriptCoversAllOneWayExpressions) {
+  Vdag vdag = tpcd::BuildTpcdVdag();
+  std::string setup = GenerateSetupScript(vdag);
+  // One Comp procedure per VDAG edge (3 + 6 + 4) and one Inst per view (9).
+  for (const std::string& view : vdag.DerivedViewsBottomUp()) {
+    for (const std::string& src : vdag.sources(view)) {
+      EXPECT_NE(
+          setup.find(ProcedureName(Expression::Comp(view, {src}))),
+          std::string::npos)
+          << view << "/" << src;
+    }
+  }
+  for (const std::string& view : vdag.view_names()) {
+    EXPECT_NE(setup.find(ProcedureName(Expression::Inst(view))),
+              std::string::npos);
+    EXPECT_NE(setup.find("CREATE TABLE delta_" + view), std::string::npos);
+  }
+  // Dual-stage comps are installed too, so conventional drivers work.
+  for (const std::string& view : vdag.DerivedViewsBottomUp()) {
+    EXPECT_NE(setup.find(ProcedureName(
+                  Expression::Comp(view, vdag.sources(view)))),
+              std::string::npos)
+        << view;
+  }
+}
+
+TEST(SqlGenTest, DriverScriptFollowsStrategyOrder) {
+  Vdag vdag = tpcd::BuildTpcdVdag({"Q3"});
+  SizeMap sizes;
+  for (const std::string& name : vdag.view_names()) {
+    sizes.Set(name, {100, 10, -10});
+  }
+  Strategy s = MinWork(vdag, sizes).strategy;
+  std::string driver = GenerateDriverScript(vdag, s);
+  size_t pos = 0;
+  for (const Expression& e : s.expressions()) {
+    size_t found = driver.find("EXEC " + ProcedureName(e), pos);
+    ASSERT_NE(found, std::string::npos) << e.ToString();
+    pos = found;
+  }
+}
+
+}  // namespace
+}  // namespace wuw

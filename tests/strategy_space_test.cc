@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/correctness.h"
+#include "core/strategy_space.h"
+#include "test_util.h"
+
+namespace wuw {
+namespace {
+
+TEST(OrderedPartitionsTest, CountsMatchFubiniNumbers) {
+  // Table 1 of the paper.
+  const uint64_t expected[] = {1, 1, 3, 13, 75, 541, 4683};
+  for (size_t n = 0; n <= 6; ++n) {
+    EXPECT_EQ(EnumerateOrderedPartitions(n).size(),
+              n == 0 ? 1u : expected[n])
+        << "n=" << n;
+  }
+}
+
+TEST(OrderedPartitionsTest, PartitionsAreValid) {
+  for (const OrderedPartition& p : EnumerateOrderedPartitions(4)) {
+    std::set<size_t> seen;
+    for (const auto& block : p) {
+      EXPECT_FALSE(block.empty());
+      for (size_t e : block) EXPECT_TRUE(seen.insert(e).second);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+  }
+}
+
+TEST(OrderedPartitionsTest, NoDuplicatePartitions) {
+  auto parts = EnumerateOrderedPartitions(4);
+  std::set<std::string> keys;
+  for (const auto& p : parts) {
+    std::string key;
+    for (const auto& block : p) {
+      std::vector<size_t> b = block;
+      std::sort(b.begin(), b.end());
+      for (size_t e : b) key += std::to_string(e) + ",";
+      key += "|";
+    }
+    EXPECT_TRUE(keys.insert(key).second) << key;
+  }
+}
+
+TEST(CountingTest, ClosedFormMatchesTable1) {
+  EXPECT_EQ(CountViewStrategies(1), 1u);
+  EXPECT_EQ(CountViewStrategies(2), 3u);
+  EXPECT_EQ(CountViewStrategies(3), 13u);
+  EXPECT_EQ(CountViewStrategies(4), 75u);
+  EXPECT_EQ(CountViewStrategies(5), 541u);
+  EXPECT_EQ(CountViewStrategies(6), 4683u);
+}
+
+TEST(CountingTest, ClosedFormMatchesRecurrence) {
+  for (size_t n = 1; n <= 10; ++n) {
+    EXPECT_EQ(CountViewStrategies(n), CountViewStrategiesRecurrence(n))
+        << "n=" << n;
+  }
+}
+
+TEST(CountingTest, TpcdViewStrategyCounts) {
+  // "views Q3, Q5, and Q10 have 13, 4683, and 75 view strategies".
+  EXPECT_EQ(CountViewStrategies(3), 13u);   // Q3 over 3 views
+  EXPECT_EQ(CountViewStrategies(6), 4683u); // Q5 over 6 views
+  EXPECT_EQ(CountViewStrategies(4), 75u);   // Q10 over 4 views
+}
+
+TEST(MakeStrategyTest, OneWayShape) {
+  Strategy s = MakeOneWayViewStrategy("V", {"B", "A"});
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[0], Expression::Comp("V", {"B"}));
+  EXPECT_EQ(s[1], Expression::Inst("B"));
+  EXPECT_EQ(s[2], Expression::Comp("V", {"A"}));
+  EXPECT_EQ(s[3], Expression::Inst("A"));
+  EXPECT_EQ(s[4], Expression::Inst("V"));
+}
+
+TEST(MakeStrategyTest, DualStageShape) {
+  Strategy s = MakeDualStageViewStrategy("V", {"A", "B", "C"});
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[0], Expression::Comp("V", {"A", "B", "C"}));
+  EXPECT_TRUE(s[1].is_inst());
+  EXPECT_EQ(s[4], Expression::Inst("V"));
+}
+
+TEST(MakeStrategyTest, PartitionStrategyShape) {
+  OrderedPartition p = {{1}, {0, 2}};
+  Strategy s = MakeViewStrategy("V", {"A", "B", "C"}, p);
+  ASSERT_EQ(s.size(), 6u);
+  EXPECT_EQ(s[0], Expression::Comp("V", {"B"}));
+  EXPECT_EQ(s[1], Expression::Inst("B"));
+  EXPECT_EQ(s[2], Expression::Comp("V", {"A", "C"}));
+  EXPECT_EQ(s[5], Expression::Inst("V"));
+}
+
+TEST(MakeStrategyTest, AllViewStrategiesCountAndCorrectness) {
+  std::vector<std::string> sources = {"A", "B", "C", "D"};
+  auto all = AllViewStrategies("V", sources);
+  EXPECT_EQ(all.size(), 75u);
+  for (const Strategy& s : all) {
+    EXPECT_TRUE(CheckViewStrategy("V", sources, s).ok) << s.ToString();
+  }
+}
+
+TEST(MakeStrategyTest, DualStageVdagIsCorrectOnFig3AndTpcd) {
+  Vdag fig3 = testutil::MakeFig3Vdag();
+  EXPECT_TRUE(CheckVdagStrategy(fig3, MakeDualStageVdagStrategy(fig3)).ok);
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/expression.h"
+#include "core/strategy.h"
+
+namespace wuw {
+namespace {
+
+TEST(ExpressionTest, FactoriesAndAccessors) {
+  Expression comp = Expression::Comp("V", {"B", "A"});
+  EXPECT_TRUE(comp.is_comp());
+  EXPECT_EQ(comp.over, (std::vector<std::string>{"A", "B"}));  // sorted
+  EXPECT_TRUE(comp.CompUses("A"));
+  EXPECT_FALSE(comp.CompUses("C"));
+
+  Expression inst = Expression::Inst("V");
+  EXPECT_TRUE(inst.is_inst());
+  EXPECT_FALSE(inst.CompUses("V"));
+}
+
+TEST(ExpressionTest, EqualityIsOrderInsensitiveOverY) {
+  EXPECT_EQ(Expression::Comp("V", {"A", "B"}), Expression::Comp("V", {"B", "A"}));
+  EXPECT_NE(Expression::Comp("V", {"A"}), Expression::Comp("V", {"A", "B"}));
+  EXPECT_NE(Expression::Comp("V", {"A"}), Expression::Inst("V"));
+}
+
+TEST(ExpressionTest, ToString) {
+  EXPECT_EQ(Expression::Comp("Q3", {"LINEITEM"}).ToString(),
+            "Comp(Q3, {LINEITEM})");
+  EXPECT_EQ(Expression::Inst("ORDERS").ToString(), "Inst(ORDERS)");
+}
+
+TEST(StrategyTest, IndexAndContains) {
+  Strategy s;
+  s.Append(Expression::Comp("V", {"A"}));
+  s.Append(Expression::Inst("A"));
+  s.Append(Expression::Inst("V"));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.IndexOf(Expression::Inst("A")), 1);
+  EXPECT_EQ(s.IndexOf(Expression::Inst("Z")), -1);
+  EXPECT_TRUE(s.Contains(Expression::Comp("V", {"A"})));
+}
+
+TEST(StrategyTest, UsedViewStrategyExtractsSubsequence) {
+  // VDAG strategy (6) from Example 3.1.
+  Strategy s({
+      Expression::Comp("V4", {"V2"}),
+      Expression::Inst("V2"),
+      Expression::Comp("V4", {"V3"}),
+      Expression::Inst("V3"),
+      Expression::Comp("V5", {"V4"}),
+      Expression::Inst("V4"),
+      Expression::Comp("V5", {"V1"}),
+      Expression::Inst("V1"),
+      Expression::Inst("V5"),
+  });
+  Strategy v4 = s.UsedViewStrategy("V4", {"V2", "V3"});
+  EXPECT_EQ(v4.expressions(),
+            (std::vector<Expression>{
+                Expression::Comp("V4", {"V2"}), Expression::Inst("V2"),
+                Expression::Comp("V4", {"V3"}), Expression::Inst("V3"),
+                Expression::Inst("V4")}));
+  Strategy v5 = s.UsedViewStrategy("V5", {"V1", "V4"});
+  EXPECT_EQ(v5.expressions(),
+            (std::vector<Expression>{
+                Expression::Comp("V5", {"V4"}), Expression::Inst("V4"),
+                Expression::Comp("V5", {"V1"}), Expression::Inst("V1"),
+                Expression::Inst("V5")}));
+}
+
+TEST(StrategyTest, InstOrderIsTheStronglyConsistentOrdering) {
+  Strategy s({
+      Expression::Comp("V", {"B"}),
+      Expression::Inst("B"),
+      Expression::Comp("V", {"A"}),
+      Expression::Inst("A"),
+      Expression::Inst("V"),
+  });
+  EXPECT_EQ(s.InstOrder(), (std::vector<std::string>{"B", "A", "V"}));
+}
+
+TEST(StrategyTest, ToStringReadable) {
+  Strategy s({Expression::Comp("V", {"A"}), Expression::Inst("V")});
+  EXPECT_EQ(s.ToString(), "< Comp(V, {A}); Inst(V) >");
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,193 @@
+// Shared fixtures: small deterministic warehouses and VDAGs used across
+// the test suite.
+//
+// Every view in the "uniform family" exposes the column triple
+// (<name>_k : key, <name>_v : value, <name>_g : small group id), which lets
+// tests compose derived-over-derived definitions mechanically.
+#ifndef WUW_TESTS_TEST_UTIL_H_
+#define WUW_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/warehouse.h"
+#include "graph/vdag.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_generator.h"
+#include "view/view_definition.h"
+
+namespace wuw {
+namespace testutil {
+
+/// Schema (name_k INT, name_v INT, name_g INT).
+inline Schema TripleSchema(const std::string& name) {
+  return Schema({{name + "_k", TypeId::kInt64},
+                 {name + "_v", TypeId::kInt64},
+                 {name + "_g", TypeId::kInt64}});
+}
+
+/// Fills a triple-schema table with `rows` rows: keys 1..rows (with the
+/// multiples of `hole_every` skipped so joins have selectivity), values
+/// pseudorandom, groups in 0..4.
+inline void FillTriple(Table* table, int64_t rows, uint64_t seed,
+                       int64_t hole_every = 0) {
+  tpcd::Rng rng(seed);
+  for (int64_t k = 1; k <= rows; ++k) {
+    if (hole_every > 0 && k % hole_every == 0) continue;
+    table->Add(Tuple({Value::Int64(k), Value::Int64(rng.Range(0, 99)),
+                      Value::Int64(k % 5)}),
+               1);
+  }
+}
+
+/// SPJ view `name` over `sources` (all triple-schema): joins all sources on
+/// their _k columns, sums their _v columns, keeps the first source's group.
+inline std::shared_ptr<const ViewDefinition> SpjTripleView(
+    const std::string& name, const std::vector<std::string>& sources,
+    bool with_filter = false) {
+  ViewDefinitionBuilder b(name);
+  for (const std::string& s : sources) b.From(s);
+  for (size_t i = 1; i < sources.size(); ++i) {
+    b.JoinOn(sources[0] + "_k", sources[i] + "_k");
+  }
+  if (with_filter) {
+    b.Where(ScalarExpr::Compare(CompareOp::kNe,
+                                ScalarExpr::Column(sources[0] + "_v"),
+                                ScalarExpr::Literal(Value::Int64(0))));
+  }
+  ScalarExpr::Ptr vsum = ScalarExpr::Column(sources[0] + "_v");
+  for (size_t i = 1; i < sources.size(); ++i) {
+    vsum = ScalarExpr::Arith(ArithOp::kAdd, vsum,
+                             ScalarExpr::Column(sources[i] + "_v"));
+  }
+  b.Select(ScalarExpr::Column(sources[0] + "_k"), name + "_k")
+      .Select(vsum, name + "_v")
+      .Select(ScalarExpr::Column(sources[0] + "_g"), name + "_g");
+  return b.Build();
+}
+
+/// Aggregate view `name` over `sources`: joins on _k, groups by the first
+/// source's _g (exposed as both name_k and name_g so the triple convention
+/// holds), SUM of the _v total as name_v.
+inline std::shared_ptr<const ViewDefinition> AggTripleView(
+    const std::string& name, const std::vector<std::string>& sources) {
+  ViewDefinitionBuilder b(name);
+  for (const std::string& s : sources) b.From(s);
+  for (size_t i = 1; i < sources.size(); ++i) {
+    b.JoinOn(sources[0] + "_k", sources[i] + "_k");
+  }
+  ScalarExpr::Ptr vsum = ScalarExpr::Column(sources[0] + "_v");
+  for (size_t i = 1; i < sources.size(); ++i) {
+    vsum = ScalarExpr::Arith(ArithOp::kAdd, vsum,
+                             ScalarExpr::Column(sources[i] + "_v"));
+  }
+  b.Select(ScalarExpr::Column(sources[0] + "_g"), name + "_k")
+      .Select(ScalarExpr::Arith(ArithOp::kMul,
+                                ScalarExpr::Column(sources[0] + "_g"),
+                                ScalarExpr::Literal(Value::Int64(1))),
+              name + "_g")
+      .Sum(vsum, name + "_v");
+  return b.Build();
+}
+
+/// The paper's Figure 3 shape: base A, B, C; V4 = B ⋈ C (SPJ);
+/// V5 = aggregate over A and V4.
+inline Vdag MakeFig3Vdag(bool v4_aggregate = false) {
+  Vdag vdag;
+  vdag.AddBaseView("A", TripleSchema("A"));
+  vdag.AddBaseView("B", TripleSchema("B"));
+  vdag.AddBaseView("C", TripleSchema("C"));
+  if (v4_aggregate) {
+    vdag.AddDerivedView(AggTripleView("V4", {"B", "C"}));
+  } else {
+    vdag.AddDerivedView(SpjTripleView("V4", {"B", "C"}));
+  }
+  vdag.AddDerivedView(AggTripleView("V5", {"A", "V4"}));
+  return vdag;
+}
+
+/// The paper's Figure 10 "problem VDAG": V4 over {V2,V3}, V5 over
+/// {V1,V2,V4} (V2 feeds both, V5 spans levels — neither tree nor uniform).
+inline Vdag MakeFig10Vdag() {
+  Vdag vdag;
+  vdag.AddBaseView("V1", TripleSchema("V1"));
+  vdag.AddBaseView("V2", TripleSchema("V2"));
+  vdag.AddBaseView("V3", TripleSchema("V3"));
+  vdag.AddDerivedView(SpjTripleView("V4", {"V2", "V3"}));
+  vdag.AddDerivedView(SpjTripleView("V5", {"V1", "V2", "V4"}));
+  return vdag;
+}
+
+/// A single-view VDAG: derived `name` over the given base views.
+inline Vdag MakeStarVdag(const std::string& name, size_t num_bases,
+                         bool aggregate = false) {
+  Vdag vdag;
+  std::vector<std::string> bases;
+  for (size_t i = 0; i < num_bases; ++i) {
+    std::string base = "B" + std::to_string(i);
+    vdag.AddBaseView(base, TripleSchema(base));
+    bases.push_back(base);
+  }
+  vdag.AddDerivedView(aggregate ? AggTripleView(name, bases)
+                                : SpjTripleView(name, bases));
+  return vdag;
+}
+
+/// Loads every base view of `vdag` with triple data and materializes the
+/// derived views.  Different tables get different sizes/holes so strategy
+/// costs are asymmetric.
+inline Warehouse MakeLoadedWarehouse(Vdag vdag, int64_t base_rows,
+                                     uint64_t seed) {
+  Warehouse w(std::move(vdag));
+  int64_t rows = base_rows;
+  uint64_t s = seed;
+  for (const std::string& name : w.vdag().BaseViews()) {
+    FillTriple(w.base_table(name), rows, ++s, /*hole_every=*/7);
+    rows = rows * 3 / 2 + 5;  // size asymmetry across base views
+  }
+  w.RecomputeDerived();
+  return w;
+}
+
+/// Applies a deterministic mixed change batch to every base view:
+/// `delete_fraction` of rows deleted plus `insert_rows` fresh rows.
+inline void ApplyTripleChanges(Warehouse* w, double delete_fraction,
+                               int64_t insert_rows, uint64_t seed) {
+  uint64_t s = seed;
+  for (const std::string& name : w->vdag().BaseViews()) {
+    const Table& table = *w->catalog().MustGetTable(name);
+    DeltaRelation delta =
+        tpcd::MakeDeletionDelta(table, delete_fraction, ++s);
+    tpcd::Rng rng(s ^ 0xABCD);
+    for (int64_t i = 0; i < insert_rows; ++i) {
+      // Fresh keys above any existing key; also re-insert into existing
+      // keys occasionally to exercise multiset semantics.
+      int64_t k = rng.Below(4) == 0 ? rng.Range(1, 50)
+                                    : 1000000 + rng.Range(1, 10000);
+      delta.Add(Tuple({Value::Int64(k), Value::Int64(rng.Range(0, 99)),
+                       Value::Int64(k % 5)}),
+                1);
+    }
+    w->SetBaseDelta(name, std::move(delta));
+  }
+}
+
+/// Recomputes all derived views from scratch on a clone and returns the
+/// clone's catalog — the ground-truth final state for convergence tests.
+inline Catalog GroundTruthAfterChanges(const Warehouse& w) {
+  Warehouse clone = w.Clone();
+  // Install base deltas directly, then recompute derived views.
+  for (const std::string& name : clone.vdag().BaseViews()) {
+    const DeltaRelation& delta = clone.base_delta(name);
+    Table* table = clone.catalog().MustGetTable(name);
+    delta.ForEach([&](const Tuple& t, int64_t c) { table->Add(t, c); });
+  }
+  clone.RecomputeDerived();
+  return std::move(clone.catalog());
+}
+
+}  // namespace testutil
+}  // namespace wuw
+
+#endif  // WUW_TESTS_TEST_UTIL_H_

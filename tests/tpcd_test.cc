@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "core/min_work.h"
+#include "core/min_work_single.h"
+#include "core/prune.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_schema.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace tpcd {
+namespace {
+
+GeneratorOptions SmallScale() {
+  GeneratorOptions o;
+  o.scale_factor = 0.002;  // tiny but structurally faithful
+  o.seed = 7;
+  return o;
+}
+
+TEST(TpcdGeneratorTest, RowCountsFollowRatios) {
+  Warehouse w = MakeTpcdWarehouse(SmallScale(), {"Q3"});
+  const Catalog& c = w.catalog();
+  EXPECT_EQ(c.MustGetTable(kRegion)->cardinality(), 5);
+  EXPECT_EQ(c.MustGetTable(kNation)->cardinality(), 25);
+  int64_t suppliers = c.MustGetTable(kSupplier)->cardinality();
+  int64_t customers = c.MustGetTable(kCustomer)->cardinality();
+  int64_t orders = c.MustGetTable(kOrders)->cardinality();
+  int64_t lineitems = c.MustGetTable(kLineitem)->cardinality();
+  EXPECT_EQ(suppliers, 20);
+  EXPECT_EQ(customers, 300);
+  EXPECT_EQ(orders, 3000);
+  EXPECT_GT(lineitems, 2 * orders);
+  EXPECT_LT(lineitems, 8 * orders);
+  // "L is the largest base view" — the premise of the desired ordering.
+  EXPECT_GT(lineitems, orders);
+  EXPECT_GT(orders, customers);
+  EXPECT_GT(customers, suppliers);
+}
+
+TEST(TpcdGeneratorTest, DeterministicAcrossRuns) {
+  Warehouse a = MakeTpcdWarehouse(SmallScale(), {"Q3"});
+  Warehouse b = MakeTpcdWarehouse(SmallScale(), {"Q3"});
+  EXPECT_TRUE(a.catalog().ContentsEqual(b.catalog()));
+}
+
+TEST(TpcdGeneratorTest, DateEncoding) {
+  EXPECT_EQ(DateFromDayOffset(0), 19920101);
+  EXPECT_EQ(DateFromDayOffset(29), 19920130);
+  EXPECT_EQ(DateFromDayOffset(30), 19920201);
+  EXPECT_EQ(DateFromDayOffset(360), 19930101);
+  EXPECT_EQ(DateFromDayOffset(2399), 19980830);
+}
+
+TEST(TpcdViewsTest, VdagShapeMatchesFigure4) {
+  Vdag vdag = BuildTpcdVdag();
+  EXPECT_EQ(vdag.num_views(), 9u);
+  EXPECT_EQ(vdag.sources("Q3").size(), 3u);
+  EXPECT_EQ(vdag.sources("Q5").size(), 6u);
+  EXPECT_EQ(vdag.sources("Q10").size(), 4u);
+  EXPECT_TRUE(vdag.IsUniform());
+}
+
+TEST(TpcdViewsTest, Q3HasPlausibleContents) {
+  Warehouse w = MakeTpcdWarehouse(SmallScale(), {"Q3"});
+  const Table& q3 = *w.catalog().MustGetTable("Q3");
+  EXPECT_GT(q3.cardinality(), 0);
+  // Group keys: l_orderkey, o_orderdate, o_shippriority + revenue + count.
+  EXPECT_EQ(q3.schema().num_columns(), 5u);
+  q3.ForEach([&](const Tuple& t, int64_t c) {
+    EXPECT_EQ(c, 1);
+    EXPECT_GT(t.value(3).AsInt64(), 0);  // revenue positive
+    EXPECT_LT(t.value(1).AsDate(), 19950315);
+  });
+}
+
+TEST(TpcdViewsTest, Q5AggregatesByNation) {
+  Warehouse w = MakeTpcdWarehouse(SmallScale(), {"Q5"});
+  const Table& q5 = *w.catalog().MustGetTable("Q5");
+  // At most 5 ASIA nations.
+  EXPECT_LE(q5.cardinality(), 5);
+  EXPECT_GT(q5.cardinality(), 0);
+}
+
+TEST(TpcdViewsTest, Q10FiltersReturnedItems) {
+  Warehouse w = MakeTpcdWarehouse(SmallScale(), {"Q10"});
+  const Table& q10 = *w.catalog().MustGetTable("Q10");
+  EXPECT_GT(q10.cardinality(), 0);
+  EXPECT_LT(q10.cardinality(),
+            w.catalog().MustGetTable(kCustomer)->cardinality());
+}
+
+TEST(ChangeGeneratorTest, DeletionFractionApproximate) {
+  Warehouse w = MakeTpcdWarehouse(SmallScale(), {"Q3"});
+  const Table& orders = *w.catalog().MustGetTable(kOrders);
+  DeltaRelation d = MakeDeletionDelta(orders, 0.10, 99);
+  EXPECT_EQ(d.plus_count(), 0);
+  double fraction =
+      static_cast<double>(d.minus_count()) / orders.cardinality();
+  EXPECT_NEAR(fraction, 0.10, 0.03);
+}
+
+TEST(ChangeGeneratorTest, DeletionsAreSubsetOfTable) {
+  Warehouse w = MakeTpcdWarehouse(SmallScale(), {"Q3"});
+  const Table& customer = *w.catalog().MustGetTable(kCustomer);
+  DeltaRelation d = MakeDeletionDelta(customer, 0.2, 5);
+  d.ForEach([&](const Tuple& t, int64_t c) {
+    EXPECT_LT(c, 0);
+    EXPECT_GE(customer.Count(t), -c);
+  });
+}
+
+TEST(ChangeGeneratorTest, InsertionsUseFreshKeys) {
+  Warehouse w = MakeTpcdWarehouse(SmallScale(), {"Q3"});
+  const Table& orders = *w.catalog().MustGetTable(kOrders);
+  DeltaRelation d = MakeInsertionDelta(kOrders, 50, 1 << 20, SmallScale());
+  EXPECT_EQ(d.minus_count(), 0);
+  EXPECT_EQ(d.plus_count(), 50);
+  d.ForEach([&](const Tuple& t, int64_t) {
+    EXPECT_GT(t.value(0).AsInt64(), 1 << 20);
+    EXPECT_EQ(orders.Count(t), 0);
+  });
+}
+
+TEST(ChangeGeneratorTest, PaperWorkloadLeavesRegionUnchanged) {
+  Warehouse w = MakeTpcdWarehouse(SmallScale(), {"Q5"});
+  ApplyPaperChangeWorkload(&w, 0.1, 0.0, 11);
+  EXPECT_TRUE(w.base_delta(kRegion).empty());
+  EXPECT_GT(w.base_delta(kLineitem).minus_count(), 0);
+  EXPECT_GT(w.base_delta(kNation).minus_count(), 0);
+}
+
+TEST(TpcdEndToEndTest, DesiredOrderingMatchesPaper) {
+  // 10% deletions everywhere (but REGION): desired ordering is
+  // <L, O, C, S, N, R> — largest shrink first (Section 7).  Needs a scale
+  // where SUPPLIER > NATION, as in real TPC-D.
+  GeneratorOptions options;
+  options.scale_factor = 0.02;
+  options.seed = 7;
+  Warehouse w = MakeTpcdWarehouse(options, {"Q3"});
+  ApplyPaperChangeWorkload(&w, 0.1, 0.0, 13);
+  SizeMap sizes = w.EstimatedSizes();
+  std::vector<std::string> ordering =
+      DesiredViewOrdering(w.vdag().BaseViews(), sizes);
+  EXPECT_EQ(ordering, (std::vector<std::string>{kLineitem, kOrders, kCustomer,
+                                                kSupplier, kNation, kRegion}));
+}
+
+TEST(TpcdEndToEndTest, MinWorkUpdatesWarehouseCorrectly) {
+  Warehouse w = MakeTpcdWarehouse(SmallScale(), {"Q3", "Q10"});
+  ApplyPaperChangeWorkload(&w, 0.1, 0.05, 17);
+
+  // Ground truth via recompute-on-clone.
+  Warehouse truth_w = w.Clone();
+  for (const std::string& name : truth_w.vdag().BaseViews()) {
+    const DeltaRelation& delta = truth_w.base_delta(name);
+    Table* table = truth_w.catalog().MustGetTable(name);
+    delta.ForEach([&](const Tuple& t, int64_t c) { table->Add(t, c); });
+  }
+  truth_w.RecomputeDerived();
+
+  MinWorkResult mw = MinWork(w.vdag(), w.EstimatedSizes());
+  Executor executor(&w);
+  executor.Execute(mw.strategy);
+  EXPECT_TRUE(w.catalog().ContentsEqual(truth_w.catalog()));
+}
+
+TEST(TpcdEndToEndTest, DualStageAndMinWorkAgreeOnFinalState) {
+  Warehouse w = MakeTpcdWarehouse(SmallScale(), {"Q3", "Q5", "Q10"});
+  ApplyPaperChangeWorkload(&w, 0.1, 0.0, 19);
+
+  Warehouse w_dual = w.Clone();
+  Warehouse w_mw = w.Clone();
+  Executor dual(&w_dual), mw(&w_mw);
+  dual.Execute(MakeDualStageVdagStrategy(w.vdag()));
+  mw.Execute(MinWork(w.vdag(), w.EstimatedSizes()).strategy);
+  EXPECT_TRUE(w_dual.catalog().ContentsEqual(w_mw.catalog()));
+}
+
+TEST(TpcdEndToEndTest, MinWorkLinearWorkBeatsDualStage) {
+  Warehouse w = MakeTpcdWarehouse(SmallScale(), {"Q3", "Q5", "Q10"});
+  ApplyPaperChangeWorkload(&w, 0.1, 0.0, 23);
+
+  Warehouse w_dual = w.Clone();
+  Warehouse w_mw = w.Clone();
+  Executor dual(&w_dual), mw(&w_mw);
+  ExecutionReport dual_report =
+      dual.Execute(MakeDualStageVdagStrategy(w.vdag()));
+  ExecutionReport mw_report =
+      mw.Execute(MinWork(w.vdag(), w.EstimatedSizes()).strategy);
+  // Experiment 4's headline: the 1-way MinWork strategy does several times
+  // less work than the dual-stage strategy.
+  EXPECT_LT(mw_report.total_linear_work, dual_report.total_linear_work / 2);
+}
+
+TEST(SourceChangeStreamTest, BatchesAreCoherent) {
+  GeneratorOptions options = SmallScale();
+  Warehouse w = MakeTpcdWarehouse(options, {"Q3"});
+  SourceChangeStream stream(w, options);
+
+  // Merged batches never over-delete: applying them in sequence to a copy
+  // of the base tables must never clamp (every deletion finds its row).
+  Catalog mirror = w.catalog().Clone();
+  for (int b = 0; b < 5; ++b) {
+    auto batch = stream.NextBatch(0.1, 0.05);
+    for (auto& [view, delta] : batch) {
+      Table* table = mirror.MustGetTable(view);
+      delta.ForEach([&](const Tuple& t, int64_t c) {
+        if (c < 0) {
+          ASSERT_GE(table->Count(t), -c) << view << " over-deletes";
+        }
+        table->Add(t, c);
+      });
+    }
+  }
+  // The stream's own mirror agrees with ours.
+  for (const std::string& base : w.vdag().BaseViews()) {
+    EXPECT_TRUE(mirror.MustGetTable(base)->ContentsEqual(
+        *stream.source().MustGetTable(base)))
+        << base;
+  }
+}
+
+TEST(SourceChangeStreamTest, MergedBatchesEqualSequentialApplication) {
+  GeneratorOptions options = SmallScale();
+  Warehouse w = MakeTpcdWarehouse(options, {"Q3"});
+  SourceChangeStream stream(w, options);
+
+  // Merge three batches into the warehouse's pending state, run one
+  // window: final base tables must equal the stream's source mirror.
+  for (int b = 0; b < 3; ++b) {
+    for (auto& [view, delta] : stream.NextBatch(0.08, 0.03)) {
+      w.MergeBaseDelta(view, delta);
+    }
+  }
+  Executor executor(&w);
+  executor.Execute(MinWork(w.vdag(), w.EstimatedSizes()).strategy);
+  for (const std::string& base : w.vdag().BaseViews()) {
+    EXPECT_TRUE(w.catalog().MustGetTable(base)->ContentsEqual(
+        *stream.source().MustGetTable(base)))
+        << base;
+  }
+}
+
+TEST(TpcdExtendedTest, ExtendedVdagShape) {
+  Vdag vdag = BuildExtendedTpcdVdag();
+  EXPECT_EQ(vdag.num_views(), 12u);
+  EXPECT_EQ(vdag.MaxLevel(), 2);
+  EXPECT_FALSE(vdag.IsUniform());  // Q10_ORDER_STATUS spans levels 0 and 1
+  EXPECT_EQ(vdag.Level("Q3_BY_PRIORITY"), 2);
+  EXPECT_EQ(vdag.parents("Q10").size(), 2u);
+}
+
+TEST(TpcdExtendedTest, TwoLevelMaintenanceConverges) {
+  GeneratorOptions options;
+  options.scale_factor = 0.002;
+  options.seed = 11;
+  Warehouse w = MakeExtendedTpcdWarehouse(options);
+  ApplyPaperChangeWorkload(&w, 0.1, 0.05, 13);
+
+  Warehouse truth_w = w.Clone();
+  for (const std::string& name : truth_w.vdag().BaseViews()) {
+    const DeltaRelation& delta = truth_w.base_delta(name);
+    Table* table = truth_w.catalog().MustGetTable(name);
+    delta.ForEach([&](const Tuple& t, int64_t c) { table->Add(t, c); });
+  }
+  truth_w.RecomputeDerived();
+
+  for (bool use_prune : {false, true}) {
+    Warehouse clone = w.Clone();
+    SizeMap sizes = clone.EstimatedSizes();
+    Strategy s = use_prune ? Prune(clone.vdag(), sizes).strategy
+                           : MinWork(clone.vdag(), sizes).strategy;
+    Executor executor(&clone);
+    executor.Execute(s);
+    EXPECT_TRUE(clone.catalog().ContentsEqual(truth_w.catalog()))
+        << (use_prune ? "Prune" : "MinWork");
+  }
+}
+
+}  // namespace
+}  // namespace tpcd
+}  // namespace wuw

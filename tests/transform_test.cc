@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "core/strategy_space.h"
+#include "core/transform.h"
+#include "core/work_metric.h"
+#include "test_util.h"
+#include "tpcd/tpcd_generator.h"
+
+namespace wuw {
+namespace {
+
+SizeMap RandomSizes(const Vdag& vdag, uint64_t seed) {
+  tpcd::Rng rng(seed);
+  SizeMap sizes;
+  for (const std::string& name : vdag.view_names()) {
+    int64_t size = rng.Range(50, 500);
+    int64_t minus = rng.Range(0, size / 3);
+    int64_t plus = rng.Range(0, size / 3);
+    sizes.Set(name, {size, plus + minus, plus - minus});
+  }
+  return sizes;
+}
+
+TEST(SeparatorTest, SplitsDualStageStep) {
+  Strategy dual = MakeDualStageViewStrategy("V", {"A", "B", "C"});
+  Strategy out;
+  ASSERT_TRUE(ApplySeparator(dual, 0, &out));
+  // < Comp(V,{A}); Inst(A); Comp(V,{B,C}); Inst(B); Inst(C); Inst(V) >
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], Expression::Comp("V", {"A"}));
+  EXPECT_EQ(out[1], Expression::Inst("A"));
+  EXPECT_EQ(out[2], Expression::Comp("V", {"B", "C"}));
+  EXPECT_EQ(out[5], Expression::Inst("V"));
+  // No duplicate Inst(A).
+  int inst_a = 0;
+  for (const Expression& e : out.expressions()) {
+    if (e == Expression::Inst("A")) ++inst_a;
+  }
+  EXPECT_EQ(inst_a, 1);
+}
+
+TEST(SeparatorTest, NoopOnOneWayStrategy) {
+  Strategy one_way = MakeOneWayViewStrategy("V", {"A", "B"});
+  Strategy out;
+  EXPECT_FALSE(ApplySeparator(one_way, 0, &out));
+  EXPECT_EQ(SeparateToOneWay(one_way), one_way);
+}
+
+TEST(SeparatorTest, PreservesCorrectness) {
+  std::vector<std::string> sources = {"A", "B", "C", "D"};
+  for (const Strategy& s : AllViewStrategies("V", sources)) {
+    Strategy current = s;
+    Strategy next;
+    while (ApplySeparator(current, 0, &next)) {
+      EXPECT_TRUE(CheckViewStrategy("V", sources, next).ok)
+          << "from " << current.ToString() << "\nto   " << next.ToString();
+      current = next;
+    }
+    // Fully separated: every Comp is a singleton.
+    for (const Expression& e : current.expressions()) {
+      if (e.is_comp()) {
+        EXPECT_EQ(e.over.size(), 1u);
+      }
+    }
+  }
+}
+
+// The mechanical heart of Theorem 4.1: each separator application never
+// increases linear-metric work.
+TEST(SeparatorTest, NeverIncreasesWorkTheorem41) {
+  Vdag vdag = testutil::MakeStarVdag("V", 4);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SizeMap sizes = RandomSizes(vdag, seed);
+    for (const Strategy& s : AllViewStrategies("V", vdag.sources("V"))) {
+      Strategy current = s;
+      Strategy next;
+      double current_work =
+          EstimateStrategyWork(vdag, current, sizes, {}).total;
+      while (ApplySeparator(current, 0, &next)) {
+        double next_work =
+            EstimateStrategyWork(vdag, next, sizes, {}).total;
+        EXPECT_LE(next_work, current_work + 1e-9)
+            << "seed " << seed << "\nfrom " << current.ToString() << " ("
+            << current_work << ")\nto   " << next.ToString() << " ("
+            << next_work << ")";
+        current = next;
+        current_work = next_work;
+      }
+    }
+  }
+}
+
+TEST(SeparatorTest, FullSeparationReachesOneWayCost) {
+  // SeparateToOneWay(dual-stage) costs no more than dual-stage and no less
+  // than the optimal 1-way (sanity bracketing).
+  Vdag vdag = testutil::MakeStarVdag("V", 5);
+  SizeMap sizes = RandomSizes(vdag, 42);
+  Strategy dual = MakeDualStageViewStrategy("V", vdag.sources("V"));
+  Strategy separated = SeparateToOneWay(dual);
+  EXPECT_TRUE(CheckViewStrategy("V", vdag.sources("V"), separated).ok);
+  double dual_work = EstimateStrategyWork(vdag, dual, sizes, {}).total;
+  double sep_work = EstimateStrategyWork(vdag, separated, sizes, {}).total;
+  EXPECT_LE(sep_work, dual_work + 1e-9);
+}
+
+TEST(SeparatorDeathTest, RejectsStrategyWithoutInst) {
+  Strategy bogus({Expression::Comp("V", {"A", "B"})});
+  Strategy out;
+  EXPECT_DEATH(ApplySeparator(bogus, 0, &out), "separator");
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "view/comp_term.h"
+#include "view/join_pipeline.h"
+#include "view/recompute.h"
+#include "view/view_definition.h"
+
+namespace wuw {
+namespace {
+
+using testutil::FillTriple;
+using testutil::TripleSchema;
+
+class ViewTest : public ::testing::Test {
+ protected:
+  ViewTest() {
+    catalog_.CreateTable("B", TripleSchema("B"));
+    catalog_.CreateTable("C", TripleSchema("C"));
+    FillTriple(catalog_.MustGetTable("B"), 20, 1);
+    FillTriple(catalog_.MustGetTable("C"), 30, 2, /*hole_every=*/3);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ViewTest, BuilderProducesExpectedShape) {
+  auto def = testutil::SpjTripleView("V", {"B", "C"});
+  EXPECT_EQ(def->name(), "V");
+  EXPECT_EQ(def->num_sources(), 2u);
+  EXPECT_FALSE(def->is_aggregate());
+  EXPECT_EQ(def->SourceIndex("C"), 1);
+  EXPECT_EQ(def->SourceIndex("Z"), -1);
+}
+
+TEST_F(ViewTest, OutputSchemaSpj) {
+  auto def = testutil::SpjTripleView("V", {"B", "C"});
+  Schema out = def->OutputSchema(
+      [&](const std::string& n) -> const Schema& {
+        return catalog_.MustGetTable(n)->schema();
+      });
+  EXPECT_EQ(out.num_columns(), 3u);
+  EXPECT_EQ(out.column(0).name, "V_k");
+  EXPECT_EQ(out.column(1).type, TypeId::kInt64);
+}
+
+TEST_F(ViewTest, OutputSchemaAggregateAppendsCount) {
+  auto def = testutil::AggTripleView("V", {"B", "C"});
+  Schema out = def->OutputSchema(
+      [&](const std::string& n) -> const Schema& {
+        return catalog_.MustGetTable(n)->schema();
+      });
+  EXPECT_EQ(out.column(out.num_columns() - 1).name, "__count");
+  EXPECT_TRUE(def->is_aggregate());
+}
+
+TEST_F(ViewTest, RecomputeSpjJoinSemantics) {
+  auto def = testutil::SpjTripleView("V", {"B", "C"});
+  OperatorStats stats;
+  Table v = RecomputeView(*def, catalog_, &stats);
+  // Join on keys: C has holes every 3, B has holes every 7, B up to 20.
+  int64_t expected = 0;
+  catalog_.MustGetTable("B")->ForEach([&](const Tuple& t, int64_t c) {
+    int64_t k = t.value(0).AsInt64();
+    bool in_c = (k % 3 != 0);  // C holes
+    if (in_c && k <= 30) expected += c;
+  });
+  EXPECT_EQ(v.cardinality(), expected);
+  EXPECT_GT(stats.rows_scanned, 0);
+}
+
+TEST_F(ViewTest, RecomputeAggregateGroupSums) {
+  auto def = testutil::AggTripleView("V", {"B", "C"});
+  Table v = RecomputeView(*def, catalog_, nullptr);
+  // At most 5 groups; each row has multiplicity 1 and positive __count.
+  EXPECT_LE(v.distinct_size(), 5u);
+  v.ForEach([&](const Tuple& t, int64_t c) {
+    EXPECT_EQ(c, 1);
+    EXPECT_GT(t.value(3).AsInt64(), 0);  // __count
+  });
+}
+
+TEST_F(ViewTest, RecomputeReportsJoinRows) {
+  auto def = testutil::AggTripleView("V", {"B", "C"});
+  int64_t join_rows = 0;
+  RecomputeView(*def, catalog_, nullptr, &join_rows);
+  auto spj = testutil::SpjTripleView("V2", {"B", "C"});
+  Table vspj = RecomputeView(*spj, catalog_, nullptr);
+  EXPECT_EQ(join_rows, vspj.cardinality());
+}
+
+TEST_F(ViewTest, FilterPushdownMatchesPostFilter) {
+  // Same view with filter: results must equal filtering after the join.
+  auto with = testutil::SpjTripleView("V", {"B", "C"}, /*with_filter=*/true);
+  auto without = testutil::SpjTripleView("W", {"B", "C"});
+  Table v = RecomputeView(*with, catalog_, nullptr);
+  Table w = RecomputeView(*without, catalog_, nullptr);
+  // Count rows of w whose source B_v != 0: recompute via scan of B.
+  EXPECT_LE(v.cardinality(), w.cardinality());
+  EXPECT_GT(v.cardinality(), 0);
+}
+
+TEST_F(ViewTest, CompSingleSourceHasOneTerm) {
+  auto def = testutil::SpjTripleView("V", {"B", "C"});
+  DeltaRelation delta_b(TripleSchema("B"));
+  delta_b.Add(Tuple({Value::Int64(2), Value::Int64(50), Value::Int64(2)}), 1);
+
+  DeltaProvider provider = [&](const std::string&) { return &delta_b; };
+  OperatorStats stats;
+  CompEvalResult r =
+      EvalComp(*def, {"B"}, catalog_, provider, {}, &stats);
+  EXPECT_EQ(r.num_terms, 1);
+  // Operand work: |δB| + |C| (one term reads the delta and C's extent).
+  EXPECT_EQ(r.linear_operand_work,
+            1 + catalog_.MustGetTable("C")->cardinality());
+  // Key 2 exists in C (not a hole), so one joined raw row appears.
+  EXPECT_EQ(r.raw_delta.SignedCardinality(), 1);
+}
+
+TEST_F(ViewTest, CompTwoSourcesHasThreeTerms) {
+  auto def = testutil::SpjTripleView("V", {"B", "C"});
+  DeltaRelation delta_b(TripleSchema("B"));
+  DeltaRelation delta_c(TripleSchema("C"));
+  delta_b.Add(Tuple({Value::Int64(100), Value::Int64(1), Value::Int64(0)}), 1);
+  delta_c.Add(Tuple({Value::Int64(100), Value::Int64(2), Value::Int64(0)}), 1);
+
+  DeltaProvider provider = [&](const std::string& n) {
+    return n == "B" ? &delta_b : &delta_c;
+  };
+  CompEvalResult r = EvalComp(*def, {"B", "C"}, catalog_, provider, {}, nullptr);
+  EXPECT_EQ(r.num_terms, 3);
+  // Key 100 is in neither current extent, so only the δB ⋈ δC term matches.
+  EXPECT_EQ(r.raw_delta.SignedCardinality(), 1);
+  // Work: (|δB|+|C|) + (|B|+|δC|) + (|δB|+|δC|).
+  int64_t b = catalog_.MustGetTable("B")->cardinality();
+  int64_t c = catalog_.MustGetTable("C")->cardinality();
+  EXPECT_EQ(r.linear_operand_work, (1 + c) + (b + 1) + (1 + 1));
+}
+
+TEST_F(ViewTest, CompDeletionProducesMinusRawRows) {
+  auto def = testutil::SpjTripleView("V", {"B", "C"});
+  // Delete key 2 from B (present in C).
+  Tuple b_row;
+  catalog_.MustGetTable("B")->ForEach([&](const Tuple& t, int64_t) {
+    if (t.value(0).AsInt64() == 2) b_row = t;
+  });
+  DeltaRelation delta_b(TripleSchema("B"));
+  delta_b.Add(b_row, -1);
+  DeltaProvider provider = [&](const std::string&) { return &delta_b; };
+  CompEvalResult r = EvalComp(*def, {"B"}, catalog_, provider, {}, nullptr);
+  EXPECT_EQ(r.raw_delta.SignedCardinality(), -1);
+}
+
+TEST_F(ViewTest, SkipEmptyDeltaTermsOption) {
+  auto def = testutil::SpjTripleView("V", {"B", "C"});
+  DeltaRelation empty_b(TripleSchema("B"));
+  DeltaRelation delta_c(TripleSchema("C"));
+  delta_c.Add(Tuple({Value::Int64(1), Value::Int64(9), Value::Int64(1)}), 1);
+  DeltaProvider provider = [&](const std::string& n) {
+    return n == "B" ? &empty_b : &delta_c;
+  };
+  CompEvalOptions skip;
+  skip.skip_empty_delta_terms = true;
+  CompEvalResult r =
+      EvalComp(*def, {"B", "C"}, catalog_, provider, skip, nullptr);
+  EXPECT_EQ(r.num_terms, 1);  // only the δC term survives
+
+  CompEvalResult full =
+      EvalComp(*def, {"B", "C"}, catalog_, provider, {}, nullptr);
+  EXPECT_EQ(full.num_terms, 3);
+  // Same raw delta either way (empty-delta terms contribute nothing).
+  EXPECT_EQ(r.raw_delta.SignedCardinality(),
+            full.raw_delta.SignedCardinality());
+}
+
+TEST_F(ViewTest, ToStringRendersSqlish) {
+  auto def = testutil::AggTripleView("V", {"B", "C"});
+  std::string s = def->ToString();
+  EXPECT_NE(s.find("SELECT"), std::string::npos);
+  EXPECT_NE(s.find("GROUP BY"), std::string::npos);
+  EXPECT_NE(s.find("SUM("), std::string::npos);
+}
+
+TEST(ViewDefinitionDeathTest, RejectsDuplicateSources) {
+  EXPECT_DEATH(
+      {
+        ViewDefinitionBuilder b("V");
+        b.From("B").From("B");
+      },
+      "duplicate source");
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/strategy_space.h"
+#include "core/work_metric.h"
+#include "test_util.h"
+
+namespace wuw {
+namespace {
+
+/// Fixture replicating Example 3.2 / Example 4.1: V4 = σP(V2 ⋈ V3).
+class WorkMetricTest : public ::testing::Test {
+ protected:
+  WorkMetricTest() {
+    vdag_.AddBaseView("V2", testutil::TripleSchema("V2"));
+    vdag_.AddBaseView("V3", testutil::TripleSchema("V3"));
+    vdag_.AddDerivedView(testutil::SpjTripleView("V4", {"V2", "V3"}));
+
+    sizes_.Set("V2", {/*size=*/100, /*delta_abs=*/10, /*delta_net=*/-10});
+    sizes_.Set("V3", {/*size=*/200, /*delta_abs=*/30, /*delta_net=*/-30});
+    sizes_.Set("V4", {/*size=*/150, /*delta_abs=*/20, /*delta_net=*/-20});
+  }
+
+  Vdag vdag_;
+  SizeMap sizes_;
+  WorkParams params_;
+};
+
+TEST_F(WorkMetricTest, Example32CompWorkEstimates) {
+  // Comp(V4,{V2}) = c * (|δV2| + |V3|).
+  Strategy s1({Expression::Comp("V4", {"V2"})});
+  EXPECT_DOUBLE_EQ(EstimateStrategyWork(vdag_, s1, sizes_, params_).total,
+                   10 + 200);
+
+  // Comp(V4,{V2,V3}) = c*((|δV2|+|V3|) + (|δV3|+|V2|) + (|δV2|+|δV3|)).
+  Strategy s2({Expression::Comp("V4", {"V2", "V3"})});
+  EXPECT_DOUBLE_EQ(EstimateStrategyWork(vdag_, s2, sizes_, params_).total,
+                   (10 + 200) + (30 + 100) + (10 + 30));
+
+  // Inst(V4) = i * |δV4|.
+  Strategy s3({Expression::Inst("V4")});
+  EXPECT_DOUBLE_EQ(EstimateStrategyWork(vdag_, s3, sizes_, params_).total, 20);
+}
+
+TEST_F(WorkMetricTest, InstallsChangeLaterCompOperands) {
+  // After Inst(V3), Comp(V4,{V2}) reads |V3'| = 200 - 30 = 170.
+  Strategy s({
+      Expression::Comp("V4", {"V3"}),
+      Expression::Inst("V3"),
+      Expression::Comp("V4", {"V2"}),
+      Expression::Inst("V2"),
+      Expression::Inst("V4"),
+  });
+  WorkBreakdown w = EstimateStrategyWork(vdag_, s, sizes_, params_);
+  ASSERT_EQ(w.per_expression.size(), 5u);
+  EXPECT_DOUBLE_EQ(w.per_expression[0].work, 30 + 100);  // δV3 + V2
+  EXPECT_DOUBLE_EQ(w.per_expression[1].work, 30);
+  EXPECT_DOUBLE_EQ(w.per_expression[2].work, 10 + 170);  // δV2 + V3'
+  EXPECT_DOUBLE_EQ(w.per_expression[3].work, 10);
+  EXPECT_DOUBLE_EQ(w.per_expression[4].work, 20);
+}
+
+TEST_F(WorkMetricTest, Example41OrderingRule) {
+  // Shrinking views should be propagated-and-installed early: with both
+  // deltas pure deletions, the larger shrink (V3, net -30) first is
+  // cheaper.
+  Strategy v3_first = MakeOneWayViewStrategy("V4", {"V3", "V2"});
+  Strategy v2_first = MakeOneWayViewStrategy("V4", {"V2", "V3"});
+  double w3 = EstimateStrategyWork(vdag_, v3_first, sizes_, params_).total;
+  double w2 = EstimateStrategyWork(vdag_, v2_first, sizes_, params_).total;
+  EXPECT_LT(w3, w2);
+  // Exactly: difference = |net(V3)| vs |net(V2)| asymmetry.
+  EXPECT_DOUBLE_EQ(w2 - w3, (200 - 170) - (100 - 90));
+}
+
+TEST_F(WorkMetricTest, GrowingViewsShouldInstallLate) {
+  sizes_.Set("V2", {100, 10, +10});  // V2 grows
+  sizes_.Set("V3", {200, 30, -30});  // V3 shrinks
+  Strategy v3_first = MakeOneWayViewStrategy("V4", {"V3", "V2"});
+  Strategy v2_first = MakeOneWayViewStrategy("V4", {"V2", "V3"});
+  EXPECT_LT(EstimateStrategyWork(vdag_, v3_first, sizes_, params_).total,
+            EstimateStrategyWork(vdag_, v2_first, sizes_, params_).total);
+}
+
+TEST_F(WorkMetricTest, WorkParamsScale) {
+  Strategy s = MakeDualStageViewStrategy("V4", {"V2", "V3"});
+  WorkParams scaled;
+  scaled.comp_per_row = 2.0;
+  scaled.inst_per_row = 3.0;
+  double base_comp = (10 + 200) + (30 + 100) + (10 + 30);
+  double base_inst = 10 + 30 + 20;
+  EXPECT_DOUBLE_EQ(EstimateStrategyWork(vdag_, s, sizes_, scaled).total,
+                   2.0 * base_comp + 3.0 * base_inst);
+}
+
+TEST_F(WorkMetricTest, VariantMetricCountsOperandsOnce) {
+  // Discussion §7: Comp(V4,{V2,V3}) = c*(|δV2|+|V2|+|δV3|+|V3|).
+  Strategy s({Expression::Comp("V4", {"V2", "V3"})});
+  EXPECT_DOUBLE_EQ(
+      EstimateStrategyWorkOperandsOnce(vdag_, s, sizes_, params_).total,
+      10 + 100 + 30 + 200);
+  // Under the variant metric a dual-stage comp over n >= 3 views is
+  // cheaper than n 1-way comps (each 1-way comp re-reads the other n-1
+  // extents) — the flaw the paper calls out in the Discussion.
+  Vdag star = testutil::MakeStarVdag("W", 3);
+  SizeMap sizes;
+  for (const std::string& name : star.view_names()) {
+    sizes.Set(name, {1000, 20, -20});
+  }
+  Strategy dual = MakeDualStageViewStrategy("W", star.sources("W"));
+  Strategy one_way = MakeOneWayViewStrategy("W", star.sources("W"));
+  EXPECT_LT(EstimateStrategyWorkOperandsOnce(star, dual, sizes, params_).total,
+            EstimateStrategyWorkOperandsOnce(star, one_way, sizes, params_)
+                .total);
+  // Under the true linear metric the comparison flips.
+  EXPECT_GT(EstimateStrategyWork(star, dual, sizes, params_).total,
+            EstimateStrategyWork(star, one_way, sizes, params_).total);
+}
+
+TEST(SizeMapTest, NetChangeAndMissingView) {
+  SizeMap sizes;
+  sizes.Set("A", {10, 4, -2});
+  EXPECT_EQ(sizes.NetChange("A"), -2);
+  EXPECT_TRUE(sizes.Has("A"));
+  EXPECT_FALSE(sizes.Has("B"));
+}
+
+}  // namespace
+}  // namespace wuw
