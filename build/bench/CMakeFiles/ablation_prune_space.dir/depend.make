@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_prune_space.
+# This may be replaced when dependencies are built.

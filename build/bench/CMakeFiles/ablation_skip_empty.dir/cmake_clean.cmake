@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skip_empty.dir/ablation_skip_empty.cc.o"
+  "CMakeFiles/ablation_skip_empty.dir/ablation_skip_empty.cc.o.d"
+  "ablation_skip_empty"
+  "ablation_skip_empty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skip_empty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_work_metric.dir/ablation_work_metric.cc.o"
+  "CMakeFiles/ablation_work_metric.dir/ablation_work_metric.cc.o.d"
+  "ablation_work_metric"
+  "ablation_work_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_work_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_q3_view_strategies.dir/exp1_q3_view_strategies.cc.o"
+  "CMakeFiles/exp1_q3_view_strategies.dir/exp1_q3_view_strategies.cc.o.d"
+  "exp1_q3_view_strategies"
+  "exp1_q3_view_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_q3_view_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

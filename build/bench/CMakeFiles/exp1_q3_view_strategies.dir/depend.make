@@ -1,0 +1,2 @@
+# Empty dependencies file for exp1_q3_view_strategies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1b_q10_strategy_space.dir/exp1b_q10_strategy_space.cc.o"
+  "CMakeFiles/exp1b_q10_strategy_space.dir/exp1b_q10_strategy_space.cc.o.d"
+  "exp1b_q10_strategy_space"
+  "exp1b_q10_strategy_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1b_q10_strategy_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp1b_q10_strategy_space.
+# This may be replaced when dependencies are built.

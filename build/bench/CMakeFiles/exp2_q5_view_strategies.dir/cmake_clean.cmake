@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_q5_view_strategies.dir/exp2_q5_view_strategies.cc.o"
+  "CMakeFiles/exp2_q5_view_strategies.dir/exp2_q5_view_strategies.cc.o.d"
+  "exp2_q5_view_strategies"
+  "exp2_q5_view_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_q5_view_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp2_q5_view_strategies.
+# This may be replaced when dependencies are built.

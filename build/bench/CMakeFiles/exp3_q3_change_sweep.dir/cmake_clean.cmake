@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_q3_change_sweep.dir/exp3_q3_change_sweep.cc.o"
+  "CMakeFiles/exp3_q3_change_sweep.dir/exp3_q3_change_sweep.cc.o.d"
+  "exp3_q3_change_sweep"
+  "exp3_q3_change_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_q3_change_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

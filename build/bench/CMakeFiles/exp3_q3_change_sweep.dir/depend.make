@@ -1,0 +1,2 @@
+# Empty dependencies file for exp3_q3_change_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_vdag_strategies.dir/exp4_vdag_strategies.cc.o"
+  "CMakeFiles/exp4_vdag_strategies.dir/exp4_vdag_strategies.cc.o.d"
+  "exp4_vdag_strategies"
+  "exp4_vdag_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_vdag_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

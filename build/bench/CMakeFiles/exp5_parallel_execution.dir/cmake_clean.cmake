@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_parallel_execution.dir/exp5_parallel_execution.cc.o"
+  "CMakeFiles/exp5_parallel_execution.dir/exp5_parallel_execution.cc.o.d"
+  "exp5_parallel_execution"
+  "exp5_parallel_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_parallel_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

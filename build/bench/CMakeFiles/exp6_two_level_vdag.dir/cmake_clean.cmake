@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp6_two_level_vdag.dir/exp6_two_level_vdag.cc.o"
+  "CMakeFiles/exp6_two_level_vdag.dir/exp6_two_level_vdag.cc.o.d"
+  "exp6_two_level_vdag"
+  "exp6_two_level_vdag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp6_two_level_vdag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp6_two_level_vdag.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_warehouse.dir/csv_warehouse.cpp.o"
+  "CMakeFiles/csv_warehouse.dir/csv_warehouse.cpp.o.d"
+  "csv_warehouse"
+  "csv_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_warehouse.dir/custom_warehouse.cpp.o"
+  "CMakeFiles/custom_warehouse.dir/custom_warehouse.cpp.o.d"
+  "custom_warehouse"
+  "custom_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

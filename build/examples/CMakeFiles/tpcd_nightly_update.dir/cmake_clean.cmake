@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcd_nightly_update.dir/tpcd_nightly_update.cpp.o"
+  "CMakeFiles/tpcd_nightly_update.dir/tpcd_nightly_update.cpp.o.d"
+  "tpcd_nightly_update"
+  "tpcd_nightly_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_nightly_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_script_generator.dir/update_script_generator.cpp.o"
+  "CMakeFiles/update_script_generator.dir/update_script_generator.cpp.o.d"
+  "update_script_generator"
+  "update_script_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_script_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/aggregate.cc" "src/CMakeFiles/wuw.dir/algebra/aggregate.cc.o" "gcc" "src/CMakeFiles/wuw.dir/algebra/aggregate.cc.o.d"
+  "/root/repo/src/algebra/filter.cc" "src/CMakeFiles/wuw.dir/algebra/filter.cc.o" "gcc" "src/CMakeFiles/wuw.dir/algebra/filter.cc.o.d"
+  "/root/repo/src/algebra/hash_join.cc" "src/CMakeFiles/wuw.dir/algebra/hash_join.cc.o" "gcc" "src/CMakeFiles/wuw.dir/algebra/hash_join.cc.o.d"
+  "/root/repo/src/algebra/operator_stats.cc" "src/CMakeFiles/wuw.dir/algebra/operator_stats.cc.o" "gcc" "src/CMakeFiles/wuw.dir/algebra/operator_stats.cc.o.d"
+  "/root/repo/src/algebra/project.cc" "src/CMakeFiles/wuw.dir/algebra/project.cc.o" "gcc" "src/CMakeFiles/wuw.dir/algebra/project.cc.o.d"
+  "/root/repo/src/core/advisor.cc" "src/CMakeFiles/wuw.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/advisor.cc.o.d"
+  "/root/repo/src/core/correctness.cc" "src/CMakeFiles/wuw.dir/core/correctness.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/correctness.cc.o.d"
+  "/root/repo/src/core/exhaustive.cc" "src/CMakeFiles/wuw.dir/core/exhaustive.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/exhaustive.cc.o.d"
+  "/root/repo/src/core/expression.cc" "src/CMakeFiles/wuw.dir/core/expression.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/expression.cc.o.d"
+  "/root/repo/src/core/expression_graph.cc" "src/CMakeFiles/wuw.dir/core/expression_graph.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/expression_graph.cc.o.d"
+  "/root/repo/src/core/min_work.cc" "src/CMakeFiles/wuw.dir/core/min_work.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/min_work.cc.o.d"
+  "/root/repo/src/core/min_work_single.cc" "src/CMakeFiles/wuw.dir/core/min_work_single.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/min_work_single.cc.o.d"
+  "/root/repo/src/core/prune.cc" "src/CMakeFiles/wuw.dir/core/prune.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/prune.cc.o.d"
+  "/root/repo/src/core/simplify.cc" "src/CMakeFiles/wuw.dir/core/simplify.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/simplify.cc.o.d"
+  "/root/repo/src/core/size_estimator.cc" "src/CMakeFiles/wuw.dir/core/size_estimator.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/size_estimator.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/CMakeFiles/wuw.dir/core/strategy.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/strategy.cc.o.d"
+  "/root/repo/src/core/strategy_space.cc" "src/CMakeFiles/wuw.dir/core/strategy_space.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/strategy_space.cc.o.d"
+  "/root/repo/src/core/transform.cc" "src/CMakeFiles/wuw.dir/core/transform.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/transform.cc.o.d"
+  "/root/repo/src/core/work_metric.cc" "src/CMakeFiles/wuw.dir/core/work_metric.cc.o" "gcc" "src/CMakeFiles/wuw.dir/core/work_metric.cc.o.d"
+  "/root/repo/src/delta/delta_relation.cc" "src/CMakeFiles/wuw.dir/delta/delta_relation.cc.o" "gcc" "src/CMakeFiles/wuw.dir/delta/delta_relation.cc.o.d"
+  "/root/repo/src/delta/install.cc" "src/CMakeFiles/wuw.dir/delta/install.cc.o" "gcc" "src/CMakeFiles/wuw.dir/delta/install.cc.o.d"
+  "/root/repo/src/delta/summary_delta.cc" "src/CMakeFiles/wuw.dir/delta/summary_delta.cc.o" "gcc" "src/CMakeFiles/wuw.dir/delta/summary_delta.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/wuw.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/wuw.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/parallel_executor.cc" "src/CMakeFiles/wuw.dir/exec/parallel_executor.cc.o" "gcc" "src/CMakeFiles/wuw.dir/exec/parallel_executor.cc.o.d"
+  "/root/repo/src/exec/warehouse.cc" "src/CMakeFiles/wuw.dir/exec/warehouse.cc.o" "gcc" "src/CMakeFiles/wuw.dir/exec/warehouse.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/wuw.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/wuw.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/printer.cc" "src/CMakeFiles/wuw.dir/expr/printer.cc.o" "gcc" "src/CMakeFiles/wuw.dir/expr/printer.cc.o.d"
+  "/root/repo/src/expr/scalar_expr.cc" "src/CMakeFiles/wuw.dir/expr/scalar_expr.cc.o" "gcc" "src/CMakeFiles/wuw.dir/expr/scalar_expr.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/wuw.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/wuw.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/dot.cc" "src/CMakeFiles/wuw.dir/graph/dot.cc.o" "gcc" "src/CMakeFiles/wuw.dir/graph/dot.cc.o.d"
+  "/root/repo/src/graph/vdag.cc" "src/CMakeFiles/wuw.dir/graph/vdag.cc.o" "gcc" "src/CMakeFiles/wuw.dir/graph/vdag.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/wuw.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/wuw.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/snapshot.cc" "src/CMakeFiles/wuw.dir/io/snapshot.cc.o" "gcc" "src/CMakeFiles/wuw.dir/io/snapshot.cc.o.d"
+  "/root/repo/src/parallel/flatten.cc" "src/CMakeFiles/wuw.dir/parallel/flatten.cc.o" "gcc" "src/CMakeFiles/wuw.dir/parallel/flatten.cc.o.d"
+  "/root/repo/src/parallel/parallel_strategy.cc" "src/CMakeFiles/wuw.dir/parallel/parallel_strategy.cc.o" "gcc" "src/CMakeFiles/wuw.dir/parallel/parallel_strategy.cc.o.d"
+  "/root/repo/src/parser/ddl_parser.cc" "src/CMakeFiles/wuw.dir/parser/ddl_parser.cc.o" "gcc" "src/CMakeFiles/wuw.dir/parser/ddl_parser.cc.o.d"
+  "/root/repo/src/parser/sql_parser.cc" "src/CMakeFiles/wuw.dir/parser/sql_parser.cc.o" "gcc" "src/CMakeFiles/wuw.dir/parser/sql_parser.cc.o.d"
+  "/root/repo/src/parser/tokenizer.cc" "src/CMakeFiles/wuw.dir/parser/tokenizer.cc.o" "gcc" "src/CMakeFiles/wuw.dir/parser/tokenizer.cc.o.d"
+  "/root/repo/src/policy/maintenance_policy.cc" "src/CMakeFiles/wuw.dir/policy/maintenance_policy.cc.o" "gcc" "src/CMakeFiles/wuw.dir/policy/maintenance_policy.cc.o.d"
+  "/root/repo/src/query/ad_hoc.cc" "src/CMakeFiles/wuw.dir/query/ad_hoc.cc.o" "gcc" "src/CMakeFiles/wuw.dir/query/ad_hoc.cc.o.d"
+  "/root/repo/src/sqlgen/sql_script.cc" "src/CMakeFiles/wuw.dir/sqlgen/sql_script.cc.o" "gcc" "src/CMakeFiles/wuw.dir/sqlgen/sql_script.cc.o.d"
+  "/root/repo/src/stats/cardinality.cc" "src/CMakeFiles/wuw.dir/stats/cardinality.cc.o" "gcc" "src/CMakeFiles/wuw.dir/stats/cardinality.cc.o.d"
+  "/root/repo/src/stats/delta_estimator.cc" "src/CMakeFiles/wuw.dir/stats/delta_estimator.cc.o" "gcc" "src/CMakeFiles/wuw.dir/stats/delta_estimator.cc.o.d"
+  "/root/repo/src/stats/selectivity.cc" "src/CMakeFiles/wuw.dir/stats/selectivity.cc.o" "gcc" "src/CMakeFiles/wuw.dir/stats/selectivity.cc.o.d"
+  "/root/repo/src/stats/table_stats.cc" "src/CMakeFiles/wuw.dir/stats/table_stats.cc.o" "gcc" "src/CMakeFiles/wuw.dir/stats/table_stats.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/wuw.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/wuw.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/wuw.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/wuw.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/wuw.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/wuw.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/CMakeFiles/wuw.dir/storage/tuple.cc.o" "gcc" "src/CMakeFiles/wuw.dir/storage/tuple.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/wuw.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/wuw.dir/storage/value.cc.o.d"
+  "/root/repo/src/tpcd/change_generator.cc" "src/CMakeFiles/wuw.dir/tpcd/change_generator.cc.o" "gcc" "src/CMakeFiles/wuw.dir/tpcd/change_generator.cc.o.d"
+  "/root/repo/src/tpcd/tpcd_generator.cc" "src/CMakeFiles/wuw.dir/tpcd/tpcd_generator.cc.o" "gcc" "src/CMakeFiles/wuw.dir/tpcd/tpcd_generator.cc.o.d"
+  "/root/repo/src/tpcd/tpcd_schema.cc" "src/CMakeFiles/wuw.dir/tpcd/tpcd_schema.cc.o" "gcc" "src/CMakeFiles/wuw.dir/tpcd/tpcd_schema.cc.o.d"
+  "/root/repo/src/tpcd/tpcd_views.cc" "src/CMakeFiles/wuw.dir/tpcd/tpcd_views.cc.o" "gcc" "src/CMakeFiles/wuw.dir/tpcd/tpcd_views.cc.o.d"
+  "/root/repo/src/view/comp_term.cc" "src/CMakeFiles/wuw.dir/view/comp_term.cc.o" "gcc" "src/CMakeFiles/wuw.dir/view/comp_term.cc.o.d"
+  "/root/repo/src/view/join_pipeline.cc" "src/CMakeFiles/wuw.dir/view/join_pipeline.cc.o" "gcc" "src/CMakeFiles/wuw.dir/view/join_pipeline.cc.o.d"
+  "/root/repo/src/view/maintenance.cc" "src/CMakeFiles/wuw.dir/view/maintenance.cc.o" "gcc" "src/CMakeFiles/wuw.dir/view/maintenance.cc.o.d"
+  "/root/repo/src/view/recompute.cc" "src/CMakeFiles/wuw.dir/view/recompute.cc.o" "gcc" "src/CMakeFiles/wuw.dir/view/recompute.cc.o.d"
+  "/root/repo/src/view/validate.cc" "src/CMakeFiles/wuw.dir/view/validate.cc.o" "gcc" "src/CMakeFiles/wuw.dir/view/validate.cc.o.d"
+  "/root/repo/src/view/view_definition.cc" "src/CMakeFiles/wuw.dir/view/view_definition.cc.o" "gcc" "src/CMakeFiles/wuw.dir/view/view_definition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for wuw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expression_graph_test.dir/expression_graph_test.cc.o"
+  "CMakeFiles/expression_graph_test.dir/expression_graph_test.cc.o.d"
+  "expression_graph_test"
+  "expression_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expression_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

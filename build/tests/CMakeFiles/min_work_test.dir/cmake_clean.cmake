@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_work_test.dir/min_work_test.cc.o"
+  "CMakeFiles/min_work_test.dir/min_work_test.cc.o.d"
+  "min_work_test"
+  "min_work_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_work_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

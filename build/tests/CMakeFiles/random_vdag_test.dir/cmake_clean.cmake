@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_vdag_test.dir/random_vdag_test.cc.o"
+  "CMakeFiles/random_vdag_test.dir/random_vdag_test.cc.o.d"
+  "random_vdag_test"
+  "random_vdag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_vdag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_estimator_test.dir/size_estimator_test.cc.o"
+  "CMakeFiles/size_estimator_test.dir/size_estimator_test.cc.o.d"
+  "size_estimator_test"
+  "size_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_metric_test.dir/work_metric_test.cc.o"
+  "CMakeFiles/work_metric_test.dir/work_metric_test.cc.o.d"
+  "work_metric_test"
+  "work_metric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_metric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

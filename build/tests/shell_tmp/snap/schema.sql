@@ -1,0 +1,3 @@
+CREATE TABLE sales (x_store INT, x_item INT, x_amount INT, x_day DATE);
+CREATE TABLE stores (s_store INT, s_city TEXT);
+CREATE VIEW revenue_by_city AS SELECT s_city AS s_city, SUM(x_amount) AS revenue, COUNT(*) AS transactions FROM sales, stores WHERE x_store = s_store GROUP BY s_city;

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wuw_shell.dir/wuw_shell.cc.o"
+  "CMakeFiles/wuw_shell.dir/wuw_shell.cc.o.d"
+  "wuw_shell"
+  "wuw_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wuw_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
