@@ -1,0 +1,135 @@
+// Ablation: what does shared-subplan memoization buy on the paper's
+// workloads?
+//
+// Re-runs the Experiment 1 (Q3 view strategies) and Experiment 4 (whole
+// VDAG) workloads with the subplan cache off / budget 0 / tightly budgeted
+// / 256MB / unbounded, and reports wall time, rows scanned, and hit rate
+// per configuration.  The cache persists across a configuration's runs
+// (clones of one state agree on subplan keys), so repetitions and
+// different strategies feed each other — the realistic "several update
+// windows against the same mart" shape.
+//
+// Correctness is not at stake here (the property tests pin ground truth
+// bit-identically for every budget); this binary quantifies the
+// scans-avoided / bytes-held trade-off.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/min_work.h"
+#include "core/min_work_single.h"
+#include "core/strategy_space.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_views.h"
+
+namespace {
+
+using namespace wuw;
+
+struct Mode {
+  std::string label;
+  bool cache = false;
+  int64_t byte_budget = 0;
+};
+
+struct ModeResult {
+  double seconds = 0;
+  int64_t rows_scanned = 0;
+  SubplanCacheStats stats;
+};
+
+ModeResult RunWorkload(const Warehouse& warehouse,
+                       const std::vector<Strategy>& strategies,
+                       const Mode& mode, int reps) {
+  std::unique_ptr<SubplanCache> cache;
+  if (mode.cache) {
+    cache = std::make_unique<SubplanCache>(
+        SubplanCacheOptions{mode.byte_budget});
+  }
+  ExecutorOptions options;
+  options.subplan_cache = cache.get();
+
+  ModeResult result;
+  for (int r = 0; r < reps; ++r) {
+    for (const Strategy& s : strategies) {
+      ExecutionReport report = bench::RunOnClone(warehouse, s, options);
+      result.seconds += report.total_seconds;
+      result.rows_scanned += report.totals.rows_scanned;
+    }
+  }
+  if (cache != nullptr) result.stats = cache->stats();
+  return result;
+}
+
+void RunAblation(const std::string& title, const Warehouse& warehouse,
+                 const std::vector<Strategy>& strategies, int reps) {
+  const std::vector<Mode> modes = {
+      {"cache off", false, 0},
+      {"budget 0 (admit nothing)", true, 0},
+      {"budget 16MB", true, 16ll << 20},
+      {"budget 256MB (default)", true, 256ll << 20},
+      {"unbounded", true, -1},
+  };
+
+  std::printf("\n%s — %zu strategies x %d reps\n", title.c_str(),
+              strategies.size(), reps);
+  std::printf("  %-26s %10s %14s %8s %12s %10s\n", "mode", "wall s",
+              "rows scanned", "hit%", "bytes held", "evictions");
+
+  int64_t baseline_rows = 0;
+  for (const Mode& mode : modes) {
+    ModeResult r = RunWorkload(warehouse, strategies, mode, reps);
+    if (!mode.cache) baseline_rows = r.rows_scanned;
+    int64_t lookups = r.stats.hits + r.stats.misses;
+    double hit_pct = lookups > 0 ? 100.0 * r.stats.hits / lookups : 0.0;
+    std::printf("  %-26s %9.3fs %14lld %7.1f%% %12lld %10lld",
+                mode.label.c_str(), r.seconds,
+                static_cast<long long>(r.rows_scanned), hit_pct,
+                static_cast<long long>(r.stats.bytes_in_use),
+                static_cast<long long>(r.stats.evictions));
+    if (mode.cache && baseline_rows > 0) {
+      std::printf("  (%+.1f%% rows vs off)",
+                  100.0 * (r.rows_scanned - baseline_rows) / baseline_rows);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::FromEnv(/*default_scale_factor=*/0.02);
+  bench::PrintHeader(
+      "Ablation: shared-subplan memoization",
+      "TPC-D SF=" + std::to_string(env.scale_factor) +
+          ", 10% deletions; cache off vs budgeted vs unbounded");
+
+  tpcd::GeneratorOptions options;
+  options.scale_factor = env.scale_factor;
+  options.seed = env.seed;
+
+  {
+    Warehouse warehouse = tpcd::MakeTpcdWarehouse(
+        options, {"Q3"}, /*only_referenced_bases=*/true);
+    tpcd::ApplyPaperChangeWorkload(&warehouse, 0.10, 0.0, env.seed);
+    std::vector<Strategy> strategies = {
+        MinWorkSingle(warehouse.vdag(), "Q3", warehouse.EstimatedSizes()),
+        MakeDualStageVdagStrategy(warehouse.vdag()),
+    };
+    RunAblation("Exp-1 workload (Q3)", warehouse, strategies, /*reps=*/3);
+  }
+
+  {
+    Warehouse warehouse =
+        tpcd::MakeTpcdWarehouse(options, {"Q3", "Q5", "Q10"});
+    tpcd::ApplyPaperChangeWorkload(&warehouse, 0.10, 0.0, env.seed);
+    std::vector<Strategy> strategies = {
+        MinWork(warehouse.vdag(), warehouse.EstimatedSizes()).strategy,
+        MakeDualStageVdagStrategy(warehouse.vdag()),
+    };
+    RunAblation("Exp-4 workload (Q3 + Q5 + Q10)", warehouse, strategies,
+                /*reps=*/3);
+  }
+  return 0;
+}

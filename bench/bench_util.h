@@ -6,18 +6,23 @@
 // in the shape the paper reports.
 //
 // Environment knobs:
-//   WUW_SF    scale factor (default 0.01 ~ 60k LINEITEM rows)
-//   WUW_SEED  generator seed (default 42)
+//   WUW_SF        scale factor (default 0.01 ~ 60k LINEITEM rows)
+//   WUW_SEED      generator seed (default 42)
+//   WUW_CACHE_MB  subplan-cache budget in MB; unset = no cache (the
+//                 paper-fidelity eager path), 0 = attached but admits
+//                 nothing, negative = unbounded
 #ifndef WUW_BENCH_BENCH_UTIL_H_
 #define WUW_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "core/strategy.h"
 #include "exec/executor.h"
 #include "exec/warehouse.h"
+#include "plan/subplan_cache.h"
 
 namespace wuw {
 namespace bench {
@@ -25,6 +30,9 @@ namespace bench {
 struct BenchEnv {
   double scale_factor = 0.01;
   uint64_t seed = 42;
+  /// WUW_CACHE_MB, when present.
+  bool cache_set = false;
+  int64_t cache_mb = 0;
 };
 
 inline BenchEnv FromEnv(double default_scale_factor = 0.01) {
@@ -34,7 +42,23 @@ inline BenchEnv FromEnv(double default_scale_factor = 0.01) {
   if (const char* seed = std::getenv("WUW_SEED")) {
     env.seed = strtoull(seed, nullptr, 10);
   }
+  if (const char* mb = std::getenv("WUW_CACHE_MB")) {
+    env.cache_set = true;
+    env.cache_mb = strtoll(mb, nullptr, 10);
+  }
   return env;
+}
+
+/// The WUW_CACHE_MB cache, or null when the knob is unset.  The cache
+/// deliberately persists across every run of a bench process: clones of one
+/// warehouse state agree on subplan keys, so later strategies/repetitions
+/// reuse what earlier ones materialized (the cross-expression sharing the
+/// plan layer exists for).
+inline std::unique_ptr<SubplanCache> MakeCacheFromEnv(const BenchEnv& env) {
+  if (!env.cache_set) return nullptr;
+  SubplanCacheOptions options;
+  options.byte_budget = env.cache_mb < 0 ? -1 : env.cache_mb << 20;
+  return std::make_unique<SubplanCache>(options);
 }
 
 inline void PrintHeader(const std::string& title,
@@ -57,11 +81,13 @@ inline void PrintBar(const std::string& label, double seconds,
 }
 
 /// Executes `strategy` against a clone of `base` (whose pending deltas are
-/// cloned too) and returns the measured update window.
+/// cloned too) and returns the measured update window.  `options` lets a
+/// bench attach a shared SubplanCache or flip executor policies.
 inline ExecutionReport RunOnClone(const Warehouse& base,
-                                  const Strategy& strategy) {
+                                  const Strategy& strategy,
+                                  const ExecutorOptions& options = {}) {
   Warehouse clone = base.Clone();
-  Executor executor(&clone);
+  Executor executor(&clone, options);
   return executor.Execute(strategy);
 }
 
@@ -69,11 +95,11 @@ inline ExecutionReport RunOnClone(const Warehouse& base,
 /// noise discipline the paper's timed SQL Server runs needed.  Linear work
 /// is deterministic across repetitions.
 inline ExecutionReport RunOnCloneBest(const Warehouse& base,
-                                      const Strategy& strategy,
-                                      int reps = 3) {
-  ExecutionReport best = RunOnClone(base, strategy);
+                                      const Strategy& strategy, int reps = 3,
+                                      const ExecutorOptions& options = {}) {
+  ExecutionReport best = RunOnClone(base, strategy, options);
   for (int r = 1; r < reps; ++r) {
-    ExecutionReport next = RunOnClone(base, strategy);
+    ExecutionReport next = RunOnClone(base, strategy, options);
     if (next.total_seconds < best.total_seconds) best = std::move(next);
   }
   return best;
@@ -85,20 +111,40 @@ inline ExecutionReport RunOnCloneBest(const Warehouse& base,
 /// would fold into whichever strategy ran last.
 inline std::vector<ExecutionReport> MeasureInterleaved(
     const Warehouse& base, const std::vector<Strategy>& strategies,
-    int reps = 3) {
+    int reps = 3, const ExecutorOptions& options = {}) {
   std::vector<ExecutionReport> best(strategies.size());
   for (size_t i = 0; i < strategies.size(); ++i) {
-    (void)RunOnClone(base, strategies[i]);  // warmup
+    (void)RunOnClone(base, strategies[i], options);  // warmup
   }
   for (int r = 0; r < reps; ++r) {
     for (size_t i = 0; i < strategies.size(); ++i) {
-      ExecutionReport next = RunOnClone(base, strategies[i]);
+      ExecutionReport next = RunOnClone(base, strategies[i], options);
       if (r == 0 || next.total_seconds < best[i].total_seconds) {
         best[i] = std::move(next);
       }
     }
   }
   return best;
+}
+
+/// One summary line for the shared cache attached to a bench's runs, plus
+/// the total rows scanned across `reports` (the acceptance metric for the
+/// memoization ablation).
+inline void PrintCacheSummary(const BenchEnv& env, const SubplanCache* cache,
+                              const std::vector<ExecutionReport>& reports) {
+  int64_t rows_scanned = 0;
+  for (const ExecutionReport& r : reports) {
+    rows_scanned += r.totals.rows_scanned;
+  }
+  std::printf("\n  total rows scanned (reported runs): %lld\n",
+              static_cast<long long>(rows_scanned));
+  if (cache == nullptr) {
+    std::printf("  subplan cache: off (set WUW_CACHE_MB to enable)\n");
+    return;
+  }
+  SubplanCacheStats stats = cache->stats();
+  std::printf("  subplan cache (%lld MB budget): %s\n",
+              static_cast<long long>(env.cache_mb), stats.ToString().c_str());
 }
 
 }  // namespace bench

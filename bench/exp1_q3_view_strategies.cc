@@ -71,8 +71,11 @@ int main() {
 
   std::vector<Strategy> strategies;
   for (const Row& row : rows) strategies.push_back(row.strategy);
+  std::unique_ptr<SubplanCache> cache = bench::MakeCacheFromEnv(env);
+  ExecutorOptions exec_options;
+  exec_options.subplan_cache = cache.get();
   std::vector<ExecutionReport> reports =
-      bench::MeasureInterleaved(warehouse, strategies, 3);
+      bench::MeasureInterleaved(warehouse, strategies, 3, exec_options);
   for (size_t i = 0; i < rows.size(); ++i) {
     rows[i].seconds = reports[i].total_seconds;
     rows[i].work = reports[i].total_linear_work;
@@ -121,5 +124,6 @@ int main() {
               (long long)max_1way, max_1way < min_2way ? "<" : ">=",
               (long long)min_2way, (long long)dual_work,
               (double)dual_work / (double)min_work);
+  bench::PrintCacheSummary(env, cache.get(), reports);
   return 0;
 }

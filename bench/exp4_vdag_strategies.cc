@@ -50,8 +50,12 @@ int main() {
 
   PruneResult prune = Prune(warehouse.vdag(), sizes);
 
+  std::unique_ptr<SubplanCache> cache = bench::MakeCacheFromEnv(env);
+  ExecutorOptions exec_options;
+  exec_options.subplan_cache = cache.get();
   std::vector<ExecutionReport> reports = bench::MeasureInterleaved(
-      warehouse, {mw.strategy, prune.strategy, rnscol, dual}, 3);
+      warehouse, {mw.strategy, prune.strategy, rnscol, dual}, 3,
+      exec_options);
   ExecutionReport& mw_report = reports[0];
   ExecutionReport& prune_report = reports[1];
   ExecutionReport& rn_report = reports[2];
@@ -84,5 +88,6 @@ int main() {
               prune_report.total_seconds / mw_report.total_seconds);
   std::printf("  Prune examined %lld orderings (m!=6!; n! would be 362880)\n",
               (long long)prune.orderings_examined);
+  bench::PrintCacheSummary(env, cache.get(), reports);
   return 0;
 }

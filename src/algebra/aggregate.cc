@@ -8,6 +8,12 @@
 
 namespace wuw {
 
+Rows AggregateKernel::Run(const std::vector<const Rows*>& inputs,
+                          OperatorStats* stats) const {
+  WUW_CHECK(inputs.size() == 1, "AggregateKernel takes exactly one input");
+  return AggregateSigned(*inputs[0], group_by, aggs, stats);
+}
+
 Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by,
                      const std::vector<AggSpec>& aggs, OperatorStats* stats) {
   std::vector<size_t> key_idx;

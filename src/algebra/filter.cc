@@ -1,8 +1,15 @@
 #include "algebra/filter.h"
 
+#include "common/check.h"
 #include "expr/evaluator.h"
 
 namespace wuw {
+
+Rows FilterKernel::Run(const std::vector<const Rows*>& inputs,
+                       OperatorStats* stats) const {
+  WUW_CHECK(inputs.size() == 1, "FilterKernel takes exactly one input");
+  return Filter(*inputs[0], predicate, stats);
+}
 
 Rows Filter(const Rows& input, const ScalarExpr::Ptr& predicate,
             OperatorStats* stats) {

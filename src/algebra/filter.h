@@ -13,6 +13,16 @@ namespace wuw {
 Rows Filter(const Rows& input, const ScalarExpr::Ptr& predicate,
             OperatorStats* stats);
 
+/// Plan-node kernel form of Filter: parameters captured at plan-build time,
+/// executed with the uniform Run(inputs, stats) signature shared by every
+/// relational operator (see plan/plan_node.h).
+struct FilterKernel {
+  ScalarExpr::Ptr predicate;
+
+  /// inputs = {child}.
+  Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats) const;
+};
+
 }  // namespace wuw
 
 #endif  // WUW_ALGEBRA_FILTER_H_

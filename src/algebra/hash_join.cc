@@ -7,6 +7,12 @@
 
 namespace wuw {
 
+Rows HashJoinKernel::Run(const std::vector<const Rows*>& inputs,
+                         OperatorStats* stats) const {
+  WUW_CHECK(inputs.size() == 2, "HashJoinKernel takes exactly two inputs");
+  return HashJoin(*inputs[0], *inputs[1], keys, stats);
+}
+
 Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
               OperatorStats* stats) {
   WUW_CHECK(keys.left_columns.size() == keys.right_columns.size(),

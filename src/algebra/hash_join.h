@@ -26,6 +26,15 @@ struct JoinKeys {
 Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
               OperatorStats* stats);
 
+/// Plan-node kernel form of HashJoin (uniform Run(inputs, stats) signature;
+/// see plan/plan_node.h).
+struct HashJoinKernel {
+  JoinKeys keys;
+
+  /// inputs = {left, right}.
+  Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats) const;
+};
+
 }  // namespace wuw
 
 #endif  // WUW_ALGEBRA_HASH_JOIN_H_

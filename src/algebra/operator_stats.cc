@@ -7,14 +7,30 @@ OperatorStats& OperatorStats::operator+=(const OperatorStats& other) {
   rows_produced += other.rows_produced;
   hash_probes += other.hash_probes;
   hash_build_rows += other.hash_build_rows;
+  subplan_cache_hits += other.subplan_cache_hits;
+  subplan_cache_misses += other.subplan_cache_misses;
   return *this;
 }
 
+bool OperatorStats::operator==(const OperatorStats& other) const {
+  return rows_scanned == other.rows_scanned &&
+         rows_produced == other.rows_produced &&
+         hash_probes == other.hash_probes &&
+         hash_build_rows == other.hash_build_rows &&
+         subplan_cache_hits == other.subplan_cache_hits &&
+         subplan_cache_misses == other.subplan_cache_misses;
+}
+
 std::string OperatorStats::ToString() const {
-  return "scanned=" + std::to_string(rows_scanned) +
-         " produced=" + std::to_string(rows_produced) +
-         " probes=" + std::to_string(hash_probes) +
-         " build=" + std::to_string(hash_build_rows);
+  std::string out = "scanned=" + std::to_string(rows_scanned) +
+                    " produced=" + std::to_string(rows_produced) +
+                    " probes=" + std::to_string(hash_probes) +
+                    " build=" + std::to_string(hash_build_rows);
+  if (subplan_cache_hits != 0 || subplan_cache_misses != 0) {
+    out += " cache_hits=" + std::to_string(subplan_cache_hits) +
+           " cache_misses=" + std::to_string(subplan_cache_misses);
+  }
+  return out;
 }
 
 }  // namespace wuw

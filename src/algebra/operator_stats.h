@@ -19,8 +19,17 @@ struct OperatorStats {
   int64_t rows_produced = 0;
   int64_t hash_probes = 0;
   int64_t hash_build_rows = 0;
+  /// Shared-subplan memoization (plan/subplan_cache.h): a hit replays a
+  /// cached intermediate instead of re-running its operators, so none of
+  /// the counters above accrue for the skipped subtree.
+  int64_t subplan_cache_hits = 0;
+  int64_t subplan_cache_misses = 0;
 
   OperatorStats& operator+=(const OperatorStats& other);
+  bool operator==(const OperatorStats& other) const;
+  bool operator!=(const OperatorStats& other) const {
+    return !(*this == other);
+  }
   std::string ToString() const;
 };
 

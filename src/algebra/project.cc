@@ -1,8 +1,15 @@
 #include "algebra/project.h"
 
+#include "common/check.h"
 #include "expr/evaluator.h"
 
 namespace wuw {
+
+Rows ProjectKernel::Run(const std::vector<const Rows*>& inputs,
+                        OperatorStats* stats) const {
+  WUW_CHECK(inputs.size() == 1, "ProjectKernel takes exactly one input");
+  return Project(*inputs[0], items, stats);
+}
 
 Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
              OperatorStats* stats) {

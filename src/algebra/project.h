@@ -22,6 +22,15 @@ struct ProjectItem {
 Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
              OperatorStats* stats);
 
+/// Plan-node kernel form of Project (uniform Run(inputs, stats) signature;
+/// see plan/plan_node.h).
+struct ProjectKernel {
+  std::vector<ProjectItem> items;
+
+  /// inputs = {child}.
+  Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats) const;
+};
+
 }  // namespace wuw
 
 #endif  // WUW_ALGEBRA_PROJECT_H_

@@ -33,6 +33,11 @@ std::string ExecutionReport::ToString() const {
   std::snprintf(line, sizeof(line), "  total: %.4fs  linear work=%lld\n",
                 total_seconds, static_cast<long long>(total_linear_work));
   out += line;
+  if (totals.subplan_cache_hits + totals.subplan_cache_misses > 0) {
+    std::snprintf(line, sizeof(line), "  subplan cache: %s\n",
+                  subplan_cache.ToString().c_str());
+    out += line;
+  }
   return out;
 }
 
@@ -77,6 +82,7 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
       *delta_stats = {delta->AbsCardinality(), delta->NetCardinality()};
     }
     Install(*delta, table, &er.stats);
+    warehouse->NoteExtentChanged(e.view);
     er.linear_work = delta->AbsCardinality();
   }
 
@@ -108,6 +114,16 @@ ExecutionReport Executor::Execute(const Strategy& strategy) {
   ExecutionReport report;
   CompEvalOptions comp_options;
   comp_options.skip_empty_delta_terms = options_.skip_empty_delta_terms;
+  comp_options.subplan_cache = options_.subplan_cache;
+  if (options_.subplan_cache != nullptr) {
+    // The epoch is fixed for the whole run (deltas were set before Execute
+    // and clear only at ResetBatch); extent versions advance as installs
+    // land, re-keying later scans of the rewritten extents.
+    comp_options.batch_epoch = warehouse_->batch_epoch();
+    comp_options.extent_version = [wh = warehouse_](const std::string& name) {
+      return wh->extent_version(name);
+    };
+  }
 
   for (const Expression& e : to_run->expressions()) {
     std::pair<int64_t, int64_t> delta_stats{0, 0};
@@ -123,6 +139,9 @@ ExecutionReport Executor::Execute(const Strategy& strategy) {
     report.per_expression.push_back(std::move(er));
   }
 
+  if (options_.subplan_cache != nullptr) {
+    report.subplan_cache = options_.subplan_cache->stats();
+  }
   warehouse_->ResetBatch();
   return report;
 }

@@ -17,6 +17,7 @@
 #include "algebra/operator_stats.h"
 #include "core/strategy.h"
 #include "exec/warehouse.h"
+#include "plan/subplan_cache.h"
 
 namespace wuw {
 
@@ -32,6 +33,13 @@ struct ExecutorOptions {
   /// Record each view's finalized (|δV|, net) in the report — used by the
   /// oracle size estimator.
   bool capture_delta_stats = false;
+  /// Optional shared-subplan memo (not owned).  Null keeps the paper's
+  /// eager term-at-a-time execution.  When set, maintenance terms reuse
+  /// materialized intermediates across terms and expressions; keys embed
+  /// the warehouse's extent versions and batch epoch, so a cache may
+  /// outlive a run and be shared across clones executing C1-C8-correct
+  /// strategies over the same state (see plan/subplan_cache.h).
+  SubplanCache* subplan_cache = nullptr;
 };
 
 /// Measurements for one executed expression.
@@ -48,10 +56,15 @@ struct ExpressionReport {
 struct ExecutionReport {
   double total_seconds = 0;
   int64_t total_linear_work = 0;
+  /// Operator counters summed over expressions; includes the run's
+  /// subplan-cache hit/miss counts.
   OperatorStats totals;
   std::vector<ExpressionReport> per_expression;
   /// view -> (|δV| abs, net); filled when capture_delta_stats is set.
   std::unordered_map<std::string, std::pair<int64_t, int64_t>> delta_stats;
+  /// Snapshot of the attached SubplanCache at run end (lifetime-cumulative
+  /// counters — the cache may span runs); zeros when none was attached.
+  SubplanCacheStats subplan_cache;
 
   std::string ToString() const;
 };

@@ -32,6 +32,13 @@ ParallelExecutionReport ParallelExecutor::Execute(
   CompEvalOptions comp_options;
   comp_options.skip_empty_delta_terms = options_.skip_empty_delta_terms;
   comp_options.term_workers = options_.term_workers;
+  comp_options.subplan_cache = options_.subplan_cache;
+  if (options_.subplan_cache != nullptr) {
+    comp_options.batch_epoch = warehouse_->batch_epoch();
+    comp_options.extent_version = [wh = warehouse_](const std::string& name) {
+      return wh->extent_version(name);
+    };
+  }
 
   for (const std::vector<Expression>& stage : strategy.stages) {
     double stage_start = Now();
@@ -63,12 +70,19 @@ ParallelExecutionReport ParallelExecutor::Execute(
     double stage_seconds = Now() - stage_start;
     report.stage_seconds.push_back(stage_seconds);
     report.total_seconds += stage_seconds;
+    // Stage barrier: fold each expression's thread-local counters into the
+    // run totals.  Workers only ever wrote their own stage_reports slot, so
+    // nothing races and no increment is dropped.
     for (ExpressionReport& er : stage_reports) {
       report.total_linear_work += er.linear_work;
+      report.totals += er.stats;
       report.per_expression.push_back(std::move(er));
     }
   }
 
+  if (options_.subplan_cache != nullptr) {
+    report.subplan_cache = options_.subplan_cache->stats();
+  }
   warehouse_->ResetBatch();
   return report;
 }

@@ -24,8 +24,15 @@ namespace wuw {
 struct ParallelExecutionReport {
   double total_seconds = 0;  // wall time across all stage barriers
   int64_t total_linear_work = 0;
+  /// Operator counters over the whole run.  Each expression's counters
+  /// accumulate in a thread-local slot while its stage runs and merge at
+  /// the stage barrier, so totals equal the sequential executor's for the
+  /// same strategy (no increments are lost to racing threads).
+  OperatorStats totals;
   std::vector<double> stage_seconds;
   std::vector<ExpressionReport> per_expression;  // stage order, then index
+  /// Snapshot of the attached SubplanCache at run end (zeros if none).
+  SubplanCacheStats subplan_cache;
 };
 
 struct ParallelExecutorOptions {
@@ -37,6 +44,9 @@ struct ParallelExecutorOptions {
   /// Lets a lone dual-stage Comp(V, all-sources) — 2^n-1 terms — use the
   /// pool even when the stage has few expressions.
   int term_workers = 1;
+  /// Optional shared-subplan memo (not owned); see ExecutorOptions.  The
+  /// cache locks internally, so a stage's workers share it safely.
+  SubplanCache* subplan_cache = nullptr;
 };
 
 /// Runs staged strategies against one warehouse with a thread pool.

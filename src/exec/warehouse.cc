@@ -12,6 +12,9 @@ namespace wuw {
 Warehouse::Warehouse(Vdag vdag) : vdag_(std::move(vdag)) {
   for (const std::string& name : vdag_.view_names()) {
     catalog_.CreateTable(name, vdag_.OutputSchema(name));
+    // Pre-populated so NoteExtentChanged never inserts: a stage's parallel
+    // installs then bump disjoint map slots without rehashing.
+    extent_versions_.emplace(name, 0);
     if (vdag_.IsBaseView(name)) {
       empty_deltas_.emplace(name, DeltaRelation(vdag_.OutputSchema(name)));
     }
@@ -29,6 +32,8 @@ Warehouse::Warehouse(Vdag vdag) : vdag_(std::move(vdag)) {
 
 Table* Warehouse::base_table(const std::string& name) {
   WUW_CHECK(vdag_.IsBaseView(name), ("not a base view: " + name).c_str());
+  // Mutable access: assume the caller writes (initial loading does).
+  NoteExtentChanged(name);
   return catalog_.MustGetTable(name);
 }
 
@@ -41,6 +46,7 @@ void Warehouse::RecomputeDerived() {
     table->Clear();
     fresh.ForEach([&](const Tuple& t, int64_t c) { table->Add(t, c); });
     join_rows_[name] = join_rows;
+    NoteExtentChanged(name);
   }
 }
 
@@ -48,6 +54,7 @@ void Warehouse::SetBaseDelta(const std::string& name, DeltaRelation delta) {
   WUW_CHECK(vdag_.IsBaseView(name),
             ("deltas arrive only for base views: " + name).c_str());
   base_deltas_[name] = std::move(delta);
+  ++batch_epoch_;
 }
 
 void Warehouse::MergeBaseDelta(const std::string& name,
@@ -60,6 +67,7 @@ void Warehouse::MergeBaseDelta(const std::string& name,
     it = base_deltas_.find(name);
   }
   it->second.Merge(delta);
+  ++batch_epoch_;
 }
 
 const DeltaRelation& Warehouse::base_delta(const std::string& name) const {
@@ -81,6 +89,7 @@ DeltaAccumulator* Warehouse::accumulator(const std::string& name) {
 void Warehouse::ResetBatch() {
   base_deltas_.clear();
   for (auto& [name, acc] : accumulators_) acc->Reset();
+  ++batch_epoch_;
 }
 
 SizeMap Warehouse::EstimatedSizes() const {
@@ -138,12 +147,26 @@ Warehouse Warehouse::Clone() const {
   out.catalog_ = catalog_.Clone();
   out.base_deltas_ = base_deltas_;
   out.join_rows_ = join_rows_;
+  out.extent_versions_ = extent_versions_;
+  out.batch_epoch_ = batch_epoch_;
   return out;
 }
 
 int64_t Warehouse::join_rows(const std::string& view) const {
   auto it = join_rows_.find(view);
   return it == join_rows_.end() ? 0 : it->second;
+}
+
+int64_t Warehouse::extent_version(const std::string& name) const {
+  auto it = extent_versions_.find(name);
+  return it == extent_versions_.end() ? 0 : it->second;
+}
+
+void Warehouse::NoteExtentChanged(const std::string& name) {
+  auto it = extent_versions_.find(name);
+  WUW_CHECK(it != extent_versions_.end(),
+            ("unknown view in NoteExtentChanged: " + name).c_str());
+  ++it->second;
 }
 
 }  // namespace wuw

@@ -77,11 +77,26 @@ class Warehouse {
   /// Expensive; used by tests and calibration.
   SizeMap OracleSizes() const;
 
-  /// Deep copy (tables, pending deltas); accumulators start fresh.
+  /// Deep copy (tables, pending deltas); accumulators start fresh.  Version
+  /// counters are copied too, so clones of one state agree on subplan-cache
+  /// keys (see extent_version below) and may share a cache.
   Warehouse Clone() const;
 
   /// Pre-aggregation join cardinality recorded at the last recompute.
   int64_t join_rows(const std::string& view) const;
+
+  /// Monotone per-view extent mutation counter, embedded in subplan-cache
+  /// scan keys: any install / recompute / direct load bumps it, so a cached
+  /// scan result can never be served over a rewritten extent.
+  int64_t extent_version(const std::string& name) const;
+
+  /// Records that `name`'s extent was mutated (Executor calls this after
+  /// installing a delta).
+  void NoteExtentChanged(const std::string& name);
+
+  /// Monotone change-batch counter: bumped whenever the pending batch
+  /// gains, merges, or clears deltas.  Keys delta-scan cache entries.
+  int64_t batch_epoch() const { return batch_epoch_; }
 
  private:
   Vdag vdag_;
@@ -90,6 +105,8 @@ class Warehouse {
   std::unordered_map<std::string, std::unique_ptr<DeltaAccumulator>>
       accumulators_;
   std::unordered_map<std::string, int64_t> join_rows_;
+  std::unordered_map<std::string, int64_t> extent_versions_;
+  int64_t batch_epoch_ = 0;
   /// Schema-typed empty deltas handed out for base views with no pending
   /// changes.
   std::unordered_map<std::string, DeltaRelation> empty_deltas_;

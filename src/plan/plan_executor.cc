@@ -1,0 +1,102 @@
+#include "plan/plan_executor.h"
+
+#include "common/check.h"
+
+namespace wuw {
+
+PlanExecutor::PlanExecutor(const PlanDag& dag, SubplanCache* cache)
+    : dag_(dag), cache_(cache), memo_(dag.size()) {}
+
+void PlanExecutor::PrepareShared(const std::vector<PlanNodeId>& roots,
+                                 OperatorStats* stats) {
+  if (cache_ == nullptr) return;
+  // Mark nodes reachable from the surviving roots (terms skipped for empty
+  // deltas must not charge work for subplans nobody will read).
+  std::vector<char> reachable(dag_.size(), 0);
+  std::vector<PlanNodeId> frontier(roots);
+  while (!frontier.empty()) {
+    PlanNodeId id = frontier.back();
+    frontier.pop_back();
+    if (reachable[id]) continue;
+    reachable[id] = 1;
+    for (PlanNodeId c : dag_.node(id).children) frontier.push_back(c);
+  }
+  // Ids are a topological order, so ascending iteration materializes
+  // children before the shared parents that consume them.
+  for (size_t id = 0; id < dag_.size(); ++id) {
+    const PlanNode& n = dag_.node(id);
+    if (!reachable[id] || n.num_uses < 2 || !n.cacheable) continue;
+    Eval(static_cast<PlanNodeId>(id), stats, /*memoize_shared=*/true);
+  }
+}
+
+std::shared_ptr<const Rows> PlanExecutor::Execute(PlanNodeId root,
+                                                  OperatorStats* stats) {
+  return Eval(root, stats, /*memoize_shared=*/false);
+}
+
+std::shared_ptr<const Rows> PlanExecutor::Eval(PlanNodeId id,
+                                               OperatorStats* stats,
+                                               bool memoize_shared) {
+  if (memo_[id] != nullptr) return memo_[id];
+  const PlanNode& n = dag_.node(id);
+
+  bool try_cache = cache_ != nullptr && n.cacheable;
+  std::shared_ptr<const Rows> result;
+  if (try_cache) {
+    result = cache_->Lookup(n.fingerprint);
+    if (stats != nullptr) {
+      if (result != nullptr) {
+        stats->subplan_cache_hits += 1;
+      } else {
+        stats->subplan_cache_misses += 1;
+      }
+    }
+  }
+
+  if (result == nullptr) {
+    switch (n.kind) {
+      case PlanNodeKind::kScanTable:
+        result = std::make_shared<const Rows>(Rows::FromTable(*n.table));
+        break;
+      case PlanNodeKind::kScanDelta:
+        result = std::make_shared<const Rows>(n.delta->ToRows());
+        break;
+      case PlanNodeKind::kScanRows:
+        // Borrowed batch: alias the caller's storage, never own or cache it.
+        result = std::shared_ptr<const Rows>(n.rows, [](const Rows*) {});
+        break;
+      default: {
+        std::vector<std::shared_ptr<const Rows>> owned;
+        std::vector<const Rows*> inputs;
+        owned.reserve(n.children.size());
+        inputs.reserve(n.children.size());
+        for (PlanNodeId c : n.children) {
+          owned.push_back(Eval(c, stats, memoize_shared));
+          inputs.push_back(owned.back().get());
+        }
+        Rows out;
+        switch (n.kind) {
+          case PlanNodeKind::kFilter: out = n.filter.Run(inputs, stats); break;
+          case PlanNodeKind::kProject:
+            out = n.project.Run(inputs, stats);
+            break;
+          case PlanNodeKind::kHashJoin: out = n.join.Run(inputs, stats); break;
+          case PlanNodeKind::kAggregate:
+            out = n.aggregate.Run(inputs, stats);
+            break;
+          default: WUW_CHECK(false, "unreachable plan node kind");
+        }
+        result = std::make_shared<const Rows>(std::move(out));
+      }
+    }
+    if (try_cache) {
+      cache_->Insert(n.fingerprint, result, n.est_recompute_cost);
+    }
+  }
+
+  if (memoize_shared && n.num_uses >= 2 && n.cacheable) memo_[id] = result;
+  return result;
+}
+
+}  // namespace wuw

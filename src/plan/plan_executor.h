@@ -1,0 +1,59 @@
+// Executes a PlanDag with two layers of result reuse:
+//
+//  1. Intra-DAG memoization: nodes with more than one parent (the common
+//     join prefixes CSE discovered across a Comp's terms) are materialized
+//     once by PrepareShared and served from an id-indexed memo afterwards.
+//  2. Cross-DAG caching: cacheable nodes consult the SubplanCache by
+//     fingerprint, so later expressions of the same stage — or later
+//     strategy runs over clones of the same state — reuse results computed
+//     under a different DAG entirely.
+//
+// Both layers are attached iff a SubplanCache is supplied.  With a null
+// cache the executor degenerates to eager per-term re-evaluation with
+// operator-for-operator identical OperatorStats to the pre-plan pipeline,
+// which is what the paper-fidelity experiment tables run.
+//
+// Thread-safety: after PrepareShared returns, Execute only reads the memo,
+// so concurrent term workers may call Execute on disjoint roots with their
+// own OperatorStats (the SubplanCache locks internally).
+#ifndef WUW_PLAN_PLAN_EXECUTOR_H_
+#define WUW_PLAN_PLAN_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "algebra/operator_stats.h"
+#include "plan/plan_node.h"
+#include "plan/subplan_cache.h"
+
+namespace wuw {
+
+class PlanExecutor {
+ public:
+  /// `dag` must outlive the executor.  `cache` may be null (no sharing).
+  PlanExecutor(const PlanDag& dag, SubplanCache* cache);
+
+  /// Materializes every cacheable node with num_uses >= 2 that is reachable
+  /// from `roots`, in topological (id) order, charging the work to `stats`.
+  /// No-op when no cache is attached.  Call once, before any Execute.
+  void PrepareShared(const std::vector<PlanNodeId>& roots,
+                     OperatorStats* stats);
+
+  /// Evaluates `root` and returns its result.  Results are shared and
+  /// immutable; callers needing to mutate should copy (tuples are COW, so
+  /// copies are cheap).
+  std::shared_ptr<const Rows> Execute(PlanNodeId root, OperatorStats* stats);
+
+ private:
+  std::shared_ptr<const Rows> Eval(PlanNodeId id, OperatorStats* stats,
+                                   bool memoize_shared);
+
+  const PlanDag& dag_;
+  SubplanCache* cache_;
+  /// Per-node memo, filled only by PrepareShared (read-only afterwards).
+  std::vector<std::shared_ptr<const Rows>> memo_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_PLAN_PLAN_EXECUTOR_H_

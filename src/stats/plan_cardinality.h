@@ -1,0 +1,23 @@
+// Cardinality annotations for physical plans.
+//
+// Walks a PlanDag bottom-up and fills each node's est_output_rows and
+// est_recompute_cost from the leaves' exact operand sizes and the System-R
+// selectivity rules (stats/selectivity.h).  The SubplanCache uses the
+// recompute cost as its retention score: under byte pressure it prefers to
+// drop subplans that are cheap to rebuild (a filtered base scan) over ones
+// that embed long join chains.
+#ifndef WUW_STATS_PLAN_CARDINALITY_H_
+#define WUW_STATS_PLAN_CARDINALITY_H_
+
+#include "plan/plan_node.h"
+
+namespace wuw {
+
+/// Fills est_output_rows / est_recompute_cost for every node of `dag`.
+/// Leaves must already carry their input_rows (PlanDag interning sets
+/// them).  Idempotent; call after the DAG is fully built.
+void AnnotatePlanCardinality(PlanDag* dag);
+
+}  // namespace wuw
+
+#endif  // WUW_STATS_PLAN_CARDINALITY_H_

@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "common/check.h"
+#include "plan/plan_executor.h"
+#include "stats/plan_cardinality.h"
 #include "view/join_pipeline.h"
 
 namespace wuw {
@@ -13,6 +15,9 @@ CompEvalResult EvalComp(const ViewDefinition& def,
                         const Catalog& catalog, const DeltaProvider& deltas,
                         const CompEvalOptions& options, OperatorStats* stats) {
   WUW_CHECK(!over.empty(), "Comp requires a non-empty view set Y");
+  WUW_CHECK(options.subplan_cache == nullptr ||
+                options.extent_version != nullptr,
+            "a subplan cache needs extent versions for sound keys");
 
   // Map Y members to source positions.
   std::vector<size_t> over_idx;
@@ -58,40 +63,69 @@ CompEvalResult EvalComp(const ViewDefinition& def,
     masks.push_back(mask);
   }
 
+  // Lower every term into ONE plan DAG.  Leaves for the same operand and
+  // shared join prefixes intern to the same node, which is where the
+  // cross-term CSE happens; the DAG also records the analytic per-term
+  // operand work (Def 3.5's linear metric), which execution never changes.
+  PlanDag dag;
+  std::vector<PlanNodeId> roots(masks.size());
+  std::vector<int64_t> term_work(masks.size(), 0);
+  const int64_t epoch = options.batch_epoch;
+  auto version_of = [&](const std::string& name) {
+    return options.extent_version ? options.extent_version(name) : 0;
+  };
+  for (size_t slot = 0; slot < masks.size(); ++slot) {
+    uint64_t mask = masks[slot];
+    std::vector<bool> use_delta(n, false);
+    for (size_t k = 0; k < m; ++k) {
+      if (mask >> k & 1) use_delta[over_idx[k]] = true;
+    }
+    std::vector<PlanNodeId> inputs;
+    inputs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& src = def.sources()[i];
+      if (use_delta[i]) {
+        inputs.push_back(dag.InternDeltaScan(src, *delta_of[i], epoch));
+        term_work[slot] += delta_of[i]->AbsCardinality();
+      } else {
+        inputs.push_back(
+            dag.InternTableScan(src, *tables[i], version_of(src), epoch));
+        term_work[slot] += tables[i]->cardinality();
+      }
+    }
+    roots[slot] = BuildRawProjectionPlan(def, BuildJoinPlan(def, inputs, &dag),
+                                         &dag);
+  }
+
+  PlanExecutor exec(dag, options.subplan_cache);
+  OperatorStats prepare_stats;
+  if (options.subplan_cache != nullptr) {
+    // Annotate recompute costs so eviction keeps the expensive subplans,
+    // then materialize everything the terms share before fanning out.
+    AnnotatePlanCardinality(&dag);
+    exec.PrepareShared(roots, &prepare_stats);
+  }
+
   struct TermResult {
     Rows raw;
-    int64_t work = 0;
     OperatorStats stats;
   };
   std::vector<TermResult> term_results(masks.size());
 
   auto eval_term = [&](size_t slot) {
-    uint64_t mask = masks[slot];
-    TermResult& out = term_results[slot];
-    std::vector<bool> use_delta(n, false);
-    for (size_t k = 0; k < m; ++k) {
-      if (mask >> k & 1) use_delta[over_idx[k]] = true;
-    }
-    std::vector<Rows> inputs;
-    inputs.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      if (use_delta[i]) {
-        inputs.push_back(delta_of[i]->ToRows());
-        out.work += delta_of[i]->AbsCardinality();
-      } else {
-        inputs.push_back(Rows::FromTable(*tables[i]));
-        out.work += tables[i]->cardinality();
-      }
-    }
-    Rows joined = EvalJoinPipeline(def, std::move(inputs), &out.stats);
-    out.raw = ProjectToRaw(def, joined, &out.stats);
+    // Copy out of the shared handle: tuples are COW, so this only bumps
+    // refcounts, and the merge below may then move tuples freely.
+    term_results[slot].raw = *exec.Execute(roots[slot],
+                                           &term_results[slot].stats);
   };
 
   int workers = std::max(1, options.term_workers);
   if (workers == 1 || masks.size() <= 1) {
     for (size_t slot = 0; slot < masks.size(); ++slot) eval_term(slot);
   } else {
-    // Terms are independent joins over read-only inputs: fan out.
+    // Terms are independent: after PrepareShared the executor's memo is
+    // read-only and the cache locks internally, so workers only share
+    // immutable state.
     std::atomic<size_t> next{0};
     auto worker = [&]() {
       while (true) {
@@ -111,11 +145,13 @@ CompEvalResult EvalComp(const ViewDefinition& def,
   // Merge in mask order: deterministic results regardless of scheduling.
   CompEvalResult result;
   result.raw_delta = Rows(RawSchema(def, resolver));
-  for (TermResult& term : term_results) {
+  if (stats != nullptr) *stats += prepare_stats;
+  for (size_t slot = 0; slot < masks.size(); ++slot) {
+    TermResult& term = term_results[slot];
     for (auto& [tuple, count] : term.raw.rows) {
       result.raw_delta.Add(std::move(tuple), count);
     }
-    result.linear_operand_work += term.work;
+    result.linear_operand_work += term_work[slot];
     if (stats != nullptr) *stats += term.stats;
     ++result.num_terms;
   }

@@ -3,9 +3,16 @@
 // Comp(V, Y) has 2^|Y|-1 terms (Section 3.3): each term picks, for every
 // view in Y, its delta or its current extent — excluding the all-extent
 // combination — and additionally reads the current extent of every other
-// source of Def(V).  Terms are evaluated separately (the paper's
-// term-execution model); signed multiplicities make insertions and
-// deletions flow through one pipeline.
+// source of Def(V).  Signed multiplicities make insertions and deletions
+// flow through one pipeline.
+//
+// All terms of one Comp lower into a single physical-plan DAG
+// (plan/plan_node.h): fingerprint interning unifies the join prefixes the
+// terms share (sibling terms differ in few operands), and — when a
+// SubplanCache is attached — materialized intermediates are reused across
+// terms, across the expressions of a strategy stage, and across runs over
+// the same warehouse state.  With no cache attached every term re-evaluates
+// eagerly, reproducing the paper's measured term-execution model exactly.
 //
 // Over the life of a correct strategy, the union of raw deltas produced by
 // the Comp expressions for V telescopes to exactly the change of V, because
@@ -20,6 +27,7 @@
 #include "algebra/operator_stats.h"
 #include "algebra/rows.h"
 #include "delta/delta_relation.h"
+#include "plan/subplan_cache.h"
 #include "storage/catalog.h"
 #include "view/view_definition.h"
 
@@ -38,6 +46,8 @@ struct CompEvalResult {
   /// Measured linear-metric work: for each term, the sum of the sizes of
   /// its operands (|δVi| for delta operands, |Vi| for extent operands),
   /// totalled over terms.  This is the run-time counterpart of Def 3.5.
+  /// Analytic — derived from operand cardinalities at plan-build time, so
+  /// it is identical with the subplan cache on, off, or at any budget.
   int64_t linear_operand_work = 0;
   int64_t num_terms = 0;
 };
@@ -50,6 +60,16 @@ struct CompEvalOptions {
   /// on this many worker threads (they are independent joins over
   /// read-only inputs).  1 = sequential, the paper's execution model.
   int term_workers = 1;
+  /// Cross-term / cross-expression result memo.  Null (the default) keeps
+  /// the eager per-term execution the paper's tables measure.  When set,
+  /// `extent_version` must be set too — scan cache keys embed the per-view
+  /// extent version and the batch epoch so stale results can never be
+  /// served (see exec/warehouse.h).
+  SubplanCache* subplan_cache = nullptr;
+  /// Current change-batch epoch (Warehouse::batch_epoch).
+  int64_t batch_epoch = 0;
+  /// Per-view extent version (Warehouse::extent_version).
+  std::function<int64_t(const std::string&)> extent_version;
 };
 
 /// Evaluates Comp(V, over) where `def` = Def(V) and `over` ⊆ def.sources().

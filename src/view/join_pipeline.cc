@@ -1,10 +1,8 @@
 #include "view/join_pipeline.h"
 
-#include "algebra/filter.h"
-#include "algebra/hash_join.h"
-#include "algebra/project.h"
 #include "common/check.h"
 #include "expr/evaluator.h"
+#include "plan/plan_executor.h"
 
 namespace wuw {
 
@@ -12,13 +10,13 @@ namespace {
 
 /// Index of the single source whose schema contains all `columns`, or -1 if
 /// they span sources (or reference nothing).
-int SingleSourceOf(const std::vector<Rows>& inputs,
+int SingleSourceOf(const std::vector<const Schema*>& inputs,
                    const std::vector<std::string>& columns) {
   int found = -1;
   for (const std::string& col : columns) {
     int owner = -1;
     for (size_t s = 0; s < inputs.size(); ++s) {
-      if (inputs[s].schema.HasColumn(col)) {
+      if (inputs[s]->HasColumn(col)) {
         owner = static_cast<int>(s);
         break;
       }
@@ -32,12 +30,12 @@ int SingleSourceOf(const std::vector<Rows>& inputs,
 
 /// Largest source index that owns any of `columns` (the earliest join point
 /// at which a multi-source conjunct can run).
-int LastSourceOf(const std::vector<Rows>& inputs,
+int LastSourceOf(const std::vector<const Schema*>& inputs,
                  const std::vector<std::string>& columns) {
   int last = 0;
   for (const std::string& col : columns) {
     for (size_t s = 0; s < inputs.size(); ++s) {
-      if (inputs[s].schema.HasColumn(col)) {
+      if (inputs[s]->HasColumn(col)) {
         last = std::max(last, static_cast<int>(s));
         break;
       }
@@ -46,12 +44,30 @@ int LastSourceOf(const std::vector<Rows>& inputs,
   return last;
 }
 
+/// The raw-representation projection items: SPJ/group-key outputs plus one
+/// "__argN" column per SUM argument.
+std::vector<ProjectItem> RawProjectItems(const ViewDefinition& def) {
+  std::vector<ProjectItem> items = def.projections();
+  size_t arg_index = 0;
+  for (const AggSpec& spec : def.aggregates()) {
+    if (spec.fn == AggFn::kSum) {
+      items.push_back(
+          ProjectItem{spec.arg, "__arg" + std::to_string(arg_index)});
+    }
+    ++arg_index;
+  }
+  return items;
+}
+
 }  // namespace
 
-Rows EvalJoinPipeline(const ViewDefinition& def, std::vector<Rows> inputs,
-                      OperatorStats* stats) {
+PlanNodeId BuildJoinPlan(const ViewDefinition& def,
+                         const std::vector<PlanNodeId>& inputs, PlanDag* dag) {
   WUW_CHECK(inputs.size() == def.num_sources(),
             "pipeline needs one input per definition source");
+  std::vector<const Schema*> schemas;
+  schemas.reserve(inputs.size());
+  for (PlanNodeId id : inputs) schemas.push_back(&dag->node(id).schema);
 
   // Classify filter conjuncts: single-source ones run at the scan, the rest
   // at the first join step where all their columns exist.
@@ -59,18 +75,18 @@ Rows EvalJoinPipeline(const ViewDefinition& def, std::vector<Rows> inputs,
   std::vector<std::vector<ScalarExpr::Ptr>> step_filters(inputs.size());
   for (const ScalarExpr::Ptr& conjunct : def.filters()) {
     std::vector<std::string> cols = conjunct->ReferencedColumns();
-    int single = SingleSourceOf(inputs, cols);
+    int single = SingleSourceOf(schemas, cols);
     if (single >= 0) {
       source_filters[single].push_back(conjunct);
     } else {
-      step_filters[LastSourceOf(inputs, cols)].push_back(conjunct);
+      step_filters[LastSourceOf(schemas, cols)].push_back(conjunct);
     }
   }
 
   // Locate each join condition's owning sources.
   auto owner_of = [&](const std::string& col) {
-    for (size_t s = 0; s < inputs.size(); ++s) {
-      if (inputs[s].schema.HasColumn(col)) return static_cast<int>(s);
+    for (size_t s = 0; s < schemas.size(); ++s) {
+      if (schemas[s]->HasColumn(col)) return static_cast<int>(s);
     }
     WUW_CHECK(false, ("join references unknown column: " + col).c_str());
     return -1;
@@ -91,13 +107,14 @@ Rows EvalJoinPipeline(const ViewDefinition& def, std::vector<Rows> inputs,
   }
 
   auto scan = [&](size_t i) {
-    if (source_filters[i].empty()) return std::move(inputs[i]);
-    return Filter(inputs[i], ScalarExpr::AndAll(source_filters[i]), stats);
+    if (source_filters[i].empty()) return inputs[i];
+    return dag->InternFilter(inputs[i],
+                             ScalarExpr::AndAll(source_filters[i]));
   };
 
-  Rows acc = scan(0);
+  PlanNodeId acc = scan(0);
   for (size_t i = 1; i < inputs.size(); ++i) {
-    Rows right = scan(i);
+    PlanNodeId right = scan(i);
     // Keys: every unused edge with exactly one side in source i and the
     // other in the accumulated prefix.
     JoinKeys keys;
@@ -114,9 +131,9 @@ Rows EvalJoinPipeline(const ViewDefinition& def, std::vector<Rows> inputs,
         e.used = true;
       }
     }
-    acc = HashJoin(acc, right, keys, stats);
+    acc = dag->InternHashJoin(acc, right, std::move(keys));
     if (!step_filters[i].empty()) {
-      acc = Filter(acc, ScalarExpr::AndAll(step_filters[i]), stats);
+      acc = dag->InternFilter(acc, ScalarExpr::AndAll(step_filters[i]));
     }
   }
   for (const Edge& e : edges) {
@@ -126,18 +143,26 @@ Rows EvalJoinPipeline(const ViewDefinition& def, std::vector<Rows> inputs,
   return acc;
 }
 
+PlanNodeId BuildRawProjectionPlan(const ViewDefinition& def, PlanNodeId joined,
+                                  PlanDag* dag) {
+  return dag->InternProject(joined, RawProjectItems(def));
+}
+
+Rows EvalJoinPipeline(const ViewDefinition& def, std::vector<Rows> inputs,
+                      OperatorStats* stats) {
+  PlanDag dag;
+  std::vector<PlanNodeId> leaves;
+  leaves.reserve(inputs.size());
+  for (const Rows& r : inputs) leaves.push_back(dag.InternRowsScan(r));
+  PlanNodeId root = BuildJoinPlan(def, leaves, &dag);
+  PlanExecutor exec(dag, /*cache=*/nullptr);
+  std::shared_ptr<const Rows> out = exec.Execute(root, stats);
+  return *out;  // COW tuples: copying a batch only bumps refcounts
+}
+
 Rows ProjectToRaw(const ViewDefinition& def, const Rows& joined,
                   OperatorStats* stats) {
-  std::vector<ProjectItem> items = def.projections();
-  size_t arg_index = 0;
-  for (const AggSpec& spec : def.aggregates()) {
-    if (spec.fn == AggFn::kSum) {
-      items.push_back(
-          ProjectItem{spec.arg, "__arg" + std::to_string(arg_index)});
-    }
-    ++arg_index;
-  }
-  return Project(joined, items, stats);
+  return Project(joined, RawProjectItems(def), stats);
 }
 
 Schema RawSchema(const ViewDefinition& def,
@@ -147,18 +172,9 @@ Schema RawSchema(const ViewDefinition& def,
     combined = Schema::Concat(combined, resolver(src));
   }
   std::vector<Column> cols;
-  for (const ProjectItem& item : def.projections()) {
+  for (const ProjectItem& item : RawProjectItems(def)) {
     cols.push_back(
         Column{item.name, BoundExpr::Bind(item.expr, combined).result_type()});
-  }
-  size_t arg_index = 0;
-  for (const AggSpec& spec : def.aggregates()) {
-    if (spec.fn == AggFn::kSum) {
-      cols.push_back(
-          Column{"__arg" + std::to_string(arg_index),
-                 BoundExpr::Bind(spec.arg, combined).result_type()});
-    }
-    ++arg_index;
   }
   return Schema(std::move(cols));
 }

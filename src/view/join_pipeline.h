@@ -8,6 +8,13 @@
 // (Section 5.5): sources join in definition order, single-source filter
 // conjuncts are applied at the scans, and multi-source conjuncts as soon as
 // their columns are available.
+//
+// The pipeline is *lowered*, not interpreted: BuildJoinPlan emits the
+// operator tree into a PlanDag (plan/plan_node.h), where fingerprint
+// interning unifies the join prefixes shared by a Comp's many terms.
+// EvalJoinPipeline is the one-shot wrapper that lowers and immediately
+// executes with no cache attached, preserving the historical eager
+// semantics operator for operator.
 #ifndef WUW_VIEW_JOIN_PIPELINE_H_
 #define WUW_VIEW_JOIN_PIPELINE_H_
 
@@ -15,9 +22,21 @@
 
 #include "algebra/operator_stats.h"
 #include "algebra/rows.h"
+#include "plan/plan_node.h"
 #include "view/view_definition.h"
 
 namespace wuw {
+
+/// Lowers def's join graph and filters over `inputs` — one subplan id per
+/// definition source, in definition order — into `dag`, returning the root
+/// of the joined pipeline (rows over the concatenated source schema).
+PlanNodeId BuildJoinPlan(const ViewDefinition& def,
+                         const std::vector<PlanNodeId>& inputs, PlanDag* dag);
+
+/// Lowers the raw-representation projection (see ProjectToRaw) over the
+/// joined pipeline `joined`.
+PlanNodeId BuildRawProjectionPlan(const ViewDefinition& def, PlanNodeId joined,
+                                  PlanDag* dag);
 
 /// Joins `inputs` (one Rows per definition source, in definition order)
 /// according to def's join graph and filters.  Returns rows over the

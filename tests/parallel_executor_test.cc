@@ -6,6 +6,7 @@
 #include "exec/parallel_executor.h"
 #include "parallel/flatten.h"
 #include "parallel/parallel_strategy.h"
+#include "plan/subplan_cache.h"
 #include "test_util.h"
 #include "tpcd/change_generator.h"
 #include "tpcd/tpcd_views.h"
@@ -85,6 +86,43 @@ TEST(ParallelExecutorTest, MatchesSequentialExecutorWorkExactly) {
 
   EXPECT_TRUE(seq_w.catalog().ContentsEqual(par_w.catalog()));
   EXPECT_EQ(seq_report.total_linear_work, par_report.total_linear_work);
+  // Per-expression counters merge at the stage barrier, so the parallel
+  // totals match the sequential run increment for increment.
+  EXPECT_EQ(seq_report.totals, par_report.totals);
+}
+
+// A stage's workers share one SubplanCache (it locks internally); the
+// result must still be the ground truth, and work accounting must not
+// depend on which worker won a cache race.
+TEST(ParallelExecutorTest, SharedSubplanCacheStaysCorrectUnderThreads) {
+  for (int round = 0; round < 10; ++round) {
+    Warehouse w = MakeLoadedWarehouse(testutil::MakeFig10Vdag(), 50,
+                                      300 + round);
+    ApplyTripleChanges(&w, 0.2, 6, 400 + round);
+    Catalog truth = GroundTruthAfterChanges(w);
+
+    Warehouse plain_w = w.Clone();
+    ParallelStrategy stages = ParallelizeStrategy(
+        w.vdag(), MakeDualStageVdagStrategy(w.vdag()));
+
+    SubplanCache cache;
+    ParallelExecutorOptions options;
+    options.workers = 8;
+    options.term_workers = 2;
+    options.subplan_cache = &cache;
+    ParallelExecutor executor(&w, options);
+    ParallelExecutionReport report = executor.Execute(stages);
+
+    ParallelExecutorOptions plain_options;
+    plain_options.workers = 8;
+    plain_options.term_workers = 2;
+    ParallelExecutor plain(&plain_w, plain_options);
+    ParallelExecutionReport plain_report = plain.Execute(stages);
+
+    ASSERT_TRUE(w.catalog().ContentsEqual(truth)) << "round " << round;
+    ASSERT_EQ(report.total_linear_work, plain_report.total_linear_work)
+        << "round " << round;
+  }
 }
 
 // Concurrency soak: many repetitions catch races in accumulator

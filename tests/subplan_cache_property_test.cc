@@ -1,0 +1,216 @@
+// Property tests for shared-subplan memoization (satellite of the plan
+// layer): executing any correct strategy with a SubplanCache attached — at
+// any byte budget, including the degenerate zero budget — must reach the
+// recompute ground truth bit-identically and report the same linear work
+// as the cache-off run (the metric is analytic, computed at plan-build
+// time, so sharing bytes never changes the accounting).
+#include <gtest/gtest.h>
+
+#include "core/min_work.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "plan/subplan_cache.h"
+#include "test_util.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+using testutil::AggTripleView;
+using testutil::SpjTripleView;
+using testutil::TripleSchema;
+
+/// Same generator as random_vdag_test.cc: random shapes, SPJ/aggregate
+/// mixes, derived-over-derived, at most one aggregate source per view.
+Vdag RandomVdag(tpcd::Rng* rng, size_t num_bases, size_t num_derived) {
+  Vdag vdag;
+  std::vector<std::string> pool;
+  std::vector<bool> is_aggregate_view;
+  for (size_t i = 0; i < num_bases; ++i) {
+    std::string name = "B" + std::to_string(i);
+    vdag.AddBaseView(name, TripleSchema(name));
+    pool.push_back(name);
+    is_aggregate_view.push_back(false);
+  }
+  for (size_t i = 0; i < num_derived; ++i) {
+    std::string name = "D" + std::to_string(i);
+    size_t fanin = 1 + rng->Below(std::min<size_t>(3, pool.size()));
+    std::vector<std::string> sources;
+    bool has_aggregate_source = false;
+    while (sources.size() < fanin) {
+      size_t pick = rng->Below(pool.size());
+      if (std::find(sources.begin(), sources.end(), pool[pick]) !=
+          sources.end()) {
+        continue;
+      }
+      if (is_aggregate_view[pick]) {
+        if (has_aggregate_source) continue;
+        has_aggregate_source = true;
+      }
+      sources.push_back(pool[pick]);
+    }
+    bool aggregate = rng->Below(3) == 0;
+    vdag.AddDerivedView(aggregate
+                            ? AggTripleView(name, sources)
+                            : SpjTripleView(name, sources,
+                                            /*with_filter=*/rng->Below(2)));
+    pool.push_back(name);
+    is_aggregate_view.push_back(aggregate);
+  }
+  return vdag;
+}
+
+struct Scenario {
+  uint64_t seed;
+  size_t bases;
+  size_t derived;
+  double delete_fraction;
+  int64_t insert_rows;
+};
+
+ExecutionReport RunOnClone(const Warehouse& w, const Strategy& s,
+                           SubplanCache* cache, Catalog* final_state) {
+  Warehouse clone = w.Clone();
+  ExecutorOptions options;
+  options.subplan_cache = cache;
+  Executor executor(&clone, options);
+  ExecutionReport report = executor.Execute(s);
+  *final_state = std::move(clone.catalog());
+  return report;
+}
+
+class SubplanCachePropertyTest : public ::testing::TestWithParam<Scenario> {};
+
+// The core invariant sweep: cache off / budget 0 / tight budget (eviction
+// churn) / unbounded all land on the ground truth with identical linear
+// work.
+TEST_P(SubplanCachePropertyTest, EveryBudgetConvergesWithIdenticalWork) {
+  const Scenario& sc = GetParam();
+  tpcd::Rng rng(sc.seed);
+  Vdag vdag = RandomVdag(&rng, sc.bases, sc.derived);
+
+  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 40, sc.seed * 31 + 1);
+  testutil::ApplyTripleChanges(&w, sc.delete_fraction, sc.insert_rows,
+                               sc.seed * 17 + 3);
+  Catalog truth = testutil::GroundTruthAfterChanges(w);
+
+  for (const Strategy& s : {MinWork(vdag, w.EstimatedSizes()).strategy,
+                            MakeDualStageVdagStrategy(vdag)}) {
+    Catalog baseline_state;
+    ExecutionReport baseline = RunOnClone(w, s, nullptr, &baseline_state);
+    ASSERT_TRUE(baseline_state.ContentsEqual(truth)) << s.ToString();
+
+    const int64_t budgets[] = {0, 16 << 10, -1};
+    for (int64_t budget : budgets) {
+      SubplanCache cache(SubplanCacheOptions{budget});
+      Catalog state;
+      ExecutionReport report = RunOnClone(w, s, &cache, &state);
+      ASSERT_TRUE(state.ContentsEqual(truth))
+          << "budget " << budget << ": " << s.ToString();
+      EXPECT_EQ(report.total_linear_work, baseline.total_linear_work)
+          << "budget " << budget << ": " << s.ToString();
+      if (budget == 0) {
+        // Zero budget admits nothing, so every lookup misses.
+        EXPECT_EQ(report.subplan_cache.hits, 0);
+        EXPECT_EQ(report.subplan_cache.bytes_in_use, 0);
+      }
+    }
+  }
+}
+
+// One cache shared across two clones executing the same strategy from the
+// same state: the second run replays the first's intermediate states
+// exactly, so its subplans are all servable from cache — fewer rows
+// scanned, same final bytes.
+TEST_P(SubplanCachePropertyTest, CrossCloneSharingCutsScansNotResults) {
+  const Scenario& sc = GetParam();
+  tpcd::Rng rng(sc.seed);
+  Vdag vdag = RandomVdag(&rng, sc.bases, sc.derived);
+
+  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 40, sc.seed * 31 + 1);
+  testutil::ApplyTripleChanges(&w, sc.delete_fraction, sc.insert_rows,
+                               sc.seed * 17 + 3);
+  Catalog truth = testutil::GroundTruthAfterChanges(w);
+  Strategy s = MinWork(vdag, w.EstimatedSizes()).strategy;
+
+  SubplanCache cache;  // default 256MB budget, shared by both runs
+  Catalog first_state, second_state;
+  ExecutionReport first = RunOnClone(w, s, &cache, &first_state);
+  ExecutionReport second = RunOnClone(w, s, &cache, &second_state);
+
+  ASSERT_TRUE(first_state.ContentsEqual(truth));
+  ASSERT_TRUE(second_state.ContentsEqual(truth));
+  EXPECT_EQ(first.total_linear_work, second.total_linear_work);
+  if (first.totals.subplan_cache_misses > 0) {
+    EXPECT_GT(second.totals.subplan_cache_hits, 0);
+    EXPECT_LT(second.totals.rows_scanned, first.totals.rows_scanned);
+  }
+}
+
+std::string ScenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  const Scenario& s = info.param;
+  return "seed" + std::to_string(s.seed) + "_b" + std::to_string(s.bases) +
+         "d" + std::to_string(s.derived) + "_del" +
+         std::to_string(static_cast<int>(s.delete_fraction * 100)) + "_ins" +
+         std::to_string(s.insert_rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SubplanCachePropertyTest,
+    ::testing::Values(Scenario{21, 2, 1, 0.2, 5}, Scenario{22, 3, 2, 0.1, 10},
+                      Scenario{23, 3, 3, 0.3, 0}, Scenario{24, 4, 2, 0.0, 20},
+                      Scenario{25, 2, 3, 0.5, 8}, Scenario{26, 4, 4, 0.15, 15},
+                      Scenario{27, 5, 3, 0.1, 12}, Scenario{28, 3, 4, 0.25, 6}),
+    ScenarioName);
+
+// Multi-batch coherence: a persistent cache across a coherent
+// SourceChangeStream (every batch drawn from the true source state) must
+// never leak a stale subplan into a later batch — the batch epoch is part
+// of every scan fingerprint.
+TEST(SubplanCacheStreamTest, PersistentCacheAcrossCoherentBatches) {
+  tpcd::GeneratorOptions gen_options;
+  gen_options.scale_factor = 0.002;
+  gen_options.seed = 55;
+  Warehouse cached = tpcd::MakeTpcdWarehouse(gen_options, {"Q3", "Q10"});
+  const Vdag& vdag = cached.vdag();
+  Warehouse plain = cached.Clone();
+
+  tpcd::SourceChangeStream stream(cached, gen_options);
+  SubplanCache cache;  // lives across all batches
+
+  for (int batch = 0; batch < 6; ++batch) {
+    auto deltas = stream.NextBatch(/*delete_fraction=*/0.1,
+                                   /*insert_fraction=*/0.05);
+    for (auto& [name, delta] : deltas) {
+      cached.SetBaseDelta(name, delta);
+      plain.SetBaseDelta(name, std::move(delta));
+    }
+    Catalog truth = testutil::GroundTruthAfterChanges(plain);
+
+    Strategy s = (batch % 2 == 0) ? MakeDualStageVdagStrategy(vdag)
+                                  : MinWork(vdag, plain.EstimatedSizes())
+                                        .strategy;
+    ExecutorOptions cached_options;
+    cached_options.subplan_cache = &cache;
+    Executor cached_exec(&cached, cached_options);
+    ExecutionReport cached_report = cached_exec.Execute(s);
+    Executor plain_exec(&plain);
+    ExecutionReport plain_report = plain_exec.Execute(s);
+
+    ASSERT_TRUE(cached.catalog().ContentsEqual(plain.catalog()))
+        << "batch " << batch;
+    ASSERT_TRUE(cached.catalog().ContentsEqual(truth)) << "batch " << batch;
+    EXPECT_EQ(cached_report.total_linear_work, plain_report.total_linear_work)
+        << "batch " << batch;
+    // The maintained base tables must also track the stream's source
+    // mirror (coherence of the stream itself).
+    for (const std::string& base : vdag.BaseViews()) {
+      ASSERT_TRUE(cached.catalog().MustGetTable(base)->ContentsEqual(
+          *stream.source().MustGetTable(base)))
+          << "batch " << batch << " base " << base;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wuw
