@@ -11,6 +11,8 @@
 //   WUW_CACHE_MB  subplan-cache budget in MB; unset = no cache (the
 //                 paper-fidelity eager path), 0 = attached but admits
 //                 nothing, negative = unbounded
+//   WUW_FAULT     fault-injection spec (fault/fault_injection.h grammar);
+//                 unset = all points disarmed at zero cost
 #ifndef WUW_BENCH_BENCH_UTIL_H_
 #define WUW_BENCH_BENCH_UTIL_H_
 
@@ -22,6 +24,7 @@
 #include "core/strategy.h"
 #include "exec/executor.h"
 #include "exec/warehouse.h"
+#include "fault/fault_injection.h"
 #include "plan/subplan_cache.h"
 
 namespace wuw {
@@ -45,6 +48,13 @@ inline BenchEnv FromEnv(double default_scale_factor = 0.01) {
   if (const char* mb = std::getenv("WUW_CACHE_MB")) {
     env.cache_set = true;
     env.cache_mb = strtoll(mb, nullptr, 10);
+  }
+  // Any experiment can run under injected faults without recompiling
+  // (no-op when WUW_FAULT is unset).
+  std::string fault_error = fault::ArmFromEnv();
+  if (!fault_error.empty()) {
+    std::fprintf(stderr, "%s\n", fault_error.c_str());
+    std::exit(2);
   }
   return env;
 }

@@ -1,0 +1,111 @@
+// Micro-benchmarks for the fault-injection framework and the strategy
+// journal: the acceptance criterion is that a DISARMED fault point and an
+// unjournaled executor run cost what they did before the framework
+// existed (one relaxed load per point; zero journal work).  Armed
+// count-only and journaled runs are measured alongside so the price of
+// turning the knobs on is visible, and replay-based resume is compared
+// against live execution.
+#include <benchmark/benchmark.h>
+
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "exec/recovery.h"
+#include "fault/fault_injection.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_schema.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+tpcd::GeneratorOptions Options() {
+  tpcd::GeneratorOptions o;
+  o.scale_factor = 0.002;
+  o.seed = 42;
+  return o;
+}
+
+/// A Q3 warehouse with a pending mixed batch, cloned per measured run.
+const Warehouse& BatchedWarehouse() {
+  static Warehouse* w = [] {
+    auto* wh = new Warehouse(tpcd::MakeTpcdWarehouse(Options(), {"Q3"}));
+    for (const std::string& base : wh->vdag().BaseViews()) {
+      wh->SetBaseDelta(base,
+                       tpcd::MakeDeletionDelta(
+                           *wh->catalog().MustGetTable(base), 0.05, 7));
+    }
+    return wh;
+  }();
+  return *w;
+}
+
+// The disarmed fast path: one relaxed atomic load per point.  This is the
+// cost every executor step, plan-node eval, and installed row pays when no
+// fault plan is armed — it must stay indistinguishable from a no-op.
+void BM_FaultPointDisarmed(benchmark::State& state) {
+  fault::Disarm();
+  for (auto _ : state) {
+    WUW_FAULT_POINT("bench.micro.point");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultPointDisarmed);
+
+// Armed count-only: mutex + hash lookup per hit.  The enumeration pass of
+// the kill-at-every-step suites runs at this speed.
+void BM_FaultPointArmedCountOnly(benchmark::State& state) {
+  fault::FaultPlan plan;
+  plan.count_only = true;
+  fault::ScopedFaultPlan scoped(plan);
+  for (auto _ : state) {
+    WUW_FAULT_POINT("bench.micro.point");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultPointArmedCountOnly);
+
+void RunStrategy(bool journal) {
+  Warehouse clone = BatchedWarehouse().Clone();
+  ExecutorOptions options;
+  options.journal = journal;
+  Executor executor(&clone, options);
+  executor.Execute(MakeDualStageVdagStrategy(clone.vdag()));
+}
+
+// Full dual-stage update window, journal off — the default executor path
+// every bench and experiment uses.
+void BM_ExecuteJournalOff(benchmark::State& state) {
+  for (auto _ : state) RunStrategy(false);
+}
+BENCHMARK(BM_ExecuteJournalOff)->Unit(benchmark::kMillisecond);
+
+// Same window with journaling on: the overhead is one COW Rows copy per
+// Comp and one DeltaRelation copy per Inst.
+void BM_ExecuteJournalOn(benchmark::State& state) {
+  for (auto _ : state) RunStrategy(true);
+}
+BENCHMARK(BM_ExecuteJournalOn)->Unit(benchmark::kMillisecond);
+
+// Pure-replay resume of a completed journal: reconstructs the final state
+// from logged effects with no join work — the floor recovery pays after a
+// crash at the last step.
+void BM_ResumeReplayOnly(benchmark::State& state) {
+  static Warehouse* victim = [] {
+    auto* w = new Warehouse(BatchedWarehouse().Clone());
+    ExecutorOptions options;
+    options.journal = true;
+    Executor executor(w, options);
+    executor.Execute(MakeDualStageVdagStrategy(w->vdag()));
+    return w;
+  }();
+  for (auto _ : state) {
+    Warehouse restored = BatchedWarehouse().Clone();
+    ResumeStrategy(victim->journal(), &restored);
+  }
+}
+BENCHMARK(BM_ResumeReplayOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wuw
+
+BENCHMARK_MAIN();

@@ -1,12 +1,16 @@
 #include "delta/install.h"
 
 #include "common/check.h"
+#include "fault/fault_injection.h"
 
 namespace wuw {
 
 void Install(const DeltaRelation& delta, Table* table, OperatorStats* stats) {
   WUW_CHECK(table != nullptr, "Install requires a table");
   delta.ForEach([&](const Tuple& tuple, int64_t count) {
+    // Per-row point: a kill here tears the extent mid-write — only
+    // snapshot-restore recovery can undo the partially applied delta.
+    WUW_FAULT_POINT("install.row");
     table->Add(tuple, count);
     if (stats != nullptr) stats->rows_scanned += std::llabs(count);
   });

@@ -7,6 +7,7 @@
 #include "core/correctness.h"
 #include "core/simplify.h"
 #include "delta/install.h"
+#include "fault/fault_injection.h"
 #include "view/comp_term.h"
 
 namespace wuw {
@@ -48,7 +49,8 @@ Executor::Executor(Warehouse* warehouse, ExecutorOptions options)
 
 ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
                                    const CompEvalOptions& comp_options,
-                                   std::pair<int64_t, int64_t>* delta_stats) {
+                                   std::pair<int64_t, int64_t>* delta_stats,
+                                   StrategyJournal* journal, int64_t step) {
   const Vdag& vdag = warehouse->vdag();
   ExpressionReport er;
   er.expression = e;
@@ -68,8 +70,23 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
     CompEvalResult result =
         EvalComp(*vdag.definition(e.view), e.over, warehouse->catalog(),
                  provider, comp_options, &er.stats);
+    // A kill here loses the computed delta before δV absorbed any of it.
+    WUW_FAULT_POINT("executor.comp.accumulate");
+    JournalEntry entry;
+    if (journal != nullptr) {
+      entry.step = step;
+      entry.expression = e;
+      entry.comp_raw = result.raw_delta;  // COW tuples: cheap copy
+    }
     warehouse->accumulator(e.view)->Accumulate(std::move(result.raw_delta));
     er.linear_work = result.linear_operand_work;
+    if (journal != nullptr) {
+      // A kill here leaves δV mutated but the step unrecorded; recovery
+      // restores from the pre-window state, so the orphan effect is lost
+      // with the rest of the torn run.
+      WUW_FAULT_POINT("executor.journal.record");
+      journal->Record(std::move(entry));
+    }
   } else {
     Table* table = warehouse->catalog().MustGetTable(e.view);
     const DeltaRelation* delta;
@@ -81,13 +98,43 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
     if (delta_stats != nullptr) {
       *delta_stats = {delta->AbsCardinality(), delta->NetCardinality()};
     }
+    WUW_FAULT_POINT("executor.inst.install");
     Install(*delta, table, &er.stats);
     warehouse->NoteExtentChanged(e.view);
     er.linear_work = delta->AbsCardinality();
+    if (journal != nullptr) {
+      WUW_FAULT_POINT("executor.journal.record");
+      JournalEntry entry;
+      entry.step = step;
+      entry.expression = e;
+      entry.installed = *delta;
+      entry.extent_version_after = warehouse->extent_version(e.view);
+      journal->Record(std::move(entry));
+    }
   }
 
   er.seconds = Now() - start;
   return er;
+}
+
+CompEvalOptions MakeCompEvalOptions(Warehouse* warehouse,
+                                    SubplanCache* subplan_cache,
+                                    bool skip_empty_delta_terms,
+                                    int term_workers) {
+  CompEvalOptions comp_options;
+  comp_options.skip_empty_delta_terms = skip_empty_delta_terms;
+  comp_options.term_workers = term_workers;
+  comp_options.subplan_cache = subplan_cache;
+  if (subplan_cache != nullptr) {
+    // The epoch is fixed for the whole run (deltas were set before Execute
+    // and clear only at ResetBatch); extent versions advance as installs
+    // land, re-keying later scans of the rewritten extents.
+    comp_options.batch_epoch = warehouse->batch_epoch();
+    comp_options.extent_version = [warehouse](const std::string& name) {
+      return warehouse->extent_version(name);
+    };
+  }
+  return comp_options;
 }
 
 ExecutionReport Executor::Execute(const Strategy& strategy) {
@@ -112,24 +159,26 @@ ExecutionReport Executor::Execute(const Strategy& strategy) {
   }
 
   ExecutionReport report;
-  CompEvalOptions comp_options;
-  comp_options.skip_empty_delta_terms = options_.skip_empty_delta_terms;
-  comp_options.subplan_cache = options_.subplan_cache;
-  if (options_.subplan_cache != nullptr) {
-    // The epoch is fixed for the whole run (deltas were set before Execute
-    // and clear only at ResetBatch); extent versions advance as installs
-    // land, re-keying later scans of the rewritten extents.
-    comp_options.batch_epoch = warehouse_->batch_epoch();
-    comp_options.extent_version = [wh = warehouse_](const std::string& name) {
-      return wh->extent_version(name);
-    };
+  CompEvalOptions comp_options = MakeCompEvalOptions(
+      warehouse_, options_.subplan_cache, options_.skip_empty_delta_terms);
+
+  StrategyJournal* journal = nullptr;
+  if (options_.journal) {
+    journal = &warehouse_->journal();
+    // Journal the simplified strategy: that is the exact expression
+    // sequence a resume must finish.
+    journal->Begin(*to_run, warehouse_->batch_epoch());
   }
 
+  int64_t step = 0;
   for (const Expression& e : to_run->expressions()) {
+    WUW_FAULT_POINT("executor.step.begin");
     std::pair<int64_t, int64_t> delta_stats{0, 0};
     ExpressionReport er = ExecuteExpression(
         warehouse_, e, comp_options,
-        options_.capture_delta_stats && e.is_inst() ? &delta_stats : nullptr);
+        options_.capture_delta_stats && e.is_inst() ? &delta_stats : nullptr,
+        journal, step);
+    ++step;
     if (options_.capture_delta_stats && e.is_inst()) {
       report.delta_stats[e.view] = delta_stats;
     }
@@ -139,6 +188,7 @@ ExecutionReport Executor::Execute(const Strategy& strategy) {
     report.per_expression.push_back(std::move(er));
   }
 
+  if (journal != nullptr) journal->MarkComplete();
   if (options_.subplan_cache != nullptr) {
     report.subplan_cache = options_.subplan_cache->stats();
   }

@@ -40,6 +40,10 @@ struct ExecutorOptions {
   /// outlive a run and be shared across clones executing C1-C8-correct
   /// strategies over the same state (see plan/subplan_cache.h).
   SubplanCache* subplan_cache = nullptr;
+  /// Record each completed step's durable effect into the warehouse's
+  /// StrategyJournal, making an interrupted run resumable via
+  /// ResumeStrategy (exec/recovery.h).
+  bool journal = false;
 };
 
 /// Measurements for one executed expression.
@@ -70,12 +74,24 @@ struct ExecutionReport {
 };
 
 /// Executes one expression against the warehouse: the common kernel of
-/// the sequential Executor and the stage-parallel ParallelExecutor.  For
-/// Inst expressions, `delta_stats` (optional) receives the installed
-/// delta's (|δV|, net).
+/// the sequential Executor, the stage-parallel ParallelExecutor, and the
+/// recovery path.  For Inst expressions, `delta_stats` (optional) receives
+/// the installed delta's (|δV|, net).  When `journal` is non-null the
+/// step's durable effect is recorded under index `step` after it completes
+/// (see exec/journal.h).
 ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
                                    const struct CompEvalOptions& comp_options,
-                                   std::pair<int64_t, int64_t>* delta_stats);
+                                   std::pair<int64_t, int64_t>* delta_stats,
+                                   StrategyJournal* journal = nullptr,
+                                   int64_t step = 0);
+
+/// The CompEvalOptions an executor derives from its options + warehouse:
+/// shared by Executor, ParallelExecutor, and ResumeStrategy so all three
+/// key subplan-cache entries identically (batch epoch + extent versions).
+struct CompEvalOptions MakeCompEvalOptions(Warehouse* warehouse,
+                                           SubplanCache* subplan_cache,
+                                           bool skip_empty_delta_terms,
+                                           int term_workers = 1);
 
 /// Executes strategies against one warehouse.
 class Executor {

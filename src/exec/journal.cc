@@ -1,0 +1,84 @@
+#include "exec/journal.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wuw {
+
+void StrategyJournal::Begin(const Strategy& strategy, int64_t batch_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  strategy_ = strategy;
+  batch_epoch_ = batch_epoch;
+  entries_.clear();
+  begun_ = true;
+  complete_ = false;
+}
+
+void StrategyJournal::Record(JournalEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WUW_CHECK(begun_, "journal Record before Begin");
+  WUW_CHECK(!complete_, "journal Record after MarkComplete");
+  entries_.push_back(std::move(entry));
+}
+
+void StrategyJournal::MarkComplete() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WUW_CHECK(begun_, "journal MarkComplete before Begin");
+  complete_ = true;
+}
+
+bool StrategyJournal::begun() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return begun_;
+}
+
+bool StrategyJournal::complete() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return complete_;
+}
+
+const Strategy& StrategyJournal::strategy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WUW_CHECK(begun_, "journal strategy() before Begin");
+  return strategy_;
+}
+
+int64_t StrategyJournal::batch_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_epoch_;
+}
+
+int64_t StrategyJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+bool StrategyJournal::IsStepComplete(int64_t step) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const JournalEntry& e : entries_) {
+    if (e.step == step) return true;
+  }
+  return false;
+}
+
+std::vector<JournalEntry> StrategyJournal::EntriesInStepOrder() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JournalEntry> out = entries_;
+  std::sort(out.begin(), out.end(),
+            [](const JournalEntry& a, const JournalEntry& b) {
+              return a.step < b.step;
+            });
+  return out;
+}
+
+void StrategyJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  begun_ = false;
+  complete_ = false;
+  strategy_ = Strategy();
+  batch_epoch_ = 0;
+  entries_.clear();
+}
+
+}  // namespace wuw

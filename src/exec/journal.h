@@ -1,0 +1,92 @@
+// Strategy-execution journaling: the redo log behind interrupted-window
+// recovery.
+//
+// A journaled executor records, after each *completed* Comp/Inst step, the
+// step's durable effect: the raw delta rows a Comp accumulated, or the
+// finalized delta an Inst applied to its extent.  Because a correct
+// strategy is deterministic given the pre-window state, the journal plus
+// that state (a Warehouse::Clone or an io/snapshot directory) is enough to
+// reconstruct the exact mid-window state without re-running any join work
+// — ResumeStrategy (exec/recovery.h) replays the logged effects and then
+// executes only the steps the interrupted run never completed.
+//
+// A step is "completed" iff its entry is in the journal.  A fault anywhere
+// inside a step — mid-join, mid-install, between install and the version
+// bump — leaves the step unrecorded, and recovery's snapshot restore
+// discards whatever partial state the torn step left behind.
+#ifndef WUW_EXEC_JOURNAL_H_
+#define WUW_EXEC_JOURNAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "algebra/rows.h"
+#include "core/strategy.h"
+#include "delta/delta_relation.h"
+
+namespace wuw {
+
+/// The durable effect of one completed strategy step.
+struct JournalEntry {
+  /// Index of the step in the journaled strategy (a parallel run journals
+  /// against its linearization, so indices are globally ordered there too).
+  int64_t step = 0;
+  Expression expression;
+  /// Comp steps: the raw delta rows this step accumulated into δV.
+  Rows comp_raw;
+  /// Inst steps: the finalized delta applied to the extent — for derived
+  /// views this is also δV's finalized value, restored into the
+  /// accumulator on replay so later consumers see the original delta.
+  DeltaRelation installed;
+  /// Target view's extent version after the step (diagnostics; versions
+  /// are only comparable when recovery starts from an in-memory clone).
+  int64_t extent_version_after = 0;
+};
+
+/// Append-only, thread-safe journal of one strategy run.  Owned by the
+/// Warehouse being updated; executors write it when ExecutorOptions
+/// (or ParallelExecutorOptions) has `journal` set.
+class StrategyJournal {
+ public:
+  /// Starts a new run: records the strategy (post-simplification — the
+  /// exact expression sequence being executed) and clears prior entries.
+  void Begin(const Strategy& strategy, int64_t batch_epoch);
+
+  /// Appends the record of a completed step.
+  void Record(JournalEntry entry);
+
+  /// Marks the run as having finished every step.
+  void MarkComplete();
+
+  /// True once Begin was called (an interrupted run stays begun).
+  bool begun() const;
+  /// True iff the journaled run finished every step.
+  bool complete() const;
+
+  const Strategy& strategy() const;
+  int64_t batch_epoch() const;
+
+  /// Number of completed steps.
+  int64_t size() const;
+
+  bool IsStepComplete(int64_t step) const;
+
+  /// Completed entries sorted by step index (a parallel stage may have
+  /// completed steps out of order around the torn one).
+  std::vector<JournalEntry> EntriesInStepOrder() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  bool begun_ = false;
+  bool complete_ = false;
+  Strategy strategy_;
+  int64_t batch_epoch_ = 0;
+  std::vector<JournalEntry> entries_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_EXEC_JOURNAL_H_

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <exception>
+#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "fault/fault_injection.h"
 #include "view/comp_term.h"
 
 namespace wuw {
@@ -29,28 +32,45 @@ ParallelExecutor::ParallelExecutor(Warehouse* warehouse,
 ParallelExecutionReport ParallelExecutor::Execute(
     const ParallelStrategy& strategy) {
   ParallelExecutionReport report;
-  CompEvalOptions comp_options;
-  comp_options.skip_empty_delta_terms = options_.skip_empty_delta_terms;
-  comp_options.term_workers = options_.term_workers;
-  comp_options.subplan_cache = options_.subplan_cache;
-  if (options_.subplan_cache != nullptr) {
-    comp_options.batch_epoch = warehouse_->batch_epoch();
-    comp_options.extent_version = [wh = warehouse_](const std::string& name) {
-      return wh->extent_version(name);
-    };
+  CompEvalOptions comp_options =
+      MakeCompEvalOptions(warehouse_, options_.subplan_cache,
+                          options_.skip_empty_delta_terms,
+                          options_.term_workers);
+
+  StrategyJournal* journal = nullptr;
+  if (options_.journal) {
+    journal = &warehouse_->journal();
+    journal->Begin(strategy.Linearize(), warehouse_->batch_epoch());
   }
 
+  int64_t stage_step_base = 0;
   for (const std::vector<Expression>& stage : strategy.stages) {
+    WUW_FAULT_POINT("parallel.stage.begin");
     double stage_start = Now();
     std::vector<ExpressionReport> stage_reports(stage.size());
     std::atomic<size_t> next{0};
+    // Injected-fault plumbing: the first dying worker parks its exception
+    // here and flips `stop`; the others drain out at their next fetch, and
+    // the barrier rethrows — the whole stage-parallel run "dies" the way a
+    // one-process update window would.
+    std::atomic<bool> stop{false};
+    std::exception_ptr failure;
+    std::mutex failure_mu;
 
     auto worker = [&]() {
-      while (true) {
+      while (!stop.load(std::memory_order_relaxed)) {
         size_t i = next.fetch_add(1);
         if (i >= stage.size()) break;
-        stage_reports[i] = ExecuteExpression(warehouse_, stage[i],
-                                             comp_options, nullptr);
+        try {
+          WUW_FAULT_POINT("parallel.step.begin");
+          stage_reports[i] = ExecuteExpression(
+              warehouse_, stage[i], comp_options, nullptr, journal,
+              stage_step_base + static_cast<int64_t>(i));
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(failure_mu);
+          if (failure == nullptr) failure = std::current_exception();
+          stop.store(true, std::memory_order_relaxed);
+        }
       }
     };
 
@@ -66,6 +86,8 @@ ParallelExecutionReport ParallelExecutor::Execute(
       }
       for (std::thread& t : threads) t.join();
     }
+    if (failure != nullptr) std::rethrow_exception(failure);
+    stage_step_base += static_cast<int64_t>(stage.size());
 
     double stage_seconds = Now() - stage_start;
     report.stage_seconds.push_back(stage_seconds);
@@ -80,6 +102,7 @@ ParallelExecutionReport ParallelExecutor::Execute(
     }
   }
 
+  if (journal != nullptr) journal->MarkComplete();
   if (options_.subplan_cache != nullptr) {
     report.subplan_cache = options_.subplan_cache->stats();
   }

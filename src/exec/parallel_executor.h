@@ -47,6 +47,13 @@ struct ParallelExecutorOptions {
   /// Optional shared-subplan memo (not owned); see ExecutorOptions.  The
   /// cache locks internally, so a stage's workers share it safely.
   SubplanCache* subplan_cache = nullptr;
+  /// Record completed steps into the warehouse's StrategyJournal, indexed
+  /// by the strategy's linearization, so ResumeStrategy can finish an
+  /// interrupted staged run sequentially.  A worker that dies mid-stage
+  /// stops the stage; steps other workers completed stay journaled (they
+  /// are mutually non-conflicting, so replay order within the stage is
+  /// irrelevant).
+  bool journal = false;
 };
 
 /// Runs staged strategies against one warehouse with a thread pool.

@@ -1,0 +1,120 @@
+#include "exec/recovery.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "delta/install.h"
+#include "fault/fault_injection.h"
+#include "view/comp_term.h"
+
+namespace wuw {
+
+namespace {
+
+// Replays one journaled step's durable effect onto `warehouse`.  No join
+// work runs: a Comp re-accumulates the logged raw rows, an Inst re-applies
+// the logged finalized delta.  Execution is deterministic, so the replayed
+// effects are bit-identical to the originals.
+void ReplayEntry(const JournalEntry& entry, Warehouse* warehouse) {
+  const Expression& e = entry.expression;
+  if (e.is_comp()) {
+    Rows raw = entry.comp_raw;  // COW tuples: cheap copy
+    warehouse->accumulator(e.view)->Accumulate(std::move(raw));
+    return;
+  }
+  Table* table = warehouse->catalog().MustGetTable(e.view);
+  Install(entry.installed, table, /*stats=*/nullptr);
+  warehouse->NoteExtentChanged(e.view);
+  if (!warehouse->vdag().IsBaseView(e.view)) {
+    // The logged delta is the finalized δV the original run installed and
+    // later consumers read.  Pin it: finalizing lazily from the replayed
+    // raw rows would run against the post-install extent and duplicate the
+    // refresh (the window C3/C8 relied on is gone once Inst(V) lands).
+    warehouse->accumulator(e.view)->RestoreFinalized(entry.installed);
+  }
+}
+
+}  // namespace
+
+ResumeReport ResumeStrategy(const StrategyJournal& journal,
+                            Warehouse* warehouse, ExecutorOptions options) {
+  WUW_CHECK(warehouse != nullptr, "ResumeStrategy needs a warehouse");
+  WUW_CHECK(journal.begun(), "cannot resume: journal has no run recorded");
+
+  // Copy everything out of the source journal first: the caller may pass
+  // warehouse->journal() itself, which re-journaling below overwrites.
+  const Strategy strategy = journal.strategy();
+  const std::vector<JournalEntry> done = journal.EntriesInStepOrder();
+  const int64_t total_steps =
+      static_cast<int64_t>(strategy.expressions().size());
+  WUW_CHECK(static_cast<int64_t>(done.size()) <= total_steps,
+            "journal records more steps than the strategy has");
+
+  ResumeReport report;
+
+  StrategyJournal* rejournal = nullptr;
+  if (options.journal) {
+    rejournal = &warehouse->journal();
+    rejournal->Begin(strategy, warehouse->batch_epoch());
+  }
+
+  // A parallel stage that tore mid-flight can leave a non-contiguous
+  // completed set (step 3 journaled, step 2 torn): mark what is done and
+  // fill the gaps live.  In-stage expressions are mutually non-conflicting,
+  // so replaying a later sibling before live-executing an earlier one is
+  // order-irrelevant; across stages the journal is always a prefix.
+  std::vector<char> completed(total_steps, 0);
+
+  // Phase 1: replay the completed steps from their logged effects.
+  for (const JournalEntry& entry : done) {
+    // A death mid-replay is recoverable like any other: replay mutated the
+    // restored state, so recovery restarts from the pre-window state again.
+    WUW_FAULT_POINT("recovery.replay.step");
+    WUW_CHECK(entry.step >= 0 && entry.step < total_steps,
+              "journal step out of strategy range");
+    WUW_CHECK(completed[entry.step] == 0, "duplicate journal step");
+    completed[entry.step] = 1;
+    ReplayEntry(entry, warehouse);
+    if (rejournal != nullptr) {
+      JournalEntry copy = entry;
+      if (entry.expression.is_inst()) {
+        // The restored warehouse's version counters need not match the dead
+        // run's (LoadWarehouse restarts them); re-log what is true here.
+        copy.extent_version_after =
+            warehouse->extent_version(entry.expression.view);
+      }
+      rejournal->Record(std::move(copy));
+    }
+  }
+  report.steps_replayed = static_cast<int64_t>(done.size());
+
+  // Phase 2: execute the steps the dead run never completed, in step
+  // order.  The journal already holds the simplified strategy, and the
+  // original run validated it, so no re-simplification or re-validation
+  // here.
+  CompEvalOptions comp_options = MakeCompEvalOptions(
+      warehouse, options.subplan_cache, options.skip_empty_delta_terms);
+  for (int64_t step = 0; step < total_steps; ++step) {
+    if (completed[step]) continue;
+    WUW_FAULT_POINT("recovery.step.begin");
+    const Expression& e = strategy.expressions()[step];
+    ExpressionReport er = ExecuteExpression(warehouse, e, comp_options,
+                                            /*delta_stats=*/nullptr, rejournal,
+                                            step);
+    report.execution.total_seconds += er.seconds;
+    report.execution.total_linear_work += er.linear_work;
+    report.execution.totals += er.stats;
+    report.execution.per_expression.push_back(std::move(er));
+    ++report.steps_executed;
+  }
+
+  if (rejournal != nullptr) rejournal->MarkComplete();
+  if (options.subplan_cache != nullptr) {
+    report.execution.subplan_cache = options.subplan_cache->stats();
+  }
+  warehouse->ResetBatch();
+  return report;
+}
+
+}  // namespace wuw

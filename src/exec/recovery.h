@@ -1,0 +1,52 @@
+// Interrupted-strategy recovery: finish an update window that died
+// mid-run.
+//
+// Recovery model (see exec/journal.h): the pre-window warehouse state is
+// durable — an in-memory Warehouse::Clone taken before the run, or an
+// io/snapshot directory written by SaveWarehouse (which persists base
+// extents and the pending change batch; LoadWarehouse rematerializes the
+// derived views, which is exact because the pre-window state is
+// consistent).  Everything the interrupted run did in place is suspect: a
+// fault may have torn an extent mid-install or left δV half-accumulated.
+// ResumeStrategy therefore starts from the restored pre-window state,
+// replays the journaled (completed) steps from their logged effects —
+// no join work is redone — and executes only the steps the run never
+// completed.  The result is bit-identical to an uninterrupted run: any
+// C1-C8-correct strategy still lands on the recompute ground truth
+// (the kill-at-every-step property suites assert exactly this).
+#ifndef WUW_EXEC_RECOVERY_H_
+#define WUW_EXEC_RECOVERY_H_
+
+#include <cstdint>
+
+#include "exec/executor.h"
+#include "exec/journal.h"
+#include "exec/warehouse.h"
+
+namespace wuw {
+
+/// Measurements for one resumed run.
+struct ResumeReport {
+  /// Steps replayed from journal entries (no join work redone).
+  int64_t steps_replayed = 0;
+  /// Steps executed live to finish the strategy.
+  int64_t steps_executed = 0;
+  /// Report over the live-executed steps only.
+  ExecutionReport execution;
+};
+
+/// Finishes the interrupted run described by `journal` on `warehouse`,
+/// which the caller must have restored to the pre-window state (a clone
+/// taken before the original Execute, or LoadWarehouse of a pre-window
+/// snapshot — the pending batch must be present either way).  Replays the
+/// journaled steps, executes the rest sequentially, and consumes the batch
+/// like a normal run.  `options.validate` is ignored (the original run
+/// already validated); `options.journal` re-journals into `warehouse`, so
+/// a resumed run that dies again is itself resumable.
+ResumeReport ResumeStrategy(const StrategyJournal& journal,
+                            Warehouse* warehouse,
+                            ExecutorOptions options = {});
+
+}  // namespace wuw
+
+#endif  // WUW_EXEC_RECOVERY_H_

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "core/strategy_space.h"
 #include "exec/executor.h"
+#include "fault/fault_injection.h"
 #include "stats/delta_estimator.h"
 #include "view/join_pipeline.h"
 #include "view/recompute.h"
@@ -163,6 +164,9 @@ int64_t Warehouse::extent_version(const std::string& name) const {
 }
 
 void Warehouse::NoteExtentChanged(const std::string& name) {
+  // The extent bytes are already rewritten when this fires: a kill here
+  // models dying between the write and its version bump / journal record.
+  WUW_FAULT_POINT("warehouse.note_extent_changed");
   auto it = extent_versions_.find(name);
   WUW_CHECK(it != extent_versions_.end(),
             ("unknown view in NoteExtentChanged: " + name).c_str());

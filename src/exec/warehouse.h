@@ -17,6 +17,7 @@
 #include "core/size_estimator.h"
 #include "core/work_metric.h"
 #include "delta/delta_relation.h"
+#include "exec/journal.h"
 #include "graph/vdag.h"
 #include "storage/catalog.h"
 #include "view/maintenance.h"
@@ -98,6 +99,21 @@ class Warehouse {
   /// gains, merges, or clears deltas.  Keys delta-scan cache entries.
   int64_t batch_epoch() const { return batch_epoch_; }
 
+  /// The redo journal of the current (or last) strategy run against this
+  /// warehouse.  Executors write it when their `journal` option is set;
+  /// ResumeStrategy (exec/recovery.h) reads it to finish an interrupted
+  /// run.  Not cloned: a clone is a fresh state with no run history.
+  StrategyJournal& journal() { return *journal_; }
+  const StrategyJournal& journal() const { return *journal_; }
+
+  /// TEST-ONLY: mutable extent access that deliberately skips the
+  /// NoteExtentChanged version bump.  Exists so tests can prove that an
+  /// unversioned mutation leaves stale version-keyed subplan-cache entries
+  /// servable; production code must use base_table()/NoteExtentChanged.
+  Table* TestOnlyExtentNoVersionBump(const std::string& name) {
+    return catalog_.MustGetTable(name);
+  }
+
  private:
   Vdag vdag_;
   Catalog catalog_;
@@ -110,6 +126,9 @@ class Warehouse {
   /// Schema-typed empty deltas handed out for base views with no pending
   /// changes.
   std::unordered_map<std::string, DeltaRelation> empty_deltas_;
+  /// unique_ptr keeps Warehouse movable (the journal holds a mutex).
+  std::unique_ptr<StrategyJournal> journal_ =
+      std::make_unique<StrategyJournal>();
 };
 
 }  // namespace wuw

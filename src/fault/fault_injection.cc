@@ -1,0 +1,189 @@
+#include "fault/fault_injection.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace wuw {
+namespace fault {
+
+namespace {
+
+/// splitmix64: tiny, deterministic, and independent of the tpcd generator
+/// so arming a plan never perturbs workload randomness.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitDraw(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Registry guarded by one mutex.  The mutex is only reached when a plan
+/// is armed (tests / WUW_FAULT runs), never on the disarmed fast path.
+struct Registry {
+  std::mutex mu;
+  bool armed = false;
+  FaultPlan plan;
+  uint64_t rng_state = 0;
+  std::map<std::string, int64_t> hits;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: safe at any exit order
+  return *r;
+}
+
+bool Matches(const std::string& pattern, const char* point) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return std::strncmp(point, pattern.c_str(), pattern.size() - 1) == 0;
+  }
+  return pattern == point;
+}
+
+}  // namespace
+
+FaultInjectedError::FaultInjectedError(std::string point, int64_t hit)
+    : std::runtime_error("fault injected at " + point + " (hit " +
+                         std::to_string(hit) + ")"),
+      point_(std::move(point)),
+      hit_(hit) {}
+
+void Arm(FaultPlan plan) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.plan = std::move(plan);
+  r.rng_state = r.plan.seed * 0x9e3779b97f4a7c15ull + 1;
+  r.hits.clear();
+  r.armed = true;
+  internal::g_armed.store(1, std::memory_order_relaxed);
+}
+
+void Disarm() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.armed = false;
+  internal::g_armed.store(0, std::memory_order_relaxed);
+}
+
+bool IsArmed() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.armed;
+}
+
+int64_t HitCount(const std::string& point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.hits.find(point);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, int64_t>> HitCounts() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return {r.hits.begin(), r.hits.end()};
+}
+
+std::string ParseFaultSpec(const std::string& spec, FaultPlan* plan) {
+  *plan = FaultPlan{};
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+
+    if (clause.rfind("seed=", 0) == 0) {
+      plan->seed = strtoull(clause.c_str() + 5, nullptr, 10);
+      continue;
+    }
+    if (clause == "mode=count") {
+      plan->count_only = true;
+      continue;
+    }
+
+    Trigger t;
+    size_t colon = clause.find(':');
+    t.point = clause.substr(0, colon);
+    if (t.point.empty()) return "empty fault-point name in: " + clause;
+    while (colon != std::string::npos) {
+      size_t next = clause.find(':', colon + 1);
+      std::string option = clause.substr(
+          colon + 1,
+          next == std::string::npos ? std::string::npos : next - colon - 1);
+      if (option.rfind("hit=", 0) == 0) {
+        char* parse_end = nullptr;
+        t.hit = strtoll(option.c_str() + 4, &parse_end, 10);
+        if (*parse_end != '\0' || t.hit <= 0) {
+          return "hit= wants a positive count in: " + clause;
+        }
+      } else if (option.rfind("p=", 0) == 0) {
+        char* parse_end = nullptr;
+        t.probability = strtod(option.c_str() + 2, &parse_end);
+        if (parse_end == option.c_str() + 2 || *parse_end != '\0' ||
+            t.probability < 0 || t.probability > 1) {
+          return "p= wants a probability in [0,1] in: " + clause;
+        }
+      } else {
+        return "unknown trigger option '" + option + "' in: " + clause;
+      }
+      colon = next;
+    }
+    plan->triggers.push_back(std::move(t));
+  }
+  if (plan->triggers.empty() && !plan->count_only) {
+    return "fault spec arms nothing: " + spec;
+  }
+  return "";
+}
+
+std::string ArmFromEnv() {
+  const char* spec = std::getenv("WUW_FAULT");
+  if (spec == nullptr || *spec == '\0') return "";
+  FaultPlan plan;
+  std::string error = ParseFaultSpec(spec, &plan);
+  if (!error.empty()) return "WUW_FAULT: " + error;
+  Arm(std::move(plan));
+  return "";
+}
+
+namespace internal {
+
+std::atomic<int> g_armed{0};
+
+void OnFaultPoint(const char* point) {
+  Registry& r = registry();
+  std::string fire_point;
+  int64_t fire_hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    // Racy-read guard: the relaxed gate may lag a concurrent Disarm.
+    if (!r.armed) return;
+    int64_t hit = ++r.hits[point];
+    if (r.plan.count_only) return;
+    for (const Trigger& t : r.plan.triggers) {
+      if (!Matches(t.point, point)) continue;
+      bool fire = t.hit > 0 ? hit == t.hit
+                            : t.probability >= 1.0 ||
+                                  UnitDraw(&r.rng_state) < t.probability;
+      if (fire) {
+        fire_point = point;
+        fire_hit = hit;
+        break;
+      }
+    }
+  }
+  // Throw outside the lock: the unwind may cross code that hits further
+  // fault points (destructors never do today, but cheap insurance).
+  if (!fire_point.empty()) throw FaultInjectedError(fire_point, fire_hit);
+}
+
+}  // namespace internal
+}  // namespace fault
+}  // namespace wuw

@@ -1,0 +1,145 @@
+// Deterministic, seed-driven fault injection.
+//
+// The executors, the plan layer, and the warehouse mutation paths are
+// threaded with *named fault points* (WUW_FAULT_POINT).  A disarmed point
+// costs one relaxed atomic load — nothing is counted, nothing can fire —
+// so the paper-fidelity benches run at full speed with the framework
+// compiled in.  Arming a FaultPlan turns selected points into bombs:
+//
+//   * hit-count triggers fire on exactly the Nth matching hit, which is
+//     how the recovery property suites kill a strategy at *every* step;
+//   * probability triggers fire per hit from a seeded generator, fully
+//     reproducible given (plan, seed) on a deterministic execution;
+//   * count-only plans never fire but record per-point hit totals, which
+//     is how a test discovers the set of (point, k) pairs to kill at.
+//
+// A firing point throws FaultInjectedError.  Execution stops wherever the
+// stack unwinds to — mid-strategy, mid-stage, mid-term — simulating a
+// process death inside the update window; the StrategyJournal
+// (exec/journal.h) plus ResumeStrategy (exec/recovery.h) are the recovery
+// path the tests then exercise.
+//
+// The `WUW_FAULT` environment knob arms a plan from a spec string (see
+// ParseFaultSpec); bench binaries call ArmFromEnv() so any experiment can
+// be run under injected faults without recompiling.  Defining
+// WUW_DISABLE_FAULT_POINTS at compile time expands every point to nothing.
+#ifndef WUW_FAULT_FAULT_INJECTION_H_
+#define WUW_FAULT_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wuw {
+namespace fault {
+
+/// Thrown by a firing fault point.  Carries the point name and the
+/// 1-based hit index that fired, so a failure reproduces as an explicit
+/// hit-count trigger.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  FaultInjectedError(std::string point, int64_t hit);
+
+  const std::string& point() const { return point_; }
+  int64_t hit() const { return hit_; }
+
+ private:
+  std::string point_;
+  int64_t hit_;
+};
+
+/// One arming rule.  `point` is an exact fault-point name, or a prefix
+/// pattern ending in '*' ("plan.*" matches every plan-layer point; "*"
+/// matches everything).
+struct Trigger {
+  std::string point;
+  /// Fire on exactly the Nth (1-based) hit of the *matched point*.  0
+  /// means "every matching hit", gated by `probability`.
+  int64_t hit = 0;
+  /// Firing probability per hit when `hit` == 0; draws come from the
+  /// plan's seeded generator.
+  double probability = 1.0;
+};
+
+struct FaultPlan {
+  std::vector<Trigger> triggers;
+  /// Seed for probability draws (deterministic given a deterministic
+  /// execution).
+  uint64_t seed = 0;
+  /// Count hits but never fire — the enumeration pass of the
+  /// kill-at-every-step suites.
+  bool count_only = false;
+};
+
+/// Installs `plan` and resets all hit counters.  Replaces any armed plan.
+void Arm(FaultPlan plan);
+
+/// Removes the armed plan; every fault point returns to the zero-cost
+/// disarmed path.  Hit counts survive until the next Arm (so a test can
+/// read them after the run).
+void Disarm();
+
+bool IsArmed();
+
+/// Hits recorded for `point` since the last Arm.
+int64_t HitCount(const std::string& point);
+
+/// All (point, hits) pairs since the last Arm, sorted by point name.
+std::vector<std::pair<std::string, int64_t>> HitCounts();
+
+/// Parses a WUW_FAULT spec into a plan.  Grammar (';'-separated clauses):
+///   <point>                 fire on every hit of <point>
+///   <point>:hit=<N>         fire on the Nth hit
+///   <point>:p=<P>           fire each hit with probability P
+///   seed=<S>                seed for probability draws
+///   mode=count              count-only plan
+/// Example: "executor.step.begin:hit=3" or "plan.*:p=0.001;seed=7".
+/// Returns an empty string on success, else a description of the error
+/// (user-facing input path: no aborts).
+std::string ParseFaultSpec(const std::string& spec, FaultPlan* plan);
+
+/// Arms from the WUW_FAULT environment variable if it is set.  Returns an
+/// empty string when unset or armed successfully, else the parse error.
+std::string ArmFromEnv();
+
+/// RAII arming for tests: Arm on construction, Disarm on destruction.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) { Arm(std::move(plan)); }
+  ~ScopedFaultPlan() { Disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+namespace internal {
+
+/// Fast disarmed gate: nonzero iff a plan is armed.  Read relaxed by the
+/// WUW_FAULT_POINT macro; written only under the registry mutex.
+extern std::atomic<int> g_armed;
+
+/// Slow path: records the hit and fires the matching trigger, if any.
+void OnFaultPoint(const char* point);
+
+}  // namespace internal
+}  // namespace fault
+}  // namespace wuw
+
+/// Marks a named fault point.  `name` must be a string literal; points are
+/// named "<layer>.<site>[.<detail>]" (e.g. "executor.inst.install").
+/// Disarmed cost: one relaxed atomic load and a predictable branch.
+#if defined(WUW_DISABLE_FAULT_POINTS)
+#define WUW_FAULT_POINT(name) ((void)0)
+#else
+#define WUW_FAULT_POINT(name)                                             \
+  do {                                                                    \
+    if (::wuw::fault::internal::g_armed.load(std::memory_order_relaxed) != \
+        0) {                                                              \
+      ::wuw::fault::internal::OnFaultPoint(name);                         \
+    }                                                                     \
+  } while (0)
+#endif
+
+#endif  // WUW_FAULT_FAULT_INJECTION_H_

@@ -1,6 +1,7 @@
 #include "plan/plan_executor.h"
 
 #include "common/check.h"
+#include "fault/fault_injection.h"
 
 namespace wuw {
 
@@ -26,6 +27,7 @@ void PlanExecutor::PrepareShared(const std::vector<PlanNodeId>& roots,
   for (size_t id = 0; id < dag_.size(); ++id) {
     const PlanNode& n = dag_.node(id);
     if (!reachable[id] || n.num_uses < 2 || !n.cacheable) continue;
+    WUW_FAULT_POINT("plan.prepare_shared");
     Eval(static_cast<PlanNodeId>(id), stats, /*memoize_shared=*/true);
   }
 }
@@ -39,6 +41,7 @@ std::shared_ptr<const Rows> PlanExecutor::Eval(PlanNodeId id,
                                                OperatorStats* stats,
                                                bool memoize_shared) {
   if (memo_[id] != nullptr) return memo_[id];
+  WUW_FAULT_POINT("plan.eval");
   const PlanNode& n = dag_.node(id);
 
   bool try_cache = cache_ != nullptr && n.cacheable;

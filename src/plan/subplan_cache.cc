@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "fault/fault_injection.h"
 
 namespace wuw {
 
@@ -37,6 +38,7 @@ std::string SubplanCacheStats::ToString() const {
 
 std::shared_ptr<const Rows> SubplanCache::Lookup(
     const std::string& fingerprint) {
+  WUW_FAULT_POINT("subplan_cache.lookup");
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
@@ -52,6 +54,7 @@ void SubplanCache::Insert(const std::string& fingerprint,
                           std::shared_ptr<const Rows> rows,
                           double recompute_cost) {
   WUW_CHECK(rows != nullptr, "cannot cache a null result");
+  WUW_FAULT_POINT("subplan_cache.insert");
   std::lock_guard<std::mutex> lock(mu_);
   if (entries_.count(fingerprint) > 0) return;
   int64_t bytes = ApproxRowsBytes(*rows);

@@ -1,6 +1,8 @@
 #include "view/comp_term.h"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 
 #include "common/check.h"
@@ -125,13 +127,24 @@ CompEvalResult EvalComp(const ViewDefinition& def,
   } else {
     // Terms are independent: after PrepareShared the executor's memo is
     // read-only and the cache locks internally, so workers only share
-    // immutable state.
+    // immutable state.  A worker that throws (injected fault) parks the
+    // exception; the rest drain, and the join rethrows, so a mid-term
+    // death unwinds out of EvalComp like a sequential one.
     std::atomic<size_t> next{0};
+    std::atomic<bool> stop{false};
+    std::exception_ptr failure;
+    std::mutex failure_mu;
     auto worker = [&]() {
-      while (true) {
+      while (!stop.load(std::memory_order_relaxed)) {
         size_t slot = next.fetch_add(1);
         if (slot >= masks.size()) break;
-        eval_term(slot);
+        try {
+          eval_term(slot);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(failure_mu);
+          if (failure == nullptr) failure = std::current_exception();
+          stop.store(true, std::memory_order_relaxed);
+        }
       }
     };
     size_t num_threads =
@@ -140,6 +153,7 @@ CompEvalResult EvalComp(const ViewDefinition& def,
     threads.reserve(num_threads);
     for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
     for (std::thread& t : threads) t.join();
+    if (failure != nullptr) std::rethrow_exception(failure);
   }
 
   // Merge in mask order: deterministic results regardless of scheduling.

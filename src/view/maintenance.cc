@@ -35,6 +35,14 @@ const DeltaRelation& DeltaAccumulator::Finalize(const Table& current,
   return final_;
 }
 
+void DeltaAccumulator::RestoreFinalized(DeltaRelation final_delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WUW_CHECK(!finalized_, "RestoreFinalized over a live finalized delta");
+  final_ = std::move(final_delta);
+  finalized_ = true;
+  raw_ = Rows(raw_schema_);
+}
+
 void DeltaAccumulator::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   raw_ = Rows(raw_schema_);

@@ -40,6 +40,13 @@ class DeltaAccumulator {
   /// against `current` (the view's pre-install extent).
   const DeltaRelation& Finalize(const Table& current, OperatorStats* stats);
 
+  /// Recovery path (exec/recovery.h): installs a journaled finalized delta
+  /// directly.  After an interrupted run's Inst(V) is replayed, V's extent
+  /// is post-install, so recomputing δV from raw rows would finalize
+  /// against the wrong extent — the journal supplies the original value
+  /// instead.  Aborts if δV was already finalized.
+  void RestoreFinalized(DeltaRelation final_delta);
+
   bool finalized() const { return finalized_; }
 
   /// Number of raw rows gathered so far (diagnostics).

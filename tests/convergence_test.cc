@@ -38,10 +38,12 @@ class ConvergenceTest : public ::testing::TestWithParam<WorkloadParam> {};
 
 TEST_P(ConvergenceTest, AllViewStrategiesConvergeOnStarVdag) {
   const WorkloadParam& p = GetParam();
+  const uint64_t seed = testutil::PropertySeed(17);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
   for (bool aggregate : {false, true}) {
     Warehouse w = MakeLoadedWarehouse(
-        testutil::MakeStarVdag("V", 3, aggregate), 50, 17);
-    ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, 23);
+        testutil::MakeStarVdag("V", 3, aggregate), 50, seed);
+    ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, seed + 6);
     Catalog truth = GroundTruthAfterChanges(w);
     // All 13 partition strategies for the derived view + base installs.
     for (const Strategy& vs :
@@ -53,8 +55,10 @@ TEST_P(ConvergenceTest, AllViewStrategiesConvergeOnStarVdag) {
 
 TEST_P(ConvergenceTest, SampledOneWayVdagStrategiesConvergeOnFig3) {
   const WorkloadParam& p = GetParam();
-  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 50, 31);
-  ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, 37);
+  const uint64_t seed = testutil::PropertySeed(31);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 50, seed);
+  ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, seed + 6);
   Catalog truth = GroundTruthAfterChanges(w);
 
   auto all = EnumerateAllCorrectVdagStrategies(w.vdag(), /*one_way_only=*/true,
@@ -68,8 +72,10 @@ TEST_P(ConvergenceTest, SampledOneWayVdagStrategiesConvergeOnFig3) {
 
 TEST_P(ConvergenceTest, MixedPartitionStrategiesConvergeOnFig3) {
   const WorkloadParam& p = GetParam();
-  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 40, 41);
-  ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, 43);
+  const uint64_t seed = testutil::PropertySeed(41);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 40, seed);
+  ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, seed + 2);
   Catalog truth = GroundTruthAfterChanges(w);
 
   auto all = EnumerateAllCorrectVdagStrategies(w.vdag(), /*one_way_only=*/false,
@@ -82,8 +88,10 @@ TEST_P(ConvergenceTest, MixedPartitionStrategiesConvergeOnFig3) {
 
 TEST_P(ConvergenceTest, OptimizerOutputsConvergeOnFig10) {
   const WorkloadParam& p = GetParam();
-  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig10Vdag(), 60, 53);
-  ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, 59);
+  const uint64_t seed = testutil::PropertySeed(53);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig10Vdag(), 60, seed);
+  ApplyTripleChanges(&w, p.delete_fraction, p.insert_rows, seed + 6);
   Catalog truth = GroundTruthAfterChanges(w);
 
   SizeMap sizes = w.EstimatedSizes();
@@ -112,8 +120,10 @@ TEST(ConvergenceDepthTest, ThreeLevelChainConverges) {
   vdag.AddDerivedView(testutil::SpjTripleView("D2", {"D1", "C"}));
   vdag.AddDerivedView(testutil::AggTripleView("D3", {"D2"}));
 
-  Warehouse w = MakeLoadedWarehouse(std::move(vdag), 60, 61);
-  ApplyTripleChanges(&w, 0.2, 12, 67);
+  const uint64_t seed = testutil::PropertySeed(61);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Warehouse w = MakeLoadedWarehouse(std::move(vdag), 60, seed);
+  ApplyTripleChanges(&w, 0.2, 12, seed + 6);
   Catalog truth = GroundTruthAfterChanges(w);
 
   SizeMap sizes = w.EstimatedSizes();
@@ -143,8 +153,10 @@ TEST(ConvergenceDepthTest, ParentOverAggregateConverges) {
                     .Build();
   vdag.AddDerivedView(parent);
 
-  Warehouse w = MakeLoadedWarehouse(std::move(vdag), 50, 71);
-  ApplyTripleChanges(&w, 0.3, 10, 73);
+  const uint64_t seed = testutil::PropertySeed(71);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Warehouse w = MakeLoadedWarehouse(std::move(vdag), 50, seed);
+  ApplyTripleChanges(&w, 0.3, 10, seed + 2);
   Catalog truth = GroundTruthAfterChanges(w);
 
   SizeMap sizes = w.EstimatedSizes();
@@ -154,9 +166,11 @@ TEST(ConvergenceDepthTest, ParentOverAggregateConverges) {
 
 // Repeated rounds keep converging (no state leaks across batches).
 TEST(ConvergenceDepthTest, TenConsecutiveRounds) {
-  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 50, 79);
+  const uint64_t seed = testutil::PropertySeed(79);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Warehouse w = MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 50, seed);
   for (int round = 0; round < 10; ++round) {
-    ApplyTripleChanges(&w, 0.1, 5, 1000 + round);
+    ApplyTripleChanges(&w, 0.1, 5, seed + 921 + round);  // 79+921 = old 1000
     Catalog truth = GroundTruthAfterChanges(w);
     SizeMap sizes = w.EstimatedSizes();
     Strategy s = (round % 2 == 0)

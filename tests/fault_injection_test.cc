@@ -1,0 +1,189 @@
+// Unit tests for the deterministic fault-injection framework: trigger
+// semantics (hit-count, probability, wildcard), count-only enumeration,
+// spec parsing, and the disarmed fast path.
+#include "fault/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+namespace wuw {
+namespace {
+
+using fault::Arm;
+using fault::Disarm;
+using fault::FaultInjectedError;
+using fault::FaultPlan;
+using fault::HitCount;
+using fault::HitCounts;
+using fault::IsArmed;
+using fault::ParseFaultSpec;
+using fault::ScopedFaultPlan;
+using fault::Trigger;
+
+// Tests in this file arm/disarm global state; the fixture guarantees a
+// clean slate even when an assertion bails out mid-test.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Disarm(); }
+};
+
+void Hit(const char* which, int times) {
+  for (int i = 0; i < times; ++i) {
+    if (which[0] == 'a') {
+      WUW_FAULT_POINT("test.point.a");
+    } else {
+      WUW_FAULT_POINT("test.point.b");
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, DisarmedPointsNeitherFireNorCount) {
+  ASSERT_FALSE(IsArmed());
+  EXPECT_NO_THROW(Hit("a", 100));
+  // Counting only happens under an armed plan.
+  FaultPlan plan;
+  plan.count_only = true;
+  Arm(plan);
+  EXPECT_EQ(HitCount("test.point.a"), 0);
+}
+
+TEST_F(FaultInjectionTest, CountOnlyRecordsPerPointHits) {
+  FaultPlan plan;
+  plan.count_only = true;
+  plan.triggers.push_back(Trigger{"*", 0, 1.0});  // would fire if live
+  ScopedFaultPlan scoped(plan);
+  EXPECT_NO_THROW(Hit("a", 3));
+  EXPECT_NO_THROW(Hit("b", 5));
+  EXPECT_EQ(HitCount("test.point.a"), 3);
+  EXPECT_EQ(HitCount("test.point.b"), 5);
+  EXPECT_EQ(HitCount("test.point.never"), 0);
+  auto counts = HitCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "test.point.a");  // sorted by name
+  EXPECT_EQ(counts[1].first, "test.point.b");
+}
+
+TEST_F(FaultInjectionTest, HitTriggerFiresOnExactlyTheNthHit) {
+  FaultPlan plan;
+  plan.triggers.push_back(Trigger{"test.point.a", /*hit=*/3, 1.0});
+  ScopedFaultPlan scoped(plan);
+  EXPECT_NO_THROW(Hit("a", 2));
+  EXPECT_NO_THROW(Hit("b", 10));  // other points unaffected
+  try {
+    Hit("a", 1);
+    FAIL() << "third hit should have fired";
+  } catch (const FaultInjectedError& e) {
+    EXPECT_EQ(e.point(), "test.point.a");
+    EXPECT_EQ(e.hit(), 3);
+  }
+  // Only the Nth hit fires; later hits pass again.
+  EXPECT_NO_THROW(Hit("a", 5));
+  EXPECT_EQ(HitCount("test.point.a"), 8);
+}
+
+TEST_F(FaultInjectionTest, WildcardMatchesPrefix) {
+  FaultPlan plan;
+  plan.triggers.push_back(Trigger{"test.point.*", /*hit=*/2, 1.0});
+  ScopedFaultPlan scoped(plan);
+  EXPECT_NO_THROW(Hit("a", 1));
+  // Per-point hit counters: b's first hit is hit 1 for b, not hit 2.
+  EXPECT_NO_THROW(Hit("b", 1));
+  EXPECT_THROW(Hit("b", 1), FaultInjectedError);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityZeroNeverFiresProbabilityOneAlways) {
+  {
+    FaultPlan plan;
+    plan.triggers.push_back(Trigger{"test.point.a", 0, 0.0});
+    ScopedFaultPlan scoped(plan);
+    EXPECT_NO_THROW(Hit("a", 200));
+  }
+  {
+    FaultPlan plan;
+    plan.triggers.push_back(Trigger{"test.point.a", 0, 1.0});
+    ScopedFaultPlan scoped(plan);
+    EXPECT_THROW(Hit("a", 1), FaultInjectedError);
+  }
+}
+
+TEST_F(FaultInjectionTest, ProbabilityDrawsAreSeedDeterministic) {
+  auto firing_hit = [](uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.triggers.push_back(Trigger{"test.point.a", 0, 0.2});
+    ScopedFaultPlan scoped(plan);
+    try {
+      Hit("a", 1000);
+    } catch (const FaultInjectedError& e) {
+      return e.hit();
+    }
+    return int64_t{0};
+  };
+  int64_t first = firing_hit(42);
+  ASSERT_GT(first, 0) << "p=0.2 over 1000 hits should fire";
+  EXPECT_EQ(firing_hit(42), first);  // same seed, same firing hit
+  EXPECT_EQ(firing_hit(42), first);  // and again
+}
+
+TEST_F(FaultInjectionTest, ArmReplacesPlanAndResetsCounters) {
+  FaultPlan count;
+  count.count_only = true;
+  Arm(count);
+  Hit("a", 4);
+  EXPECT_EQ(HitCount("test.point.a"), 4);
+  Arm(count);  // re-arm resets
+  EXPECT_EQ(HitCount("test.point.a"), 0);
+  Disarm();
+  EXPECT_FALSE(IsArmed());
+}
+
+TEST_F(FaultInjectionTest, HitCountsSurviveDisarmUntilNextArm) {
+  FaultPlan count;
+  count.count_only = true;
+  Arm(count);
+  Hit("a", 2);
+  Disarm();
+  EXPECT_EQ(HitCount("test.point.a"), 2);
+}
+
+TEST_F(FaultInjectionTest, ParseFaultSpecAcceptsTheDocumentedGrammar) {
+  FaultPlan plan;
+  EXPECT_EQ(ParseFaultSpec("executor.step.begin:hit=3", &plan), "");
+  ASSERT_EQ(plan.triggers.size(), 1u);
+  EXPECT_EQ(plan.triggers[0].point, "executor.step.begin");
+  EXPECT_EQ(plan.triggers[0].hit, 3);
+
+  FaultPlan plan2;
+  EXPECT_EQ(ParseFaultSpec("plan.*:p=0.25;seed=7;mode=count", &plan2), "");
+  ASSERT_EQ(plan2.triggers.size(), 1u);
+  EXPECT_EQ(plan2.triggers[0].point, "plan.*");
+  EXPECT_DOUBLE_EQ(plan2.triggers[0].probability, 0.25);
+  EXPECT_EQ(plan2.seed, 7u);
+  EXPECT_TRUE(plan2.count_only);
+
+  FaultPlan plan3;
+  EXPECT_EQ(ParseFaultSpec("a;b:hit=1;c:p=0.5", &plan3), "");
+  EXPECT_EQ(plan3.triggers.size(), 3u);
+}
+
+TEST_F(FaultInjectionTest, ParseFaultSpecRejectsMalformedInput) {
+  // User-facing input path: errors come back as strings, never aborts.
+  FaultPlan plan;
+  EXPECT_NE(ParseFaultSpec("point:hit=abc", &plan), "");
+  EXPECT_NE(ParseFaultSpec("point:p=notanumber", &plan), "");
+  EXPECT_NE(ParseFaultSpec("point:bogus=1", &plan), "");
+  EXPECT_NE(ParseFaultSpec("seed=xyz", &plan), "");
+}
+
+TEST_F(FaultInjectionTest, ScopedPlanDisarmsOnScopeExit) {
+  {
+    FaultPlan plan;
+    plan.triggers.push_back(Trigger{"test.point.a", 0, 1.0});
+    ScopedFaultPlan scoped(plan);
+    EXPECT_TRUE(IsArmed());
+  }
+  EXPECT_FALSE(IsArmed());
+  EXPECT_NO_THROW(Hit("a", 10));
+}
+
+}  // namespace
+}  // namespace wuw

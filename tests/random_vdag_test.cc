@@ -18,51 +18,7 @@
 namespace wuw {
 namespace {
 
-using testutil::AggTripleView;
-using testutil::SpjTripleView;
-using testutil::TripleSchema;
-
-/// Builds a random VDAG over `num_bases` base views and `num_derived`
-/// derived views.  Every view follows the triple-column convention, so
-/// derived-over-derived definitions compose mechanically.  At most one
-/// aggregate source per definition (two would collide on __count).
-Vdag RandomVdag(tpcd::Rng* rng, size_t num_bases, size_t num_derived) {
-  Vdag vdag;
-  std::vector<std::string> pool;          // candidate sources
-  std::vector<bool> is_aggregate_view;    // parallel to pool
-  for (size_t i = 0; i < num_bases; ++i) {
-    std::string name = "B" + std::to_string(i);
-    vdag.AddBaseView(name, TripleSchema(name));
-    pool.push_back(name);
-    is_aggregate_view.push_back(false);
-  }
-  for (size_t i = 0; i < num_derived; ++i) {
-    std::string name = "D" + std::to_string(i);
-    size_t fanin = 1 + rng->Below(std::min<size_t>(3, pool.size()));
-    std::vector<std::string> sources;
-    bool has_aggregate_source = false;
-    while (sources.size() < fanin) {
-      size_t pick = rng->Below(pool.size());
-      if (std::find(sources.begin(), sources.end(), pool[pick]) !=
-          sources.end()) {
-        continue;
-      }
-      if (is_aggregate_view[pick]) {
-        if (has_aggregate_source) continue;
-        has_aggregate_source = true;
-      }
-      sources.push_back(pool[pick]);
-    }
-    bool aggregate = rng->Below(3) == 0;
-    vdag.AddDerivedView(aggregate
-                            ? AggTripleView(name, sources)
-                            : SpjTripleView(name, sources,
-                                            /*with_filter=*/rng->Below(2)));
-    pool.push_back(name);
-    is_aggregate_view.push_back(aggregate);
-  }
-  return vdag;
-}
+using testutil::RandomVdag;
 
 struct Scenario {
   uint64_t seed;
@@ -76,12 +32,16 @@ class RandomVdagTest : public ::testing::TestWithParam<Scenario> {};
 
 TEST_P(RandomVdagTest, OptimizersProduceCorrectConvergingStrategies) {
   const Scenario& sc = GetParam();
-  tpcd::Rng rng(sc.seed);
+  // WUW_SEED (nightly / repro runs) shifts every scenario; unset keeps the
+  // fixed PR-CI seeds.
+  const uint64_t seed = sc.seed + testutil::PropertySeed(0);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  tpcd::Rng rng(seed);
   Vdag vdag = RandomVdag(&rng, sc.bases, sc.derived);
 
-  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 40, sc.seed * 31 + 1);
+  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 40, seed * 31 + 1);
   testutil::ApplyTripleChanges(&w, sc.delete_fraction, sc.insert_rows,
-                               sc.seed * 17 + 3);
+                               seed * 17 + 3);
   Catalog truth = testutil::GroundTruthAfterChanges(w);
 
   SizeMap sizes = sc.seed % 2 == 0 ? w.EstimatedSizesWithStats()
@@ -145,9 +105,11 @@ INSTANTIATE_TEST_SUITE_P(
 
 // A deeper soak: many small random rounds on one evolving warehouse.
 TEST(RandomVdagSoakTest, TwentyRoundsOnOneWarehouse) {
-  tpcd::Rng rng(77);
+  const uint64_t seed = testutil::PropertySeed(77);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  tpcd::Rng rng(seed);
   Vdag vdag = RandomVdag(&rng, 3, 3);
-  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 50, 99);
+  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 50, seed + 22);
   for (int round = 0; round < 20; ++round) {
     testutil::ApplyTripleChanges(&w, 0.05 + 0.02 * (round % 5), 4,
                                  1000 + round);

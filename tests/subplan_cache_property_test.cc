@@ -16,49 +16,7 @@
 namespace wuw {
 namespace {
 
-using testutil::AggTripleView;
-using testutil::SpjTripleView;
-using testutil::TripleSchema;
-
-/// Same generator as random_vdag_test.cc: random shapes, SPJ/aggregate
-/// mixes, derived-over-derived, at most one aggregate source per view.
-Vdag RandomVdag(tpcd::Rng* rng, size_t num_bases, size_t num_derived) {
-  Vdag vdag;
-  std::vector<std::string> pool;
-  std::vector<bool> is_aggregate_view;
-  for (size_t i = 0; i < num_bases; ++i) {
-    std::string name = "B" + std::to_string(i);
-    vdag.AddBaseView(name, TripleSchema(name));
-    pool.push_back(name);
-    is_aggregate_view.push_back(false);
-  }
-  for (size_t i = 0; i < num_derived; ++i) {
-    std::string name = "D" + std::to_string(i);
-    size_t fanin = 1 + rng->Below(std::min<size_t>(3, pool.size()));
-    std::vector<std::string> sources;
-    bool has_aggregate_source = false;
-    while (sources.size() < fanin) {
-      size_t pick = rng->Below(pool.size());
-      if (std::find(sources.begin(), sources.end(), pool[pick]) !=
-          sources.end()) {
-        continue;
-      }
-      if (is_aggregate_view[pick]) {
-        if (has_aggregate_source) continue;
-        has_aggregate_source = true;
-      }
-      sources.push_back(pool[pick]);
-    }
-    bool aggregate = rng->Below(3) == 0;
-    vdag.AddDerivedView(aggregate
-                            ? AggTripleView(name, sources)
-                            : SpjTripleView(name, sources,
-                                            /*with_filter=*/rng->Below(2)));
-    pool.push_back(name);
-    is_aggregate_view.push_back(aggregate);
-  }
-  return vdag;
-}
+using testutil::RandomVdag;
 
 struct Scenario {
   uint64_t seed;
@@ -86,12 +44,14 @@ class SubplanCachePropertyTest : public ::testing::TestWithParam<Scenario> {};
 // work.
 TEST_P(SubplanCachePropertyTest, EveryBudgetConvergesWithIdenticalWork) {
   const Scenario& sc = GetParam();
-  tpcd::Rng rng(sc.seed);
+  const uint64_t seed = sc.seed + testutil::PropertySeed(0);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  tpcd::Rng rng(seed);
   Vdag vdag = RandomVdag(&rng, sc.bases, sc.derived);
 
-  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 40, sc.seed * 31 + 1);
+  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 40, seed * 31 + 1);
   testutil::ApplyTripleChanges(&w, sc.delete_fraction, sc.insert_rows,
-                               sc.seed * 17 + 3);
+                               seed * 17 + 3);
   Catalog truth = testutil::GroundTruthAfterChanges(w);
 
   for (const Strategy& s : {MinWork(vdag, w.EstimatedSizes()).strategy,
@@ -124,12 +84,14 @@ TEST_P(SubplanCachePropertyTest, EveryBudgetConvergesWithIdenticalWork) {
 // scanned, same final bytes.
 TEST_P(SubplanCachePropertyTest, CrossCloneSharingCutsScansNotResults) {
   const Scenario& sc = GetParam();
-  tpcd::Rng rng(sc.seed);
+  const uint64_t seed = sc.seed + testutil::PropertySeed(0);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  tpcd::Rng rng(seed);
   Vdag vdag = RandomVdag(&rng, sc.bases, sc.derived);
 
-  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 40, sc.seed * 31 + 1);
+  Warehouse w = testutil::MakeLoadedWarehouse(vdag, 40, seed * 31 + 1);
   testutil::ApplyTripleChanges(&w, sc.delete_fraction, sc.insert_rows,
-                               sc.seed * 17 + 3);
+                               seed * 17 + 3);
   Catalog truth = testutil::GroundTruthAfterChanges(w);
   Strategy s = MinWork(vdag, w.EstimatedSizes()).strategy;
 
@@ -168,9 +130,11 @@ INSTANTIATE_TEST_SUITE_P(
 // never leak a stale subplan into a later batch — the batch epoch is part
 // of every scan fingerprint.
 TEST(SubplanCacheStreamTest, PersistentCacheAcrossCoherentBatches) {
+  const uint64_t seed = testutil::PropertySeed(55);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
   tpcd::GeneratorOptions gen_options;
   gen_options.scale_factor = 0.002;
-  gen_options.seed = 55;
+  gen_options.seed = seed;
   Warehouse cached = tpcd::MakeTpcdWarehouse(gen_options, {"Q3", "Q10"});
   const Vdag& vdag = cached.vdag();
   Warehouse plain = cached.Clone();
@@ -209,6 +173,82 @@ TEST(SubplanCacheStreamTest, PersistentCacheAcrossCoherentBatches) {
           *stream.source().MustGetTable(base)))
           << "batch " << batch << " base " << base;
     }
+  }
+}
+
+// Regression guard for the version-bump invariant (CLAUDE.md: "bump them
+// on any extent mutation or cached results go stale").  The oracle is
+// eager execution on the identical state: with correct version keys a
+// cache NEVER changes results (the sweep above proves it), so any
+// cached-vs-eager divergence is stale serving.  Mutating an extent behind
+// the warehouse's back — TestOnlyExtentNoVersionBump exists for exactly
+// this test — leaves the old scan fingerprint valid, so the shared cache
+// serves pre-mutation rows of A to the maintenance terms that scan A
+// while the eager run re-reads the mutated extent, and the two runs
+// disagree.  The same mutation followed by NoteExtentChanged re-keys the
+// scan, misses, and matches eager again.  If this test starts failing on
+// the "stale" half, some mutation path stopped going through
+// NoteExtentChanged — that is the bug, not the test.
+TEST(SubplanCacheStalenessTest, UnversionedMutationIsServedStale) {
+  Warehouse w =
+      testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 40, 83);
+  testutil::ApplyTripleChanges(&w, 0.3, 10, 89);
+  Strategy s = MakeDualStageVdagStrategy(w.vdag());
+
+  SubplanCache cache;  // shared across all cached runs below
+  // Warm the cache from the unmutated state.
+  {
+    Warehouse warm = w.Clone();
+    ExecutorOptions options;
+    options.subplan_cache = &cache;
+    Executor executor(&warm, options);
+    executor.Execute(s);
+  }
+
+  // The out-of-band mutation: a fresh row in base A whose key joins into
+  // the pending B/C deltas, so maintenance terms that scan A produce
+  // visibly different contributions with and without it.
+  Tuple smuggled({Value::Int64(1), Value::Int64(777), Value::Int64(1)});
+
+  // What an honest (eager, uncached) run produces on the mutated state.
+  Catalog eager_result = [&] {
+    Warehouse eager = w.Clone();
+    eager.TestOnlyExtentNoVersionBump("A")->Add(smuggled, 1);
+    Executor executor(&eager);
+    executor.Execute(s);
+    return std::move(eager.catalog());
+  }();
+
+  // Stale half: same mutation WITHOUT the version bump, cache attached.
+  // The cached scan of A still fingerprints as current, gets served, and
+  // the run diverges from the eager oracle.
+  {
+    Warehouse stale = w.Clone();
+    stale.TestOnlyExtentNoVersionBump("A")->Add(smuggled, 1);
+    int64_t hits_before = cache.stats().hits;
+    ExecutorOptions options;
+    options.subplan_cache = &cache;
+    Executor executor(&stale, options);
+    executor.Execute(s);
+    EXPECT_GT(cache.stats().hits, hits_before)
+        << "stale entries were not even looked up — scan keys changed?";
+    EXPECT_FALSE(stale.catalog().ContentsEqual(eager_result))
+        << "unversioned mutation did NOT go stale — if a new mutation path "
+           "bumps versions implicitly, update this test; otherwise the "
+           "cache is re-reading extents it should not";
+  }
+
+  // Fixed half: same mutation, followed by NoteExtentChanged.  The scan
+  // re-keys, misses, re-reads the mutated extent, and matches eager.
+  {
+    Warehouse fixed = w.Clone();
+    fixed.TestOnlyExtentNoVersionBump("A")->Add(smuggled, 1);
+    fixed.NoteExtentChanged("A");
+    ExecutorOptions options;
+    options.subplan_cache = &cache;
+    Executor executor(&fixed, options);
+    executor.Execute(s);
+    EXPECT_TRUE(fixed.catalog().ContentsEqual(eager_result));
   }
 }
 

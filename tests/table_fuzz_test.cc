@@ -5,8 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
+#include <vector>
 
+#include "core/min_work.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "plan/subplan_cache.h"
 #include "storage/table.h"
+#include "test_util.h"
 #include "tpcd/tpcd_generator.h"
 
 namespace wuw {
@@ -49,7 +56,9 @@ Schema FuzzSchema() {
 class TableFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(TableFuzzTest, MatchesReferenceUnderRandomTraffic) {
-  tpcd::Rng rng(GetParam());
+  const uint64_t seed = GetParam() + testutil::PropertySeed(0);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  tpcd::Rng rng(seed);
   Table table(FuzzSchema());
   Reference ref;
 
@@ -91,7 +100,7 @@ TEST_P(TableFuzzTest, MatchesReferenceUnderRandomTraffic) {
     ASSERT_EQ(ref.Count(t), c) << t.ToString();
   });
   // Point lookups agree for present and absent tuples.
-  tpcd::Rng probe_rng(GetParam() ^ 0xF00D);
+  tpcd::Rng probe_rng(seed ^ 0xF00D);
   for (int i = 0; i < 1000; ++i) {
     Tuple t = MakeTuple(&probe_rng, 400);  // half outside the key space
     ASSERT_EQ(table.Count(t), ref.Count(t));
@@ -119,6 +128,61 @@ TEST(TableFuzzTest, ClearResetsEverything) {
   table.Add(t, 2);
   EXPECT_EQ(table.Count(t), 2);
 }
+
+// Differential fuzz one level up the stack: the same fuzzed change batches
+// run through the executor eagerly (no cache) and with subplan caches at
+// budgets {0, 1MB, 256MB}; every round, every budget must land on extents
+// bit-identical to the eager run (ContentsEqual is exact — the int64
+// money/value columns make SUM states comparable without epsilon).
+class ExecutorFuzzBatchTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecutorFuzzBatchTest, CacheBudgetsMatchEagerBitForBit) {
+  const uint64_t seed = GetParam() + testutil::PropertySeed(0);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  tpcd::Rng rng(seed);
+  Vdag vdag = testutil::RandomVdag(&rng, 3, 3);
+
+  // One eager warehouse plus one clone per cache budget, evolving in
+  // lockstep; each cache persists across rounds so epoch/version keying is
+  // exercised, not just single-window reuse.
+  const int64_t budgets[] = {0, 1 << 20, 256 << 20};
+  Warehouse eager = testutil::MakeLoadedWarehouse(vdag, 40, seed * 31 + 1);
+  std::vector<Warehouse> cached;
+  std::vector<std::unique_ptr<SubplanCache>> caches;
+  for (int64_t budget : budgets) {
+    cached.push_back(eager.Clone());
+    caches.push_back(
+        std::make_unique<SubplanCache>(SubplanCacheOptions{budget}));
+  }
+
+  for (int round = 0; round < 6; ++round) {
+    double delete_fraction = 0.05 * (1 + rng.Below(5));
+    int64_t insert_rows = rng.Range(0, 20);
+    uint64_t batch_seed = seed * 100 + round;
+    testutil::ApplyTripleChanges(&eager, delete_fraction, insert_rows,
+                                 batch_seed);
+    for (Warehouse& w : cached) {
+      testutil::ApplyTripleChanges(&w, delete_fraction, insert_rows,
+                                   batch_seed);
+    }
+
+    Strategy s = (round % 2 == 0)
+                     ? MinWork(vdag, eager.EstimatedSizes()).strategy
+                     : MakeDualStageVdagStrategy(vdag);
+    Executor(&eager).Execute(s);
+    for (size_t i = 0; i < cached.size(); ++i) {
+      ExecutorOptions options;
+      options.subplan_cache = caches[i].get();
+      Executor executor(&cached[i], options);
+      executor.Execute(s);
+      ASSERT_TRUE(cached[i].catalog().ContentsEqual(eager.catalog()))
+          << "round " << round << " budget " << budgets[i];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorFuzzBatchTest,
+                         ::testing::Values(301, 302, 303));
 
 TEST(TableFuzzTest, HashCollisionsHandled) {
   // Force many rows into the same table via a tiny key space so hash

@@ -7,6 +7,8 @@
 #ifndef WUW_TESTS_TEST_UTIL_H_
 #define WUW_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +21,29 @@
 
 namespace wuw {
 namespace testutil {
+
+/// The effective seed for a property/fuzz suite: `WUW_SEED` if set (so a
+/// nightly or a repro run can redirect every randomized suite from one
+/// knob), else `default_seed` (fixed, so PR CI is deterministic).
+inline uint64_t PropertySeed(uint64_t default_seed) {
+  const char* env = std::getenv("WUW_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+/// One-command repro line for gtest failure output.  Use as
+/// `SCOPED_TRACE(testutil::SeedTrace(seed));` so every assertion that
+/// fails under this seed prints how to rerun it.
+inline std::string SeedTrace(uint64_t seed) {
+  return "repro: WUW_SEED=" + std::to_string(seed) +
+         " (effective generator seed " + std::to_string(seed) + ")";
+}
+
+/// Builds a random VDAG over `num_bases` base views and `num_derived`
+/// derived views.  Every view follows the triple-column convention, so
+/// derived-over-derived definitions compose mechanically.  At most one
+/// aggregate source per definition (two would collide on __count).
+inline Vdag RandomVdag(tpcd::Rng* rng, size_t num_bases, size_t num_derived);
 
 /// Schema (name_k INT, name_v INT, name_g INT).
 inline Schema TripleSchema(const std::string& name) {
@@ -89,6 +114,44 @@ inline std::shared_ptr<const ViewDefinition> AggTripleView(
               name + "_g")
       .Sum(vsum, name + "_v");
   return b.Build();
+}
+
+inline Vdag RandomVdag(tpcd::Rng* rng, size_t num_bases, size_t num_derived) {
+  Vdag vdag;
+  std::vector<std::string> pool;          // candidate sources
+  std::vector<bool> is_aggregate_view;    // parallel to pool
+  for (size_t i = 0; i < num_bases; ++i) {
+    std::string name = "B" + std::to_string(i);
+    vdag.AddBaseView(name, TripleSchema(name));
+    pool.push_back(name);
+    is_aggregate_view.push_back(false);
+  }
+  for (size_t i = 0; i < num_derived; ++i) {
+    std::string name = "D" + std::to_string(i);
+    size_t fanin = 1 + rng->Below(std::min<size_t>(3, pool.size()));
+    std::vector<std::string> sources;
+    bool has_aggregate_source = false;
+    while (sources.size() < fanin) {
+      size_t pick = rng->Below(pool.size());
+      if (std::find(sources.begin(), sources.end(), pool[pick]) !=
+          sources.end()) {
+        continue;
+      }
+      if (is_aggregate_view[pick]) {
+        if (has_aggregate_source) continue;
+        has_aggregate_source = true;
+      }
+      sources.push_back(pool[pick]);
+    }
+    bool aggregate = rng->Below(3) == 0;
+    vdag.AddDerivedView(aggregate
+                            ? AggTripleView(name, sources)
+                            : SpjTripleView(name, sources,
+                                            /*with_filter=*/rng->Below(2)));
+    pool.push_back(name);
+    is_aggregate_view.push_back(aggregate);
+  }
+  return vdag;
 }
 
 /// The paper's Figure 3 shape: base A, B, C; V4 = B ⋈ C (SPJ);
