@@ -1,21 +1,59 @@
 #include "algebra/aggregate.h"
 
-#include <unordered_map>
+#include <array>
+#include <cstdlib>
+#include <queue>
 
 #include "algebra/key_util.h"
 #include "common/check.h"
 #include "expr/evaluator.h"
+#include "parallel/thread_pool.h"
 
 namespace wuw {
 
+namespace {
+
+/// Per-group accumulator.  Integer sums accumulate exactly in int64 so
+/// that different evaluation orders (different strategies) agree bitwise.
+/// Grouping hashes key columns in place (no per-row key allocation); the
+/// key tuple of each group points at its first input row.
+struct Acc {
+  Tuple exemplar;  // a row whose key columns identify this group
+  std::vector<int64_t> int_sums;
+  std::vector<double> dbl_sums;
+  int64_t count = 0;
+};
+
+/// Partition count for the parallel path.  A group's rows all share one
+/// key hash, hence one partition (top hash bits; bucket chains use the
+/// bottom bits), so each group is accumulated by exactly one worker IN
+/// INPUT ORDER — which is what keeps double SUMs bit-identical to the
+/// sequential accumulation.
+constexpr size_t kAggPartitionBits = 5;
+constexpr size_t kAggPartitions = size_t{1} << kAggPartitionBits;
+constexpr size_t kAggPartitionShift = sizeof(size_t) * 8 - kAggPartitionBits;
+
+/// One partition's thread-local aggregation state.  Groups record the
+/// global index of their first input row: within a partition groups are
+/// created in ascending first_row order, so a k-way merge on first_row
+/// reproduces the sequential path's global creation order exactly.
+struct AggPartition {
+  std::vector<Acc> groups;
+  std::vector<uint32_t> first_row;
+  OperatorStats stats;
+};
+
+}  // namespace
+
 Rows AggregateKernel::Run(const std::vector<const Rows*>& inputs,
-                          OperatorStats* stats) const {
+                          OperatorStats* stats, ThreadPool* pool) const {
   WUW_CHECK(inputs.size() == 1, "AggregateKernel takes exactly one input");
-  return AggregateSigned(*inputs[0], group_by, aggs, stats);
+  return AggregateSigned(*inputs[0], group_by, aggs, stats, pool);
 }
 
 Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by,
-                     const std::vector<AggSpec>& aggs, OperatorStats* stats) {
+                     const std::vector<AggSpec>& aggs, OperatorStats* stats,
+                     ThreadPool* pool) {
   std::vector<size_t> key_idx;
   std::vector<Column> out_cols;
   for (const std::string& name : group_by) {
@@ -42,27 +80,163 @@ Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by
   }
   out_cols.push_back(Column{kGroupCountColumn, TypeId::kInt64});
 
-  // Per-group accumulators.  Integer sums accumulate exactly in int64 so
-  // that different evaluation orders (different strategies) agree bitwise.
-  // Grouping hashes key columns in place (no per-row key allocation); the
-  // key tuple of each group points at its first input row.
-  struct Acc {
-    Tuple exemplar;  // a row whose key columns identify this group
-    std::vector<int64_t> int_sums;
-    std::vector<double> dbl_sums;
-    int64_t count = 0;
+  // COUNT(arg) is really COUNT(*) here: the maintainable language has no
+  // NULL-filtering COUNT(col).
+  auto accumulate = [&](Acc* acc, const Tuple& tuple, int64_t mult) {
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (aggs[a].fn == AggFn::kCount) {
+        acc->int_sums[a] += mult;
+      } else if (sum_is_int[a]) {
+        Value v = args[a].Eval(tuple);
+        if (!v.is_null()) acc->int_sums[a] += mult * v.AsInt64();
+      } else {
+        Value v = args[a].Eval(tuple);
+        if (!v.is_null()) {
+          acc->dbl_sums[a] += static_cast<double>(mult) * v.NumericValue();
+        }
+      }
+    }
+    acc->count += mult;
   };
+
+  auto emit = [&](Rows* out, const Acc& acc, OperatorStats* emit_stats) {
+    bool all_zero = acc.count == 0;
+    if (all_zero) {
+      for (size_t a = 0; a < aggs.size() && all_zero; ++a) {
+        if (sum_is_int[a] ? acc.int_sums[a] != 0 : acc.dbl_sums[a] != 0.0) {
+          all_zero = false;
+        }
+      }
+    }
+    if (all_zero) return;
+    Tuple row = acc.exemplar.Project(key_idx);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.Append(sum_is_int[a] ? Value::Int64(acc.int_sums[a])
+                               : Value::Double(acc.dbl_sums[a]));
+    }
+    row.Append(Value::Int64(acc.count));
+    out->Add(std::move(row), 1);
+    if (emit_stats != nullptr) emit_stats->rows_produced += 1;
+  };
+
+  const size_t n = input.rows.size();
+
+  if (ShouldParallelize(pool, n)) {
+    // Pass 1: hash every row, count per-(morsel, partition).
+    const size_t nmorsels = (n + kMorselRows - 1) / kMorselRows;
+    std::vector<size_t> hashes(n);
+    std::vector<uint32_t> counts(nmorsels * kAggPartitions, 0);
+    pool->ParallelFor(n, kMorselRows, [&](size_t begin, size_t end) {
+      uint32_t* cnt = &counts[(begin / kMorselRows) * kAggPartitions];
+      for (size_t i = begin; i < end; ++i) {
+        size_t h = KeyHash(input.rows[i].first, key_idx);
+        hashes[i] = h;
+        ++cnt[h >> kAggPartitionShift];
+      }
+    });
+
+    // Scatter row ids so every partition's list ascends in input order.
+    std::vector<std::vector<uint32_t>> part_ids(kAggPartitions);
+    std::vector<uint32_t> offsets(nmorsels * kAggPartitions);
+    for (size_t p = 0; p < kAggPartitions; ++p) {
+      uint32_t run = 0;
+      for (size_t m = 0; m < nmorsels; ++m) {
+        offsets[m * kAggPartitions + p] = run;
+        run += counts[m * kAggPartitions + p];
+      }
+      part_ids[p].resize(run);
+    }
+    pool->ParallelFor(n, kMorselRows, [&](size_t begin, size_t end) {
+      size_t m = begin / kMorselRows;
+      std::array<uint32_t, kAggPartitions> cursor;
+      for (size_t p = 0; p < kAggPartitions; ++p) {
+        cursor[p] = offsets[m * kAggPartitions + p];
+      }
+      for (size_t i = begin; i < end; ++i) {
+        size_t p = hashes[i] >> kAggPartitionShift;
+        part_ids[p][cursor[p]++] = static_cast<uint32_t>(i);
+      }
+    });
+
+    // Pass 2: thread-local partial aggregation, one partition per task.
+    std::vector<AggPartition> parts(kAggPartitions);
+    pool->ParallelTasks(kAggPartitions, /*max_workers=*/0, [&](size_t p) {
+      AggPartition& part = parts[p];
+      const std::vector<uint32_t>& ids = part_ids[p];
+      if (ids.empty()) return;
+      size_t nbuckets = 16;
+      while (nbuckets < ids.size() + 16) nbuckets <<= 1;
+      const size_t pmask = nbuckets - 1;
+      std::vector<int32_t> heads(nbuckets, -1);
+      std::vector<int32_t> chain;
+      std::vector<size_t> ghashes;
+      for (uint32_t i : ids) {
+        const auto& [tuple, mult] = input.rows[i];
+        part.stats.rows_scanned += std::llabs(mult);
+        size_t hash = hashes[i];
+        Acc* acc = nullptr;
+        for (int32_t g = heads[hash & pmask]; g >= 0; g = chain[g]) {
+          if (ghashes[g] == hash &&
+              KeysEqual(tuple, key_idx, part.groups[g].exemplar, key_idx)) {
+            acc = &part.groups[g];
+            break;
+          }
+        }
+        if (acc == nullptr) {
+          int32_t id = static_cast<int32_t>(part.groups.size());
+          part.groups.push_back(Acc{tuple,
+                                    std::vector<int64_t>(aggs.size(), 0),
+                                    std::vector<double>(aggs.size(), 0.0), 0});
+          part.first_row.push_back(i);
+          ghashes.push_back(hash);
+          chain.push_back(heads[hash & pmask]);
+          heads[hash & pmask] = id;
+          acc = &part.groups.back();
+        }
+        accumulate(acc, tuple, mult);
+      }
+    });
+
+    // Deterministic merge: k-way by ascending first input row.  This is
+    // exactly the sequential path's group-creation order, so the emitted
+    // row order matches byte for byte.
+    Rows out((Schema(std::move(out_cols))));
+    size_t total_groups = 0;
+    for (const AggPartition& part : parts) total_groups += part.groups.size();
+    out.rows.reserve(total_groups);
+    OperatorStats merge_stats;
+    using HeapItem = std::pair<uint32_t, uint32_t>;  // (first_row, partition)
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+    std::array<size_t, kAggPartitions> cursor{};
+    for (size_t p = 0; p < kAggPartitions; ++p) {
+      if (!parts[p].groups.empty()) {
+        heap.emplace(parts[p].first_row[0], static_cast<uint32_t>(p));
+      }
+    }
+    while (!heap.empty()) {
+      auto [first, p] = heap.top();
+      heap.pop();
+      emit(&out, parts[p].groups[cursor[p]], &merge_stats);
+      if (++cursor[p] < parts[p].groups.size()) {
+        heap.emplace(parts[p].first_row[cursor[p]], p);
+      }
+    }
+    if (stats != nullptr) {
+      for (const AggPartition& part : parts) *stats += part.stats;
+      *stats += merge_stats;
+    }
+    return out;
+  }
+
   std::vector<Acc> groups;
   // Flat chained hash over groups (no per-bucket allocation).
   size_t nbuckets = 16;
-  while (nbuckets < input.rows.size() + 16) nbuckets <<= 1;
+  while (nbuckets < n + 16) nbuckets <<= 1;
   const size_t mask = nbuckets - 1;
   std::vector<int32_t> heads(nbuckets, -1);
   std::vector<int32_t> chain;
   std::vector<size_t> hashes;
 
-  // COUNT(arg) is really COUNT(*) here: the maintainable language has no
-  // NULL-filtering COUNT(col).
   for (const auto& [tuple, mult] : input.rows) {
     if (stats != nullptr) stats->rows_scanned += std::llabs(mult);
     size_t hash = KeyHash(tuple, key_idx);
@@ -84,42 +258,12 @@ Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by
       heads[hash & mask] = id;
       acc = &groups.back();
     }
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      if (aggs[a].fn == AggFn::kCount) {
-        acc->int_sums[a] += mult;
-      } else if (sum_is_int[a]) {
-        Value v = args[a].Eval(tuple);
-        if (!v.is_null()) acc->int_sums[a] += mult * v.AsInt64();
-      } else {
-        Value v = args[a].Eval(tuple);
-        if (!v.is_null()) {
-          acc->dbl_sums[a] += static_cast<double>(mult) * v.NumericValue();
-        }
-      }
-    }
-    acc->count += mult;
+    accumulate(acc, tuple, mult);
   }
 
   Rows out((Schema(std::move(out_cols))));
-  for (const Acc& acc : groups) {
-    bool all_zero = acc.count == 0;
-    if (all_zero) {
-      for (size_t a = 0; a < aggs.size() && all_zero; ++a) {
-        if (sum_is_int[a] ? acc.int_sums[a] != 0 : acc.dbl_sums[a] != 0.0) {
-          all_zero = false;
-        }
-      }
-    }
-    if (all_zero) continue;
-    Tuple row = acc.exemplar.Project(key_idx);
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      row.Append(sum_is_int[a] ? Value::Int64(acc.int_sums[a])
-                               : Value::Double(acc.dbl_sums[a]));
-    }
-    row.Append(Value::Int64(acc.count));
-    out.Add(std::move(row), 1);
-    if (stats != nullptr) stats->rows_produced += 1;
-  }
+  out.rows.reserve(groups.size());
+  for (const Acc& acc : groups) emit(&out, acc, stats);
   return out;
 }
 

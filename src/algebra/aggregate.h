@@ -17,6 +17,8 @@
 
 namespace wuw {
 
+class ThreadPool;
+
 enum class AggFn : uint8_t { kSum, kCount };
 
 /// One aggregate output column.
@@ -36,8 +38,15 @@ struct AggSpec {
 /// Emits one +1-weighted row per group whose aggregates or count are not
 /// all zero.  Over all-positive input this is ordinary GROUP BY; over a
 /// signed delta it is the *summary delta* of Mumick-Quass-Mumick 1997.
+///
+/// With a pool (and a large enough input) rows partition by group-key hash
+/// into thread-local partial aggregation maps; each group is accumulated
+/// by one worker in input order (double SUMs stay bit-identical) and the
+/// partitions merge in global first-occurrence order, so output rows, row
+/// ORDER, and stats match the sequential path at every pool size.
 Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by,
-                     const std::vector<AggSpec>& aggs, OperatorStats* stats);
+                     const std::vector<AggSpec>& aggs, OperatorStats* stats,
+                     ThreadPool* pool = nullptr);
 
 /// Name of the hidden per-group contributing-row counter column.
 inline const char* kGroupCountColumn = "__count";
@@ -49,7 +58,8 @@ struct AggregateKernel {
   std::vector<AggSpec> aggs;
 
   /// inputs = {child}.
-  Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats) const;
+  Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats,
+           ThreadPool* pool = nullptr) const;
 };
 
 }  // namespace wuw

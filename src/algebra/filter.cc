@@ -1,21 +1,61 @@
 #include "algebra/filter.h"
 
+#include <cstdlib>
+
 #include "common/check.h"
 #include "expr/evaluator.h"
+#include "parallel/thread_pool.h"
 
 namespace wuw {
 
 Rows FilterKernel::Run(const std::vector<const Rows*>& inputs,
-                       OperatorStats* stats) const {
+                       OperatorStats* stats, ThreadPool* pool) const {
   WUW_CHECK(inputs.size() == 1, "FilterKernel takes exactly one input");
-  return Filter(*inputs[0], predicate, stats);
+  return Filter(*inputs[0], predicate, stats, pool);
 }
 
 Rows Filter(const Rows& input, const ScalarExpr::Ptr& predicate,
-            OperatorStats* stats) {
+            OperatorStats* stats, ThreadPool* pool) {
   if (predicate == nullptr) return input;
   Rows out(input.schema);
   BoundExpr bound = BoundExpr::Bind(predicate, input.schema);
+  const size_t n = input.rows.size();
+
+  if (ShouldParallelize(pool, n)) {
+    // Per-morsel buffers merged in morsel order keep the surviving rows in
+    // input order — identical to the sequential scan.  The bound predicate
+    // is evaluated concurrently over an immutable tree (see evaluator.h).
+    const size_t nmorsels = (n + kMorselRows - 1) / kMorselRows;
+    std::vector<std::vector<std::pair<Tuple, int64_t>>> buffers(nmorsels);
+    std::vector<OperatorStats> partial(nmorsels);
+    pool->ParallelFor(n, kMorselRows, [&](size_t begin, size_t end) {
+      size_t m = begin / kMorselRows;
+      std::vector<std::pair<Tuple, int64_t>>& buf = buffers[m];
+      OperatorStats& ps = partial[m];
+      buf.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        const auto& [tuple, count] = input.rows[i];
+        ps.rows_scanned += std::llabs(count);
+        if (bound.EvalBool(tuple)) {
+          if (count != 0) buf.emplace_back(tuple, count);
+          ps.rows_produced += std::llabs(count);
+        }
+      }
+    });
+    size_t total = 0;
+    for (const auto& buf : buffers) total += buf.size();
+    out.rows.reserve(total);
+    for (auto& buf : buffers) {
+      out.rows.insert(out.rows.end(), std::make_move_iterator(buf.begin()),
+                      std::make_move_iterator(buf.end()));
+    }
+    if (stats != nullptr) {
+      for (const OperatorStats& ps : partial) *stats += ps;
+    }
+    return out;
+  }
+
+  out.rows.reserve(n);
   for (const auto& [tuple, count] : input.rows) {
     if (stats != nullptr) stats->rows_scanned += std::llabs(count);
     if (bound.EvalBool(tuple)) {

@@ -8,10 +8,14 @@
 
 namespace wuw {
 
+class ThreadPool;
+
 /// Returns the rows of `input` satisfying `predicate` (multiplicities kept
-/// verbatim).  A null predicate passes everything through.
+/// verbatim).  A null predicate passes everything through.  With a pool
+/// (and a large enough input) the scan runs morsel-parallel; output and
+/// stats match the sequential scan exactly.
 Rows Filter(const Rows& input, const ScalarExpr::Ptr& predicate,
-            OperatorStats* stats);
+            OperatorStats* stats, ThreadPool* pool = nullptr);
 
 /// Plan-node kernel form of Filter: parameters captured at plan-build time,
 /// executed with the uniform Run(inputs, stats) signature shared by every
@@ -20,7 +24,8 @@ struct FilterKernel {
   ScalarExpr::Ptr predicate;
 
   /// inputs = {child}.
-  Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats) const;
+  Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats,
+           ThreadPool* pool = nullptr) const;
 };
 
 }  // namespace wuw

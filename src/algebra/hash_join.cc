@@ -1,20 +1,169 @@
 #include "algebra/hash_join.h"
 
-#include <unordered_map>
+#include <array>
+#include <cstdlib>
 
 #include "algebra/key_util.h"
 #include "common/check.h"
+#include "parallel/thread_pool.h"
 
 namespace wuw {
 
+namespace {
+
+/// Radix partitions for the parallel build: keys partition by the TOP hash
+/// bits (bucket chains inside a partition use the bottom bits, so the two
+/// never alias).  Equal keys hash equally and therefore land in the same
+/// partition, which is what makes per-partition builds race-free without
+/// any shared-state writes.
+constexpr size_t kJoinPartitionBits = 6;
+constexpr size_t kJoinPartitions = size_t{1} << kJoinPartitionBits;
+constexpr size_t kJoinPartitionShift =
+    sizeof(size_t) * 8 - kJoinPartitionBits;
+
+/// One partition's flat chained hash table.  `ids[j]` maps the local slot j
+/// back to the global build-row index; chains link local slots.
+struct JoinPartition {
+  std::vector<uint32_t> ids;
+  std::vector<int32_t> heads;
+  std::vector<int32_t> chain;
+  size_t mask = 0;
+};
+
+/// Morsel-parallel join.  Determinism argument, step by step:
+///  - partition row-id lists are written morsel-block by morsel-block in
+///    morsel order, so each partition's ids ascend in global row order;
+///  - each partition's chain is built over ascending ids, so a probe walks
+///    matching rows in DESCENDING global index — exactly the order the
+///    sequential single-table chain yields for the same key (rows of one
+///    key share one full hash, hence one partition and one bucket in both
+///    layouts, and both probes skip non-matching hashes);
+///  - probe morsels buffer output locally and merge in morsel order, which
+///    reproduces the sequential probe's row order byte for byte.
+Rows ParallelHashJoin(const Rows& left, const Rows& right,
+                      const std::vector<size_t>& left_idx,
+                      const std::vector<size_t>& right_idx,
+                      OperatorStats* stats, ThreadPool* pool) {
+  const size_t n = right.rows.size();
+  const size_t build_morsels = (n + kMorselRows - 1) / kMorselRows;
+
+  // Pass 1: hash every build row, count per-(morsel, partition).
+  std::vector<size_t> hashes(n);
+  std::vector<uint32_t> counts(build_morsels * kJoinPartitions, 0);
+  std::vector<int64_t> scanned(build_morsels, 0);
+  pool->ParallelFor(n, kMorselRows, [&](size_t begin, size_t end) {
+    size_t m = begin / kMorselRows;
+    uint32_t* cnt = &counts[m * kJoinPartitions];
+    int64_t sc = 0;
+    for (size_t i = begin; i < end; ++i) {
+      sc += std::llabs(right.rows[i].second);
+      size_t h = KeyHash(right.rows[i].first, right_idx);
+      hashes[i] = h;
+      ++cnt[h >> kJoinPartitionShift];
+    }
+    scanned[m] = sc;
+  });
+  if (stats != nullptr) {
+    for (int64_t sc : scanned) stats->rows_scanned += sc;
+    stats->hash_build_rows += static_cast<int64_t>(n);
+  }
+
+  // Exclusive prefix over morsels, per partition: each morsel's scatter
+  // window into its partition.  Concatenating windows in morsel order keeps
+  // every partition's ids ascending in global row order.
+  std::vector<JoinPartition> parts(kJoinPartitions);
+  std::vector<uint32_t> offsets(build_morsels * kJoinPartitions);
+  for (size_t p = 0; p < kJoinPartitions; ++p) {
+    uint32_t run = 0;
+    for (size_t m = 0; m < build_morsels; ++m) {
+      offsets[m * kJoinPartitions + p] = run;
+      run += counts[m * kJoinPartitions + p];
+    }
+    parts[p].ids.resize(run);
+  }
+  pool->ParallelFor(n, kMorselRows, [&](size_t begin, size_t end) {
+    size_t m = begin / kMorselRows;
+    std::array<uint32_t, kJoinPartitions> cursor;
+    for (size_t p = 0; p < kJoinPartitions; ++p) {
+      cursor[p] = offsets[m * kJoinPartitions + p];
+    }
+    for (size_t i = begin; i < end; ++i) {
+      size_t p = hashes[i] >> kJoinPartitionShift;
+      parts[p].ids[cursor[p]++] = static_cast<uint32_t>(i);
+    }
+  });
+
+  // Per-partition build: no writes escape the partition.
+  pool->ParallelTasks(kJoinPartitions, /*max_workers=*/0, [&](size_t p) {
+    JoinPartition& part = parts[p];
+    const size_t m = part.ids.size();
+    if (m == 0) return;
+    size_t nbuckets = 16;
+    while (nbuckets < m * 2) nbuckets <<= 1;
+    part.mask = nbuckets - 1;
+    part.heads.assign(nbuckets, -1);
+    part.chain.resize(m);
+    for (size_t j = 0; j < m; ++j) {
+      size_t h = hashes[part.ids[j]];
+      part.chain[j] = part.heads[h & part.mask];
+      part.heads[h & part.mask] = static_cast<int32_t>(j);
+    }
+  });
+
+  // Morsel-parallel probe with per-morsel buffers.
+  const size_t ln = left.rows.size();
+  const size_t probe_morsels = (ln + kMorselRows - 1) / kMorselRows;
+  std::vector<std::vector<std::pair<Tuple, int64_t>>> buffers(probe_morsels);
+  std::vector<OperatorStats> partial(probe_morsels);
+  pool->ParallelFor(ln, kMorselRows, [&](size_t begin, size_t end) {
+    size_t m = begin / kMorselRows;
+    std::vector<std::pair<Tuple, int64_t>>& buf = buffers[m];
+    OperatorStats& ps = partial[m];
+    buf.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const auto& [ltuple, lcount] = left.rows[i];
+      ps.rows_scanned += std::llabs(lcount);
+      ps.hash_probes += 1;
+      size_t h = KeyHash(ltuple, left_idx);
+      const JoinPartition& part = parts[h >> kJoinPartitionShift];
+      if (part.heads.empty()) continue;
+      for (int32_t j = part.heads[h & part.mask]; j >= 0; j = part.chain[j]) {
+        uint32_t r = part.ids[j];
+        if (hashes[r] != h) continue;
+        const auto& [rtuple, rcount] = right.rows[r];
+        if (!KeysEqual(ltuple, left_idx, rtuple, right_idx)) continue;
+        if (lcount * rcount != 0) {
+          buf.emplace_back(Tuple::Concat(ltuple, rtuple), lcount * rcount);
+        }
+        ps.rows_produced += std::llabs(lcount * rcount);
+      }
+    }
+  });
+
+  Rows out(Schema::Concat(left.schema, right.schema));
+  size_t total = 0;
+  for (const auto& buf : buffers) total += buf.size();
+  out.rows.reserve(total);
+  for (auto& buf : buffers) {
+    out.rows.insert(out.rows.end(), std::make_move_iterator(buf.begin()),
+                    std::make_move_iterator(buf.end()));
+  }
+  if (stats != nullptr) {
+    for (const OperatorStats& ps : partial) *stats += ps;
+  }
+  return out;
+}
+
+}  // namespace
+
 Rows HashJoinKernel::Run(const std::vector<const Rows*>& inputs,
-                         OperatorStats* stats) const {
+                         OperatorStats* stats, ThreadPool* pool) const {
   WUW_CHECK(inputs.size() == 2, "HashJoinKernel takes exactly two inputs");
-  return HashJoin(*inputs[0], *inputs[1], keys, stats);
+  return HashJoin(*inputs[0], *inputs[1], keys, stats, pool);
 }
 
 Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
-              OperatorStats* stats) {
+              OperatorStats* stats, ThreadPool* pool) {
   WUW_CHECK(keys.left_columns.size() == keys.right_columns.size(),
             "join key arity mismatch");
   std::vector<size_t> left_idx, right_idx;
@@ -23,6 +172,10 @@ Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
   }
   for (const std::string& c : keys.right_columns) {
     right_idx.push_back(right.schema.MustIndexOf(c));
+  }
+
+  if (ShouldParallelize(pool, left.rows.size() + right.rows.size())) {
+    return ParallelHashJoin(left, right, left_idx, right_idx, stats, pool);
   }
 
   // Build side: right input.  Flat chained hash table (two arrays, no
@@ -48,6 +201,7 @@ Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
   }
 
   Rows out(Schema::Concat(left.schema, right.schema));
+  out.rows.reserve(left.rows.size());
   for (const auto& [ltuple, lcount] : left.rows) {
     if (stats != nullptr) {
       stats->rows_scanned += std::llabs(lcount);

@@ -14,6 +14,8 @@
 
 namespace wuw {
 
+class ThreadPool;
+
 /// A conjunctive equi-join condition: left.key[i] == right.key[i] for all i.
 struct JoinKeys {
   std::vector<std::string> left_columns;
@@ -23,16 +25,22 @@ struct JoinKeys {
 /// Hash join (build on `right`, probe with `left`).  Output schema is the
 /// concatenation left ++ right; callers guarantee column-name uniqueness
 /// (view binding qualifies ambiguous names before joining).
+///
+/// With a pool (and a large enough input) the build is radix-partitioned
+/// by key hash and the probe runs morsel-parallel with per-morsel output
+/// buffers merged in morsel order — output rows, row ORDER, and stats are
+/// byte-identical to the sequential path at every pool size.
 Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
-              OperatorStats* stats);
+              OperatorStats* stats, ThreadPool* pool = nullptr);
 
-/// Plan-node kernel form of HashJoin (uniform Run(inputs, stats) signature;
-/// see plan/plan_node.h).
+/// Plan-node kernel form of HashJoin (uniform Run(inputs, stats, pool)
+/// signature; see plan/plan_node.h).
 struct HashJoinKernel {
   JoinKeys keys;
 
   /// inputs = {left, right}.
-  Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats) const;
+  Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats,
+           ThreadPool* pool = nullptr) const;
 };
 
 }  // namespace wuw

@@ -1,18 +1,21 @@
 #include "algebra/project.h"
 
+#include <cstdlib>
+
 #include "common/check.h"
 #include "expr/evaluator.h"
+#include "parallel/thread_pool.h"
 
 namespace wuw {
 
 Rows ProjectKernel::Run(const std::vector<const Rows*>& inputs,
-                        OperatorStats* stats) const {
+                        OperatorStats* stats, ThreadPool* pool) const {
   WUW_CHECK(inputs.size() == 1, "ProjectKernel takes exactly one input");
-  return Project(*inputs[0], items, stats);
+  return Project(*inputs[0], items, stats, pool);
 }
 
 Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
-             OperatorStats* stats) {
+             OperatorStats* stats, ThreadPool* pool) {
   std::vector<BoundExpr> bound;
   std::vector<Column> out_cols;
   bound.reserve(items.size());
@@ -21,7 +24,35 @@ Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
     out_cols.push_back(Column{item.name, bound.back().result_type()});
   }
   Rows out((Schema(std::move(out_cols))));
-  out.rows.reserve(input.rows.size());
+  const size_t n = input.rows.size();
+
+  if (ShouldParallelize(pool, n)) {
+    // One output row per input row and no filtering, so morsels can write
+    // disjoint windows of the pre-sized output directly — merge order is
+    // the row index itself.  (Rows with multiplicity 0 never occur in
+    // operator pipelines; Add() upstream drops them.)
+    const size_t nmorsels = (n + kMorselRows - 1) / kMorselRows;
+    std::vector<OperatorStats> partial(nmorsels);
+    out.rows.resize(n);
+    pool->ParallelFor(n, kMorselRows, [&](size_t begin, size_t end) {
+      OperatorStats& ps = partial[begin / kMorselRows];
+      for (size_t i = begin; i < end; ++i) {
+        const auto& [tuple, count] = input.rows[i];
+        ps.rows_scanned += std::llabs(count);
+        std::vector<Value> values;
+        values.reserve(bound.size());
+        for (const BoundExpr& b : bound) values.push_back(b.Eval(tuple));
+        out.rows[i] = {Tuple(std::move(values)), count};
+        ps.rows_produced += std::llabs(count);
+      }
+    });
+    if (stats != nullptr) {
+      for (const OperatorStats& ps : partial) *stats += ps;
+    }
+    return out;
+  }
+
+  out.rows.reserve(n);
   for (const auto& [tuple, count] : input.rows) {
     if (stats != nullptr) stats->rows_scanned += std::llabs(count);
     std::vector<Value> values;

@@ -11,6 +11,8 @@
 
 namespace wuw {
 
+class ThreadPool;
+
 /// One output column of a projection: an expression plus an output name.
 struct ProjectItem {
   ScalarExpr::Ptr expr;
@@ -19,8 +21,10 @@ struct ProjectItem {
 
 /// Evaluates `items` over every row of `input`.  Duplicates are NOT
 /// collapsed (multiset projection); multiplicities are kept verbatim.
+/// With a pool (and a large enough input) rows evaluate morsel-parallel
+/// into a pre-sized output; output and stats match the sequential path.
 Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
-             OperatorStats* stats);
+             OperatorStats* stats, ThreadPool* pool = nullptr);
 
 /// Plan-node kernel form of Project (uniform Run(inputs, stats) signature;
 /// see plan/plan_node.h).
@@ -28,7 +32,8 @@ struct ProjectKernel {
   std::vector<ProjectItem> items;
 
   /// inputs = {child}.
-  Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats) const;
+  Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats,
+           ThreadPool* pool = nullptr) const;
 };
 
 }  // namespace wuw

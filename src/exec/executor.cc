@@ -8,6 +8,7 @@
 #include "core/simplify.h"
 #include "delta/install.h"
 #include "fault/fault_injection.h"
+#include "parallel/thread_pool.h"
 #include "view/comp_term.h"
 
 namespace wuw {
@@ -120,10 +121,11 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
 CompEvalOptions MakeCompEvalOptions(Warehouse* warehouse,
                                     SubplanCache* subplan_cache,
                                     bool skip_empty_delta_terms,
-                                    int term_workers) {
+                                    int term_workers, ThreadPool* pool) {
   CompEvalOptions comp_options;
   comp_options.skip_empty_delta_terms = skip_empty_delta_terms;
   comp_options.term_workers = term_workers;
+  comp_options.pool = pool;
   comp_options.subplan_cache = subplan_cache;
   if (subplan_cache != nullptr) {
     // The epoch is fixed for the whole run (deltas were set before Execute
@@ -159,8 +161,11 @@ ExecutionReport Executor::Execute(const Strategy& strategy) {
   }
 
   ExecutionReport report;
+  ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &ThreadPool::Global();
   CompEvalOptions comp_options = MakeCompEvalOptions(
-      warehouse_, options_.subplan_cache, options_.skip_empty_delta_terms);
+      warehouse_, options_.subplan_cache, options_.skip_empty_delta_terms,
+      /*term_workers=*/1, pool);
 
   StrategyJournal* journal = nullptr;
   if (options_.journal) {

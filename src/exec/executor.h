@@ -21,6 +21,8 @@
 
 namespace wuw {
 
+class ThreadPool;
+
 struct ExecutorOptions {
   /// Check C1-C8 before executing; abort on violation.
   bool validate = true;
@@ -44,6 +46,13 @@ struct ExecutorOptions {
   /// StrategyJournal, making an interrupted run resumable via
   /// ResumeStrategy (exec/recovery.h).
   bool journal = false;
+  /// Thread pool for morsel-parallel operator kernels (and term workers,
+  /// where enabled).  Null resolves to ThreadPool::Global() — sized by
+  /// WUW_THREADS — at Execute time; pass an explicit ThreadPool(1) to
+  /// force fully sequential kernels regardless of the env.  Results and
+  /// OperatorStats are identical at every pool size (see
+  /// parallel/thread_pool.h).
+  ThreadPool* pool = nullptr;
 };
 
 /// Measurements for one executed expression.
@@ -91,7 +100,8 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
 struct CompEvalOptions MakeCompEvalOptions(Warehouse* warehouse,
                                            SubplanCache* subplan_cache,
                                            bool skip_empty_delta_terms,
-                                           int term_workers = 1);
+                                           int term_workers = 1,
+                                           ThreadPool* pool = nullptr);
 
 /// Executes strategies against one warehouse.
 class Executor {

@@ -1,13 +1,10 @@
 #include "exec/parallel_executor.h"
 
-#include <atomic>
 #include <chrono>
-#include <exception>
-#include <mutex>
-#include <thread>
 
 #include "common/check.h"
 #include "fault/fault_injection.h"
+#include "parallel/thread_pool.h"
 #include "view/comp_term.h"
 
 namespace wuw {
@@ -32,10 +29,12 @@ ParallelExecutor::ParallelExecutor(Warehouse* warehouse,
 ParallelExecutionReport ParallelExecutor::Execute(
     const ParallelStrategy& strategy) {
   ParallelExecutionReport report;
+  ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &ThreadPool::Global();
   CompEvalOptions comp_options =
       MakeCompEvalOptions(warehouse_, options_.subplan_cache,
                           options_.skip_empty_delta_terms,
-                          options_.term_workers);
+                          options_.term_workers, pool);
 
   StrategyJournal* journal = nullptr;
   if (options_.journal) {
@@ -48,45 +47,18 @@ ParallelExecutionReport ParallelExecutor::Execute(
     WUW_FAULT_POINT("parallel.stage.begin");
     double stage_start = Now();
     std::vector<ExpressionReport> stage_reports(stage.size());
-    std::atomic<size_t> next{0};
-    // Injected-fault plumbing: the first dying worker parks its exception
-    // here and flips `stop`; the others drain out at their next fetch, and
-    // the barrier rethrows — the whole stage-parallel run "dies" the way a
-    // one-process update window would.
-    std::atomic<bool> stop{false};
-    std::exception_ptr failure;
-    std::mutex failure_mu;
-
-    auto worker = [&]() {
-      while (!stop.load(std::memory_order_relaxed)) {
-        size_t i = next.fetch_add(1);
-        if (i >= stage.size()) break;
-        try {
-          WUW_FAULT_POINT("parallel.step.begin");
-          stage_reports[i] = ExecuteExpression(
-              warehouse_, stage[i], comp_options, nullptr, journal,
-              stage_step_base + static_cast<int64_t>(i));
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(failure_mu);
-          if (failure == nullptr) failure = std::current_exception();
-          stop.store(true, std::memory_order_relaxed);
-        }
-      }
-    };
-
-    size_t num_threads =
-        std::min<size_t>(static_cast<size_t>(options_.workers), stage.size());
-    if (num_threads <= 1) {
-      worker();
-    } else {
-      std::vector<std::thread> threads;
-      threads.reserve(num_threads);
-      for (size_t t = 0; t < num_threads; ++t) {
-        threads.emplace_back(worker);
-      }
-      for (std::thread& t : threads) t.join();
-    }
-    if (failure != nullptr) std::rethrow_exception(failure);
+    // Expressions are claimed from the shared pool (up to options_.workers
+    // slots), so stage-level, term-level, and morsel-level parallelism all
+    // draw from one set of threads.  Injected-fault plumbing: the first
+    // dying expression stops the unclaimed rest and the barrier rethrows —
+    // the whole stage-parallel run "dies" the way a one-process update
+    // window would.
+    pool->ParallelTasks(stage.size(), options_.workers, [&](size_t i) {
+      WUW_FAULT_POINT("parallel.step.begin");
+      stage_reports[i] = ExecuteExpression(
+          warehouse_, stage[i], comp_options, nullptr, journal,
+          stage_step_base + static_cast<int64_t>(i));
+    });
     stage_step_base += static_cast<int64_t>(stage.size());
 
     double stage_seconds = Now() - stage_start;

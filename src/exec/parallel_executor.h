@@ -20,6 +20,8 @@
 
 namespace wuw {
 
+class ThreadPool;
+
 /// Measurements for one stage-parallel run.
 struct ParallelExecutionReport {
   double total_seconds = 0;  // wall time across all stage barriers
@@ -47,6 +49,12 @@ struct ParallelExecutorOptions {
   /// Optional shared-subplan memo (not owned); see ExecutorOptions.  The
   /// cache locks internally, so a stage's workers share it safely.
   SubplanCache* subplan_cache = nullptr;
+  /// Shared thread pool for stage workers, term workers, AND the
+  /// morsel-parallel kernels — one pool for all three levels, so nesting
+  /// them cannot oversubscribe.  Null resolves to ThreadPool::Global()
+  /// (WUW_THREADS) at Execute time.  `workers` and `term_workers` cap how
+  /// many pool slots each level may claim; the pool size caps everything.
+  ThreadPool* pool = nullptr;
   /// Record completed steps into the warehouse's StrategyJournal, indexed
   /// by the strategy's linearization, so ResumeStrategy can finish an
   /// interrupted staged run sequentially.  A worker that dies mid-stage

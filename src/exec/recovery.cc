@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "delta/install.h"
 #include "fault/fault_injection.h"
+#include "parallel/thread_pool.h"
 #include "view/comp_term.h"
 
 namespace wuw {
@@ -94,7 +95,9 @@ ResumeReport ResumeStrategy(const StrategyJournal& journal,
   // original run validated it, so no re-simplification or re-validation
   // here.
   CompEvalOptions comp_options = MakeCompEvalOptions(
-      warehouse, options.subplan_cache, options.skip_empty_delta_terms);
+      warehouse, options.subplan_cache, options.skip_empty_delta_terms,
+      /*term_workers=*/1,
+      options.pool != nullptr ? options.pool : &ThreadPool::Global());
   for (int64_t step = 0; step < total_steps; ++step) {
     if (completed[step]) continue;
     WUW_FAULT_POINT("recovery.step.begin");

@@ -1,0 +1,164 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+namespace wuw {
+
+/// One fork-join region.  Lives on the caller's stack: RunRegion does not
+/// return until every submitted runner finished, so the pointer the tasks
+/// capture stays valid.
+struct ThreadPool::Region {
+  /// Next unclaimed chunk index — the work-stealing cursor.
+  std::atomic<size_t> next{0};
+  /// Flipped by the first chunk that throws; drains the other runners.
+  std::atomic<bool> stop{false};
+  /// Submitted runner tasks not yet finished.
+  std::atomic<int> pending{0};
+  size_t chunks = 0;
+  const std::function<void(size_t)>* chunk_body = nullptr;
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  /// Claims chunks until the cursor runs dry (or a sibling failed).
+  void Drain() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      try {
+        (*chunk_body)(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (error == nullptr) error = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int parallelism)
+    : parallelism_(std::max(1, parallelism)) {
+  threads_.reserve(static_cast<size_t>(parallelism_ - 1));
+  for (int t = 0; t < parallelism_ - 1; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(EnvParallelism());  // leaked
+  return *pool;
+}
+
+int ThreadPool::EnvParallelism() {
+  if (const char* env = std::getenv("WUW_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return std::min(v, 512);
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.parallel_regions = parallel_regions_.load(std::memory_order_relaxed);
+  s.inline_regions = inline_regions_.load(std::memory_order_relaxed);
+  s.pool_tasks = pool_tasks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+void ThreadPool::RunRegion(Region* region, int max_workers) {
+  size_t cap = static_cast<size_t>(parallelism_);
+  if (max_workers > 0) cap = std::min(cap, static_cast<size_t>(max_workers));
+  size_t runners = std::min(region->chunks, cap);
+
+  if (runners <= 1) {
+    inline_regions_.fetch_add(1, std::memory_order_relaxed);
+    region->Drain();
+  } else {
+    parallel_regions_.fetch_add(1, std::memory_order_relaxed);
+    region->pending.store(static_cast<int>(runners) - 1,
+                          std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t r = 1; r < runners; ++r) {
+        queue_.emplace_back([this, region] {
+          region->Drain();
+          pool_tasks_.fetch_add(1, std::memory_order_relaxed);
+          region->pending.fetch_sub(1, std::memory_order_acq_rel);
+          // Empty critical section before notify: a waiter that read a
+          // stale pending is guaranteed to be inside cv_.wait by now.
+          { std::lock_guard<std::mutex> relock(mu_); }
+          cv_.notify_all();
+        });
+      }
+    }
+    cv_.notify_all();
+
+    region->Drain();
+
+    // Helping wait: run other queued tasks (possibly from regions nested
+    // inside this one) instead of blocking a pool slot.
+    std::unique_lock<std::mutex> lock(mu_);
+    while (region->pending.load(std::memory_order_acquire) > 0) {
+      if (!queue_.empty()) {
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+      } else {
+        cv_.wait(lock);
+      }
+    }
+  }
+
+  if (region->error != nullptr) std::rethrow_exception(region->error);
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  std::function<void(size_t)> chunk_body = [n, grain, &body](size_t c) {
+    size_t begin = c * grain;
+    body(begin, std::min(n, begin + grain));
+  };
+  Region region;
+  region.chunks = (n + grain - 1) / grain;
+  region.chunk_body = &chunk_body;
+  RunRegion(&region, /*max_workers=*/0);
+}
+
+void ThreadPool::ParallelTasks(size_t count, int max_workers,
+                               const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  Region region;
+  region.chunks = count;
+  region.chunk_body = &body;
+  RunRegion(&region, max_workers);
+}
+
+}  // namespace wuw

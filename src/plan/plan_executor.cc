@@ -2,11 +2,32 @@
 
 #include "common/check.h"
 #include "fault/fault_injection.h"
+#include "parallel/thread_pool.h"
 
 namespace wuw {
 
-PlanExecutor::PlanExecutor(const PlanDag& dag, SubplanCache* cache)
-    : dag_(dag), cache_(cache), memo_(dag.size()) {}
+namespace {
+
+/// Morsel-parallel table snapshot: morsels copy disjoint windows of the
+/// dense row storage straight into the pre-sized output, so the result is
+/// identical to Rows::FromTable (same order, COW tuple copies only bump
+/// refcounts).
+Rows ScanTable(const Table& table, ThreadPool* pool) {
+  const auto& dense = table.dense_rows();
+  if (!ShouldParallelize(pool, dense.size())) return Rows::FromTable(table);
+  Rows out(table.schema());
+  out.rows.resize(dense.size());
+  pool->ParallelFor(dense.size(), kMorselRows, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out.rows[i] = dense[i];
+  });
+  return out;
+}
+
+}  // namespace
+
+PlanExecutor::PlanExecutor(const PlanDag& dag, SubplanCache* cache,
+                           ThreadPool* pool)
+    : dag_(dag), cache_(cache), pool_(pool), memo_(dag.size()) {}
 
 void PlanExecutor::PrepareShared(const std::vector<PlanNodeId>& roots,
                                  OperatorStats* stats) {
@@ -60,7 +81,7 @@ std::shared_ptr<const Rows> PlanExecutor::Eval(PlanNodeId id,
   if (result == nullptr) {
     switch (n.kind) {
       case PlanNodeKind::kScanTable:
-        result = std::make_shared<const Rows>(Rows::FromTable(*n.table));
+        result = std::make_shared<const Rows>(ScanTable(*n.table, pool_));
         break;
       case PlanNodeKind::kScanDelta:
         result = std::make_shared<const Rows>(n.delta->ToRows());
@@ -70,23 +91,45 @@ std::shared_ptr<const Rows> PlanExecutor::Eval(PlanNodeId id,
         result = std::shared_ptr<const Rows>(n.rows, [](const Rows*) {});
         break;
       default: {
-        std::vector<std::shared_ptr<const Rows>> owned;
+        std::vector<std::shared_ptr<const Rows>> owned(n.children.size());
         std::vector<const Rows*> inputs;
-        owned.reserve(n.children.size());
         inputs.reserve(n.children.size());
-        for (PlanNodeId c : n.children) {
-          owned.push_back(Eval(c, stats, memoize_shared));
-          inputs.push_back(owned.back().get());
+        // Independent children (a join's two sides) may evaluate
+        // concurrently — but never during PrepareShared, whose memo writes
+        // are the one piece of executor state that is not thread-safe.
+        // Stats fold per child in child order; every counter is a
+        // commutative sum, so totals equal the sequential traversal's.
+        if (!memoize_shared && n.children.size() > 1 &&
+            pool_ != nullptr && pool_->parallelism() > 1) {
+          std::vector<OperatorStats> child_stats(n.children.size());
+          pool_->ParallelTasks(n.children.size(), /*max_workers=*/0,
+                               [&](size_t c) {
+                                 owned[c] = Eval(n.children[c],
+                                                 &child_stats[c],
+                                                 /*memoize_shared=*/false);
+                               });
+          if (stats != nullptr) {
+            for (const OperatorStats& cs : child_stats) *stats += cs;
+          }
+        } else {
+          for (size_t c = 0; c < n.children.size(); ++c) {
+            owned[c] = Eval(n.children[c], stats, memoize_shared);
+          }
         }
+        for (const auto& child : owned) inputs.push_back(child.get());
         Rows out;
         switch (n.kind) {
-          case PlanNodeKind::kFilter: out = n.filter.Run(inputs, stats); break;
-          case PlanNodeKind::kProject:
-            out = n.project.Run(inputs, stats);
+          case PlanNodeKind::kFilter:
+            out = n.filter.Run(inputs, stats, pool_);
             break;
-          case PlanNodeKind::kHashJoin: out = n.join.Run(inputs, stats); break;
+          case PlanNodeKind::kProject:
+            out = n.project.Run(inputs, stats, pool_);
+            break;
+          case PlanNodeKind::kHashJoin:
+            out = n.join.Run(inputs, stats, pool_);
+            break;
           case PlanNodeKind::kAggregate:
-            out = n.aggregate.Run(inputs, stats);
+            out = n.aggregate.Run(inputs, stats, pool_);
             break;
           default: WUW_CHECK(false, "unreachable plan node kind");
         }

@@ -15,7 +15,10 @@
 //
 // Thread-safety: after PrepareShared returns, Execute only reads the memo,
 // so concurrent term workers may call Execute on disjoint roots with their
-// own OperatorStats (the SubplanCache locks internally).
+// own OperatorStats (the SubplanCache locks internally).  With a ThreadPool
+// attached, Execute additionally runs morsel-parallel kernels and evaluates
+// a join's two sides concurrently (per-child stats fold in child order);
+// PrepareShared — the only memo writer — always evaluates single-threaded.
 #ifndef WUW_PLAN_PLAN_EXECUTOR_H_
 #define WUW_PLAN_PLAN_EXECUTOR_H_
 
@@ -28,10 +31,14 @@
 
 namespace wuw {
 
+class ThreadPool;
+
 class PlanExecutor {
  public:
-  /// `dag` must outlive the executor.  `cache` may be null (no sharing).
-  PlanExecutor(const PlanDag& dag, SubplanCache* cache);
+  /// `dag` must outlive the executor.  `cache` may be null (no sharing);
+  /// `pool` may be null (fully sequential kernels).
+  PlanExecutor(const PlanDag& dag, SubplanCache* cache,
+               ThreadPool* pool = nullptr);
 
   /// Materializes every cacheable node with num_uses >= 2 that is reachable
   /// from `roots`, in topological (id) order, charging the work to `stats`.
@@ -50,6 +57,7 @@ class PlanExecutor {
 
   const PlanDag& dag_;
   SubplanCache* cache_;
+  ThreadPool* pool_;
   /// Per-node memo, filled only by PrepareShared (read-only afterwards).
   std::vector<std::shared_ptr<const Rows>> memo_;
 };

@@ -57,6 +57,12 @@ class Table {
   void ForEach(
       const std::function<void(const Tuple&, int64_t)>& fn) const;
 
+  /// The dense live-row storage, in the same order ForEach visits it —
+  /// lets parallel scans claim index ranges without per-row callbacks.
+  const std::vector<std::pair<Tuple, int64_t>>& dense_rows() const {
+    return rows_;
+  }
+
   /// Stable snapshot of contents sorted by tuple — used by tests to compare
   /// database states across strategies.
   std::vector<std::pair<Tuple, int64_t>> SortedRows() const;

@@ -1,11 +1,9 @@
 #include "view/comp_term.h"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
+#include <algorithm>
 
 #include "common/check.h"
+#include "parallel/thread_pool.h"
 #include "plan/plan_executor.h"
 #include "stats/plan_cardinality.h"
 #include "view/join_pipeline.h"
@@ -99,7 +97,7 @@ CompEvalResult EvalComp(const ViewDefinition& def,
                                          &dag);
   }
 
-  PlanExecutor exec(dag, options.subplan_cache);
+  PlanExecutor exec(dag, options.subplan_cache, options.pool);
   OperatorStats prepare_stats;
   if (options.subplan_cache != nullptr) {
     // Annotate recompute costs so eviction keeps the expensive subplans,
@@ -122,38 +120,17 @@ CompEvalResult EvalComp(const ViewDefinition& def,
   };
 
   int workers = std::max(1, options.term_workers);
-  if (workers == 1 || masks.size() <= 1) {
+  if (workers == 1 || masks.size() <= 1 || options.pool == nullptr) {
     for (size_t slot = 0; slot < masks.size(); ++slot) eval_term(slot);
   } else {
     // Terms are independent: after PrepareShared the executor's memo is
     // read-only and the cache locks internally, so workers only share
-    // immutable state.  A worker that throws (injected fault) parks the
-    // exception; the rest drain, and the join rethrows, so a mid-term
-    // death unwinds out of EvalComp like a sequential one.
-    std::atomic<size_t> next{0};
-    std::atomic<bool> stop{false};
-    std::exception_ptr failure;
-    std::mutex failure_mu;
-    auto worker = [&]() {
-      while (!stop.load(std::memory_order_relaxed)) {
-        size_t slot = next.fetch_add(1);
-        if (slot >= masks.size()) break;
-        try {
-          eval_term(slot);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(failure_mu);
-          if (failure == nullptr) failure = std::current_exception();
-          stop.store(true, std::memory_order_relaxed);
-        }
-      }
-    };
-    size_t num_threads =
-        std::min<size_t>(static_cast<size_t>(workers), masks.size());
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
-    for (std::thread& t : threads) t.join();
-    if (failure != nullptr) std::rethrow_exception(failure);
+    // immutable state.  Term slots are claimed from the shared pool (so
+    // stage-level, term-level, and morsel-level parallelism draw from one
+    // set of threads); a term that throws (injected fault) stops the rest
+    // and rethrows here, so a mid-term death unwinds out of EvalComp like
+    // a sequential one.
+    options.pool->ParallelTasks(masks.size(), workers, eval_term);
   }
 
   // Merge in mask order: deterministic results regardless of scheduling.

@@ -33,6 +33,8 @@
 
 namespace wuw {
 
+class ThreadPool;
+
 /// Resolves the current-batch delta of a view by name (base deltas come
 /// from the sources; derived deltas from finished Comp sequences).
 using DeltaProvider =
@@ -57,9 +59,14 @@ struct CompEvalOptions {
   /// Off by default to match the paper's measured execution model.
   bool skip_empty_delta_terms = false;
   /// Intra-expression parallelism: evaluate the 2^|Y|-1 maintenance terms
-  /// on this many worker threads (they are independent joins over
-  /// read-only inputs).  1 = sequential, the paper's execution model.
+  /// on up to this many workers (they are independent joins over read-only
+  /// inputs).  1 = sequential, the paper's execution model.  Workers are
+  /// scheduled on `pool` (capped by its size), never on ad-hoc threads.
   int term_workers = 1;
+  /// Shared thread pool for term workers AND the morsel-parallel operator
+  /// kernels (see parallel/thread_pool.h).  Null = fully sequential
+  /// evaluation.  Executors default this to ThreadPool::Global().
+  ThreadPool* pool = nullptr;
   /// Cross-term / cross-expression result memo.  Null (the default) keeps
   /// the eager per-term execution the paper's tables measure.  When set,
   /// `extent_version` must be set too — scan cache keys embed the per-view

@@ -1,0 +1,156 @@
+// Unit tests for the shared work-stealing pool: chunk coverage, the
+// inline/fan-out split, exception propagation, nested regions, the
+// WUW_THREADS knob, and the ShouldParallelize gate the kernels use.
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wuw {
+namespace {
+
+// Every index in [0, n) is visited exactly once, at every pool size.
+// Chunks are disjoint, so plain (non-atomic) per-index writes are safe —
+// a lost update would itself be the bug this test exists to catch (TSan
+// flags it directly in the sanitizer job).
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (int parallelism : {1, 2, 8}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(parallelism));
+    ThreadPool pool(parallelism);
+    const size_t n = 100000;
+    std::vector<int> visits(n, 0);
+    pool.ParallelFor(n, 1024, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) ++visits[i];
+    });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), size_t{0}), n);
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(visits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, 128, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<size_t> seen{0};
+  pool.ParallelFor(1, 128, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    seen.fetch_add(1);
+  });
+  EXPECT_EQ(seen.load(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelTasksRunsEachTaskOnceUnderWorkerCap) {
+  ThreadPool pool(8);
+  const size_t count = 64;
+  std::vector<std::atomic<int>> runs(count);
+  for (auto& r : runs) r.store(0);
+  // max_workers = 2: still correct, just narrower; 0 = uncapped.
+  for (int cap : {2, 0}) {
+    for (auto& r : runs) r.store(0);
+    pool.ParallelTasks(count, cap, [&](size_t i) { runs[i].fetch_add(1); });
+    for (size_t i = 0; i < count; ++i) ASSERT_EQ(runs[i].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(10000, 256,
+                       [&](size_t begin, size_t) {
+                         if (begin == 0) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must survive a failed region: the next region runs normally.
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(10000, 256, [&](size_t begin, size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 10000u);
+}
+
+// A region body that opens its own region (the real shape: a stage worker
+// runs a Comp whose join kernel fans out morsels).  The caller of every
+// region participates inline and helps on queued tasks while waiting, so
+// this must complete even when tasks outnumber pool threads.
+TEST(ThreadPoolTest, NestedRegionsDoNotDeadlock) {
+  ThreadPool pool(2);
+  const size_t outer = 6, inner = 20000;
+  std::vector<std::atomic<size_t>> sums(outer);
+  for (auto& s : sums) s.store(0);
+  pool.ParallelTasks(outer, 0, [&](size_t t) {
+    pool.ParallelFor(inner, 512, [&](size_t begin, size_t end) {
+      sums[t].fetch_add(end - begin);
+    });
+  });
+  for (size_t t = 0; t < outer; ++t) ASSERT_EQ(sums[t].load(), inner);
+}
+
+TEST(ThreadPoolTest, SizeOnePoolRunsEverythingInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  ThreadPoolStats before = pool.stats();
+  pool.ParallelFor(50000, 1024, [&](size_t, size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  ThreadPoolStats after = pool.stats();
+  EXPECT_EQ(after.inline_regions - before.inline_regions, 1);
+  EXPECT_EQ(after.parallel_regions - before.parallel_regions, 0);
+  EXPECT_EQ(after.pool_tasks - before.pool_tasks, 0);
+}
+
+TEST(ThreadPoolTest, StatsCountFanOutAndInlineRegions) {
+  ThreadPool pool(4);
+  ThreadPoolStats before = pool.stats();
+  // 97 chunks >> 4 workers: fans out, enqueues parallelism-1 runner tasks.
+  pool.ParallelFor(100000, 1024, [](size_t, size_t) {});
+  ThreadPoolStats mid = pool.stats();
+  EXPECT_EQ(mid.parallel_regions - before.parallel_regions, 1);
+  EXPECT_EQ(mid.pool_tasks - before.pool_tasks, 3);
+  // A single chunk is not worth fanning out: inline.
+  pool.ParallelFor(100, 1024, [](size_t, size_t) {});
+  ThreadPoolStats after = pool.stats();
+  EXPECT_EQ(after.inline_regions - mid.inline_regions, 1);
+  EXPECT_EQ(after.parallel_regions - mid.parallel_regions, 0);
+}
+
+TEST(ThreadPoolTest, EnvParallelismHonorsWuwThreads) {
+  const char* old = std::getenv("WUW_THREADS");
+  std::string saved = old != nullptr ? old : "";
+  setenv("WUW_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::EnvParallelism(), 3);
+  setenv("WUW_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::EnvParallelism(), 1);
+  // Junk / non-positive values fall back to hardware_concurrency (>= 1).
+  setenv("WUW_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::EnvParallelism(), 1);
+  setenv("WUW_THREADS", "banana", 1);
+  EXPECT_GE(ThreadPool::EnvParallelism(), 1);
+  // Absurd sizes clamp rather than spawn a thread herd.
+  setenv("WUW_THREADS", "100000", 1);
+  EXPECT_EQ(ThreadPool::EnvParallelism(), 512);
+  if (old != nullptr) {
+    setenv("WUW_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("WUW_THREADS");
+  }
+}
+
+TEST(ThreadPoolTest, ShouldParallelizeGate) {
+  EXPECT_FALSE(ShouldParallelize(nullptr, 1 << 20));
+  ThreadPool one(1);
+  EXPECT_FALSE(ShouldParallelize(&one, 1 << 20));
+  ThreadPool two(2);
+  EXPECT_FALSE(ShouldParallelize(&two, kMinParallelRows - 1));
+  EXPECT_TRUE(ShouldParallelize(&two, kMinParallelRows));
+}
+
+}  // namespace
+}  // namespace wuw

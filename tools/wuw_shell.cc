@@ -35,6 +35,7 @@
 
 #include "core/advisor.h"
 #include "core/min_work.h"
+#include "parallel/thread_pool.h"
 #include "graph/dot.h"
 #include "view/validate.h"
 #include "exec/executor.h"
@@ -265,12 +266,31 @@ class Shell {
         return;
       }
     }
-    std::printf("executing %s...\n", chosen->name.c_str());
+    ThreadPool& pool = ThreadPool::Global();
+    std::printf("executing %s (%d threads)...\n", chosen->name.c_str(),
+                pool.parallelism());
     ExecutorOptions options;
     options.simplify_empty_deltas = true;
+    ThreadPoolStats before = pool.stats();
     Executor executor(warehouse_.get(), options);
     ExecutionReport report = executor.Execute(chosen->strategy);
+    ThreadPoolStats after = pool.stats();
     std::fputs(report.ToString().c_str(), stdout);
+    // Where the operator time went: scan/probe/build volumes plus how much
+    // of the run actually fanned out onto the pool.
+    std::printf(
+        "  operators: scanned=%lld produced=%lld probes=%lld build=%lld\n",
+        (long long)report.totals.rows_scanned,
+        (long long)report.totals.rows_produced,
+        (long long)report.totals.hash_probes,
+        (long long)report.totals.hash_build_rows);
+    std::printf(
+        "  pool: %d threads, %lld parallel regions (%lld worker tasks), "
+        "%lld inline regions\n",
+        pool.parallelism(),
+        (long long)(after.parallel_regions - before.parallel_regions),
+        (long long)(after.pool_tasks - before.pool_tasks),
+        (long long)(after.inline_regions - before.inline_regions));
   }
 
   void Query(const std::string& sql) {
