@@ -1,0 +1,138 @@
+// Micro-benchmarks for the observability layer (src/obs), fault-point
+// style (see micro_fault.cc): the acceptance criterion is that DISARMED
+// instrumentation — the state every paper-fidelity bench runs in — costs
+// one relaxed atomic load per WUW_METRIC_ADD / TraceSpan and stays within
+// noise (<1%) of the pre-obs engine on the micro_engine pipelines.  Armed
+// variants are measured alongside so the price of turning WUW_METRICS /
+// WUW_TRACE on is visible instead of folklore.
+#include <benchmark/benchmark.h>
+
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_schema.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+tpcd::GeneratorOptions Options() {
+  tpcd::GeneratorOptions o;
+  o.scale_factor = 0.002;
+  o.seed = 42;
+  return o;
+}
+
+/// A Q3 warehouse with a pending deletion batch, cloned per measured run.
+const Warehouse& BatchedWarehouse() {
+  static Warehouse* w = [] {
+    auto* wh = new Warehouse(tpcd::MakeTpcdWarehouse(Options(), {"Q3"}));
+    for (const std::string& base : wh->vdag().BaseViews()) {
+      wh->SetBaseDelta(base,
+                       tpcd::MakeDeletionDelta(
+                           *wh->catalog().MustGetTable(base), 0.05, 7));
+    }
+    return wh;
+  }();
+  return *w;
+}
+
+// The disarmed metric fast path: one relaxed load and a predicted branch.
+// This is what every instrumented engine site pays when WUW_METRICS is
+// unset — it must stay indistinguishable from a no-op.
+void BM_ObsMetricAddDisarmed(benchmark::State& state) {
+  obs::DisarmMetrics();
+  for (auto _ : state) {
+    WUW_METRIC_ADD("bench.micro.counter", obs::MetricClass::kWork, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsMetricAddDisarmed);
+
+// Armed: one relaxed fetch_add on an interned counter (the registry lock
+// is only taken on the first armed pass per call site).
+void BM_ObsMetricAddArmed(benchmark::State& state) {
+  obs::ArmMetrics();
+  for (auto _ : state) {
+    WUW_METRIC_ADD("bench.micro.counter", obs::MetricClass::kWork, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  obs::DisarmMetrics();
+  obs::ResetMetrics();
+}
+BENCHMARK(BM_ObsMetricAddArmed);
+
+// Disarmed span construction with a lazy name: the relaxed load short-
+// circuits before the name callable is ever invoked, so no string is
+// built and nothing is buffered.
+void BM_ObsSpanDisarmed(benchmark::State& state) {
+  obs::DisarmTracing();
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", [] { return std::string("never built"); });
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanDisarmed);
+
+// Armed: two steady_clock reads plus a mutex-guarded append.  Spans mark
+// coarse scopes (strategies, expressions, terms), so this price is paid
+// thousands of times per update window, not per row.  Past the buffer cap
+// completions count as dropped, which only under-states the armed cost.
+void BM_ObsSpanArmed(benchmark::State& state) {
+  (void)obs::DrainTrace();
+  obs::ArmTracing();
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", "armed span");
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+  obs::DisarmTracing();
+  (void)obs::DrainTrace();
+}
+BENCHMARK(BM_ObsSpanArmed);
+
+void RunStrategy() {
+  Warehouse clone = BatchedWarehouse().Clone();
+  Executor executor(&clone);
+  executor.Execute(MakeDualStageVdagStrategy(clone.vdag()));
+}
+
+// Full dual-stage update window with everything disarmed — the default
+// configuration of every experiment bench.  Compare against
+// BM_ExecuteJournalOff in micro_fault (same fixture): the delta is the
+// total cost of the compiled-in, disarmed obs instrumentation.
+void BM_ExecuteObsDisarmed(benchmark::State& state) {
+  obs::DisarmMetrics();
+  obs::DisarmTracing();
+  for (auto _ : state) RunStrategy();
+}
+BENCHMARK(BM_ExecuteObsDisarmed)->Unit(benchmark::kMillisecond);
+
+// Same window with the counter registry armed (what WUW_METRICS costs).
+void BM_ExecuteMetricsArmed(benchmark::State& state) {
+  obs::ArmMetrics();
+  for (auto _ : state) RunStrategy();
+  obs::DisarmMetrics();
+  obs::ResetMetrics();
+}
+BENCHMARK(BM_ExecuteMetricsArmed)->Unit(benchmark::kMillisecond);
+
+// Same window with tracing armed too (what WUW_TRACE costs on top).
+void BM_ExecuteTracingArmed(benchmark::State& state) {
+  obs::ArmMetrics();
+  obs::ArmTracing();
+  for (auto _ : state) RunStrategy();
+  obs::DisarmTracing();
+  obs::DisarmMetrics();
+  obs::ResetMetrics();
+  (void)obs::DrainTrace();
+}
+BENCHMARK(BM_ExecuteTracingArmed)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wuw
+
+BENCHMARK_MAIN();

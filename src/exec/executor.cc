@@ -8,6 +8,8 @@
 #include "core/simplify.h"
 #include "delta/install.h"
 #include "fault/fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "view/comp_term.h"
 
@@ -55,6 +57,8 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
   const Vdag& vdag = warehouse->vdag();
   ExpressionReport er;
   er.expression = e;
+  obs::TraceSpan span("exec", [&] { return e.ToString(); });
+  WUW_METRIC_ADD("exec.expressions", obs::MetricClass::kWork, 1);
   double start = Now();
 
   // Deltas of derived views finalize lazily on first use, against the
@@ -68,9 +72,23 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
   };
 
   if (e.is_comp()) {
+    // Stamp the expression/step onto plan observations on the way out (only
+    // ExecuteExpression knows both).
+    CompEvalOptions local_options = comp_options;
+    obs::PlanObserver stamped;
+    if (comp_options.observer != nullptr) {
+      stamped.on_comp = [&](obs::CompPlanObservation o) {
+        o.expression = e.ToString();
+        o.step = step + 1;
+        if (comp_options.observer->on_comp != nullptr) {
+          comp_options.observer->on_comp(std::move(o));
+        }
+      };
+      local_options.observer = &stamped;
+    }
     CompEvalResult result =
         EvalComp(*vdag.definition(e.view), e.over, warehouse->catalog(),
-                 provider, comp_options, &er.stats);
+                 provider, local_options, &er.stats);
     // A kill here loses the computed delta before δV absorbed any of it.
     WUW_FAULT_POINT("executor.comp.accumulate");
     JournalEntry entry;
@@ -103,6 +121,9 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
     Install(*delta, table, &er.stats);
     warehouse->NoteExtentChanged(e.view);
     er.linear_work = delta->AbsCardinality();
+    WUW_METRIC_ADD("exec.installs", obs::MetricClass::kWork, 1);
+    WUW_METRIC_ADD("exec.rows_installed", obs::MetricClass::kWork,
+                   delta->AbsCardinality());
     if (journal != nullptr) {
       WUW_FAULT_POINT("executor.journal.record");
       JournalEntry entry;
@@ -115,18 +136,34 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
   }
 
   er.seconds = Now() - start;
+  WUW_METRIC_ADD("exec.linear_work", obs::MetricClass::kWork, er.linear_work);
+  // Absorb the expression's OperatorStats into the registry: this is the
+  // one choke point all three execution paths (sequential, stage-parallel,
+  // recovery) share, so engine.* totals always mean the same thing.
+  WUW_METRIC_ADD("engine.rows_scanned", obs::MetricClass::kEngine,
+                 er.stats.rows_scanned);
+  WUW_METRIC_ADD("engine.rows_produced", obs::MetricClass::kEngine,
+                 er.stats.rows_produced);
+  WUW_METRIC_ADD("engine.hash_probes", obs::MetricClass::kEngine,
+                 er.stats.hash_probes);
+  WUW_METRIC_ADD("engine.hash_build_rows", obs::MetricClass::kEngine,
+                 er.stats.hash_build_rows);
+  WUW_METRIC_ADD("exec.expression_us", obs::MetricClass::kTime,
+                 static_cast<int64_t>(er.seconds * 1e6));
   return er;
 }
 
 CompEvalOptions MakeCompEvalOptions(Warehouse* warehouse,
                                     SubplanCache* subplan_cache,
                                     bool skip_empty_delta_terms,
-                                    int term_workers, ThreadPool* pool) {
+                                    int term_workers, ThreadPool* pool,
+                                    obs::PlanObserver* plan_observer) {
   CompEvalOptions comp_options;
   comp_options.skip_empty_delta_terms = skip_empty_delta_terms;
   comp_options.term_workers = term_workers;
   comp_options.pool = pool;
   comp_options.subplan_cache = subplan_cache;
+  comp_options.observer = plan_observer;
   if (subplan_cache != nullptr) {
     // The epoch is fixed for the whole run (deltas were set before Execute
     // and clear only at ResetBatch); extent versions advance as installs
@@ -160,12 +197,14 @@ ExecutionReport Executor::Execute(const Strategy& strategy) {
                         .c_str());
   }
 
+  obs::TraceSpan strategy_span("exec", "strategy");
+  WUW_METRIC_ADD("exec.strategies", obs::MetricClass::kWork, 1);
   ExecutionReport report;
   ThreadPool* pool =
       options_.pool != nullptr ? options_.pool : &ThreadPool::Global();
   CompEvalOptions comp_options = MakeCompEvalOptions(
       warehouse_, options_.subplan_cache, options_.skip_empty_delta_terms,
-      /*term_workers=*/1, pool);
+      /*term_workers=*/1, pool, options_.plan_observer);
 
   StrategyJournal* journal = nullptr;
   if (options_.journal) {
@@ -178,6 +217,7 @@ ExecutionReport Executor::Execute(const Strategy& strategy) {
   int64_t step = 0;
   for (const Expression& e : to_run->expressions()) {
     WUW_FAULT_POINT("executor.step.begin");
+    WUW_METRIC_ADD("exec.steps", obs::MetricClass::kWork, 1);
     std::pair<int64_t, int64_t> delta_stats{0, 0};
     ExpressionReport er = ExecuteExpression(
         warehouse_, e, comp_options,
@@ -198,6 +238,8 @@ ExecutionReport Executor::Execute(const Strategy& strategy) {
     report.subplan_cache = options_.subplan_cache->stats();
   }
   warehouse_->ResetBatch();
+  WUW_METRIC_ADD("exec.update_window_us", obs::MetricClass::kTime,
+                 static_cast<int64_t>(report.total_seconds * 1e6));
   return report;
 }
 

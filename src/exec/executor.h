@@ -17,6 +17,7 @@
 #include "algebra/operator_stats.h"
 #include "core/strategy.h"
 #include "exec/warehouse.h"
+#include "obs/plan_observation.h"
 #include "plan/subplan_cache.h"
 
 namespace wuw {
@@ -53,6 +54,11 @@ struct ExecutorOptions {
   /// OperatorStats are identical at every pool size (see
   /// parallel/thread_pool.h).
   ThreadPool* pool = nullptr;
+  /// EXPLAIN sink (not owned): receives each Comp expression's plan DAG
+  /// with estimated vs measured per-node rows.  Forces sequential term
+  /// evaluation inside EvalComp (results are identical either way); see
+  /// obs/plan_observation.h.  Null records nothing.
+  obs::PlanObserver* plan_observer = nullptr;
 };
 
 /// Measurements for one executed expression.
@@ -97,11 +103,10 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
 /// The CompEvalOptions an executor derives from its options + warehouse:
 /// shared by Executor, ParallelExecutor, and ResumeStrategy so all three
 /// key subplan-cache entries identically (batch epoch + extent versions).
-struct CompEvalOptions MakeCompEvalOptions(Warehouse* warehouse,
-                                           SubplanCache* subplan_cache,
-                                           bool skip_empty_delta_terms,
-                                           int term_workers = 1,
-                                           ThreadPool* pool = nullptr);
+struct CompEvalOptions MakeCompEvalOptions(
+    Warehouse* warehouse, SubplanCache* subplan_cache,
+    bool skip_empty_delta_terms, int term_workers = 1,
+    ThreadPool* pool = nullptr, obs::PlanObserver* plan_observer = nullptr);
 
 /// Executes strategies against one warehouse.
 class Executor {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace wuw {
 
@@ -19,6 +20,7 @@ void StrategyJournal::Record(JournalEntry entry) {
   std::lock_guard<std::mutex> lock(mu_);
   WUW_CHECK(begun_, "journal Record before Begin");
   WUW_CHECK(!complete_, "journal Record after MarkComplete");
+  WUW_METRIC_ADD("journal.entries", obs::MetricClass::kWork, 1);
   entries_.push_back(std::move(entry));
 }
 

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "fault/fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "view/comp_term.h"
 
@@ -28,6 +30,8 @@ ParallelExecutor::ParallelExecutor(Warehouse* warehouse,
 
 ParallelExecutionReport ParallelExecutor::Execute(
     const ParallelStrategy& strategy) {
+  obs::TraceSpan strategy_span("exec", "parallel-strategy");
+  WUW_METRIC_ADD("exec.strategies", obs::MetricClass::kWork, 1);
   ParallelExecutionReport report;
   ThreadPool* pool =
       options_.pool != nullptr ? options_.pool : &ThreadPool::Global();
@@ -45,6 +49,12 @@ ParallelExecutionReport ParallelExecutor::Execute(
   int64_t stage_step_base = 0;
   for (const std::vector<Expression>& stage : strategy.stages) {
     WUW_FAULT_POINT("parallel.stage.begin");
+    obs::TraceSpan stage_span("exec", [&] {
+      return "stage[" + std::to_string(stage.size()) + "]";
+    });
+    WUW_METRIC_ADD("exec.stages", obs::MetricClass::kWork, 1);
+    WUW_METRIC_ADD("exec.steps", obs::MetricClass::kWork,
+                   static_cast<int64_t>(stage.size()));
     double stage_start = Now();
     std::vector<ExpressionReport> stage_reports(stage.size());
     // Expressions are claimed from the shared pool (up to options_.workers
@@ -79,6 +89,8 @@ ParallelExecutionReport ParallelExecutor::Execute(
     report.subplan_cache = options_.subplan_cache->stats();
   }
   warehouse_->ResetBatch();
+  WUW_METRIC_ADD("exec.update_window_us", obs::MetricClass::kTime,
+                 static_cast<int64_t>(report.total_seconds * 1e6));
   return report;
 }
 

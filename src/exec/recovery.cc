@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "delta/install.h"
 #include "fault/fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "view/comp_term.h"
 
@@ -42,6 +44,7 @@ ResumeReport ResumeStrategy(const StrategyJournal& journal,
                             Warehouse* warehouse, ExecutorOptions options) {
   WUW_CHECK(warehouse != nullptr, "ResumeStrategy needs a warehouse");
   WUW_CHECK(journal.begun(), "cannot resume: journal has no run recorded");
+  obs::TraceSpan resume_span("exec", "resume-strategy");
 
   // Copy everything out of the source journal first: the caller may pass
   // warehouse->journal() itself, which re-journaling below overwrites.
@@ -89,6 +92,8 @@ ResumeReport ResumeStrategy(const StrategyJournal& journal,
     }
   }
   report.steps_replayed = static_cast<int64_t>(done.size());
+  WUW_METRIC_ADD("resume.steps_replayed", obs::MetricClass::kWork,
+                 report.steps_replayed);
 
   // Phase 2: execute the steps the dead run never completed, in step
   // order.  The journal already holds the simplified strategy, and the
@@ -112,6 +117,8 @@ ResumeReport ResumeStrategy(const StrategyJournal& journal,
     ++report.steps_executed;
   }
 
+  WUW_METRIC_ADD("resume.steps_executed", obs::MetricClass::kWork,
+                 report.steps_executed);
   if (rejournal != nullptr) rejournal->MarkComplete();
   if (options.subplan_cache != nullptr) {
     report.execution.subplan_cache = options.subplan_cache->stats();

@@ -4,6 +4,7 @@
 #include "core/strategy_space.h"
 #include "exec/executor.h"
 #include "fault/fault_injection.h"
+#include "obs/metrics.h"
 #include "stats/delta_estimator.h"
 #include "view/join_pipeline.h"
 #include "view/recompute.h"
@@ -167,6 +168,7 @@ void Warehouse::NoteExtentChanged(const std::string& name) {
   // The extent bytes are already rewritten when this fires: a kill here
   // models dying between the write and its version bump / journal record.
   WUW_FAULT_POINT("warehouse.note_extent_changed");
+  WUW_METRIC_ADD("warehouse.extent_bumps", obs::MetricClass::kWork, 1);
   auto it = extent_versions_.find(name);
   WUW_CHECK(it != extent_versions_.end(),
             ("unknown view in NoteExtentChanged: " + name).c_str());

@@ -5,6 +5,8 @@
 #include <map>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace wuw {
 namespace fault {
 
@@ -181,7 +183,10 @@ void OnFaultPoint(const char* point) {
   }
   // Throw outside the lock: the unwind may cross code that hits further
   // fault points (destructors never do today, but cheap insurance).
-  if (!fire_point.empty()) throw FaultInjectedError(fire_point, fire_hit);
+  if (!fire_point.empty()) {
+    WUW_METRIC_ADD("fault.fired", obs::MetricClass::kSched, 1);
+    throw FaultInjectedError(fire_point, fire_hit);
+  }
 }
 
 }  // namespace internal

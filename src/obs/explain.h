@@ -1,0 +1,76 @@
+// EXPLAIN for update strategies: chosen ordering + per-term plan DAGs with
+// shared-subplan annotations and estimated vs measured row counts.
+//
+// ExplainStrategy replays the strategy against a clone of the warehouse
+// (the caller's state and pending batch are untouched) on a private
+// single-thread pool, with a PlanObserver attached so every Comp reports
+// its interned PlanDag.  Because execution is deterministic and
+// pool-size-invariant, the measured row counts are exactly what the real
+// run will produce; the estimates come from the System-R annotations
+// (stats/plan_cardinality.h), which is the estimated-vs-actual feedback
+// signal of Mistry et al.'s multi-query-optimization maintenance work.
+//
+// `wuw_shell update` prints the report before executing; explain_golden_test
+// pins the exact rendering for the exp1/exp4 fixtures.
+#ifndef WUW_OBS_EXPLAIN_H_
+#define WUW_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "obs/plan_observation.h"
+
+namespace wuw {
+
+class Warehouse;
+
+namespace obs {
+
+struct ExplainOptions {
+  /// Mirror of ExecutorOptions::skip_empty_delta_terms for the replay.
+  bool skip_empty_delta_terms = false;
+  /// Mirror of ExecutorOptions::simplify_empty_deltas for the replay.
+  bool simplify_empty_deltas = false;
+  /// Attach a scratch SubplanCache of this budget to the replay so
+  /// cross-term reuse shows up as "(cached)" nodes.  The scratch cache is
+  /// private to the EXPLAIN run — never the caller's cache, whose contents
+  /// would otherwise leak hits into (or out of) the diagnostic replay.
+  bool with_subplan_cache = false;
+  /// Byte budget of the scratch cache (<0 unbounded, 0 admits nothing).
+  int64_t cache_budget = -1;
+};
+
+/// One strategy step as EXPLAIN reports it.
+struct ExplainStep {
+  std::string expression;
+  /// Def 3.5 linear work the step performed (analytic, budget-invariant).
+  int64_t linear_work = 0;
+};
+
+struct ExplainReport {
+  /// The executed ordering (post-simplification when enabled).
+  std::vector<ExplainStep> steps;
+  /// Per-Comp plan DAGs with estimates and measurements, in step order.
+  std::vector<CompPlanObservation> comps;
+  int64_t total_linear_work = 0;
+
+  /// The full human-readable report (what wuw_shell prints and
+  /// explain_golden_test pins).  Deterministic for a given (state,
+  /// strategy, options): no wall times, no addresses.
+  std::string ToString() const;
+};
+
+/// Replays `strategy` on warehouse.Clone() with a fresh ThreadPool(1) and
+/// collects the report.  The strategy must be executable against the
+/// pending batch (the real run's validation result applies — EXPLAIN does
+/// not re-validate).
+ExplainReport ExplainStrategy(const Warehouse& warehouse,
+                              const Strategy& strategy,
+                              const ExplainOptions& options = {});
+
+}  // namespace obs
+}  // namespace wuw
+
+#endif  // WUW_OBS_EXPLAIN_H_

@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace wuw {
+namespace obs {
+
+namespace internal {
+std::atomic<int> g_metrics_armed{0};
+}  // namespace internal
+
+/// Private constructor access + registry state, never destroyed (safe at
+/// any exit order, like ThreadPool::Global).
+class RegistryAccess {
+ public:
+  static Counter* Make(std::string name, MetricClass c) {
+    return new Counter(std::move(name), c);
+  }
+  static void Reset(Counter* counter) {
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+};
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Counter*> by_name;
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+/// Resolves the WUW_METRICS path: a trailing '/' means "directory", and
+/// the file name gains the pid so parallel test runners never collide.
+std::string MetricsEnvPath() {
+  const char* env = std::getenv("WUW_METRICS");
+  if (env == nullptr || *env == '\0') return "";
+  std::string path = env;
+  if (path.back() == '/') {
+    path += "metrics-" + std::to_string(static_cast<long long>(getpid())) +
+            ".txt";
+  }
+  return path;
+}
+
+void WriteMetricsAtExit() {
+  std::string path = MetricsEnvPath();
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;  // exit hook: nothing sane to report to
+  std::string text = SnapshotMetrics(kDeterministicMask).ToString();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+/// Static-init arming so every binary (tests under ctest included) honors
+/// WUW_METRICS without per-main plumbing.
+struct EnvArmer {
+  EnvArmer() { ArmMetricsFromEnv(); }
+};
+EnvArmer g_env_armer;
+
+}  // namespace
+
+Counter* GetCounter(const std::string& name, MetricClass c) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.by_name.find(name);
+  if (it != r.by_name.end()) {
+    WUW_CHECK(it->second->metric_class() == c,
+              ("metric re-registered with a different class: " + name)
+                  .c_str());
+    return it->second;
+  }
+  Counter* counter = RegistryAccess::Make(name, c);
+  r.by_name.emplace(name, counter);
+  return counter;
+}
+
+void ArmMetrics() {
+  internal::g_metrics_armed.store(1, std::memory_order_relaxed);
+}
+
+void DisarmMetrics() {
+  internal::g_metrics_armed.store(0, std::memory_order_relaxed);
+}
+
+bool MetricsArmed() {
+  return internal::g_metrics_armed.load(std::memory_order_relaxed) != 0;
+}
+
+void ResetMetrics() {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, counter] : r.by_name) RegistryAccess::Reset(counter);
+}
+
+MetricsSnapshot SnapshotMetrics(MetricMask classes) {
+  Registry& r = TheRegistry();
+  MetricsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& [name, counter] : r.by_name) {
+      if ((Mask(counter->metric_class()) & classes) == 0) continue;
+      int64_t v = counter->value();
+      if (v == 0) continue;
+      snapshot.counters.emplace_back(name, v);
+    }
+  }
+  std::sort(snapshot.counters.begin(), snapshot.counters.end());
+  return snapshot;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  char line[160];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "%-40s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  return out;
+}
+
+void ArmMetricsFromEnv() {
+  static bool registered = [] {
+    if (MetricsEnvPath().empty()) return false;
+    ArmMetrics();
+    std::atexit(WriteMetricsAtExit);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace obs
+}  // namespace wuw

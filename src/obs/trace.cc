@@ -1,0 +1,259 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace wuw {
+namespace obs {
+
+namespace internal {
+std::atomic<int> g_tracing_armed{0};
+}  // namespace internal
+
+namespace {
+
+/// Global completed-span buffer, never destroyed (safe at any exit order;
+/// the WUW_TRACE atexit hook still reads it).
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int64_t dropped = 0;
+};
+
+TraceBuffer& TheBuffer() {
+  static TraceBuffer* b = new TraceBuffer;
+  return *b;
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Small stable per-thread index for timeline attribution: assigned on the
+/// thread's first span, in arming-era arrival order.
+std::atomic<int> g_next_tid{0};
+thread_local int tls_tid = -1;
+thread_local int tls_depth = 0;
+
+int ThisThreadTid() {
+  if (tls_tid < 0) tls_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tls_tid;
+}
+
+void SortForDisplay(std::vector<TraceEvent>* events) {
+  std::stable_sort(events->begin(), events->end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                     return a.depth < b.depth;
+                   });
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Resolves the WUW_TRACE path: trailing '/' means "directory", and the
+/// file name gains the pid so parallel test runners never collide.
+std::string TraceEnvPath() {
+  const char* env = std::getenv("WUW_TRACE");
+  if (env == nullptr || *env == '\0') return "";
+  std::string path = env;
+  if (path.back() == '/') {
+    path += "trace-" + std::to_string(static_cast<long long>(getpid())) +
+            ".json";
+  }
+  return path;
+}
+
+void WriteTraceAtExit() {
+  std::string path = TraceEnvPath();
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;  // exit hook: nothing sane to report to
+  std::string json = ChromeTraceJson(DrainTrace());
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+/// Static-init arming so every binary (tests under ctest included) honors
+/// WUW_TRACE without per-main plumbing.
+struct EnvArmer {
+  EnvArmer() { ArmTracingFromEnv(); }
+};
+EnvArmer g_env_armer;
+
+}  // namespace
+
+void ArmTracing() {
+  internal::g_tracing_armed.store(1, std::memory_order_relaxed);
+}
+
+void DisarmTracing() {
+  internal::g_tracing_armed.store(0, std::memory_order_relaxed);
+}
+
+bool TracingArmed() {
+  return internal::g_tracing_armed.load(std::memory_order_relaxed) != 0;
+}
+
+size_t TraceEventCount() {
+  TraceBuffer& b = TheBuffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  return b.events.size();
+}
+
+std::vector<TraceEvent> TraceSince(size_t since) {
+  TraceBuffer& b = TheBuffer();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(b.mu);
+    if (since < b.events.size()) {
+      out.assign(b.events.begin() + static_cast<ptrdiff_t>(since),
+                 b.events.end());
+    }
+  }
+  SortForDisplay(&out);
+  return out;
+}
+
+std::vector<TraceEvent> DrainTrace() {
+  TraceBuffer& b = TheBuffer();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(b.mu);
+    out.swap(b.events);
+    b.dropped = 0;
+  }
+  SortForDisplay(&out);
+  return out;
+}
+
+int64_t DroppedTraceEvents() {
+  TraceBuffer& b = TheBuffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  return b.dropped;
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[128];
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"ph\":\"X\",\"pid\":1,";
+    std::snprintf(buf, sizeof(buf), "\"tid\":%d,\"ts\":%lld,\"dur\":%lld,",
+                  e.tid, static_cast<long long>(e.start_us),
+                  static_cast<long long>(e.duration_us));
+    out += buf;
+    out += "\"cat\":\"";
+    AppendJsonEscaped(e.category, &out);
+    out += "\",\"name\":\"";
+    AppendJsonEscaped(e.name, &out);
+    out += "\"}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string HumanTimeline(const std::vector<TraceEvent>& events) {
+  if (events.empty()) return "";
+  // Relative timestamps read better than steady-clock epochs.
+  int64_t t0 = events.front().start_us;
+  for (const TraceEvent& e : events) t0 = std::min(t0, e.start_us);
+  std::string out;
+  char buf[96];
+  int last_tid = -1;
+  for (const TraceEvent& e : events) {
+    if (e.tid != last_tid) {
+      std::snprintf(buf, sizeof(buf), "thread %d\n", e.tid);
+      out += buf;
+      last_tid = e.tid;
+    }
+    std::snprintf(buf, sizeof(buf), "  %8.3fms %8.3fms ",
+                  static_cast<double>(e.start_us - t0) / 1000.0,
+                  static_cast<double>(e.duration_us) / 1000.0);
+    out += buf;
+    out.append(static_cast<size_t>(e.depth) * 2, ' ');
+    out += e.category;
+    out += ": ";
+    out += e.name;
+    out += "\n";
+  }
+  return out;
+}
+
+void ArmTracingFromEnv() {
+  static bool registered = [] {
+    if (TraceEnvPath().empty()) return false;
+    ArmTracing();
+    std::atexit(WriteTraceAtExit);
+    return true;
+  }();
+  (void)registered;
+}
+
+void TraceSpan::Begin(const char* category, std::string name) {
+  active_ = true;
+  category_ = category;
+  name_ = std::move(name);
+  tid_ = ThisThreadTid();
+  depth_ = tls_depth++;
+  start_us_ = NowMicros();
+}
+
+void TraceSpan::End() {
+  int64_t end_us = NowMicros();
+  --tls_depth;
+  TraceBuffer& b = TheBuffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (b.events.size() >= kMaxTraceEvents) {
+    ++b.dropped;
+    return;
+  }
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.category = category_;
+  e.tid = tid_;
+  e.depth = depth_;
+  e.start_us = start_us_;
+  e.duration_us = end_us - start_us_;
+  b.events.push_back(std::move(e));
+}
+
+}  // namespace obs
+}  // namespace wuw

@@ -1,0 +1,146 @@
+// Structured tracing — the timeline half of the observability layer.
+//
+// Executors, the plan layer, and the recovery path open nested TraceSpans
+// (strategy → stage → expression → comp → term → plan preparation); each
+// span records its category, name, owning thread, nesting depth, and
+// steady-clock start/duration.  Completed spans land in one process-wide
+// buffer and can be rendered two ways:
+//
+//   * ChromeTraceJson(): Chrome trace-event JSON ("ph":"X" complete
+//     events) loadable in about:tracing / Perfetto.  The WUW_TRACE=<path>
+//     environment knob arms tracing at startup and writes this file at
+//     process exit; a path ending in '/' writes <dir>trace-<pid>.json so
+//     parallel test runners do not collide.
+//   * HumanTimeline(): an indented per-thread text timeline, printed by
+//     `wuw_shell update`.
+//
+// Spans carry wall time, so traces are diagnostic — never compared for
+// determinism (that is the metrics registry's job, obs/metrics.h).  The
+// disarmed cost follows the fault-point pattern: constructing a TraceSpan
+// with tracing disarmed is one relaxed atomic load and a predictable
+// branch (lazy name callables are not invoked), and WUW_DISABLE_OBS
+// compiles spans out entirely.
+#ifndef WUW_OBS_TRACE_H_
+#define WUW_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace wuw {
+namespace obs {
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  /// Category literal ("exec", "view", "plan", ...); string literals only,
+  /// so events never own it.
+  const char* category = "";
+  /// Stable small index of the recording thread (assigned at the thread's
+  /// first span; scheduling-dependent, like everything here).
+  int tid = 0;
+  /// Nesting depth on the recording thread when the span began.
+  int depth = 0;
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+};
+
+void ArmTracing();
+/// Stops recording; already-buffered events survive until DrainTrace.
+void DisarmTracing();
+bool TracingArmed();
+
+/// Number of completed events currently buffered (monotone between
+/// drains).  Pair with TraceSince to render just one region of interest
+/// without disturbing an env-armed whole-process trace.
+size_t TraceEventCount();
+
+/// Copies the events recorded at index >= `since` (by completion order),
+/// sorted by (tid, start, depth).  Does not clear the buffer.
+std::vector<TraceEvent> TraceSince(size_t since);
+
+/// Returns all buffered events (sorted like TraceSince) and clears the
+/// buffer.  Also resets the dropped-events counter.
+std::vector<TraceEvent> DrainTrace();
+
+/// Events dropped after the buffer cap (kMaxTraceEvents) was reached since
+/// the last drain.
+int64_t DroppedTraceEvents();
+
+/// Chrome trace-event JSON for about:tracing / Perfetto.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Indented per-thread timeline for console output.
+std::string HumanTimeline(const std::vector<TraceEvent>& events);
+
+/// If WUW_TRACE is set: arms tracing and registers an exit hook writing
+/// ChromeTraceJson of everything buffered to the named file.  Called
+/// automatically at static-init time; safe to call again.
+void ArmTracingFromEnv();
+
+namespace internal {
+extern std::atomic<int> g_tracing_armed;
+}  // namespace internal
+
+/// RAII span.  Cheap to construct disarmed; armed cost is one timestamp at
+/// each end plus a mutex-guarded append on completion (spans mark coarse
+/// scopes — strategies, expressions, terms — never per-row work).
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name) {
+#if !defined(WUW_DISABLE_OBS)
+    if (internal::g_tracing_armed.load(std::memory_order_relaxed) != 0) {
+      Begin(category, name);
+    }
+#else
+    (void)category;
+    (void)name;
+#endif
+  }
+
+  /// Lazy-name overload: `fn` is only invoked when tracing is armed, so
+  /// disarmed call sites never build the name string.
+  template <typename NameFn,
+            std::enable_if_t<std::is_invocable_v<NameFn>>* = nullptr>
+  TraceSpan(const char* category, NameFn&& fn) {
+#if !defined(WUW_DISABLE_OBS)
+    if (internal::g_tracing_armed.load(std::memory_order_relaxed) != 0) {
+      Begin(category, fn());
+    }
+#else
+    (void)category;
+    (void)fn;
+#endif
+  }
+
+  ~TraceSpan() {
+    if (active_) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(const char* category, std::string name);
+  void End();
+
+  bool active_ = false;
+  const char* category_ = "";
+  std::string name_;
+  int tid_ = 0;
+  int depth_ = 0;
+  int64_t start_us_ = 0;
+};
+
+/// Buffer cap: beyond this many undrained events new completions are
+/// counted as dropped instead of stored (a whole armed tier-1 run stays
+/// well under it; the cap only guards runaway loops).
+inline constexpr size_t kMaxTraceEvents = 1u << 20;
+
+}  // namespace obs
+}  // namespace wuw
+
+#endif  // WUW_OBS_TRACE_H_

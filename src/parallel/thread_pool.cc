@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace wuw {
 
 /// One fork-join region.  Lives on the caller's stack: RunRegion does not
@@ -96,9 +98,13 @@ void ThreadPool::RunRegion(Region* region, int max_workers) {
 
   if (runners <= 1) {
     inline_regions_.fetch_add(1, std::memory_order_relaxed);
+    WUW_METRIC_ADD("pool.inline_regions", obs::MetricClass::kSched, 1);
     region->Drain();
   } else {
     parallel_regions_.fetch_add(1, std::memory_order_relaxed);
+    WUW_METRIC_ADD("pool.parallel_regions", obs::MetricClass::kSched, 1);
+    WUW_METRIC_ADD("pool.fanned_out_tasks", obs::MetricClass::kSched,
+                   static_cast<int64_t>(runners) - 1);
     region->pending.store(static_cast<int>(runners) - 1,
                           std::memory_order_release);
     {

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "fault/fault_injection.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 
 namespace wuw {
@@ -49,6 +50,8 @@ void PlanExecutor::PrepareShared(const std::vector<PlanNodeId>& roots,
     const PlanNode& n = dag_.node(id);
     if (!reachable[id] || n.num_uses < 2 || !n.cacheable) continue;
     WUW_FAULT_POINT("plan.prepare_shared");
+    // kEngine, not kWork: PrepareShared only runs when a cache is attached.
+    WUW_METRIC_ADD("plan.shared_nodes_prepared", obs::MetricClass::kEngine, 1);
     Eval(static_cast<PlanNodeId>(id), stats, /*memoize_shared=*/true);
   }
 }
@@ -77,8 +80,10 @@ std::shared_ptr<const Rows> PlanExecutor::Eval(PlanNodeId id,
       }
     }
   }
+  bool from_cache = result != nullptr;
 
   if (result == nullptr) {
+    WUW_METRIC_ADD("plan.nodes_executed", obs::MetricClass::kEngine, 1);
     switch (n.kind) {
       case PlanNodeKind::kScanTable:
         result = std::make_shared<const Rows>(ScanTable(*n.table, pool_));
@@ -141,6 +146,11 @@ std::shared_ptr<const Rows> PlanExecutor::Eval(PlanNodeId id,
     }
   }
 
+  if (runtime_ != nullptr) {
+    PlanNodeRuntime& rt = (*runtime_)[id];
+    rt.rows = static_cast<int64_t>(result->rows.size());
+    rt.from_cache = from_cache;
+  }
   if (memoize_shared && n.num_uses >= 2 && n.cacheable) memo_[id] = result;
   return result;
 }

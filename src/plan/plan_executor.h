@@ -33,6 +33,15 @@ namespace wuw {
 
 class ThreadPool;
 
+/// Per-node execution record for EXPLAIN (obs/explain.h): rows the node
+/// actually produced and whether they came from the cross-DAG cache.
+struct PlanNodeRuntime {
+  /// Rows produced, or -1 if the node never ran (short-circuited by a
+  /// memo/cache hit above it, or its term was skipped).
+  int64_t rows = -1;
+  bool from_cache = false;
+};
+
 class PlanExecutor {
  public:
   /// `dag` must outlive the executor.  `cache` may be null (no sharing);
@@ -51,6 +60,13 @@ class PlanExecutor {
   /// copies are cheap).
   std::shared_ptr<const Rows> Execute(PlanNodeId root, OperatorStats* stats);
 
+  /// Attaches a per-node runtime sink (sized to dag.size() by the caller).
+  /// Writes are unsynchronized, so only valid when evaluation is sequential
+  /// (null pool or parallelism() == 1) — EXPLAIN's single-threaded replay.
+  void set_runtime(std::vector<PlanNodeRuntime>* runtime) {
+    runtime_ = runtime;
+  }
+
  private:
   std::shared_ptr<const Rows> Eval(PlanNodeId id, OperatorStats* stats,
                                    bool memoize_shared);
@@ -60,6 +76,8 @@ class PlanExecutor {
   ThreadPool* pool_;
   /// Per-node memo, filled only by PrepareShared (read-only afterwards).
   std::vector<std::shared_ptr<const Rows>> memo_;
+  /// Optional EXPLAIN sink; see set_runtime.
+  std::vector<PlanNodeRuntime>* runtime_ = nullptr;
 };
 
 }  // namespace wuw

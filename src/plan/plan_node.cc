@@ -180,6 +180,21 @@ PlanNodeId PlanDag::Intern(PlanNode node) {
   return id;
 }
 
+std::string PlanNodeLabel(const PlanNode& node) {
+  std::string label;
+  switch (node.kind) {
+    case PlanNodeKind::kScanTable: label = "ScanTable"; break;
+    case PlanNodeKind::kScanDelta: label = "ScanDelta"; break;
+    case PlanNodeKind::kScanRows: label = "ScanRows"; break;
+    case PlanNodeKind::kFilter: label = "Filter"; break;
+    case PlanNodeKind::kProject: label = "Project"; break;
+    case PlanNodeKind::kHashJoin: label = "HashJoin"; break;
+    case PlanNodeKind::kAggregate: label = "Aggregate"; break;
+  }
+  if (!node.relation.empty()) label += "(" + node.relation + ")";
+  return label;
+}
+
 std::string PlanDag::ToString() const {
   std::ostringstream out;
   for (size_t i = 0; i < nodes_.size(); ++i) {

@@ -134,6 +134,10 @@ class PlanDag {
   std::unordered_map<std::string, PlanNodeId> by_fingerprint_;
 };
 
+/// Short operator label for EXPLAIN / observation output, e.g.
+/// "HashJoin", "ScanDelta(dOrders)".
+std::string PlanNodeLabel(const PlanNode& node);
+
 }  // namespace wuw
 
 #endif  // WUW_PLAN_PLAN_NODE_H_

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "fault/fault_injection.h"
+#include "obs/metrics.h"
 
 namespace wuw {
 
@@ -43,9 +44,11 @@ std::shared_ptr<const Rows> SubplanCache::Lookup(
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
     stats_.misses += 1;
+    WUW_METRIC_ADD("cache.misses", obs::MetricClass::kEngine, 1);
     return nullptr;
   }
   stats_.hits += 1;
+  WUW_METRIC_ADD("cache.hits", obs::MetricClass::kEngine, 1);
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   return it->second.rows;
 }
@@ -64,6 +67,7 @@ void SubplanCache::Insert(const std::string& fingerprint,
     // "admit nothing" means literally no hits — and a positive budget
     // rejects single results larger than itself.
     stats_.rejected += 1;
+    WUW_METRIC_ADD("cache.rejected", obs::MetricClass::kEngine, 1);
     return;
   }
   EvictFor(bytes);
@@ -72,6 +76,8 @@ void SubplanCache::Insert(const std::string& fingerprint,
                    Entry{std::move(rows), bytes, recompute_cost, lru_.begin()});
   stats_.insertions += 1;
   stats_.bytes_in_use += bytes;
+  WUW_METRIC_ADD("cache.insertions", obs::MetricClass::kEngine, 1);
+  WUW_METRIC_ADD("cache.bytes_inserted", obs::MetricClass::kEngine, bytes);
 }
 
 void SubplanCache::EvictFor(int64_t needed) {
@@ -95,6 +101,9 @@ void SubplanCache::EvictFor(int64_t needed) {
     stats_.evictions += 1;
     stats_.bytes_in_use -= victim->second.bytes;
     stats_.bytes_evicted += victim->second.bytes;
+    WUW_METRIC_ADD("cache.evictions", obs::MetricClass::kEngine, 1);
+    WUW_METRIC_ADD("cache.bytes_evicted", obs::MetricClass::kEngine,
+                   victim->second.bytes);
     lru_.erase(victim->second.lru_pos);
     entries_.erase(victim);
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "plan/plan_executor.h"
 #include "stats/plan_cardinality.h"
@@ -18,6 +20,8 @@ CompEvalResult EvalComp(const ViewDefinition& def,
   WUW_CHECK(options.subplan_cache == nullptr ||
                 options.extent_version != nullptr,
             "a subplan cache needs extent versions for sound keys");
+  obs::TraceSpan span("view", [&] { return "Comp(" + def.name() + ")"; });
+  WUW_METRIC_ADD("comp.evals", obs::MetricClass::kWork, 1);
 
   // Map Y members to source positions.
   std::vector<size_t> over_idx;
@@ -97,12 +101,26 @@ CompEvalResult EvalComp(const ViewDefinition& def,
                                          &dag);
   }
 
-  PlanExecutor exec(dag, options.subplan_cache, options.pool);
+  // An attached observer needs deterministic per-node runtimes, so its
+  // evaluation is forced fully sequential (no term workers, no pool);
+  // rows and OperatorStats are pool-size-invariant anyway.
+  ThreadPool* pool = options.observer != nullptr ? nullptr : options.pool;
+  PlanExecutor exec(dag, options.subplan_cache, pool);
+  std::vector<PlanNodeRuntime> runtime;
+  if (options.observer != nullptr) {
+    runtime.resize(dag.size());
+    exec.set_runtime(&runtime);
+  }
   OperatorStats prepare_stats;
-  if (options.subplan_cache != nullptr) {
-    // Annotate recompute costs so eviction keeps the expensive subplans,
-    // then materialize everything the terms share before fanning out.
+  if (options.subplan_cache != nullptr || options.observer != nullptr) {
+    // Annotate recompute costs so eviction keeps the expensive subplans
+    // (and EXPLAIN can print estimates), then — under a cache —
+    // materialize everything the terms share before fanning out.
     AnnotatePlanCardinality(&dag);
+  }
+  bool annotated = options.subplan_cache != nullptr ||
+                   options.observer != nullptr;
+  if (options.subplan_cache != nullptr) {
     exec.PrepareShared(roots, &prepare_stats);
   }
 
@@ -119,8 +137,9 @@ CompEvalResult EvalComp(const ViewDefinition& def,
                                            &term_results[slot].stats);
   };
 
-  int workers = std::max(1, options.term_workers);
-  if (workers == 1 || masks.size() <= 1 || options.pool == nullptr) {
+  int workers =
+      options.observer != nullptr ? 1 : std::max(1, options.term_workers);
+  if (workers == 1 || masks.size() <= 1 || pool == nullptr) {
     for (size_t slot = 0; slot < masks.size(); ++slot) eval_term(slot);
   } else {
     // Terms are independent: after PrepareShared the executor's memo is
@@ -130,7 +149,7 @@ CompEvalResult EvalComp(const ViewDefinition& def,
     // set of threads); a term that throws (injected fault) stops the rest
     // and rethrows here, so a mid-term death unwinds out of EvalComp like
     // a sequential one.
-    options.pool->ParallelTasks(masks.size(), workers, eval_term);
+    pool->ParallelTasks(masks.size(), workers, eval_term);
   }
 
   // Merge in mask order: deterministic results regardless of scheduling.
@@ -145,6 +164,36 @@ CompEvalResult EvalComp(const ViewDefinition& def,
     result.linear_operand_work += term_work[slot];
     if (stats != nullptr) *stats += term.stats;
     ++result.num_terms;
+  }
+
+  WUW_METRIC_ADD("comp.terms", obs::MetricClass::kWork, result.num_terms);
+  WUW_METRIC_ADD("comp.terms_skipped", obs::MetricClass::kWork,
+                 static_cast<int64_t>((uint64_t{1} << m) - 1 - masks.size()));
+  WUW_METRIC_ADD("comp.linear_operand_work", obs::MetricClass::kWork,
+                 result.linear_operand_work);
+
+  if (options.observer != nullptr && options.observer->on_comp != nullptr) {
+    obs::CompPlanObservation observation;
+    observation.num_terms = result.num_terms;
+    observation.nodes.reserve(dag.size());
+    for (size_t id = 0; id < dag.size(); ++id) {
+      const PlanNode& n = dag.node(static_cast<PlanNodeId>(id));
+      obs::PlanNodeObservation record;
+      record.id = static_cast<int32_t>(id);
+      record.children.assign(n.children.begin(), n.children.end());
+      record.label = PlanNodeLabel(n);
+      record.num_uses = n.num_uses;
+      record.cacheable = n.cacheable;
+      record.est_rows =
+          annotated ? (n.is_leaf() ? static_cast<double>(n.input_rows)
+                                   : n.est_output_rows)
+                    : -1;
+      record.measured_rows = runtime[id].rows;
+      record.from_cache = runtime[id].from_cache;
+      observation.nodes.push_back(std::move(record));
+    }
+    observation.term_roots.assign(roots.begin(), roots.end());
+    options.observer->on_comp(std::move(observation));
   }
   return result;
 }

@@ -27,6 +27,7 @@
 #include "algebra/operator_stats.h"
 #include "algebra/rows.h"
 #include "delta/delta_relation.h"
+#include "obs/plan_observation.h"
 #include "plan/subplan_cache.h"
 #include "storage/catalog.h"
 #include "view/view_definition.h"
@@ -77,6 +78,10 @@ struct CompEvalOptions {
   int64_t batch_epoch = 0;
   /// Per-view extent version (Warehouse::extent_version).
   std::function<int64_t(const std::string&)> extent_version;
+  /// EXPLAIN sink: when set, EvalComp evaluates sequentially (term_workers
+  /// is ignored) and reports the interned DAG with estimated vs measured
+  /// per-node rows.  Null (the default) records nothing.
+  obs::PlanObserver* observer = nullptr;
 };
 
 /// Evaluates Comp(V, over) where `def` = Def(V) and `over` ⊆ def.sources().

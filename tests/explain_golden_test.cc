@@ -1,0 +1,159 @@
+// Golden-file tests for the EXPLAIN strategy report (obs/explain.h): the
+// exact rendering for the exp1 fixture (TPC-D Q3 view, MinWorkSingle
+// strategy, scratch subplan cache so shared/cached annotations show) and
+// the exp4 fixture (whole-VDAG Q3+Q5+Q10, MinWork strategy, eager) is
+// pinned under tests/goldens/.
+//
+// Regenerating goldens after an intentional rendering change:
+//
+//     ./build/tests/explain_golden_test --update-goldens
+//     # or: WUW_UPDATE_GOLDENS=1 ctest --test-dir build -R explain_golden
+//
+// then review the diff like any other source change and commit it.  The
+// fixtures pin their own scale factor and seed (they deliberately ignore
+// WUW_SF / WUW_SEED): a golden must not depend on the environment.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/min_work.h"
+#include "core/min_work_single.h"
+#include "obs/explain.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+
+/// Set by --update-goldens / WUW_UPDATE_GOLDENS in main (below).
+bool g_update_goldens = false;
+
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(WUW_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compares `actual` against the named golden, or rewrites the golden in
+/// --update-goldens mode.  On mismatch the failure message points at the
+/// first differing line plus the regeneration command.
+void CompareOrUpdate(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (g_update_goldens) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    ASSERT_TRUE(out.good()) << "short write to golden " << path;
+    GTEST_LOG_(INFO) << "updated golden " << path;
+    return;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — run ./explain_golden_test --update-goldens to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+
+  if (actual == expected.str()) return;
+
+  // Locate the first differing line for a readable failure.
+  std::istringstream want(expected.str()), got(actual);
+  std::string want_line, got_line;
+  size_t line = 0;
+  while (true) {
+    ++line;
+    bool have_want = static_cast<bool>(std::getline(want, want_line));
+    bool have_got = static_cast<bool>(std::getline(got, got_line));
+    if (!have_want && !have_got) break;
+    if (!have_want || !have_got || want_line != got_line) {
+      ADD_FAILURE() << name << " diverged from golden at line " << line
+                    << "\n  golden: "
+                    << (have_want ? want_line : "<end of file>")
+                    << "\n  actual: "
+                    << (have_got ? got_line : "<end of file>")
+                    << "\nIf the change is intentional, regenerate with"
+                    << " ./explain_golden_test --update-goldens";
+      return;
+    }
+  }
+  ADD_FAILURE() << name << " differs from golden only in whitespace/EOF";
+}
+
+/// exp1's fixture (bench/exp1_q3_view_strategies.cc) at a pinned small
+/// scale: Q3 over its referenced bases, 10% deletions of C/O/L.
+Warehouse MakeExp1Warehouse() {
+  tpcd::GeneratorOptions options;
+  options.scale_factor = 0.01;
+  options.seed = 42;
+  Warehouse w = tpcd::MakeTpcdWarehouse(options, {"Q3"},
+                                        /*only_referenced_bases=*/true);
+  tpcd::ApplyPaperChangeWorkload(&w, 0.10, 0.0, /*seed=*/42);
+  return w;
+}
+
+/// exp4's fixture (bench/exp4_vdag_strategies.cc) at the same pinned
+/// scale: the Q3+Q5+Q10 VDAG over the six base views.
+Warehouse MakeExp4Warehouse() {
+  tpcd::GeneratorOptions options;
+  options.scale_factor = 0.01;
+  options.seed = 42;
+  Warehouse w = tpcd::MakeTpcdWarehouse(options, {"Q3", "Q5", "Q10"});
+  tpcd::ApplyPaperChangeWorkload(&w, 0.10, 0.0, /*seed=*/42);
+  return w;
+}
+
+TEST(ExplainGoldenTest, Exp1Q3MinWorkSingleWithCache) {
+  Warehouse w = MakeExp1Warehouse();
+  Strategy s = MinWorkSingle(w.vdag(), "Q3", w.EstimatedSizes());
+
+  obs::ExplainOptions options;
+  options.with_subplan_cache = true;  // show shared/(cached) annotations
+  options.cache_budget = -1;
+  obs::ExplainReport report = obs::ExplainStrategy(w, s, options);
+
+  ASSERT_FALSE(report.steps.empty());
+  ASSERT_FALSE(report.comps.empty());
+  CompareOrUpdate("explain_exp1_q3.txt", report.ToString());
+}
+
+TEST(ExplainGoldenTest, Exp4VdagMinWorkEager) {
+  Warehouse w = MakeExp4Warehouse();
+  Strategy s = MinWork(w.vdag(), w.EstimatedSizes()).strategy;
+
+  obs::ExplainReport report = obs::ExplainStrategy(w, s);
+
+  ASSERT_FALSE(report.steps.empty());
+  ASSERT_FALSE(report.comps.empty());
+  CompareOrUpdate("explain_exp4_vdag.txt", report.ToString());
+}
+
+// The report is a pure function of (state, strategy, options): rendering
+// twice from the same warehouse must produce byte-identical text — the
+// property that makes golden-pinning sound in the first place.
+TEST(ExplainGoldenTest, ReportIsDeterministic) {
+  Warehouse w = MakeExp1Warehouse();
+  Strategy s = MinWorkSingle(w.vdag(), "Q3", w.EstimatedSizes());
+  obs::ExplainOptions options;
+  options.with_subplan_cache = true;
+  options.cache_budget = -1;
+  EXPECT_EQ(obs::ExplainStrategy(w, s, options).ToString(),
+            obs::ExplainStrategy(w, s, options).ToString());
+}
+
+}  // namespace
+}  // namespace wuw
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-goldens") {
+      wuw::g_update_goldens = true;
+    }
+  }
+  const char* env = std::getenv("WUW_UPDATE_GOLDENS");
+  if (env != nullptr && *env != '\0') wuw::g_update_goldens = true;
+  return RUN_ALL_TESTS();
+}

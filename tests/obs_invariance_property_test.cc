@@ -1,0 +1,247 @@
+// The observability determinism contract, property-tested end to end
+// (ISSUE: counter snapshots must be bit-identical at every WUW_THREADS
+// value and cache budget; only wall time may vary):
+//
+//   * kWork counters are identical for a given (state, strategy, executor)
+//     across pool sizes {1, 2, 8} x cache budgets {none, 0, 256MB};
+//   * kWork|kEngine counters (the WUW_METRICS dump CI diffs) are identical
+//     across pool sizes at a fixed cache configuration under the
+//     sequential executor;
+//   * kTime gauges are excluded from both masks by construction.
+//
+// VDAG shapes cover the canonical fixtures plus RandomVdag draws; both the
+// sequential Executor and the stage-parallel ParallelExecutor run under
+// MinWork and Prune strategies.  Honors WUW_SEED (testutil::PropertySeed);
+// failures print the effective seed so one command reproduces:
+//     WUW_SEED=<seed> ./obs_invariance_property_test
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/min_work.h"
+#include "core/prune.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "exec/parallel_executor.h"
+#include "obs/metrics.h"
+#include "parallel/parallel_strategy.h"
+#include "parallel/thread_pool.h"
+#include "plan/subplan_cache.h"
+#include "test_util.h"
+
+namespace wuw {
+namespace {
+
+using obs::MetricClass;
+using obs::MetricsSnapshot;
+
+/// Cache-budget axis: no cache at all, a zero budget (admits nothing), and
+/// the default 256MB budget (everything in these workloads fits).
+enum class Budget { kNone, kZero, kDefault };
+
+const Budget kBudgets[] = {Budget::kNone, Budget::kZero, Budget::kDefault};
+const int kPoolSizes[] = {1, 2, 8};
+
+std::string BudgetName(Budget b) {
+  switch (b) {
+    case Budget::kNone:
+      return "none";
+    case Budget::kZero:
+      return "0";
+    case Budget::kDefault:
+      return "256MB";
+  }
+  return "?";
+}
+
+std::unique_ptr<SubplanCache> MakeCache(Budget b) {
+  switch (b) {
+    case Budget::kNone:
+      return nullptr;
+    case Budget::kZero:
+      return std::make_unique<SubplanCache>(SubplanCacheOptions{0});
+    case Budget::kDefault:
+      return std::make_unique<SubplanCache>();
+  }
+  return nullptr;
+}
+
+/// Executes `s` on a clone of `w` under one (executor, pool size, budget)
+/// configuration and returns the snapshot of `mask`-classed counters for
+/// exactly that run.  A fresh cache per run keeps the budget axis clean
+/// (cross-run cache reuse is the audit suite's subject, not this one's).
+MetricsSnapshot RunAndSnapshot(const Warehouse& w, const Strategy& s,
+                               bool stage_parallel, int pool_size,
+                               Budget budget, obs::MetricMask mask) {
+  obs::ResetMetrics();
+  Warehouse clone = w.Clone();
+  ThreadPool pool(pool_size);
+  std::unique_ptr<SubplanCache> cache = MakeCache(budget);
+  if (stage_parallel) {
+    ParallelStrategy stages = ParallelizeStrategy(w.vdag(), s);
+    ParallelExecutorOptions options;
+    options.workers = pool_size;
+    options.term_workers = pool_size;
+    options.pool = &pool;
+    options.subplan_cache = cache.get();
+    ParallelExecutor(&clone, options).Execute(stages);
+  } else {
+    ExecutorOptions options;
+    options.pool = &pool;
+    options.subplan_cache = cache.get();
+    Executor(&clone, options).Execute(s);
+  }
+  return obs::SnapshotMetrics(mask);
+}
+
+/// One fully-loaded scenario: warehouse with pending changes plus the
+/// MinWork and Prune strategies for it.
+struct Scenario {
+  std::string name;
+  Warehouse warehouse;
+  std::vector<std::pair<std::string, Strategy>> strategies;
+};
+
+Scenario MakeScenario(std::string name, Vdag vdag, int64_t base_rows,
+                      double delete_fraction, int64_t insert_rows,
+                      uint64_t seed) {
+  Warehouse w = testutil::MakeLoadedWarehouse(std::move(vdag), base_rows,
+                                              seed);
+  testutil::ApplyTripleChanges(&w, delete_fraction, insert_rows, seed + 9);
+  SizeMap sizes = w.EstimatedSizes();
+  std::vector<std::pair<std::string, Strategy>> strategies;
+  strategies.emplace_back("MinWork", MinWork(w.vdag(), sizes).strategy);
+  strategies.emplace_back("Prune", Prune(w.vdag(), sizes).strategy);
+  return Scenario{std::move(name), std::move(w), std::move(strategies)};
+}
+
+std::vector<Scenario> MakeScenarios(uint64_t seed) {
+  std::vector<Scenario> out;
+  out.push_back(MakeScenario("fig3", testutil::MakeFig3Vdag(), 50, 0.2, 8,
+                             seed + 1));
+  out.push_back(MakeScenario("star_agg",
+                             testutil::MakeStarVdag("V", 3, true), 50, 0.15,
+                             10, seed + 2));
+  tpcd::Rng rng(seed + 3);
+  out.push_back(MakeScenario("random", testutil::RandomVdag(&rng, 3, 2), 40,
+                             0.25, 6, seed + 4));
+  return out;
+}
+
+class ObsInvarianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics_were_armed_ = obs::MetricsArmed();
+    obs::ArmMetrics();
+  }
+  void TearDown() override {
+    obs::ResetMetrics();
+    if (!metrics_were_armed_) obs::DisarmMetrics();
+  }
+  bool metrics_were_armed_ = false;
+};
+
+// kWork: one baseline per (scenario, strategy, executor), compared against
+// every pool-size x budget combination.  18 runs per baseline cell.
+TEST_F(ObsInvarianceTest, WorkCountersInvariantAcrossThreadsAndBudgets) {
+  const uint64_t seed = testutil::PropertySeed(71);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  for (Scenario& sc : MakeScenarios(seed)) {
+    for (const auto& [strategy_name, strategy] : sc.strategies) {
+      for (bool stage_parallel : {false, true}) {
+        MetricsSnapshot baseline =
+            RunAndSnapshot(sc.warehouse, strategy, stage_parallel,
+                           /*pool_size=*/1, Budget::kNone,
+                           obs::Mask(MetricClass::kWork));
+        EXPECT_FALSE(baseline.counters.empty());
+        for (int pool_size : kPoolSizes) {
+          for (Budget budget : kBudgets) {
+            MetricsSnapshot snap =
+                RunAndSnapshot(sc.warehouse, strategy, stage_parallel,
+                               pool_size, budget,
+                               obs::Mask(MetricClass::kWork));
+            EXPECT_EQ(snap, baseline)
+                << "kWork snapshot diverged: scenario=" << sc.name
+                << " strategy=" << strategy_name << " executor="
+                << (stage_parallel ? "parallel" : "sequential")
+                << " WUW_THREADS=" << pool_size
+                << " budget=" << BudgetName(budget)
+                << "\nrepro: WUW_SEED=" << seed
+                << " ./obs_invariance_property_test"
+                << "\nbaseline:\n" << baseline.ToString()
+                << "got:\n" << snap.ToString();
+          }
+        }
+      }
+    }
+  }
+}
+
+// kWork|kEngine (the deterministic mask WUW_METRICS dumps): identical
+// across pool sizes at each fixed cache configuration under the
+// sequential executor.  This is the exact guarantee CI's armed double-run
+// diff relies on.
+TEST_F(ObsInvarianceTest, DeterministicMaskThreadInvariantAtFixedBudget) {
+  const uint64_t seed = testutil::PropertySeed(73);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  for (Scenario& sc : MakeScenarios(seed)) {
+    for (const auto& [strategy_name, strategy] : sc.strategies) {
+      for (Budget budget : kBudgets) {
+        MetricsSnapshot baseline =
+            RunAndSnapshot(sc.warehouse, strategy, /*stage_parallel=*/false,
+                           /*pool_size=*/1, budget, obs::kDeterministicMask);
+        for (int pool_size : {2, 8}) {
+          MetricsSnapshot snap = RunAndSnapshot(
+              sc.warehouse, strategy, /*stage_parallel=*/false, pool_size,
+              budget, obs::kDeterministicMask);
+          EXPECT_EQ(snap, baseline)
+              << "deterministic snapshot diverged: scenario=" << sc.name
+              << " strategy=" << strategy_name
+              << " WUW_THREADS=" << pool_size
+              << " budget=" << BudgetName(budget)
+              << "\nrepro: WUW_SEED=" << seed
+              << " ./obs_invariance_property_test"
+              << "\nbaseline:\n" << baseline.ToString()
+              << "got:\n" << snap.ToString();
+        }
+      }
+    }
+  }
+}
+
+// Same-configuration reruns are bit-identical too (no hidden run-to-run
+// state in the registry), and the deterministic mask really excludes the
+// wall-time gauges the executors always record.
+TEST_F(ObsInvarianceTest, RerunsAreIdenticalAndTimeGaugesAreExcluded) {
+  const uint64_t seed = testutil::PropertySeed(79);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Scenario sc = MakeScenario("fig3", testutil::MakeFig3Vdag(), 50, 0.2, 8,
+                             seed + 1);
+  const Strategy& s = sc.strategies[0].second;
+
+  MetricsSnapshot first = RunAndSnapshot(sc.warehouse, s, false, 2,
+                                         Budget::kDefault,
+                                         obs::kDeterministicMask);
+  MetricsSnapshot second = RunAndSnapshot(sc.warehouse, s, false, 2,
+                                          Budget::kDefault,
+                                          obs::kDeterministicMask);
+  EXPECT_EQ(first, second);
+
+  for (const auto& [name, value] : first.counters) {
+    EXPECT_EQ(name.find("_us"), std::string::npos)
+        << "wall-time gauge leaked into the deterministic mask: " << name;
+  }
+  // The executor did record time gauges — they are only filtered, and
+  // visible under the full mask.
+  MetricsSnapshot all = obs::SnapshotMetrics(obs::kAllMetricsMask);
+  bool saw_time_gauge = false;
+  for (const auto& [name, value] : all.counters) {
+    if (name.find("_us") != std::string::npos) saw_time_gauge = true;
+  }
+  EXPECT_TRUE(saw_time_gauge);
+}
+
+}  // namespace
+}  // namespace wuw

@@ -1,0 +1,447 @@
+// Unit tests for the observability layer (src/obs): the counter registry's
+// arm/disarm/reset/snapshot semantics, TraceSpan nesting and buffer
+// accounting, and the two trace renderers (Chrome trace-event JSON is
+// checked against a real JSON grammar, not substring matching).
+//
+// The registry and trace buffer are process-global, so every test restores
+// the armed state it found (a CI run with WUW_METRICS / WUW_TRACE set arms
+// both at static init) and uses obs_test.*-prefixed counter names.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wuw {
+namespace obs {
+namespace {
+
+// ---- minimal JSON validity checker ----------------------------------------
+
+/// Recursive-descent validator for the JSON value grammar (RFC 8259 minus
+/// \uXXXX surrogate-pair pairing).  Small on purpose: the test needs "is
+/// this parseable JSON", not a DOM.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Peek(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Peek(',')) return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Peek(',')) return false;
+    }
+  }
+
+  bool String() {
+    if (!Peek('"')) return false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char esc = s_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_++]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek('-')) {
+    }
+    if (!Digits()) return false;
+    if (Peek('.') && !Digits()) return false;
+    if ((Peek('e') || Peek('E'))) {
+      if (Peek('+') || Peek('-')) {
+      }
+      if (!Digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool Digits() {
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  bool Peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ---- fixtures -------------------------------------------------------------
+
+/// Saves and restores the global armed states so tests compose with an
+/// env-armed run (WUW_METRICS / WUW_TRACE) and with each other.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics_were_armed_ = MetricsArmed();
+    tracing_was_armed_ = TracingArmed();
+    DisarmTracing();
+    ArmMetrics();
+  }
+  void TearDown() override {
+    ResetMetrics();
+    if (metrics_were_armed_) {
+      ArmMetrics();
+    } else {
+      DisarmMetrics();
+    }
+    if (tracing_was_armed_) {
+      ArmTracing();
+    } else {
+      DisarmTracing();
+    }
+  }
+
+  bool metrics_were_armed_ = false;
+  bool tracing_was_armed_ = false;
+};
+
+int64_t SnapshotValue(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+// ---- metrics --------------------------------------------------------------
+
+TEST_F(ObsTest, DisarmedAddsAreDropped) {
+  ResetMetrics();
+  WUW_METRIC_ADD("obs_test.gate", MetricClass::kWork, 1);  // armed: registers
+  DisarmMetrics();
+  for (int i = 0; i < 10; ++i) {
+    WUW_METRIC_ADD("obs_test.gate", MetricClass::kWork, 1);
+  }
+  ArmMetrics();
+  EXPECT_EQ(GetCounter("obs_test.gate", MetricClass::kWork)->value(), 1);
+  WUW_METRIC_ADD("obs_test.gate", MetricClass::kWork, 5);
+  EXPECT_EQ(GetCounter("obs_test.gate", MetricClass::kWork)->value(), 6);
+}
+
+TEST_F(ObsTest, SnapshotIsSortedAndExcludesZeros) {
+  ResetMetrics();
+  GetCounter("obs_test.zzz", MetricClass::kWork)->Add(7);
+  GetCounter("obs_test.aaa", MetricClass::kWork)->Add(3);
+  GetCounter("obs_test.mmm", MetricClass::kWork)->Add(0);  // stays zero
+
+  MetricsSnapshot snap = SnapshotMetrics(Mask(MetricClass::kWork));
+  ASSERT_GE(snap.counters.size(), 2u);
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+  EXPECT_EQ(SnapshotValue(snap, "obs_test.aaa"), 3);
+  EXPECT_EQ(SnapshotValue(snap, "obs_test.zzz"), 7);
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_NE(name, "obs_test.mmm") << "zero-valued counter leaked";
+    EXPECT_NE(value, 0);
+  }
+}
+
+TEST_F(ObsTest, MaskFiltersByClass) {
+  ResetMetrics();
+  GetCounter("obs_test.work", MetricClass::kWork)->Add(1);
+  GetCounter("obs_test.engine", MetricClass::kEngine)->Add(2);
+  GetCounter("obs_test.sched", MetricClass::kSched)->Add(3);
+  GetCounter("obs_test.time", MetricClass::kTime)->Add(4);
+
+  MetricsSnapshot work = SnapshotMetrics(Mask(MetricClass::kWork));
+  EXPECT_EQ(SnapshotValue(work, "obs_test.work"), 1);
+  EXPECT_EQ(SnapshotValue(work, "obs_test.engine"), 0);
+  EXPECT_EQ(SnapshotValue(work, "obs_test.time"), 0);
+
+  // The deterministic mask (what WUW_METRICS dumps and CI diffs) excludes
+  // scheduling shape and wall time.
+  MetricsSnapshot det = SnapshotMetrics(kDeterministicMask);
+  EXPECT_EQ(SnapshotValue(det, "obs_test.work"), 1);
+  EXPECT_EQ(SnapshotValue(det, "obs_test.engine"), 2);
+  EXPECT_EQ(SnapshotValue(det, "obs_test.sched"), 0);
+  EXPECT_EQ(SnapshotValue(det, "obs_test.time"), 0);
+
+  MetricsSnapshot all = SnapshotMetrics(kAllMetricsMask);
+  EXPECT_EQ(SnapshotValue(all, "obs_test.sched"), 3);
+  EXPECT_EQ(SnapshotValue(all, "obs_test.time"), 4);
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsRegistrations) {
+  ResetMetrics();
+  Counter* c = GetCounter("obs_test.reset_me", MetricClass::kWork);
+  c->Add(41);
+  ResetMetrics();
+  EXPECT_EQ(c->value(), 0);
+  MetricsSnapshot snap = SnapshotMetrics(kAllMetricsMask);
+  EXPECT_EQ(SnapshotValue(snap, "obs_test.reset_me"), 0);
+  // The interned pointer stays usable after a reset.
+  c->Add(2);
+  EXPECT_EQ(c->value(), 2);
+  EXPECT_EQ(GetCounter("obs_test.reset_me", MetricClass::kWork), c);
+}
+
+TEST_F(ObsTest, SnapshotEqualityAndToString) {
+  ResetMetrics();
+  GetCounter("obs_test.eq", MetricClass::kWork)->Add(12);
+  MetricsSnapshot a = SnapshotMetrics(Mask(MetricClass::kWork));
+  MetricsSnapshot b = SnapshotMetrics(Mask(MetricClass::kWork));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_NE(a.ToString().find("obs_test.eq"), std::string::npos);
+  EXPECT_NE(a.ToString().find("12"), std::string::npos);
+
+  GetCounter("obs_test.eq", MetricClass::kWork)->Add(1);
+  MetricsSnapshot c = SnapshotMetrics(Mask(MetricClass::kWork));
+  EXPECT_NE(a, c);
+}
+
+TEST_F(ObsTest, CounterMetadataIsFixedAtRegistration) {
+  Counter* c = GetCounter("obs_test.meta", MetricClass::kEngine);
+  EXPECT_EQ(c->name(), "obs_test.meta");
+  EXPECT_EQ(c->metric_class(), MetricClass::kEngine);
+  // Same (name, class) re-registration interns to the same counter.
+  EXPECT_EQ(GetCounter("obs_test.meta", MetricClass::kEngine), c);
+}
+
+// ---- tracing --------------------------------------------------------------
+
+TEST_F(ObsTest, SpansNestAndDrainSorted) {
+  (void)DrainTrace();  // start from an empty buffer
+  ArmTracing();
+  {
+    TraceSpan outer("exec", "outer");
+    TraceSpan inner("view", [] { return std::string("inner"); });
+  }
+  DisarmTracing();
+
+  std::vector<TraceEvent> events = DrainTrace();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by (tid, start, depth): the outer span started first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_STREQ(events[0].category, "exec");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_STREQ(events[1].category, "view");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_GE(events[1].start_us, events[0].start_us);
+  EXPECT_GE(events[0].duration_us, events[1].duration_us);
+  // Drain cleared the buffer.
+  EXPECT_EQ(TraceEventCount(), 0u);
+  EXPECT_EQ(DroppedTraceEvents(), 0);
+}
+
+TEST_F(ObsTest, LazyNameNotInvokedWhenDisarmed) {
+  DisarmTracing();
+  bool invoked = false;
+  {
+    TraceSpan span("exec", [&invoked] {
+      invoked = true;
+      return std::string("expensive");
+    });
+  }
+  EXPECT_FALSE(invoked);
+
+  (void)DrainTrace();
+  ArmTracing();
+  {
+    TraceSpan span("exec", [&invoked] {
+      invoked = true;
+      return std::string("expensive");
+    });
+  }
+  DisarmTracing();
+  EXPECT_TRUE(invoked);
+  EXPECT_EQ(DrainTrace().size(), 1u);
+}
+
+TEST_F(ObsTest, TraceSinceIsANonDestructiveTail) {
+  (void)DrainTrace();
+  ArmTracing();
+  { TraceSpan a("exec", "before-mark"); }
+  size_t mark = TraceEventCount();
+  { TraceSpan b("exec", "after-mark"); }
+  DisarmTracing();
+
+  std::vector<TraceEvent> tail = TraceSince(mark);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].name, "after-mark");
+  // The full buffer is still intact for a later drain (e.g. WUW_TRACE's
+  // exit hook).
+  EXPECT_EQ(TraceEventCount(), 2u);
+  EXPECT_EQ(DrainTrace().size(), 2u);
+}
+
+TEST_F(ObsTest, DisarmedSpansRecordNothing) {
+  (void)DrainTrace();
+  DisarmTracing();
+  {
+    TraceSpan span("exec", "ghost");
+  }
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonIsValidAndEscaped) {
+  std::vector<TraceEvent> events;
+  TraceEvent e;
+  e.name = "quote\" backslash\\ newline\n tab\t ctrl\x01 done";
+  e.category = "exec";
+  e.tid = 3;
+  e.depth = 1;
+  e.start_us = 1000;
+  e.duration_us = 250;
+  events.push_back(e);
+  TraceEvent plain;
+  plain.name = "Comp(Q3, {ORDERS})";
+  plain.category = "view";
+  plain.start_us = 1100;
+  plain.duration_us = 50;
+  events.push_back(plain);
+
+  std::string json = ChromeTraceJson(events);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  // No raw control characters survive into the output.
+  for (char c : json) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control char in JSON";
+  }
+}
+
+TEST_F(ObsTest, ChromeTraceJsonEmptyIsValid) {
+  std::string json = ChromeTraceJson({});
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
+TEST_F(ObsTest, HumanTimelineIndentsByDepthAndGroupsByThread) {
+  std::vector<TraceEvent> events;
+  TraceEvent outer;
+  outer.name = "strategy";
+  outer.category = "exec";
+  outer.tid = 0;
+  outer.depth = 0;
+  outer.start_us = 5000;
+  outer.duration_us = 900;
+  TraceEvent inner = outer;
+  inner.name = "Comp(V)";
+  inner.category = "view";
+  inner.depth = 1;
+  inner.start_us = 5100;
+  inner.duration_us = 300;
+  TraceEvent other;
+  other.name = "stage[1]";
+  other.category = "exec";
+  other.tid = 2;
+  other.start_us = 5200;
+  other.duration_us = 100;
+  events = {outer, inner, other};
+
+  std::string timeline = HumanTimeline(events);
+  EXPECT_NE(timeline.find("thread 0\n"), std::string::npos);
+  EXPECT_NE(timeline.find("thread 2\n"), std::string::npos);
+  EXPECT_NE(timeline.find("exec: strategy"), std::string::npos);
+  // Depth 1 renders two extra leading spaces before the category.
+  EXPECT_NE(timeline.find("  view: Comp(V)"), std::string::npos);
+  // Timestamps are relative to the earliest span, so the first line is 0.
+  EXPECT_NE(timeline.find("0.000ms"), std::string::npos);
+  EXPECT_EQ(HumanTimeline({}), "");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace wuw

@@ -18,8 +18,10 @@
 //   schema                print the warehouse DDL
 //   sizes                 print |V| and pending |δV| per view
 //   advise                rank candidate update strategies for the batch
-//   update [name]         run the update window (default: MinWork)
-//   explain               per-expression work estimate of the best plan
+//   update [name]         run the update window (default: MinWork); prints
+//                         the EXPLAIN report first and a span timeline after
+//   explain               work estimate + plan DAGs (est vs measured rows)
+//                         of the best strategy
 //   select ...            ad-hoc query (any line starting with SELECT)
 //   procs                 print the stored-procedure setup script (§5.5)
 //   dot                   print the VDAG as Graphviz
@@ -35,6 +37,8 @@
 
 #include "core/advisor.h"
 #include "core/min_work.h"
+#include "obs/explain.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "graph/dot.h"
 #include "view/validate.h"
@@ -245,6 +249,16 @@ class Shell {
       std::printf("  %-50s %12.0f\n", ew.expression.ToString().c_str(),
                   ew.work);
     }
+    // The physical view: each Comp's interned plan DAG with shared-subplan
+    // annotations and estimated vs measured rows (replayed on a clone; the
+    // pending batch stays pending).
+    obs::ExplainOptions explain_options;
+    explain_options.simplify_empty_deltas = true;
+    std::fputs(
+        obs::ExplainStrategy(*warehouse_, best.strategy, explain_options)
+            .ToString()
+            .c_str(),
+        stdout);
   }
 
   void Update(const std::string& which) {
@@ -266,16 +280,35 @@ class Shell {
         return;
       }
     }
+    // EXPLAIN before executing: replay on a clone, so the report shows the
+    // exact ordering and per-node rows the real window is about to produce.
+    obs::ExplainOptions explain_options;
+    explain_options.simplify_empty_deltas = true;
+    std::fputs(
+        obs::ExplainStrategy(*warehouse_, chosen->strategy, explain_options)
+            .ToString()
+            .c_str(),
+        stdout);
+
     ThreadPool& pool = ThreadPool::Global();
     std::printf("executing %s (%d threads)...\n", chosen->name.c_str(),
                 pool.parallelism());
     ExecutorOptions options;
     options.simplify_empty_deltas = true;
     ThreadPoolStats before = pool.stats();
+    // Arm tracing for the window so the timeline below has spans to show;
+    // leave the env-armed state (WUW_TRACE) untouched.
+    bool tracing_was_armed = obs::TracingArmed();
+    size_t trace_mark = obs::TraceEventCount();
+    obs::ArmTracing();
     Executor executor(warehouse_.get(), options);
     ExecutionReport report = executor.Execute(chosen->strategy);
+    if (!tracing_was_armed) obs::DisarmTracing();
     ThreadPoolStats after = pool.stats();
     std::fputs(report.ToString().c_str(), stdout);
+    std::puts("  timeline:");
+    std::fputs(obs::HumanTimeline(obs::TraceSince(trace_mark)).c_str(),
+               stdout);
     // Where the operator time went: scan/probe/build volumes plus how much
     // of the run actually fanned out onto the pool.
     std::printf(
