@@ -13,6 +13,12 @@
 //                 nothing, negative = unbounded
 //   WUW_FAULT     fault-injection spec (fault/fault_injection.h grammar);
 //                 unset = all points disarmed at zero cost
+//   WUW_WINDOW_BUDGET  per-window budget spec (exec/window_budget.h
+//                 grammar, e.g. "2000" or "work=2000;deadline_ms=50");
+//                 sequential executor runs auto-split into as many windows
+//                 as the budget demands (always completing); unset = one
+//                 window, zero cost.  FromEnv prints a notice when armed
+//                 so split timings are never mistaken for baselines.
 #ifndef WUW_BENCH_BENCH_UTIL_H_
 #define WUW_BENCH_BENCH_UTIL_H_
 
@@ -24,6 +30,7 @@
 #include "core/strategy.h"
 #include "exec/executor.h"
 #include "exec/warehouse.h"
+#include "exec/window_budget.h"
 #include "fault/fault_injection.h"
 #include "plan/subplan_cache.h"
 
@@ -55,6 +62,14 @@ inline BenchEnv FromEnv(double default_scale_factor = 0.01) {
   if (!fault_error.empty()) {
     std::fprintf(stderr, "%s\n", fault_error.c_str());
     std::exit(2);
+  }
+  if (const WindowBudgetOptions* budget = EnvWindowBudget()) {
+    std::printf(
+        "  NOTE: WUW_WINDOW_BUDGET armed (work=%lld deadline=%.3fs) — "
+        "sequential runs auto-split into budgeted windows; timings below "
+        "include pause/resume overhead.\n",
+        static_cast<long long>(budget->work_units),
+        budget->deadline_seconds);
   }
   return env;
 }

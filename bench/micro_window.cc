@@ -1,0 +1,130 @@
+// Micro-benchmarks for the window-budget layer (exec/window_budget.h),
+// fault-point style (see micro_fault.cc, micro_obs.cc): the acceptance
+// criterion is that a DISARMED cancel check — the state every kernel and
+// executor site runs in when no budget is attached — costs one relaxed
+// atomic load and stays within noise of the pre-budget engine, and that
+// an UNLIMITED budget (pure accounting, no journal) prices the same as no
+// budget at all.  Armed variants are measured alongside.
+#include <benchmark/benchmark.h>
+
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "exec/window_budget.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_schema.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+tpcd::GeneratorOptions Options() {
+  tpcd::GeneratorOptions o;
+  o.scale_factor = 0.002;
+  o.seed = 42;
+  return o;
+}
+
+/// A Q3 warehouse with a pending deletion batch, cloned per measured run.
+const Warehouse& BatchedWarehouse() {
+  static Warehouse* w = [] {
+    auto* wh = new Warehouse(tpcd::MakeTpcdWarehouse(Options(), {"Q3"}));
+    for (const std::string& base : wh->vdag().BaseViews()) {
+      wh->SetBaseDelta(base,
+                       tpcd::MakeDeletionDelta(
+                           *wh->catalog().MustGetTable(base), 0.05, 7));
+    }
+    return wh;
+  }();
+  return *w;
+}
+
+// The disarmed cancel fast path: one relaxed load and a predicted branch.
+// This is what every morsel/term/plan-node boundary pays when no budget
+// (and no deadline) is attached — it must stay indistinguishable from a
+// no-op.
+void BM_CancelCheckDisarmed(benchmark::State& state) {
+  CancelToken token;
+  for (auto _ : state) {
+    token.Check();
+    benchmark::DoNotOptimize(&token);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CancelCheckDisarmed);
+
+// Poll() is Check() without the throw path — the form the executor's
+// ShouldPause uses at step boundaries.
+void BM_CancelPollDisarmed(benchmark::State& state) {
+  CancelToken token;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(token.Poll());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CancelPollDisarmed);
+
+// Armed with a deadline: the slow path reads steady_clock on every poll.
+// Deadline checks ride the same sites as disarmed checks, so this is the
+// per-site price of WUW_WINDOW_BUDGET's deadline clause.
+void BM_CancelPollDeadlineArmed(benchmark::State& state) {
+  CancelToken token;
+  token.ArmDeadline(3600.0);  // far future: never fires mid-bench
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(token.Poll());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CancelPollDeadlineArmed);
+
+void RunStrategy(WindowBudget* budget) {
+  Warehouse clone = BatchedWarehouse().Clone();
+  ExecutorOptions options;
+  options.budget = budget;
+  Executor executor(&clone, options);
+  executor.Execute(MakeDualStageVdagStrategy(clone.vdag()));
+}
+
+// Full dual-stage update window with no budget — the configuration every
+// paper-fidelity bench runs in.  Compare against BM_ExecuteObsDisarmed in
+// micro_obs (same fixture): the delta is the compiled-in cancel-check
+// instrumentation, which must be noise.
+void BM_ExecuteNoBudget(benchmark::State& state) {
+  for (auto _ : state) RunStrategy(nullptr);
+}
+BENCHMARK(BM_ExecuteNoBudget)->Unit(benchmark::kMillisecond);
+
+// Same window under an UNLIMITED budget: work accounting on, token armed
+// never firing, journal still off.  The zero-cost guard in
+// window_budget_test pins the outputs byte-identical; this pins the time.
+void BM_ExecuteUnlimitedBudget(benchmark::State& state) {
+  for (auto _ : state) {
+    WindowBudget unlimited;
+    RunStrategy(&unlimited);
+  }
+}
+BENCHMARK(BM_ExecuteUnlimitedBudget)->Unit(benchmark::kMillisecond);
+
+// Same window under a limiting-but-never-pausing budget: the journal the
+// budget forces on is the real price of being pausable.
+void BM_ExecuteHugeWorkBudget(benchmark::State& state) {
+  for (auto _ : state) {
+    WindowBudget huge(WindowBudgetOptions{int64_t{1} << 60});
+    RunStrategy(&huge);
+  }
+}
+BENCHMARK(BM_ExecuteHugeWorkBudget)->Unit(benchmark::kMillisecond);
+
+// Same window under a far-future deadline budget: adds the steady_clock
+// read at every check site on top of the journal.
+void BM_ExecuteDeadlineBudget(benchmark::State& state) {
+  for (auto _ : state) {
+    WindowBudget deadline(WindowBudgetOptions{-1, 3600.0});
+    RunStrategy(&deadline);
+  }
+}
+BENCHMARK(BM_ExecuteDeadlineBudget)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wuw
+
+BENCHMARK_MAIN();

@@ -46,14 +46,15 @@ struct AggPartition {
 }  // namespace
 
 Rows AggregateKernel::Run(const std::vector<const Rows*>& inputs,
-                          OperatorStats* stats, ThreadPool* pool) const {
+                          OperatorStats* stats, ThreadPool* pool,
+                          const CancelToken* cancel) const {
   WUW_CHECK(inputs.size() == 1, "AggregateKernel takes exactly one input");
-  return AggregateSigned(*inputs[0], group_by, aggs, stats, pool);
+  return AggregateSigned(*inputs[0], group_by, aggs, stats, pool, cancel);
 }
 
 Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by,
                      const std::vector<AggSpec>& aggs, OperatorStats* stats,
-                     ThreadPool* pool) {
+                     ThreadPool* pool, const CancelToken* cancel) {
   std::vector<size_t> key_idx;
   std::vector<Column> out_cols;
   for (const std::string& name : group_by) {
@@ -133,7 +134,7 @@ Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by
         hashes[i] = h;
         ++cnt[h >> kAggPartitionShift];
       }
-    });
+    }, cancel);
 
     // Scatter row ids so every partition's list ascends in input order.
     std::vector<std::vector<uint32_t>> part_ids(kAggPartitions);
@@ -156,7 +157,7 @@ Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by
         size_t p = hashes[i] >> kAggPartitionShift;
         part_ids[p][cursor[p]++] = static_cast<uint32_t>(i);
       }
-    });
+    }, cancel);
 
     // Pass 2: thread-local partial aggregation, one partition per task.
     std::vector<AggPartition> parts(kAggPartitions);
@@ -195,7 +196,7 @@ Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by
         }
         accumulate(acc, tuple, mult);
       }
-    });
+    }, cancel);
 
     // Deterministic merge: k-way by ascending first input row.  This is
     // exactly the sequential path's group-creation order, so the emitted

@@ -17,6 +17,7 @@
 
 namespace wuw {
 
+class CancelToken;
 class ThreadPool;
 
 enum class AggFn : uint8_t { kSum, kCount };
@@ -43,10 +44,12 @@ struct AggSpec {
 /// into thread-local partial aggregation maps; each group is accumulated
 /// by one worker in input order (double SUMs stay bit-identical) and the
 /// partitions merge in global first-occurrence order, so output rows, row
-/// ORDER, and stats match the sequential path at every pool size.
+/// ORDER, and stats match the sequential path at every pool size.  A
+/// non-null `cancel` token is checked at morsel boundaries.
 Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by,
                      const std::vector<AggSpec>& aggs, OperatorStats* stats,
-                     ThreadPool* pool = nullptr);
+                     ThreadPool* pool = nullptr,
+                     const CancelToken* cancel = nullptr);
 
 /// Name of the hidden per-group contributing-row counter column.
 inline const char* kGroupCountColumn = "__count";
@@ -59,7 +62,8 @@ struct AggregateKernel {
 
   /// inputs = {child}.
   Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats,
-           ThreadPool* pool = nullptr) const;
+           ThreadPool* pool = nullptr,
+           const CancelToken* cancel = nullptr) const;
 };
 
 }  // namespace wuw

@@ -9,13 +9,15 @@
 namespace wuw {
 
 Rows FilterKernel::Run(const std::vector<const Rows*>& inputs,
-                       OperatorStats* stats, ThreadPool* pool) const {
+                       OperatorStats* stats, ThreadPool* pool,
+                       const CancelToken* cancel) const {
   WUW_CHECK(inputs.size() == 1, "FilterKernel takes exactly one input");
-  return Filter(*inputs[0], predicate, stats, pool);
+  return Filter(*inputs[0], predicate, stats, pool, cancel);
 }
 
 Rows Filter(const Rows& input, const ScalarExpr::Ptr& predicate,
-            OperatorStats* stats, ThreadPool* pool) {
+            OperatorStats* stats, ThreadPool* pool,
+            const CancelToken* cancel) {
   if (predicate == nullptr) return input;
   Rows out(input.schema);
   BoundExpr bound = BoundExpr::Bind(predicate, input.schema);
@@ -28,7 +30,7 @@ Rows Filter(const Rows& input, const ScalarExpr::Ptr& predicate,
     const size_t nmorsels = (n + kMorselRows - 1) / kMorselRows;
     std::vector<std::vector<std::pair<Tuple, int64_t>>> buffers(nmorsels);
     std::vector<OperatorStats> partial(nmorsels);
-    pool->ParallelFor(n, kMorselRows, [&](size_t begin, size_t end) {
+    auto morsel = [&](size_t begin, size_t end) {
       size_t m = begin / kMorselRows;
       std::vector<std::pair<Tuple, int64_t>>& buf = buffers[m];
       OperatorStats& ps = partial[m];
@@ -41,7 +43,8 @@ Rows Filter(const Rows& input, const ScalarExpr::Ptr& predicate,
           ps.rows_produced += std::llabs(count);
         }
       }
-    });
+    };
+    pool->ParallelFor(n, kMorselRows, morsel, cancel);
     size_t total = 0;
     for (const auto& buf : buffers) total += buf.size();
     out.rows.reserve(total);

@@ -8,14 +8,17 @@
 
 namespace wuw {
 
+class CancelToken;
 class ThreadPool;
 
 /// Returns the rows of `input` satisfying `predicate` (multiplicities kept
 /// verbatim).  A null predicate passes everything through.  With a pool
 /// (and a large enough input) the scan runs morsel-parallel; output and
-/// stats match the sequential scan exactly.
+/// stats match the sequential scan exactly.  A non-null `cancel` token is
+/// checked at morsel boundaries (see exec/window_budget.h).
 Rows Filter(const Rows& input, const ScalarExpr::Ptr& predicate,
-            OperatorStats* stats, ThreadPool* pool = nullptr);
+            OperatorStats* stats, ThreadPool* pool = nullptr,
+            const CancelToken* cancel = nullptr);
 
 /// Plan-node kernel form of Filter: parameters captured at plan-build time,
 /// executed with the uniform Run(inputs, stats) signature shared by every
@@ -25,7 +28,8 @@ struct FilterKernel {
 
   /// inputs = {child}.
   Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats,
-           ThreadPool* pool = nullptr) const;
+           ThreadPool* pool = nullptr,
+           const CancelToken* cancel = nullptr) const;
 };
 
 }  // namespace wuw

@@ -43,7 +43,8 @@ struct JoinPartition {
 Rows ParallelHashJoin(const Rows& left, const Rows& right,
                       const std::vector<size_t>& left_idx,
                       const std::vector<size_t>& right_idx,
-                      OperatorStats* stats, ThreadPool* pool) {
+                      OperatorStats* stats, ThreadPool* pool,
+                      const CancelToken* cancel) {
   const size_t n = right.rows.size();
   const size_t build_morsels = (n + kMorselRows - 1) / kMorselRows;
 
@@ -62,7 +63,7 @@ Rows ParallelHashJoin(const Rows& left, const Rows& right,
       ++cnt[h >> kJoinPartitionShift];
     }
     scanned[m] = sc;
-  });
+  }, cancel);
   if (stats != nullptr) {
     for (int64_t sc : scanned) stats->rows_scanned += sc;
     stats->hash_build_rows += static_cast<int64_t>(n);
@@ -91,7 +92,7 @@ Rows ParallelHashJoin(const Rows& left, const Rows& right,
       size_t p = hashes[i] >> kJoinPartitionShift;
       parts[p].ids[cursor[p]++] = static_cast<uint32_t>(i);
     }
-  });
+  }, cancel);
 
   // Per-partition build: no writes escape the partition.
   pool->ParallelTasks(kJoinPartitions, /*max_workers=*/0, [&](size_t p) {
@@ -108,7 +109,7 @@ Rows ParallelHashJoin(const Rows& left, const Rows& right,
       part.chain[j] = part.heads[h & part.mask];
       part.heads[h & part.mask] = static_cast<int32_t>(j);
     }
-  });
+  }, cancel);
 
   // Morsel-parallel probe with per-morsel buffers.
   const size_t ln = left.rows.size();
@@ -138,7 +139,7 @@ Rows ParallelHashJoin(const Rows& left, const Rows& right,
         ps.rows_produced += std::llabs(lcount * rcount);
       }
     }
-  });
+  }, cancel);
 
   Rows out(Schema::Concat(left.schema, right.schema));
   size_t total = 0;
@@ -157,13 +158,15 @@ Rows ParallelHashJoin(const Rows& left, const Rows& right,
 }  // namespace
 
 Rows HashJoinKernel::Run(const std::vector<const Rows*>& inputs,
-                         OperatorStats* stats, ThreadPool* pool) const {
+                         OperatorStats* stats, ThreadPool* pool,
+                         const CancelToken* cancel) const {
   WUW_CHECK(inputs.size() == 2, "HashJoinKernel takes exactly two inputs");
-  return HashJoin(*inputs[0], *inputs[1], keys, stats, pool);
+  return HashJoin(*inputs[0], *inputs[1], keys, stats, pool, cancel);
 }
 
 Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
-              OperatorStats* stats, ThreadPool* pool) {
+              OperatorStats* stats, ThreadPool* pool,
+              const CancelToken* cancel) {
   WUW_CHECK(keys.left_columns.size() == keys.right_columns.size(),
             "join key arity mismatch");
   std::vector<size_t> left_idx, right_idx;
@@ -175,7 +178,8 @@ Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
   }
 
   if (ShouldParallelize(pool, left.rows.size() + right.rows.size())) {
-    return ParallelHashJoin(left, right, left_idx, right_idx, stats, pool);
+    return ParallelHashJoin(left, right, left_idx, right_idx, stats, pool,
+                            cancel);
   }
 
   // Build side: right input.  Flat chained hash table (two arrays, no

@@ -14,6 +14,7 @@
 
 namespace wuw {
 
+class CancelToken;
 class ThreadPool;
 
 /// A conjunctive equi-join condition: left.key[i] == right.key[i] for all i.
@@ -29,9 +30,11 @@ struct JoinKeys {
 /// With a pool (and a large enough input) the build is radix-partitioned
 /// by key hash and the probe runs morsel-parallel with per-morsel output
 /// buffers merged in morsel order — output rows, row ORDER, and stats are
-/// byte-identical to the sequential path at every pool size.
+/// byte-identical to the sequential path at every pool size.  A non-null
+/// `cancel` token is checked at morsel boundaries.
 Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
-              OperatorStats* stats, ThreadPool* pool = nullptr);
+              OperatorStats* stats, ThreadPool* pool = nullptr,
+              const CancelToken* cancel = nullptr);
 
 /// Plan-node kernel form of HashJoin (uniform Run(inputs, stats, pool)
 /// signature; see plan/plan_node.h).
@@ -40,7 +43,8 @@ struct HashJoinKernel {
 
   /// inputs = {left, right}.
   Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats,
-           ThreadPool* pool = nullptr) const;
+           ThreadPool* pool = nullptr,
+           const CancelToken* cancel = nullptr) const;
 };
 
 }  // namespace wuw

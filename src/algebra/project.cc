@@ -9,13 +9,15 @@
 namespace wuw {
 
 Rows ProjectKernel::Run(const std::vector<const Rows*>& inputs,
-                        OperatorStats* stats, ThreadPool* pool) const {
+                        OperatorStats* stats, ThreadPool* pool,
+                        const CancelToken* cancel) const {
   WUW_CHECK(inputs.size() == 1, "ProjectKernel takes exactly one input");
-  return Project(*inputs[0], items, stats, pool);
+  return Project(*inputs[0], items, stats, pool, cancel);
 }
 
 Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
-             OperatorStats* stats, ThreadPool* pool) {
+             OperatorStats* stats, ThreadPool* pool,
+             const CancelToken* cancel) {
   std::vector<BoundExpr> bound;
   std::vector<Column> out_cols;
   bound.reserve(items.size());
@@ -34,7 +36,7 @@ Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
     const size_t nmorsels = (n + kMorselRows - 1) / kMorselRows;
     std::vector<OperatorStats> partial(nmorsels);
     out.rows.resize(n);
-    pool->ParallelFor(n, kMorselRows, [&](size_t begin, size_t end) {
+    auto morsel = [&](size_t begin, size_t end) {
       OperatorStats& ps = partial[begin / kMorselRows];
       for (size_t i = begin; i < end; ++i) {
         const auto& [tuple, count] = input.rows[i];
@@ -45,7 +47,8 @@ Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
         out.rows[i] = {Tuple(std::move(values)), count};
         ps.rows_produced += std::llabs(count);
       }
-    });
+    };
+    pool->ParallelFor(n, kMorselRows, morsel, cancel);
     if (stats != nullptr) {
       for (const OperatorStats& ps : partial) *stats += ps;
     }

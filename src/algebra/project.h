@@ -11,6 +11,7 @@
 
 namespace wuw {
 
+class CancelToken;
 class ThreadPool;
 
 /// One output column of a projection: an expression plus an output name.
@@ -23,8 +24,10 @@ struct ProjectItem {
 /// collapsed (multiset projection); multiplicities are kept verbatim.
 /// With a pool (and a large enough input) rows evaluate morsel-parallel
 /// into a pre-sized output; output and stats match the sequential path.
+/// A non-null `cancel` token is checked at morsel boundaries.
 Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
-             OperatorStats* stats, ThreadPool* pool = nullptr);
+             OperatorStats* stats, ThreadPool* pool = nullptr,
+             const CancelToken* cancel = nullptr);
 
 /// Plan-node kernel form of Project (uniform Run(inputs, stats) signature;
 /// see plan/plan_node.h).
@@ -33,7 +36,8 @@ struct ProjectKernel {
 
   /// inputs = {child}.
   Rows Run(const std::vector<const Rows*>& inputs, OperatorStats* stats,
-           ThreadPool* pool = nullptr) const;
+           ThreadPool* pool = nullptr,
+           const CancelToken* cancel = nullptr) const;
 };
 
 }  // namespace wuw

@@ -1,0 +1,46 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320): the checksum the
+// journal's on-disk records carry so recovery can reject a torn or
+// corrupted tail (exec/journal.h).  Table-driven, header-only, no
+// dependencies.
+#ifndef WUW_COMMON_CRC32_H_
+#define WUW_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace wuw {
+
+namespace internal {
+
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace internal
+
+/// CRC-32 of `len` bytes at `data` (standard init/final XOR of ~0).
+inline uint32_t Crc32(const void* data, size_t len) {
+  const auto& table = internal::Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace wuw
+
+#endif  // WUW_COMMON_CRC32_H_

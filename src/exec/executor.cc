@@ -37,6 +37,17 @@ std::string ExecutionReport::ToString() const {
   std::snprintf(line, sizeof(line), "  total: %.4fs  linear work=%lld\n",
                 total_seconds, static_cast<long long>(total_linear_work));
   out += line;
+  if (window_result == WindowResult::kPaused) {
+    std::snprintf(line, sizeof(line),
+                  "  PAUSED after %lld steps (window budget exhausted; "
+                  "journal holds the resumable handle)\n",
+                  static_cast<long long>(steps_completed));
+    out += line;
+  } else if (windows > 1) {
+    std::snprintf(line, sizeof(line), "  split across %lld windows\n",
+                  static_cast<long long>(windows));
+    out += line;
+  }
   if (totals.subplan_cache_hits + totals.subplan_cache_misses > 0) {
     std::snprintf(line, sizeof(line), "  subplan cache: %s\n",
                   subplan_cache.ToString().c_str());
@@ -157,13 +168,15 @@ CompEvalOptions MakeCompEvalOptions(Warehouse* warehouse,
                                     SubplanCache* subplan_cache,
                                     bool skip_empty_delta_terms,
                                     int term_workers, ThreadPool* pool,
-                                    obs::PlanObserver* plan_observer) {
+                                    obs::PlanObserver* plan_observer,
+                                    const CancelToken* cancel) {
   CompEvalOptions comp_options;
   comp_options.skip_empty_delta_terms = skip_empty_delta_terms;
   comp_options.term_workers = term_workers;
   comp_options.pool = pool;
   comp_options.subplan_cache = subplan_cache;
   comp_options.observer = plan_observer;
+  comp_options.cancel = cancel;
   if (subplan_cache != nullptr) {
     // The epoch is fixed for the whole run (deltas were set before Execute
     // and clear only at ResetBatch); extent versions advance as installs
@@ -202,28 +215,108 @@ ExecutionReport Executor::Execute(const Strategy& strategy) {
   ExecutionReport report;
   ThreadPool* pool =
       options_.pool != nullptr ? options_.pool : &ThreadPool::Global();
+
+  // Budget resolution: an explicit ExecutorOptions::budget pauses and
+  // returns kPaused to the caller; the WUW_WINDOW_BUDGET env knob instead
+  // splits the run into budget-sized windows transparently (auto-resume),
+  // so every bench and test exercises the window machinery yet always
+  // completes.
+  const WindowBudgetOptions* env =
+      options_.budget == nullptr ? EnvWindowBudget() : nullptr;
+  WindowBudget env_budget(env != nullptr ? *env : WindowBudgetOptions{});
+  WindowBudget* budget = options_.budget;
+  bool auto_resume = false;
+  if (budget == nullptr && env != nullptr) {
+    budget = &env_budget;
+    auto_resume = true;
+  }
+  const bool limited = budget != nullptr && budget->limited();
+  if (budget != nullptr) budget->OpenWindow();
+
   CompEvalOptions comp_options = MakeCompEvalOptions(
       warehouse_, options_.subplan_cache, options_.skip_empty_delta_terms,
-      /*term_workers=*/1, pool, options_.plan_observer);
+      /*term_workers=*/1, pool, options_.plan_observer,
+      budget != nullptr ? budget->token() : nullptr);
 
   StrategyJournal* journal = nullptr;
-  if (options_.journal) {
-    journal = &warehouse_->journal();
+  if (options_.journal || limited) {
     // Journal the simplified strategy: that is the exact expression
-    // sequence a resume must finish.
+    // sequence a resume must finish.  A limiting budget forces journaling
+    // on — the journal is the paused run's resumable handle.
+    journal = &warehouse_->journal();
     journal->Begin(*to_run, warehouse_->batch_epoch());
   }
 
+  const auto& exprs = to_run->expressions();
+  const int64_t total_steps = static_cast<int64_t>(exprs.size());
   int64_t step = 0;
-  for (const Expression& e : to_run->expressions()) {
+  int64_t window_steps = 0;  // steps completed in the current window
+  int step_cancels = 0;      // consecutive abandons of the current step
+  bool paused = false;
+  while (step < total_steps) {
+    if (limited && budget->ShouldPause()) {
+      if (!auto_resume) {
+        paused = true;
+        break;
+      }
+      // Auto-resume: carry the run into a fresh window.  When the budget
+      // exhausted before this window completed a single step (a step
+      // bigger than the whole window), push on anyway — the window
+      // overruns rather than livelocks.
+      if (window_steps > 0) {
+        if (budget->work_exhausted()) {
+          WUW_METRIC_ADD("window.paused", obs::MetricClass::kEngine, 1);
+          WUW_METRIC_ADD("window.resumed", obs::MetricClass::kEngine, 1);
+        } else {
+          WUW_METRIC_ADD("window.deadline_paused", obs::MetricClass::kSched,
+                         1);
+          WUW_METRIC_ADD("window.deadline_resumed", obs::MetricClass::kSched,
+                         1);
+        }
+        obs::TraceSpan carry("exec", "window-carryover");
+        budget->OpenWindow();
+        ++report.windows;
+        window_steps = 0;
+      }
+    }
     WUW_FAULT_POINT("executor.step.begin");
     WUW_METRIC_ADD("exec.steps", obs::MetricClass::kWork, 1);
+    const Expression& e = exprs[static_cast<size_t>(step)];
     std::pair<int64_t, int64_t> delta_stats{0, 0};
-    ExpressionReport er = ExecuteExpression(
-        warehouse_, e, comp_options,
-        options_.capture_delta_stats && e.is_inst() ? &delta_stats : nullptr,
-        journal, step);
-    ++step;
+    ExpressionReport er;
+    try {
+      // After two consecutive mid-step cancellations (a deadline shorter
+      // than the step itself), the retry runs with checks disabled so the
+      // run still terminates; only auto-resume mode ever retries.
+      CompEvalOptions forced;
+      const CompEvalOptions* opts = &comp_options;
+      if (step_cancels >= 2) {
+        forced = comp_options;
+        forced.cancel = nullptr;
+        opts = &forced;
+      }
+      er = ExecuteExpression(
+          warehouse_, e, *opts,
+          options_.capture_delta_stats && e.is_inst() ? &delta_stats : nullptr,
+          journal, step);
+    } catch (const WindowCancelledError&) {
+      // The step was abandoned before its first mutation (every check site
+      // precedes Accumulate/Install), so the warehouse still holds exactly
+      // the journaled steps.
+      WUW_METRIC_ADD("window.steps_abandoned", obs::MetricClass::kSched, 1);
+      if (!auto_resume) {
+        paused = true;
+        break;
+      }
+      ++step_cancels;
+      WUW_METRIC_ADD("window.deadline_paused", obs::MetricClass::kSched, 1);
+      WUW_METRIC_ADD("window.deadline_resumed", obs::MetricClass::kSched, 1);
+      budget->OpenWindow();
+      ++report.windows;
+      window_steps = 0;
+      continue;  // retry the same step in the fresh window
+    }
+    step_cancels = 0;
     if (options_.capture_delta_stats && e.is_inst()) {
       report.delta_stats[e.view] = delta_stats;
     }
@@ -231,13 +324,29 @@ ExecutionReport Executor::Execute(const Strategy& strategy) {
     report.total_linear_work += er.linear_work;
     report.totals += er.stats;
     report.per_expression.push_back(std::move(er));
+    if (budget != nullptr) budget->ChargeWork(er.linear_work);
+    ++step;
+    ++window_steps;
   }
 
-  if (journal != nullptr) journal->MarkComplete();
+  report.steps_completed = step;
+  if (paused) {
+    report.window_result = WindowResult::kPaused;
+    if (budget->work_exhausted()) {
+      WUW_METRIC_ADD("window.paused", obs::MetricClass::kEngine, 1);
+    } else {
+      WUW_METRIC_ADD("window.deadline_paused", obs::MetricClass::kSched, 1);
+    }
+    obs::TraceSpan pause_span("exec", "window-paused");
+    // No MarkComplete, no ResetBatch: the journal (begun, incomplete) plus
+    // the still-pending batch are what the next window resumes from.
+  } else {
+    if (journal != nullptr) journal->MarkComplete();
+    warehouse_->ResetBatch();
+  }
   if (options_.subplan_cache != nullptr) {
     report.subplan_cache = options_.subplan_cache->stats();
   }
-  warehouse_->ResetBatch();
   WUW_METRIC_ADD("exec.update_window_us", obs::MetricClass::kTime,
                  static_cast<int64_t>(report.total_seconds * 1e6));
   return report;

@@ -17,6 +17,7 @@
 #include "algebra/operator_stats.h"
 #include "core/strategy.h"
 #include "exec/warehouse.h"
+#include "exec/window_budget.h"
 #include "obs/plan_observation.h"
 #include "plan/subplan_cache.h"
 
@@ -59,6 +60,15 @@ struct ExecutorOptions {
   /// evaluation inside EvalComp (results are identical either way); see
   /// obs/plan_observation.h.  Null records nothing.
   obs::PlanObserver* plan_observer = nullptr;
+  /// Update-window budget (not owned; see exec/window_budget.h).  A
+  /// limiting budget forces journaling on and makes Execute return
+  /// WindowResult::kPaused when it exhausts — the warehouse's journal is
+  /// then the resumable handle (ResumeStrategy, ResumeMode::kContinueInPlace
+  /// finishes the run in a later window).  An unlimited budget is pure
+  /// accounting and changes nothing.  Null and with WUW_WINDOW_BUDGET set,
+  /// Execute instead splits the run into budget-sized windows internally
+  /// and always completes.
+  WindowBudget* budget = nullptr;
 };
 
 /// Measurements for one executed expression.
@@ -84,6 +94,16 @@ struct ExecutionReport {
   /// Snapshot of the attached SubplanCache at run end (lifetime-cumulative
   /// counters — the cache may span runs); zeros when none was attached.
   SubplanCacheStats subplan_cache;
+  /// kPaused iff a limiting ExecutorOptions::budget exhausted before the
+  /// last step: only the first `steps_completed` steps ran (all journaled,
+  /// none half-installed), the batch is still pending, and the warehouse's
+  /// StrategyJournal is the handle a later window resumes from.
+  WindowResult window_result = WindowResult::kCompleted;
+  /// Steps that completed (== per_expression.size()).
+  int64_t steps_completed = 0;
+  /// Update windows the run spanned: 1 normally, more when the
+  /// WUW_WINDOW_BUDGET env knob split the run (env mode always completes).
+  int64_t windows = 1;
 
   std::string ToString() const;
 };
@@ -106,7 +126,8 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
 struct CompEvalOptions MakeCompEvalOptions(
     Warehouse* warehouse, SubplanCache* subplan_cache,
     bool skip_empty_delta_terms, int term_workers = 1,
-    ThreadPool* pool = nullptr, obs::PlanObserver* plan_observer = nullptr);
+    ThreadPool* pool = nullptr, obs::PlanObserver* plan_observer = nullptr,
+    const CancelToken* cancel = nullptr);
 
 /// Executes strategies against one warehouse.
 class Executor {

@@ -1,8 +1,13 @@
 #include "exec/journal.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
 
 #include "common/check.h"
+#include "common/crc32.h"
 #include "obs/metrics.h"
 
 namespace wuw {
@@ -81,6 +86,470 @@ void StrategyJournal::Clear() {
   strategy_ = Strategy();
   batch_epoch_ = 0;
   entries_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.  Little-endian fixed-width primitives; strings and
+// vectors are length-prefixed; every frame carries its own CRC32.
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'U', 'W', 'J', 'R', 'N', 'L', '1'};
+constexpr uint32_t kFormatVersion = 1;
+// Record types inside framed payloads.
+constexpr uint8_t kEntryRecord = 0;
+constexpr uint8_t kCompleteRecord = 1;
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kInt64:
+      PutI64(out, v.AsInt64());
+      break;
+    case TypeId::kDate:
+      PutI64(out, v.AsDate());
+      break;
+    case TypeId::kDouble: {
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case TypeId::kString:
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+void PutTuple(std::string* out, const Tuple& t) {
+  PutU32(out, static_cast<uint32_t>(t.size()));
+  for (const Value& v : t.values()) PutValue(out, v);
+}
+
+void PutSchema(std::string* out, const Schema& s) {
+  PutU32(out, static_cast<uint32_t>(s.num_columns()));
+  for (const Column& c : s.columns()) {
+    PutString(out, c.name);
+    PutU8(out, static_cast<uint8_t>(c.type));
+  }
+}
+
+void PutRows(std::string* out, const Rows& rows) {
+  PutSchema(out, rows.schema);
+  PutU64(out, rows.rows.size());
+  for (const auto& [tuple, count] : rows.rows) {
+    PutTuple(out, tuple);
+    PutI64(out, count);
+  }
+}
+
+void PutDelta(std::string* out, const DeltaRelation& delta) {
+  PutSchema(out, delta.schema());
+  std::vector<std::pair<Tuple, int64_t>> entries;
+  entries.reserve(delta.distinct_size());
+  delta.ForEach(
+      [&](const Tuple& t, int64_t c) { entries.emplace_back(t, c); });
+  // The map iterates in hash order; sort so serialization is deterministic
+  // (two saves of the same journal are byte-identical).
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  PutU64(out, entries.size());
+  for (const auto& [tuple, count] : entries) {
+    PutTuple(out, tuple);
+    PutI64(out, count);
+  }
+}
+
+void PutExpression(std::string* out, const Expression& e) {
+  PutU8(out, static_cast<uint8_t>(e.kind));
+  PutString(out, e.view);
+  PutU32(out, static_cast<uint32_t>(e.over.size()));
+  for (const std::string& s : e.over) PutString(out, s);
+}
+
+void PutStrategy(std::string* out, const Strategy& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  for (const Expression& e : s.expressions()) PutExpression(out, e);
+}
+
+/// Appends [u32 len][payload][u32 crc32(payload)].
+void PutFrame(std::string* out, const std::string& payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+  PutU32(out, Crc32(payload.data(), payload.size()));
+}
+
+/// Bounds-checked little-endian reader; any overrun or type mismatch
+/// latches `ok = false` and every later read returns a zero value.
+struct ByteReader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  bool ok = true;
+
+  explicit ByteReader(const std::string& bytes)
+      : data(reinterpret_cast<const uint8_t*>(bytes.data())),
+        size(bytes.size()) {}
+  ByteReader(const uint8_t* d, size_t n) : data(d), size(n) {}
+
+  size_t remaining() const { return ok ? size - pos : 0; }
+
+  bool Need(size_t n) {
+    if (!ok || size - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data[pos++];
+  }
+
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data[pos++]) << (8 * i);
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data[pos++]) << (8 * i);
+    return v;
+  }
+
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  std::string Str() {
+    uint32_t len = U32();
+    if (!Need(len)) return std::string();
+    std::string s(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    return s;
+  }
+};
+
+bool GetValue(ByteReader* r, Value* out) {
+  uint8_t tag = r->U8();
+  switch (static_cast<TypeId>(tag)) {
+    case TypeId::kNull:
+      *out = Value::Null();
+      break;
+    case TypeId::kInt64:
+      *out = Value::Int64(r->I64());
+      break;
+    case TypeId::kDate:
+      *out = Value::Date(r->I64());
+      break;
+    case TypeId::kDouble: {
+      uint64_t bits = r->U64();
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value::Double(d);
+      break;
+    }
+    case TypeId::kString:
+      *out = Value::String(r->Str());
+      break;
+    default:
+      r->ok = false;
+  }
+  return r->ok;
+}
+
+bool GetTuple(ByteReader* r, Tuple* out) {
+  uint32_t n = r->U32();
+  if (!r->Need(n)) return false;  // every value is at least one byte
+  std::vector<Value> values(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!GetValue(r, &values[i])) return false;
+  }
+  *out = Tuple(std::move(values));
+  return true;
+}
+
+bool GetSchema(ByteReader* r, Schema* out) {
+  uint32_t n = r->U32();
+  if (!r->Need(n)) return false;
+  std::vector<Column> columns(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    columns[i].name = r->Str();
+    uint8_t tag = r->U8();
+    if (tag > static_cast<uint8_t>(TypeId::kDate)) {
+      r->ok = false;
+      return false;
+    }
+    columns[i].type = static_cast<TypeId>(tag);
+  }
+  if (!r->ok) return false;
+  *out = Schema(std::move(columns));
+  return true;
+}
+
+bool GetRows(ByteReader* r, Rows* out) {
+  Schema schema;
+  if (!GetSchema(r, &schema)) return false;
+  uint64_t n = r->U64();
+  if (!r->Need(n)) return false;  // every row is at least one byte
+  *out = Rows(std::move(schema));
+  out->rows.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Tuple t;
+    if (!GetTuple(r, &t)) return false;
+    int64_t count = r->I64();
+    out->rows.emplace_back(std::move(t), count);
+  }
+  return r->ok;
+}
+
+bool GetDelta(ByteReader* r, DeltaRelation* out) {
+  Schema schema;
+  if (!GetSchema(r, &schema)) return false;
+  uint64_t n = r->U64();
+  if (!r->Need(n)) return false;
+  *out = DeltaRelation(std::move(schema));
+  for (uint64_t i = 0; i < n; ++i) {
+    Tuple t;
+    if (!GetTuple(r, &t)) return false;
+    int64_t count = r->I64();
+    if (!r->ok) return false;
+    out->Add(t, count);
+  }
+  return r->ok;
+}
+
+bool GetExpression(ByteReader* r, Expression* out) {
+  uint8_t kind = r->U8();
+  std::string view = r->Str();
+  uint32_t n = r->U32();
+  if (!r->Need(n)) return false;
+  std::vector<std::string> over(n);
+  for (uint32_t i = 0; i < n; ++i) over[i] = r->Str();
+  if (!r->ok) return false;
+  if (kind == static_cast<uint8_t>(Expression::Kind::kComp)) {
+    *out = Expression::Comp(std::move(view), std::move(over));
+  } else if (kind == static_cast<uint8_t>(Expression::Kind::kInst)) {
+    if (!over.empty()) {
+      r->ok = false;
+      return false;
+    }
+    *out = Expression::Inst(std::move(view));
+  } else {
+    r->ok = false;
+    return false;
+  }
+  return true;
+}
+
+bool GetStrategy(ByteReader* r, Strategy* out) {
+  uint32_t n = r->U32();
+  if (!r->Need(n)) return false;
+  std::vector<Expression> exprs(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!GetExpression(r, &exprs[i])) return false;
+  }
+  *out = Strategy(std::move(exprs));
+  return true;
+}
+
+bool GetEntry(ByteReader* r, JournalEntry* out) {
+  out->step = r->I64();
+  if (!GetExpression(r, &out->expression)) return false;
+  if (!GetRows(r, &out->comp_raw)) return false;
+  if (!GetDelta(r, &out->installed)) return false;
+  out->extent_version_after = r->I64();
+  // A valid record consumes its whole payload: trailing garbage means the
+  // payload is not what this version wrote, CRC notwithstanding.
+  return r->ok && r->remaining() == 0;
+}
+
+/// Reads one [len][payload][crc] frame; false on truncation or CRC
+/// mismatch (the caller treats either as the torn tail).
+bool GetFrame(ByteReader* r, ByteReader* payload) {
+  uint32_t len = r->U32();
+  if (!r->Need(len + 4u) || len + 4u < len) return false;
+  const uint8_t* start = r->data + r->pos;
+  r->pos += len;
+  uint32_t crc = r->U32();
+  if (!r->ok || Crc32(start, len) != crc) return false;
+  *payload = ByteReader(start, len);
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeJournal(const StrategyJournal& journal) {
+  WUW_CHECK(journal.begun(), "cannot serialize a journal with no run");
+  std::string out(kMagic, sizeof(kMagic));
+  std::string header;
+  PutU32(&header, kFormatVersion);
+  PutI64(&header, journal.batch_epoch());
+  PutStrategy(&header, journal.strategy());
+  PutFrame(&out, header);
+  for (const JournalEntry& entry : journal.EntriesInStepOrder()) {
+    std::string payload;
+    PutU8(&payload, kEntryRecord);
+    PutI64(&payload, entry.step);
+    PutExpression(&payload, entry.expression);
+    PutRows(&payload, entry.comp_raw);
+    PutDelta(&payload, entry.installed);
+    PutI64(&payload, entry.extent_version_after);
+    PutFrame(&out, payload);
+  }
+  if (journal.complete()) {
+    std::string payload;
+    PutU8(&payload, kCompleteRecord);
+    PutFrame(&out, payload);
+  }
+  return out;
+}
+
+bool DeserializeJournal(const std::string& bytes, StrategyJournal* out,
+                        std::string* error, bool* torn) {
+  if (torn != nullptr) *torn = false;
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    *error = "not a journal file (bad magic)";
+    return false;
+  }
+  ByteReader r(bytes);
+  r.pos = sizeof(kMagic);
+  ByteReader header(nullptr, 0);
+  if (!GetFrame(&r, &header)) {
+    *error = "journal header truncated or corrupt";
+    return false;
+  }
+  uint32_t version = header.U32();
+  if (version != kFormatVersion) {
+    *error = "unsupported journal format version " + std::to_string(version);
+    return false;
+  }
+  int64_t batch_epoch = header.I64();
+  Strategy strategy;
+  if (!GetStrategy(&header, &strategy) || header.remaining() != 0) {
+    *error = "journal header strategy is corrupt";
+    return false;
+  }
+  out->Clear();
+  out->Begin(strategy, batch_epoch);
+
+  // Record stream: accept the longest valid prefix.  Any truncation, CRC
+  // mismatch, or undecodable payload ends the journal there — the dropped
+  // suffix only costs re-executing those steps on resume.
+  const int64_t total_steps = static_cast<int64_t>(strategy.size());
+  while (r.ok && r.remaining() > 0) {
+    ByteReader payload(nullptr, 0);
+    if (!GetFrame(&r, &payload)) {
+      if (torn != nullptr) *torn = true;
+      break;
+    }
+    uint8_t type = payload.U8();
+    if (type == kEntryRecord) {
+      JournalEntry entry;
+      if (!GetEntry(&payload, &entry) || entry.step < 0 ||
+          entry.step >= total_steps || out->IsStepComplete(entry.step)) {
+        if (torn != nullptr) *torn = true;
+        break;
+      }
+      out->Record(std::move(entry));
+    } else if (type == kCompleteRecord && payload.remaining() == 0) {
+      // Only an intact final marker upgrades the run to complete; bytes
+      // after it are not something this version ever wrote.
+      if (r.remaining() == 0) {
+        out->MarkComplete();
+      } else if (torn != nullptr) {
+        *torn = true;
+      }
+      break;
+    } else {
+      if (torn != nullptr) *torn = true;
+      break;
+    }
+  }
+  return true;
+}
+
+bool SaveJournal(const StrategyJournal& journal, const std::string& path,
+                 std::string* error) {
+  const std::string bytes = SerializeJournal(journal);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    *error = "cannot open " + tmp + " for writing: " + std::strerror(errno);
+    return false;
+  }
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    *error = "short write to " + tmp;
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    *error = "cannot rename " + tmp + " to " + path + ": " +
+             std::strerror(errno);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadJournal(const std::string& path, StrategyJournal* out,
+                 std::string* error, bool* torn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.append(buffer, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    *error = "read error on " + path;
+    return false;
+  }
+  if (!DeserializeJournal(bytes, out, error, torn)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace wuw

@@ -87,6 +87,45 @@ class StrategyJournal {
   std::vector<JournalEntry> entries_;
 };
 
+// ---------------------------------------------------------------------------
+// On-disk durability.
+//
+// Layout: a header frame (magic "WUWJRNL1", format version, batch epoch,
+// and the journaled strategy) followed by one frame per record — entry
+// records in Record order, then an optional completion marker.  Every
+// frame is [u32 length][payload][u32 crc32(payload)], little-endian
+// fixed-width integers throughout, so a reader can verify each record
+// independently.
+//
+// Torn-tail tolerance: a write that dies mid-journal leaves a truncated or
+// garbage tail.  Deserialization accepts the longest valid prefix of
+// records — exactly the right recovery semantics, since dropping a suffix
+// of completed-step records only makes ResumeStrategy re-execute those
+// steps.  Damage inside the header (without which nothing is trustworthy)
+// is a hard error instead.
+
+/// Serializes the journal (requires begun()).
+std::string SerializeJournal(const StrategyJournal& journal);
+
+/// Decodes `bytes` into `*out` (Clear + Begin + Record...).  Returns false
+/// and fills *error iff the header is damaged.  Damage in the record
+/// stream truncates to the longest valid record prefix and still returns
+/// true, setting `*torn` (optional) when anything was dropped.
+bool DeserializeJournal(const std::string& bytes, StrategyJournal* out,
+                        std::string* error, bool* torn = nullptr);
+
+/// Atomically persists the journal to `path`: writes `path + ".tmp"` and
+/// rename(2)s it over `path`, so a crash never leaves a half-written
+/// journal under the real name.  Returns false and fills *error on I/O
+/// failure.
+bool SaveJournal(const StrategyJournal& journal, const std::string& path,
+                 std::string* error);
+
+/// Reads `path` and deserializes it (same torn-tail semantics as
+/// DeserializeJournal).
+bool LoadJournal(const std::string& path, StrategyJournal* out,
+                 std::string* error, bool* torn = nullptr);
+
 }  // namespace wuw
 
 #endif  // WUW_EXEC_JOURNAL_H_

@@ -35,19 +35,27 @@ ParallelExecutionReport ParallelExecutor::Execute(
   ParallelExecutionReport report;
   ThreadPool* pool =
       options_.pool != nullptr ? options_.pool : &ThreadPool::Global();
-  CompEvalOptions comp_options =
-      MakeCompEvalOptions(warehouse_, options_.subplan_cache,
-                          options_.skip_empty_delta_terms,
-                          options_.term_workers, pool);
+  WindowBudget* budget = options_.budget;
+  const bool limited = budget != nullptr && budget->limited();
+  if (budget != nullptr) budget->OpenWindow();
+  CompEvalOptions comp_options = MakeCompEvalOptions(
+      warehouse_, options_.subplan_cache, options_.skip_empty_delta_terms,
+      options_.term_workers, pool, /*plan_observer=*/nullptr,
+      budget != nullptr ? budget->token() : nullptr);
 
   StrategyJournal* journal = nullptr;
-  if (options_.journal) {
+  if (options_.journal || limited) {
     journal = &warehouse_->journal();
     journal->Begin(strategy.Linearize(), warehouse_->batch_epoch());
   }
 
+  bool paused = false;
   int64_t stage_step_base = 0;
   for (const std::vector<Expression>& stage : strategy.stages) {
+    if (limited && budget->ShouldPause()) {
+      paused = true;
+      break;
+    }
     WUW_FAULT_POINT("parallel.stage.begin");
     obs::TraceSpan stage_span("exec", [&] {
       return "stage[" + std::to_string(stage.size()) + "]";
@@ -63,12 +71,22 @@ ParallelExecutionReport ParallelExecutor::Execute(
     // dying expression stops the unclaimed rest and the barrier rethrows —
     // the whole stage-parallel run "dies" the way a one-process update
     // window would.
-    pool->ParallelTasks(stage.size(), options_.workers, [&](size_t i) {
-      WUW_FAULT_POINT("parallel.step.begin");
-      stage_reports[i] = ExecuteExpression(
-          warehouse_, stage[i], comp_options, nullptr, journal,
-          stage_step_base + static_cast<int64_t>(i));
-    });
+    try {
+      pool->ParallelTasks(stage.size(), options_.workers, [&](size_t i) {
+        WUW_FAULT_POINT("parallel.step.begin");
+        stage_reports[i] = ExecuteExpression(
+            warehouse_, stage[i], comp_options, nullptr, journal,
+            stage_step_base + static_cast<int64_t>(i));
+      });
+    } catch (const WindowCancelledError&) {
+      // A deadline fired mid-stage.  In-flight expressions drained at their
+      // next check site before mutating anything; steps that finished are
+      // journaled.  The torn stage's reports are indistinguishable from
+      // abandoned slots, so none are folded — the journal is authoritative.
+      WUW_METRIC_ADD("window.steps_abandoned", obs::MetricClass::kSched, 1);
+      paused = true;
+      break;
+    }
     stage_step_base += static_cast<int64_t>(stage.size());
 
     double stage_seconds = Now() - stage_start;
@@ -77,18 +95,34 @@ ParallelExecutionReport ParallelExecutor::Execute(
     // Stage barrier: fold each expression's thread-local counters into the
     // run totals.  Workers only ever wrote their own stage_reports slot, so
     // nothing races and no increment is dropped.
+    int64_t stage_work = 0;
     for (ExpressionReport& er : stage_reports) {
       report.total_linear_work += er.linear_work;
+      stage_work += er.linear_work;
       report.totals += er.stats;
       report.per_expression.push_back(std::move(er));
     }
+    if (budget != nullptr) budget->ChargeWork(stage_work);
   }
 
-  if (journal != nullptr) journal->MarkComplete();
+  report.steps_completed = static_cast<int64_t>(report.per_expression.size());
+  if (paused) {
+    report.window_result = WindowResult::kPaused;
+    if (budget->work_exhausted()) {
+      WUW_METRIC_ADD("window.paused", obs::MetricClass::kEngine, 1);
+    } else {
+      WUW_METRIC_ADD("window.deadline_paused", obs::MetricClass::kSched, 1);
+    }
+    obs::TraceSpan pause_span("exec", "window-paused");
+    // No MarkComplete, no ResetBatch: the begun-but-incomplete journal plus
+    // the pending batch are the resumable handle.
+  } else {
+    if (journal != nullptr) journal->MarkComplete();
+    warehouse_->ResetBatch();
+  }
   if (options_.subplan_cache != nullptr) {
     report.subplan_cache = options_.subplan_cache->stats();
   }
-  warehouse_->ResetBatch();
   WUW_METRIC_ADD("exec.update_window_us", obs::MetricClass::kTime,
                  static_cast<int64_t>(report.total_seconds * 1e6));
   return report;

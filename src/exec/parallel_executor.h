@@ -35,6 +35,14 @@ struct ParallelExecutionReport {
   std::vector<ExpressionReport> per_expression;  // stage order, then index
   /// Snapshot of the attached SubplanCache at run end (zeros if none).
   SubplanCacheStats subplan_cache;
+  /// kPaused iff a limiting budget exhausted at a stage barrier (or a
+  /// deadline tore a stage mid-flight).  Completed steps — including steps
+  /// other workers finished inside a torn stage — are journaled; the batch
+  /// stays pending and ResumeStrategy finishes the run.
+  WindowResult window_result = WindowResult::kCompleted;
+  /// Steps folded into per_expression (torn-stage completions are
+  /// journaled but not reported).
+  int64_t steps_completed = 0;
 };
 
 struct ParallelExecutorOptions {
@@ -62,6 +70,14 @@ struct ParallelExecutorOptions {
   /// are mutually non-conflicting, so replay order within the stage is
   /// irrelevant).
   bool journal = false;
+  /// Update-window budget (not owned; see exec/window_budget.h).  Work
+  /// budgets pause at stage barriers; a deadline additionally cancels
+  /// in-flight expressions at their next check site, abandoning the stage
+  /// (steps that already completed stay journaled).  A limiting budget
+  /// forces journaling on.  Unlike the sequential Executor, the
+  /// WUW_WINDOW_BUDGET env knob does NOT auto-split staged runs — pass an
+  /// explicit budget and resume via ResumeStrategy.
+  WindowBudget* budget = nullptr;
 };
 
 /// Runs staged strategies against one warehouse with a thread pool.

@@ -41,7 +41,8 @@ void ReplayEntry(const JournalEntry& entry, Warehouse* warehouse) {
 }  // namespace
 
 ResumeReport ResumeStrategy(const StrategyJournal& journal,
-                            Warehouse* warehouse, ExecutorOptions options) {
+                            Warehouse* warehouse, ExecutorOptions options,
+                            ResumeMode mode) {
   WUW_CHECK(warehouse != nullptr, "ResumeStrategy needs a warehouse");
   WUW_CHECK(journal.begun(), "cannot resume: journal has no run recorded");
   obs::TraceSpan resume_span("exec", "resume-strategy");
@@ -57,8 +58,14 @@ ResumeReport ResumeStrategy(const StrategyJournal& journal,
 
   ResumeReport report;
 
+  // A limiting budget makes this window pausable too, which requires the
+  // re-journal as the next handle (mirrors Executor::Execute).
+  WindowBudget* budget = options.budget;
+  const bool limited = budget != nullptr && budget->limited();
+  if (budget != nullptr) budget->OpenWindow();
+
   StrategyJournal* rejournal = nullptr;
-  if (options.journal) {
+  if (options.journal || limited) {
     rejournal = &warehouse->journal();
     rejournal->Begin(strategy, warehouse->batch_epoch());
   }
@@ -70,7 +77,8 @@ ResumeReport ResumeStrategy(const StrategyJournal& journal,
   // order-irrelevant; across stages the journal is always a prefix.
   std::vector<char> completed(total_steps, 0);
 
-  // Phase 1: replay the completed steps from their logged effects.
+  // Phase 1: replay the completed steps from their logged effects (under
+  // kContinueInPlace the effects are already live, so only mark them off).
   for (const JournalEntry& entry : done) {
     // A death mid-replay is recoverable like any other: replay mutated the
     // restored state, so recovery restarts from the pre-window state again.
@@ -79,7 +87,7 @@ ResumeReport ResumeStrategy(const StrategyJournal& journal,
               "journal step out of strategy range");
     WUW_CHECK(completed[entry.step] == 0, "duplicate journal step");
     completed[entry.step] = 1;
-    ReplayEntry(entry, warehouse);
+    if (mode == ResumeMode::kReplayRestored) ReplayEntry(entry, warehouse);
     if (rejournal != nullptr) {
       JournalEntry copy = entry;
       if (entry.expression.is_inst()) {
@@ -102,23 +110,56 @@ ResumeReport ResumeStrategy(const StrategyJournal& journal,
   CompEvalOptions comp_options = MakeCompEvalOptions(
       warehouse, options.subplan_cache, options.skip_empty_delta_terms,
       /*term_workers=*/1,
-      options.pool != nullptr ? options.pool : &ThreadPool::Global());
+      options.pool != nullptr ? options.pool : &ThreadPool::Global(),
+      /*plan_observer=*/nullptr,
+      budget != nullptr ? budget->token() : nullptr);
+  bool paused = false;
   for (int64_t step = 0; step < total_steps; ++step) {
     if (completed[step]) continue;
+    if (limited && budget->ShouldPause() && report.steps_executed > 0) {
+      // Same step-boundary pause as Executor::Execute; the >0 guard makes
+      // every resumed window complete at least one missing step, so chained
+      // windows always terminate.
+      paused = true;
+      break;
+    }
     WUW_FAULT_POINT("recovery.step.begin");
     const Expression& e = strategy.expressions()[step];
-    ExpressionReport er = ExecuteExpression(warehouse, e, comp_options,
-                                            /*delta_stats=*/nullptr, rejournal,
-                                            step);
+    ExpressionReport er;
+    try {
+      er = ExecuteExpression(warehouse, e, comp_options,
+                             /*delta_stats=*/nullptr, rejournal, step);
+    } catch (const WindowCancelledError&) {
+      // Deadline mid-step: the step abandoned before any mutation, so the
+      // re-journal exactly covers the installed state.
+      WUW_METRIC_ADD("window.steps_abandoned", obs::MetricClass::kSched, 1);
+      paused = true;
+      break;
+    }
     report.execution.total_seconds += er.seconds;
     report.execution.total_linear_work += er.linear_work;
     report.execution.totals += er.stats;
     report.execution.per_expression.push_back(std::move(er));
+    if (budget != nullptr) budget->ChargeWork(er.linear_work);
     ++report.steps_executed;
   }
 
   WUW_METRIC_ADD("resume.steps_executed", obs::MetricClass::kWork,
                  report.steps_executed);
+  report.execution.steps_completed = report.steps_executed;
+  report.execution.window_result =
+      paused ? WindowResult::kPaused : WindowResult::kCompleted;
+  if (paused) {
+    report.window_result = WindowResult::kPaused;
+    if (budget->work_exhausted()) {
+      WUW_METRIC_ADD("window.paused", obs::MetricClass::kEngine, 1);
+    } else {
+      WUW_METRIC_ADD("window.deadline_paused", obs::MetricClass::kSched, 1);
+    }
+    obs::TraceSpan pause_span("exec", "window-paused");
+    // No MarkComplete, no ResetBatch: still resumable.
+    return report;
+  }
   if (rejournal != nullptr) rejournal->MarkComplete();
   if (options.subplan_cache != nullptr) {
     report.execution.subplan_cache = options.subplan_cache->stats();

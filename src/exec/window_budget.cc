@@ -1,0 +1,155 @@
+#include "exec/window_budget.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wuw {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void CancelToken::ThrowCancelled() const {
+  switch (why_.load(std::memory_order_relaxed)) {
+    case 1:
+      throw WindowCancelledError("deadline passed");
+    case 2:
+      throw WindowCancelledError("check countdown fired");
+    default:
+      throw WindowCancelledError("cancel requested");
+  }
+}
+
+void CancelToken::SlowCheck() const {
+  if (SlowPoll()) ThrowCancelled();
+}
+
+bool CancelToken::SlowPoll() const {
+  int s = state_.load(std::memory_order_acquire);
+  if (s == kDisarmed) return false;
+  if (s == kCancelled) return true;
+  // Armed: evaluate the countdown, then the deadline.  Racing evaluators
+  // may both observe the firing condition — both report cancelled, which
+  // is the intended convergent outcome.
+  if (checks_left_.load(std::memory_order_relaxed) >= 0) {
+    if (checks_left_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      why_.store(2, std::memory_order_relaxed);
+      state_.store(kCancelled, std::memory_order_release);
+      return true;
+    }
+  }
+  int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline > 0 && NowNs() >= deadline) {
+    why_.store(1, std::memory_order_relaxed);
+    state_.store(kCancelled, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+void CancelToken::RequestCancel() {
+  why_.store(0, std::memory_order_relaxed);
+  state_.store(kCancelled, std::memory_order_release);
+}
+
+void CancelToken::ArmDeadline(double seconds) {
+  deadline_ns_.store(NowNs() + static_cast<int64_t>(seconds * 1e9),
+                     std::memory_order_relaxed);
+  state_.store(kArmed, std::memory_order_release);
+}
+
+void CancelToken::CancelAfterChecks(int64_t n) {
+  checks_left_.store(n, std::memory_order_relaxed);
+  state_.store(kArmed, std::memory_order_release);
+}
+
+void CancelToken::Reset() {
+  deadline_ns_.store(0, std::memory_order_relaxed);
+  checks_left_.store(-1, std::memory_order_relaxed);
+  why_.store(0, std::memory_order_relaxed);
+  state_.store(kDisarmed, std::memory_order_release);
+}
+
+void WindowBudget::OpenWindow() {
+  work_spent_ = 0;
+  token_.Reset();
+  if (options_.deadline_seconds > 0) {
+    token_.ArmDeadline(options_.deadline_seconds);
+  }
+}
+
+std::string ParseWindowBudgetSpec(const std::string& spec,
+                                  WindowBudgetOptions* out) {
+  WindowBudgetOptions parsed;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+
+    std::string key = clause;
+    std::string value;
+    size_t eq = clause.find('=');
+    if (eq != std::string::npos) {
+      key = clause.substr(0, eq);
+      value = clause.substr(eq + 1);
+    } else {
+      // Bare integer shorthand for work=<N>.
+      value = key;
+      key = "work";
+    }
+
+    char* rest = nullptr;
+    if (key == "work") {
+      long long n = std::strtoll(value.c_str(), &rest, 10);
+      if (value.empty() || rest == nullptr || *rest != '\0' || n < 0) {
+        return "window budget spec: bad work units '" + value +
+               "' (want a non-negative integer)";
+      }
+      parsed.work_units = n;
+    } else if (key == "deadline_ms" || key == "deadline_s") {
+      double v = std::strtod(value.c_str(), &rest);
+      if (value.empty() || rest == nullptr || *rest != '\0' || v <= 0) {
+        return "window budget spec: bad deadline '" + value +
+               "' (want a positive number)";
+      }
+      parsed.deadline_seconds = key == "deadline_ms" ? v / 1000.0 : v;
+    } else {
+      return "window budget spec: unknown clause '" + clause +
+             "' (want <N>, work=<N>, deadline_ms=<M>, or deadline_s=<S>)";
+    }
+  }
+  if (!parsed.limited()) {
+    return "window budget spec: no limit given (want work= and/or deadline)";
+  }
+  *out = parsed;
+  return "";
+}
+
+const WindowBudgetOptions* EnvWindowBudget() {
+  // Parsed once; the env is fixed for the process lifetime.
+  static const WindowBudgetOptions* options = []() -> WindowBudgetOptions* {
+    const char* env = std::getenv("WUW_WINDOW_BUDGET");
+    if (env == nullptr || *env == '\0') return nullptr;
+    auto* parsed = new WindowBudgetOptions;
+    std::string error = ParseWindowBudgetSpec(env, parsed);
+    if (!error.empty()) {
+      std::fprintf(stderr, "WUW_WINDOW_BUDGET ignored: %s\n", error.c_str());
+      delete parsed;
+      return nullptr;
+    }
+    return parsed;
+  }();
+  return options;
+}
+
+}  // namespace wuw

@@ -12,17 +12,30 @@ namespace wuw {
 
 namespace {
 
+// Atomic write: the contents land in `path + ".tmp"` and rename(2) over
+// `path`, so a crash (or a fault-injected death) mid-save never leaves a
+// torn file under the real name — readers see the old snapshot or the new
+// one, nothing in between.
 bool WriteFile(const std::string& path, const std::string& contents,
                std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    *error = "cannot open " + path + " for writing: " + std::strerror(errno);
+    *error = "cannot open " + tmp + " for writing: " + std::strerror(errno);
     return false;
   }
   size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  bool flushed = std::fflush(f) == 0;
   std::fclose(f);
-  if (written != contents.size()) {
-    *error = "short write to " + path;
+  if (written != contents.size() || !flushed) {
+    std::remove(tmp.c_str());
+    *error = "short write to " + tmp;
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    *error = "cannot rename " + tmp + " to " + path + ": " +
+             std::strerror(errno);
+    std::remove(tmp.c_str());
     return false;
   }
   return true;

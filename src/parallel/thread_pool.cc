@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "exec/window_budget.h"
 #include "obs/metrics.h"
 
 namespace wuw {
@@ -20,6 +21,11 @@ struct ThreadPool::Region {
   std::atomic<int> pending{0};
   size_t chunks = 0;
   const std::function<void(size_t)>* chunk_body = nullptr;
+  /// Optional cancellation token, checked before each chunk claim.  A
+  /// throw lands in the catch below like any chunk failure: siblings see
+  /// `stop`, in-flight chunks finish, and the error resurfaces at the
+  /// region barrier — which is exactly "in-flight morsels drain cleanly".
+  const CancelToken* cancel = nullptr;
   std::mutex error_mu;
   std::exception_ptr error;
 
@@ -29,6 +35,7 @@ struct ThreadPool::Region {
       size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) break;
       try {
+        if (cancel != nullptr) cancel->Check();
         (*chunk_body)(c);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
@@ -145,7 +152,8 @@ void ThreadPool::RunRegion(Region* region, int max_workers) {
 }
 
 void ThreadPool::ParallelFor(size_t n, size_t grain,
-                             const std::function<void(size_t, size_t)>& body) {
+                             const std::function<void(size_t, size_t)>& body,
+                             const CancelToken* cancel) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
   std::function<void(size_t)> chunk_body = [n, grain, &body](size_t c) {
@@ -155,15 +163,18 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   Region region;
   region.chunks = (n + grain - 1) / grain;
   region.chunk_body = &chunk_body;
+  region.cancel = cancel;
   RunRegion(&region, /*max_workers=*/0);
 }
 
 void ThreadPool::ParallelTasks(size_t count, int max_workers,
-                               const std::function<void(size_t)>& body) {
+                               const std::function<void(size_t)>& body,
+                               const CancelToken* cancel) {
   if (count == 0) return;
   Region region;
   region.chunks = count;
   region.chunk_body = &body;
+  region.cancel = cancel;
   RunRegion(&region, max_workers);
 }
 

@@ -35,6 +35,8 @@
 
 namespace wuw {
 
+class CancelToken;
+
 /// Cumulative scheduling counters (process lifetime for Global()).
 struct ThreadPoolStats {
   /// Regions that fanned out to pool workers.
@@ -71,15 +73,21 @@ class ThreadPool {
   /// Runs body(begin, end) over [0, n) in chunks of `grain`, claimed by up
   /// to parallelism() workers (caller included).  Blocks until every chunk
   /// ran.  The first exception thrown by any chunk stops the remaining
-  /// unclaimed chunks and is rethrown here.
+  /// unclaimed chunks and is rethrown here.  A non-null `cancel` token is
+  /// checked before each chunk claim (one relaxed load while disarmed —
+  /// see exec/window_budget.h); a fired token cancels the region through
+  /// the same first-exception path, so in-flight chunks drain cleanly
+  /// before WindowCancelledError is rethrown at the barrier.
   void ParallelFor(size_t n, size_t grain,
-                   const std::function<void(size_t, size_t)>& body);
+                   const std::function<void(size_t, size_t)>& body,
+                   const CancelToken* cancel = nullptr);
 
   /// Runs body(i) for i in [0, count) on at most `max_workers` workers
-  /// (0 = no extra cap beyond parallelism()).  Same blocking / exception
-  /// contract as ParallelFor.
+  /// (0 = no extra cap beyond parallelism()).  Same blocking / exception /
+  /// cancellation contract as ParallelFor.
   void ParallelTasks(size_t count, int max_workers,
-                     const std::function<void(size_t)>& body);
+                     const std::function<void(size_t)>& body,
+                     const CancelToken* cancel = nullptr);
 
   ThreadPoolStats stats() const;
 

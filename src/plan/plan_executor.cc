@@ -1,6 +1,7 @@
 #include "plan/plan_executor.h"
 
 #include "common/check.h"
+#include "exec/window_budget.h"
 #include "fault/fault_injection.h"
 #include "obs/metrics.h"
 #include "parallel/thread_pool.h"
@@ -13,22 +14,27 @@ namespace {
 /// dense row storage straight into the pre-sized output, so the result is
 /// identical to Rows::FromTable (same order, COW tuple copies only bump
 /// refcounts).
-Rows ScanTable(const Table& table, ThreadPool* pool) {
+Rows ScanTable(const Table& table, ThreadPool* pool,
+               const CancelToken* cancel) {
   const auto& dense = table.dense_rows();
   if (!ShouldParallelize(pool, dense.size())) return Rows::FromTable(table);
   Rows out(table.schema());
   out.rows.resize(dense.size());
-  pool->ParallelFor(dense.size(), kMorselRows, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) out.rows[i] = dense[i];
-  });
+  pool->ParallelFor(
+      dense.size(), kMorselRows,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) out.rows[i] = dense[i];
+      },
+      cancel);
   return out;
 }
 
 }  // namespace
 
 PlanExecutor::PlanExecutor(const PlanDag& dag, SubplanCache* cache,
-                           ThreadPool* pool)
-    : dag_(dag), cache_(cache), pool_(pool), memo_(dag.size()) {}
+                           ThreadPool* pool, const CancelToken* cancel)
+    : dag_(dag), cache_(cache), pool_(pool), cancel_(cancel),
+      memo_(dag.size()) {}
 
 void PlanExecutor::PrepareShared(const std::vector<PlanNodeId>& roots,
                                  OperatorStats* stats) {
@@ -66,6 +72,10 @@ std::shared_ptr<const Rows> PlanExecutor::Eval(PlanNodeId id,
                                                bool memoize_shared) {
   if (memo_[id] != nullptr) return memo_[id];
   WUW_FAULT_POINT("plan.eval");
+  // Node entry is a mutation-free boundary: everything below is read-only
+  // w.r.t. the warehouse, so abandoning here leaves the paused state
+  // coherent (only a discarded partial result is lost).
+  if (cancel_ != nullptr) cancel_->Check();
   const PlanNode& n = dag_.node(id);
 
   bool try_cache = cache_ != nullptr && n.cacheable;
@@ -86,7 +96,8 @@ std::shared_ptr<const Rows> PlanExecutor::Eval(PlanNodeId id,
     WUW_METRIC_ADD("plan.nodes_executed", obs::MetricClass::kEngine, 1);
     switch (n.kind) {
       case PlanNodeKind::kScanTable:
-        result = std::make_shared<const Rows>(ScanTable(*n.table, pool_));
+        result =
+            std::make_shared<const Rows>(ScanTable(*n.table, pool_, cancel_));
         break;
       case PlanNodeKind::kScanDelta:
         result = std::make_shared<const Rows>(n.delta->ToRows());
@@ -107,12 +118,13 @@ std::shared_ptr<const Rows> PlanExecutor::Eval(PlanNodeId id,
         if (!memoize_shared && n.children.size() > 1 &&
             pool_ != nullptr && pool_->parallelism() > 1) {
           std::vector<OperatorStats> child_stats(n.children.size());
-          pool_->ParallelTasks(n.children.size(), /*max_workers=*/0,
-                               [&](size_t c) {
-                                 owned[c] = Eval(n.children[c],
-                                                 &child_stats[c],
-                                                 /*memoize_shared=*/false);
-                               });
+          pool_->ParallelTasks(
+              n.children.size(), /*max_workers=*/0,
+              [&](size_t c) {
+                owned[c] = Eval(n.children[c], &child_stats[c],
+                                /*memoize_shared=*/false);
+              },
+              cancel_);
           if (stats != nullptr) {
             for (const OperatorStats& cs : child_stats) *stats += cs;
           }
@@ -125,16 +137,16 @@ std::shared_ptr<const Rows> PlanExecutor::Eval(PlanNodeId id,
         Rows out;
         switch (n.kind) {
           case PlanNodeKind::kFilter:
-            out = n.filter.Run(inputs, stats, pool_);
+            out = n.filter.Run(inputs, stats, pool_, cancel_);
             break;
           case PlanNodeKind::kProject:
-            out = n.project.Run(inputs, stats, pool_);
+            out = n.project.Run(inputs, stats, pool_, cancel_);
             break;
           case PlanNodeKind::kHashJoin:
-            out = n.join.Run(inputs, stats, pool_);
+            out = n.join.Run(inputs, stats, pool_, cancel_);
             break;
           case PlanNodeKind::kAggregate:
-            out = n.aggregate.Run(inputs, stats, pool_);
+            out = n.aggregate.Run(inputs, stats, pool_, cancel_);
             break;
           default: WUW_CHECK(false, "unreachable plan node kind");
         }

@@ -31,6 +31,7 @@
 
 namespace wuw {
 
+class CancelToken;
 class ThreadPool;
 
 /// Per-node execution record for EXPLAIN (obs/explain.h): rows the node
@@ -45,9 +46,13 @@ struct PlanNodeRuntime {
 class PlanExecutor {
  public:
   /// `dag` must outlive the executor.  `cache` may be null (no sharing);
-  /// `pool` may be null (fully sequential kernels).
+  /// `pool` may be null (fully sequential kernels).  A non-null `cancel`
+  /// token is checked at every node entry and forwarded to the kernels'
+  /// morsel loops; a fired token unwinds WindowCancelledError out of
+  /// Execute/PrepareShared (see exec/window_budget.h).
   PlanExecutor(const PlanDag& dag, SubplanCache* cache,
-               ThreadPool* pool = nullptr);
+               ThreadPool* pool = nullptr,
+               const CancelToken* cancel = nullptr);
 
   /// Materializes every cacheable node with num_uses >= 2 that is reachable
   /// from `roots`, in topological (id) order, charging the work to `stats`.
@@ -74,6 +79,7 @@ class PlanExecutor {
   const PlanDag& dag_;
   SubplanCache* cache_;
   ThreadPool* pool_;
+  const CancelToken* cancel_;
   /// Per-node memo, filled only by PrepareShared (read-only afterwards).
   std::vector<std::shared_ptr<const Rows>> memo_;
   /// Optional EXPLAIN sink; see set_runtime.

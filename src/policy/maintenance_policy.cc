@@ -4,18 +4,22 @@
 
 #include "common/check.h"
 #include "core/min_work.h"
+#include "exec/recovery.h"
+#include "obs/metrics.h"
 
 namespace wuw {
 
 std::string PolicyReport::ToString() const {
-  char buffer[256];
+  char buffer[320];
   std::snprintf(buffer, sizeof(buffer),
                 "batches=%lld windows=%lld wall=%.4fs work=%lld "
-                "rows_installed=%lld",
+                "rows_installed=%lld windows_paused=%lld carryover_work=%lld",
                 static_cast<long long>(batches_received),
                 static_cast<long long>(windows_run), total_window_seconds,
                 static_cast<long long>(total_linear_work),
-                static_cast<long long>(rows_installed));
+                static_cast<long long>(rows_installed),
+                static_cast<long long>(windows_paused),
+                static_cast<long long>(carryover_work));
   return buffer;
 }
 
@@ -28,10 +32,27 @@ MaintenanceScheduler::MaintenanceScheduler(Warehouse* warehouse,
 
 bool MaintenanceScheduler::OnBatch(
     const std::unordered_map<std::string, DeltaRelation>& batch) {
+  ++report_.batches_received;
+  if (window_paused_) {
+    // The in-flight strategy was planned against the batch it is half-way
+    // through installing; merging new changes into that batch would make
+    // the journal incoherent.  Defer (later batches compose with each
+    // other) and spend this period's window continuing the paused run.
+    for (const auto& [view, delta] : batch) {
+      auto it = deferred_.find(view);
+      if (it == deferred_.end()) {
+        deferred_.emplace(view, delta);
+      } else {
+        it->second.Merge(delta);
+      }
+    }
+    ++batches_since_window_;
+    ResumeWindow();
+    return true;
+  }
   for (const auto& [view, delta] : batch) {
     warehouse_->MergeBaseDelta(view, delta);
   }
-  ++report_.batches_received;
   ++batches_since_window_;
   if (!ShouldRun()) return false;
   RunWindow();
@@ -39,11 +60,18 @@ bool MaintenanceScheduler::OnBatch(
 }
 
 void MaintenanceScheduler::Flush() {
-  bool pending = false;
-  for (const std::string& base : warehouse_->vdag().BaseViews()) {
-    if (!warehouse_->base_delta(base).empty()) pending = true;
+  // Completing a paused run merges its deferred batches, which may leave
+  // fresh pending changes — loop until nothing is paused or pending.
+  while (window_paused_) ResumeWindow();
+  while (true) {
+    bool pending = false;
+    for (const std::string& base : warehouse_->vdag().BaseViews()) {
+      if (!warehouse_->base_delta(base).empty()) pending = true;
+    }
+    if (!pending) return;
+    RunWindow();
+    while (window_paused_) ResumeWindow();
   }
-  if (pending) RunWindow();
 }
 
 bool MaintenanceScheduler::ShouldRun() const {
@@ -76,14 +104,57 @@ void MaintenanceScheduler::RunWindow() {
       MinWork(warehouse_->vdag(), warehouse_->EstimatedSizes());
   ExecutorOptions exec_options = options_.executor;
   exec_options.simplify_empty_deltas = true;
+  WindowBudget budget(options_.window_budget);
+  if (budget.limited()) exec_options.budget = &budget;
   Executor executor(warehouse_, exec_options);
   ExecutionReport window = executor.Execute(plan.strategy);
 
   ++report_.windows_run;
   report_.total_window_seconds += window.total_seconds;
   report_.total_linear_work += window.total_linear_work;
+  if (window.window_result == WindowResult::kPaused) {
+    ++report_.windows_paused;
+    WUW_METRIC_ADD("policy.windows_paused", obs::MetricClass::kEngine, 1);
+    window_paused_ = true;
+    paused_pending_rows_ = pending;
+    return;  // batch stays pending; the journal is the carryover handle
+  }
   report_.rows_installed += pending;
   batches_since_window_ = 0;
+}
+
+bool MaintenanceScheduler::ResumeWindow() {
+  WUW_CHECK(window_paused_, "ResumeWindow without a paused run");
+  ExecutorOptions exec_options = options_.executor;
+  exec_options.simplify_empty_deltas = true;
+  WindowBudget budget(options_.window_budget);
+  if (budget.limited()) exec_options.budget = &budget;
+  ResumeReport resumed =
+      ResumeStrategy(warehouse_->journal(), warehouse_, exec_options,
+                     ResumeMode::kContinueInPlace);
+
+  ++report_.windows_run;
+  report_.total_window_seconds += resumed.execution.total_seconds;
+  report_.total_linear_work += resumed.execution.total_linear_work;
+  report_.carryover_work += resumed.execution.total_linear_work;
+  WUW_METRIC_ADD("window.carryover_work", obs::MetricClass::kEngine,
+                 resumed.execution.total_linear_work);
+  if (resumed.window_result == WindowResult::kPaused) {
+    ++report_.windows_paused;
+    WUW_METRIC_ADD("policy.windows_paused", obs::MetricClass::kEngine, 1);
+    return false;
+  }
+  window_paused_ = false;
+  report_.rows_installed += paused_pending_rows_;
+  paused_pending_rows_ = 0;
+  batches_since_window_ = 0;
+  // The run is durable; the batches that arrived while it was in flight
+  // become the next pending batch.
+  for (auto& [view, delta] : deferred_) {
+    warehouse_->MergeBaseDelta(view, delta);
+  }
+  deferred_.clear();
+  return true;
 }
 
 }  // namespace wuw

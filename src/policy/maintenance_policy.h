@@ -33,6 +33,15 @@ struct PolicyOptions {
   /// Executor settings for the windows (simplification on by default: a
   /// deferred batch often leaves many views untouched).
   ExecutorOptions executor;
+  /// Per-window update budget (exec/window_budget.h).  Unlimited (the
+  /// default) reproduces the unbudgeted scheduler exactly.  A limiting
+  /// budget makes each window pausable: a paused strategy carries into the
+  /// next window (ResumeMode::kContinueInPlace with a fresh budget), and
+  /// batches arriving while paused are deferred — merged among themselves
+  /// (SourceChangeStream batches are coherent, so later batches compose)
+  /// and applied only once the paused run completes, never into the batch
+  /// the in-flight strategy was planned against.
+  WindowBudgetOptions window_budget;
 
   static PolicyOptions Immediate() { return {}; }
   static PolicyOptions EveryK(int k) {
@@ -58,6 +67,12 @@ struct PolicyReport {
   /// Sum of |δ| actually installed — smaller than the sum of incoming
   /// batch sizes when deferral lets changes cancel.
   int64_t rows_installed = 0;
+  /// Windows that ended paused on budget exhaustion (each also counts in
+  /// windows_run; a run needing three windows adds 2 here).
+  int64_t windows_paused = 0;
+  /// Linear work executed in resume windows — the work that spilled past
+  /// each run's first window.
+  int64_t carryover_work = 0;
 
   std::string ToString() const;
 };
@@ -73,9 +88,20 @@ class MaintenanceScheduler {
   bool OnBatch(
       const std::unordered_map<std::string, DeltaRelation>& batch);
 
-  /// Forces a window now (end-of-period flush).  No-op without pending
-  /// changes.
+  /// Forces completion now (end-of-period flush): finishes any paused run,
+  /// then opens a window for remaining pending changes and chains resume
+  /// windows until it completes.  No-op without pending changes.
   void Flush();
+
+  /// True while a budget-paused run awaits its next window.
+  bool window_paused() const { return window_paused_; }
+
+  /// Runs one more budgeted window of the paused strategy
+  /// (ResumeMode::kContinueInPlace).  Returns true when the run completed
+  /// — deferred batches are then merged into the warehouse.  Every resume
+  /// window completes at least one step, so chains terminate even under a
+  /// zero-work budget.
+  bool ResumeWindow();
 
   const PolicyReport& report() const { return report_; }
 
@@ -87,6 +113,12 @@ class MaintenanceScheduler {
   PolicyOptions options_;
   PolicyReport report_;
   int batches_since_window_ = 0;
+  bool window_paused_ = false;
+  /// |δ| of the in-flight run's batch, credited to rows_installed when it
+  /// completes.
+  int64_t paused_pending_rows_ = 0;
+  /// Batches deferred while paused, merged among themselves.
+  std::unordered_map<std::string, DeltaRelation> deferred_;
 };
 
 }  // namespace wuw

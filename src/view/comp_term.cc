@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "exec/window_budget.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
@@ -105,7 +106,7 @@ CompEvalResult EvalComp(const ViewDefinition& def,
   // evaluation is forced fully sequential (no term workers, no pool);
   // rows and OperatorStats are pool-size-invariant anyway.
   ThreadPool* pool = options.observer != nullptr ? nullptr : options.pool;
-  PlanExecutor exec(dag, options.subplan_cache, pool);
+  PlanExecutor exec(dag, options.subplan_cache, pool, options.cancel);
   std::vector<PlanNodeRuntime> runtime;
   if (options.observer != nullptr) {
     runtime.resize(dag.size());
@@ -140,7 +141,10 @@ CompEvalResult EvalComp(const ViewDefinition& def,
   int workers =
       options.observer != nullptr ? 1 : std::max(1, options.term_workers);
   if (workers == 1 || masks.size() <= 1 || pool == nullptr) {
-    for (size_t slot = 0; slot < masks.size(); ++slot) eval_term(slot);
+    for (size_t slot = 0; slot < masks.size(); ++slot) {
+      if (options.cancel != nullptr) options.cancel->Check();
+      eval_term(slot);
+    }
   } else {
     // Terms are independent: after PrepareShared the executor's memo is
     // read-only and the cache locks internally, so workers only share
@@ -149,7 +153,7 @@ CompEvalResult EvalComp(const ViewDefinition& def,
     // set of threads); a term that throws (injected fault) stops the rest
     // and rethrows here, so a mid-term death unwinds out of EvalComp like
     // a sequential one.
-    pool->ParallelTasks(masks.size(), workers, eval_term);
+    pool->ParallelTasks(masks.size(), workers, eval_term, options.cancel);
   }
 
   // Merge in mask order: deterministic results regardless of scheduling.

@@ -34,6 +34,7 @@
 
 namespace wuw {
 
+class CancelToken;
 class ThreadPool;
 
 /// Resolves the current-batch delta of a view by name (base deltas come
@@ -82,6 +83,12 @@ struct CompEvalOptions {
   /// is ignored) and reports the interned DAG with estimated vs measured
   /// per-node rows.  Null (the default) records nothing.
   obs::PlanObserver* observer = nullptr;
+  /// Cooperative cancellation (exec/window_budget.h): checked at term and
+  /// plan-node boundaries and inside the morsel kernels.  EvalComp is
+  /// read-only w.r.t. the warehouse, so a WindowCancelledError unwinding
+  /// out of it abandons the step with no state to clean up.  Null (the
+  /// default) costs nothing.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Evaluates Comp(V, over) where `def` = Def(V) and `over` ⊆ def.sources().

@@ -26,6 +26,7 @@
 #include "exec/executor.h"
 #include "exec/parallel_executor.h"
 #include "exec/recovery.h"
+#include "exec/window_budget.h"
 #include "fault/fault_injection.h"
 #include "plan/subplan_cache.h"
 #include "test_util.h"
@@ -195,6 +196,96 @@ void SweepParallel(const Workbench& wb, const Strategy& s, int64_t budget) {
   }
 }
 
+/// The paused-window dimension: budget-pause the run halfway, then kill
+/// the continue-in-place resume at every reached fault point.  The journal
+/// at death holds the paused prefix plus whatever the resume completed;
+/// recovery must still replay it onto the restored pre-window state and
+/// land on the ground truth — a crash during a carryover window is no
+/// worse than a crash during a plain one.
+void SweepPausedResume(const Workbench& wb, const Strategy& s,
+                       int64_t budget) {
+  // Work budget that pauses after the first half of the steps (analytic,
+  // so the same split holds under every cache budget).
+  int64_t pause_work = 0;
+  size_t n = 0;
+  {
+    Warehouse clone = wb.warehouse.Clone();
+    ExecutionReport full = Executor(&clone).Execute(s);
+    n = full.per_expression.size();
+    if (n < 2) return;  // nothing to pause between
+    for (size_t i = 0; i < n / 2; ++i) {
+      pause_work += full.per_expression[i].linear_work;
+    }
+  }
+
+  auto pause = [&](Warehouse* target, SubplanCache* cache) {
+    WindowBudget window_budget(WindowBudgetOptions{pause_work});
+    ExecutorOptions options;
+    options.subplan_cache = cache;
+    options.budget = &window_budget;
+    ExecutionReport r = Executor(target, options).Execute(s);
+    ASSERT_EQ(r.window_result, WindowResult::kPaused);
+    // Zero-work steps can move the boundary up by a step or two; all that
+    // matters is a genuine mid-run pause.
+    ASSERT_LT(r.steps_completed, static_cast<int64_t>(n));
+  };
+  auto resume_in_place = [&](Warehouse* target, SubplanCache* cache) {
+    ExecutorOptions options;
+    options.subplan_cache = cache;
+    ResumeStrategy(target->journal(), target, options,
+                   ResumeMode::kContinueInPlace);
+  };
+
+  // Count pass: faults armed only around the resume, so the sweep covers
+  // exactly the carryover window's fault points.
+  std::vector<std::pair<std::string, int64_t>> counts;
+  {
+    Warehouse clone = wb.warehouse.Clone();
+    auto cache = MakeCache(budget);
+    pause(&clone, cache.get());
+    if (::testing::Test::HasFatalFailure()) return;
+    FaultPlan count;
+    count.count_only = true;
+    ScopedFaultPlan scoped(count);
+    resume_in_place(&clone, cache.get());
+    ASSERT_TRUE(clone.catalog().ContentsEqual(wb.truth))
+        << "count pass diverged";
+    counts = HitCounts();
+  }
+  ASSERT_FALSE(counts.empty()) << "no fault points reached in resume?";
+
+  for (const auto& [point, total] : counts) {
+    for (int64_t k : SampleHits(total)) {
+      SCOPED_TRACE(point + " hit " + std::to_string(k));
+      Warehouse victim = wb.warehouse.Clone();
+      auto cache = MakeCache(budget);
+      pause(&victim, cache.get());
+      if (::testing::Test::HasFatalFailure()) return;
+      bool died = false;
+      {
+        FaultPlan plan;
+        plan.triggers.push_back(Trigger{point, k, 1.0});
+        ScopedFaultPlan scoped(plan);
+        try {
+          resume_in_place(&victim, cache.get());
+        } catch (const FaultInjectedError&) {
+          died = true;
+        }
+      }
+      ASSERT_TRUE(died);
+
+      Warehouse restored = wb.warehouse.Clone();
+      ExecutorOptions resume_options;
+      resume_options.subplan_cache = cache.get();
+      ResumeReport report =
+          ResumeStrategy(victim.journal(), &restored, resume_options);
+      EXPECT_EQ(report.steps_replayed + report.steps_executed,
+                static_cast<int64_t>(s.size()));
+      ASSERT_TRUE(restored.catalog().ContentsEqual(wb.truth));
+    }
+  }
+}
+
 struct SweepParam {
   uint64_t seed;
   size_t bases;
@@ -240,6 +331,21 @@ TEST_P(FaultRecoveryPropertyTest, ParallelKillAtEveryPointConverges) {
       SweepParallel(wb, s, budget);
       if (HasFatalFailure()) return;
     }
+  }
+}
+
+TEST_P(FaultRecoveryPropertyTest, KillDuringPausedWindowResumeConverges) {
+  const SweepParam& p = GetParam();
+  const uint64_t seed = p.seed + testutil::PropertySeed(0);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Workbench wb = MakeWorkbench(seed, p.bases, p.derived);
+
+  SizeMap sizes = wb.warehouse.EstimatedSizes();
+  const Strategy s = MinWork(wb.vdag, sizes).strategy;
+  for (int64_t budget : {kNoCache, kTightCache}) {
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    SweepPausedResume(wb, s, budget);
+    if (HasFatalFailure()) return;
   }
 }
 

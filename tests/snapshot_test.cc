@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -95,6 +97,53 @@ TEST_F(SnapshotTest, LoadFailsOnMissingDirectory) {
   Warehouse loaded(Vdag{});
   std::string error;
   EXPECT_FALSE(LoadWarehouse(dir_ + "_nonexistent", &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// WriteFile is temp-and-rename: a completed save must leave only the
+// final files, never a stray *.tmp a crashed writer would have orphaned
+// into a half-written snapshot.
+TEST_F(SnapshotTest, SaveLeavesNoTempFiles) {
+  Warehouse w =
+      testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 20, 31);
+  testutil::ApplyTripleChanges(&w, 0.2, 4, 33);
+  std::string error;
+  ASSERT_TRUE(SaveWarehouse(w, dir_, &error)) << error;
+
+  DIR* d = opendir(dir_.c_str());
+  ASSERT_NE(d, nullptr);
+  while (struct dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    EXPECT_EQ(name.find(".tmp"), std::string::npos)
+        << "stray temp file: " << name;
+  }
+  closedir(d);
+}
+
+TEST_F(SnapshotTest, LoadFailsOnTruncatedCsv) {
+  Warehouse original =
+      testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 20, 37);
+  std::string error;
+  ASSERT_TRUE(SaveWarehouse(original, dir_, &error)) << error;
+  // A row with too few columns — what a torn write mid-row leaves behind.
+  std::FILE* f = std::fopen((dir_ + "/A.csv").c_str(), "w");
+  std::fputs("__count,A_k,A_v,A_g\n1,2\n", f);
+  std::fclose(f);
+  Warehouse loaded(Vdag{});
+  EXPECT_FALSE(LoadWarehouse(dir_, &loaded, &error));
+  EXPECT_NE(error.find("A.csv"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, LoadFailsOnCorruptSchema) {
+  Warehouse original =
+      testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 20, 41);
+  std::string error;
+  ASSERT_TRUE(SaveWarehouse(original, dir_, &error)) << error;
+  std::FILE* f = std::fopen((dir_ + "/schema.sql").c_str(), "w");
+  std::fputs("CREATE GARBAGE (((", f);
+  std::fclose(f);
+  Warehouse loaded(Vdag{});
+  EXPECT_FALSE(LoadWarehouse(dir_, &loaded, &error));
   EXPECT_FALSE(error.empty());
 }
 

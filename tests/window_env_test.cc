@@ -1,0 +1,76 @@
+// The WUW_WINDOW_BUDGET env knob, in its own binary: EnvWindowBudget()
+// parses the spec once into a static, so the knob must be set before the
+// first Executor::Execute anywhere in the process — a static initializer
+// here does that.  (window_budget_test.cc covers explicit budgets; this
+// binary covers the auto-split path, where the executor chains windows
+// itself and always completes.)
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/min_work.h"
+#include "exec/executor.h"
+#include "exec/window_budget.h"
+#include "test_util.h"
+
+namespace wuw {
+namespace {
+
+// Before main(), and therefore before any EnvWindowBudget() call.
+const bool kEnvArmed = [] {
+  setenv("WUW_WINDOW_BUDGET", "1", /*overwrite=*/1);
+  return true;
+}();
+
+TEST(WindowEnvTest, EnvKnobIsParsedOnce) {
+  ASSERT_TRUE(kEnvArmed);
+  const WindowBudgetOptions* env = EnvWindowBudget();
+  ASSERT_NE(env, nullptr);
+  EXPECT_EQ(env->work_units, 1);
+  EXPECT_EQ(env->deadline_seconds, 0);
+
+  // Later setenv must not change the cached spec (parse-once contract).
+  setenv("WUW_WINDOW_BUDGET", "999999", 1);
+  EXPECT_EQ(EnvWindowBudget()->work_units, 1);
+}
+
+TEST(WindowEnvTest, AutoSplitCompletesInManyWindowsAndConverges) {
+  Warehouse w = testutil::MakeLoadedWarehouse(testutil::MakeFig10Vdag(), 50,
+                                              /*seed=*/41);
+  testutil::ApplyTripleChanges(&w, 0.25, 10, 45);
+  Catalog truth = testutil::GroundTruthAfterChanges(w);
+  Strategy s = MinWork(w.vdag(), w.EstimatedSizes()).strategy;
+
+  ExecutionReport report = Executor(&w).Execute(s);
+
+  // A 1-unit budget pauses after every step, so the run spans one window
+  // per step — but env mode always runs to completion.
+  EXPECT_EQ(report.window_result, WindowResult::kCompleted);
+  EXPECT_EQ(report.steps_completed, static_cast<int64_t>(s.size()));
+  EXPECT_GE(report.windows, static_cast<int64_t>(s.size()));
+  // The limiting budget forced journaling; the run finished, so the
+  // journal is complete.
+  EXPECT_TRUE(w.journal().complete());
+  ASSERT_TRUE(w.catalog().ContentsEqual(truth));
+}
+
+TEST(WindowEnvTest, ExplicitBudgetOverridesEnv) {
+  Warehouse w = testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 40,
+                                              /*seed=*/53);
+  testutil::ApplyTripleChanges(&w, 0.2, 8, 57);
+  Catalog truth = testutil::GroundTruthAfterChanges(w);
+  Strategy s = MinWork(w.vdag(), w.EstimatedSizes()).strategy;
+
+  // An explicit unlimited budget disables the env knob entirely: one
+  // window, no auto-split.
+  WindowBudget unlimited;
+  ExecutorOptions options;
+  options.budget = &unlimited;
+  ExecutionReport report = Executor(&w, options).Execute(s);
+  EXPECT_EQ(report.window_result, WindowResult::kCompleted);
+  EXPECT_EQ(report.windows, 1);
+  ASSERT_TRUE(w.catalog().ContentsEqual(truth));
+}
+
+}  // namespace
+}  // namespace wuw

@@ -43,7 +43,10 @@
 #include "graph/dot.h"
 #include "view/validate.h"
 #include "exec/executor.h"
+#include "exec/recovery.h"
+#include "exec/window_budget.h"
 #include "io/csv.h"
+#include "policy/maintenance_policy.h"
 #include "io/snapshot.h"
 #include "parser/ddl_parser.h"
 #include "query/ad_hoc.h"
@@ -296,16 +299,66 @@ class Shell {
     ExecutorOptions options;
     options.simplify_empty_deltas = true;
     ThreadPoolStats before = pool.stats();
+    int64_t pending = 0;
+    for (const std::string& base : warehouse_->vdag().BaseViews()) {
+      pending += warehouse_->base_delta(base).AbsCardinality();
+    }
     // Arm tracing for the window so the timeline below has spans to show;
     // leave the env-armed state (WUW_TRACE) untouched.
     bool tracing_was_armed = obs::TracingArmed();
     size_t trace_mark = obs::TraceEventCount();
     obs::ArmTracing();
-    Executor executor(warehouse_.get(), options);
-    ExecutionReport report = executor.Execute(chosen->strategy);
+    // Under WUW_WINDOW_BUDGET the shell drives the pause/resume chain
+    // itself (an explicit budget disables the executor's silent env
+    // auto-split), so the operator sees every paused window and the
+    // carryover accounting, PolicyReport-style.
+    PolicyReport windows;
+    windows.batches_received = 1;
+    ExecutionReport report;
+    const WindowBudgetOptions* env_budget = EnvWindowBudget();
+    if (env_budget == nullptr) {
+      Executor executor(warehouse_.get(), options);
+      report = executor.Execute(chosen->strategy);
+      ++windows.windows_run;
+    } else {
+      {
+        WindowBudget budget(*env_budget);
+        ExecutorOptions first_options = options;
+        first_options.budget = &budget;
+        Executor executor(warehouse_.get(), first_options);
+        report = executor.Execute(chosen->strategy);
+        ++windows.windows_run;
+      }
+      while (report.window_result == WindowResult::kPaused) {
+        ++windows.windows_paused;
+        std::printf("  window paused after %lld/%zu steps — carrying over\n",
+                    (long long)report.steps_completed,
+                    chosen->strategy.size());
+        WindowBudget budget(*env_budget);
+        ExecutorOptions resume_options = options;
+        resume_options.budget = &budget;
+        ResumeReport resumed = ResumeStrategy(
+            warehouse_->journal(), warehouse_.get(), resume_options,
+            ResumeMode::kContinueInPlace);
+        ++windows.windows_run;
+        windows.carryover_work += resumed.execution.total_linear_work;
+        report.total_seconds += resumed.execution.total_seconds;
+        report.total_linear_work += resumed.execution.total_linear_work;
+        report.totals += resumed.execution.totals;
+        report.steps_completed += resumed.execution.steps_completed;
+        ++report.windows;
+        report.window_result = resumed.window_result;
+      }
+    }
+    windows.total_window_seconds = report.total_seconds;
+    windows.total_linear_work = report.total_linear_work;
+    windows.rows_installed = pending;
     if (!tracing_was_armed) obs::DisarmTracing();
     ThreadPoolStats after = pool.stats();
     std::fputs(report.ToString().c_str(), stdout);
+    if (env_budget != nullptr) {
+      std::printf("  windows: %s\n", windows.ToString().c_str());
+    }
     std::puts("  timeline:");
     std::fputs(obs::HumanTimeline(obs::TraceSince(trace_mark)).c_str(),
                stdout);
