@@ -112,6 +112,25 @@ void BM_CompDualStageQ3(benchmark::State& state) {
 }
 BENCHMARK(BM_CompDualStageQ3);
 
+// Memory line for the flat open-addressing tuple index: rebuilds lineitem
+// row by row (the Add-heavy path the index serves) and reports the index
+// heap bytes total and per distinct row.
+void BM_TableIndexFootprint(benchmark::State& state) {
+  const Warehouse& w = SharedWarehouse();
+  const Table& lineitem = *w.catalog().MustGetTable(tpcd::kLineitem);
+  for (auto _ : state) {
+    Table copy(lineitem.schema());
+    lineitem.ForEach([&](const Tuple& t, int64_t c) { copy.Add(t, c); });
+    benchmark::DoNotOptimize(copy);
+    state.counters["index_bytes"] = static_cast<double>(copy.IndexBytes());
+    state.counters["index_bytes_per_row"] =
+        static_cast<double>(copy.IndexBytes()) /
+        static_cast<double>(copy.distinct_size());
+  }
+  state.SetItemsProcessed(state.iterations() * lineitem.distinct_size());
+}
+BENCHMARK(BM_TableIndexFootprint);
+
 void BM_RecomputeQ3(benchmark::State& state) {
   const Warehouse& w = SharedWarehouse();
   const ViewDefinition& def = *w.vdag().definition("Q3");

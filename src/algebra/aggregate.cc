@@ -5,8 +5,10 @@
 #include <queue>
 
 #include "algebra/key_util.h"
+#include "algebra/vectorized.h"
 #include "common/check.h"
 #include "expr/evaluator.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 
 namespace wuw {
@@ -55,6 +57,13 @@ Rows AggregateKernel::Run(const std::vector<const Rows*>& inputs,
 Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by,
                      const std::vector<AggSpec>& aggs, OperatorStats* stats,
                      ThreadPool* pool, const CancelToken* cancel) {
+  if (vec::Enabled()) {
+    Rows vec_out;
+    if (vec::TryAggregate(input, group_by, aggs, stats, pool, cancel,
+                          &vec_out)) {
+      return vec_out;
+    }
+  }
   std::vector<size_t> key_idx;
   std::vector<Column> out_cols;
   for (const std::string& name : group_by) {
@@ -121,6 +130,16 @@ Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by
   };
 
   const size_t n = input.rows.size();
+  // KeyHash touches every key column of every row, and each SUM argument
+  // evaluates its bound tree once per row, on either path below.
+  size_t num_sums = 0;
+  for (const AggSpec& spec : aggs) {
+    if (spec.fn == AggFn::kSum) ++num_sums;
+  }
+  WUW_METRIC_ADD("engine.row.value_hashes", obs::MetricClass::kEngine,
+                 static_cast<int64_t>(n * key_idx.size()));
+  WUW_METRIC_ADD("engine.row.expr_evals", obs::MetricClass::kEngine,
+                 static_cast<int64_t>(n * num_sums));
 
   if (ShouldParallelize(pool, n)) {
     // Pass 1: hash every row, count per-(morsel, partition).
@@ -171,14 +190,16 @@ Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by
       std::vector<int32_t> heads(nbuckets, -1);
       std::vector<int32_t> chain;
       std::vector<size_t> ghashes;
+      int64_t key_cmps = 0;
       for (uint32_t i : ids) {
         const auto& [tuple, mult] = input.rows[i];
         part.stats.rows_scanned += std::llabs(mult);
         size_t hash = hashes[i];
         Acc* acc = nullptr;
         for (int32_t g = heads[hash & pmask]; g >= 0; g = chain[g]) {
-          if (ghashes[g] == hash &&
-              KeysEqual(tuple, key_idx, part.groups[g].exemplar, key_idx)) {
+          if (ghashes[g] != hash) continue;
+          ++key_cmps;
+          if (KeysEqual(tuple, key_idx, part.groups[g].exemplar, key_idx)) {
             acc = &part.groups[g];
             break;
           }
@@ -196,6 +217,11 @@ Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by
         }
         accumulate(acc, tuple, mult);
       }
+      // A group's rows share one hash, hence one partition: candidate
+      // walks match the sequential chain's, so this total is
+      // pool-invariant.
+      WUW_METRIC_ADD("engine.row.value_cmps", obs::MetricClass::kEngine,
+                     key_cmps);
     }, cancel);
 
     // Deterministic merge: k-way by ascending first input row.  This is
@@ -238,13 +264,15 @@ Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by
   std::vector<int32_t> chain;
   std::vector<size_t> hashes;
 
+  int64_t key_cmps = 0;
   for (const auto& [tuple, mult] : input.rows) {
     if (stats != nullptr) stats->rows_scanned += std::llabs(mult);
     size_t hash = KeyHash(tuple, key_idx);
     Acc* acc = nullptr;
     for (int32_t g = heads[hash & mask]; g >= 0; g = chain[g]) {
-      if (hashes[g] == hash &&
-          KeysEqual(tuple, key_idx, groups[g].exemplar, key_idx)) {
+      if (hashes[g] != hash) continue;
+      ++key_cmps;
+      if (KeysEqual(tuple, key_idx, groups[g].exemplar, key_idx)) {
         acc = &groups[g];
         break;
       }
@@ -261,6 +289,8 @@ Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by
     }
     accumulate(acc, tuple, mult);
   }
+  WUW_METRIC_ADD("engine.row.value_cmps", obs::MetricClass::kEngine,
+                 key_cmps);
 
   Rows out((Schema(std::move(out_cols))));
   out.rows.reserve(groups.size());

@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 
+#include "algebra/vectorized.h"
 #include "common/check.h"
 #include "expr/evaluator.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 
 namespace wuw {
@@ -19,9 +21,18 @@ Rows Filter(const Rows& input, const ScalarExpr::Ptr& predicate,
             OperatorStats* stats, ThreadPool* pool,
             const CancelToken* cancel) {
   if (predicate == nullptr) return input;
+  if (vec::Enabled()) {
+    Rows vec_out;
+    if (vec::TryFilter(input, predicate, stats, pool, cancel, &vec_out)) {
+      return vec_out;
+    }
+  }
   Rows out(input.schema);
   BoundExpr bound = BoundExpr::Bind(predicate, input.schema);
   const size_t n = input.rows.size();
+  // One bound-tree evaluation per row, on either path below.
+  WUW_METRIC_ADD("engine.row.expr_evals", obs::MetricClass::kEngine,
+                 static_cast<int64_t>(n));
 
   if (ShouldParallelize(pool, n)) {
     // Per-morsel buffers merged in morsel order keep the surviving rows in

@@ -4,7 +4,9 @@
 #include <cstdlib>
 
 #include "algebra/key_util.h"
+#include "algebra/vectorized.h"
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 
 namespace wuw {
@@ -121,6 +123,7 @@ Rows ParallelHashJoin(const Rows& left, const Rows& right,
     std::vector<std::pair<Tuple, int64_t>>& buf = buffers[m];
     OperatorStats& ps = partial[m];
     buf.reserve(end - begin);
+    int64_t key_cmps = 0;
     for (size_t i = begin; i < end; ++i) {
       const auto& [ltuple, lcount] = left.rows[i];
       ps.rows_scanned += std::llabs(lcount);
@@ -131,6 +134,7 @@ Rows ParallelHashJoin(const Rows& left, const Rows& right,
       for (int32_t j = part.heads[h & part.mask]; j >= 0; j = part.chain[j]) {
         uint32_t r = part.ids[j];
         if (hashes[r] != h) continue;
+        ++key_cmps;
         const auto& [rtuple, rcount] = right.rows[r];
         if (!KeysEqual(ltuple, left_idx, rtuple, right_idx)) continue;
         if (lcount * rcount != 0) {
@@ -139,6 +143,10 @@ Rows ParallelHashJoin(const Rows& left, const Rows& right,
         ps.rows_produced += std::llabs(lcount * rcount);
       }
     }
+    // Candidate sets are hash-equal pairs, identical in the sequential
+    // layout, so this total is pool-invariant.
+    WUW_METRIC_ADD("engine.row.value_cmps", obs::MetricClass::kEngine,
+                   key_cmps);
   }, cancel);
 
   Rows out(Schema::Concat(left.schema, right.schema));
@@ -177,6 +185,20 @@ Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
     right_idx.push_back(right.schema.MustIndexOf(c));
   }
 
+  if (vec::Enabled()) {
+    Rows vec_out;
+    if (vec::TryHashJoin(left, right, left_idx, right_idx, stats, pool,
+                         cancel, &vec_out)) {
+      return vec_out;
+    }
+  }
+  // KeyHash touches every key column of every build and probe row, on
+  // either path below.
+  WUW_METRIC_ADD(
+      "engine.row.value_hashes", obs::MetricClass::kEngine,
+      static_cast<int64_t>((left.rows.size() + right.rows.size()) *
+                           left_idx.size()));
+
   if (ShouldParallelize(pool, left.rows.size() + right.rows.size())) {
     return ParallelHashJoin(left, right, left_idx, right_idx, stats, pool,
                             cancel);
@@ -206,6 +228,7 @@ Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
 
   Rows out(Schema::Concat(left.schema, right.schema));
   out.rows.reserve(left.rows.size());
+  int64_t key_cmps = 0;
   for (const auto& [ltuple, lcount] : left.rows) {
     if (stats != nullptr) {
       stats->rows_scanned += std::llabs(lcount);
@@ -214,6 +237,7 @@ Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
     size_t h = KeyHash(ltuple, left_idx);
     for (int32_t i = heads[h & mask]; i >= 0; i = chain[i]) {
       if (hashes[i] != h) continue;
+      ++key_cmps;
       const auto& [rtuple, rcount] = right.rows[i];
       if (!KeysEqual(ltuple, left_idx, rtuple, right_idx)) continue;
       out.Add(Tuple::Concat(ltuple, rtuple), lcount * rcount);
@@ -222,6 +246,8 @@ Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
       }
     }
   }
+  WUW_METRIC_ADD("engine.row.value_cmps", obs::MetricClass::kEngine,
+                 key_cmps);
   return out;
 }
 

@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 
+#include "algebra/vectorized.h"
 #include "common/check.h"
 #include "expr/evaluator.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 
 namespace wuw {
@@ -18,6 +20,12 @@ Rows ProjectKernel::Run(const std::vector<const Rows*>& inputs,
 Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
              OperatorStats* stats, ThreadPool* pool,
              const CancelToken* cancel) {
+  if (vec::Enabled()) {
+    Rows vec_out;
+    if (vec::TryProject(input, items, stats, pool, cancel, &vec_out)) {
+      return vec_out;
+    }
+  }
   std::vector<BoundExpr> bound;
   std::vector<Column> out_cols;
   bound.reserve(items.size());
@@ -27,6 +35,9 @@ Rows Project(const Rows& input, const std::vector<ProjectItem>& items,
   }
   Rows out((Schema(std::move(out_cols))));
   const size_t n = input.rows.size();
+  // One bound-tree evaluation per (row, item), on either path below.
+  WUW_METRIC_ADD("engine.row.expr_evals", obs::MetricClass::kEngine,
+                 static_cast<int64_t>(n * items.size()));
 
   if (ShouldParallelize(pool, n)) {
     // One output row per input row and no filtering, so morsels can write

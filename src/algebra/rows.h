@@ -5,11 +5,21 @@
 // signed multiplicity.  Positive multiplicities are ordinary rows; negative
 // ones are deletions flowing through delta computations.  Both full tables
 // and delta relations convert into Rows for processing.
+//
+// Two caches ride along, invisible to the multiset semantics:
+//  - running signed/abs cardinalities, memoized so the window-budget work
+//    charging and plan cost hooks stop re-scanning multiplicities (debug
+//    builds assert the cache against the O(n) recompute);
+//  - a lazily-built columnar mirror (storage/column_table.h) shared by
+//    copies, which is what lets the vectorized kernels (algebra/
+//    vectorized.h) engage without changing any operator signature.
 #ifndef WUW_ALGEBRA_ROWS_H_
 #define WUW_ALGEBRA_ROWS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -19,42 +29,81 @@
 
 namespace wuw {
 
+class ColumnTable;
+
 /// A materialized signed multiset of tuples with a schema.
 struct Rows {
   Schema schema;
   std::vector<std::pair<Tuple, int64_t>> rows;
 
-  Rows() = default;
-  explicit Rows(Schema s) : schema(std::move(s)) {}
+  Rows();
+  explicit Rows(Schema s);
+  Rows(const Rows& other);
+  Rows(Rows&& other) noexcept;
+  Rows& operator=(const Rows& other);
+  Rows& operator=(Rows&& other) noexcept;
+  ~Rows();
 
   void Add(Tuple t, int64_t count) {
-    if (count != 0) rows.emplace_back(std::move(t), count);
+    if (count == 0) return;
+    rows.emplace_back(std::move(t), count);
+    BumpCards(count);
   }
 
-  /// Sum of multiplicities (may be negative for deltas).
-  int64_t SignedCardinality() const {
-    int64_t n = 0;
-    for (const auto& [t, c] : rows) n += c;
-    return n;
-  }
+  /// Sum of multiplicities (may be negative for deltas).  O(n) on first
+  /// call, O(1) memoized afterwards (and O(1) up front when the producer
+  /// called SetCachedCardinalities); Add() maintains a set cache
+  /// incrementally.
+  int64_t SignedCardinality() const;
 
   /// Sum of |multiplicity| — the "size" of the batch as an operand, which
-  /// is what the linear work metric charges for scanning it.
-  int64_t AbsCardinality() const {
-    int64_t n = 0;
-    for (const auto& [t, c] : rows) n += std::llabs(c);
-    return n;
-  }
+  /// is what the linear work metric charges for scanning it.  Memoized
+  /// like SignedCardinality.
+  int64_t AbsCardinality() const;
 
   bool empty() const { return rows.empty(); }
 
   /// Snapshot of a table as +1-weighted rows (multiplicities preserved).
-  static Rows FromTable(const Table& table) {
-    Rows out(table.schema());
-    out.rows.reserve(table.distinct_size());
-    table.ForEach([&](const Tuple& t, int64_t c) { out.Add(t, c); });
-    return out;
+  /// Carries the table's cardinality caches and columnar snapshot along.
+  static Rows FromTable(const Table& table);
+
+  /// The columnar mirror of this batch, built on first request (thread-safe
+  /// for concurrent readers) and shared with copies.  Null when any cell
+  /// violates its declared column type — such batches stay row-at-a-time.
+  std::shared_ptr<const ColumnTable> Columnar() const;
+
+  /// Attaches a pre-built mirror (vectorized kernels attach the columnar
+  /// image of their output so downstream operators never re-convert).
+  /// The mirror must represent exactly schema/rows.
+  void AttachColumnar(std::shared_ptr<const ColumnTable> table) const;
+
+  /// Seeds both cardinality caches from a producer that knows them.
+  void SetCachedCardinalities(int64_t signed_card, int64_t abs_card) const;
+
+  // -- implementation detail below (public only because Rows is an open
+  //    struct; operators should use the accessors above) --
+
+  /// Shared lazily-filled columnar cache; see rows.cc.
+  struct ColumnarSlot;
+
+  void BumpCards(int64_t count) {
+    int64_t s = signed_card_.load(std::memory_order_relaxed);
+    if (s != kCardUnset) {
+      signed_card_.store(s + count, std::memory_order_relaxed);
+      abs_card_.store(abs_card_.load(std::memory_order_relaxed) +
+                          std::llabs(count),
+                      std::memory_order_relaxed);
+    }
+    columnar_stale_ = true;
   }
+
+  static constexpr int64_t kCardUnset = INT64_MIN;
+  mutable std::shared_ptr<ColumnarSlot> columnar_;
+  /// Set when rows changed after the slot was (possibly) filled; Columnar()
+  /// rebuilds into a fresh slot so copies sharing the old one stay valid.
+  bool columnar_stale_ = false;
+  mutable std::atomic<int64_t> signed_card_{kCardUnset};
+  mutable std::atomic<int64_t> abs_card_{kCardUnset};
 };
 
 }  // namespace wuw

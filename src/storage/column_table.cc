@@ -1,0 +1,289 @@
+#include "storage/column_table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace wuw {
+
+namespace {
+
+/// Engine-internal 64-bit mixer (splitmix64 finalizer).  Used only for
+/// bucket placement inside the vectorized kernels; deliberately unrelated
+/// to Value::Hash — kernel output order never depends on the hash function
+/// (equal keys share a bucket under any hash; see vectorized.h).
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+uint32_t StringDict::Intern(const std::string& s) {
+  auto it = lookup_.find(s);
+  if (it != lookup_.end()) return it->second;
+  WUW_CHECK(strings_.size() < kNullStringCode, "string dictionary overflow");
+  uint32_t code = static_cast<uint32_t>(strings_.size());
+  strings_.push_back(s);
+  hashes_.push_back(Mix64(std::hash<std::string>{}(s)));
+  lookup_.emplace(s, code);
+  return code;
+}
+
+uint32_t StringDict::Find(const std::string& s) const {
+  auto it = lookup_.find(s);
+  return it == lookup_.end() ? kNullStringCode : it->second;
+}
+
+size_t StringDict::ApproxBytes() const {
+  size_t bytes = strings_.capacity() * sizeof(std::string) +
+                 hashes_.capacity() * sizeof(uint64_t);
+  for (const std::string& s : strings_) bytes += s.capacity();
+  // unordered_map node ≈ key string + hash + two pointers.
+  bytes += lookup_.size() * (sizeof(std::string) + 3 * sizeof(void*));
+  return bytes;
+}
+
+size_t ColumnVec::size() const {
+  switch (type) {
+    case TypeId::kString:
+      return codes.size();
+    case TypeId::kDouble:
+      return dbls.size();
+    default:
+      return ints.size();
+  }
+}
+
+Value ColumnVec::ValueAt(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type) {
+    case TypeId::kInt64:
+      return Value::Int64(ints[i]);
+    case TypeId::kDate:
+      return Value::Date(ints[i]);
+    case TypeId::kDouble:
+      return Value::Double(dbls[i]);
+    case TypeId::kString:
+      return Value::String(dict->At(codes[i]));
+    case TypeId::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+ColumnTable::ColumnTable(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].type = schema_.column(c).type;
+  }
+}
+
+std::shared_ptr<const ColumnTable> ColumnTable::FromRows(
+    const Schema& schema,
+    const std::vector<std::pair<Tuple, int64_t>>& rows) {
+  if (rows.size() >= kNullStringCode) return nullptr;
+  auto out = std::make_shared<ColumnTable>(schema);
+  const size_t ncols = schema.num_columns();
+  const size_t n = rows.size();
+  std::vector<std::shared_ptr<StringDict>> dicts(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    ColumnVec& col = out->columns_[c];
+    switch (col.type) {
+      case TypeId::kString:
+        dicts[c] = std::make_shared<StringDict>();
+        col.codes.reserve(n);
+        break;
+      case TypeId::kDouble:
+        col.dbls.reserve(n);
+        break;
+      default:
+        col.ints.reserve(n);
+        break;
+    }
+  }
+  out->mult_.reserve(n);
+
+  for (const auto& [tuple, m] : rows) {
+    if (tuple.size() != ncols) return nullptr;
+    for (size_t c = 0; c < ncols; ++c) {
+      ColumnVec& col = out->columns_[c];
+      const Value& v = tuple.value(c);
+      const bool null = v.is_null();
+      // A non-null cell must carry exactly the declared type: anything else
+      // (legal in the untyped row engine) cannot round-trip through the
+      // typed array, so the whole batch stays row-major.
+      if (!null && v.type() != col.type) return nullptr;
+      switch (col.type) {
+        case TypeId::kInt64:
+        case TypeId::kDate:
+        case TypeId::kNull:
+          col.ints.push_back(null ? 0
+                                  : (col.type == TypeId::kDate ? v.AsDate()
+                                                               : v.AsInt64()));
+          break;
+        case TypeId::kDouble:
+          col.dbls.push_back(null ? 0.0 : v.AsDouble());
+          break;
+        case TypeId::kString:
+          col.codes.push_back(null ? kNullStringCode
+                                   : dicts[c]->Intern(v.AsString()));
+          break;
+      }
+      if (null && col.type != TypeId::kString) {
+        if (col.nulls.empty()) col.nulls.resize(n, 0);
+        col.nulls[out->mult_.size()] = 1;
+      }
+    }
+    out->mult_.push_back(m);
+  }
+  int64_t interned = 0;
+  for (size_t c = 0; c < ncols; ++c) {
+    if (out->columns_[c].type == TypeId::kString) {
+      interned += static_cast<int64_t>(dicts[c]->size());
+      out->columns_[c].dict = std::move(dicts[c]);
+    }
+  }
+  out->Finish();
+  // One row->column conversion; interning is the only Value-level hashing
+  // the vectorized engine ever pays for strings (once per distinct string,
+  // amortized across every kernel that reuses the cached table).
+  WUW_METRIC_ADD("engine.vec.conversions", obs::MetricClass::kEngine, 1);
+  WUW_METRIC_ADD("engine.vec.value_hashes", obs::MetricClass::kEngine,
+                 interned);
+  return out;
+}
+
+void ColumnTable::AppendRow(const Tuple& tuple, int64_t m) {
+  WUW_CHECK(tuple.size() == columns_.size(), "arity mismatch in AppendRow");
+  const size_t row = mult_.size();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ColumnVec& col = columns_[c];
+    const Value& v = tuple.value(c);
+    const bool null = v.is_null();
+    WUW_CHECK(null || v.type() == col.type, "cell type mismatch in AppendRow");
+    switch (col.type) {
+      case TypeId::kInt64:
+      case TypeId::kDate:
+      case TypeId::kNull:
+        col.ints.push_back(
+            null ? 0 : (col.type == TypeId::kDate ? v.AsDate() : v.AsInt64()));
+        break;
+      case TypeId::kDouble:
+        col.dbls.push_back(null ? 0.0 : v.AsDouble());
+        break;
+      case TypeId::kString: {
+        if (col.dict == nullptr) col.dict = std::make_shared<StringDict>();
+        // The dict is shared read-only once a table is finished; appends
+        // only ever happen while the table is still privately owned.
+        auto* dict = const_cast<StringDict*>(col.dict.get());
+        col.codes.push_back(null ? kNullStringCode : dict->Intern(v.AsString()));
+        break;
+      }
+    }
+    if (null && col.type != TypeId::kString) {
+      if (col.nulls.empty()) col.nulls.resize(row, 0);
+      col.nulls.push_back(1);
+    } else if (!col.nulls.empty() && col.type != TypeId::kString) {
+      col.nulls.push_back(0);
+    }
+  }
+  mult_.push_back(m);
+}
+
+void ColumnTable::Finish() {
+  const size_t n = mult_.size();
+  abs_prefix_.assign(n + 1, 0);
+  signed_prefix_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    abs_prefix_[i + 1] = abs_prefix_[i] + std::llabs(mult_[i]);
+    signed_prefix_[i + 1] = signed_prefix_[i] + mult_[i];
+  }
+}
+
+Tuple ColumnTable::TupleAt(size_t i) const {
+  std::vector<Value> values;
+  values.reserve(columns_.size());
+  for (const ColumnVec& col : columns_) values.push_back(col.ValueAt(i));
+  return Tuple(std::move(values));
+}
+
+ColumnMinMax ColumnTable::Stats(size_t c) const {
+  const ColumnVec& col = columns_[c];
+  ColumnMinMax out;
+  const size_t n = num_rows();
+  switch (col.type) {
+    case TypeId::kInt64:
+    case TypeId::kDate: {
+      int64_t lo = 0, hi = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (col.IsNull(i)) continue;
+        int64_t v = col.ints[i];
+        if (!out.has_values || v < lo) lo = v;
+        if (!out.has_values || v > hi) hi = v;
+        out.has_values = true;
+      }
+      if (out.has_values) {
+        out.min = col.type == TypeId::kDate ? Value::Date(lo) : Value::Int64(lo);
+        out.max = col.type == TypeId::kDate ? Value::Date(hi) : Value::Int64(hi);
+      }
+      break;
+    }
+    case TypeId::kDouble: {
+      double lo = 0, hi = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (col.IsNull(i)) continue;
+        double v = col.dbls[i];
+        if (!out.has_values || v < lo) lo = v;
+        if (!out.has_values || v > hi) hi = v;
+        out.has_values = true;
+      }
+      if (out.has_values) {
+        out.min = Value::Double(lo);
+        out.max = Value::Double(hi);
+      }
+      break;
+    }
+    case TypeId::kString: {
+      uint32_t lo = 0, hi = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t code = col.codes[i];
+        if (code == kNullStringCode) continue;
+        if (!out.has_values || col.dict->At(code) < col.dict->At(lo)) lo = code;
+        if (!out.has_values || col.dict->At(hi) < col.dict->At(code)) hi = code;
+        out.has_values = true;
+      }
+      if (out.has_values) {
+        out.min = Value::String(col.dict->At(lo));
+        out.max = Value::String(col.dict->At(hi));
+      }
+      break;
+    }
+    case TypeId::kNull:
+      break;
+  }
+  return out;
+}
+
+size_t ColumnTable::ApproxBytes() const {
+  size_t bytes = mult_.capacity() * sizeof(int64_t) +
+                 abs_prefix_.capacity() * sizeof(int64_t) +
+                 signed_prefix_.capacity() * sizeof(int64_t);
+  for (const ColumnVec& col : columns_) {
+    bytes += col.ints.capacity() * sizeof(int64_t) +
+             col.dbls.capacity() * sizeof(double) +
+             col.codes.capacity() * sizeof(uint32_t) +
+             col.nulls.capacity();
+    if (col.dict != nullptr) bytes += col.dict->ApproxBytes();
+  }
+  return bytes;
+}
+
+}  // namespace wuw

@@ -1,0 +1,158 @@
+// Column-major relation storage: the batch engine's representation.
+//
+// A ColumnTable holds one dense typed array per schema column (int64/date
+// columns as raw int64, doubles as raw double, strings dictionary-encoded
+// as uint32 codes into an interned StringDict) plus a signed multiplicity
+// column.  The vectorized kernels (algebra/vectorized.h) consume and
+// produce this layout batch-at-a-time (algebra/row_batch.h), touching raw
+// arrays in tight typed loops instead of per-row Value variant dispatch.
+//
+// The row-major surfaces stay authoritative: Table remains the
+// install/merge API and Rows the operator-edge type; a ColumnTable is the
+// engine-internal mirror of either, and conversions are exact — every cell
+// round-trips with its original TypeId, so SortedRows / ContentsEqual /
+// golden output comparisons cannot tell the representations apart.  Rows
+// whose cells violate their declared column type (legal for the row
+// engine, which never checks) refuse to convert (FromRows returns null)
+// and simply stay on the row-at-a-time path.
+#ifndef WUW_STORAGE_COLUMN_TABLE_H_
+#define WUW_STORAGE_COLUMN_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace wuw {
+
+/// Code reserved for NULL cells of string columns.
+inline constexpr uint32_t kNullStringCode = UINT32_MAX;
+
+/// An interned string pool shared by dictionary-encoded columns.  Each
+/// distinct string gets a dense code in first-occurrence order and a
+/// precomputed hash, so per-row work on a string column is one array
+/// lookup regardless of string length.  Interning happens single-threaded
+/// at conversion time; after that the dict is read-only and safe to share
+/// across kernel workers via shared_ptr.
+class StringDict {
+ public:
+  /// Code of `s`, interning it on first sight.
+  uint32_t Intern(const std::string& s);
+
+  /// Code of `s` if already interned, else kNullStringCode.
+  uint32_t Find(const std::string& s) const;
+
+  const std::string& At(uint32_t code) const { return strings_[code]; }
+  /// Precomputed hash of the string behind `code` (internal engine hash;
+  /// deliberately not Value::Hash — see vectorized.h on why kernels may
+  /// hash differently without changing any output).
+  uint64_t HashOf(uint32_t code) const { return hashes_[code]; }
+  size_t size() const { return strings_.size(); }
+  size_t ApproxBytes() const;
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<uint64_t> hashes_;
+  std::unordered_map<std::string, uint32_t> lookup_;
+};
+
+/// One column's dense cell storage.  Exactly one payload vector is active,
+/// selected by the declared type; `nulls` marks NULL cells of numeric
+/// columns (empty vector = no nulls; string columns encode NULL as
+/// kNullStringCode instead).
+struct ColumnVec {
+  TypeId type = TypeId::kNull;
+  /// kInt64 / kDate payload (dates keep their yyyymmdd int64 ordinal).
+  std::vector<int64_t> ints;
+  /// kDouble payload.
+  std::vector<double> dbls;
+  /// kString payload: dictionary codes (kNullStringCode = NULL).
+  std::vector<uint32_t> codes;
+  std::shared_ptr<const StringDict> dict;
+  /// Numeric NULL mask; empty means "no null cells".  Also used by kNull
+  /// columns (every cell null).
+  std::vector<uint8_t> nulls;
+
+  size_t size() const;
+  bool IsNull(size_t i) const {
+    if (type == TypeId::kString) return codes[i] == kNullStringCode;
+    return !nulls.empty() && nulls[i] != 0;
+  }
+  /// Materializes cell `i` with its exact original TypeId.
+  Value ValueAt(size_t i) const;
+};
+
+/// Per-column min/max over non-null cells (the stats the round-trip
+/// property suite checks against a row-order recompute).
+struct ColumnMinMax {
+  bool has_values = false;  // false when every cell is NULL (or no rows)
+  Value min;
+  Value max;
+};
+
+/// A column-major signed multiset: schema, one ColumnVec per column, and a
+/// parallel signed multiplicity vector.  Prefix sums over |mult| and mult
+/// (built by Finish()) give every RowBatch its running abs/signed
+/// cardinality in O(1).
+class ColumnTable {
+ public:
+  ColumnTable() = default;
+  explicit ColumnTable(Schema schema);
+
+  /// Exact columnar image of (schema, rows); null if any cell's type
+  /// disagrees with its declared column (the row engine tolerates such
+  /// rows, the typed arrays cannot represent them losslessly).
+  static std::shared_ptr<const ColumnTable> FromRows(
+      const Schema& schema,
+      const std::vector<std::pair<Tuple, int64_t>>& rows);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return mult_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnVec& column(size_t c) const { return columns_[c]; }
+  ColumnVec* mutable_column(size_t c) { return &columns_[c]; }
+  const std::vector<int64_t>& mult() const { return mult_; }
+  std::vector<int64_t>* mutable_mult() { return &mult_; }
+
+  /// Appends one row-major row; aborts on a type-violating cell (builders
+  /// that cannot prove their cells use FromRows, which bails instead).
+  void AppendRow(const Tuple& tuple, int64_t m);
+
+  /// Recomputes the abs/signed prefix sums after any bulk mutation of
+  /// mult_.  Every constructor of a finished table must call this once.
+  void Finish();
+
+  /// Sum of |mult| over rows [begin, end) — O(1) after Finish().
+  int64_t AbsCardBetween(size_t begin, size_t end) const {
+    return abs_prefix_[end] - abs_prefix_[begin];
+  }
+  /// Sum of mult over rows [begin, end) — O(1) after Finish().
+  int64_t SignedCardBetween(size_t begin, size_t end) const {
+    return signed_prefix_[end] - signed_prefix_[begin];
+  }
+
+  /// Materializes row `i` (exact cell types).
+  Tuple TupleAt(size_t i) const;
+
+  /// Min/max of column `c` over non-null cells.
+  ColumnMinMax Stats(size_t c) const;
+
+  size_t ApproxBytes() const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnVec> columns_;
+  std::vector<int64_t> mult_;
+  /// abs_prefix_[i] = sum of |mult_[0..i)|; size num_rows()+1.
+  std::vector<int64_t> abs_prefix_;
+  std::vector<int64_t> signed_prefix_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_STORAGE_COLUMN_TABLE_H_

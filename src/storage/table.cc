@@ -1,29 +1,158 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/check.h"
+#include "storage/column_table.h"
 
 namespace wuw {
 
+/// Lazily-filled columnar snapshot, shared between copies of a Table (a
+/// copy sees the same rows until one side mutates, at which point that side
+/// detaches to a fresh cache).
+struct Table::SnapshotCache {
+  std::mutex mu;
+  std::shared_ptr<const ColumnTable> table;
+  bool built = false;  // distinguishes "not built" from "built, failed"
+};
+
+Table::Table() : snapshot_(std::make_shared<SnapshotCache>()) {}
+
+Table::Table(Schema schema)
+    : schema_(std::move(schema)), snapshot_(std::make_shared<SnapshotCache>()) {}
+
+Table::~Table() = default;
+
+Table::Table(const Table& other)
+    : schema_(other.schema_),
+      rows_(other.rows_),
+      slots_(other.slots_),
+      slots_used_(other.slots_used_),
+      cardinality_(other.cardinality_),
+      snapshot_(other.snapshot_),
+      snapshot_stale_(other.snapshot_stale_) {}
+
+Table::Table(Table&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      rows_(std::move(other.rows_)),
+      slots_(std::move(other.slots_)),
+      slots_used_(other.slots_used_),
+      cardinality_(other.cardinality_),
+      snapshot_(std::move(other.snapshot_)),
+      snapshot_stale_(other.snapshot_stale_) {
+  other.slots_used_ = 0;
+  other.cardinality_ = 0;
+  other.snapshot_ = std::make_shared<SnapshotCache>();
+  other.snapshot_stale_ = false;
+}
+
+Table& Table::operator=(const Table& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  rows_ = other.rows_;
+  slots_ = other.slots_;
+  slots_used_ = other.slots_used_;
+  cardinality_ = other.cardinality_;
+  snapshot_ = other.snapshot_;
+  snapshot_stale_ = other.snapshot_stale_;
+  return *this;
+}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  rows_ = std::move(other.rows_);
+  slots_ = std::move(other.slots_);
+  slots_used_ = other.slots_used_;
+  cardinality_ = other.cardinality_;
+  snapshot_ = std::move(other.snapshot_);
+  snapshot_stale_ = other.snapshot_stale_;
+  other.slots_used_ = 0;
+  other.cardinality_ = 0;
+  other.snapshot_ = std::make_shared<SnapshotCache>();
+  other.snapshot_stale_ = false;
+  return *this;
+}
+
 size_t Table::FindPosition(const Tuple& tuple, size_t hash) const {
-  auto it = index_.find(hash);
-  if (it == index_.end()) return SIZE_MAX;
-  for (uint32_t pos : it->second) {
-    if (rows_[pos].first == tuple) return pos;
+  if (slots_.empty()) return SIZE_MAX;
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    const IndexSlot& slot = slots_[i];
+    if (slot.pos == kIndexEmpty) return SIZE_MAX;
+    if (slot.pos != kIndexTombstone && slot.hash == hash &&
+        rows_[slot.pos].first == tuple) {
+      return slot.pos;
+    }
   }
-  return SIZE_MAX;
+}
+
+void Table::IndexRehash(size_t new_capacity) {
+  std::vector<IndexSlot> old = std::move(slots_);
+  slots_.assign(new_capacity, IndexSlot{0, kIndexEmpty});
+  slots_used_ = 0;
+  const size_t mask = new_capacity - 1;
+  for (const IndexSlot& slot : old) {
+    if (slot.pos == kIndexEmpty || slot.pos == kIndexTombstone) continue;
+    size_t i = slot.hash & mask;
+    while (slots_[i].pos != kIndexEmpty) i = (i + 1) & mask;
+    slots_[i] = slot;
+    ++slots_used_;
+  }
+}
+
+void Table::IndexInsert(size_t hash, uint32_t pos) {
+  // Grow at 70% occupancy (live + tombstones) so probes stay short;
+  // rehashing also purges tombstones.
+  if (slots_.empty()) {
+    slots_.assign(16, IndexSlot{0, kIndexEmpty});
+  } else if ((slots_used_ + 1) * 10 > slots_.size() * 7) {
+    IndexRehash(slots_.size() * 2);
+  }
+  const size_t mask = slots_.size() - 1;
+  size_t i = hash & mask;
+  while (slots_[i].pos != kIndexEmpty && slots_[i].pos != kIndexTombstone) {
+    i = (i + 1) & mask;
+  }
+  if (slots_[i].pos == kIndexEmpty) ++slots_used_;
+  slots_[i] = IndexSlot{hash, pos};
+}
+
+void Table::IndexErase(size_t hash, uint32_t pos) {
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    IndexSlot& slot = slots_[i];
+    WUW_CHECK(slot.pos != kIndexEmpty, "erasing an unindexed row");
+    if (slot.pos == pos && slot.hash == hash) {
+      slot.pos = kIndexTombstone;
+      return;
+    }
+  }
+}
+
+void Table::IndexRepoint(size_t hash, uint32_t old_pos, uint32_t new_pos) {
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    IndexSlot& slot = slots_[i];
+    WUW_CHECK(slot.pos != kIndexEmpty, "repointing an unindexed row");
+    if (slot.pos == old_pos && slot.hash == hash) {
+      slot.pos = new_pos;
+      return;
+    }
+  }
 }
 
 int64_t Table::Add(const Tuple& tuple, int64_t count) {
   if (count == 0) return Count(tuple);
   size_t hash = tuple.Hash();
   size_t pos = FindPosition(tuple, hash);
+  snapshot_stale_ = true;
 
   if (pos == SIZE_MAX) {
     if (count <= 0) return 0;  // clamp: deleting an absent tuple is a no-op
-    WUW_CHECK(rows_.size() < UINT32_MAX, "table too large for row index");
-    index_[hash].push_back(static_cast<uint32_t>(rows_.size()));
+    WUW_CHECK(rows_.size() < kIndexTombstone, "table too large for row index");
+    IndexInsert(hash, static_cast<uint32_t>(rows_.size()));
     rows_.emplace_back(tuple, count);
     cardinality_ += count;
     return count;
@@ -39,33 +168,16 @@ int64_t Table::Add(const Tuple& tuple, int64_t count) {
   // Remove the row: swap-with-last keeps rows_ dense.
   cardinality_ -= rows_[pos].second;
   size_t last = rows_.size() - 1;
+  // Drop the erased tuple's slot first: if the moved row shares (hash,
+  // last) aliasing never arises because positions are unique.
+  IndexErase(hash, static_cast<uint32_t>(pos));
   if (pos != last) {
     size_t moved_hash = rows_[last].first.Hash();
     rows_[pos] = std::move(rows_[last]);
-    // Repoint the moved row's index entry.
-    auto& positions = index_[moved_hash];
-    for (uint32_t& p : positions) {
-      if (p == static_cast<uint32_t>(last)) {
-        p = static_cast<uint32_t>(pos);
-        break;
-      }
-    }
+    IndexRepoint(moved_hash, static_cast<uint32_t>(last),
+                 static_cast<uint32_t>(pos));
   }
   rows_.pop_back();
-  // Drop the erased tuple's index entry: exactly one stale entry with
-  // value `pos` remains in its bucket (if the moved row shares the bucket,
-  // both entries read `pos` and removing either leaves the moved row's
-  // single valid entry).
-  auto it = index_.find(hash);
-  auto& positions = it->second;
-  for (size_t i = 0; i < positions.size(); ++i) {
-    if (positions[i] == static_cast<uint32_t>(pos)) {
-      positions[i] = positions.back();
-      positions.pop_back();
-      break;
-    }
-  }
-  if (positions.empty()) index_.erase(it);
   return 0;
 }
 
@@ -88,8 +200,10 @@ std::vector<std::pair<Tuple, int64_t>> Table::SortedRows() const {
 
 void Table::Clear() {
   rows_.clear();
-  index_.clear();
+  slots_.clear();
+  slots_used_ = 0;
   cardinality_ = 0;
+  snapshot_stale_ = true;
 }
 
 bool Table::ContentsEqual(const Table& other) const {
@@ -99,6 +213,23 @@ bool Table::ContentsEqual(const Table& other) const {
     if (other.Count(tuple) != count) return false;
   }
   return true;
+}
+
+std::shared_ptr<const ColumnTable> Table::ColumnarSnapshot() const {
+  if (snapshot_stale_) {
+    snapshot_ = std::make_shared<SnapshotCache>();
+    const_cast<Table*>(this)->snapshot_stale_ = false;
+  }
+  std::lock_guard<std::mutex> lock(snapshot_->mu);
+  if (!snapshot_->built) {
+    snapshot_->table = ColumnTable::FromRows(schema_, rows_);
+    snapshot_->built = true;
+  }
+  return snapshot_->table;
+}
+
+size_t Table::IndexBytes() const {
+  return slots_.capacity() * sizeof(IndexSlot);
 }
 
 std::string Table::ToString(size_t max_rows) const {

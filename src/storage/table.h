@@ -9,16 +9,22 @@
 //
 // Storage layout matters here: rows live in a dense vector (scans cost
 // exactly the live rows, like a compacted heap file) with a hash index of
-// tuple-hash -> positions for O(1) point updates.  Deleting rows genuinely
+// tuple-hash -> position for O(1) point updates.  Deleting rows genuinely
 // makes later scans cheaper — the physical effect the paper's view
 // orderings exploit ("install shrinking views early").
+//
+// The index is a flat open-addressing table (linear probing, tombstoned
+// deletes): one inline {hash, position} slot per live row, no per-hash heap
+// vectors.  Distinct tuples that collide on their full hash simply occupy
+// neighboring slots.  Rehashing reuses the stored hashes, so growth never
+// re-hashes tuples.
 #ifndef WUW_STORAGE_TABLE_H_
 #define WUW_STORAGE_TABLE_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -27,11 +33,18 @@
 
 namespace wuw {
 
+class ColumnTable;
+
 /// A multiset relation instance.
 class Table {
  public:
-  Table() = default;
-  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table();
+  explicit Table(Schema schema);
+  Table(const Table& other);
+  Table(Table&& other) noexcept;
+  Table& operator=(const Table& other);
+  Table& operator=(Table&& other) noexcept;
+  ~Table();
 
   const Schema& schema() const { return schema_; }
 
@@ -72,18 +85,57 @@ class Table {
   /// Multiset equality.
   bool ContentsEqual(const Table& other) const;
 
+  /// Columnar mirror of dense_rows(), built lazily on first request
+  /// (thread-safe) and cached until the next mutation; shared with copies.
+  /// Null when any cell violates its declared column type — consumers then
+  /// stay on the row-at-a-time path (see storage/column_table.h).
+  std::shared_ptr<const ColumnTable> ColumnarSnapshot() const;
+
+  /// Heap bytes held by the hash index (the micro_engine memory line).
+  size_t IndexBytes() const;
+
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  /// Slot position markers.  Row positions must stay below kIndexTombstone.
+  static constexpr uint32_t kIndexEmpty = UINT32_MAX;
+  static constexpr uint32_t kIndexTombstone = UINT32_MAX - 1;
+
+  /// One open-addressing slot: the row's full tuple hash (for probe
+  /// skipping and rehashing without touching tuples) and its position in
+  /// rows_.
+  struct IndexSlot {
+    size_t hash;
+    uint32_t pos;
+  };
+
   /// Position of `tuple` in rows_, or SIZE_MAX.
   size_t FindPosition(const Tuple& tuple, size_t hash) const;
+
+  /// Places (hash, pos) in the first free slot, growing first if needed.
+  void IndexInsert(size_t hash, uint32_t pos);
+  /// Tombstones the slot holding exactly (hash, pos).
+  void IndexErase(size_t hash, uint32_t pos);
+  /// Redirects the slot holding (hash, old_pos) to new_pos.
+  void IndexRepoint(size_t hash, uint32_t old_pos, uint32_t new_pos);
+  /// Rebuilds slots_ at `new_capacity` (a power of two) from live slots.
+  void IndexRehash(size_t new_capacity);
+
+  struct SnapshotCache;
 
   Schema schema_;
   /// Dense live rows: (tuple, multiplicity > 0).
   std::vector<std::pair<Tuple, int64_t>> rows_;
-  /// tuple hash -> positions in rows_ (rarely more than one).
-  std::unordered_map<size_t, std::vector<uint32_t>> index_;
+  /// Flat open-addressing index over rows_; empty vector until first Add.
+  std::vector<IndexSlot> slots_;
+  /// Live + tombstoned slots (the probe-length load factor).
+  size_t slots_used_ = 0;
   int64_t cardinality_ = 0;
+  /// Lazily-built columnar snapshot; see ColumnarSnapshot().
+  mutable std::shared_ptr<SnapshotCache> snapshot_;
+  /// Set by mutations; the next ColumnarSnapshot() starts a fresh cache so
+  /// copies sharing the old one keep theirs.
+  bool snapshot_stale_ = false;
 };
 
 }  // namespace wuw
