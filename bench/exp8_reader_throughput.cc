@@ -1,0 +1,149 @@
+// Experiment 8 (repro extension, not in the paper): reader throughput
+// under maintenance.  The paper shrinks the update window so the
+// warehouse is offline for less time; the snapshot-read layer removes the
+// offline assumption entirely.  This bench quantifies both halves of that
+// claim on the TPC-D Q3 fixture:
+//
+//   * BM_ReaderSessionsQuiesced   — session throughput with no window
+//     running: the ceiling.
+//   * BM_ReaderSessionsDuringMaintenance — session throughput while a
+//     full dual-stage update window installs underneath the readers.
+//     The ratio to the ceiling is the serving cost of a live window.
+//   * BM_UpdateWindowQuiesced / BM_UpdateWindowWithReaders — the same
+//     window timed alone and with a ReadDriver hammering snapshots: the
+//     inflation readers impose on the window the paper wants short.
+//
+// Every measured session verifies isolation (no torn fingerprints, no
+// epoch regressions) and the bench aborts on any violation, so the
+// numbers are only reported for correct executions.  CI publishes the
+// gbench JSON as BENCH_readers.json.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/check.h"
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "parallel/read_driver.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_schema.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+tpcd::GeneratorOptions Options() {
+  tpcd::GeneratorOptions o;
+  o.scale_factor = 0.002;
+  o.seed = 42;
+  return o;
+}
+
+/// An armed Q3 warehouse with a pending deletion batch, cloned per run
+/// (clones of an armed warehouse republish their own state).
+const Warehouse& BatchedWarehouse() {
+  static Warehouse* w = [] {
+    auto* wh = new Warehouse(tpcd::MakeTpcdWarehouse(Options(), {"Q3"}));
+    wh->EnableSnapshotReads();
+    for (const std::string& base : wh->vdag().BaseViews()) {
+      wh->SetBaseDelta(base,
+                       tpcd::MakeDeletionDelta(
+                           *wh->catalog().MustGetTable(base), 0.05, 7));
+    }
+    return wh;
+  }();
+  return *w;
+}
+
+ReadSessionOptions SessionOptions() {
+  ReadSessionOptions options;
+  options.sessions = 64;
+  options.scans_per_session = 2;
+  options.fingerprint_rows = 256;
+  return options;
+}
+
+void CheckReport(const ReadSessionReport& report) {
+  WUW_CHECK(report.ok(), "reader sessions observed an isolation violation");
+}
+
+// Ceiling: 64-session batches against a quiesced armed warehouse.
+void BM_ReaderSessionsQuiesced(benchmark::State& state) {
+  const Warehouse& w = BatchedWarehouse();
+  const ReadSessionOptions options = SessionOptions();
+  int64_t sessions = 0;
+  for (auto _ : state) {
+    ReadSessionReport report = RunReadSessions(w, options);
+    CheckReport(report);
+    sessions += report.sessions;
+  }
+  state.SetItemsProcessed(sessions);
+}
+BENCHMARK(BM_ReaderSessionsQuiesced)->Unit(benchmark::kMillisecond);
+
+// Zero-downtime reads: the same session batches while a full dual-stage
+// update window executes on a clone underneath them.  Sessions that land
+// before the commit pin the pre-window state, sessions after it pin the
+// post-window state; none block, none fail.
+void BM_ReaderSessionsDuringMaintenance(benchmark::State& state) {
+  int64_t sessions = 0;
+  const ReadSessionOptions options = SessionOptions();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Warehouse clone = BatchedWarehouse().Clone();
+    const Strategy strategy = MakeDualStageVdagStrategy(clone.vdag());
+    state.ResumeTiming();
+    std::atomic<bool> done{false};
+    std::thread window([&] {
+      Executor(&clone).Execute(strategy);
+      done.store(true, std::memory_order_release);
+    });
+    ReadSessionReport report;
+    do {  // keep batches overlapping the window until it commits
+      report += RunReadSessions(clone, options);
+    } while (!done.load(std::memory_order_acquire));
+    window.join();
+    CheckReport(report);
+    sessions += report.sessions;
+  }
+  state.SetItemsProcessed(sessions);
+}
+BENCHMARK(BM_ReaderSessionsDuringMaintenance)->Unit(benchmark::kMillisecond);
+
+// The update window alone: the quantity the paper minimizes.
+void BM_UpdateWindowQuiesced(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Warehouse clone = BatchedWarehouse().Clone();
+    const Strategy strategy = MakeDualStageVdagStrategy(clone.vdag());
+    state.ResumeTiming();
+    Executor(&clone).Execute(strategy);
+  }
+}
+BENCHMARK(BM_UpdateWindowQuiesced)->Unit(benchmark::kMillisecond);
+
+// The update window with a ReadDriver continuously pinning snapshots and
+// fingerprint-scanning them: how much serving live readers inflates the
+// window.  COW detaches move from "free" to "one clone per extent".
+void BM_UpdateWindowWithReaders(benchmark::State& state) {
+  const ReadSessionOptions options = SessionOptions();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Warehouse clone = BatchedWarehouse().Clone();
+    const Strategy strategy = MakeDualStageVdagStrategy(clone.vdag());
+    ReadDriver driver;
+    driver.Start(clone, options);
+    state.ResumeTiming();
+    Executor(&clone).Execute(strategy);
+    state.PauseTiming();
+    CheckReport(driver.Stop());
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_UpdateWindowWithReaders)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wuw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Micro-benchmarks for the snapshot-read layer (storage/read_snapshot.h,
+// exec/warehouse.cc publish path), fault-point style (see micro_fault.cc,
+// micro_obs.cc, micro_window.cc): the acceptance criterion is that a
+// DISARMED OpenSnapshot — the state every warehouse runs in when
+// WUW_READERS is unset and EnableSnapshotReads() was never called — costs
+// a few ns (one disarmed metric load + a pointer/epoch copy), and that an
+// ARMED open is one copy of the published shared_ptr under a mutex held
+// for just that copy, with no allocation.  The publish and copy-on-write
+// detach paths — paid
+// once per commit / once per first-write-after-publish, never per read —
+// are measured alongside so regressions in the expensive-but-rare half of
+// the seam are visible too.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "parallel/read_driver.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_schema.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+tpcd::GeneratorOptions Options() {
+  tpcd::GeneratorOptions o;
+  o.scale_factor = 0.002;
+  o.seed = 42;
+  return o;
+}
+
+/// A quiesced Q3 warehouse that never arms snapshots: the zero-cost
+/// baseline configuration.
+Warehouse& DisarmedWarehouse() {
+  static Warehouse* w =
+      new Warehouse(tpcd::MakeTpcdWarehouse(Options(), {"Q3"}));
+  return *w;
+}
+
+/// The same fixture with snapshot reads armed and one state published.
+Warehouse& ArmedWarehouse() {
+  static Warehouse* w = [] {
+    auto* wh = new Warehouse(tpcd::MakeTpcdWarehouse(Options(), {"Q3"}));
+    wh->EnableSnapshotReads();
+    return wh;
+  }();
+  return *w;
+}
+
+// The disarmed open: live fallback handle (catalog pointer + epoch).  This
+// is what tier-1 and every paper bench pay when WUW_READERS is unset — it
+// must stay within a few ns of a no-op.
+void BM_OpenSnapshotDisarmed(benchmark::State& state) {
+  const Warehouse& w = DisarmedWarehouse();
+  for (auto _ : state) {
+    ReadSnapshot snapshot = w.OpenSnapshot();
+    benchmark::DoNotOptimize(&snapshot);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpenSnapshotDisarmed);
+
+// The armed open: one locked copy of the published state, refcount bump.
+// This is the per-session coordination cost readers pay while
+// maintenance runs — the paper's "zero-downtime" claim in ns.
+void BM_OpenSnapshotArmed(benchmark::State& state) {
+  const Warehouse& w = ArmedWarehouse();
+  for (auto _ : state) {
+    ReadSnapshot snapshot = w.OpenSnapshot();
+    benchmark::DoNotOptimize(&snapshot);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpenSnapshotArmed);
+
+// A full publish: snapshot-state rebuild (name/table vector copy, no row
+// copies) + release store.  Paid once per committed window, never by
+// readers.
+void BM_PublishSnapshot(benchmark::State& state) {
+  Warehouse& w = ArmedWarehouse();
+  for (auto _ : state) {
+    w.EnableSnapshotReads();  // idempotent arm + republish of current state
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PublishSnapshot);
+
+// First write after a publish: the copy-on-write detach clones the extent
+// so the pinned snapshot stays frozen.  Paid once per (extent, window) —
+// the dominant cost of being armed, and the one to watch against table
+// size.
+void BM_CowDetachAfterPublish(benchmark::State& state) {
+  Warehouse& w = ArmedWarehouse();
+  const std::string base = w.vdag().BaseViews().front();
+  for (auto _ : state) {
+    w.EnableSnapshotReads();  // republish: marks every extent clean
+    benchmark::DoNotOptimize(w.base_table(base));  // detaches a copy
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CowDetachAfterPublish)->Unit(benchmark::kMicrosecond);
+
+// One full reader session against a pinned snapshot (fingerprint scans,
+// no SQL): the unit of work exp8_reader_throughput drives in bulk.
+void BM_ReaderSession(benchmark::State& state) {
+  Warehouse& w = ArmedWarehouse();
+  ReadSessionOptions options;
+  options.sessions = 1;
+  options.scans_per_session = 2;
+  options.fingerprint_rows = 256;
+  for (auto _ : state) {
+    ReadSessionReport report = RunReadSessions(w, options);
+    benchmark::DoNotOptimize(&report);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReaderSession)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace wuw
+
+BENCHMARK_MAIN();

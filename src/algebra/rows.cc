@@ -145,22 +145,28 @@ Rows Rows::FromTable(const Table& table) {
   return out;
 }
 
-std::shared_ptr<const ColumnTable> Rows::Columnar() const {
+std::shared_ptr<Rows::ColumnarSlot> Rows::FreshSlot() const {
+  // Resolve staleness into a fresh slot so copies sharing the old one keep
+  // their (still valid for them) cached table; the swap is guarded so
+  // concurrent callers on a shared batch agree on one slot.
+  std::lock_guard<std::mutex> swap_lock(columnar_mu_);
   if (columnar_stale_) {
-    // Rebuild into a fresh slot so copies sharing the old one keep their
-    // (still valid for them) cached table.
     columnar_ = std::make_shared<ColumnarSlot>();
-    const_cast<Rows*>(this)->columnar_stale_ = false;
+    columnar_stale_ = false;
   }
-  std::lock_guard<std::mutex> lock(columnar_->mu);
-  if (columnar_->table != nullptr &&
-      columnar_->table->num_rows() == rows.size()) {
-    return columnar_->table;
+  return columnar_;
+}
+
+std::shared_ptr<const ColumnTable> Rows::Columnar() const {
+  std::shared_ptr<ColumnarSlot> slot = FreshSlot();
+  std::lock_guard<std::mutex> lock(slot->mu);
+  if (slot->table != nullptr && slot->table->num_rows() == rows.size()) {
+    return slot->table;
   }
-  if (columnar_->failed && columnar_->table == nullptr) return nullptr;
-  columnar_->table = ColumnTable::FromRows(schema, rows);
-  columnar_->failed = columnar_->table == nullptr;
-  return columnar_->table;
+  if (slot->failed && slot->table == nullptr) return nullptr;
+  slot->table = ColumnTable::FromRows(schema, rows);
+  slot->failed = slot->table == nullptr;
+  return slot->table;
 }
 
 void Rows::AttachColumnar(std::shared_ptr<const ColumnTable> table) const {
@@ -168,9 +174,10 @@ void Rows::AttachColumnar(std::shared_ptr<const ColumnTable> table) const {
     WUW_CHECK(table->num_rows() == rows.size(),
               "attached columnar mirror disagrees with row count");
   }
-  std::lock_guard<std::mutex> lock(columnar_->mu);
-  columnar_->table = std::move(table);
-  columnar_->failed = false;
+  std::shared_ptr<ColumnarSlot> slot = FreshSlot();
+  std::lock_guard<std::mutex> lock(slot->mu);
+  slot->table = std::move(table);
+  slot->failed = false;
 }
 
 }  // namespace wuw

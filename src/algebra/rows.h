@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -86,6 +87,11 @@ struct Rows {
   /// Shared lazily-filled columnar cache; see rows.cc.
   struct ColumnarSlot;
 
+  /// Resolves columnar_stale_ (detaching a fresh slot) and returns the
+  /// current slot, all under columnar_mu_ — the one place the slot pointer
+  /// is swapped or read.
+  std::shared_ptr<ColumnarSlot> FreshSlot() const;
+
   void BumpCards(int64_t count) {
     int64_t s = signed_card_.load(std::memory_order_relaxed);
     if (s != kCardUnset) {
@@ -98,10 +104,19 @@ struct Rows {
   }
 
   static constexpr int64_t kCardUnset = INT64_MIN;
+  /// Guards columnar_/columnar_stale_ so concurrent Columnar() callers on
+  /// a shared batch (term workers over a cached subplan result, snapshot
+  /// readers) never race on the lazy slot detach.  Held for one pointer
+  /// swap/copy only; the slot's own mutex serializes the build.  Not
+  /// copied by the copy/move members (each Rows owns its mutex).
+  mutable std::mutex columnar_mu_;
   mutable std::shared_ptr<ColumnarSlot> columnar_;
   /// Set when rows changed after the slot was (possibly) filled; Columnar()
   /// rebuilds into a fresh slot so copies sharing the old one stay valid.
-  bool columnar_stale_ = false;
+  /// Written without columnar_mu_ only from BumpCards, which is legal only
+  /// while the batch is still uniquely owned (mutation during concurrent
+  /// reads would already race on the rows vector itself).
+  mutable bool columnar_stale_ = false;
   mutable std::atomic<int64_t> signed_card_{kCardUnset};
   mutable std::atomic<int64_t> abs_card_{kCardUnset};
 };

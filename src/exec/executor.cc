@@ -10,6 +10,7 @@
 #include "fault/fault_injection.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/read_driver.h"
 #include "parallel/thread_pool.h"
 #include "view/comp_term.h"
 
@@ -118,7 +119,10 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
       journal->Record(std::move(entry));
     }
   } else {
-    Table* table = warehouse->catalog().MustGetTable(e.view);
+    // MutableExtent, not MustGetTable: with snapshot reads armed the first
+    // install after a publish detaches a private copy, so pinned readers
+    // keep the pre-window extent.
+    Table* table = warehouse->MutableExtent(e.view);
     const DeltaRelation* delta;
     if (vdag.IsBaseView(e.view)) {
       delta = &warehouse->base_delta(e.view);
@@ -212,6 +216,10 @@ ExecutionReport Executor::Execute(const Strategy& strategy) {
 
   obs::TraceSpan strategy_span("exec", "strategy");
   WUW_METRIC_ADD("exec.strategies", obs::MetricClass::kWork, 1);
+  // WUW_READERS: concurrent snapshot probes ride along for the whole run
+  // (pauses and installs included), verifying readers only ever see the
+  // last committed state.  Unset = empty scope.
+  ReaderProbeScope reader_probes(warehouse_);
   ExecutionReport report;
   ThreadPool* pool =
       options_.pool != nullptr ? options_.pool : &ThreadPool::Global();

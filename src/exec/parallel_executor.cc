@@ -6,6 +6,7 @@
 #include "fault/fault_injection.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/read_driver.h"
 #include "parallel/thread_pool.h"
 #include "view/comp_term.h"
 
@@ -32,6 +33,8 @@ ParallelExecutionReport ParallelExecutor::Execute(
     const ParallelStrategy& strategy) {
   obs::TraceSpan strategy_span("exec", "parallel-strategy");
   WUW_METRIC_ADD("exec.strategies", obs::MetricClass::kWork, 1);
+  // WUW_READERS: snapshot probes race the stage workers (see read_driver).
+  ReaderProbeScope reader_probes(warehouse_);
   ParallelExecutionReport report;
   ThreadPool* pool =
       options_.pool != nullptr ? options_.pool : &ThreadPool::Global();
@@ -64,6 +67,16 @@ ParallelExecutionReport ParallelExecutor::Execute(
     WUW_METRIC_ADD("exec.steps", obs::MetricClass::kWork,
                    static_cast<int64_t>(stage.size()));
     double stage_start = Now();
+    // COW-detach the stage's install targets BEFORE fanning out: a detach
+    // swaps the catalog's shared_ptr slot, and a worker doing that would
+    // race with sibling workers' catalog reads (source scans, stats).  On
+    // this thread it is ordered before every task.  Same detach set and
+    // kWork `warehouse.cow_detaches` count as detaching lazily inside
+    // ExecuteExpression — every Inst target installs exactly once per
+    // stage and MutableExtent is idempotent per publish.
+    for (const Expression& e : stage) {
+      if (e.is_inst()) warehouse_->MutableExtent(e.view);
+    }
     std::vector<ExpressionReport> stage_reports(stage.size());
     // Expressions are claimed from the shared pool (up to options_.workers
     // slots), so stage-level, term-level, and morsel-level parallelism all

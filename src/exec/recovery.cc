@@ -8,6 +8,7 @@
 #include "fault/fault_injection.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/read_driver.h"
 #include "parallel/thread_pool.h"
 #include "view/comp_term.h"
 
@@ -26,7 +27,7 @@ void ReplayEntry(const JournalEntry& entry, Warehouse* warehouse) {
     warehouse->accumulator(e.view)->Accumulate(std::move(raw));
     return;
   }
-  Table* table = warehouse->catalog().MustGetTable(e.view);
+  Table* table = warehouse->MutableExtent(e.view);
   Install(entry.installed, table, /*stats=*/nullptr);
   warehouse->NoteExtentChanged(e.view);
   if (!warehouse->vdag().IsBaseView(e.view)) {
@@ -46,6 +47,9 @@ ResumeReport ResumeStrategy(const StrategyJournal& journal,
   WUW_CHECK(warehouse != nullptr, "ResumeStrategy needs a warehouse");
   WUW_CHECK(journal.begun(), "cannot resume: journal has no run recorded");
   obs::TraceSpan resume_span("exec", "resume-strategy");
+  // WUW_READERS: resumed windows get the same concurrent-probe coverage as
+  // first windows — readers must hold the pre-window snapshot throughout.
+  ReaderProbeScope reader_probes(warehouse);
 
   // Copy everything out of the source journal first: the caller may pass
   // warehouse->journal() itself, which re-journaling below overwrites.

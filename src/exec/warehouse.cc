@@ -1,5 +1,8 @@
 #include "exec/warehouse.h"
 
+#include <mutex>
+#include <utility>
+
 #include "common/check.h"
 #include "core/strategy_space.h"
 #include "exec/executor.h"
@@ -10,6 +13,36 @@
 #include "view/recompute.h"
 
 namespace wuw {
+
+/// Snapshot-read state, allocated only when arming (EnableSnapshotReads /
+/// WUW_READERS): the publish slot readers pin, the per-view copy-on-write
+/// bookkeeping, and the version-bump audit baseline.
+struct Warehouse::SnapshotPublisher {
+  /// Guards `published` only; held for exactly one shared_ptr copy on
+  /// either side.  A mutex, not std::atomic<shared_ptr>: libstdc++'s
+  /// _Sp_atomic is itself a lock-bit spinlock (same cost class) whose
+  /// relaxed internal unlock TSan correctly flags as a formal data race,
+  /// and the TSan-green guarantee is part of this layer's contract.
+  mutable std::mutex publish_mu;
+  /// The last committed state; readers copy the pointer under publish_mu,
+  /// commits overwrite it there.  Readers never hold the mutex while
+  /// scanning — the pinned shared_ptr outlives any later publish.
+  std::shared_ptr<const SnapshotState> published;
+  /// Monotone commit counter (SnapshotState::commit_seq source).
+  int64_t commit_seq = 0;
+  /// Per-view: true while the published state shares the live Table
+  /// object, so the first post-publish mutation must detach a copy.
+  /// Pre-populated like extent_versions_ — a stage's parallel installs
+  /// write disjoint slots without rehashing.
+  std::unordered_map<std::string, bool> clean;
+  /// (mutation_count, extent_version) per view at the last publish; the
+  /// audit cross-checks them at the next one.
+  std::unordered_map<std::string, std::pair<int64_t, int64_t>> baseline;
+};
+
+Warehouse::~Warehouse() = default;
+Warehouse::Warehouse(Warehouse&&) noexcept = default;
+Warehouse& Warehouse::operator=(Warehouse&&) noexcept = default;
 
 Warehouse::Warehouse(Vdag vdag) : vdag_(std::move(vdag)) {
   for (const std::string& name : vdag_.view_names()) {
@@ -30,13 +63,17 @@ Warehouse::Warehouse(Vdag vdag) : vdag_(std::move(vdag)) {
                     def, RawSchema(*def, resolver), vdag_.OutputSchema(name)));
     }
   }
+  // WUW_READERS arms snapshot reads on every warehouse in the process —
+  // the env-knob twin of EnableSnapshotReads(), same discipline as
+  // WUW_WINDOW_BUDGET / WUW_METRICS.
+  if (EnvReaders() > 0) EnableSnapshotReads();
 }
 
 Table* Warehouse::base_table(const std::string& name) {
   WUW_CHECK(vdag_.IsBaseView(name), ("not a base view: " + name).c_str());
   // Mutable access: assume the caller writes (initial loading does).
   NoteExtentChanged(name);
-  return catalog_.MustGetTable(name);
+  return MutableExtent(name);
 }
 
 void Warehouse::RecomputeDerived() {
@@ -44,12 +81,101 @@ void Warehouse::RecomputeDerived() {
     int64_t join_rows = 0;
     Table fresh = RecomputeView(*vdag_.definition(name), catalog_,
                                 /*stats=*/nullptr, &join_rows);
-    Table* table = catalog_.MustGetTable(name);
+    Table* table = MutableExtent(name);
     table->Clear();
     fresh.ForEach([&](const Tuple& t, int64_t c) { table->Add(t, c); });
     join_rows_[name] = join_rows;
     NoteExtentChanged(name);
   }
+  // A full rematerialization is a committed state readers may serve.
+  PublishSnapshot();
+}
+
+void Warehouse::EnableSnapshotReads() {
+  // Idempotent, but always (re)publishes: arming pins the *current*
+  // committed state even when WUW_READERS already armed at construction.
+  if (snapshots_ == nullptr) {
+    snapshots_ = std::make_unique<SnapshotPublisher>();
+    for (const std::string& name : vdag_.view_names()) {
+      snapshots_->clean.emplace(name, false);
+    }
+  }
+  PublishSnapshot();
+}
+
+ReadSnapshot Warehouse::OpenSnapshot() const {
+  WUW_METRIC_ADD("serve.snapshots_opened", obs::MetricClass::kServe, 1);
+  if (snapshots_ == nullptr) return ReadSnapshot(&catalog_, batch_epoch_);
+  std::shared_ptr<const SnapshotState> pinned;
+  {
+    std::lock_guard<std::mutex> lock(snapshots_->publish_mu);
+    pinned = snapshots_->published;
+  }
+  return ReadSnapshot(std::move(pinned));
+}
+
+void Warehouse::PublishSnapshot() {
+  if (snapshots_ == nullptr) return;
+#ifndef NDEBUG
+  {
+    std::vector<std::string> unbumped = SnapshotAuditViolations();
+    WUW_CHECK(unbumped.empty(),
+              ("extent mutated without NoteExtentChanged before publish: " +
+               unbumped.front())
+                  .c_str());
+  }
+#endif
+  auto state = std::make_shared<SnapshotState>();
+  state->commit_seq = ++snapshots_->commit_seq;
+  state->batch_epoch = batch_epoch_;
+  state->names = catalog_.table_names();
+  for (const std::string& name : state->names) {
+    std::shared_ptr<const Table> shared = catalog_.SharedTable(name);
+    snapshots_->baseline[name] = {shared->mutation_count(),
+                                  extent_version(name)};
+    state->tables.emplace(name, std::move(shared));
+    snapshots_->clean[name] = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(snapshots_->publish_mu);
+    snapshots_->published = std::move(state);
+  }
+  WUW_METRIC_ADD("serve.publishes", obs::MetricClass::kServe, 1);
+}
+
+Table* Warehouse::MutableExtent(const std::string& name) {
+  if (snapshots_ == nullptr) return catalog_.MustGetTable(name);
+  auto it = snapshots_->clean.find(name);
+  WUW_CHECK(it != snapshots_->clean.end(),
+            ("unknown view in MutableExtent: " + name).c_str());
+  if (it->second) {
+    // First mutation since the publish: detach a private copy so the
+    // published version stays frozen for its readers.  Eager-on-first-write
+    // (not refcount-probing) because a reader may pin the published state
+    // at any instant — only never-mutate-published is race-free.
+    catalog_.ReplaceTable(
+        name, std::make_shared<Table>(*catalog_.MustGetTable(name)));
+    it->second = false;
+    // kWork, not kServe: the detach is maintenance-side work, and it is
+    // deterministic (one per mutated view per publish, reader-independent
+    // because detach is eager, never refcount-driven).
+    WUW_METRIC_ADD("warehouse.cow_detaches", obs::MetricClass::kWork, 1);
+  }
+  return catalog_.MustGetTable(name);
+}
+
+std::vector<std::string> Warehouse::SnapshotAuditViolations() const {
+  std::vector<std::string> out;
+  if (snapshots_ == nullptr) return out;
+  for (const std::string& name : catalog_.table_names()) {
+    auto base = snapshots_->baseline.find(name);
+    if (base == snapshots_->baseline.end()) continue;
+    const Table* table = catalog_.GetTable(name);
+    const bool mutated = table->mutation_count() != base->second.first;
+    const bool bumped = extent_version(name) != base->second.second;
+    if (mutated && !bumped) out.push_back(name);
+  }
+  return out;
 }
 
 void Warehouse::SetBaseDelta(const std::string& name, DeltaRelation delta) {
@@ -92,6 +218,10 @@ void Warehouse::ResetBatch() {
   base_deltas_.clear();
   for (auto& [name, acc] : accumulators_) acc->Reset();
   ++batch_epoch_;
+  // Executors call ResetBatch exactly when a strategy run completes — the
+  // window's installs become visible to readers here, atomically.  Paused
+  // windows never reach this, so readers keep the pre-window snapshot.
+  PublishSnapshot();
 }
 
 SizeMap Warehouse::EstimatedSizes() const {
@@ -151,6 +281,13 @@ Warehouse Warehouse::Clone() const {
   out.join_rows_ = join_rows_;
   out.extent_versions_ = extent_versions_;
   out.batch_epoch_ = batch_epoch_;
+  if (snapshots_ != nullptr || out.snapshots_ != nullptr) {
+    // Clones of an armed warehouse serve snapshots too — and the ctor may
+    // have published the pre-Clone (empty) tables under WUW_READERS, so
+    // re-publish the real copied state either way.
+    out.EnableSnapshotReads();
+    out.PublishSnapshot();
+  }
   return out;
 }
 

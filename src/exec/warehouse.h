@@ -20,6 +20,7 @@
 #include "exec/journal.h"
 #include "graph/vdag.h"
 #include "storage/catalog.h"
+#include "storage/read_snapshot.h"
 #include "view/maintenance.h"
 
 namespace wuw {
@@ -28,9 +29,10 @@ namespace wuw {
 class Warehouse {
  public:
   explicit Warehouse(Vdag vdag);
+  ~Warehouse();
 
-  Warehouse(Warehouse&&) = default;
-  Warehouse& operator=(Warehouse&&) = default;
+  Warehouse(Warehouse&&) noexcept;
+  Warehouse& operator=(Warehouse&&) noexcept;
 
   const Vdag& vdag() const { return vdag_; }
   Catalog& catalog() { return catalog_; }
@@ -38,6 +40,50 @@ class Warehouse {
 
   /// Direct access to a base view's extent for initial loading.
   Table* base_table(const std::string& name);
+
+  /// Arms epoch-versioned snapshot reads on this warehouse and publishes
+  /// the current state as the first committed snapshot.  Armed, every
+  /// commit point (ResetBatch at strategy completion, RecomputeDerived)
+  /// publishes atomically, and mutators copy-on-write-detach published
+  /// extents first.  Idempotent; also driven by the WUW_READERS env knob
+  /// at construction.  Must be called before concurrent readers attach
+  /// (arming itself is not thread-safe — by construction it happens while
+  /// the warehouse is still single-threaded).
+  void EnableSnapshotReads();
+  bool snapshot_reads_armed() const { return snapshots_ != nullptr; }
+
+  /// Opens a consistent read handle.  Armed: one shared_ptr copy (under a
+  /// mutex held for just that copy) pinning the
+  /// last published SnapshotState — safe concurrent with any maintenance,
+  /// pause, resume, or kill; the handle never observes a half-installed
+  /// window.  Disarmed: a zero-cost live view of the catalog (the old
+  /// quiesced-reads regime).
+  ReadSnapshot OpenSnapshot() const;
+
+  /// The commit point: atomically publishes the current catalog as the
+  /// newest snapshot (no-op while disarmed).  Called from ResetBatch() —
+  /// i.e. only when a strategy RUN COMPLETES; paused windows never publish,
+  /// so readers see the pre-window state until the final resume lands —
+  /// and from RecomputeDerived()/EnableSnapshotReads().  Also the
+  /// version-bump audit point: in debug builds, a view mutated since the
+  /// last publish without a NoteExtentChanged aborts here.
+  void PublishSnapshot();
+
+  /// Mutable extent access — THE choke point every production mutation
+  /// path goes through (base_table, RecomputeDerived, Install in both
+  /// executors, recovery replay).  Armed, the first mutation of a
+  /// published extent detaches a private copy first (the published
+  /// SnapshotState keeps the old version alive for its readers); disarmed
+  /// it is exactly MustGetTable.  Callers still bump the version via
+  /// NoteExtentChanged as before.
+  Table* MutableExtent(const std::string& name);
+
+  /// Views mutated since the last publish whose extent_version was NOT
+  /// bumped — the contract violation PublishSnapshot aborts on in debug
+  /// builds.  Exposed (release-safe, non-aborting) so the regression suite
+  /// can prove the audit catches TestOnlyExtentNoVersionBump mutations on
+  /// the snapshot path.  Empty while disarmed.
+  std::vector<std::string> SnapshotAuditViolations() const;
 
   /// (Re)materializes every derived view bottom-up from the current base
   /// extents, refreshing the join-cardinality statistics.
@@ -115,6 +161,8 @@ class Warehouse {
   }
 
  private:
+  struct SnapshotPublisher;
+
   Vdag vdag_;
   Catalog catalog_;
   std::unordered_map<std::string, DeltaRelation> base_deltas_;
@@ -129,6 +177,9 @@ class Warehouse {
   /// unique_ptr keeps Warehouse movable (the journal holds a mutex).
   std::unique_ptr<StrategyJournal> journal_ =
       std::make_unique<StrategyJournal>();
+  /// Snapshot-read state (atomic publish slot + COW clean flags + audit
+  /// baseline); null while disarmed — the zero-cost-when-unset gate.
+  std::unique_ptr<SnapshotPublisher> snapshots_;
 };
 
 }  // namespace wuw

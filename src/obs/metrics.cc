@@ -16,6 +16,7 @@ namespace obs {
 
 namespace internal {
 std::atomic<int> g_metrics_armed{0};
+thread_local bool g_in_serve_scope = false;
 }  // namespace internal
 
 /// Private constructor access + registry state, never destroyed (safe at

@@ -53,6 +53,13 @@ enum class MetricClass : uint8_t {
   kSched = 1 << 2,
   /// Wall-time gauges (microseconds): always free to vary.
   kTime = 1 << 3,
+  /// Serving-side volumes (snapshots opened, reader sessions/queries/rows).
+  /// Reader traffic is asynchronous to maintenance, so these are never
+  /// deterministic — and, symmetrically, reader threads must not pollute
+  /// the deterministic classes: a ServeScope on the reader thread redirects
+  /// every non-kServe WUW_METRIC_ADD to a no-op (see below), which is what
+  /// keeps kWork|kEngine snapshots bit-identical with readers attached.
+  kServe = 1 << 4,
 };
 
 /// Bitmask over MetricClass values for snapshot filtering.
@@ -70,7 +77,7 @@ inline constexpr MetricMask operator|(MetricClass a, MetricClass b) {
 /// and what CI diffs).
 inline constexpr MetricMask kDeterministicMask =
     MetricClass::kWork | MetricClass::kEngine;
-inline constexpr MetricMask kAllMetricsMask = 0xF;
+inline constexpr MetricMask kAllMetricsMask = 0x1F;
 
 /// A named, monotonically-written process counter.  Obtained once via
 /// GetCounter (interned by name; never destroyed) and incremented with
@@ -140,7 +147,33 @@ namespace internal {
 /// Fast disarmed gate, read relaxed by WUW_METRIC_ADD.
 extern std::atomic<int> g_metrics_armed;
 
+/// True while the current thread executes reader-session work (ServeScope
+/// below); checked only on the armed path of WUW_METRIC_ADD.
+extern thread_local bool g_in_serve_scope;
+
 }  // namespace internal
+
+/// RAII marker wrapped around reader-session bodies (parallel/read_driver):
+/// inside the scope, counters of every class except kServe are dropped on
+/// this thread, so concurrent readers cannot perturb the deterministic
+/// kWork|kEngine snapshot the maintenance run produces.  kServe counters
+/// (serve.*) keep counting — they are the reader-side telemetry.
+class ServeScope {
+ public:
+  ServeScope() : prev_(internal::g_in_serve_scope) {
+    internal::g_in_serve_scope = true;
+  }
+  ~ServeScope() { internal::g_in_serve_scope = prev_; }
+  ServeScope(const ServeScope&) = delete;
+  ServeScope& operator=(const ServeScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True on a thread currently inside a ServeScope.
+inline bool InServeScope() { return internal::g_in_serve_scope; }
+
 }  // namespace obs
 }  // namespace wuw
 
@@ -156,9 +189,14 @@ extern std::atomic<int> g_metrics_armed;
   do {                                                                    \
     if (::wuw::obs::internal::g_metrics_armed.load(                       \
             std::memory_order_relaxed) != 0) {                            \
-      static ::wuw::obs::Counter* const wuw_metric_counter =              \
-          ::wuw::obs::GetCounter(name, cls);                              \
-      wuw_metric_counter->Add(delta);                                     \
+      /* Reader threads drop non-serve counters (class is a literal, so   \
+         the comparison folds away at compile time per call site). */     \
+      if ((cls) == ::wuw::obs::MetricClass::kServe ||                     \
+          !::wuw::obs::internal::g_in_serve_scope) {                      \
+        static ::wuw::obs::Counter* const wuw_metric_counter =            \
+            ::wuw::obs::GetCounter(name, cls);                            \
+        wuw_metric_counter->Add(delta);                                   \
+      }                                                                   \
     }                                                                     \
   } while (0)
 #endif

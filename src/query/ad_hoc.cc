@@ -60,32 +60,69 @@ std::string QueryResult::ToText(size_t max_rows) const {
   return out;
 }
 
-QueryResult ExecuteQuery(const Warehouse& warehouse, const std::string& sql) {
+namespace {
+
+/// Shared tail of both overloads: parse against `schema_of`, evaluate
+/// against `source`, sort for deterministic output.
+QueryResult RunParsedQuery(
+    const std::string& sql,
+    const std::function<const Schema&(const std::string&)>& schema_of,
+    const TableSource& source) {
   QueryResult result;
-  const Vdag& vdag = warehouse.vdag();
-  for (const std::string& src : ExtractFromSources(sql)) {
-    if (!vdag.HasView(src)) {
-      result.error = "unknown view: " + src;
-      return result;
-    }
-  }
-  ParsedView parsed = ParseViewDefinition(
-      "__adhoc", sql, [&](const std::string& name) -> const Schema& {
-        return vdag.OutputSchema(name);
-      });
+  ParsedView parsed = ParseViewDefinition("__adhoc", sql, schema_of);
   if (!parsed.ok()) {
     result.error = parsed.error;
     return result;
   }
   double start = Now();
-  Table table =
-      RecomputeView(*parsed.definition, warehouse.catalog(), nullptr);
+  Table table = RecomputeView(*parsed.definition, source, nullptr);
   result.seconds = Now() - start;
   result.rows = Rows::FromTable(table);
   // Deterministic output order.
   std::sort(result.rows.rows.begin(), result.rows.rows.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return result;
+}
+
+}  // namespace
+
+QueryResult ExecuteQuery(const Warehouse& warehouse, const std::string& sql) {
+  const Vdag& vdag = warehouse.vdag();
+  for (const std::string& src : ExtractFromSources(sql)) {
+    if (!vdag.HasView(src)) {
+      QueryResult result;
+      result.error = "unknown view: " + src;
+      return result;
+    }
+  }
+  const Catalog& catalog = warehouse.catalog();
+  return RunParsedQuery(
+      sql,
+      [&](const std::string& name) -> const Schema& {
+        return vdag.OutputSchema(name);
+      },
+      [&catalog](const std::string& name) -> const Table& {
+        return *catalog.MustGetTable(name);
+      });
+}
+
+QueryResult ExecuteQuery(const ReadSnapshot& snapshot,
+                         const std::string& sql) {
+  for (const std::string& src : ExtractFromSources(sql)) {
+    if (!snapshot.has_table(src)) {
+      QueryResult result;
+      result.error = "unknown view: " + src;
+      return result;
+    }
+  }
+  return RunParsedQuery(
+      sql,
+      [&](const std::string& name) -> const Schema& {
+        return snapshot.table(name)->schema();
+      },
+      [&](const std::string& name) -> const Table& {
+        return *snapshot.table(name);
+      });
 }
 
 }  // namespace wuw

@@ -13,6 +13,7 @@
 
 #include "algebra/rows.h"
 #include "exec/warehouse.h"
+#include "storage/read_snapshot.h"
 
 namespace wuw {
 
@@ -32,6 +33,12 @@ struct QueryResult {
 /// including summary tables) against current state.  Aggregate queries
 /// carry the hidden __count column like materialized aggregate views.
 QueryResult ExecuteQuery(const Warehouse& warehouse, const std::string& sql);
+
+/// Snapshot-isolated evaluation: same SELECT surface, but every source is
+/// read from the pinned snapshot — safe concurrent with maintenance on the
+/// owning warehouse (the zero-downtime read path).  Open the handle with
+/// Warehouse::OpenSnapshot().
+QueryResult ExecuteQuery(const ReadSnapshot& snapshot, const std::string& sql);
 
 }  // namespace wuw
 

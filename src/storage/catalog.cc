@@ -6,7 +6,7 @@ namespace wuw {
 
 Table* Catalog::CreateTable(const std::string& name, Schema schema) {
   WUW_CHECK(!HasTable(name), ("table already exists: " + name).c_str());
-  auto table = std::make_unique<Table>(std::move(schema));
+  auto table = std::make_shared<Table>(std::move(schema));
   Table* raw = table.get();
   tables_.emplace(name, std::move(table));
   names_.push_back(name);
@@ -37,6 +37,21 @@ const Table* Catalog::MustGetTable(const std::string& name) const {
 
 bool Catalog::HasTable(const std::string& name) const {
   return tables_.count(name) > 0;
+}
+
+std::shared_ptr<const Table> Catalog::SharedTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  WUW_CHECK(it != tables_.end(), ("no such table: " + name).c_str());
+  return it->second;
+}
+
+void Catalog::ReplaceTable(const std::string& name,
+                           std::shared_ptr<Table> table) {
+  WUW_CHECK(table != nullptr, "ReplaceTable needs a table");
+  auto it = tables_.find(name);
+  WUW_CHECK(it != tables_.end(), ("no such table: " + name).c_str());
+  it->second = std::move(table);
 }
 
 Catalog Catalog::Clone() const {

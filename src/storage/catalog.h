@@ -41,6 +41,17 @@ class Catalog {
   /// Names in creation order (stable across runs, used for reporting).
   const std::vector<std::string>& table_names() const { return names_; }
 
+  /// The owning shared slot for `name` — what snapshot publication pins
+  /// (storage/read_snapshot.h); aborts if absent.  A published slot must
+  /// never be mutated again: writers ReplaceTable() a copy first.
+  std::shared_ptr<const Table> SharedTable(const std::string& name) const;
+
+  /// Swaps in a new extent object for an existing name (the copy-on-write
+  /// detach).  Concurrent ReplaceTable calls for *distinct* names are safe:
+  /// the map's node set is fixed after creation, so only disjoint slots are
+  /// written.  Aborts if the name is absent.
+  void ReplaceTable(const std::string& name, std::shared_ptr<Table> table);
+
   /// Deep copy of all tables.
   Catalog Clone() const;
 
@@ -48,7 +59,9 @@ class Catalog {
   bool ContentsEqual(const Catalog& other) const;
 
  private:
-  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  /// shared_ptr slots so snapshot states can pin an extent version past its
+  /// replacement (epoch-based reclamation = last pin frees it).
+  std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
   std::vector<std::string> names_;
 };
 

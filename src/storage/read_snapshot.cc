@@ -1,0 +1,67 @@
+#include "storage/read_snapshot.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace wuw {
+
+ReadSnapshot::ReadSnapshot(std::shared_ptr<const SnapshotState> state)
+    : state_(std::move(state)) {
+  WUW_CHECK(state_ != nullptr, "pinned ReadSnapshot needs a state");
+}
+
+ReadSnapshot::ReadSnapshot(const Catalog* live, int64_t batch_epoch)
+    : live_(live), live_epoch_(batch_epoch) {
+  WUW_CHECK(live_ != nullptr, "live ReadSnapshot needs a catalog");
+}
+
+const Table* ReadSnapshot::table(const std::string& name) const {
+  if (state_ != nullptr) {
+    auto it = state_->tables.find(name);
+    return it == state_->tables.end() ? nullptr : it->second.get();
+  }
+  return live_->GetTable(name);
+}
+
+bool ReadSnapshot::has_table(const std::string& name) const {
+  return table(name) != nullptr;
+}
+
+std::vector<std::string> ReadSnapshot::table_names() const {
+  if (state_ != nullptr) return state_->names;
+  return live_->table_names();
+}
+
+int64_t ReadSnapshot::commit_seq() const {
+  return state_ != nullptr ? state_->commit_seq : 0;
+}
+
+int64_t ReadSnapshot::batch_epoch() const {
+  return state_ != nullptr ? state_->batch_epoch : live_epoch_;
+}
+
+bool ReadSnapshot::ContentsEqual(const Catalog& other) const {
+  std::vector<std::string> names = table_names();
+  if (names.size() != other.table_names().size()) return false;
+  for (const std::string& name : names) {
+    const Table* mine = table(name);
+    const Table* theirs = other.GetTable(name);
+    if (theirs == nullptr || !mine->ContentsEqual(*theirs)) return false;
+  }
+  return true;
+}
+
+int EnvReaders() {
+  static const int readers = [] {
+    const char* env = std::getenv("WUW_READERS");
+    if (env == nullptr || *env == '\0') return 0;
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0) return 0;
+    return static_cast<int>(v);
+  }();
+  return readers;
+}
+
+}  // namespace wuw

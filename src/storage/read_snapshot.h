@@ -1,0 +1,98 @@
+// Snapshot-isolated read handles — the storage half of zero-downtime reads.
+//
+// The paper shrinks the update window because readers were locked out while
+// a strategy installed deltas ("during a warehouse update either OLAP
+// queries are not processed or OLAP queries compete with the warehouse
+// update", Section 1).  This module removes the outage instead: the
+// Warehouse (exec/warehouse.h) publishes an immutable SnapshotState at each
+// commit point — extents shared by shared_ptr, versioned by the existing
+// batch_epoch / extent_version seam — and a ReadSnapshot pins one published
+// state for the handle's lifetime.
+//
+// Read-path cost discipline (the WUW_FAULT / WUW_METRICS pattern): opening
+// a snapshot on an armed warehouse is one shared_ptr copy under a publish
+// mutex held for just that copy; scans of pinned tables take no locks because a
+// published table is never mutated again — writers copy-on-write-detach
+// before their first post-publish mutation.  Reclamation is epoch-based by
+// refcount: a superseded version lives exactly until the last reader
+// pinning it releases its handle, then the shared_ptr frees it.  With
+// snapshot reads disarmed (no WUW_READERS, no EnableSnapshotReads()) the
+// handle falls back to the live catalog and nothing is ever published,
+// copied, or retained — zero behavior change.
+#ifndef WUW_STORAGE_READ_SNAPSHOT_H_
+#define WUW_STORAGE_READ_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace wuw {
+
+/// One committed warehouse state: every extent as of a commit point, plus
+/// the epoch coordinates identifying it.  Immutable after publication —
+/// the tables are shared with the live catalog until the writer detaches
+/// them, and the invariant every reader relies on is that a published
+/// Table object is never mutated again.
+struct SnapshotState {
+  /// Monotone commit counter (one per publish); readers use it to assert
+  /// they never travel backwards in time.
+  int64_t commit_seq = 0;
+  /// The warehouse's batch_epoch at the commit point.
+  int64_t batch_epoch = 0;
+  /// Table names in catalog creation order (stable across runs).
+  std::vector<std::string> names;
+  std::unordered_map<std::string, std::shared_ptr<const Table>> tables;
+};
+
+/// A pinned, consistent view of the warehouse.  Cheap to copy (two words +
+/// one refcount); keeps its SnapshotState — and therefore every superseded
+/// extent version it references — alive until destroyed.
+class ReadSnapshot {
+ public:
+  /// Pinned mode: serves exactly `state` forever.
+  explicit ReadSnapshot(std::shared_ptr<const SnapshotState> state);
+
+  /// Live fallback (snapshot reads disarmed): serves straight from the
+  /// catalog.  Only valid while no maintenance runs concurrently — exactly
+  /// the pre-snapshot, quiesced-reads regime.
+  ReadSnapshot(const Catalog* live, int64_t batch_epoch);
+
+  /// Lookup; nullptr if absent.
+  const Table* table(const std::string& name) const;
+  bool has_table(const std::string& name) const;
+
+  /// Names in catalog creation order.
+  std::vector<std::string> table_names() const;
+
+  /// Commit counter of the pinned state (0 in live fallback mode).
+  int64_t commit_seq() const;
+  /// batch_epoch at the commit point (current epoch in live mode).
+  int64_t batch_epoch() const;
+
+  /// True when this handle pins a published state (armed warehouse).
+  bool pinned() const { return state_ != nullptr; }
+
+  /// Multiset equality against a full catalog — how the concurrency tests
+  /// phrase "the reader saw exactly the pre-window state".
+  bool ContentsEqual(const Catalog& other) const;
+
+ private:
+  std::shared_ptr<const SnapshotState> state_;  // null in live mode
+  const Catalog* live_ = nullptr;
+  int64_t live_epoch_ = 0;
+};
+
+/// The WUW_READERS env knob: number of synthetic reader threads the probe
+/// scope attaches to every executor run, and the switch that arms snapshot
+/// publication at Warehouse construction.  0 (or unset/invalid) = disarmed.
+/// Parsed once per process.
+int EnvReaders();
+
+}  // namespace wuw
+
+#endif  // WUW_STORAGE_READ_SNAPSHOT_H_

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "storage/column_table.h"
 
 namespace wuw {
@@ -30,8 +31,16 @@ Table::Table(const Table& other)
       slots_(other.slots_),
       slots_used_(other.slots_used_),
       cardinality_(other.cardinality_),
-      snapshot_(other.snapshot_),
-      snapshot_stale_(other.snapshot_stale_) {}
+      mutation_count_(other.mutation_count_) {
+  // The source may be a published extent whose concurrent readers are
+  // filling its columnar cache (ColumnarSnapshot writes snapshot_ /
+  // snapshot_stale_ under snapshot_mu_) — a copy-on-write detach copies
+  // exactly such a table.  The row data itself is immutable then; only the
+  // cache handle needs the lock.
+  std::lock_guard<std::mutex> lock(other.snapshot_mu_);
+  snapshot_ = other.snapshot_;
+  snapshot_stale_ = other.snapshot_stale_;
+}
 
 Table::Table(Table&& other) noexcept
     : schema_(std::move(other.schema_)),
@@ -39,10 +48,12 @@ Table::Table(Table&& other) noexcept
       slots_(std::move(other.slots_)),
       slots_used_(other.slots_used_),
       cardinality_(other.cardinality_),
+      mutation_count_(other.mutation_count_),
       snapshot_(std::move(other.snapshot_)),
       snapshot_stale_(other.snapshot_stale_) {
   other.slots_used_ = 0;
   other.cardinality_ = 0;
+  other.mutation_count_ = 0;
   other.snapshot_ = std::make_shared<SnapshotCache>();
   other.snapshot_stale_ = false;
 }
@@ -54,6 +65,10 @@ Table& Table::operator=(const Table& other) {
   slots_ = other.slots_;
   slots_used_ = other.slots_used_;
   cardinality_ = other.cardinality_;
+  mutation_count_ = other.mutation_count_;
+  // Same discipline as the copy constructor: the source's columnar cache
+  // may be racing with concurrent readers.
+  std::lock_guard<std::mutex> lock(other.snapshot_mu_);
   snapshot_ = other.snapshot_;
   snapshot_stale_ = other.snapshot_stale_;
   return *this;
@@ -66,10 +81,12 @@ Table& Table::operator=(Table&& other) noexcept {
   slots_ = std::move(other.slots_);
   slots_used_ = other.slots_used_;
   cardinality_ = other.cardinality_;
+  mutation_count_ = other.mutation_count_;
   snapshot_ = std::move(other.snapshot_);
   snapshot_stale_ = other.snapshot_stale_;
   other.slots_used_ = 0;
   other.cardinality_ = 0;
+  other.mutation_count_ = 0;
   other.snapshot_ = std::make_shared<SnapshotCache>();
   other.snapshot_stale_ = false;
   return *this;
@@ -148,6 +165,7 @@ int64_t Table::Add(const Tuple& tuple, int64_t count) {
   size_t hash = tuple.Hash();
   size_t pos = FindPosition(tuple, hash);
   snapshot_stale_ = true;
+  ++mutation_count_;
 
   if (pos == SIZE_MAX) {
     if (count <= 0) return 0;  // clamp: deleting an absent tuple is a no-op
@@ -204,6 +222,7 @@ void Table::Clear() {
   slots_used_ = 0;
   cardinality_ = 0;
   snapshot_stale_ = true;
+  ++mutation_count_;
 }
 
 bool Table::ContentsEqual(const Table& other) const {
@@ -216,12 +235,23 @@ bool Table::ContentsEqual(const Table& other) const {
 }
 
 std::shared_ptr<const ColumnTable> Table::ColumnarSnapshot() const {
+  // snapshot_mu_ makes this safe for concurrent const readers of an
+  // immutable table (snapshot-pinned extents): the stale-detach below
+  // rewrites snapshot_, and two first-readers would otherwise race on it.
+  std::lock_guard<std::mutex> outer(snapshot_mu_);
+  // Reader-session threads (obs::ServeScope) may share this table with the
+  // maintenance path, so they must not populate the cache: the build fires
+  // deterministic kEngine counters, and a reader warming the cache would
+  // steal the conversion the maintenance run counts in a readers-off run.
+  // Returning nullptr is always legal — callers fall back to the row path.
   if (snapshot_stale_) {
+    if (obs::InServeScope()) return nullptr;
     snapshot_ = std::make_shared<SnapshotCache>();
     const_cast<Table*>(this)->snapshot_stale_ = false;
   }
   std::lock_guard<std::mutex> lock(snapshot_->mu);
   if (!snapshot_->built) {
+    if (obs::InServeScope()) return nullptr;
     snapshot_->table = ColumnTable::FromRows(schema_, rows_);
     snapshot_->built = true;
   }

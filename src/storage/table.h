@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -94,6 +95,12 @@ class Table {
   /// Heap bytes held by the hash index (the micro_engine memory line).
   size_t IndexBytes() const;
 
+  /// Monotone count of mutating calls (Add with a non-zero effect window,
+  /// Clear).  Copies inherit the count, so a copy-on-write detach preserves
+  /// continuity — the snapshot-audit in exec/warehouse.cc compares it
+  /// against extent_version across publishes to catch unbumped mutations.
+  int64_t mutation_count() const { return mutation_count_; }
+
   std::string ToString(size_t max_rows = 20) const;
 
  private:
@@ -131,11 +138,17 @@ class Table {
   /// Live + tombstoned slots (the probe-length load factor).
   size_t slots_used_ = 0;
   int64_t cardinality_ = 0;
+  /// See mutation_count().
+  int64_t mutation_count_ = 0;
   /// Lazily-built columnar snapshot; see ColumnarSnapshot().
   mutable std::shared_ptr<SnapshotCache> snapshot_;
   /// Set by mutations; the next ColumnarSnapshot() starts a fresh cache so
   /// copies sharing the old one keep theirs.
   bool snapshot_stale_ = false;
+  /// Guards snapshot_ / snapshot_stale_ so concurrent readers of an
+  /// immutable (published) table can all call ColumnarSnapshot().  Never
+  /// copied or moved: each Table object owns its own lock.
+  mutable std::mutex snapshot_mu_;
 };
 
 }  // namespace wuw

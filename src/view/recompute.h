@@ -4,12 +4,20 @@
 #ifndef WUW_VIEW_RECOMPUTE_H_
 #define WUW_VIEW_RECOMPUTE_H_
 
+#include <functional>
+#include <string>
+
 #include "algebra/operator_stats.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
 #include "view/view_definition.h"
 
 namespace wuw {
+
+/// Resolves a source view name to its extent.  Lets recomputation run
+/// against any table source — the live catalog or a pinned ReadSnapshot
+/// (storage/read_snapshot.h) — without caring which.
+using TableSource = std::function<const Table&(const std::string&)>;
 
 /// Computes Def(V) from the current extents of its sources in `catalog`
 /// (the sources must already be materialized).  Returns the full extent of
@@ -19,6 +27,11 @@ namespace wuw {
 /// pre-aggregation join — the statistic the analytic size estimator uses to
 /// derive average group sizes.
 Table RecomputeView(const ViewDefinition& def, const Catalog& catalog,
+                    OperatorStats* stats, int64_t* join_rows = nullptr);
+
+/// Same, with the sources resolved through `source` — the snapshot-read
+/// query path.
+Table RecomputeView(const ViewDefinition& def, const TableSource& source,
                     OperatorStats* stats, int64_t* join_rows = nullptr);
 
 }  // namespace wuw

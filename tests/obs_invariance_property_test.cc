@@ -27,6 +27,7 @@
 #include "exec/parallel_executor.h"
 #include "obs/metrics.h"
 #include "parallel/parallel_strategy.h"
+#include "parallel/read_driver.h"
 #include "parallel/thread_pool.h"
 #include "plan/subplan_cache.h"
 #include "test_util.h"
@@ -241,6 +242,114 @@ TEST_F(ObsInvarianceTest, RerunsAreIdenticalAndTimeGaugesAreExcluded) {
     if (name.find("_us") != std::string::npos) saw_time_gauge = true;
   }
   EXPECT_TRUE(saw_time_gauge);
+}
+
+// The readers-on dimension (zero-downtime reads): attaching a concurrent
+// ReadDriver to an ARMED warehouse must leave the deterministic
+// kWork|kEngine snapshot bit-identical to the armed readers-off baseline.
+// Two mechanisms carry this: reader-session bodies run under
+// obs::ServeScope (non-kServe counters are dropped on those threads, and
+// reader threads never populate shared columnar caches), and COW detaches
+// are eager — one per mutated view per publish, never refcount-driven, so
+// reader pins cannot change the maintenance run's counter stream.
+TEST_F(ObsInvarianceTest, DeterministicMaskUnperturbedByConcurrentReaders) {
+  const uint64_t seed = testutil::PropertySeed(83);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Scenario sc = MakeScenario("fig3", testutil::MakeFig3Vdag(), 50, 0.2, 8,
+                             seed + 1);
+
+  auto run_armed = [&](const Strategy& s, bool readers) {
+    obs::ResetMetrics();
+    Warehouse clone = sc.warehouse.Clone();
+    clone.EnableSnapshotReads();
+    ReadDriver driver;
+    if (readers) {
+      ReadSessionOptions options;
+      options.sessions = 16;
+      options.scans_per_session = 2;
+      options.queries = {"SELECT A_k, A_v FROM A",
+                         "SELECT V4_k, V4_v FROM V4",
+                         "SELECT V5_k, V5_v FROM V5"};
+      driver.Start(clone, options);
+    }
+    Executor(&clone).Execute(s);
+    if (readers) {
+      ReadSessionReport report = driver.Stop();
+      EXPECT_TRUE(report.ok())
+          << report.torn_reads << " torn, " << report.epoch_regressions
+          << " regressions, " << report.query_errors << " errors";
+    }
+    return obs::SnapshotMetrics(obs::kDeterministicMask);
+  };
+
+  for (const auto& [strategy_name, strategy] : sc.strategies) {
+    MetricsSnapshot off = run_armed(strategy, /*readers=*/false);
+    EXPECT_FALSE(off.counters.empty());
+    // Several passes: reader scheduling varies run to run; the
+    // deterministic mask must not.
+    for (int pass = 0; pass < 3; ++pass) {
+      MetricsSnapshot on = run_armed(strategy, /*readers=*/true);
+      EXPECT_EQ(on, off)
+          << "readers perturbed the deterministic snapshot: strategy="
+          << strategy_name << " pass=" << pass
+          << "\nrepro: WUW_SEED=" << seed
+          << " ./obs_invariance_property_test"
+          << "\nreaders-off:\n" << off.ToString()
+          << "readers-on:\n" << on.ToString();
+    }
+    // kServe counters DID fire during the readers-on passes — the reader
+    // telemetry is redirected, not lost.
+    MetricsSnapshot serve =
+        obs::SnapshotMetrics(obs::Mask(MetricClass::kServe));
+    EXPECT_FALSE(serve.counters.empty())
+        << "reader sessions should have produced serve.* counters";
+  }
+}
+
+// Arming snapshot reads (without any readers) only adds the deterministic
+// COW-detach counter to kWork — the rest of the deterministic snapshot is
+// unchanged from the disarmed engine, and the detach count itself is
+// pool/cache-invariant like every kWork counter.
+TEST_F(ObsInvarianceTest, ArmedSnapshotCountersAreDeterministic) {
+  if (EnvReaders() > 0) {
+    GTEST_SKIP() << "WUW_READERS arms every warehouse; no disarmed baseline";
+  }
+  const uint64_t seed = testutil::PropertySeed(89);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Scenario sc = MakeScenario("fig3", testutil::MakeFig3Vdag(), 50, 0.2, 8,
+                             seed + 1);
+  const Strategy& s = sc.strategies[0].second;
+
+  auto run = [&](bool armed, int pool_size) {
+    obs::ResetMetrics();
+    Warehouse clone = sc.warehouse.Clone();
+    if (armed) clone.EnableSnapshotReads();
+    ThreadPool pool(pool_size);
+    ExecutorOptions options;
+    options.pool = &pool;
+    Executor(&clone, options).Execute(s);
+    return obs::SnapshotMetrics(obs::Mask(MetricClass::kWork));
+  };
+
+  MetricsSnapshot disarmed = run(/*armed=*/false, 1);
+  MetricsSnapshot armed = run(/*armed=*/true, 1);
+  // Armed minus the COW-detach counter == disarmed.
+  MetricsSnapshot armed_filtered;
+  int64_t detaches = 0;
+  for (const auto& [name, value] : armed.counters) {
+    if (name == "warehouse.cow_detaches") {
+      detaches = value;
+    } else {
+      armed_filtered.counters.emplace_back(name, value);
+    }
+  }
+  EXPECT_GT(detaches, 0) << "the window mutated views; detaches must fire";
+  EXPECT_EQ(armed_filtered, disarmed);
+  // And the armed snapshot (detaches included) is pool-invariant.
+  for (int pool_size : {2, 8}) {
+    EXPECT_EQ(run(/*armed=*/true, pool_size), armed)
+        << "armed kWork snapshot diverged at WUW_THREADS=" << pool_size;
+  }
 }
 
 }  // namespace

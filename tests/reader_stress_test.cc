@@ -1,0 +1,216 @@
+// Reader/writer stress: concurrent snapshot readers racing live
+// maintenance on the shared thread pool.  This is the suite CI runs under
+// ThreadSanitizer — the assertions prove isolation (no torn reads, no
+// time-travel, no query errors) and convergence; TSan proves the absence
+// of data races on the publish/pin/COW seam while real windows install,
+// pause, resume, and flush underneath the readers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/min_work.h"
+#include "exec/executor.h"
+#include "parallel/read_driver.h"
+#include "parallel/thread_pool.h"
+#include "policy/maintenance_policy.h"
+#include "query/ad_hoc.h"
+#include "test_util.h"
+#include "tpcd/change_generator.h"
+
+namespace wuw {
+namespace {
+
+const std::vector<std::string> kFig3Queries = {
+    "SELECT A_k, A_v FROM A",
+    "SELECT B_k, B_v FROM B WHERE B_v > 10",
+    "SELECT V4_k, V4_v FROM V4",
+    "SELECT V5_k, V5_v FROM V5",
+};
+
+/// A coherent change stream (the policy_test idiom): every batch is drawn
+/// from a private mirror with all earlier batches applied, so deferred
+/// policies can merge batches safely and the mirror is the base-view
+/// ground truth at every moment.
+class TripleStream {
+ public:
+  TripleStream(const Warehouse& w, uint64_t seed) : rng_(seed) {
+    for (const std::string& base : w.vdag().BaseViews()) {
+      Table* mirror =
+          mirror_.CreateTable(base, w.vdag().OutputSchema(base));
+      w.catalog().MustGetTable(base)->ForEach(
+          [&](const Tuple& t, int64_t c) { mirror->Add(t, c); });
+      bases_.push_back(base);
+    }
+  }
+
+  std::unordered_map<std::string, DeltaRelation> NextBatch(
+      double delete_fraction, int64_t inserts) {
+    ++batch_;
+    std::unordered_map<std::string, DeltaRelation> batch;
+    for (const std::string& base : bases_) {
+      Table* mirror = mirror_.MustGetTable(base);
+      DeltaRelation delta = tpcd::MakeDeletionDelta(
+          *mirror, delete_fraction, rng_.Next());
+      for (int64_t i = 0; i < inserts; ++i) {
+        int64_t k = 500000 + batch_ * 1000 + i;
+        delta.Add(Tuple({Value::Int64(k), Value::Int64(rng_.Range(0, 99)),
+                         Value::Int64(k % 5)}),
+                  1);
+      }
+      delta.ForEach([&](const Tuple& t, int64_t c) { mirror->Add(t, c); });
+      batch.emplace(base, std::move(delta));
+    }
+    return batch;
+  }
+
+  const Catalog& mirror() const { return mirror_; }
+
+ private:
+  Catalog mirror_;
+  std::vector<std::string> bases_;
+  tpcd::Rng rng_;
+  int64_t batch_ = 0;
+};
+
+// The headline race: a ReadDriver hammering snapshots and snapshot
+// queries from the shared pool while a MaintenanceScheduler runs budgeted
+// (pausing!) windows over a multi-batch coherent stream.  Readers must
+// never see a torn state — including across every pause/resume seam — and
+// the final state must match the source mirror.
+TEST(ReaderStressTest, ReadersRaceBudgetedMaintenanceWindows) {
+  const uint64_t seed = testutil::PropertySeed(401);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Warehouse w = testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 60,
+                                              seed);
+  w.EnableSnapshotReads();
+  TripleStream stream(w, seed + 13);
+
+  ReadDriver driver;
+  ReadSessionOptions read_options;
+  read_options.sessions = 16;
+  read_options.scans_per_session = 2;
+  read_options.queries = kFig3Queries;
+  driver.Start(w, read_options);
+
+  // EveryK(2) with a small work budget: windows defer, pause, and chain
+  // resume windows — every commit-point shape the scheduler can produce.
+  PolicyOptions policy = PolicyOptions::EveryK(2);
+  policy.window_budget = WindowBudgetOptions{400};
+  MaintenanceScheduler scheduler(&w, policy);
+  for (int i = 0; i < 8; ++i) {
+    scheduler.OnBatch(stream.NextBatch(0.08, 4));
+    while (scheduler.window_paused()) scheduler.ResumeWindow();
+  }
+  scheduler.Flush();
+
+  ReadSessionReport report = driver.Stop();
+  EXPECT_TRUE(report.ok())
+      << report.torn_reads << " torn reads, " << report.epoch_regressions
+      << " epoch regressions, " << report.query_errors << " query errors";
+  EXPECT_GT(report.sessions, 0);
+  EXPECT_GT(report.queries, 0);
+
+  // Convergence: base views match the source mirror, and the last commit
+  // serves exactly the final catalog.
+  for (const std::string& base : w.vdag().BaseViews()) {
+    EXPECT_TRUE(w.catalog().MustGetTable(base)->ContentsEqual(
+        *stream.mirror().MustGetTable(base)))
+        << base;
+  }
+  EXPECT_TRUE(w.OpenSnapshot().ContentsEqual(w.catalog()));
+}
+
+// Direct executor race: RunReadSessions on the calling thread (fanned out
+// over the shared pool) while a std::thread runs the full update window.
+// Every session pins either the pre-window or the post-window commit.
+TEST(ReaderStressTest, ReadSessionsConcurrentWithExecutor) {
+  const uint64_t seed = testutil::PropertySeed(409);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Warehouse w = testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 80,
+                                              seed);
+  testutil::ApplyTripleChanges(&w, 0.2, 10, seed + 7);
+  w.EnableSnapshotReads();
+  const Catalog truth = testutil::GroundTruthAfterChanges(w);
+  const Strategy s = MinWork(w.vdag(), w.EstimatedSizes()).strategy;
+  const int64_t pre_seq = w.OpenSnapshot().commit_seq();
+
+  ReadSessionOptions read_options;
+  read_options.sessions = 24;
+  read_options.scans_per_session = 2;
+  read_options.queries = kFig3Queries;
+
+  std::thread maintenance([&] { Executor(&w).Execute(s); });
+  ReadSessionReport report;
+  for (int round = 0; round < 4; ++round) {
+    report += RunReadSessions(w, read_options);
+  }
+  maintenance.join();
+  // One more quiesced round — sessions after the join must see the commit.
+  report += RunReadSessions(w, read_options);
+
+  EXPECT_TRUE(report.ok())
+      << report.torn_reads << " torn reads, " << report.epoch_regressions
+      << " epoch regressions, " << report.query_errors << " query errors";
+  EXPECT_GE(report.sessions, 24 * 5);
+  // Exactly two commits can ever be pinned: pre-window and post-window.
+  EXPECT_GE(report.min_commit_seq, pre_seq);
+  EXPECT_LE(report.max_commit_seq, pre_seq + 1);
+  EXPECT_EQ(report.max_commit_seq, pre_seq + 1)
+      << "the quiesced round must have pinned the post-window commit";
+
+  EXPECT_TRUE(w.catalog().ContentsEqual(truth));
+  EXPECT_TRUE(w.OpenSnapshot().ContentsEqual(truth));
+}
+
+// Pool-sharing stress: reader sessions and the maintenance kernels draw
+// from the SAME explicitly-sized pool, so worker threads interleave
+// serve-scope session bodies with morsel work.  Repeated windows keep the
+// publish/detach churn high.
+TEST(ReaderStressTest, SharedPoolReadersAcrossRepeatedWindows) {
+  const uint64_t seed = testutil::PropertySeed(419);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Warehouse w = testutil::MakeLoadedWarehouse(testutil::MakeFig3Vdag(), 60,
+                                              seed);
+  w.EnableSnapshotReads();
+  TripleStream stream(w, seed + 29);
+  ThreadPool pool(4);
+
+  ReadDriver driver;
+  ReadSessionOptions read_options;
+  read_options.sessions = 8;
+  read_options.scans_per_session = 2;
+  read_options.queries = kFig3Queries;
+  read_options.pool = &pool;
+  driver.Start(w, read_options);
+
+  int64_t last_seq = w.OpenSnapshot().commit_seq();
+  for (int round = 0; round < 6; ++round) {
+    for (auto& [base, delta] : stream.NextBatch(0.1, 5)) {
+      w.SetBaseDelta(base, std::move(delta));
+    }
+    ExecutorOptions options;
+    options.pool = &pool;
+    Executor(&w, options)
+        .Execute(MinWork(w.vdag(), w.EstimatedSizes()).strategy);
+    const int64_t seq = w.OpenSnapshot().commit_seq();
+    EXPECT_GT(seq, last_seq) << "every completed window must commit";
+    last_seq = seq;
+  }
+
+  ReadSessionReport report = driver.Stop();
+  EXPECT_TRUE(report.ok())
+      << report.torn_reads << " torn reads, " << report.epoch_regressions
+      << " epoch regressions, " << report.query_errors << " query errors";
+  EXPECT_GT(report.sessions, 0);
+  for (const std::string& base : w.vdag().BaseViews()) {
+    EXPECT_TRUE(w.catalog().MustGetTable(base)->ContentsEqual(
+        *stream.mirror().MustGetTable(base)))
+        << base;
+  }
+}
+
+}  // namespace
+}  // namespace wuw

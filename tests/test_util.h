@@ -240,10 +240,12 @@ inline void ApplyTripleChanges(Warehouse* w, double delete_fraction,
 /// clone's catalog — the ground-truth final state for convergence tests.
 inline Catalog GroundTruthAfterChanges(const Warehouse& w) {
   Warehouse clone = w.Clone();
-  // Install base deltas directly, then recompute derived views.
+  // Install base deltas directly, then recompute derived views.  Mutate
+  // through base_table (version bump + copy-on-write detach) so an armed
+  // clone keeps its published snapshot frozen and passes the publish audit.
   for (const std::string& name : clone.vdag().BaseViews()) {
     const DeltaRelation& delta = clone.base_delta(name);
-    Table* table = clone.catalog().MustGetTable(name);
+    Table* table = clone.base_table(name);
     delta.ForEach([&](const Tuple& t, int64_t c) { table->Add(t, c); });
   }
   clone.RecomputeDerived();
