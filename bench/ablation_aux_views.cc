@@ -1,0 +1,196 @@
+// Ablation: persistent auxiliary views (plan/aux_view.h) — what does
+// promoting hot shared join prefixes to incrementally-maintained
+// materializations buy over (a) the eager baseline and (b) the in-window
+// SubplanCache alone?
+//
+// A TPC-D warehouse absorbs a stream of coherent change batches
+// (tpcd::SourceChangeStream) under the dual-stage strategy, per mode:
+//
+//   off        no cache, no aux views (paper-fidelity eager baseline)
+//   cache      16MB SubplanCache (in-window memoization only; cold again
+//              whenever extent versions move — i.e. every batch)
+//   aux        WUW_AUX_VIEWS-style promotion (advisor + materialize +
+//              substitute + incremental upkeep), no cache
+//   aux+cache  both
+//
+// Batch 0 is the advisor's observation window (promotion lands at its
+// commit) and is reported separately; the acceptance criterion is that
+// every MEASURED batch (1..N) does strictly less linear work and scans
+// strictly fewer rows under `aux` than under `off` — the aux upkeep
+// (delta-joins against the small materialization) must pay for itself
+// every window, not just in aggregate.  The binary exits non-zero if any
+// measured batch regresses, so CI can keep the claim honest.
+//
+// Correctness is not at stake here: aux_view_property_test pins
+// bit-identical convergence for armed vs unarmed at every pool size and
+// cache budget.  tools/aux_bench.py runs this binary and commits the
+// per-batch numbers to BENCH_mqo.json.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/strategy_space.h"
+#include "plan/aux_view.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_schema.h"
+#include "tpcd/tpcd_views.h"
+
+namespace {
+
+using namespace wuw;
+
+constexpr int kMeasuredBatches = 5;
+constexpr double kDeleteFraction = 0.02;
+constexpr double kInsertFraction = 0.01;
+
+struct Mode {
+  std::string label;
+  bool aux = false;
+  bool cache = false;
+};
+
+struct BatchRow {
+  double seconds = 0;
+  int64_t linear_work = 0;
+  int64_t rows_scanned = 0;
+};
+
+struct ModeResult {
+  std::vector<BatchRow> batches;  // [0] = warmup, [1..] measured
+  size_t aux_views = 0;
+};
+
+ModeResult RunStream(const Warehouse& pristine,
+                     const tpcd::GeneratorOptions& gen, const Mode& mode) {
+  Warehouse w = pristine.Clone();
+  if (mode.aux) {
+    // One observation window before promoting: batch 0 tallies, its commit
+    // materializes, batches 1..N run substituted.
+    AuxViewOptions options;
+    options.min_windows = 1;
+    options.min_uses = 1;
+    w.EnableAuxViews(options);
+  }
+  std::unique_ptr<SubplanCache> cache;
+  if (mode.cache) {
+    cache = std::make_unique<SubplanCache>(SubplanCacheOptions{16ll << 20});
+  }
+  tpcd::SourceChangeStream stream(w, gen);
+
+  ModeResult result;
+  for (int batch = 0; batch <= kMeasuredBatches; ++batch) {
+    for (auto& [base, delta] :
+         stream.NextBatch(kDeleteFraction, kInsertFraction)) {
+      w.SetBaseDelta(base, std::move(delta));
+    }
+    // Rebuilt per batch: after a promotion the vdag has grown, and the
+    // dual-stage strategy must maintain the aux view like any other.
+    Strategy s = MakeDualStageVdagStrategy(w.vdag());
+    ExecutorOptions options;
+    options.subplan_cache = cache.get();
+    ExecutionReport report = Executor(&w, options).Execute(s);
+    result.batches.push_back(BatchRow{report.total_seconds,
+                                      report.total_linear_work,
+                                      report.totals.rows_scanned});
+  }
+  if (w.aux_views() != nullptr) result.aux_views = w.aux_views()->NumAuxViews();
+  return result;
+}
+
+/// Runs all modes over one warehouse; returns false iff the per-batch
+/// acceptance criterion (aux strictly below off on every measured batch)
+/// fails.
+bool RunWorkload(const std::string& title, const Warehouse& pristine,
+                 const tpcd::GeneratorOptions& gen) {
+  const std::vector<Mode> modes = {
+      {"off", false, false},
+      {"cache 16MB", false, true},
+      {"aux", true, false},
+      {"aux + cache 16MB", true, true},
+  };
+
+  std::printf("\n%s — %d measured batches after 1 warmup window\n",
+              title.c_str(), kMeasuredBatches);
+  std::printf("  %-18s %8s %10s %16s %16s %6s\n", "mode", "batch", "wall s",
+              "linear work", "rows scanned", "aux");
+
+  std::vector<ModeResult> results;
+  for (const Mode& mode : modes) {
+    ModeResult r = RunStream(pristine, gen, mode);
+    for (size_t b = 0; b < r.batches.size(); ++b) {
+      const BatchRow& row = r.batches[b];
+      std::printf("  %-18s %7zu%s %9.3fs %16lld %16lld %6zu\n",
+                  b == 0 ? mode.label.c_str() : "", b, b == 0 ? "*" : " ",
+                  row.seconds, static_cast<long long>(row.linear_work),
+                  static_cast<long long>(row.rows_scanned), r.aux_views);
+    }
+    results.push_back(std::move(r));
+  }
+  std::printf("  (* = warmup/observation window, excluded from the "
+              "acceptance check)\n");
+
+  const ModeResult& off = results[0];
+  const ModeResult& aux = results[2];
+  bool ok = aux.aux_views > 0;
+  if (!ok) std::printf("  FAIL: no aux view was promoted\n");
+  for (int b = 1; b <= kMeasuredBatches; ++b) {
+    const BatchRow& base = off.batches[static_cast<size_t>(b)];
+    const BatchRow& armed = aux.batches[static_cast<size_t>(b)];
+    const bool batch_ok = armed.linear_work < base.linear_work &&
+                          armed.rows_scanned < base.rows_scanned;
+    if (!batch_ok) {
+      std::printf(
+          "  FAIL batch %d: aux work=%lld rows=%lld vs off work=%lld "
+          "rows=%lld\n",
+          b, static_cast<long long>(armed.linear_work),
+          static_cast<long long>(armed.rows_scanned),
+          static_cast<long long>(base.linear_work),
+          static_cast<long long>(base.rows_scanned));
+      ok = false;
+    }
+  }
+  if (ok) {
+    int64_t off_work = 0, aux_work = 0, off_rows = 0, aux_rows = 0;
+    for (int b = 1; b <= kMeasuredBatches; ++b) {
+      off_work += off.batches[static_cast<size_t>(b)].linear_work;
+      aux_work += aux.batches[static_cast<size_t>(b)].linear_work;
+      off_rows += off.batches[static_cast<size_t>(b)].rows_scanned;
+      aux_rows += aux.batches[static_cast<size_t>(b)].rows_scanned;
+    }
+    std::printf(
+        "  OK: aux views cut measured linear work %.1f%% and rows scanned "
+        "%.1f%% (every batch individually cheaper)\n",
+        100.0 * (off_work - aux_work) / off_work,
+        100.0 * (off_rows - aux_rows) / off_rows);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::FromEnv(/*default_scale_factor=*/0.01);
+  bench::PrintHeader(
+      "Ablation: persistent auxiliary views (hot shared join prefixes)",
+      "TPC-D SF=" + std::to_string(env.scale_factor) +
+          "; coherent 2% delete / 1% insert batches, dual-stage strategy");
+
+  tpcd::GeneratorOptions options;
+  options.scale_factor = env.scale_factor;
+  options.seed = env.seed;
+
+  bool ok = true;
+  {
+    Warehouse warehouse = tpcd::MakeTpcdWarehouse(options, {"Q5"});
+    ok &= RunWorkload("Q5 (6-way join)", warehouse, options);
+  }
+  {
+    Warehouse warehouse = tpcd::MakeTpcdWarehouse(options, {"Q3", "Q5", "Q10"});
+    ok &= RunWorkload("Q3 + Q5 + Q10 (shared customer/orders prefix)",
+                      warehouse, options);
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks for the auxiliary-view layer (plan/aux_view.h),
+// fault-point style (see micro_fault.cc, micro_obs.cc, micro_window.cc):
+// the acceptance criterion is that a DISARMED warehouse — the state every
+// run is in when WUW_AUX_VIEWS is unset and EnableAuxViews() was never
+// called — pays only null-pointer checks at the three integration seams
+// (TallyComp after each Comp, binding-snapshot attach in the Comp lowering
+// options, AuxCommit in ResetBatch), staying within noise of the
+// pre-aux engine.  The armed advisor paths (tally, window close, binding
+// lookup) are measured alongside so the bookkeeping the promotion
+// machinery adds per window is visible and bounded.
+#include <benchmark/benchmark.h>
+
+#include "core/strategy_space.h"
+#include "exec/executor.h"
+#include "plan/aux_view.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_schema.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+tpcd::GeneratorOptions Options() {
+  tpcd::GeneratorOptions o;
+  o.scale_factor = 0.002;
+  o.seed = 42;
+  return o;
+}
+
+/// A Q3 warehouse with a pending deletion batch, cloned per measured run.
+const Warehouse& BatchedWarehouse() {
+  static Warehouse* w = [] {
+    auto* wh = new Warehouse(tpcd::MakeTpcdWarehouse(Options(), {"Q3"}));
+    for (const std::string& base : wh->vdag().BaseViews()) {
+      wh->SetBaseDelta(base,
+                       tpcd::MakeDeletionDelta(
+                           *wh->catalog().MustGetTable(base), 0.05, 7));
+    }
+    return wh;
+  }();
+  return *w;
+}
+
+void RunStrategy(bool arm_tally_only) {
+  Warehouse clone = BatchedWarehouse().Clone();
+  if (arm_tally_only) {
+    AuxViewOptions options;
+    options.auto_promote = false;  // advisor observes, never materializes
+    clone.EnableAuxViews(options);
+  }
+  Executor executor(&clone);
+  executor.Execute(MakeDualStageVdagStrategy(clone.vdag()));
+}
+
+// Full dual-stage update window with no registry attached — the
+// configuration every paper-fidelity bench runs in.  Compare against
+// BM_ExecuteNoBudget in micro_window (same fixture): the delta is the
+// compiled-in aux seams (three pointer checks per step + one per
+// ResetBatch), which must be noise.
+void BM_ExecuteAuxDisarmed(benchmark::State& state) {
+  for (auto _ : state) RunStrategy(/*arm_tally_only=*/false);
+}
+BENCHMARK(BM_ExecuteAuxDisarmed)->Unit(benchmark::kMillisecond);
+
+// Same window with the advisor armed in tally-only mode: per-Comp prefix
+// tallies plus the per-commit window close, but no materialization and no
+// substitution.  aux_view_property_test pins the outputs byte-identical
+// to disarmed; this pins the time.
+void BM_ExecuteAuxTallyOnly(benchmark::State& state) {
+  for (auto _ : state) RunStrategy(/*arm_tally_only=*/true);
+}
+BENCHMARK(BM_ExecuteAuxTallyOnly)->Unit(benchmark::kMillisecond);
+
+// One TallyComp call in isolation: the per-Comp-step advisor charge (map
+// upserts per eligible prefix length under a mutex).
+void BM_TallyComp(benchmark::State& state) {
+  const Warehouse& w = BatchedWarehouse();
+  AuxViewRegistry registry({});
+  const ViewDefinition& def = *w.vdag().definition("Q3");
+  std::vector<std::string> over = def.sources();
+  for (auto _ : state) {
+    registry.TallyComp(def, over);
+    benchmark::DoNotOptimize(&registry);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TallyComp);
+
+// One snapshot() fetch: what MakeCompEvalOptions pays per Comp step on an
+// armed warehouse (shared_ptr copy under a mutex).
+void BM_BindingSnapshotFetch(benchmark::State& state) {
+  AuxViewRegistry registry({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BindingSnapshotFetch);
+
+// One CloseWindow + Restamp round on a tallied registry with nothing
+// eligible: the fixed per-commit cost AuxCommit adds to ResetBatch on an
+// armed warehouse that never promotes.
+void BM_CloseWindowNothingEligible(benchmark::State& state) {
+  const Warehouse& w = BatchedWarehouse();
+  AuxViewOptions options;
+  options.auto_promote = false;
+  AuxViewRegistry registry(options);
+  const ViewDefinition& def = *w.vdag().definition("Q3");
+  registry.TallyComp(def, def.sources());
+  auto version_of = [](const std::string&) { return int64_t{0}; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.CloseWindow(w.vdag(), w.catalog()));
+    registry.Restamp(version_of, w.catalog());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CloseWindowNothingEligible);
+
+}  // namespace
+}  // namespace wuw
+
+BENCHMARK_MAIN();

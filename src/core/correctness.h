@@ -38,6 +38,12 @@ CorrectnessResult CheckViewStrategy(const std::string& view,
 /// Checks Definition 3.3 (C7 via Definition 3.1 per view, plus C8 and the
 /// global single-Inst requirement) for a whole-VDAG strategy.
 /// `known_empty` as above (use EmptyDeltaClosure from core/simplify.h).
+///
+/// Hidden auxiliary views ("__aux_<n>", plan/aux_view.h) the strategy never
+/// mentions are waived: strategies built before a promotion are still
+/// correct afterwards — the warehouse recomputes any aux view such a
+/// strategy left stale before the commit publishes.  A *partial* mention
+/// (Comp without Inst, or vice versa) still fails as for any view.
 CorrectnessResult CheckVdagStrategy(const Vdag& vdag, const Strategy& strategy,
                                     const std::set<std::string>& known_empty = {});
 

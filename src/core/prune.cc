@@ -26,8 +26,8 @@ PruneResult Prune(const Vdag& vdag, const SizeMap& sizes,
       ++best.orderings_infeasible;
       continue;
     }
-    WorkBreakdown work =
-        EstimateStrategyWork(vdag, *strategy, sizes, options.work_params);
+    WorkBreakdown work = EstimateStrategyWork(vdag, *strategy, sizes,
+                                              options.work_params, options.aux);
     if (!found || work.total < best.work) {
       found = true;
       best.work = work.total;

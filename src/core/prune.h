@@ -25,6 +25,12 @@ struct PruneOptions {
   /// validate the optimization in tests.
   bool permute_only_views_with_parents = true;
   WorkParams work_params;
+  /// Promoted auxiliary views the costing may substitute
+  /// (AuxViewRegistry::BuildCostInfo).  With aux-aware costing, orderings
+  /// that delay installing covered prefix sources keep the cheap aux-scan
+  /// alternative alive for more Comps — so the *chosen* strategy changes,
+  /// not just its estimated work.  Null = the plain linear metric.
+  const AuxCostInfo* aux = nullptr;
 };
 
 struct PruneResult {

@@ -1,6 +1,7 @@
 #include "core/work_metric.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/check.h"
 
@@ -86,6 +87,111 @@ WorkBreakdown EstimateStrategyWork(const Vdag& vdag, const Strategy& strategy,
     return total;
   };
   return Replay(vdag, strategy, sizes, params, comp_work);
+}
+
+WorkBreakdown EstimateStrategyWork(const Vdag& vdag, const Strategy& strategy,
+                                   const SizeMap& sizes,
+                                   const WorkParams& params,
+                                   const AuxCostInfo* aux) {
+  if (aux == nullptr || aux->empty()) {
+    return EstimateStrategyWork(vdag, strategy, sizes, params);
+  }
+  std::unordered_map<std::string, int64_t> current;
+  for (const std::string& name : vdag.view_names()) {
+    current[name] = sizes.Get(name).size;
+  }
+  // Views Inst'ed so far in the replay: their extents are post-install, so
+  // any aux view covering them (or installed itself) stops substituting —
+  // the same rule FindAuxBinding enforces at runtime via version stamps.
+  std::unordered_set<std::string> installed;
+
+  auto comp_work = [&](const Expression& e) -> double {
+    const std::vector<std::string>& all_sources = vdag.sources(e.view);
+    const std::vector<std::string>& y = e.over;
+    const size_t m = y.size();
+    WUW_CHECK(m < 63, "Comp set too large for subset enumeration");
+
+    // Longest still-applicable alternative for this view, if any.
+    const AuxCostAlternative* best = nullptr;
+    for (const AuxCostAlternative& alt : aux->alternatives) {
+      if (alt.view != e.view) continue;
+      if (alt.prefix_len < 2 || alt.prefix_len >= all_sources.size() ||
+          alt.prefix_sources.size() != alt.prefix_len) {
+        continue;
+      }
+      if (!sizes.Has(alt.aux_view) || installed.count(alt.aux_view) > 0) {
+        continue;
+      }
+      bool applicable = true;
+      double prefix_rows = 0;
+      for (size_t i = 0; i < alt.prefix_len; ++i) {
+        if (alt.prefix_sources[i] != all_sources[i] ||
+            installed.count(all_sources[i]) > 0) {
+          applicable = false;
+          break;
+        }
+        prefix_rows += static_cast<double>(current.at(all_sources[i]));
+      }
+      if (!applicable) continue;
+      // Strict benefit: never substitute a scan that reads no fewer rows.
+      if (static_cast<double>(current.at(alt.aux_view)) >= prefix_rows) {
+        continue;
+      }
+      if (best == nullptr || alt.prefix_len > best->prefix_len) best = &alt;
+    }
+
+    // Split the non-Y extents by prefix membership, and record which Y
+    // positions sit inside the prefix: a term substitutes only when all of
+    // those read extents (mask bits zero).
+    double other_in_prefix = 0;
+    double other_outside = 0;
+    uint64_t y_in_prefix = 0;
+    for (size_t s = 0; s < all_sources.size(); ++s) {
+      const bool in_prefix = best != nullptr && s < best->prefix_len;
+      auto it = std::find(y.begin(), y.end(), all_sources[s]);
+      if (it == y.end()) {
+        double rows = static_cast<double>(current.at(all_sources[s]));
+        (in_prefix ? other_in_prefix : other_outside) += rows;
+      } else if (in_prefix) {
+        y_in_prefix |= uint64_t{1} << (it - y.begin());
+      }
+    }
+    const double aux_rows =
+        best != nullptr ? static_cast<double>(current.at(best->aux_view)) : 0;
+
+    double total = 0;
+    for (uint64_t mask = 1; mask < (uint64_t{1} << m); ++mask) {
+      const bool substituted = best != nullptr && (mask & y_in_prefix) == 0;
+      double term = substituted ? aux_rows + other_outside
+                                : other_in_prefix + other_outside;
+      for (size_t k = 0; k < m; ++k) {
+        const bool k_in_prefix = (y_in_prefix >> k & 1) != 0;
+        if (mask >> k & 1) {
+          term += static_cast<double>(sizes.Get(y[k]).delta_abs);
+        } else if (!(substituted && k_in_prefix)) {
+          term += static_cast<double>(current.at(y[k]));
+        }
+      }
+      total += term;
+    }
+    return total;
+  };
+
+  WorkBreakdown out;
+  for (const Expression& e : strategy.expressions()) {
+    double work = 0;
+    if (e.is_comp()) {
+      work = params.comp_per_row * comp_work(e);
+    } else {
+      work = params.inst_per_row *
+             static_cast<double>(sizes.Get(e.view).delta_abs);
+      current[e.view] += sizes.Get(e.view).delta_net;
+      installed.insert(e.view);
+    }
+    out.per_expression.push_back(ExpressionWork{e, work});
+    out.total += work;
+  }
+  return out;
 }
 
 WorkBreakdown EstimateStrategyWorkOperandsOnce(const Vdag& vdag,

@@ -77,6 +77,44 @@ WorkBreakdown EstimateStrategyWork(const Vdag& vdag, const Strategy& strategy,
                                    const SizeMap& sizes,
                                    const WorkParams& params);
 
+/// One promoted auxiliary view as the cost model sees it: scanning
+/// `aux_view` can replace the leading `prefix_len` source operands of any
+/// maintenance term of `view` whose prefix operands all read
+/// un-reinstalled extents (the runtime substitution rule lives in
+/// plan/aux_view.h; this struct mirrors it analytically).
+struct AuxCostAlternative {
+  /// The parent derived view whose terms may substitute.
+  std::string view;
+  /// The hidden materialized prefix ("__aux_<n>").
+  std::string aux_view;
+  /// How many leading sources of Def(view) the materialization covers.
+  size_t prefix_len = 0;
+  /// sources(view)[0 .. prefix_len): recorded for defensive matching.
+  std::vector<std::string> prefix_sources;
+};
+
+/// The advisor's promoted-view catalog in optimizer form
+/// (AuxViewRegistry::BuildCostInfo).
+struct AuxCostInfo {
+  std::vector<AuxCostAlternative> alternatives;
+  bool empty() const { return alternatives.empty(); }
+};
+
+/// Aux-aware overload: a term whose leading operands are covered by a
+/// promoted auxiliary view is charged |aux| plus its suffix operands —
+/// matching what EvalComp executes under the substitution.  A substitution
+/// is only available while neither the aux view nor any covered prefix
+/// source has been Inst'ed earlier in the strategy (an earlier install
+/// desynchronizes the materialization from the extents for the rest of the
+/// window), which is exactly why aux-aware costing changes strategy
+/// *choice*: orderings that delay prefix-source installs keep the cheap
+/// alternative alive for more Comps.  `aux == nullptr` or empty reproduces
+/// the 4-argument overload bit for bit.
+WorkBreakdown EstimateStrategyWork(const Vdag& vdag, const Strategy& strategy,
+                                   const SizeMap& sizes,
+                                   const WorkParams& params,
+                                   const AuxCostInfo* aux);
+
 /// The Section-7 "Discussion" variant metric that charges each distinct
 /// operand once per Comp instead of once per term.  Under this (flawed)
 /// metric the dual-stage strategy looks best; the ablation bench

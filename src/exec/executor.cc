@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "parallel/read_driver.h"
 #include "parallel/thread_pool.h"
+#include "plan/aux_view.h"
 #include "view/comp_term.h"
 
 namespace wuw {
@@ -101,6 +102,11 @@ ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
     CompEvalResult result =
         EvalComp(*vdag.definition(e.view), e.over, warehouse->catalog(),
                  provider, local_options, &er.stats);
+    // Advisor signal: structural (term shapes only), so a journal replay of
+    // this Comp re-tallies exactly what the live run did.
+    if (AuxViewRegistry* aux = warehouse->aux_views()) {
+      aux->TallyComp(*vdag.definition(e.view), e.over);
+    }
     // A kill here loses the computed delta before δV absorbed any of it.
     WUW_FAULT_POINT("executor.comp.accumulate");
     JournalEntry entry;
@@ -189,6 +195,18 @@ CompEvalOptions MakeCompEvalOptions(Warehouse* warehouse,
     comp_options.extent_version = [warehouse](const std::string& name) {
       return warehouse->extent_version(name);
     };
+  }
+  if (warehouse->aux_views() != nullptr) {
+    // Aux substitution needs the same version plumbing cache keys use;
+    // wire it even without a cache so stamps stay verifiable.
+    comp_options.aux_bindings = warehouse->aux_views()->snapshot();
+    if (comp_options.aux_bindings != nullptr &&
+        comp_options.extent_version == nullptr) {
+      comp_options.batch_epoch = warehouse->batch_epoch();
+      comp_options.extent_version = [warehouse](const std::string& name) {
+        return warehouse->extent_version(name);
+      };
+    }
   }
   return comp_options;
 }

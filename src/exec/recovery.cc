@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "parallel/read_driver.h"
 #include "parallel/thread_pool.h"
+#include "plan/aux_view.h"
 #include "view/comp_term.h"
 
 namespace wuw {
@@ -91,7 +92,16 @@ ResumeReport ResumeStrategy(const StrategyJournal& journal,
               "journal step out of strategy range");
     WUW_CHECK(completed[entry.step] == 0, "duplicate journal step");
     completed[entry.step] = 1;
-    if (mode == ResumeMode::kReplayRestored) ReplayEntry(entry, warehouse);
+    if (mode == ResumeMode::kReplayRestored) {
+      ReplayEntry(entry, warehouse);
+      // Re-tally replayed Comps so the advisor sees the same window an
+      // uninterrupted run would have (kContinueInPlace tallied them live).
+      if (entry.expression.is_comp() && warehouse->aux_views() != nullptr) {
+        warehouse->aux_views()->TallyComp(
+            *warehouse->vdag().definition(entry.expression.view),
+            entry.expression.over);
+      }
+    }
     if (rejournal != nullptr) {
       JournalEntry copy = entry;
       if (entry.expression.is_inst()) {

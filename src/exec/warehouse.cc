@@ -67,6 +67,7 @@ Warehouse::Warehouse(Vdag vdag) : vdag_(std::move(vdag)) {
   // the env-knob twin of EnableSnapshotReads(), same discipline as
   // WUW_WINDOW_BUDGET / WUW_METRICS.
   if (EnvReaders() > 0) EnableSnapshotReads();
+  if (const AuxViewOptions* aux = EnvAuxViews()) EnableAuxViews(*aux);
 }
 
 Table* Warehouse::base_table(const std::string& name) {
@@ -178,6 +179,103 @@ std::vector<std::string> Warehouse::SnapshotAuditViolations() const {
   return out;
 }
 
+void Warehouse::EnableAuxViews(AuxViewOptions options) {
+  if (aux_ == nullptr) {
+    aux_ = std::make_unique<AuxViewRegistry>(options);
+  } else {
+    aux_->set_options(options);
+  }
+}
+
+std::vector<std::string> Warehouse::AuxAuditViolations() const {
+  if (aux_ == nullptr) return {};
+  auto version_of = [this](const std::string& n) { return extent_version(n); };
+  return aux_->AuditViolations(version_of, catalog_);
+}
+
+void Warehouse::AuxCommit() {
+  auto version_of = [this](const std::string& n) { return extent_version(n); };
+
+  // 1. Refresh materializations whose prefix sources drifted this window
+  // while the aux extent itself was not rewritten.
+  for (const AuxViewRegistry::AuxRefresh& r : aux_->CollectStale(version_of)) {
+    // A kill here models dying mid-refresh; recovery restores the
+    // pre-window state and its final ResetBatch reruns this deterministic
+    // commit, redoing the refresh.
+    WUW_FAULT_POINT("aux.refresh.step");
+    int64_t jr = 0;
+    Table fresh = RecomputeView(*r.def, catalog_, /*stats=*/nullptr, &jr);
+    Table* table = MutableExtent(r.aux_view);
+    table->Clear();
+    fresh.ForEach([&](const Tuple& t, int64_t c) { table->Add(t, c); });
+    join_rows_[r.aux_view] = jr;
+    NoteExtentChanged(r.aux_view);
+    WUW_METRIC_ADD("aux.refreshes", obs::MetricClass::kWork, 1);
+  }
+
+#ifndef NDEBUG
+  {
+    std::vector<std::string> unbumped = AuxAuditViolations();
+    WUW_CHECK(unbumped.empty(),
+              ("aux extent mutated without NoteExtentChanged before commit: " +
+               unbumped.front())
+                  .c_str());
+  }
+#endif
+
+  // 2. Close the advisor window; materialize the promotions that survive
+  // the measured accept test.
+  for (const AuxViewRegistry::AuxPromotion& p :
+       aux_->CloseWindow(vdag_, catalog_)) {
+    // A same-window sibling sharing this recipe may have been rejected by
+    // the accept test below, leaving the shared extent unmaterialized —
+    // the parent re-proposes (with its own accept test) in a later window.
+    if (p.already_materialized && !catalog_.HasTable(p.aux_view)) continue;
+    if (!p.already_materialized) {
+      int64_t jr = 0;
+      Table fresh = RecomputeView(*p.def, catalog_, /*stats=*/nullptr, &jr);
+      const int64_t rows = fresh.cardinality();
+      // Accept iff the aux scan is strictly cheaper than the prefix scans
+      // it replaces AND last window's substitutions would have saved more
+      // linear work than the view's own upkeep (the prefix_len-1 extra
+      // Comp terms of roughly prefix-sized inputs a maintenance window
+      // pays for one more derived view).
+      const int64_t saved = p.window_uses * (p.prefix_extent_rows - rows);
+      const int64_t upkeep =
+          static_cast<int64_t>(p.prefix_len - 1) * p.prefix_extent_rows;
+      if (rows >= p.prefix_extent_rows || saved <= upkeep) {
+        aux_->MarkRejected(p.parent, p.prefix_len);
+        continue;
+      }
+      vdag_.AddDerivedView(p.def);
+      catalog_.CreateTable(p.aux_view, vdag_.OutputSchema(p.aux_view));
+      extent_versions_.emplace(p.aux_view, 0);
+      auto resolver = [this](const std::string& src) -> const Schema& {
+        return vdag_.OutputSchema(src);
+      };
+      accumulators_.emplace(
+          p.aux_view, std::make_unique<DeltaAccumulator>(
+                          p.def, RawSchema(*p.def, resolver),
+                          vdag_.OutputSchema(p.aux_view)));
+      if (snapshots_ != nullptr) snapshots_->clean.emplace(p.aux_view, false);
+      // A kill here models dying between VDAG registration and the extent
+      // fill; the half-installed state dies with the killed process and
+      // the restored clone's rerun re-registers from scratch.
+      WUW_FAULT_POINT("aux.promote.install");
+      Table* table = MutableExtent(p.aux_view);
+      fresh.ForEach([&](const Tuple& t, int64_t c) { table->Add(t, c); });
+      join_rows_[p.aux_view] = jr;
+      NoteExtentChanged(p.aux_view);
+      WUW_METRIC_ADD("aux.promotions", obs::MetricClass::kWork, 1);
+    }
+    aux_->Bind(p);
+  }
+
+  // 3. Stamp every binding against the post-commit state — the freshness
+  // baseline next window's substitutions validate against.
+  aux_->Restamp(version_of, catalog_);
+}
+
 void Warehouse::SetBaseDelta(const std::string& name, DeltaRelation delta) {
   WUW_CHECK(vdag_.IsBaseView(name),
             ("deltas arrive only for base views: " + name).c_str());
@@ -218,6 +316,9 @@ void Warehouse::ResetBatch() {
   base_deltas_.clear();
   for (auto& [name, acc] : accumulators_) acc->Reset();
   ++batch_epoch_;
+  // The aux-view commit hook runs before the publish so readers only ever
+  // see fresh materializations alongside the window's installs.
+  if (aux_ != nullptr) AuxCommit();
   // Executors call ResetBatch exactly when a strategy run completes — the
   // window's installs become visible to readers here, atomically.  Paused
   // windows never reach this, so readers keep the pre-window snapshot.
@@ -281,6 +382,10 @@ Warehouse Warehouse::Clone() const {
   out.join_rows_ = join_rows_;
   out.extent_versions_ = extent_versions_;
   out.batch_epoch_ = batch_epoch_;
+  // Unconditional: the ctor may have armed a fresh registry from the env,
+  // but a clone must tally/bind/promote exactly like the original (what
+  // keeps kill/resume runs bit-identical to uninterrupted ones).
+  out.aux_ = aux_ != nullptr ? aux_->Copy() : nullptr;
   if (snapshots_ != nullptr || out.snapshots_ != nullptr) {
     // Clones of an armed warehouse serve snapshots too — and the ctor may
     // have published the pre-Clone (empty) tables under WUW_READERS, so

@@ -19,6 +19,7 @@
 #include "delta/delta_relation.h"
 #include "exec/journal.h"
 #include "graph/vdag.h"
+#include "plan/aux_view.h"
 #include "storage/catalog.h"
 #include "storage/read_snapshot.h"
 #include "view/maintenance.h"
@@ -88,6 +89,26 @@ class Warehouse {
   /// (Re)materializes every derived view bottom-up from the current base
   /// extents, refreshing the join-cardinality statistics.
   void RecomputeDerived();
+
+  /// Arms the auxiliary-view advisor (plan/aux_view.h): executed Comps are
+  /// tallied, and each commit (ResetBatch) refreshes stale
+  /// materializations, promotes hot join prefixes to hidden "__aux_<n>"
+  /// views registered in the VDAG, and restamps the substitution bindings.
+  /// Idempotent (later calls only update the options); also driven by the
+  /// WUW_AUX_VIEWS env knob at construction.  Disarmed, aux_views() is
+  /// null and every hook in the engine is one pointer test — bit-identical
+  /// behavior to a build without this layer.
+  void EnableAuxViews(AuxViewOptions options);
+
+  /// The advisor/binding registry; nullptr while disarmed.
+  AuxViewRegistry* aux_views() { return aux_.get(); }
+  const AuxViewRegistry* aux_views() const { return aux_.get(); }
+
+  /// Aux flavor of SnapshotAuditViolations: bound aux extents mutated
+  /// since their last commit stamp without a NoteExtentChanged bump.
+  /// Release-safe; ResetBatch aborts on a non-empty result in debug
+  /// builds.  Empty while disarmed.
+  std::vector<std::string> AuxAuditViolations() const;
 
   /// Registers the incoming changes of a base view for the next update
   /// window.  Replaces any delta already pending for that view.
@@ -163,6 +184,13 @@ class Warehouse {
  private:
   struct SnapshotPublisher;
 
+  /// The aux-view commit hook, run by ResetBatch before the snapshot
+  /// publishes: refresh stale materializations, audit version bumps
+  /// (debug), close the advisor window + materialize promotions, restamp
+  /// bindings.  Deterministic, so a recovery's final ResetBatch reruns it
+  /// to the same state.
+  void AuxCommit();
+
   Vdag vdag_;
   Catalog catalog_;
   std::unordered_map<std::string, DeltaRelation> base_deltas_;
@@ -180,6 +208,9 @@ class Warehouse {
   /// Snapshot-read state (atomic publish slot + COW clean flags + audit
   /// baseline); null while disarmed — the zero-cost-when-unset gate.
   std::unique_ptr<SnapshotPublisher> snapshots_;
+  /// Auxiliary-view advisor + bindings (WUW_AUX_VIEWS); null while
+  /// disarmed — same zero-cost-when-unset gate.
+  std::unique_ptr<AuxViewRegistry> aux_;
 };
 
 }  // namespace wuw

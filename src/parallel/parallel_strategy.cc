@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "plan/aux_view.h"
 
 namespace wuw {
 
@@ -53,6 +54,12 @@ bool Conflicts(const Vdag& vdag, const Expression& a, const Expression& b) {
     return (e.is_comp() && e.CompUses(view)) ||
            (e.is_inst() && e.view == view);
   };
+
+  // A hidden aux extent may be scanned by ANY Comp whose term prefix its
+  // binding covers — a read invisible to the source lists above, so every
+  // aux Inst orders conservatively against every Comp (either direction).
+  if (a.is_inst() && b.is_comp() && IsAuxViewName(a.view)) return true;
+  if (b.is_inst() && a.is_comp() && IsAuxViewName(b.view)) return true;
 
   // Inst(X) writes extent X; Comp(V, ...) writes delta V.
   if (a.is_inst()) {

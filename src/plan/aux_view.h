@@ -1,0 +1,285 @@
+// Persistent auxiliary views: the multi-query-optimization layer that
+// makes SubplanCache sharing permanent (ROADMAP "MQO across the VDAG";
+// Mistry/Roy/Ramamritham/Sudarshan, PAPERS.md).
+//
+// A Comp(V, Y)'s 2^|Y|-1 terms share left-deep join *prefixes*: every term
+// whose leading k operands all read extents evaluates the identical
+// filtered join of sources(V)[0..k).  The PlanDag already unifies those
+// prefixes within one window (fingerprint interning, PR 1) and the
+// SubplanCache carries them across Comps of one batch — but both die with
+// the batch.  This layer promotes the hot prefixes to *hidden warehouse
+// views* ("__aux_<n>"): real VDAG members with extents, accumulators, and
+// version counters, maintained incrementally like any other view, so
+// snapshot publish/COW, journaling, and pause/kill/resume cover them with
+// zero new machinery.
+//
+// Three cooperating pieces:
+//   1. AuxViewRegistry — the promotion advisor.  ExecuteExpression tallies,
+//      per (parent view, prefix length), how many structural terms of each
+//      executed Comp could have substituted a materialized prefix
+//      (TallyComp; deterministic: counts come from the term *structure*,
+//      never from runtime row counts or cache state).  At each commit
+//      (Warehouse::ResetBatch -> AuxCommit) the advisor closes the window,
+//      ranks hot candidates by benefit x frequency - maintenance cost, and
+//      asks the warehouse to materialize the winners.
+//   2. FindAuxBinding — the rewrite pass.  EvalComp consults the bindings
+//      when lowering each term: if the term's leading operands are all
+//      extents whose versions still match the binding's stamps (taken at
+//      the materializing commit), the prefix lowers to one aux-extent scan
+//      instead of k scans + k-1 joins.  Staleness is structurally
+//      impossible: stamps embed extent_version, aux scan nodes embed
+//      extent_version + batch_epoch exactly like every cached scan, and
+//      any mid-strategy Inst of a covered source kills the substitution
+//      for the rest of the window.
+//   3. AuxCostInfo (core/work_metric.h) — BuildCostInfo exports the
+//      bindings to the strategy optimizers so Prune's costing sees the
+//      cheap alternative and strategy *choice* changes.
+//
+// Gating: the WUW_AUX_VIEWS env knob ("1"/"on" or
+// "max=N;min_windows=N;min_uses=N;min_rows=N;auto=0|1") arms every
+// warehouse at construction; in-process, Warehouse::EnableAuxViews.
+// Unset, Warehouse::aux_ stays null and every hook is one pointer test —
+// zero behavior change, bit-identical to an unarmed build
+// (bench/micro_aux keeps this honest).
+#ifndef WUW_PLAN_AUX_VIEW_H_
+#define WUW_PLAN_AUX_VIEW_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/work_metric.h"
+#include "graph/vdag.h"
+#include "storage/catalog.h"
+#include "view/view_definition.h"
+
+namespace wuw {
+
+/// Name prefix of hidden auxiliary views.  The prefix is what hides them:
+/// Catalog::ContentsEqual skips it, CheckVdagStrategy waives unmentioned
+/// views carrying it, and Conflicts() orders their installs conservatively.
+inline constexpr char kAuxViewPrefix[] = "__aux_";
+
+/// True for system-created auxiliary views ("__aux_<n>").
+inline bool IsAuxViewName(const std::string& name) {
+  return name.rfind(kAuxViewPrefix, 0) == 0;
+}
+
+/// Advisor policy knobs (WUW_AUX_VIEWS spec grammar).
+struct AuxViewOptions {
+  /// Cap on distinct materialized aux views per warehouse.
+  int64_t max_views = 4;
+  /// Consecutive hot windows a candidate must accumulate before promotion.
+  int64_t min_windows = 2;
+  /// Substitutable terms per window for a window to count as hot.
+  int64_t min_uses = 2;
+  /// Minimum summed prefix-extent rows — don't bother materializing tiny
+  /// prefixes.
+  int64_t min_rows = 0;
+  /// False = tally only, never materialize (diagnostics).
+  bool auto_promote = true;
+};
+
+/// Parses a WUW_AUX_VIEWS spec ("1", "on", or ';'-separated clauses
+/// "max=N", "min_windows=N", "min_uses=N", "min_rows=N", "auto=0|1") into
+/// `out`.  Returns "" on success, else a description of the problem
+/// (user-facing input path: error strings, never aborts).
+std::string ParseAuxViewSpec(const std::string& spec, AuxViewOptions* out);
+
+/// The process-wide WUW_AUX_VIEWS options, parsed once; nullptr when the
+/// variable is unset.  A malformed spec warns once on stderr and reads as
+/// unset.
+const AuxViewOptions* EnvAuxViews();
+
+/// One substitution rule: terms of `parent` whose leading `prefix_len`
+/// operands all read extents may scan `aux_view` instead — provided every
+/// stamped version below still matches the live counter.
+struct AuxTermBinding {
+  std::string parent;
+  std::string aux_view;
+  size_t prefix_len = 0;
+  /// sources(parent)[0 .. prefix_len), in definition order.
+  std::vector<std::string> prefix_sources;
+  /// extent_version of each prefix source at the last commit; a live
+  /// mismatch means some source was rewritten since the aux view was
+  /// brought up to date, so the materialization no longer equals the
+  /// prefix join.
+  std::vector<std::pair<std::string, int64_t>> required_versions;
+  /// extent_version of the aux view itself at the last commit; a live
+  /// mismatch means the aux extent holds mid-window (post-Inst) state
+  /// while un-installed prefix extents are still pre-window.
+  int64_t aux_version = 0;
+};
+
+/// Immutable copy of the bindings handed to EvalComp for one strategy run
+/// (CompEvalOptions::aux_bindings).  Per parent, longest prefix first.
+struct AuxBindingSnapshot {
+  std::unordered_map<std::string, std::vector<AuxTermBinding>> by_view;
+};
+
+/// The rewrite-pass predicate: the longest binding applicable to the term
+/// of `def` whose per-source operand choice is `use_delta` (true = delta),
+/// or nullptr.  Applicability = all prefix operands are extents, all
+/// version stamps match `version_of`, the aux extent exists in `catalog`,
+/// and scanning it is strictly cheaper than scanning the prefix extents.
+const AuxTermBinding* FindAuxBinding(
+    const AuxBindingSnapshot& snapshot, const ViewDefinition& def,
+    const std::vector<bool>& use_delta,
+    const std::function<int64_t(const std::string&)>& version_of,
+    const Catalog& catalog);
+
+/// The promotion advisor + binding store.  Owned by Warehouse (null while
+/// disarmed); Copy()'d by Warehouse::Clone so clones substitute and
+/// promote identically — which is what keeps kill/resume runs bit-identical
+/// to uninterrupted ones.
+///
+/// Thread-safe where execution touches it (TallyComp from stage workers,
+/// snapshot() from MakeCompEvalOptions); the commit-side methods run only
+/// from ResetBatch, which is single-threaded by contract.
+class AuxViewRegistry {
+ public:
+  /// A stale materialization ResetBatch must recompute before restamping.
+  struct AuxRefresh {
+    std::string aux_view;
+    std::shared_ptr<const ViewDefinition> def;
+  };
+
+  /// One promotion the advisor wants.  `already_materialized` = the recipe
+  /// is shared with an existing aux view (classic MQO sharing), so only a
+  /// new binding is recorded; otherwise the warehouse materializes
+  /// `def` and registers `aux_view` in the VDAG first.
+  struct AuxPromotion {
+    std::string parent;
+    size_t prefix_len = 0;
+    std::string aux_view;
+    std::shared_ptr<const ViewDefinition> def;
+    std::vector<std::string> prefix_sources;
+    bool already_materialized = false;
+    /// Summed prefix extent cardinalities at proposal time; the warehouse
+    /// rejects the materialization unless it comes out strictly smaller.
+    int64_t prefix_extent_rows = 0;
+    /// Substitutable terms tallied in the closing window — the frequency
+    /// the warehouse weighs the measured benefit by before accepting.
+    int64_t window_uses = 0;
+  };
+
+  explicit AuxViewRegistry(AuxViewOptions options);
+
+  const AuxViewOptions& options() const { return options_; }
+
+  /// Replaces the policy knobs (EnableAuxViews on an already-armed
+  /// warehouse).  Tallies, bindings, and stamps are preserved.
+  void set_options(AuxViewOptions options);
+
+  /// Advisor input signal: counts, per (def.name(), k), the structural
+  /// terms of Comp(def, over) whose first k operands all read extents —
+  /// i.e. the terms a k-prefix materialization would have substituted.
+  /// Pure arithmetic over the term structure (independent of row counts,
+  /// caches, pools, and skip-empty-delta pruning), so tallies — and hence
+  /// promotion decisions — are deterministic across every knob.
+  void TallyComp(const ViewDefinition& def,
+                 const std::vector<std::string>& over);
+
+  /// Current bindings for the rewrite pass; nullptr when nothing is bound
+  /// (the common cold-start case — callers skip all aux work on null).
+  std::shared_ptr<const AuxBindingSnapshot> snapshot() const;
+
+  /// Bindings in optimizer form (core/work_metric.h).
+  AuxCostInfo BuildCostInfo() const;
+
+  /// Deep copy for Warehouse::Clone.
+  std::unique_ptr<AuxViewRegistry> Copy() const;
+
+  // Commit-side API, called from Warehouse::ResetBatch in this order:
+  // CollectStale -> (refresh each) -> AuditViolations (debug) ->
+  // CloseWindow -> (materialize / MarkRejected / Bind each) -> Restamp.
+
+  /// Aux views whose prefix sources were rewritten since the last commit
+  /// while the aux extent itself was not (deduped).  Those must be
+  /// recomputed before this commit publishes.  Soundness of the converse:
+  /// every path that bumps an aux extent's version (Inst via a validated
+  /// strategy, RecomputeDerived, a refresh) leaves it equal to its
+  /// definition over current sources, so "aux bumped" implies fresh.
+  std::vector<AuxRefresh> CollectStale(
+      const std::function<int64_t(const std::string&)>& version_of) const;
+
+  /// Closes the tally window: updates hot streaks, resets per-window
+  /// counters, and returns the promotions the advisor wants this commit
+  /// (empty unless auto_promote).  Deterministic: candidates iterate in
+  /// sorted order and scores use catalog cardinalities only.
+  std::vector<AuxPromotion> CloseWindow(const Vdag& vdag,
+                                        const Catalog& catalog);
+
+  /// Permanently rejects a candidate whose materialization turned out not
+  /// to be beneficial (e.g. the prefix join is as large as its inputs).
+  void MarkRejected(const std::string& parent, size_t prefix_len);
+
+  /// Records a binding for a successful promotion.  Stamps are filled by
+  /// the Restamp that ends the same commit.
+  void Bind(const AuxPromotion& promotion);
+
+  /// Re-stamps every binding against the live version counters and extent
+  /// mutation counts — the per-commit freshness baseline substitution and
+  /// the audit check against.
+  void Restamp(const std::function<int64_t(const std::string&)>& version_of,
+               const Catalog& catalog);
+
+  /// The PR 7-style debug audit, aux flavor: aux extents mutated since
+  /// their stamp whose extent_version was NOT bumped (a missed
+  /// NoteExtentChanged would serve stale version-keyed scans).  Empty on a
+  /// healthy warehouse; ResetBatch aborts on it in debug builds.
+  std::vector<std::string> AuditViolations(
+      const std::function<int64_t(const std::string&)>& version_of,
+      const Catalog& catalog) const;
+
+  /// Distinct materialized aux views bound so far.
+  size_t NumAuxViews() const;
+
+  /// Names of distinct bound aux views (sorted; diagnostics/tests).
+  std::vector<std::string> BoundAuxNames() const;
+
+ private:
+  struct Candidate {
+    int64_t uses_in_window = 0;
+    int64_t last_window_uses = 0;
+    int64_t total_uses = 0;
+    int64_t hot_windows = 0;
+    bool rejected = false;
+    bool promoted = false;
+  };
+  struct Binding {
+    AuxTermBinding pub;
+    std::shared_ptr<const ViewDefinition> def;
+    /// Table::mutation_count of the aux extent at the last Restamp.
+    int64_t aux_mutations = 0;
+  };
+
+  void RebuildSnapshotLocked();
+
+  /// Guards candidates_/bindings_/snapshot_ against concurrent TallyComp /
+  /// snapshot() calls from stage workers.
+  mutable std::mutex mu_;
+  AuxViewOptions options_;
+  /// Keyed (parent view, prefix length); std::map for deterministic
+  /// iteration order in CloseWindow.
+  std::map<std::pair<std::string, size_t>, Candidate> candidates_;
+  std::vector<Binding> bindings_;
+  /// Canonical prefix recipe -> existing aux view (MQO sharing across
+  /// parents: same recipe, one materialization, many bindings).
+  std::map<std::string, std::string> recipe_to_aux_;
+  /// Recipes of promotions proposed by the last CloseWindow, keyed by aux
+  /// name; consumed by Bind, cleared by Restamp.
+  std::map<std::string, std::string> pending_recipes_;
+  int64_t next_id_ = 0;
+  std::shared_ptr<const AuxBindingSnapshot> snapshot_;
+};
+
+}  // namespace wuw
+
+#endif  // WUW_PLAN_AUX_VIEW_H_

@@ -33,7 +33,8 @@ std::string SubplanCacheStats::ToString() const {
   out << "hits=" << hits << " misses=" << misses
       << " insertions=" << insertions << " evictions=" << evictions
       << " rejected=" << rejected << " bytes_in_use=" << bytes_in_use
-      << " bytes_evicted=" << bytes_evicted;
+      << " bytes_evicted=" << bytes_evicted
+      << " cost_saved=" << static_cast<int64_t>(cost_saved);
   return out.str();
 }
 
@@ -48,7 +49,10 @@ std::shared_ptr<const Rows> SubplanCache::Lookup(
     return nullptr;
   }
   stats_.hits += 1;
+  stats_.cost_saved += it->second.recompute_cost;
   WUW_METRIC_ADD("cache.hits", obs::MetricClass::kEngine, 1);
+  WUW_METRIC_ADD("cache.cost_saved", obs::MetricClass::kEngine,
+                 static_cast<int64_t>(it->second.recompute_cost));
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   return it->second.rows;
 }

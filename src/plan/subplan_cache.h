@@ -44,6 +44,11 @@ struct SubplanCacheStats {
   int64_t rejected = 0;
   int64_t bytes_in_use = 0;
   int64_t bytes_evicted = 0;
+  /// Summed est_recompute_cost of every hit — the rows the cache's
+  /// consumers did NOT have to touch.  The advisor-facing benefit signal
+  /// (and the "cache.cost_saved" kEngine counter: budget-dependent, so it
+  /// can never be kWork).
+  double cost_saved = 0;
 
   std::string ToString() const;
 };

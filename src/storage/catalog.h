@@ -55,7 +55,10 @@ class Catalog {
   /// Deep copy of all tables.
   Catalog Clone() const;
 
-  /// True iff both catalogs hold the same tables with identical contents.
+  /// True iff both catalogs hold the same *visible* tables with identical
+  /// contents.  Hidden auxiliary views ("__aux_<n>", plan/aux_view.h) are
+  /// skipped on both sides: they are system-managed materializations one
+  /// side may have promoted and the other not.
   bool ContentsEqual(const Catalog& other) const;
 
  private:

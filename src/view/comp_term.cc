@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "plan/aux_view.h"
 #include "plan/plan_executor.h"
 #include "stats/plan_cardinality.h"
 #include "view/join_pipeline.h"
@@ -85,9 +86,20 @@ CompEvalResult EvalComp(const ViewDefinition& def,
     for (size_t k = 0; k < m; ++k) {
       if (mask >> k & 1) use_delta[over_idx[k]] = true;
     }
+    // WUW_AUX_VIEWS rewrite pass: a term whose leading operands are all
+    // extents matching a binding's version stamps scans the materialized
+    // prefix instead of re-joining it (plan/aux_view.h).  The stamps are
+    // re-validated per term, so a binding invalidated by a mid-strategy
+    // Inst of a covered source silently lowers the standard way.
+    const AuxTermBinding* aux = nullptr;
+    if (options.aux_bindings != nullptr && options.extent_version != nullptr) {
+      aux = FindAuxBinding(*options.aux_bindings, def, use_delta, version_of,
+                           catalog);
+    }
+    const size_t first = aux != nullptr ? aux->prefix_len : 0;
     std::vector<PlanNodeId> inputs;
-    inputs.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
+    inputs.reserve(n - first);
+    for (size_t i = first; i < n; ++i) {
       const std::string& src = def.sources()[i];
       if (use_delta[i]) {
         inputs.push_back(dag.InternDeltaScan(src, *delta_of[i], epoch));
@@ -98,8 +110,24 @@ CompEvalResult EvalComp(const ViewDefinition& def,
         term_work[slot] += tables[i]->cardinality();
       }
     }
-    roots[slot] = BuildRawProjectionPlan(def, BuildJoinPlan(def, inputs, &dag),
-                                         &dag);
+    if (aux != nullptr) {
+      const Table* aux_table = catalog.MustGetTable(aux->aux_view);
+      term_work[slot] += aux_table->cardinality();
+      PlanNodeId prefix = dag.InternTableScan(
+          aux->aux_view, *aux_table, version_of(aux->aux_view), epoch);
+      std::vector<const Schema*> schemas;
+      schemas.reserve(n);
+      for (size_t i = 0; i < n; ++i) schemas.push_back(&tables[i]->schema());
+      roots[slot] = BuildRawProjectionPlan(
+          def,
+          BuildJoinPlanFromPrefix(def, schemas, prefix, aux->prefix_len,
+                                  inputs, &dag),
+          &dag);
+      WUW_METRIC_ADD("aux.term_substitutions", obs::MetricClass::kWork, 1);
+    } else {
+      roots[slot] = BuildRawProjectionPlan(
+          def, BuildJoinPlan(def, inputs, &dag), &dag);
+    }
   }
 
   // An attached observer needs deterministic per-node runtimes, so its

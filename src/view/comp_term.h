@@ -21,6 +21,7 @@
 #define WUW_VIEW_COMP_TERM_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@ namespace wuw {
 
 class CancelToken;
 class ThreadPool;
+struct AuxBindingSnapshot;
 
 /// Resolves the current-batch delta of a view by name (base deltas come
 /// from the sources; derived deltas from finished Comp sequences).
@@ -75,6 +77,12 @@ struct CompEvalOptions {
   /// extent version and the batch epoch so stale results can never be
   /// served (see exec/warehouse.h).
   SubplanCache* subplan_cache = nullptr;
+  /// WUW_AUX_VIEWS rewrite pass (plan/aux_view.h): when set — and
+  /// `extent_version` is set, which stamp validation needs — any term whose
+  /// leading operands are all extents matching a binding's version stamps
+  /// lowers its prefix to one aux-view scan instead of the prefix scans and
+  /// joins.  Null (the default) = the standard lowering, untouched.
+  std::shared_ptr<const AuxBindingSnapshot> aux_bindings;
   /// Current change-batch epoch (Warehouse::batch_epoch).
   int64_t batch_epoch = 0;
   /// Per-view extent version (Warehouse::extent_version).

@@ -143,6 +143,91 @@ PlanNodeId BuildJoinPlan(const ViewDefinition& def,
   return acc;
 }
 
+PlanNodeId BuildJoinPlanFromPrefix(const ViewDefinition& def,
+                                   const std::vector<const Schema*>& schemas,
+                                   PlanNodeId prefix, size_t prefix_len,
+                                   const std::vector<PlanNodeId>& suffix_inputs,
+                                   PlanDag* dag) {
+  const size_t n = def.num_sources();
+  WUW_CHECK(schemas.size() == n, "prefix pipeline needs all source schemas");
+  WUW_CHECK(prefix_len >= 1 && prefix_len < n,
+            "prefix must cover a strict, nonempty source prefix");
+  WUW_CHECK(suffix_inputs.size() == n - prefix_len,
+            "prefix pipeline needs one input per suffix source");
+
+  // Same classification as BuildJoinPlan, except that anything owned by a
+  // step inside the prefix is already applied in the prefix subplan.
+  std::vector<std::vector<ScalarExpr::Ptr>> source_filters(n);
+  std::vector<std::vector<ScalarExpr::Ptr>> step_filters(n);
+  for (const ScalarExpr::Ptr& conjunct : def.filters()) {
+    std::vector<std::string> cols = conjunct->ReferencedColumns();
+    int single = SingleSourceOf(schemas, cols);
+    if (single >= 0) {
+      source_filters[single].push_back(conjunct);
+    } else {
+      step_filters[LastSourceOf(schemas, cols)].push_back(conjunct);
+    }
+  }
+
+  auto owner_of = [&](const std::string& col) {
+    for (size_t s = 0; s < schemas.size(); ++s) {
+      if (schemas[s]->HasColumn(col)) return static_cast<int>(s);
+    }
+    WUW_CHECK(false, ("join references unknown column: " + col).c_str());
+    return -1;
+  };
+
+  struct Edge {
+    std::string a_col, b_col;
+    int a_src, b_src;
+    bool used = false;
+  };
+  std::vector<Edge> edges;
+  for (const JoinCondition& jc : def.joins()) {
+    Edge e{jc.left_column, jc.right_column, owner_of(jc.left_column),
+           owner_of(jc.right_column), false};
+    WUW_CHECK(e.a_src != e.b_src,
+              "join condition must span two distinct sources");
+    // Both ends inside the prefix: consumed by the materialization.
+    e.used = e.a_src < static_cast<int>(prefix_len) &&
+             e.b_src < static_cast<int>(prefix_len);
+    edges.push_back(e);
+  }
+
+  auto scan = [&](size_t i) {
+    PlanNodeId input = suffix_inputs[i - prefix_len];
+    if (source_filters[i].empty()) return input;
+    return dag->InternFilter(input, ScalarExpr::AndAll(source_filters[i]));
+  };
+
+  PlanNodeId acc = prefix;
+  for (size_t i = prefix_len; i < n; ++i) {
+    PlanNodeId right = scan(i);
+    JoinKeys keys;
+    for (Edge& e : edges) {
+      if (e.used) continue;
+      int self = static_cast<int>(i);
+      if (e.a_src == self && e.b_src < self) {
+        keys.left_columns.push_back(e.b_col);
+        keys.right_columns.push_back(e.a_col);
+        e.used = true;
+      } else if (e.b_src == self && e.a_src < self) {
+        keys.left_columns.push_back(e.a_col);
+        keys.right_columns.push_back(e.b_col);
+        e.used = true;
+      }
+    }
+    acc = dag->InternHashJoin(acc, right, std::move(keys));
+    if (!step_filters[i].empty()) {
+      acc = dag->InternFilter(acc, ScalarExpr::AndAll(step_filters[i]));
+    }
+  }
+  for (const Edge& e : edges) {
+    WUW_CHECK(e.used, "join condition never became applicable");
+  }
+  return acc;
+}
+
 PlanNodeId BuildRawProjectionPlan(const ViewDefinition& def, PlanNodeId joined,
                                   PlanDag* dag) {
   return dag->InternProject(joined, RawProjectItems(def));

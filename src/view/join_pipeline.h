@@ -33,6 +33,21 @@ namespace wuw {
 PlanNodeId BuildJoinPlan(const ViewDefinition& def,
                          const std::vector<PlanNodeId>& inputs, PlanDag* dag);
 
+/// BuildJoinPlan with the first `prefix_len` sources replaced by the single
+/// subplan `prefix` (an aux-view scan, plan/aux_view.h): joins and filters
+/// entirely inside the prefix are assumed pre-applied there, and the
+/// remaining steps lower exactly as BuildJoinPlan would lower them —
+/// `prefix`'s schema is the concatenated (filtered, joined) prefix schema,
+/// so edge classification and filter placement are unchanged.  `schemas`
+/// holds the per-source input schemas for ALL of def's sources (the prefix
+/// members too, for ownership resolution); `suffix_inputs` holds one
+/// subplan per source at index >= prefix_len, in definition order.
+PlanNodeId BuildJoinPlanFromPrefix(const ViewDefinition& def,
+                                   const std::vector<const Schema*>& schemas,
+                                   PlanNodeId prefix, size_t prefix_len,
+                                   const std::vector<PlanNodeId>& suffix_inputs,
+                                   PlanDag* dag);
+
 /// Lowers the raw-representation projection (see ProjectToRaw) over the
 /// joined pipeline `joined`.
 PlanNodeId BuildRawProjectionPlan(const ViewDefinition& def, PlanNodeId joined,

@@ -352,5 +352,62 @@ TEST_F(ObsInvarianceTest, ArmedSnapshotCountersAreDeterministic) {
   }
 }
 
+// SubplanCache telemetry lands in the kEngine class of the registry: a
+// budgeted run over a shared-prefix strategy produces cache.hits > 0 and
+// cache.cost_saved > 0 (the advisor's benefit signal), the counters agree
+// with the cache's own SubplanCacheStats, and — like every counter in the
+// deterministic mask — they are pool-invariant at a fixed budget.  They
+// must NOT appear under kWork: hits depend on the byte budget, and kWork
+// counters are budget-invariant by contract.
+TEST_F(ObsInvarianceTest, CacheCountersLandInEngineClassWithCostSaved) {
+  const uint64_t seed = testutil::PropertySeed(97);
+  SCOPED_TRACE(testutil::SeedTrace(seed));
+  Warehouse w = testutil::MakeLoadedWarehouse(testutil::MakeStarVdag("V", 4),
+                                              50, seed + 1);
+  testutil::ApplyTripleChanges(&w, 0.2, 10, seed + 9);
+  const Strategy s = MakeDualStageVdagStrategy(w.vdag());
+
+  // Two clones sharing one cache: the second run replays the first run's
+  // fingerprints, so hits (and cost_saved) are guaranteed.
+  auto run = [&](int pool_size) {
+    obs::ResetMetrics();
+    ThreadPool pool(pool_size);
+    SubplanCache cache;
+    for (int pass = 0; pass < 2; ++pass) {
+      Warehouse clone = w.Clone();
+      ExecutorOptions options;
+      options.pool = &pool;
+      options.subplan_cache = &cache;
+      Executor(&clone, options).Execute(s);
+    }
+    return std::make_pair(obs::SnapshotMetrics(obs::Mask(MetricClass::kEngine)),
+                          cache.stats());
+  };
+
+  auto [engine, stats] = run(1);
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.cost_saved, 0);
+  auto counter = [&](const MetricsSnapshot& snap, const std::string& name) {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    return int64_t{-1};
+  };
+  EXPECT_EQ(counter(engine, "cache.hits"), stats.hits);
+  EXPECT_EQ(counter(engine, "cache.misses"), stats.misses);
+  EXPECT_EQ(counter(engine, "cache.cost_saved"),
+            static_cast<int64_t>(stats.cost_saved));
+  // Budget-dependent telemetry stays out of the budget-invariant class.
+  MetricsSnapshot work = obs::SnapshotMetrics(obs::Mask(MetricClass::kWork));
+  EXPECT_EQ(counter(work, "cache.hits"), -1);
+  EXPECT_EQ(counter(work, "cache.cost_saved"), -1);
+  for (int pool_size : {2, 8}) {
+    auto [snap, rerun_stats] = run(pool_size);
+    EXPECT_EQ(snap, engine)
+        << "cache kEngine snapshot diverged at WUW_THREADS=" << pool_size;
+    EXPECT_EQ(rerun_stats.hits, stats.hits);
+  }
+}
+
 }  // namespace
 }  // namespace wuw

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Evidence for the auxiliary-view promotion layer (BENCH_mqo.json).
+
+Runs the two aux-view bench binaries and assembles one JSON report:
+
+  * ablation_aux_views: per-batch wall time, linear work, and rows scanned
+    for off / cache-only / aux / aux+cache over coherent TPC-D change
+    streams, plus the acceptance verdict (the binary exits non-zero unless
+    every measured batch does strictly less linear work AND scans strictly
+    fewer rows under `aux` than under `off`);
+  * micro_aux: per-benchmark cpu time — the disarmed executor seams must
+    price within noise of micro_window's BM_ExecuteNoBudget on the same
+    fixture, and the armed advisor bookkeeping (tally, snapshot fetch,
+    window close) stays in the tens-of-ns range.
+
+Usage: python3 tools/aux_bench.py [build_dir] [out_json]
+       (defaults: build BENCH_mqo.json)
+"""
+
+import datetime
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+MIN_TIME = "0.1"
+
+WORKLOAD_RE = re.compile(r"^(.+?) — (\d+) measured batches")
+ROW_RE = re.compile(
+    r"^  (.*?)\s*(\d+)(\*?)\s+([\d.]+)s\s+(\d+)\s+(\d+)\s+(\d+)$"
+)
+VERDICT_RE = re.compile(r"^  (OK|FAIL)\b(.*)$")
+
+
+def run_ablation(binary):
+    """Runs ablation_aux_views, parses its tables into per-mode batch rows."""
+    print(f"running {binary}", flush=True)
+    proc = subprocess.run(
+        [binary], capture_output=True, text=True, check=False
+    )
+    sys.stdout.write(proc.stdout)
+    workloads = {}
+    current_workload = None
+    current_mode = None
+    for line in proc.stdout.splitlines():
+        m = WORKLOAD_RE.match(line)
+        if m:
+            current_workload = m.group(1)
+            workloads[current_workload] = {"modes": {}, "verdicts": []}
+            current_mode = None
+            continue
+        if current_workload is None:
+            continue
+        m = ROW_RE.match(line)
+        if m:
+            label, batch, warmup, wall, work, rows, aux = m.groups()
+            if label:
+                current_mode = label
+                workloads[current_workload]["modes"][current_mode] = {
+                    "batches": [],
+                    "aux_views": int(aux),
+                }
+            workloads[current_workload]["modes"][current_mode][
+                "batches"
+            ].append(
+                {
+                    "batch": int(batch),
+                    "warmup": warmup == "*",
+                    "wall_s": float(wall),
+                    "linear_work": int(work),
+                    "rows_scanned": int(rows),
+                }
+            )
+            continue
+        m = VERDICT_RE.match(line)
+        if m:
+            workloads[current_workload]["verdicts"].append(line.strip())
+    return workloads, proc.returncode
+
+
+def run_gbench(binary, min_time=MIN_TIME):
+    """Runs one google-benchmark binary, returns {name: cpu_time_ms}."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    print(f"running {binary}", flush=True)
+    subprocess.run(
+        [
+            binary,
+            f"--benchmark_out={out_path}",
+            "--benchmark_out_format=json",
+            f"--benchmark_min_time={min_time}",
+        ],
+        check=True,
+        stdout=subprocess.DEVNULL,
+    )
+    with open(out_path) as f:
+        report = json.load(f)
+    os.unlink(out_path)
+    times = {}
+    for b in report["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[b["time_unit"]]
+        times[b["name"]] = round(b["cpu_time"] * scale, 6)
+    return times
+
+
+def main():
+    build = sys.argv[1] if len(sys.argv) > 1 else "build"
+    out_json = sys.argv[2] if len(sys.argv) > 2 else "BENCH_mqo.json"
+
+    workloads, rc = run_ablation(
+        os.path.join(build, "bench", "ablation_aux_views")
+    )
+    report = {
+        "context": {
+            "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            "num_cpus": os.cpu_count(),
+            "build_dir": build,
+            "note": "ablation: per-batch linear work / rows scanned for "
+            "off vs cache vs aux vs aux+cache (batch 0 = advisor warmup); "
+            "micro: cpu ms (execute) / cpu ns-scale (advisor ops)",
+        },
+        "ablation_aux_views": {
+            "workloads": workloads,
+            "accepted": rc == 0,
+        },
+        "micro_aux": run_gbench(os.path.join(build, "bench", "micro_aux")),
+    }
+    with open(out_json, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_json}")
+    if rc != 0:
+        print("ablation acceptance FAILED", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
