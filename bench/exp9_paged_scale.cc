@@ -1,0 +1,182 @@
+// Experiment 9 (repro extension, not in the paper): beyond-RAM scale.
+// The paper assumes the warehouse fits in memory; the WUW_MEM_MB paged
+// tier (storage/paged_store.h) removes that assumption by keeping the
+// resident extent set under a byte budget and hibernating the rest to
+// CRC-framed page images, with grace-partition spills in the join and
+// aggregation kernels.  This bench prices the whole spectrum on the
+// TPC-D Q3/Q5/Q10 fixture under the paper's 10%-deletion workload:
+//
+//   * BM_UpdateWindowResident       — no pager: the in-memory baseline
+//     every other configuration is differentially verified against.
+//   * BM_UpdateWindowArmedResident  — pager armed at a budget above the
+//     footprint: the cost of beyond-RAM *readiness* (per-touch LRU
+//     bookkeeping, zero faults).
+//   * BM_UpdateWindowPaged/N        — budget at 1/N of the resident
+//     footprint: real hibernate/fault traffic plus operator spills, the
+//     beyond-RAM operating points.
+//
+// Every measured window is verified ContentsEqual against the resident
+// reference and the bench aborts on any divergence, so timings are only
+// reported for bit-identical executions.  Per-iteration paged counters
+// (faults, evictions, spilled partitions) are reported alongside wall
+// time.  CI publishes the gbench JSON as BENCH_paged.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "common/check.h"
+#include "core/min_work.h"
+#include "exec/executor.h"
+#include "storage/page.h"
+#include "storage/paged_store.h"
+#include "tpcd/change_generator.h"
+#include "tpcd/tpcd_schema.h"
+#include "tpcd/tpcd_views.h"
+
+namespace wuw {
+namespace {
+
+tpcd::GeneratorOptions Options() {
+  tpcd::GeneratorOptions o;
+  o.scale_factor = 0.005;
+  o.seed = 42;
+  return o;
+}
+
+/// The Q3/Q5/Q10 warehouse with the paper's change workload pending,
+/// cloned (deltas included) per measured window.
+const Warehouse& BatchedWarehouse() {
+  static Warehouse* w = [] {
+    auto* wh = new Warehouse(
+        tpcd::MakeTpcdWarehouse(Options(), {"Q3", "Q5", "Q10"}));
+    tpcd::ApplyPaperChangeWorkload(wh, 0.10, 0.0, Options().seed);
+    return wh;
+  }();
+  return *w;
+}
+
+const Strategy& WindowStrategy() {
+  static Strategy* s = new Strategy(
+      MinWork(BatchedWarehouse().vdag(), BatchedWarehouse().EstimatedSizes())
+          .strategy);
+  return *s;
+}
+
+/// The resident ground truth: the strategy executed once with no pager.
+const Warehouse& ResidentTruth() {
+  static Warehouse* truth = [] {
+    auto* t = new Warehouse(BatchedWarehouse().Clone());
+    Executor(t).Execute(WindowStrategy());
+    return t;
+  }();
+  return *truth;
+}
+
+/// Analytic image bytes of every extent — the footprint the budget
+/// fractions divide (same costing the pager itself uses).
+int64_t ResidentFootprintBytes() {
+  static int64_t bytes = [] {
+    const Catalog& catalog = BatchedWarehouse().catalog();
+    int64_t total = 0;
+    for (const std::string& name : catalog.table_names()) {
+      total += paged::ApproxTableBytes(*catalog.MustGetTable(name));
+    }
+    return total;
+  }();
+  return bytes;
+}
+
+void VerifyAgainstTruth(Warehouse& w) {
+  WUW_CHECK(w.catalog().ContentsEqual(ResidentTruth().catalog()),
+            "paged window diverged from the resident reference");
+}
+
+// The in-memory baseline the paper's experiments assume.
+void BM_UpdateWindowResident(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Warehouse clone = BatchedWarehouse().Clone();
+    state.ResumeTiming();
+    Executor(&clone).Execute(WindowStrategy());
+    state.PauseTiming();
+    VerifyAgainstTruth(clone);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_UpdateWindowResident)->Unit(benchmark::kMillisecond);
+
+// Pager armed at a budget comfortably above the footprint: pure
+// bookkeeping, no faults, no spills — the readiness tax.
+void BM_UpdateWindowArmedResident(benchmark::State& state) {
+  paged::PagedOptions options;
+  options.budget_bytes = int64_t{1} << 30;
+  int64_t faults = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Warehouse clone = BatchedWarehouse().Clone();
+    clone.EnablePaging(options);
+    state.ResumeTiming();
+    Executor(&clone).Execute(WindowStrategy());
+    state.PauseTiming();
+    faults += clone.paged_store()->faults();
+    VerifyAgainstTruth(clone);
+    state.ResumeTiming();
+  }
+  state.counters["faults"] =
+      benchmark::Counter(static_cast<double>(faults),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_UpdateWindowArmedResident)->Unit(benchmark::kMillisecond);
+
+// Budget at footprint/N: extents hibernate and fault under LRU, and the
+// spill threshold (budget/4 via ResolvedSpillBytes) pushes the large
+// joins through their grace-partition paths.  state.range(0) is N.
+void BM_UpdateWindowPaged(benchmark::State& state) {
+  ResidentTruth();  // build the reference before arming spills
+  const int64_t divisor = state.range(0);
+  paged::PagedOptions options;
+  options.budget_bytes =
+      std::max<int64_t>(1, ResidentFootprintBytes() / divisor);
+  options.page_bytes = 4 << 10;
+  paged::ScopedOperatorSpill spill(options);
+  int64_t faults = 0;
+  int64_t evictions = 0;
+  int64_t spilled = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Warehouse clone = BatchedWarehouse().Clone();
+    clone.EnablePaging(options);
+    const paged::PagedStatsSnapshot before = paged::GlobalPagedStats();
+    state.ResumeTiming();
+    Executor(&clone).Execute(WindowStrategy());
+    state.PauseTiming();
+    faults += clone.paged_store()->faults();
+    evictions += clone.paged_store()->evictions();
+    spilled +=
+        paged::GlobalPagedStats().spilled_partitions -
+        before.spilled_partitions;
+    VerifyAgainstTruth(clone);
+    state.ResumeTiming();
+  }
+  using benchmark::Counter;
+  state.counters["faults"] = Counter(static_cast<double>(faults),
+                                     Counter::kAvgIterations);
+  state.counters["evictions"] = Counter(static_cast<double>(evictions),
+                                        Counter::kAvgIterations);
+  state.counters["spilled_partitions"] =
+      Counter(static_cast<double>(spilled), Counter::kAvgIterations);
+  state.counters["budget_bytes"] =
+      Counter(static_cast<double>(options.budget_bytes));
+}
+BENCHMARK(BM_UpdateWindowPaged)
+    ->Arg(2)    // half the footprint: moderate pressure
+    ->Arg(8)    // an eighth: most extents live on disk
+    ->Arg(64)   // deep beyond-RAM: everything pages, every big join spills
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wuw
+
+BENCHMARK_MAIN();

@@ -5,11 +5,13 @@
 #include <queue>
 
 #include "algebra/key_util.h"
+#include "algebra/spill_util.h"
 #include "algebra/vectorized.h"
 #include "common/check.h"
 #include "expr/evaluator.h"
 #include "obs/metrics.h"
 #include "parallel/thread_pool.h"
+#include "storage/paged_store.h"
 
 namespace wuw {
 
@@ -57,7 +59,17 @@ Rows AggregateKernel::Run(const std::vector<const Rows*>& inputs,
 Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by,
                      const std::vector<AggSpec>& aggs, OperatorStats* stats,
                      ThreadPool* pool, const CancelToken* cancel) {
-  if (vec::Enabled()) {
+  // WUW_MEM_MB: an oversized input takes the grace-partition spill path
+  // below.  Decided before the vectorized attempt so a paged run bounds
+  // its operator memory wherever the input is big; rows, row order, and
+  // OperatorStats are bit-identical on every path.  Disarmed: one relaxed
+  // atomic load.
+  const paged::PagedOptions* spill_opts = paged::OperatorSpill();
+  const bool grace = spill_opts != nullptr &&
+                     spill::ApproxRowsBytes(input) >
+                         paged::ResolvedSpillBytes(*spill_opts);
+
+  if (!grace && vec::Enabled()) {
     Rows vec_out;
     if (vec::TryAggregate(input, group_by, aggs, stats, pool, cancel,
                           &vec_out)) {
@@ -140,6 +152,96 @@ Rows AggregateSigned(const Rows& input, const std::vector<std::string>& group_by
                  static_cast<int64_t>(n * key_idx.size()));
   WUW_METRIC_ADD("engine.row.expr_evals", obs::MetricClass::kEngine,
                  static_cast<int64_t>(n * num_sums));
+
+  // WUW_MEM_MB grace aggregation: rows partition by the TOP hash bits
+  // into a page-backed spill (algebra/spill_util.h), then each partition
+  // accumulates independently — operator memory is bounded by one
+  // partition plus the spill pool's budget.  Determinism argument mirrors
+  // the parallel path's: a group's rows share one full hash, hence one
+  // partition, and each partition accumulates in ascending input order
+  // (bit-identical double SUMs); groups record their first input row, so
+  // the k-way merge on first_row reproduces the sequential creation order
+  // — and therefore the emitted row order — byte for byte.
+  if (grace) {
+    const size_t nparts = spill_opts->partitions;
+    size_t bits = 0;
+    while ((size_t{1} << bits) < nparts) ++bits;
+    const size_t shift = sizeof(size_t) * 8 - bits;
+    spill::PartitionedSpill spilled(*spill_opts, nparts);
+    for (size_t i = 0; i < n; ++i) {
+      const auto& [tuple, mult] = input.rows[i];
+      if (stats != nullptr) stats->rows_scanned += std::llabs(mult);
+      size_t h = KeyHash(tuple, key_idx);
+      spilled.Append(bits == 0 ? size_t{0} : h >> shift,
+                     static_cast<uint32_t>(i), h, mult, tuple);
+    }
+    spilled.Finish();
+
+    std::vector<AggPartition> parts(nparts);
+    int64_t key_cmps = 0;
+    for (size_t p = 0; p < nparts; ++p) {
+      std::vector<spill::SpillRecord> recs = spilled.ReadPartition(p);
+      if (recs.empty()) continue;
+      AggPartition& part = parts[p];
+      size_t nbuckets = 16;
+      while (nbuckets < recs.size() + 16) nbuckets <<= 1;
+      const size_t pmask = nbuckets - 1;
+      std::vector<int32_t> heads(nbuckets, -1);
+      std::vector<int32_t> chain;
+      std::vector<size_t> ghashes;
+      for (const spill::SpillRecord& rec : recs) {
+        Acc* acc = nullptr;
+        for (int32_t g = heads[rec.hash & pmask]; g >= 0; g = chain[g]) {
+          if (ghashes[g] != rec.hash) continue;
+          ++key_cmps;
+          if (KeysEqual(rec.tuple, key_idx, part.groups[g].exemplar,
+                        key_idx)) {
+            acc = &part.groups[g];
+            break;
+          }
+        }
+        if (acc == nullptr) {
+          int32_t id = static_cast<int32_t>(part.groups.size());
+          part.groups.push_back(Acc{rec.tuple,
+                                    std::vector<int64_t>(aggs.size(), 0),
+                                    std::vector<double>(aggs.size(), 0.0),
+                                    0});
+          part.first_row.push_back(rec.idx);
+          ghashes.push_back(rec.hash);
+          chain.push_back(heads[rec.hash & pmask]);
+          heads[rec.hash & pmask] = id;
+          acc = &part.groups.back();
+        }
+        accumulate(acc, rec.tuple, rec.count);
+      }
+    }
+    // Candidate sets are hash-equal pairs, identical to the sequential
+    // single-table chain.
+    WUW_METRIC_ADD("engine.row.value_cmps", obs::MetricClass::kEngine,
+                   key_cmps);
+
+    Rows out((Schema(std::move(out_cols))));
+    size_t total_groups = 0;
+    for (const AggPartition& part : parts) total_groups += part.groups.size();
+    out.rows.reserve(total_groups);
+    using HeapItem = std::pair<uint32_t, uint32_t>;  // (first_row, partition)
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+    std::vector<size_t> cursor(nparts, 0);
+    for (size_t p = 0; p < nparts; ++p) {
+      if (!parts[p].groups.empty()) {
+        heap.emplace(parts[p].first_row[0], static_cast<uint32_t>(p));
+      }
+    }
+    while (!heap.empty()) {
+      auto [first, p] = heap.top();
+      heap.pop();
+      emit(&out, parts[p].groups[cursor[p]], stats);
+      if (++cursor[p] < parts[p].groups.size()) {
+        heap.emplace(parts[p].first_row[cursor[p]], p);
+      }
+    }
+    return out;
+  }
 
   if (ShouldParallelize(pool, n)) {
     // Pass 1: hash every row, count per-(morsel, partition).

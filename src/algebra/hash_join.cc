@@ -1,13 +1,16 @@
 #include "algebra/hash_join.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdlib>
 
 #include "algebra/key_util.h"
+#include "algebra/spill_util.h"
 #include "algebra/vectorized.h"
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "parallel/thread_pool.h"
+#include "storage/paged_store.h"
 
 namespace wuw {
 
@@ -163,6 +166,113 @@ Rows ParallelHashJoin(const Rows& left, const Rows& right,
   return out;
 }
 
+/// WUW_MEM_MB grace join: both sides partition by the TOP hash bits into a
+/// page-backed spill (algebra/spill_util.h), then each partition builds and
+/// probes independently — operator memory is bounded by one partition plus
+/// the spill pool's budget instead of the whole build side.  Determinism
+/// argument: a probe row's matches all live in its own partition (equal
+/// keys share a full hash, hence a partition); within a partition probes
+/// run in ascending global order and each walks its chain in descending
+/// build order (head insertion over ascending spill order) — precisely the
+/// sequential kernel's nesting — so a stable sort of the output on
+/// probe-row index reproduces the sequential row order byte for byte.
+Rows GraceHashJoin(const Rows& left, const Rows& right,
+                   const std::vector<size_t>& left_idx,
+                   const std::vector<size_t>& right_idx, OperatorStats* stats,
+                   const paged::PagedOptions& options) {
+  const size_t nparts = options.partitions;
+  size_t bits = 0;
+  while ((size_t{1} << bits) < nparts) ++bits;
+  const size_t shift = sizeof(size_t) * 8 - bits;
+  auto part_of = [&](size_t h) { return bits == 0 ? size_t{0} : h >> shift; };
+
+  // Same per-row hashing totals as the resident row kernel.
+  WUW_METRIC_ADD(
+      "engine.row.value_hashes", obs::MetricClass::kEngine,
+      static_cast<int64_t>((left.rows.size() + right.rows.size()) *
+                           left_idx.size()));
+
+  // Build partitions occupy [0, nparts), probe partitions
+  // [nparts, 2*nparts) of one shared spill file; stat totals are charged
+  // during the spill passes exactly as the sequential kernel charges them.
+  spill::PartitionedSpill spilled(options, nparts * 2);
+  for (size_t i = 0; i < right.rows.size(); ++i) {
+    const auto& [tuple, count] = right.rows[i];
+    if (stats != nullptr) {
+      stats->rows_scanned += std::llabs(count);
+      stats->hash_build_rows += 1;
+    }
+    size_t h = KeyHash(tuple, right_idx);
+    spilled.Append(part_of(h), static_cast<uint32_t>(i), h, count, tuple);
+  }
+  for (size_t i = 0; i < left.rows.size(); ++i) {
+    const auto& [tuple, count] = left.rows[i];
+    if (stats != nullptr) {
+      stats->rows_scanned += std::llabs(count);
+      stats->hash_probes += 1;
+    }
+    size_t h = KeyHash(tuple, left_idx);
+    spilled.Append(nparts + part_of(h), static_cast<uint32_t>(i), h, count,
+                   tuple);
+  }
+  spilled.Finish();
+
+  struct OutRow {
+    uint32_t probe_idx;
+    Tuple tuple;
+    int64_t count;
+  };
+  std::vector<OutRow> produced;
+  int64_t key_cmps = 0;
+  int64_t rows_produced = 0;
+  for (size_t p = 0; p < nparts; ++p) {
+    std::vector<spill::SpillRecord> build = spilled.ReadPartition(p);
+    std::vector<spill::SpillRecord> probe =
+        spilled.ReadPartition(nparts + p);
+    if (probe.empty()) continue;
+    const size_t m = build.size();
+    size_t nbuckets = 16;
+    while (nbuckets < m * 2) nbuckets <<= 1;
+    const size_t mask = nbuckets - 1;
+    std::vector<int32_t> heads(nbuckets, -1);
+    std::vector<int32_t> chain(m);
+    for (size_t j = 0; j < m; ++j) {
+      chain[j] = heads[build[j].hash & mask];
+      heads[build[j].hash & mask] = static_cast<int32_t>(j);
+    }
+    for (const spill::SpillRecord& pr : probe) {
+      for (int32_t j = heads[pr.hash & mask]; j >= 0; j = chain[j]) {
+        const spill::SpillRecord& br = build[static_cast<size_t>(j)];
+        if (br.hash != pr.hash) continue;
+        ++key_cmps;
+        if (!KeysEqual(pr.tuple, left_idx, br.tuple, right_idx)) continue;
+        if (pr.count * br.count != 0) {
+          produced.push_back(OutRow{pr.idx,
+                                    Tuple::Concat(pr.tuple, br.tuple),
+                                    pr.count * br.count});
+        }
+        rows_produced += std::llabs(pr.count * br.count);
+      }
+    }
+  }
+  if (stats != nullptr) stats->rows_produced += rows_produced;
+  // Candidate sets are hash-equal pairs, identical to the sequential
+  // single-table chain.
+  WUW_METRIC_ADD("engine.row.value_cmps", obs::MetricClass::kEngine,
+                 key_cmps);
+
+  std::stable_sort(produced.begin(), produced.end(),
+                   [](const OutRow& a, const OutRow& b) {
+                     return a.probe_idx < b.probe_idx;
+                   });
+  Rows out(Schema::Concat(left.schema, right.schema));
+  out.rows.reserve(produced.size());
+  for (OutRow& row : produced) {
+    out.rows.emplace_back(std::move(row.tuple), row.count);
+  }
+  return out;
+}
+
 }  // namespace
 
 Rows HashJoinKernel::Run(const std::vector<const Rows*>& inputs,
@@ -183,6 +293,19 @@ Rows HashJoin(const Rows& left, const Rows& right, const JoinKeys& keys,
   }
   for (const std::string& c : keys.right_columns) {
     right_idx.push_back(right.schema.MustIndexOf(c));
+  }
+
+  // WUW_MEM_MB: an oversized build side takes the grace-partition spill
+  // path.  Checked before the vectorized attempt so a paged run bounds its
+  // operator memory wherever the build side is big; rows, row order, and
+  // OperatorStats are bit-identical on every path (the vec and parallel
+  // kernels already prove parity with the sequential layout this path
+  // mirrors partition by partition).  Disarmed: one relaxed atomic load.
+  if (const paged::PagedOptions* spill_opts = paged::OperatorSpill();
+      spill_opts != nullptr && spill::ApproxRowsBytes(right) >
+                                   paged::ResolvedSpillBytes(*spill_opts)) {
+    return GraceHashJoin(left, right, left_idx, right_idx, stats,
+                         *spill_opts);
   }
 
   if (vec::Enabled()) {

@@ -66,12 +66,17 @@ Executor::Executor(Warehouse* warehouse, ExecutorOptions options)
 ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
                                    const CompEvalOptions& comp_options,
                                    std::pair<int64_t, int64_t>* delta_stats,
-                                   StrategyJournal* journal, int64_t step) {
+                                   StrategyJournal* journal, int64_t step,
+                                   bool paged_evict) {
   const Vdag& vdag = warehouse->vdag();
   ExpressionReport er;
   er.expression = e;
   obs::TraceSpan span("exec", [&] { return e.ToString(); });
   WUW_METRIC_ADD("exec.expressions", obs::MetricClass::kWork, 1);
+  // WUW_MEM_MB: fault this step's extent need-set in and (single-threaded
+  // paths) hibernate over-budget extents before the step reads anything.
+  // Disarmed = one pointer test.
+  warehouse->PagedTouchExpression(e, paged_evict);
   double start = Now();
 
   // Deltas of derived views finalize lazily on first use, against the

@@ -113,12 +113,16 @@ struct ExecutionReport {
 /// recovery path.  For Inst expressions, `delta_stats` (optional) receives
 /// the installed delta's (|δV|, net).  When `journal` is non-null the
 /// step's durable effect is recorded under index `step` after it completes
-/// (see exec/journal.h).
+/// (see exec/journal.h).  `paged_evict` feeds the WUW_MEM_MB touch point
+/// (Warehouse::PagedTouchExpression): true on single-threaded paths
+/// (sequential executor, recovery), false from the parallel executor's
+/// term workers — their stage coordinator already ran the evicting touch,
+/// and worker-side eviction would make paging depend on WUW_THREADS.
 ExpressionReport ExecuteExpression(Warehouse* warehouse, const Expression& e,
                                    const struct CompEvalOptions& comp_options,
                                    std::pair<int64_t, int64_t>* delta_stats,
                                    StrategyJournal* journal = nullptr,
-                                   int64_t step = 0);
+                                   int64_t step = 0, bool paged_evict = true);
 
 /// The CompEvalOptions an executor derives from its options + warehouse:
 /// shared by Executor, ParallelExecutor, and ResumeStrategy so all three

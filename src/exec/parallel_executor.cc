@@ -77,6 +77,11 @@ ParallelExecutionReport ParallelExecutor::Execute(
     for (const Expression& e : stage) {
       if (e.is_inst()) warehouse_->MutableExtent(e.view);
     }
+    // WUW_MEM_MB: one evicting touch over the union of the stage's extent
+    // need-sets, on the coordinator thread before fan-out — workers run
+    // with paged_evict=false below, so eviction decisions (and therefore
+    // paged.faults/paged.evictions) never depend on WUW_THREADS.
+    warehouse_->PagedTouchStage(stage);
     std::vector<ExpressionReport> stage_reports(stage.size());
     // Expressions are claimed from the shared pool (up to options_.workers
     // slots), so stage-level, term-level, and morsel-level parallelism all
@@ -89,7 +94,8 @@ ParallelExecutionReport ParallelExecutor::Execute(
         WUW_FAULT_POINT("parallel.step.begin");
         stage_reports[i] = ExecuteExpression(
             warehouse_, stage[i], comp_options, nullptr, journal,
-            stage_step_base + static_cast<int64_t>(i));
+            stage_step_base + static_cast<int64_t>(i),
+            /*paged_evict=*/false);
       });
     } catch (const WindowCancelledError&) {
       // A deadline fired mid-stage.  In-flight expressions drained at their

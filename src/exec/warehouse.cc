@@ -1,5 +1,6 @@
 #include "exec/warehouse.h"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 
@@ -41,8 +42,33 @@ struct Warehouse::SnapshotPublisher {
 };
 
 Warehouse::~Warehouse() = default;
-Warehouse::Warehouse(Warehouse&&) noexcept = default;
-Warehouse& Warehouse::operator=(Warehouse&&) noexcept = default;
+
+Warehouse::Warehouse(Warehouse&& other) noexcept {
+  *this = std::move(other);
+}
+
+Warehouse& Warehouse::operator=(Warehouse&& other) noexcept {
+  if (this == &other) return *this;
+  // The pager moves WITH the warehouse (unique_ptr — stable address), so
+  // detach the source catalog before the member move: Catalog's move ops
+  // fault-in-and-detach, a discipline meant for catalogs that ESCAPE their
+  // warehouse, and pointless I/O here.  Re-attach below.
+  other.catalog_.SetPager(nullptr);
+  vdag_ = std::move(other.vdag_);
+  catalog_ = std::move(other.catalog_);
+  base_deltas_ = std::move(other.base_deltas_);
+  accumulators_ = std::move(other.accumulators_);
+  join_rows_ = std::move(other.join_rows_);
+  extent_versions_ = std::move(other.extent_versions_);
+  batch_epoch_ = other.batch_epoch_;
+  empty_deltas_ = std::move(other.empty_deltas_);
+  journal_ = std::move(other.journal_);
+  snapshots_ = std::move(other.snapshots_);
+  aux_ = std::move(other.aux_);
+  paged_ = std::move(other.paged_);
+  if (paged_ != nullptr) catalog_.SetPager(paged_.get());
+  return *this;
+}
 
 Warehouse::Warehouse(Vdag vdag) : vdag_(std::move(vdag)) {
   for (const std::string& name : vdag_.view_names()) {
@@ -68,6 +94,7 @@ Warehouse::Warehouse(Vdag vdag) : vdag_(std::move(vdag)) {
   // WUW_WINDOW_BUDGET / WUW_METRICS.
   if (EnvReaders() > 0) EnableSnapshotReads();
   if (const AuxViewOptions* aux = EnvAuxViews()) EnableAuxViews(*aux);
+  if (const paged::PagedOptions* p = paged::EnvPaged()) EnablePaging(*p);
 }
 
 Table* Warehouse::base_table(const std::string& name) {
@@ -193,6 +220,43 @@ std::vector<std::string> Warehouse::AuxAuditViolations() const {
   return aux_->AuditViolations(version_of, catalog_);
 }
 
+void Warehouse::EnablePaging(const paged::PagedOptions& options) {
+  if (paged_ == nullptr) {
+    paged_ = std::make_unique<paged::PagedStore>(options);
+    for (const std::string& name : catalog_.table_names()) {
+      paged_->Register(name);
+    }
+  }
+  catalog_.SetPager(paged_.get());
+}
+
+void Warehouse::PagedTouchExpression(const Expression& e, bool evict) {
+  if (paged_ == nullptr) return;
+  if (e.is_inst()) {
+    paged_->Touch({e.view}, &catalog_, evict);
+  } else {
+    paged_->Touch(vdag_.sources(e.view), &catalog_, evict);
+  }
+}
+
+void Warehouse::PagedTouchStage(const std::vector<Expression>& stage) {
+  if (paged_ == nullptr) return;
+  std::vector<std::string> names;
+  auto add = [&](const std::string& n) {
+    if (std::find(names.begin(), names.end(), n) == names.end()) {
+      names.push_back(n);
+    }
+  };
+  for (const Expression& e : stage) {
+    if (e.is_inst()) {
+      add(e.view);
+    } else {
+      for (const std::string& s : vdag_.sources(e.view)) add(s);
+    }
+  }
+  paged_->Touch(names, &catalog_, /*evict=*/true);
+}
+
 void Warehouse::AuxCommit() {
   auto version_of = [this](const std::string& n) { return extent_version(n); };
 
@@ -249,6 +313,7 @@ void Warehouse::AuxCommit() {
       }
       vdag_.AddDerivedView(p.def);
       catalog_.CreateTable(p.aux_view, vdag_.OutputSchema(p.aux_view));
+      if (paged_ != nullptr) paged_->Register(p.aux_view);
       extent_versions_.emplace(p.aux_view, 0);
       auto resolver = [this](const std::string& src) -> const Schema& {
         return vdag_.OutputSchema(src);
@@ -328,7 +393,9 @@ void Warehouse::ResetBatch() {
 SizeMap Warehouse::EstimatedSizes() const {
   EstimatorInputs inputs;
   for (const std::string& name : vdag_.view_names()) {
-    inputs.extent_sizes[name] = catalog_.MustGetTable(name)->cardinality();
+    // Hook-free: cardinality survives hibernation, so strategy selection
+    // never faults extents in (storage/catalog.h Cardinality).
+    inputs.extent_sizes[name] = catalog_.Cardinality(name);
   }
   for (const auto& [name, delta] : base_deltas_) {
     inputs.base_deltas[name] =
@@ -392,6 +459,16 @@ Warehouse Warehouse::Clone() const {
     // re-publish the real copied state either way.
     out.EnableSnapshotReads();
     out.PublishSnapshot();
+  }
+  // Paging: the ctor's env arming attached out's pager to the ctor-time
+  // catalog object, which the catalog assignment above replaced — re-attach
+  // (the entry set is identical: same VDAG, same creation order).  An
+  // in-process-armed original propagates its arming to the clone, which is
+  // what keeps kill/resume runs bit-identical to uninterrupted ones.
+  if (out.paged_ == nullptr && paged_ != nullptr) {
+    out.EnablePaging(paged_->options());
+  } else if (out.paged_ != nullptr) {
+    out.catalog_.SetPager(out.paged_.get());
   }
   return out;
 }

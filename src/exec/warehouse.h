@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/expression.h"
 #include "core/size_estimator.h"
 #include "core/work_metric.h"
 #include "delta/delta_relation.h"
@@ -21,6 +22,7 @@
 #include "graph/vdag.h"
 #include "plan/aux_view.h"
 #include "storage/catalog.h"
+#include "storage/paged_store.h"
 #include "storage/read_snapshot.h"
 #include "view/maintenance.h"
 
@@ -109,6 +111,32 @@ class Warehouse {
   /// Release-safe; ResetBatch aborts on a non-empty result in debug
   /// builds.  Empty while disarmed.
   std::vector<std::string> AuxAuditViolations() const;
+
+  /// Arms beyond-RAM extent paging (storage/paged_store.h): creates the
+  /// pager, attaches it to the catalog's accessor hooks, and registers
+  /// every extent in creation order.  Idempotent (later calls keep the
+  /// existing pager); also driven by the WUW_MEM_MB env knob at
+  /// construction.  Disarmed, paged_store() is null and every hook in the
+  /// engine is one pointer test — bit-identical behavior to a build
+  /// without this layer.
+  void EnablePaging(const paged::PagedOptions& options);
+
+  /// The extent pager; nullptr while disarmed.
+  paged::PagedStore* paged_store() { return paged_.get(); }
+  const paged::PagedStore* paged_store() const { return paged_.get(); }
+
+  /// Executor touch point (no-op while paging is disarmed): faults the
+  /// expression's extent need-set in — a Comp's definition sources, an
+  /// Inst's target — and, when `evict` (sequential executor steps, the
+  /// parallel coordinator via PagedTouchStage), advances the LRU clock and
+  /// hibernates least-recently-touched extents until the resident set fits
+  /// the budget.  Term workers call with evict=false, so eviction
+  /// decisions never depend on WUW_THREADS.
+  void PagedTouchExpression(const Expression& e, bool evict);
+
+  /// The parallel coordinator's touch point: one evicting touch over the
+  /// union of the stage's need-sets, before the stage's workers start.
+  void PagedTouchStage(const std::vector<Expression>& stage);
 
   /// Registers the incoming changes of a base view for the next update
   /// window.  Replaces any delta already pending for that view.
@@ -211,6 +239,10 @@ class Warehouse {
   /// Auxiliary-view advisor + bindings (WUW_AUX_VIEWS); null while
   /// disarmed — same zero-cost-when-unset gate.
   std::unique_ptr<AuxViewRegistry> aux_;
+  /// Extent pager (WUW_MEM_MB); null while disarmed.  unique_ptr keeps the
+  /// pager's address stable across Warehouse moves (the catalog holds a
+  /// raw pointer to it).
+  std::unique_ptr<paged::PagedStore> paged_;
 };
 
 }  // namespace wuw

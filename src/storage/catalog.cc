@@ -1,8 +1,30 @@
 #include "storage/catalog.h"
 
 #include "common/check.h"
+#include "storage/paged_store.h"
 
 namespace wuw {
+
+Catalog::Catalog(Catalog&& other) { *this = std::move(other); }
+
+Catalog& Catalog::operator=(Catalog&& other) {
+  if (this == &other) return *this;
+  // A moved catalog detaches from its pager: the pager is owned by the
+  // source's Warehouse and may not outlive it, so carrying the raw pointer
+  // into the destination would dangle the moment that warehouse dies
+  // (exactly what helpers like GroundTruthAfterChanges do — move the
+  // catalog out of a short-lived clone).  Fault every hibernated extent
+  // back in first: detaching with released payloads would silently read
+  // empty extents.
+  if (other.pager_ != nullptr) {
+    for (const std::string& name : other.names_) other.GetTable(name);
+  }
+  tables_ = std::move(other.tables_);
+  names_ = std::move(other.names_);
+  pager_ = nullptr;
+  other.pager_ = nullptr;
+  return *this;
+}
 
 Table* Catalog::CreateTable(const std::string& name, Schema schema) {
   WUW_CHECK(!HasTable(name), ("table already exists: " + name).c_str());
@@ -15,12 +37,19 @@ Table* Catalog::CreateTable(const std::string& name, Schema schema) {
 
 Table* Catalog::GetTable(const std::string& name) {
   auto it = tables_.find(name);
-  return it == tables_.end() ? nullptr : it->second.get();
+  if (it == tables_.end()) return nullptr;
+  if (pager_ != nullptr) pager_->OnAccess(name, it->second.get());
+  return it->second.get();
 }
 
 const Table* Catalog::GetTable(const std::string& name) const {
   auto it = tables_.find(name);
-  return it == tables_.end() ? nullptr : it->second.get();
+  if (it == tables_.end()) return nullptr;
+  // The pager hook may fault the extent's payload back in — a logically
+  // const restoration of the identical contents (same dense order, same
+  // mutation count), safe because the slot holds a non-const Table.
+  if (pager_ != nullptr) pager_->OnAccess(name, it->second.get());
+  return it->second.get();
 }
 
 Table* Catalog::MustGetTable(const std::string& name) {
@@ -39,10 +68,20 @@ bool Catalog::HasTable(const std::string& name) const {
   return tables_.count(name) > 0;
 }
 
+int64_t Catalog::Cardinality(const std::string& name) const {
+  auto it = tables_.find(name);
+  WUW_CHECK(it != tables_.end(), ("no such table: " + name).c_str());
+  return it->second->cardinality();
+}
+
 std::shared_ptr<const Table> Catalog::SharedTable(
     const std::string& name) const {
   auto it = tables_.find(name);
   WUW_CHECK(it != tables_.end(), ("no such table: " + name).c_str());
+  // Publication pins this slot (use_count > 1), which the pager treats as
+  // unevictable — but the extent must be resident *now* for readers, so
+  // run the fault-in hook before handing the reference out.
+  if (pager_ != nullptr) pager_->OnAccess(name, it->second.get());
   return it->second;
 }
 

@@ -11,6 +11,10 @@
 
 namespace wuw {
 
+namespace paged {
+class PagedStore;
+}  // namespace paged
+
 /// Maps view names to their materialized extents.  The Warehouse (exec/)
 /// couples a Catalog with a Vdag and pending deltas; the Catalog itself is
 /// pure storage.
@@ -20,8 +24,16 @@ class Catalog {
 
   // Movable, not copyable (tables can be large); use Clone() when a test
   // needs an independent copy of the database state.
-  Catalog(Catalog&&) = default;
-  Catalog& operator=(Catalog&&) = default;
+  //
+  // A move DETACHES the destination from any pager: the pager is owned by
+  // the source's Warehouse and may not outlive it (test helpers move
+  // catalogs out of short-lived clones).  Hibernated extents are faulted
+  // back in first, so the detached catalog is fully resident — which makes
+  // the move potentially throwing (page I/O).  The Warehouse move ops
+  // detach-then-reattach around the member move instead, so warehouse
+  // moves stay cheap and keep their arming.
+  Catalog(Catalog&& other);
+  Catalog& operator=(Catalog&& other);
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
@@ -61,11 +73,31 @@ class Catalog {
   /// side may have promoted and the other not.
   bool ContentsEqual(const Catalog& other) const;
 
+  /// Attaches the WUW_MEM_MB extent pager (storage/paged_store.h): every
+  /// accessor above then faults hibernated extents back in before
+  /// returning a table.  Null detaches.  NOTE: Clone() returns a catalog
+  /// with no pager, and moves detach (see above) — the owning Warehouse
+  /// re-attaches after assigning a clone.
+  void SetPager(paged::PagedStore* pager) { pager_ = pager; }
+  paged::PagedStore* pager() const { return pager_; }
+
+  /// Cardinality of `name` WITHOUT the pager hook: the count survives
+  /// hibernation (Table::ReleasePayload preserves it), so size estimation
+  /// (Warehouse::EstimatedSizes) never faults extents in.  Aborts if
+  /// absent.
+  int64_t Cardinality(const std::string& name) const;
+
  private:
+  /// The pager walks slots hook-free during eviction (use_count pinning,
+  /// payload release) — going through the public accessors there would
+  /// re-stamp its own LRU clock.
+  friend class paged::PagedStore;
   /// shared_ptr slots so snapshot states can pin an extent version past its
   /// replacement (epoch-based reclamation = last pin frees it).
   std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
   std::vector<std::string> names_;
+  /// WUW_MEM_MB hook; disarmed (default) accessors pay one null check.
+  paged::PagedStore* pager_ = nullptr;
 };
 
 }  // namespace wuw

@@ -1,0 +1,458 @@
+#include "storage/page.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "fault/fault_injection.h"
+
+namespace wuw {
+namespace paged {
+
+// ---------------------------------------------------------------------------
+// Byte codec (journal dialect, exec/journal.cc).
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kInt64:
+      PutI64(out, v.AsInt64());
+      break;
+    case TypeId::kDate:
+      PutI64(out, v.AsDate());
+      break;
+    case TypeId::kDouble: {
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case TypeId::kString:
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+void PutTuple(std::string* out, const Tuple& t) {
+  PutU32(out, static_cast<uint32_t>(t.size()));
+  for (const Value& v : t.values()) PutValue(out, v);
+}
+
+bool GetValue(ByteReader* r, Value* out) {
+  uint8_t tag = r->U8();
+  switch (static_cast<TypeId>(tag)) {
+    case TypeId::kNull:
+      *out = Value::Null();
+      break;
+    case TypeId::kInt64:
+      *out = Value::Int64(r->I64());
+      break;
+    case TypeId::kDate:
+      *out = Value::Date(r->I64());
+      break;
+    case TypeId::kDouble: {
+      uint64_t bits = r->U64();
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value::Double(d);
+      break;
+    }
+    case TypeId::kString:
+      *out = Value::String(r->Str());
+      break;
+    default:
+      r->ok = false;
+  }
+  return r->ok;
+}
+
+bool GetTuple(ByteReader* r, Tuple* out) {
+  uint32_t n = r->U32();
+  if (!r->Need(n)) return false;  // every value is at least one byte
+  std::vector<Value> values(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!GetValue(r, &values[i])) return false;
+  }
+  *out = Tuple(std::move(values));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Analytic size model.
+
+int64_t ApproxValueBytes(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull:
+      return 1;
+    case TypeId::kInt64:
+    case TypeId::kDate:
+    case TypeId::kDouble:
+      return 9;
+    case TypeId::kString:
+      return 5 + static_cast<int64_t>(v.AsString().size());
+  }
+  return 1;
+}
+
+int64_t ApproxTupleBytes(const Tuple& t) {
+  int64_t bytes = 4;
+  for (const Value& v : t.values()) bytes += ApproxValueBytes(v);
+  return bytes;
+}
+
+int64_t ApproxTableBytes(const Table& table) {
+  int64_t bytes = 0;
+  for (const auto& [tuple, count] : table.dense_rows()) {
+    (void)count;
+    bytes += ApproxTupleBytes(tuple) + 8;
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Global stats.
+
+namespace internal {
+std::atomic<int64_t> g_faults{0};
+std::atomic<int64_t> g_evictions{0};
+std::atomic<int64_t> g_spilled_partitions{0};
+}  // namespace internal
+
+PagedStatsSnapshot GlobalPagedStats() {
+  PagedStatsSnapshot out;
+  out.faults = internal::g_faults.load(std::memory_order_relaxed);
+  out.evictions = internal::g_evictions.load(std::memory_order_relaxed);
+  out.spilled_partitions =
+      internal::g_spilled_partitions.load(std::memory_order_relaxed);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Page files.
+
+namespace {
+
+constexpr char kPageMagic[8] = {'W', 'U', 'W', 'P', 'A', 'G', 'E', '1'};
+constexpr uint32_t kPageFormatVersion = 1;
+/// magic + u32 version + u32 page_bytes.
+constexpr size_t kFileHeaderBytes = sizeof(kPageMagic) + 8;
+constexpr size_t kMinPageBytes = 64;
+constexpr size_t kMaxPageBytes = 16u << 20;
+
+}  // namespace
+
+std::unique_ptr<PageFile> PageFile::Create(const std::string& path,
+                                           size_t page_bytes,
+                                           std::string* error) {
+  if (page_bytes < kMinPageBytes || page_bytes > kMaxPageBytes) {
+    *error = "page size out of range: " + std::to_string(page_bytes);
+    return nullptr;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    *error = "cannot create " + path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  std::string header(kPageMagic, sizeof(kPageMagic));
+  PutU32(&header, kPageFormatVersion);
+  PutU32(&header, static_cast<uint32_t>(page_bytes));
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+    std::fclose(f);
+    std::remove(path.c_str());
+    *error = "short header write to " + path;
+    return nullptr;
+  }
+  return std::unique_ptr<PageFile>(new PageFile(f, path, page_bytes, 0));
+}
+
+std::unique_ptr<PageFile> PageFile::Open(const std::string& path,
+                                         std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    *error = "cannot open " + path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  char raw[kFileHeaderBytes];
+  if (std::fread(raw, 1, sizeof(raw), f) != sizeof(raw) ||
+      std::memcmp(raw, kPageMagic, sizeof(kPageMagic)) != 0) {
+    std::fclose(f);
+    *error = "not a page file (bad magic): " + path;
+    return nullptr;
+  }
+  ByteReader r(reinterpret_cast<const uint8_t*>(raw + sizeof(kPageMagic)), 8);
+  uint32_t version = r.U32();
+  uint32_t page_bytes = r.U32();
+  if (version != kPageFormatVersion || page_bytes < kMinPageBytes ||
+      page_bytes > kMaxPageBytes) {
+    std::fclose(f);
+    *error = "unsupported page file header in " + path;
+    return nullptr;
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    *error = "cannot seek " + path;
+    return nullptr;
+  }
+  long end = std::ftell(f);
+  int64_t pages =
+      end <= static_cast<long>(kFileHeaderBytes)
+          ? 0
+          : (end - static_cast<long>(kFileHeaderBytes)) / page_bytes;
+  return std::unique_ptr<PageFile>(new PageFile(f, path, page_bytes, pages));
+}
+
+PageFile::~PageFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  if (remove_on_close_) std::remove(path_.c_str());
+}
+
+std::string PageFile::WritePage(int64_t page_id, const std::string& payload) {
+  WUW_FAULT_POINT("paged.io.write");
+  WUW_CHECK(page_id >= 0 && page_id < num_pages_, "page id out of range");
+  WUW_CHECK(payload.size() <= payload_capacity(), "page payload too large");
+  std::string frame;
+  frame.reserve(page_bytes_);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, static_cast<uint32_t>(page_id));
+  frame.append(payload);
+  // The CRC covers the length + page number prefix as well as the payload:
+  // a flipped bit anywhere in the frame is detected, not reinterpreted.
+  PutU32(&frame, Crc32(frame.data(), frame.size()));
+  frame.resize(page_bytes_, '\0');
+  long offset =
+      static_cast<long>(kFileHeaderBytes) + static_cast<long>(page_id) *
+                                                static_cast<long>(page_bytes_);
+  if (std::fseek(file_, offset, SEEK_SET) != 0) {
+    return "cannot seek " + path_ + ": " + std::strerror(errno);
+  }
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return "short write to " + path_;
+  }
+  return "";
+}
+
+std::string PageFile::ReadPage(int64_t page_id, std::string* payload) {
+  WUW_FAULT_POINT("paged.io.read");
+  WUW_CHECK(page_id >= 0, "page id out of range");
+  if (std::fflush(file_) != 0) {
+    return "cannot flush " + path_ + ": " + std::strerror(errno);
+  }
+  long offset =
+      static_cast<long>(kFileHeaderBytes) + static_cast<long>(page_id) *
+                                                static_cast<long>(page_bytes_);
+  if (std::fseek(file_, offset, SEEK_SET) != 0) {
+    return "cannot seek " + path_ + ": " + std::strerror(errno);
+  }
+  std::string frame(page_bytes_, '\0');
+  size_t got = std::fread(frame.data(), 1, page_bytes_, file_);
+  if (got != page_bytes_) {
+    return "torn page " + std::to_string(page_id) + " in " + path_ +
+           " (short read)";
+  }
+  ByteReader r(frame);
+  uint32_t len = r.U32();
+  uint32_t stored_id = r.U32();
+  if (len > payload_capacity()) {
+    return "corrupt page " + std::to_string(page_id) + " in " + path_ +
+           " (bad length)";
+  }
+  uint32_t crc_offset = 8 + len;
+  ByteReader crc_reader(
+      reinterpret_cast<const uint8_t*>(frame.data()) + crc_offset, 4);
+  uint32_t stored_crc = crc_reader.U32();
+  if (Crc32(frame.data(), crc_offset) != stored_crc) {
+    return "corrupt page " + std::to_string(page_id) + " in " + path_ +
+           " (CRC mismatch)";
+  }
+  if (stored_id != static_cast<uint32_t>(page_id)) {
+    return "corrupt page " + std::to_string(page_id) + " in " + path_ +
+           " (wrong page number)";
+  }
+  payload->assign(frame.data() + 8, len);
+  return "";
+}
+
+std::string PageFile::Flush() {
+  if (std::fflush(file_) != 0) {
+    return "cannot flush " + path_ + ": " + std::strerror(errno);
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Table images.
+
+namespace {
+constexpr uint32_t kImageFormatVersion = 1;
+
+void PutSchema(std::string* out, const Schema& s) {
+  PutU32(out, static_cast<uint32_t>(s.num_columns()));
+  for (const Column& c : s.columns()) {
+    PutString(out, c.name);
+    PutU8(out, static_cast<uint8_t>(c.type));
+  }
+}
+
+bool GetSchema(ByteReader* r, Schema* out) {
+  uint32_t n = r->U32();
+  if (!r->Need(n)) return false;
+  std::vector<Column> columns(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    columns[i].name = r->Str();
+    uint8_t tag = r->U8();
+    if (tag > static_cast<uint8_t>(TypeId::kDate)) {
+      r->ok = false;
+      return false;
+    }
+    columns[i].type = static_cast<TypeId>(tag);
+  }
+  if (!r->ok) return false;
+  *out = Schema(std::move(columns));
+  return true;
+}
+}  // namespace
+
+std::string SerializeTableImage(const Table& table) {
+  std::string out;
+  PutU32(&out, kImageFormatVersion);
+  PutSchema(&out, table.schema());
+  PutI64(&out, table.mutation_count());
+  PutI64(&out, table.cardinality());
+  PutU64(&out, table.dense_rows().size());
+  for (const auto& [tuple, count] : table.dense_rows()) {
+    PutTuple(&out, tuple);
+    PutI64(&out, count);
+  }
+  return out;
+}
+
+std::string SaveTableImage(const Table& table, const std::string& path,
+                           size_t page_bytes) {
+  const std::string bytes = SerializeTableImage(table);
+  const std::string tmp = path + ".tmp";
+  std::string error;
+  std::unique_ptr<PageFile> file = PageFile::Create(tmp, page_bytes, &error);
+  if (file == nullptr) return error;
+  const size_t capacity = file->payload_capacity();
+  // At least one page, even for an empty table, so Open always finds a
+  // decodable header frame.
+  size_t offset = 0;
+  do {
+    size_t chunk = std::min(capacity, bytes.size() - offset);
+    int64_t id = file->AllocatePage();
+    error = file->WritePage(id, bytes.substr(offset, chunk));
+    if (!error.empty()) {
+      file.reset();
+      std::remove(tmp.c_str());
+      return error;
+    }
+    offset += chunk;
+  } while (offset < bytes.size());
+  error = file->Flush();
+  file.reset();
+  if (!error.empty()) {
+    std::remove(tmp.c_str());
+    return error;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::string why = std::strerror(errno);
+    std::remove(tmp.c_str());
+    return "cannot rename " + tmp + " to " + path + ": " + why;
+  }
+  return "";
+}
+
+bool LoadTableImage(const std::string& path, TableImage* out,
+                    std::string* error, bool* torn) {
+  if (torn != nullptr) *torn = false;
+  std::unique_ptr<PageFile> file = PageFile::Open(path, error);
+  if (file == nullptr) return false;
+  // Concatenate the longest valid prefix of pages; a torn/corrupt page
+  // ends the stream there (the journal's longest-valid-prefix rule).
+  std::string bytes;
+  bool page_torn = false;
+  for (int64_t id = 0; id < file->num_pages(); ++id) {
+    std::string payload;
+    std::string page_error = file->ReadPage(id, &payload);
+    if (!page_error.empty()) {
+      page_torn = true;
+      break;
+    }
+    bytes.append(payload);
+  }
+  ByteReader r(bytes);
+  uint32_t version = r.U32();
+  if (version != kImageFormatVersion) {
+    *error = path + ": unsupported image format version " +
+             std::to_string(version);
+    return false;
+  }
+  TableImage img;
+  if (!GetSchema(&r, &img.schema)) {
+    *error = path + ": image header is truncated or corrupt";
+    return false;
+  }
+  img.mutation_count = r.I64();
+  img.cardinality = r.I64();
+  uint64_t n = r.U64();
+  if (!r.ok) {
+    *error = path + ": image header is truncated or corrupt";
+    return false;
+  }
+  // A torn tail may have dropped row bytes; bound the reservation by what
+  // actually remains (every row is at least one byte) and keep the longest
+  // valid prefix of rows below.
+  img.rows.reserve(static_cast<size_t>(
+      std::min<uint64_t>(n, r.remaining())));
+  bool row_torn = false;
+  for (uint64_t i = 0; i < n; ++i) {
+    Tuple t;
+    if (!GetTuple(&r, &t)) {
+      row_torn = true;
+      break;
+    }
+    int64_t count = r.I64();
+    if (!r.ok) {
+      row_torn = true;
+      break;
+    }
+    img.rows.emplace_back(std::move(t), count);
+  }
+  if (torn != nullptr) *torn = page_torn || row_torn;
+  *out = std::move(img);
+  return true;
+}
+
+}  // namespace paged
+}  // namespace wuw

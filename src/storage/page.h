@@ -1,0 +1,251 @@
+// Fixed-size on-disk pages: the bottom layer of the WUW_MEM_MB paged
+// storage tier.
+//
+// A page file is a magic-tagged header followed by fixed-size page frames,
+// each carrying its own CRC32 (the journal's framing discipline,
+// exec/journal.cc): [u32 len][u32 page_no][payload][u32 crc32] zero-padded
+// to the file's page size.  Every byte of the frame prefix and payload is
+// covered by the CRC, so a flipped bit anywhere in a frame makes that page
+// unreadable rather than silently wrong; loads keep the longest valid
+// prefix of pages and report torn tails through error strings — never an
+// abort (user-facing input path, see CLAUDE.md conventions).
+//
+// Two consumers sit on top:
+//   * storage/paged_store.h spills whole extents as multi-page table
+//     images (SaveTableImage / LoadTableImage below) when the warehouse's
+//     resident set exceeds the WUW_MEM_MB budget;
+//   * storage/buffer_pool.h pins/evicts individual pages under a byte
+//     budget for the grace-partition spill paths in the join/aggregation
+//     kernels.
+//
+// All disk traffic funnels through PageFile::ReadPage / WritePage, which
+// carry the `paged.io.read` / `paged.io.write` fault sites — kill-anywhere
+// recovery sweeps (fault_recovery_property_test) ride the same two points
+// for every paged workload.
+#ifndef WUW_STORAGE_PAGE_H_
+#define WUW_STORAGE_PAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/table.h"
+#include "storage/tuple.h"
+
+namespace wuw {
+namespace paged {
+
+// ---------------------------------------------------------------------------
+// Byte codec.  Little-endian fixed-width primitives, length-prefixed
+// strings — the journal's wire idiom (exec/journal.cc), exported here so
+// page images and the kernels' spill records share one dialect.
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutString(std::string* out, const std::string& s);
+void PutValue(std::string* out, const Value& v);
+void PutTuple(std::string* out, const Tuple& t);
+
+/// Bounds-checked little-endian reader; any overrun or type mismatch
+/// latches `ok = false` and every later read returns a zero value.
+struct ByteReader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  bool ok = true;
+
+  explicit ByteReader(const std::string& bytes)
+      : data(reinterpret_cast<const uint8_t*>(bytes.data())),
+        size(bytes.size()) {}
+  ByteReader(const uint8_t* d, size_t n) : data(d), size(n) {}
+
+  size_t remaining() const { return ok ? size - pos : 0; }
+
+  bool Need(size_t n) {
+    if (!ok || size - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data[pos++];
+  }
+
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data[pos++]) << (8 * i);
+    }
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data[pos++]) << (8 * i);
+    }
+    return v;
+  }
+
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  std::string Str() {
+    uint32_t len = U32();
+    if (!Need(len)) return std::string();
+    std::string s(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    return s;
+  }
+};
+
+bool GetValue(ByteReader* r, Value* out);
+bool GetTuple(ByteReader* r, Tuple* out);
+
+// ---------------------------------------------------------------------------
+// Analytic size model.  Serialized-byte estimates computed from the wire
+// format above — a pure function of the data, so every paging/spill
+// decision derived from it is deterministic across runs, pool sizes, and
+// platforms (never sizeof()/capacity(), which are allocator noise).
+
+int64_t ApproxValueBytes(const Value& v);
+int64_t ApproxTupleBytes(const Tuple& t);
+/// Bytes of the table's serialized image payload (rows only; the fixed
+/// header is noise at any realistic size).
+int64_t ApproxTableBytes(const Table& table);
+
+// ---------------------------------------------------------------------------
+// Process-wide paged-tier statistics.  Plain relaxed atomics bumped on
+// every armed-path event regardless of obs arming, so tests can assert
+// "this budget really spilled" without arming the metric registry; the
+// kEngine counters `paged.faults` / `paged.evictions` /
+// `paged.spilled_partitions` mirror them when metrics are armed.
+
+struct PagedStatsSnapshot {
+  int64_t faults = 0;              ///< extent fault-ins + pool disk reads
+  int64_t evictions = 0;           ///< extent hibernations + pool evictions
+  int64_t spilled_partitions = 0;  ///< non-empty grace partitions
+};
+
+PagedStatsSnapshot GlobalPagedStats();
+
+namespace internal {
+extern std::atomic<int64_t> g_faults;
+extern std::atomic<int64_t> g_evictions;
+extern std::atomic<int64_t> g_spilled_partitions;
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Page files.
+
+/// Per-frame overhead: u32 payload length + u32 page number + u32 CRC32.
+inline constexpr size_t kPageFrameOverhead = 12;
+
+/// A fixed-size-page disk file (the DiskManager of the classic buffer-pool
+/// layering).  Not thread-safe: callers serialize access (the extent pager
+/// holds its own mutex; operator spills are single-threaded per operator).
+class PageFile {
+ public:
+  /// Creates/truncates `path` with the given page size.  Returns nullptr
+  /// and fills `*error` on failure.
+  static std::unique_ptr<PageFile> Create(const std::string& path,
+                                          size_t page_bytes,
+                                          std::string* error);
+
+  /// Opens an existing page file, validating magic + header.  Returns
+  /// nullptr and fills `*error` on failure.
+  static std::unique_ptr<PageFile> Open(const std::string& path,
+                                        std::string* error);
+
+  /// Closes the handle; removes the file first when remove-on-close is set
+  /// (spill temporaries).  Never throws — safe during unwinding.
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  size_t page_bytes() const { return page_bytes_; }
+  /// Usable payload bytes per page.
+  size_t payload_capacity() const { return page_bytes_ - kPageFrameOverhead; }
+  int64_t num_pages() const { return num_pages_; }
+  const std::string& path() const { return path_; }
+
+  /// Reserves the next page id.  No I/O: the frame exists on disk only
+  /// after its first WritePage.
+  int64_t AllocatePage() { return num_pages_++; }
+
+  /// Writes one CRC-framed page (payload must fit payload_capacity()).
+  /// Returns "" on success, else an error description.  Carries the
+  /// `paged.io.write` fault site.
+  std::string WritePage(int64_t page_id, const std::string& payload);
+
+  /// Reads + validates one page frame.  Returns "" on success, else an
+  /// error description (truncation, CRC mismatch, wrong page number — the
+  /// caller treats any of them as a torn page).  Carries the
+  /// `paged.io.read` fault site.
+  std::string ReadPage(int64_t page_id, std::string* payload);
+
+  /// Flushes buffered writes.  Returns "" on success.
+  std::string Flush();
+
+  /// Spill temporaries set this so the file vanishes with the handle.
+  void set_remove_on_close(bool remove) { remove_on_close_ = remove; }
+
+ private:
+  PageFile(std::FILE* f, std::string path, size_t page_bytes,
+           int64_t num_pages)
+      : file_(f),
+        path_(std::move(path)),
+        page_bytes_(page_bytes),
+        num_pages_(num_pages) {}
+
+  std::FILE* file_;
+  std::string path_;
+  size_t page_bytes_;
+  int64_t num_pages_;
+  bool remove_on_close_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Table images: a whole extent serialized across consecutive pages —
+// what the extent pager (storage/paged_store.h) writes on hibernate and
+// reads on fault-in.
+
+/// A decoded extent image.  `rows` is in the table's dense-storage order,
+/// so rebuilding via Table::Add reproduces the identical dense layout
+/// (scan order, and therefore every downstream row order, is preserved).
+struct TableImage {
+  Schema schema;
+  std::vector<std::pair<Tuple, int64_t>> rows;
+  int64_t mutation_count = 0;
+  int64_t cardinality = 0;
+};
+
+/// Serializes `table` into the page-spanning image stream.
+std::string SerializeTableImage(const Table& table);
+
+/// Writes `table`'s image to `path` (temp + rename, journal discipline).
+/// Returns "" on success, else an error description.
+std::string SaveTableImage(const Table& table, const std::string& path,
+                           size_t page_bytes);
+
+/// Loads an image, keeping the longest valid prefix of pages and rows.
+/// Returns false (with `*error`) when not even the image header survives;
+/// returns true with `*torn = true` when a torn/corrupt tail dropped
+/// trailing rows.  Never aborts.
+bool LoadTableImage(const std::string& path, TableImage* out,
+                    std::string* error, bool* torn);
+
+}  // namespace paged
+}  // namespace wuw
+
+#endif  // WUW_STORAGE_PAGE_H_

@@ -225,6 +225,19 @@ void Table::Clear() {
   ++mutation_count_;
 }
 
+void Table::ReleasePayload() {
+  rows_.clear();
+  rows_.shrink_to_fit();
+  slots_.clear();
+  slots_.shrink_to_fit();
+  slots_used_ = 0;
+  // Detach the columnar cache so a copy sharing it keeps its (still
+  // valid) snapshot while this object drops the reference.
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::make_shared<SnapshotCache>();
+  snapshot_stale_ = false;
+}
+
 bool Table::ContentsEqual(const Table& other) const {
   if (cardinality_ != other.cardinality_) return false;
   if (rows_.size() != other.rows_.size()) return false;

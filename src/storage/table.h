@@ -101,6 +101,20 @@ class Table {
   /// against extent_version across publishes to catch unbumped mutations.
   int64_t mutation_count() const { return mutation_count_; }
 
+  /// PAGED STORE ONLY (storage/paged_store.h): drops the in-memory payload
+  /// of a hibernated extent — rows, index, and columnar cache — while
+  /// preserving schema, cardinality() (so size estimation works without a
+  /// fault-in) and mutation_count() (so the publish audit and the pager's
+  /// image-staleness check stay coherent).  The table must not be read or
+  /// mutated until the pager faults it back in.
+  void ReleasePayload();
+
+  /// PAGED STORE ONLY: restores the exact pre-hibernation mutation count
+  /// after a fault-in rebuild (Clear + Add bumped it past the saved
+  /// value).  Contents are bit-identical to the hibernated state, so
+  /// continuity of the count is the truthful accounting.
+  void RestoreMutationCount(int64_t count) { mutation_count_ = count; }
+
   std::string ToString(size_t max_rows = 20) const;
 
  private:
