@@ -13,6 +13,9 @@
 //                 nothing, negative = unbounded
 //   WUW_FAULT     fault-injection spec (fault/fault_injection.h grammar);
 //                 unset = all points disarmed at zero cost
+//   WUW_IO_FAULT  I/O fault spec (io/fault_env.h grammar) — wraps all
+//                 durable I/O in a deterministic FaultEnv; unset = the
+//                 plain POSIX env
 //   WUW_WINDOW_BUDGET  per-window budget spec (exec/window_budget.h
 //                 grammar, e.g. "2000" or "work=2000;deadline_ms=50");
 //                 sequential executor runs auto-split into as many windows
@@ -32,6 +35,7 @@
 #include "exec/warehouse.h"
 #include "exec/window_budget.h"
 #include "fault/fault_injection.h"
+#include "io/fault_env.h"
 #include "plan/subplan_cache.h"
 
 namespace wuw {
@@ -57,10 +61,15 @@ inline BenchEnv FromEnv(double default_scale_factor = 0.01) {
     env.cache_mb = strtoll(mb, nullptr, 10);
   }
   // Any experiment can run under injected faults without recompiling
-  // (no-op when WUW_FAULT is unset).
+  // (no-op when WUW_FAULT / WUW_IO_FAULT are unset).
   std::string fault_error = fault::ArmFromEnv();
   if (!fault_error.empty()) {
     std::fprintf(stderr, "%s\n", fault_error.c_str());
+    std::exit(2);
+  }
+  std::string io_fault_error = io::InstallIoFaultFromEnv();
+  if (!io_fault_error.empty()) {
+    std::fprintf(stderr, "%s\n", io_fault_error.c_str());
     std::exit(2);
   }
   if (const WindowBudgetOptions* budget = EnvWindowBudget()) {

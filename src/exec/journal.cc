@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/crc32.h"
+#include "fault/fault_injection.h"
 #include "obs/metrics.h"
 
 namespace wuw {
@@ -19,6 +20,7 @@ void StrategyJournal::Begin(const Strategy& strategy, int64_t batch_epoch) {
   entries_.clear();
   begun_ = true;
   complete_ = false;
+  DurableBeginLocked();
 }
 
 void StrategyJournal::Record(JournalEntry entry) {
@@ -27,12 +29,14 @@ void StrategyJournal::Record(JournalEntry entry) {
   WUW_CHECK(!complete_, "journal Record after MarkComplete");
   WUW_METRIC_ADD("journal.entries", obs::MetricClass::kWork, 1);
   entries_.push_back(std::move(entry));
+  DurableAppendLocked(entries_.back());
 }
 
 void StrategyJournal::MarkComplete() {
   std::lock_guard<std::mutex> lock(mu_);
   WUW_CHECK(begun_, "journal MarkComplete before Begin");
   complete_ = true;
+  DurableCompleteLocked();
 }
 
 bool StrategyJournal::begun() const {
@@ -86,6 +90,9 @@ void StrategyJournal::Clear() {
   strategy_ = Strategy();
   batch_epoch_ = 0;
   entries_.clear();
+  // The sink stays attached but closed: the next Begin rewrites the file.
+  if (durable_file_ != nullptr) durable_file_->Close();
+  durable_file_.reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -407,32 +414,125 @@ bool GetFrame(ByteReader* r, ByteReader* payload) {
   return true;
 }
 
+/// Header frame payload: format version, batch epoch, strategy.
+std::string HeaderPayload(const Strategy& strategy, int64_t batch_epoch) {
+  std::string header;
+  PutU32(&header, kFormatVersion);
+  PutI64(&header, batch_epoch);
+  PutStrategy(&header, strategy);
+  return header;
+}
+
+std::string EntryPayload(const JournalEntry& entry) {
+  std::string payload;
+  PutU8(&payload, kEntryRecord);
+  PutI64(&payload, entry.step);
+  PutExpression(&payload, entry.expression);
+  PutRows(&payload, entry.comp_raw);
+  PutDelta(&payload, entry.installed);
+  PutI64(&payload, entry.extent_version_after);
+  return payload;
+}
+
+std::string CompletePayload() {
+  std::string payload;
+  PutU8(&payload, kCompleteRecord);
+  return payload;
+}
+
 }  // namespace
 
 std::string SerializeJournal(const StrategyJournal& journal) {
   WUW_CHECK(journal.begun(), "cannot serialize a journal with no run");
   std::string out(kMagic, sizeof(kMagic));
-  std::string header;
-  PutU32(&header, kFormatVersion);
-  PutI64(&header, journal.batch_epoch());
-  PutStrategy(&header, journal.strategy());
-  PutFrame(&out, header);
+  PutFrame(&out, HeaderPayload(journal.strategy(), journal.batch_epoch()));
   for (const JournalEntry& entry : journal.EntriesInStepOrder()) {
-    std::string payload;
-    PutU8(&payload, kEntryRecord);
-    PutI64(&payload, entry.step);
-    PutExpression(&payload, entry.expression);
-    PutRows(&payload, entry.comp_raw);
-    PutDelta(&payload, entry.installed);
-    PutI64(&payload, entry.extent_version_after);
-    PutFrame(&out, payload);
+    PutFrame(&out, EntryPayload(entry));
   }
-  if (journal.complete()) {
-    std::string payload;
-    PutU8(&payload, kCompleteRecord);
-    PutFrame(&out, payload);
-  }
+  if (journal.complete()) PutFrame(&out, CompletePayload());
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental durable sink (see journal.h).  All three run with mu_ held.
+
+std::string StrategyJournal::AttachDurable(io::Env* env, std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  durable_env_ = env != nullptr ? env : io::GetEnv();
+  durable_path_ = std::move(path);
+  durable_file_.reset();
+  durable_error_.clear();
+  if (begun_) DurableBeginLocked();  // re-home an in-flight run
+  return durable_error_;
+}
+
+void StrategyJournal::DetachDurable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (durable_file_ != nullptr) durable_file_->Close();
+  durable_file_.reset();
+  durable_env_ = nullptr;
+  durable_path_.clear();
+  durable_error_.clear();
+}
+
+std::string StrategyJournal::durable_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_error_;
+}
+
+void StrategyJournal::DurableBeginLocked() {
+  if (durable_env_ == nullptr) return;
+  durable_error_.clear();
+  durable_file_.reset();
+  std::string error = durable_env_->NewWritableFile(durable_path_,
+                                                    &durable_file_);
+  if (error.empty()) {
+    std::string bytes(kMagic, sizeof(kMagic));
+    PutFrame(&bytes, HeaderPayload(strategy_, batch_epoch_));
+    // Non-empty only when AttachDurable re-homes an in-flight run.
+    for (const JournalEntry& entry : entries_) {
+      PutFrame(&bytes, EntryPayload(entry));
+    }
+    if (complete_) PutFrame(&bytes, CompletePayload());
+    error = durable_file_->Append(bytes);
+    if (error.empty()) error = durable_file_->Sync();
+    // One parent-directory fsync commits the dirent; every later append
+    // then only needs the file fsync to be crash-safe.
+    if (error.empty()) {
+      error = durable_env_->SyncDir(io::ParentDir(durable_path_));
+    }
+  }
+  if (!error.empty()) {
+    durable_error_ = error;
+    durable_file_.reset();
+  }
+}
+
+void StrategyJournal::DurableAppendLocked(const JournalEntry& entry) {
+  if (durable_file_ == nullptr) return;
+  WUW_FAULT_POINT("journal.durable.append");
+  std::string bytes;
+  PutFrame(&bytes, EntryPayload(entry));
+  std::string error = durable_file_->Append(bytes);
+  if (error.empty()) error = durable_file_->Sync();
+  if (!error.empty()) {
+    // Fail-stop: the on-disk file keeps the longest valid prefix, which
+    // LoadJournal already knows how to use.
+    durable_error_ = error;
+    durable_file_.reset();
+  }
+}
+
+void StrategyJournal::DurableCompleteLocked() {
+  if (durable_file_ == nullptr) return;
+  std::string bytes;
+  PutFrame(&bytes, CompletePayload());
+  std::string error = durable_file_->Append(bytes);
+  if (error.empty()) error = durable_file_->Sync();
+  if (!error.empty()) {
+    durable_error_ = error;
+    durable_file_.reset();
+  }
 }
 
 bool DeserializeJournal(const std::string& bytes, StrategyJournal* out,
@@ -502,49 +602,15 @@ bool DeserializeJournal(const std::string& bytes, StrategyJournal* out,
 
 bool SaveJournal(const StrategyJournal& journal, const std::string& path,
                  std::string* error) {
-  const std::string bytes = SerializeJournal(journal);
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    *error = "cannot open " + tmp + " for writing: " + std::strerror(errno);
-    return false;
-  }
-  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  bool flushed = std::fflush(f) == 0;
-  std::fclose(f);
-  if (written != bytes.size() || !flushed) {
-    std::remove(tmp.c_str());
-    *error = "short write to " + tmp;
-    return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    *error = "cannot rename " + tmp + " to " + path + ": " +
-             std::strerror(errno);
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return io::AtomicWriteFile(io::GetEnv(), path, SerializeJournal(journal),
+                             error);
 }
 
 bool LoadJournal(const std::string& path, StrategyJournal* out,
                  std::string* error, bool* torn) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    *error = "cannot open " + path + ": " + std::strerror(errno);
-    return false;
-  }
   std::string bytes;
-  char buffer[1 << 16];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    bytes.append(buffer, n);
-  }
-  bool failed = std::ferror(f) != 0;
-  std::fclose(f);
-  if (failed) {
-    *error = "read error on " + path;
-    return false;
-  }
+  *error = io::GetEnv()->ReadFileToString(path, &bytes);
+  if (!error->empty()) return false;
   if (!DeserializeJournal(bytes, out, error, torn)) {
     *error = path + ": " + *error;
     return false;

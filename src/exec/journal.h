@@ -18,12 +18,15 @@
 #define WUW_EXEC_JOURNAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "algebra/rows.h"
 #include "core/strategy.h"
 #include "delta/delta_relation.h"
+#include "io/env.h"
 
 namespace wuw {
 
@@ -78,13 +81,48 @@ class StrategyJournal {
 
   void Clear();
 
+  // -- Incremental durability ------------------------------------------------
+  //
+  // An attached durable sink makes the journal survive a process kill, not
+  // just an in-process unwind: Begin rewrites `path` with the fsynced
+  // header (and commits the dirent with a parent-directory fsync), every
+  // Record appends one fsynced frame, MarkComplete appends the completion
+  // marker — the on-disk file is, at every instant, a loadable prefix of
+  // the run (LoadJournal's torn-tail rule absorbs a cut mid-frame).
+  // Executors need no changes: the write-through rides the existing
+  // Begin/Record calls.
+
+  /// Attaches the durable sink (env null = the current io::GetEnv()).  If
+  /// a run is already in flight, its current state is written out
+  /// immediately.  Returns "" or the first I/O error (also latched in
+  /// durable_error()).
+  std::string AttachDurable(io::Env* env, std::string path);
+
+  /// Closes the sink; the file stays on disk.
+  void DetachDurable();
+
+  /// First durable-append failure, "" while healthy.  Fail-stop: after an
+  /// error the sink is closed and later records are memory-only — the
+  /// on-disk journal remains a valid (shorter) prefix, which recovery
+  /// handles exactly like a torn tail.
+  std::string durable_error() const;
+
  private:
+  void DurableBeginLocked();
+  void DurableAppendLocked(const JournalEntry& entry);
+  void DurableCompleteLocked();
+
   mutable std::mutex mu_;
   bool begun_ = false;
   bool complete_ = false;
   Strategy strategy_;
   int64_t batch_epoch_ = 0;
   std::vector<JournalEntry> entries_;
+
+  io::Env* durable_env_ = nullptr;
+  std::string durable_path_;
+  std::unique_ptr<io::WritableFile> durable_file_;
+  std::string durable_error_;
 };
 
 // ---------------------------------------------------------------------------
@@ -114,10 +152,11 @@ std::string SerializeJournal(const StrategyJournal& journal);
 bool DeserializeJournal(const std::string& bytes, StrategyJournal* out,
                         std::string* error, bool* torn = nullptr);
 
-/// Atomically persists the journal to `path`: writes `path + ".tmp"` and
-/// rename(2)s it over `path`, so a crash never leaves a half-written
-/// journal under the real name.  Returns false and fills *error on I/O
-/// failure.
+/// Atomically persists the journal to `path` through the current io::Env
+/// with the full crash discipline (write → fsync → rename → fsync parent
+/// dir — io::AtomicWriteFile), so a crash at any instant leaves the old
+/// journal or the new one, never a mix.  Returns false and fills *error on
+/// I/O failure.
 bool SaveJournal(const StrategyJournal& journal, const std::string& path,
                  std::string* error);
 

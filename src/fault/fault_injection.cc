@@ -1,5 +1,8 @@
 #include "fault/fault_injection.h"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -33,6 +36,7 @@ struct Registry {
   FaultPlan plan;
   uint64_t rng_state = 0;
   std::map<std::string, int64_t> hits;
+  std::function<void()> abort_hook;
 };
 
 Registry& registry() {
@@ -109,6 +113,10 @@ std::string ParseFaultSpec(const std::string& spec, FaultPlan* plan) {
       plan->count_only = true;
       continue;
     }
+    if (clause == "mode=abort") {
+      plan->abort_mode = true;
+      continue;
+    }
 
     Trigger t;
     size_t colon = clause.find(':');
@@ -145,6 +153,12 @@ std::string ParseFaultSpec(const std::string& spec, FaultPlan* plan) {
   return "";
 }
 
+void SetAbortHook(std::function<void()> hook) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.abort_hook = std::move(hook);
+}
+
 std::string ArmFromEnv() {
   const char* spec = std::getenv("WUW_FAULT");
   if (spec == nullptr || *spec == '\0') return "";
@@ -163,6 +177,8 @@ void OnFaultPoint(const char* point) {
   Registry& r = registry();
   std::string fire_point;
   int64_t fire_hit = 0;
+  bool abort_mode = false;
+  std::function<void()> abort_hook;
   {
     std::lock_guard<std::mutex> lock(r.mu);
     // Racy-read guard: the relaxed gate may lag a concurrent Disarm.
@@ -177,6 +193,8 @@ void OnFaultPoint(const char* point) {
       if (fire) {
         fire_point = point;
         fire_hit = hit;
+        abort_mode = r.plan.abort_mode;
+        if (abort_mode) abort_hook = r.abort_hook;
         break;
       }
     }
@@ -184,6 +202,16 @@ void OnFaultPoint(const char* point) {
   // Throw outside the lock: the unwind may cross code that hits further
   // fault points (destructors never do today, but cheap insurance).
   if (!fire_point.empty()) {
+    if (abort_mode) {
+      // The process-kill path: no unwinding, no destructors, no buffered
+      // flushes — exactly the discipline a SIGKILL would impose.  The
+      // abort hook (a FaultEnv's crash truncation) runs first so the disk
+      // state a restart reopens is the one a power cut would leave.
+      std::fprintf(stderr, "wuw-fault: abort at %s (hit %lld)\n",
+                   fire_point.c_str(), static_cast<long long>(fire_hit));
+      if (abort_hook) abort_hook();
+      ::_exit(2);
+    }
     WUW_METRIC_ADD("fault.fired", obs::MetricClass::kSched, 1);
     throw FaultInjectedError(fire_point, fire_hit);
   }

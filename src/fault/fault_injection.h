@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -72,6 +73,12 @@ struct FaultPlan {
   /// Count hits but never fire — the enumeration pass of the
   /// kill-at-every-step suites.
   bool count_only = false;
+  /// A firing trigger _exit(2)s the process instead of throwing — the
+  /// process-kill half of the crash-restart sweeps
+  /// (crash_restart_property_test).  The registered abort hook (see
+  /// SetAbortHook) runs first, so a FaultEnv can apply its crash
+  /// truncation semantics to the on-disk state before the process dies.
+  bool abort_mode = false;
 };
 
 /// Installs `plan` and resets all hit counters.  Replaces any armed plan.
@@ -96,10 +103,18 @@ std::vector<std::pair<std::string, int64_t>> HitCounts();
 ///   <point>:p=<P>           fire each hit with probability P
 ///   seed=<S>                seed for probability draws
 ///   mode=count              count-only plan
+///   mode=abort              firing triggers _exit(2) instead of throwing
 /// Example: "executor.step.begin:hit=3" or "plan.*:p=0.001;seed=7".
 /// Returns an empty string on success, else a description of the error
 /// (user-facing input path: no aborts).
 std::string ParseFaultSpec(const std::string& spec, FaultPlan* plan);
+
+/// Registers `hook` to run just before a mode=abort trigger _exit(2)s
+/// (null clears).  io::FaultEnv installs its crash-truncation pass here so
+/// a killed process leaves exactly the state a power cut would.  Called
+/// outside the registry lock, at most once per process (nothing fires
+/// after the exiting point).
+void SetAbortHook(std::function<void()> hook);
 
 /// Arms from the WUW_FAULT environment variable if it is set.  Returns an
 /// empty string when unset or armed successfully, else the parse error.

@@ -1,0 +1,260 @@
+#include "io/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "fault/fault_injection.h"
+
+namespace wuw {
+namespace io {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// stdio-buffered append sink: the exact write path the direct code used,
+/// plus fsync on Sync() via the underlying descriptor.
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  std::string Append(const std::string& data) override {
+    if (file_ == nullptr) return "append to closed file " + path_;
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return "short write to " + path_;
+    }
+    return "";
+  }
+
+  std::string Sync() override {
+    if (file_ == nullptr) return "sync of closed file " + path_;
+    if (std::fflush(file_) != 0) return Errno("cannot flush", path_);
+    if (::fsync(::fileno(file_)) != 0) return Errno("cannot fsync", path_);
+    return "";
+  }
+
+  std::string Close() override {
+    if (file_ == nullptr) return "";
+    bool flushed = std::fflush(file_) == 0;
+    bool closed = std::fclose(file_) == 0;
+    file_ = nullptr;
+    if (!flushed || !closed) return "cannot close " + path_;
+    return "";
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+/// stdio "wb+"/"rb+" positioned handle.  stdio requires a flush between a
+/// write and a following read on the same stream; ReadAt flushes first.
+class PosixRandomRWFile : public RandomRWFile {
+ public:
+  PosixRandomRWFile(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+  ~PosixRandomRWFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  std::string ReadAt(uint64_t offset, size_t n, std::string* out,
+                     bool* retryable) override {
+    if (retryable != nullptr) *retryable = false;
+    if (std::fflush(file_) != 0) return Errno("cannot flush", path_);
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Errno("cannot seek", path_);
+    }
+    out->assign(n, '\0');
+    size_t got = std::fread(out->data(), 1, n, file_);
+    if (got != n) {
+      if (std::ferror(file_) != 0) {
+        std::clearerr(file_);
+        if (retryable != nullptr) *retryable = true;
+        return "I/O error reading " + path_;
+      }
+      out->resize(got);
+      return "short read from " + path_;
+    }
+    return "";
+  }
+
+  std::string WriteAt(uint64_t offset, const std::string& data) override {
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Errno("cannot seek", path_);
+    }
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return "short write to " + path_;
+    }
+    return "";
+  }
+
+  std::string Flush() override {
+    if (std::fflush(file_) != 0) return Errno("cannot flush", path_);
+    return "";
+  }
+
+  std::string Sync() override {
+    if (std::fflush(file_) != 0) return Errno("cannot flush", path_);
+    if (::fsync(::fileno(file_)) != 0) return Errno("cannot fsync", path_);
+    return "";
+  }
+
+  std::string Size(uint64_t* out) override {
+    if (std::fflush(file_) != 0) return Errno("cannot flush", path_);
+    struct stat st;
+    if (::fstat(::fileno(file_), &st) != 0) return Errno("cannot stat", path_);
+    *out = static_cast<uint64_t>(st.st_size);
+    return "";
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  std::string NewWritableFile(const std::string& path,
+                              std::unique_ptr<WritableFile>* out) override {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Errno("cannot open", path);
+    *out = std::make_unique<PosixWritableFile>(f, path);
+    return "";
+  }
+
+  std::string NewRandomRWFile(const std::string& path, bool truncate,
+                              std::unique_ptr<RandomRWFile>* out) override {
+    std::FILE* f = std::fopen(path.c_str(), truncate ? "wb+" : "rb+");
+    if (f == nullptr) return Errno("cannot open", path);
+    *out = std::make_unique<PosixRandomRWFile>(f, path);
+    return "";
+  }
+
+  std::string ReadFileToString(const std::string& path,
+                               std::string* out) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Errno("cannot open", path);
+    out->clear();
+    char buffer[1 << 16];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      out->append(buffer, n);
+    }
+    bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed) return "read error on " + path;
+    return "";
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  std::string RemoveFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+      return Errno("cannot remove", path);
+    }
+    return "";
+  }
+
+  std::string RenameFile(const std::string& from,
+                         const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return "cannot rename " + from + " to " + to + ": " +
+             std::strerror(errno);
+    }
+    return "";
+  }
+
+  std::string CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("cannot create directory", path);
+    }
+    return "";
+  }
+
+  std::string SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Errno("cannot open directory", path);
+    bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) return Errno("cannot fsync directory", path);
+    return "";
+  }
+};
+
+std::atomic<Env*> g_env{nullptr};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* posix = new PosixEnv();  // leaked: safe at any exit order
+  return posix;
+}
+
+Env* GetEnv() {
+  Env* env = g_env.load(std::memory_order_acquire);
+  return env != nullptr ? env : Env::Default();
+}
+
+Env* SetEnv(Env* env) {
+  Env* prev = g_env.exchange(env, std::memory_order_acq_rel);
+  return prev != nullptr ? prev : Env::Default();
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool AtomicWriteFile(Env* env, const std::string& path,
+                     const std::string& contents, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  *error = env->NewWritableFile(tmp, &file);
+  if (!error->empty()) return false;
+  WUW_FAULT_POINT("io.atomic.write");
+  *error = file->Append(contents);
+  if (error->empty()) {
+    WUW_FAULT_POINT("io.atomic.sync");
+    *error = file->Sync();
+  }
+  std::string close_error = file->Close();
+  if (error->empty()) *error = close_error;
+  if (!error->empty()) {
+    file.reset();
+    env->RemoveFile(tmp);
+    return false;
+  }
+  file.reset();
+  WUW_FAULT_POINT("io.atomic.rename");
+  *error = env->RenameFile(tmp, path);
+  if (!error->empty()) {
+    env->RemoveFile(tmp);
+    return false;
+  }
+  // The rename is in the page cache but the dirent is not yet durable: a
+  // crash here can roll the directory back to the old file.  fsync the
+  // parent to commit.
+  WUW_FAULT_POINT("io.atomic.dirsync");
+  *error = env->SyncDir(ParentDir(path));
+  return error->empty();
+}
+
+}  // namespace io
+}  // namespace wuw

@@ -1,0 +1,142 @@
+// Pluggable I/O environment: the single seam every durable artifact
+// routes through.
+//
+// Snapshots (io/snapshot.cc), strategy journals (exec/journal.cc), page
+// images and buffer-pool writeback (storage/page.cc) all used to hand-roll
+// their own stdio calls — and all three silently skipped the fsync half of
+// crash atomicity.  They now go through an Env, which buys two things:
+//
+//   * one implementation of the full crash-safety discipline —
+//     write → fsync(file) → rename(2) → fsync(parent dir) — in
+//     AtomicWriteFile below (temp+rename without the syncs is NOT
+//     crash-atomic: the rename can be reordered before the data blocks,
+//     and the dirent itself can be lost with the directory's metadata);
+//   * a deterministic fault-injecting implementation (io/fault_env.h,
+//     armed by WUW_IO_FAULT) in the SQLite injected-VFS testing tradition:
+//     ENOSPC at byte N, EIO on the k-th read, short writes, dropped syncs,
+//     and torn-tail-at-sector-granularity crash simulation — so the
+//     durability suites sweep real failure models instead of hand-edited
+//     files.
+//
+// Error contract (CLAUDE.md conventions): every operation returns an error
+// string — empty on success — because all callers are user-facing input
+// or durability paths; nothing here aborts.  The disarmed seam is a
+// virtual call onto the same stdio-buffered primitives the direct code
+// used, priced by bench/micro_io (keep-it-honest discipline).
+#ifndef WUW_IO_ENV_H_
+#define WUW_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace wuw {
+namespace io {
+
+/// Sequential append-only sink (snapshot files, serialized journals,
+/// durable journal appends).  Close() flushes; durability additionally
+/// requires Sync() before the bytes are crash-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  /// Appends `data`; "" on success.  A failed append may have persisted a
+  /// prefix of `data` (the ENOSPC model).
+  virtual std::string Append(const std::string& data) = 0;
+  /// Flushes application + OS buffers to stable storage (fsync).
+  virtual std::string Sync() = 0;
+  /// Flushes buffers and closes the handle.  Idempotent.
+  virtual std::string Close() = 0;
+};
+
+/// Positioned read/write handle (page files).  Not thread-safe — callers
+/// serialize (the extent pager holds a mutex; operator spills are
+/// single-threaded per operator).
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+  /// Reads exactly `n` bytes at `offset` into *out.  "" on success.  A
+  /// short read (EOF) is an error with `*retryable` (when non-null) left
+  /// false; an I/O error sets `*retryable` true — the pager fault-in path
+  /// retries those on a bounded deterministic schedule (storage/page.cc).
+  virtual std::string ReadAt(uint64_t offset, size_t n, std::string* out,
+                             bool* retryable) = 0;
+  /// Writes `data` at `offset` (extending the file as needed).
+  virtual std::string WriteAt(uint64_t offset, const std::string& data) = 0;
+  /// Flushes application buffers (no fsync).
+  virtual std::string Flush() = 0;
+  /// Flushes everything to stable storage (fsync).
+  virtual std::string Sync() = 0;
+  /// Current file size in bytes.
+  virtual std::string Size(uint64_t* out) = 0;
+};
+
+/// The environment: file creation, whole-file reads, namespace operations.
+/// Implementations must be thread-safe (distinct files may be written
+/// concurrently by parallel spill operators).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process's real POSIX environment (stdio-buffered).  Never null.
+  static Env* Default();
+
+  /// Creates/truncates `path` for appending.
+  virtual std::string NewWritableFile(const std::string& path,
+                                      std::unique_ptr<WritableFile>* out) = 0;
+  /// Opens `path` for positioned read/write.  `truncate` creates/empties
+  /// it; otherwise the file must exist.
+  virtual std::string NewRandomRWFile(const std::string& path, bool truncate,
+                                      std::unique_ptr<RandomRWFile>* out) = 0;
+  /// Reads the whole of `path` into *out.
+  virtual std::string ReadFileToString(const std::string& path,
+                                       std::string* out) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual std::string RemoveFile(const std::string& path) = 0;
+  virtual std::string RenameFile(const std::string& from,
+                                 const std::string& to) = 0;
+  /// Creates `path` (one level); an existing directory is success.
+  virtual std::string CreateDir(const std::string& path) = 0;
+  /// fsyncs the directory itself, making renames/creates under it durable.
+  virtual std::string SyncDir(const std::string& path) = 0;
+};
+
+/// The process-wide current environment.  Defaults to Env::Default();
+/// tests (and WUW_IO_FAULT arming) swap in a FaultEnv.  Reads are a single
+/// relaxed atomic load — the disarmed seam stays free of locks.
+Env* GetEnv();
+/// Installs `env` (null restores the default).  Returns the previous env.
+/// Not synchronized against in-flight I/O: swap only at quiescent points
+/// (test setup, process start).
+Env* SetEnv(Env* env);
+
+/// RAII env swap for tests.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(Env* env) : prev_(SetEnv(env)) {}
+  ~ScopedEnv() { SetEnv(prev_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  Env* prev_;
+};
+
+/// Directory part of `path` ("." when it has none).
+std::string ParentDir(const std::string& path);
+
+/// The crash-atomic whole-file write: contents land in `path + ".tmp"`,
+/// are fsynced, renamed over `path`, and the parent directory is fsynced —
+/// after which a crash at ANY point leaves either the old file or the new
+/// one, never a mix and never a lost dirent.  Fault sites for the
+/// kill-anywhere sweeps: `io.atomic.write` (before the payload write),
+/// `io.atomic.sync` (payload written, not yet durable), `io.atomic.rename`
+/// (durable tmp, old name still live), `io.atomic.dirsync` (renamed, dirent
+/// not yet durable).  Returns false and fills *error on failure, removing
+/// the temp file.
+bool AtomicWriteFile(Env* env, const std::string& path,
+                     const std::string& contents, std::string* error);
+
+}  // namespace io
+}  // namespace wuw
+
+#endif  // WUW_IO_ENV_H_

@@ -1,0 +1,433 @@
+#include "io/fault_env.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+#include "fault/fault_injection.h"
+
+namespace wuw {
+namespace io {
+
+namespace {
+
+/// splitmix64 (the fault layer's generator): independent of workload
+/// randomness, deterministic given (options, seed).
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitDraw(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+constexpr size_t kMaxTraceEvents = 256;
+
+bool ParseInt(const std::string& value, int64_t* out) {
+  if (value.empty()) return false;
+  char* rest = nullptr;
+  errno = 0;
+  long long n = std::strtoll(value.c_str(), &rest, 10);
+  if (rest == nullptr || *rest != '\0' || errno != 0 || n < 0) return false;
+  *out = n;
+  return true;
+}
+
+bool ParseProb(const std::string& value, double* out) {
+  if (value.empty()) return false;
+  char* rest = nullptr;
+  double p = std::strtod(value.c_str(), &rest);
+  if (rest == value.c_str() || *rest != '\0' || p < 0 || p > 1) return false;
+  *out = p;
+  return true;
+}
+
+}  // namespace
+
+std::string ParseIoFaultSpec(const std::string& spec, IoFaultOptions* out) {
+  IoFaultOptions options;
+  bool armed = false;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) {
+      if (end == spec.size()) break;
+      continue;
+    }
+    size_t eq = clause.find('=');
+    std::string key = clause.substr(0, eq);
+    std::string value = eq == std::string::npos ? "" : clause.substr(eq + 1);
+    int64_t n = 0;
+    if (key == "enospc") {
+      if (!ParseInt(value, &n)) return "enospc= wants a byte count: " + clause;
+      options.enospc_bytes = n;
+      armed = true;
+    } else if (key == "short_write") {
+      if (!ParseInt(value, &n) || n == 0) {
+        return "short_write= wants a positive op index: " + clause;
+      }
+      options.short_write_at = n;
+      armed = true;
+    } else if (key == "read_eio") {
+      if (!ParseInt(value, &n) || n == 0) {
+        return "read_eio= wants a positive op index: " + clause;
+      }
+      options.read_eio_at = n;
+      armed = true;
+    } else if (key == "transient") {
+      if (!ParseInt(value, &n)) return "transient= wants a count: " + clause;
+      options.transient = n;
+    } else if (key == "p_read") {
+      if (!ParseProb(value, &options.p_read)) {
+        return "p_read= wants a probability in [0,1]: " + clause;
+      }
+      armed = true;
+    } else if (key == "p_write") {
+      if (!ParseProb(value, &options.p_write)) {
+        return "p_write= wants a probability in [0,1]: " + clause;
+      }
+      armed = true;
+    } else if (key == "seed") {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "drop_sync" && value.empty()) {
+      options.drop_sync = true;
+      armed = true;
+    } else if (key == "torn") {
+      if (!ParseInt(value, &n) || n == 0) {
+        return "torn= wants a positive sector size: " + clause;
+      }
+      options.sector = n;
+      armed = true;
+    } else {
+      return "unknown clause '" + clause + "'";
+    }
+  }
+  if (!armed) return "io fault spec arms nothing: " + spec;
+  *out = std::move(options);
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// File wrappers.
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultEnv* env,
+                    std::string path)
+      : base_(std::move(base)), env_(env), path_(std::move(path)) {}
+
+  std::string Append(const std::string& data) override {
+    std::string injected;
+    size_t allowed = env_->AdmitWrite(path_, data.size(), &injected);
+    if (allowed > 0) {
+      std::string base_error = base_->Append(data.substr(0, allowed));
+      if (!base_error.empty()) return base_error;
+      // Keep the partial prefix findable by crash truncation: stdio may
+      // still be buffering it when the injected error aborts the caller.
+      base_->Sync();
+      env_->NoteAppended(path_, allowed);
+    }
+    return injected;
+  }
+
+  std::string Sync() override {
+    if (env_->options().drop_sync) return "";  // the lying disk
+    std::string error = base_->Sync();
+    if (error.empty()) env_->NoteSynced(path_);
+    return error;
+  }
+
+  std::string Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultEnv* env_;
+  std::string path_;
+};
+
+class FaultRandomRWFile : public RandomRWFile {
+ public:
+  FaultRandomRWFile(std::unique_ptr<RandomRWFile> base, FaultEnv* env,
+                    std::string path)
+      : base_(std::move(base)), env_(env), path_(std::move(path)) {}
+
+  std::string ReadAt(uint64_t offset, size_t n, std::string* out,
+                     bool* retryable) override {
+    std::string injected = env_->AdmitRead(path_, retryable);
+    if (!injected.empty()) return injected;
+    return base_->ReadAt(offset, n, out, retryable);
+  }
+
+  std::string WriteAt(uint64_t offset, const std::string& data) override {
+    std::string injected;
+    size_t allowed = env_->AdmitWrite(path_, data.size(), &injected);
+    if (allowed > 0) {
+      std::string base_error = base_->WriteAt(offset, data.substr(0, allowed));
+      if (!base_error.empty()) return base_error;
+      env_->NoteSize(path_, offset + allowed);
+    }
+    return injected;
+  }
+
+  std::string Flush() override { return base_->Flush(); }
+
+  std::string Sync() override {
+    if (env_->options().drop_sync) return "";
+    std::string error = base_->Sync();
+    if (error.empty()) env_->NoteSynced(path_);
+    return error;
+  }
+
+  std::string Size(uint64_t* out) override { return base_->Size(out); }
+
+ private:
+  std::unique_ptr<RandomRWFile> base_;
+  FaultEnv* env_;
+  std::string path_;
+};
+
+// ---------------------------------------------------------------------------
+// FaultEnv.
+
+FaultEnv::FaultEnv(IoFaultOptions options, Env* base)
+    : options_(std::move(options)),
+      base_(base != nullptr ? base : GetEnv()),
+      rng_state_(options_.seed * 0x9e3779b97f4a7c15ull + 1) {
+  fault::SetAbortHook([this] { CrashNow(); });
+}
+
+FaultEnv::~FaultEnv() { fault::SetAbortHook(nullptr); }
+
+std::string FaultEnv::NewWritableFile(const std::string& path,
+                                      std::unique_ptr<WritableFile>* out) {
+  bool existed = base_->FileExists(path);
+  std::unique_ptr<WritableFile> base_file;
+  std::string error = base_->NewWritableFile(path, &base_file);
+  if (!error.empty()) return error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FileState& st = files_[path];
+    st = FileState{};
+    st.create_pending = !existed;
+  }
+  *out = std::make_unique<FaultWritableFile>(std::move(base_file), this, path);
+  return "";
+}
+
+std::string FaultEnv::NewRandomRWFile(const std::string& path, bool truncate,
+                                      std::unique_ptr<RandomRWFile>* out) {
+  bool existed = base_->FileExists(path);
+  std::unique_ptr<RandomRWFile> base_file;
+  std::string error = base_->NewRandomRWFile(path, truncate, &base_file);
+  if (!error.empty()) return error;
+  uint64_t size = 0;
+  if (!truncate) base_file->Size(&size);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FileState& st = files_[path];
+    st = FileState{};
+    if (truncate) {
+      st.create_pending = !existed;
+    } else {
+      // Pre-existing content is assumed durable from before this env.
+      st.size = size;
+      st.synced_size = size;
+    }
+  }
+  *out =
+      std::make_unique<FaultRandomRWFile>(std::move(base_file), this, path);
+  return "";
+}
+
+std::string FaultEnv::ReadFileToString(const std::string& path,
+                                       std::string* out) {
+  std::string injected = AdmitRead(path, nullptr);
+  if (!injected.empty()) return injected;
+  return base_->ReadFileToString(path, out);
+}
+
+bool FaultEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+std::string FaultEnv::RemoveFile(const std::string& path) {
+  std::string error = base_->RemoveFile(path);
+  if (error.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.erase(path);
+  }
+  return error;
+}
+
+std::string FaultEnv::RenameFile(const std::string& from,
+                                 const std::string& to) {
+  // Shadow the replaced file before the rename destroys it: until the
+  // parent directory is fsynced, a crash may roll the dirent back.
+  bool had_old = base_->FileExists(to);
+  std::string old_contents;
+  if (had_old) base_->ReadFileToString(to, &old_contents);
+  std::string error = base_->RenameFile(from, to);
+  if (!error.empty()) return error;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  FileState st = it != files_.end() ? it->second : FileState{};
+  if (it != files_.end()) files_.erase(it);
+  st.create_pending = false;
+  st.rename_pending = true;
+  st.had_old = had_old;
+  st.old_contents = std::move(old_contents);
+  files_[to] = std::move(st);
+  return "";
+}
+
+std::string FaultEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+std::string FaultEnv::SyncDir(const std::string& path) {
+  if (options_.drop_sync) return "";  // the lying disk commits nothing
+  std::string error = base_->SyncDir(path);
+  if (!error.empty()) return error;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [file_path, st] : files_) {
+    if (ParentDir(file_path) != path) continue;
+    st.create_pending = false;
+    st.rename_pending = false;
+    st.old_contents.clear();
+    st.had_old = false;
+  }
+  return "";
+}
+
+void FaultEnv::CrashNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return;
+  crashed_ = true;
+  const uint64_t sector = static_cast<uint64_t>(
+      options_.sector > 0 ? options_.sector : 512);
+  for (auto& [path, st] : files_) {
+    if (st.rename_pending) {
+      // Dirent not durable: the rename rolls back.  (The renamed-from temp
+      // is gone too — the adversarial cut keeps only the old file.)
+      if (st.had_old) {
+        std::unique_ptr<WritableFile> f;
+        if (base_->NewWritableFile(path, &f).empty()) {
+          f->Append(st.old_contents);
+          f->Close();
+        }
+      } else {
+        base_->RemoveFile(path);
+      }
+      continue;
+    }
+    if (st.create_pending && st.synced_size == 0) {
+      // Created, never fsynced, dirent never committed: it vanishes.
+      base_->RemoveFile(path);
+      continue;
+    }
+    // Unsynced tail torn at sector granularity: bytes up to the next
+    // sector boundary past the synced size may survive (a torn partial
+    // record — loaders must treat it as such), the rest is gone.
+    uint64_t keep = std::min<uint64_t>(
+        st.size, (st.synced_size + sector - 1) / sector * sector);
+    if (keep < st.size) ::truncate(path.c_str(), static_cast<off_t>(keep));
+  }
+  files_.clear();
+}
+
+std::vector<std::string> FaultEnv::Trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+size_t FaultEnv::AdmitWrite(const std::string& path, size_t size,
+                            std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t op = ++write_ops_;
+  size_t allowed = size;
+  if (options_.short_write_at == op) {
+    allowed = size / 2;
+    *error = "injected short write (write op " + std::to_string(op) +
+             ") on " + path;
+  } else if (options_.p_write > 0 && UnitDraw(&rng_state_) < options_.p_write) {
+    allowed = 0;
+    *error = "injected EIO (write op " + std::to_string(op) + ") on " + path;
+  }
+  if (options_.enospc_bytes >= 0 &&
+      bytes_written_ + static_cast<int64_t>(allowed) > options_.enospc_bytes) {
+    allowed = static_cast<size_t>(
+        std::max<int64_t>(0, options_.enospc_bytes - bytes_written_));
+    *error = "injected ENOSPC after " + std::to_string(options_.enospc_bytes) +
+             " bytes (write op " + std::to_string(op) + ") on " + path;
+  }
+  bytes_written_ += static_cast<int64_t>(allowed);
+  if (!error->empty()) TraceEvent(*error);
+  return allowed;
+}
+
+std::string FaultEnv::AdmitRead(const std::string& path, bool* retryable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t op = ++read_ops_;
+  bool eio = false;
+  if (options_.read_eio_at > 0 && op >= options_.read_eio_at &&
+      (options_.transient == 0 ||
+       op < options_.read_eio_at + options_.transient)) {
+    eio = true;
+  } else if (options_.p_read > 0 && UnitDraw(&rng_state_) < options_.p_read) {
+    eio = true;
+  }
+  if (!eio) return "";
+  if (retryable != nullptr) *retryable = true;
+  std::string error =
+      "injected EIO (read op " + std::to_string(op) + ") on " + path;
+  TraceEvent(error);
+  return error;
+}
+
+void FaultEnv::NoteAppended(const std::string& path, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path].size += bytes;
+}
+
+void FaultEnv::NoteSynced(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& st = files_[path];
+  st.synced_size = st.size;
+}
+
+void FaultEnv::NoteSize(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& st = files_[path];
+  st.size = std::max(st.size, size);
+}
+
+void FaultEnv::TraceEvent(const std::string& event) {
+  if (trace_.size() < kMaxTraceEvents) trace_.push_back(event);
+}
+
+std::string InstallIoFaultFromEnv() {
+  const char* spec = std::getenv("WUW_IO_FAULT");
+  if (spec == nullptr || *spec == '\0') return "";
+  IoFaultOptions options;
+  std::string error = ParseIoFaultSpec(spec, &options);
+  if (!error.empty()) return "WUW_IO_FAULT: " + error;
+  if (options.seed == 0) {
+    if (const char* seed = std::getenv("WUW_SEED")) {
+      options.seed = std::strtoull(seed, nullptr, 10);
+    }
+  }
+  SetEnv(new FaultEnv(std::move(options), GetEnv()));  // leaked: process-wide
+  return "";
+}
+
+}  // namespace io
+}  // namespace wuw

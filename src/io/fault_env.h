@@ -1,0 +1,156 @@
+// FaultEnv: deterministic fault-injecting io::Env, the injected-VFS half
+// of the crash-anywhere durability story (WUW_IO_FAULT).
+//
+// Wraps a base Env (the real POSIX one in practice) and injects the
+// classic storage failure models on a deterministic schedule:
+//
+//   enospc=<N>       the write that would push the total bytes written
+//                    through this env past N persists only the prefix that
+//                    fits and fails (the disk-full model);
+//   short_write=<K>  the Kth write operation persists about half its bytes
+//                    and fails;
+//   read_eio=<K>     read operations K, K+1, ... fail with a retryable
+//                    I/O error — `transient=<M>` bounds the failures to M
+//                    operations, after which reads succeed again
+//                    (exercises the pager's bounded fault-in retry);
+//   p_write=<P> / p_read=<P>  per-operation failure probability from a
+//                    splitmix64 generator seeded by seed=<S> (WUW_SEED
+//                    discipline: reproducible given the plan);
+//   drop_sync        Sync()/SyncDir() report success but make nothing
+//                    durable — the lying-disk model that crash simulation
+//                    then punishes;
+//   torn=<S>         crash-truncation sector granularity (default 512).
+//
+// Crash simulation: the env tracks, per file, how many bytes were durable
+// at the last successful Sync, plus which creates/renames are still
+// waiting on their parent-directory fsync.  CrashNow() applies the
+// adversarial outcome — unsynced tails truncated at sector granularity
+// (bytes up to the next sector boundary may survive: a torn partial
+// record), never-committed creates removed, uncommitted renames rolled
+// back to the old file.  A `mode=abort` fault plan (fault/fault_injection.h)
+// invokes CrashNow() through the abort hook before _exit, so a forked
+// victim's on-disk state is exactly what a power cut would leave.
+//
+// Every injected event is recorded in a bounded trace for one-command
+// repro messages.  Thread-safe (one mutex); armed only in tests and
+// WUW_IO_FAULT runs, so the cost is irrelevant.
+#ifndef WUW_IO_FAULT_ENV_H_
+#define WUW_IO_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+namespace wuw {
+namespace io {
+
+struct IoFaultOptions {
+  /// Total write-byte budget; the write crossing it fails (-1 = off).
+  int64_t enospc_bytes = -1;
+  /// 1-based write-operation index that persists ~half and fails (0 = off).
+  int64_t short_write_at = 0;
+  /// 1-based read-operation index where injected EIO starts (0 = off).
+  int64_t read_eio_at = 0;
+  /// Number of failing read operations from read_eio_at on (0 = permanent).
+  int64_t transient = 0;
+  /// Per-operation failure probabilities (seeded draws).
+  double p_read = 0.0;
+  double p_write = 0.0;
+  uint64_t seed = 0;
+  /// Syncs lie: report success, commit nothing.
+  bool drop_sync = false;
+  /// Crash-truncation granularity in bytes.
+  int64_t sector = 512;
+};
+
+/// Parses a WUW_IO_FAULT spec (';'-separated clauses, grammar above).
+/// Returns "" on success, else a description (user-facing: no aborts).
+std::string ParseIoFaultSpec(const std::string& spec, IoFaultOptions* out);
+
+class FaultEnv : public Env {
+ public:
+  /// Wraps `base` (null = the env current at construction).  Registers
+  /// itself as the fault layer's abort hook so `mode=abort` kills apply
+  /// crash semantics on the way out.
+  explicit FaultEnv(IoFaultOptions options, Env* base = nullptr);
+  ~FaultEnv() override;
+
+  std::string NewWritableFile(const std::string& path,
+                              std::unique_ptr<WritableFile>* out) override;
+  std::string NewRandomRWFile(const std::string& path, bool truncate,
+                              std::unique_ptr<RandomRWFile>* out) override;
+  std::string ReadFileToString(const std::string& path,
+                               std::string* out) override;
+  bool FileExists(const std::string& path) override;
+  std::string RemoveFile(const std::string& path) override;
+  std::string RenameFile(const std::string& from,
+                         const std::string& to) override;
+  std::string CreateDir(const std::string& path) override;
+  std::string SyncDir(const std::string& path) override;
+
+  /// Applies the crash outcome to the real filesystem (see file comment).
+  /// Idempotent; also invoked by the fault layer's abort hook.
+  void CrashNow();
+
+  /// Injected-event trace since construction (bounded), oldest first —
+  /// each entry is a one-line repro description.
+  std::vector<std::string> Trace() const;
+
+  const IoFaultOptions& options() const { return options_; }
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomRWFile;
+
+  /// Durability bookkeeping for one tracked file.
+  struct FileState {
+    uint64_t size = 0;         ///< bytes written through this env
+    uint64_t synced_size = 0;  ///< durable bytes as of the last real Sync
+    /// True until the parent directory is fsynced after the create.
+    bool create_pending = false;
+    /// Uncommitted rename: restore this on crash (empty + !had_old = none).
+    bool rename_pending = false;
+    bool had_old = false;
+    std::string old_contents;
+  };
+
+  /// Write-side injection: returns the number of `size` bytes the caller
+  /// may pass through to the base env and fills *error when the operation
+  /// must fail afterwards.  Caller holds no lock.
+  size_t AdmitWrite(const std::string& path, size_t size, std::string* error);
+  /// Read-side injection: "" = proceed, else the injected error.
+  std::string AdmitRead(const std::string& path, bool* retryable);
+
+  void NoteAppended(const std::string& path, uint64_t bytes);
+  void NoteSynced(const std::string& path);
+  void NoteSize(const std::string& path, uint64_t size);
+  void TraceEvent(const std::string& event);
+
+  IoFaultOptions options_;
+  Env* base_;
+
+  mutable std::mutex mu_;
+  uint64_t rng_state_;
+  int64_t bytes_written_ = 0;
+  int64_t read_ops_ = 0;
+  int64_t write_ops_ = 0;
+  bool crashed_ = false;
+  std::map<std::string, FileState> files_;
+  std::vector<std::string> trace_;
+};
+
+/// Installs a heap-allocated FaultEnv over the current env when
+/// WUW_IO_FAULT is set (WUW_SEED seeds the probability draws unless the
+/// spec carries its own seed=).  Returns "" when unset or installed, else
+/// the parse error.  For bench/tool binaries; tests use ScopedEnv.
+std::string InstallIoFaultFromEnv();
+
+}  // namespace io
+}  // namespace wuw
+
+#endif  // WUW_IO_FAULT_ENV_H_

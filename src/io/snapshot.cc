@@ -1,96 +1,53 @@
 #include "io/snapshot.h"
 
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-#include <sys/stat.h>
-
 #include "io/csv.h"
+#include "io/env.h"
 #include "parser/ddl_parser.h"
 
 namespace wuw {
 
 namespace {
 
-// Atomic write: the contents land in `path + ".tmp"` and rename(2) over
-// `path`, so a crash (or a fault-injected death) mid-save never leaves a
-// torn file under the real name — readers see the old snapshot or the new
-// one, nothing in between.
-bool WriteFile(const std::string& path, const std::string& contents,
-               std::string* error) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    *error = "cannot open " + tmp + " for writing: " + std::strerror(errno);
-    return false;
-  }
-  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
-  bool flushed = std::fflush(f) == 0;
-  std::fclose(f);
-  if (written != contents.size() || !flushed) {
-    std::remove(tmp.c_str());
-    *error = "short write to " + tmp;
-    return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    *error = "cannot rename " + tmp + " to " + path + ": " +
-             std::strerror(errno);
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+// Each file goes through io::AtomicWriteFile: write to `path + ".tmp"`,
+// fsync, rename(2) over `path`, fsync the parent directory — so a crash
+// (or a fault-injected death) at ANY instant, including mid-rename, leaves
+// the old file or the new one under the real name, never a torn mix and
+// never a dirent lost with the directory metadata.
+bool WriteFile(io::Env* env, const std::string& path,
+               const std::string& contents, std::string* error) {
+  return io::AtomicWriteFile(env, path, contents, error);
 }
 
-bool ReadFile(const std::string& path, std::string* contents,
+bool ReadFile(io::Env* env, const std::string& path, std::string* contents,
               std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    *error = "cannot open " + path + ": " + std::strerror(errno);
-    return false;
-  }
-  contents->clear();
-  char buffer[1 << 16];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    contents->append(buffer, n);
-  }
-  bool failed = std::ferror(f) != 0;
-  std::fclose(f);
-  if (failed) {
-    *error = "read error on " + path;
-    return false;
-  }
-  return true;
-}
-
-bool FileExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0;
+  *error = env->ReadFileToString(path, contents);
+  return error->empty();
 }
 
 }  // namespace
 
 bool SaveWarehouse(const Warehouse& warehouse, const std::string& dir,
                    std::string* error) {
-  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    *error = "cannot create directory " + dir + ": " + std::strerror(errno);
-    return false;
-  }
+  io::Env* env = io::GetEnv();
+  *error = env->CreateDir(dir);
+  if (!error->empty()) return false;
   const Vdag& vdag = warehouse.vdag();
-  if (!WriteFile(dir + "/schema.sql", DumpWarehouseScript(vdag), error)) {
+  if (!WriteFile(env, dir + "/schema.sql", DumpWarehouseScript(vdag),
+                 error)) {
     return false;
   }
   for (const std::string& base : vdag.BaseViews()) {
     const Table& table = *warehouse.catalog().MustGetTable(base);
-    if (!WriteFile(dir + "/" + base + ".csv", TableToCsv(table), error)) {
+    if (!WriteFile(env, dir + "/" + base + ".csv", TableToCsv(table),
+                   error)) {
       return false;
     }
     const DeltaRelation& delta = warehouse.base_delta(base);
     std::string delta_path = dir + "/" + base + ".delta.csv";
     if (!delta.empty()) {
-      if (!WriteFile(delta_path, DeltaToCsv(delta), error)) return false;
-    } else if (FileExists(delta_path)) {
-      std::remove(delta_path.c_str());
+      if (!WriteFile(env, delta_path, DeltaToCsv(delta), error)) return false;
+    } else if (env->FileExists(delta_path)) {
+      env->RemoveFile(delta_path);
     }
   }
   return true;
@@ -98,8 +55,9 @@ bool SaveWarehouse(const Warehouse& warehouse, const std::string& dir,
 
 bool LoadWarehouse(const std::string& dir, Warehouse* out,
                    std::string* error) {
+  io::Env* env = io::GetEnv();
   std::string schema_sql;
-  if (!ReadFile(dir + "/schema.sql", &schema_sql, error)) return false;
+  if (!ReadFile(env, dir + "/schema.sql", &schema_sql, error)) return false;
   ParsedWarehouse parsed = ParseWarehouseScript(schema_sql);
   if (!parsed.ok()) {
     *error = "schema.sql: " + parsed.error;
@@ -108,15 +66,15 @@ bool LoadWarehouse(const std::string& dir, Warehouse* out,
   *out = Warehouse(std::move(parsed.vdag));
   for (const std::string& base : out->vdag().BaseViews()) {
     std::string csv;
-    if (!ReadFile(dir + "/" + base + ".csv", &csv, error)) return false;
+    if (!ReadFile(env, dir + "/" + base + ".csv", &csv, error)) return false;
     if (!CsvToTable(csv, out->base_table(base), error)) {
       *error = base + ".csv: " + *error;
       return false;
     }
     std::string delta_path = dir + "/" + base + ".delta.csv";
-    if (FileExists(delta_path)) {
+    if (env->FileExists(delta_path)) {
       std::string delta_csv;
-      if (!ReadFile(delta_path, &delta_csv, error)) return false;
+      if (!ReadFile(env, delta_path, &delta_csv, error)) return false;
       DeltaRelation delta(out->vdag().OutputSchema(base));
       if (!CsvToDelta(delta_csv, &delta, error)) {
         *error = base + ".delta.csv: " + *error;

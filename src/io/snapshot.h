@@ -6,6 +6,11 @@
 //
 // Derived views are NOT persisted: LoadWarehouse rematerializes them from
 // the definitions, which doubles as an integrity check of the snapshot.
+//
+// All I/O routes through the current io::Env (io/env.h): every file is
+// written with the crash-atomic discipline (write → fsync → rename →
+// fsync parent dir), and the WUW_IO_FAULT FaultEnv can inject ENOSPC /
+// EIO / torn-crash failures into any of it for the durability suites.
 #ifndef WUW_IO_SNAPSHOT_H_
 #define WUW_IO_SNAPSHOT_H_
 

@@ -12,7 +12,9 @@
 // Budget discipline: a frame costs page_bytes() regardless of payload
 // fill; admission evicts the least-recently-used UNPINNED frame (dirty
 // frames write back through PageFile::WritePage, riding the
-// `paged.io.write` fault site) until the new frame fits.  Pinned frames
+// `paged.io.write` fault site — and, like all PageFile I/O, the io::Env
+// seam, so WUW_IO_FAULT's ENOSPC/EIO models reach writeback too) until
+// the new frame fits.  Pinned frames
 // are never evicted; if pins alone exceed the budget the pool overcommits
 // — callers keep at most one page pinned at a time to make
 // bytes_resident() <= budget an invariant (buffer_pool_test holds it to

@@ -1,13 +1,12 @@
 #include "storage/page.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdio>
 #include <cstring>
 
 #include "common/check.h"
 #include "common/crc32.h"
 #include "fault/fault_injection.h"
+#include "obs/metrics.h"
 
 namespace wuw {
 namespace paged {
@@ -147,6 +146,7 @@ namespace internal {
 std::atomic<int64_t> g_faults{0};
 std::atomic<int64_t> g_evictions{0};
 std::atomic<int64_t> g_spilled_partitions{0};
+std::atomic<int64_t> g_read_retries{0};
 }  // namespace internal
 
 PagedStatsSnapshot GlobalPagedStats() {
@@ -155,6 +155,8 @@ PagedStatsSnapshot GlobalPagedStats() {
   out.evictions = internal::g_evictions.load(std::memory_order_relaxed);
   out.spilled_partitions =
       internal::g_spilled_partitions.load(std::memory_order_relaxed);
+  out.read_retries =
+      internal::g_read_retries.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -174,67 +176,63 @@ constexpr size_t kMaxPageBytes = 16u << 20;
 
 std::unique_ptr<PageFile> PageFile::Create(const std::string& path,
                                            size_t page_bytes,
-                                           std::string* error) {
+                                           std::string* error, io::Env* env) {
+  if (env == nullptr) env = io::GetEnv();
   if (page_bytes < kMinPageBytes || page_bytes > kMaxPageBytes) {
     *error = "page size out of range: " + std::to_string(page_bytes);
     return nullptr;
   }
-  std::FILE* f = std::fopen(path.c_str(), "wb+");
-  if (f == nullptr) {
-    *error = "cannot create " + path + ": " + std::strerror(errno);
-    return nullptr;
-  }
+  std::unique_ptr<io::RandomRWFile> f;
+  *error = env->NewRandomRWFile(path, /*truncate=*/true, &f);
+  if (!error->empty()) return nullptr;
   std::string header(kPageMagic, sizeof(kPageMagic));
   PutU32(&header, kPageFormatVersion);
   PutU32(&header, static_cast<uint32_t>(page_bytes));
-  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
-    std::fclose(f);
-    std::remove(path.c_str());
-    *error = "short header write to " + path;
+  *error = f->WriteAt(0, header);
+  if (!error->empty()) {
+    f.reset();
+    env->RemoveFile(path);
     return nullptr;
   }
-  return std::unique_ptr<PageFile>(new PageFile(f, path, page_bytes, 0));
+  return std::unique_ptr<PageFile>(
+      new PageFile(std::move(f), env, path, page_bytes, 0));
 }
 
 std::unique_ptr<PageFile> PageFile::Open(const std::string& path,
-                                         std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "rb+");
-  if (f == nullptr) {
-    *error = "cannot open " + path + ": " + std::strerror(errno);
-    return nullptr;
-  }
-  char raw[kFileHeaderBytes];
-  if (std::fread(raw, 1, sizeof(raw), f) != sizeof(raw) ||
-      std::memcmp(raw, kPageMagic, sizeof(kPageMagic)) != 0) {
-    std::fclose(f);
+                                         std::string* error, io::Env* env) {
+  if (env == nullptr) env = io::GetEnv();
+  std::unique_ptr<io::RandomRWFile> f;
+  *error = env->NewRandomRWFile(path, /*truncate=*/false, &f);
+  if (!error->empty()) return nullptr;
+  std::string raw;
+  if (!f->ReadAt(0, kFileHeaderBytes, &raw, nullptr).empty() ||
+      std::memcmp(raw.data(), kPageMagic, sizeof(kPageMagic)) != 0) {
     *error = "not a page file (bad magic): " + path;
     return nullptr;
   }
-  ByteReader r(reinterpret_cast<const uint8_t*>(raw + sizeof(kPageMagic)), 8);
+  ByteReader r(
+      reinterpret_cast<const uint8_t*>(raw.data() + sizeof(kPageMagic)), 8);
   uint32_t version = r.U32();
   uint32_t page_bytes = r.U32();
   if (version != kPageFormatVersion || page_bytes < kMinPageBytes ||
       page_bytes > kMaxPageBytes) {
-    std::fclose(f);
     *error = "unsupported page file header in " + path;
     return nullptr;
   }
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    std::fclose(f);
-    *error = "cannot seek " + path;
-    return nullptr;
-  }
-  long end = std::ftell(f);
-  int64_t pages =
-      end <= static_cast<long>(kFileHeaderBytes)
-          ? 0
-          : (end - static_cast<long>(kFileHeaderBytes)) / page_bytes;
-  return std::unique_ptr<PageFile>(new PageFile(f, path, page_bytes, pages));
+  uint64_t end = 0;
+  *error = f->Size(&end);
+  if (!error->empty()) return nullptr;
+  int64_t pages = end <= kFileHeaderBytes
+                      ? 0
+                      : static_cast<int64_t>((end - kFileHeaderBytes) /
+                                             page_bytes);
+  return std::unique_ptr<PageFile>(
+      new PageFile(std::move(f), env, path, page_bytes, pages));
 }
 
 PageFile::~PageFile() {
-  if (file_ != nullptr) std::fclose(file_);
-  if (remove_on_close_) std::remove(path_.c_str());
+  file_.reset();
+  if (remove_on_close_) env_->RemoveFile(path_);
 }
 
 std::string PageFile::WritePage(int64_t page_id, const std::string& payload) {
@@ -250,35 +248,39 @@ std::string PageFile::WritePage(int64_t page_id, const std::string& payload) {
   // a flipped bit anywhere in the frame is detected, not reinterpreted.
   PutU32(&frame, Crc32(frame.data(), frame.size()));
   frame.resize(page_bytes_, '\0');
-  long offset =
-      static_cast<long>(kFileHeaderBytes) + static_cast<long>(page_id) *
-                                                static_cast<long>(page_bytes_);
-  if (std::fseek(file_, offset, SEEK_SET) != 0) {
-    return "cannot seek " + path_ + ": " + std::strerror(errno);
-  }
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return "short write to " + path_;
-  }
-  return "";
+  uint64_t offset = kFileHeaderBytes +
+                    static_cast<uint64_t>(page_id) * page_bytes_;
+  return file_->WriteAt(offset, frame);
 }
 
 std::string PageFile::ReadPage(int64_t page_id, std::string* payload) {
   WUW_FAULT_POINT("paged.io.read");
   WUW_CHECK(page_id >= 0, "page id out of range");
-  if (std::fflush(file_) != 0) {
-    return "cannot flush " + path_ + ": " + std::strerror(errno);
+  uint64_t offset = kFileHeaderBytes +
+                    static_cast<uint64_t>(page_id) * page_bytes_;
+  // Bounded deterministic retry for transient I/O errors (EIO from a
+  // flaky medium).  Truncation (short read) and CRC/decode damage below
+  // are corruption, not transience — those never retry.
+  std::string frame;
+  std::string read_error;
+  bool retryable = false;
+  for (int attempt = 0; attempt < kReadAttempts; ++attempt) {
+    if (attempt > 0) {
+      internal::g_read_retries.fetch_add(1, std::memory_order_relaxed);
+      WUW_METRIC_ADD("io.retries", obs::MetricClass::kEngine, 1);
+    }
+    retryable = false;
+    read_error = file_->ReadAt(offset, page_bytes_, &frame, &retryable);
+    if (read_error.empty() || !retryable) break;
   }
-  long offset =
-      static_cast<long>(kFileHeaderBytes) + static_cast<long>(page_id) *
-                                                static_cast<long>(page_bytes_);
-  if (std::fseek(file_, offset, SEEK_SET) != 0) {
-    return "cannot seek " + path_ + ": " + std::strerror(errno);
-  }
-  std::string frame(page_bytes_, '\0');
-  size_t got = std::fread(frame.data(), 1, page_bytes_, file_);
-  if (got != page_bytes_) {
-    return "torn page " + std::to_string(page_id) + " in " + path_ +
-           " (short read)";
+  if (!read_error.empty()) {
+    if (!retryable) {
+      // A short read: the frame is truncated, not transiently unreadable.
+      return "torn page " + std::to_string(page_id) + " in " + path_ +
+             " (short read)";
+    }
+    return "cannot read page " + std::to_string(page_id) + " in " + path_ +
+           ": " + read_error;
   }
   ByteReader r(frame);
   uint32_t len = r.U32();
@@ -303,12 +305,9 @@ std::string PageFile::ReadPage(int64_t page_id, std::string* payload) {
   return "";
 }
 
-std::string PageFile::Flush() {
-  if (std::fflush(file_) != 0) {
-    return "cannot flush " + path_ + ": " + std::strerror(errno);
-  }
-  return "";
-}
+std::string PageFile::Flush() { return file_->Flush(); }
+
+std::string PageFile::Sync() { return file_->Sync(); }
 
 // ---------------------------------------------------------------------------
 // Table images.
@@ -361,8 +360,10 @@ std::string SaveTableImage(const Table& table, const std::string& path,
                            size_t page_bytes) {
   const std::string bytes = SerializeTableImage(table);
   const std::string tmp = path + ".tmp";
+  io::Env* env = io::GetEnv();
   std::string error;
-  std::unique_ptr<PageFile> file = PageFile::Create(tmp, page_bytes, &error);
+  std::unique_ptr<PageFile> file =
+      PageFile::Create(tmp, page_bytes, &error, env);
   if (file == nullptr) return error;
   const size_t capacity = file->payload_capacity();
   // At least one page, even for an empty table, so Open always finds a
@@ -374,23 +375,26 @@ std::string SaveTableImage(const Table& table, const std::string& path,
     error = file->WritePage(id, bytes.substr(offset, chunk));
     if (!error.empty()) {
       file.reset();
-      std::remove(tmp.c_str());
+      env->RemoveFile(tmp);
       return error;
     }
     offset += chunk;
   } while (offset < bytes.size());
-  error = file->Flush();
+  // Crash discipline: fsync the image, rename it over the real name, then
+  // fsync the parent directory so the dirent itself is durable.  A crash
+  // at any instant leaves the old image or the new one — never a torn mix.
+  error = file->Sync();
   file.reset();
   if (!error.empty()) {
-    std::remove(tmp.c_str());
+    env->RemoveFile(tmp);
     return error;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::string why = std::strerror(errno);
-    std::remove(tmp.c_str());
-    return "cannot rename " + tmp + " to " + path + ": " + why;
+  error = env->RenameFile(tmp, path);
+  if (!error.empty()) {
+    env->RemoveFile(tmp);
+    return error;
   }
-  return "";
+  return env->SyncDir(io::ParentDir(path));
 }
 
 bool LoadTableImage(const std::string& path, TableImage* out,

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "io/env.h"
 #include "storage/table.h"
 #include "storage/tuple.h"
 
@@ -134,6 +135,7 @@ struct PagedStatsSnapshot {
   int64_t faults = 0;              ///< extent fault-ins + pool disk reads
   int64_t evictions = 0;           ///< extent hibernations + pool evictions
   int64_t spilled_partitions = 0;  ///< non-empty grace partitions
+  int64_t read_retries = 0;        ///< transient-EIO retries in ReadPage
 };
 
 PagedStatsSnapshot GlobalPagedStats();
@@ -142,6 +144,7 @@ namespace internal {
 extern std::atomic<int64_t> g_faults;
 extern std::atomic<int64_t> g_evictions;
 extern std::atomic<int64_t> g_spilled_partitions;
+extern std::atomic<int64_t> g_read_retries;
 }  // namespace internal
 
 // ---------------------------------------------------------------------------
@@ -153,18 +156,23 @@ inline constexpr size_t kPageFrameOverhead = 12;
 /// A fixed-size-page disk file (the DiskManager of the classic buffer-pool
 /// layering).  Not thread-safe: callers serialize access (the extent pager
 /// holds its own mutex; operator spills are single-threaded per operator).
+/// All disk traffic goes through an io::Env positioned handle, so the
+/// WUW_IO_FAULT FaultEnv can inject EIO/ENOSPC/short writes underneath it.
 class PageFile {
  public:
-  /// Creates/truncates `path` with the given page size.  Returns nullptr
-  /// and fills `*error` on failure.
+  /// Creates/truncates `path` with the given page size through `env`
+  /// (null = the current io::GetEnv()).  Returns nullptr and fills
+  /// `*error` on failure.
   static std::unique_ptr<PageFile> Create(const std::string& path,
                                           size_t page_bytes,
-                                          std::string* error);
+                                          std::string* error,
+                                          io::Env* env = nullptr);
 
   /// Opens an existing page file, validating magic + header.  Returns
   /// nullptr and fills `*error` on failure.
   static std::unique_ptr<PageFile> Open(const std::string& path,
-                                        std::string* error);
+                                        std::string* error,
+                                        io::Env* env = nullptr);
 
   /// Closes the handle; removes the file first when remove-on-close is set
   /// (spill temporaries).  Never throws — safe during unwinding.
@@ -191,24 +199,39 @@ class PageFile {
   /// Reads + validates one page frame.  Returns "" on success, else an
   /// error description (truncation, CRC mismatch, wrong page number — the
   /// caller treats any of them as a torn page).  Carries the
-  /// `paged.io.read` fault site.
+  /// `paged.io.read` fault site.  A *retryable* raw-read failure (EIO, not
+  /// truncation or CRC damage — those are corruption, not transience) is
+  /// retried on a bounded deterministic schedule (kReadAttempts fixed
+  /// attempts, each counted in the kEngine `io.retries` metric and
+  /// GlobalPagedStats().read_retries); a failure that outlives the
+  /// schedule returns the error string — the caller's error/throw
+  /// contract, never an abort.
   std::string ReadPage(int64_t page_id, std::string* payload);
 
-  /// Flushes buffered writes.  Returns "" on success.
+  /// Bounded retry schedule for transient read errors.
+  static constexpr int kReadAttempts = 3;
+
+  /// Flushes buffered writes (no fsync).  Returns "" on success.
   std::string Flush();
+
+  /// Flushes everything to stable storage (fsync) — the pre-rename step
+  /// of SaveTableImage's crash discipline.  Returns "" on success.
+  std::string Sync();
 
   /// Spill temporaries set this so the file vanishes with the handle.
   void set_remove_on_close(bool remove) { remove_on_close_ = remove; }
 
  private:
-  PageFile(std::FILE* f, std::string path, size_t page_bytes,
-           int64_t num_pages)
-      : file_(f),
+  PageFile(std::unique_ptr<io::RandomRWFile> file, io::Env* env,
+           std::string path, size_t page_bytes, int64_t num_pages)
+      : file_(std::move(file)),
+        env_(env),
         path_(std::move(path)),
         page_bytes_(page_bytes),
         num_pages_(num_pages) {}
 
-  std::FILE* file_;
+  std::unique_ptr<io::RandomRWFile> file_;
+  io::Env* env_;
   std::string path_;
   size_t page_bytes_;
   int64_t num_pages_;
@@ -233,8 +256,9 @@ struct TableImage {
 /// Serializes `table` into the page-spanning image stream.
 std::string SerializeTableImage(const Table& table);
 
-/// Writes `table`'s image to `path` (temp + rename, journal discipline).
-/// Returns "" on success, else an error description.
+/// Writes `table`'s image to `path` with the full crash-atomic discipline
+/// (temp, fsync, rename, fsync parent dir — io/env.h).  Returns "" on
+/// success, else an error description.
 std::string SaveTableImage(const Table& table, const std::string& path,
                            size_t page_bytes);
 

@@ -28,6 +28,12 @@
 //     unchanged, so subplan-cache scan keys stay valid exactly as in a
 //     resident run).  A corrupt/torn image raises std::runtime_error —
 //     an I/O failure, not an abort.
+//   * All page I/O rides the io::Env seam (storage/page.h): image saves
+//     get the full fsync+rename+dirsync discipline, transient read EIO
+//     (WUW_IO_FAULT read_eio=) is absorbed by PageFile's bounded retry
+//     (kEngine `io.retries`), and the crash harness
+//     (crash_restart_property_test) kills processes mid-hibernate /
+//     mid-fault-in and reopens from the image directory.
 //
 // Unset WUW_MEM_MB = zero behavior change: the catalog hook is a null
 // pointer check and the kernels' spill gate is one relaxed atomic load

@@ -1,0 +1,312 @@
+// The io::Env seam (io/env.h) and its fault-injecting implementation
+// (io/fault_env.h): the crash-atomic write discipline must leave old-or-new
+// (never a mix, never .tmp litter), injected ENOSPC / short writes / EIO
+// must surface as error strings with the admitted prefix on disk, and
+// CrashNow() must apply the power-cut outcome — unsynced tails torn at
+// sector granularity, never-synced creates vanishing, uncommitted renames
+// rolling back.  The pager's bounded read retry (storage/page.h) is
+// exercised against transient and permanent injected EIO.
+#include "io/env.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/fault_env.h"
+#include "storage/page.h"
+
+namespace wuw {
+namespace io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string MustRead(const std::string& path) {
+  std::string contents;
+  std::string error = Env::Default()->ReadFileToString(path, &contents);
+  EXPECT_EQ(error, "") << path;
+  return contents;
+}
+
+TEST(EnvTest, ParentDirSplitsPaths) {
+  EXPECT_EQ(ParentDir("/a/b/c.txt"), "/a/b");
+  EXPECT_EQ(ParentDir("c.txt"), ".");
+  EXPECT_EQ(ParentDir("/top"), "/");
+}
+
+TEST(EnvTest, AtomicWriteFileRoundTripNoTmpLitter) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("wuw_env_atomic.txt");
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(env, path, "first contents", &error)) << error;
+  EXPECT_EQ(MustRead(path), "first contents");
+  EXPECT_FALSE(env->FileExists(path + ".tmp"));
+  // Overwrite is atomic too: the new contents replace the old in full.
+  ASSERT_TRUE(AtomicWriteFile(env, path, "second", &error)) << error;
+  EXPECT_EQ(MustRead(path), "second");
+  env->RemoveFile(path);
+}
+
+TEST(EnvTest, RandomRWFileRoundTripAndShortRead) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("wuw_env_rw.bin");
+  std::unique_ptr<RandomRWFile> f;
+  ASSERT_EQ(env->NewRandomRWFile(path, /*truncate=*/true, &f), "");
+  ASSERT_EQ(f->WriteAt(0, "0123456789"), "");
+  ASSERT_EQ(f->WriteAt(4, "XY"), "");
+  std::string out;
+  ASSERT_EQ(f->ReadAt(2, 6, &out, nullptr), "");
+  EXPECT_EQ(out, "23XY67");
+  uint64_t size = 0;
+  ASSERT_EQ(f->Size(&size), "");
+  EXPECT_EQ(size, 10u);
+  // Reading past EOF is a short read: an error with retryable == false
+  // (truncation is corruption, not transience — the pager must not retry).
+  bool retryable = true;
+  std::string error = f->ReadAt(8, 6, &out, &retryable);
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(retryable);
+  f.reset();
+  env->RemoveFile(path);
+}
+
+TEST(EnvTest, ScopedEnvSwapsAndRestores) {
+  Env* before = GetEnv();
+  FaultEnv fenv(IoFaultOptions{}, Env::Default());
+  {
+    ScopedEnv scoped(&fenv);
+    EXPECT_EQ(GetEnv(), &fenv);
+  }
+  EXPECT_EQ(GetEnv(), before);
+}
+
+TEST(IoFaultSpecTest, ParsesFullGrammar) {
+  IoFaultOptions o;
+  ASSERT_EQ(ParseIoFaultSpec(
+                "enospc=4096;short_write=3;read_eio=2;transient=5;"
+                "p_read=0.25;p_write=0.5;seed=7;drop_sync;torn=1024",
+                &o),
+            "");
+  EXPECT_EQ(o.enospc_bytes, 4096);
+  EXPECT_EQ(o.short_write_at, 3);
+  EXPECT_EQ(o.read_eio_at, 2);
+  EXPECT_EQ(o.transient, 5);
+  EXPECT_DOUBLE_EQ(o.p_read, 0.25);
+  EXPECT_DOUBLE_EQ(o.p_write, 0.5);
+  EXPECT_EQ(o.seed, 7u);
+  EXPECT_TRUE(o.drop_sync);
+  EXPECT_EQ(o.sector, 1024);
+}
+
+TEST(IoFaultSpecTest, RejectsBadSpecs) {
+  IoFaultOptions o;
+  EXPECT_NE(ParseIoFaultSpec("", &o), "");            // arms nothing
+  EXPECT_NE(ParseIoFaultSpec("seed=3", &o), "");      // arms nothing
+  EXPECT_NE(ParseIoFaultSpec("enospc=", &o), "");
+  EXPECT_NE(ParseIoFaultSpec("enospc=-1", &o), "");
+  EXPECT_NE(ParseIoFaultSpec("short_write=0", &o), "");
+  EXPECT_NE(ParseIoFaultSpec("p_read=1.5", &o), "");
+  EXPECT_NE(ParseIoFaultSpec("torn=0", &o), "");
+  EXPECT_NE(ParseIoFaultSpec("bogus=1", &o), "");
+}
+
+TEST(FaultEnvTest, EnospcFailsAtomicWriteAndKeepsOldFile) {
+  Env* base = Env::Default();
+  const std::string path = TempPath("wuw_fault_enospc.txt");
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(base, path, "the old contents", &error));
+
+  IoFaultOptions o;
+  o.enospc_bytes = 5;  // the replacement payload cannot fit
+  FaultEnv fenv(o, base);
+  ASSERT_FALSE(AtomicWriteFile(&fenv, path, "replacement that is longer",
+                               &error));
+  EXPECT_NE(error.find("ENOSPC"), std::string::npos) << error;
+  // Old-or-new: the real name still holds the old contents in full, and
+  // the failed attempt's temp file was cleaned up.
+  EXPECT_EQ(MustRead(path), "the old contents");
+  EXPECT_FALSE(base->FileExists(path + ".tmp"));
+  EXPECT_FALSE(fenv.Trace().empty());
+  base->RemoveFile(path);
+}
+
+TEST(FaultEnvTest, ShortWritePersistsPrefixAndFails) {
+  IoFaultOptions o;
+  o.short_write_at = 1;
+  FaultEnv fenv(o, Env::Default());
+  const std::string path = TempPath("wuw_fault_short.txt");
+  std::unique_ptr<WritableFile> f;
+  ASSERT_EQ(fenv.NewWritableFile(path, &f), "");
+  std::string error = f->Append("0123456789");
+  EXPECT_NE(error.find("short write"), std::string::npos) << error;
+  f->Close();
+  // Half the bytes were admitted and are findable on disk.
+  EXPECT_EQ(MustRead(path), "01234");
+  Env::Default()->RemoveFile(path);
+}
+
+TEST(FaultEnvTest, TransientEioIsRetryablePermanentIsNot) {
+  IoFaultOptions o;
+  o.read_eio_at = 1;
+  o.transient = 2;  // read ops 1 and 2 fail, op 3 succeeds
+  FaultEnv fenv(o, Env::Default());
+  const std::string path = TempPath("wuw_fault_eio.bin");
+  std::unique_ptr<RandomRWFile> f;
+  ASSERT_EQ(fenv.NewRandomRWFile(path, /*truncate=*/true, &f), "");
+  ASSERT_EQ(f->WriteAt(0, "payload"), "");
+  std::string out;
+  bool retryable = false;
+  EXPECT_NE(f->ReadAt(0, 7, &out, &retryable), "");  // op 1: injected
+  EXPECT_TRUE(retryable);
+  retryable = false;
+  EXPECT_NE(f->ReadAt(0, 7, &out, &retryable), "");  // op 2: injected
+  EXPECT_TRUE(retryable);
+  EXPECT_EQ(f->ReadAt(0, 7, &out, nullptr), "");     // op 3: clean
+  EXPECT_EQ(out, "payload");
+  f.reset();
+  Env::Default()->RemoveFile(path);
+}
+
+// The pager's bounded fault-in retry (PageFile::ReadPage): a transient
+// injected EIO burst shorter than the retry schedule is absorbed — the
+// read succeeds and the retries are counted — while an EIO that outlives
+// kReadAttempts surfaces as the error string the fault-in path throws.
+TEST(FaultEnvTest, PageReadRetriesTransientEio) {
+  const std::string path = TempPath("wuw_fault_retry.pages");
+  std::string error;
+  {
+    auto file = paged::PageFile::Create(path, 256, &error);
+    ASSERT_NE(file, nullptr) << error;
+    ASSERT_EQ(file->AllocatePage(), 0);
+    ASSERT_EQ(file->WritePage(0, "page zero payload"), "");
+    ASSERT_EQ(file->Sync(), "");
+  }
+
+  {
+    // Open costs one read op (the header); ops 2 and 3 fail, op 4 lands —
+    // within ReadPage's kReadAttempts = 3 schedule.
+    IoFaultOptions o;
+    o.read_eio_at = 2;
+    o.transient = 2;
+    FaultEnv fenv(o, Env::Default());
+    auto file = paged::PageFile::Open(path, &error, &fenv);
+    ASSERT_NE(file, nullptr) << error;
+    int64_t retries_before = paged::GlobalPagedStats().read_retries;
+    std::string payload;
+    ASSERT_EQ(file->ReadPage(0, &payload), "");
+    EXPECT_EQ(payload, "page zero payload");
+    EXPECT_EQ(paged::GlobalPagedStats().read_retries - retries_before, 2);
+  }
+
+  {
+    // Permanent EIO outlives the schedule: error string, never an abort.
+    IoFaultOptions o;
+    o.read_eio_at = 2;
+    o.transient = 0;
+    FaultEnv fenv(o, Env::Default());
+    auto file = paged::PageFile::Open(path, &error, &fenv);
+    ASSERT_NE(file, nullptr) << error;
+    std::string payload;
+    std::string read_error = file->ReadPage(0, &payload);
+    EXPECT_NE(read_error.find("cannot read page"), std::string::npos)
+        << read_error;
+  }
+  Env::Default()->RemoveFile(path);
+}
+
+TEST(FaultEnvTest, CrashTruncatesUnsyncedTailAtSectorGranularity) {
+  IoFaultOptions o;
+  o.sector = 16;
+  FaultEnv fenv(o, Env::Default());
+  const std::string path = TempPath("wuw_fault_crash_tail.txt");
+  std::unique_ptr<WritableFile> f;
+  ASSERT_EQ(fenv.NewWritableFile(path, &f), "");
+  std::string synced(100, 'S');
+  ASSERT_EQ(f->Append(synced), "");
+  ASSERT_EQ(f->Sync(), "");
+  ASSERT_EQ(f->Append(std::string(200, 'U')), "");  // never synced
+  f->Close();
+  fenv.CrashNow();
+  // The synced 100 bytes survive; the unsynced tail is cut at the next
+  // sector boundary (112), so at most one torn partial sector remains.
+  std::string after = MustRead(path);
+  ASSERT_GE(after.size(), 100u);
+  ASSERT_LE(after.size(), 112u);
+  EXPECT_EQ(after.substr(0, 100), synced);
+  Env::Default()->RemoveFile(path);
+}
+
+TEST(FaultEnvTest, CrashRemovesNeverSyncedCreate) {
+  FaultEnv fenv(IoFaultOptions{}, Env::Default());
+  const std::string path = TempPath("wuw_fault_crash_create.txt");
+  std::unique_ptr<WritableFile> f;
+  ASSERT_EQ(fenv.NewWritableFile(path, &f), "");
+  ASSERT_EQ(f->Append("written but never made durable"), "");
+  f->Close();
+  fenv.CrashNow();
+  EXPECT_FALSE(Env::Default()->FileExists(path));
+}
+
+TEST(FaultEnvTest, DropSyncMakesDurabilityALie) {
+  IoFaultOptions o;
+  o.drop_sync = true;
+  FaultEnv fenv(o, Env::Default());
+  const std::string path = TempPath("wuw_fault_drop_sync.txt");
+  std::unique_ptr<WritableFile> f;
+  ASSERT_EQ(fenv.NewWritableFile(path, &f), "");
+  ASSERT_EQ(f->Append("bytes"), "");
+  ASSERT_EQ(f->Sync(), "");  // reports success, commits nothing
+  f->Close();
+  fenv.CrashNow();
+  // The create was never really committed: the file vanishes with the
+  // power cut even though every sync "succeeded".
+  EXPECT_FALSE(Env::Default()->FileExists(path));
+}
+
+TEST(FaultEnvTest, CrashRollsBackUncommittedRename) {
+  Env* base = Env::Default();
+  const std::string target = TempPath("wuw_fault_rename_target.txt");
+  const std::string tmp = target + ".tmp";
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(base, target, "old durable contents", &error));
+
+  FaultEnv fenv(IoFaultOptions{}, base);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_EQ(fenv.NewWritableFile(tmp, &f), "");
+  ASSERT_EQ(f->Append("new contents"), "");
+  ASSERT_EQ(f->Sync(), "");
+  ASSERT_EQ(f->Close(), "");
+  ASSERT_EQ(fenv.RenameFile(tmp, target), "");
+  // No SyncDir before the cut: the dirent change was never durable, so the
+  // rename rolls back and the old contents reappear under the real name.
+  fenv.CrashNow();
+  EXPECT_EQ(MustRead(target), "old durable contents");
+  base->RemoveFile(target);
+}
+
+TEST(FaultEnvTest, SyncDirCommitsRenameAcrossCrash) {
+  Env* base = Env::Default();
+  const std::string target = TempPath("wuw_fault_rename_commit.txt");
+  const std::string tmp = target + ".tmp";
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(base, target, "old durable contents", &error));
+
+  FaultEnv fenv(IoFaultOptions{}, base);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_EQ(fenv.NewWritableFile(tmp, &f), "");
+  ASSERT_EQ(f->Append("new contents"), "");
+  ASSERT_EQ(f->Sync(), "");
+  ASSERT_EQ(f->Close(), "");
+  ASSERT_EQ(fenv.RenameFile(tmp, target), "");
+  ASSERT_EQ(fenv.SyncDir(ParentDir(target)), "");
+  fenv.CrashNow();
+  EXPECT_EQ(MustRead(target), "new contents");
+  base->RemoveFile(target);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace wuw

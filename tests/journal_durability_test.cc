@@ -17,6 +17,8 @@
 #include "exec/executor.h"
 #include "exec/recovery.h"
 #include "exec/window_budget.h"
+#include "io/env.h"
+#include "io/fault_env.h"
 #include "test_util.h"
 
 namespace wuw {
@@ -206,6 +208,176 @@ TEST(JournalDurabilityTest, SaveLoadRoundTripAndAtomicity) {
   EXPECT_FALSE(LoadJournal(::testing::TempDir() + "wuw_no_such.jrnl",
                            &missing, &error));
   EXPECT_FALSE(error.empty());
+}
+
+// The incremental durable sink: a journaled run with AttachDurable writes,
+// frame by fsynced frame, exactly the bytes SerializeJournal would — so
+// the on-disk file is a loadable image of the run at every instant.
+TEST(JournalDurabilityTest, DurableSinkMirrorsSerializationIncrementally) {
+  Bench b = MakeJournaledRun(53);
+  const std::string path = ::testing::TempDir() + "wuw_durable_live.jrnl";
+  Warehouse live = b.pre.Clone();
+  ASSERT_EQ(live.journal().AttachDurable(nullptr, path), "");
+  ExecutorOptions options;
+  options.journal = true;
+  Executor(&live, options).Execute(b.strategy);
+  ASSERT_EQ(live.journal().durable_error(), "");
+  ASSERT_TRUE(live.journal().complete());
+
+  std::string on_disk;
+  ASSERT_EQ(io::Env::Default()->ReadFileToString(path, &on_disk), "");
+  EXPECT_EQ(on_disk, SerializeJournal(live.journal()));
+
+  StrategyJournal loaded;
+  std::string error;
+  bool torn = true;
+  ASSERT_TRUE(LoadJournal(path, &loaded, &error, &torn)) << error;
+  EXPECT_FALSE(torn);
+  EXPECT_TRUE(loaded.complete());
+  ExpectResumeConverges(b, loaded);
+  live.journal().DetachDurable();
+  std::remove(path.c_str());
+}
+
+// Re-homing an already-complete journal onto a durable sink reproduces
+// the full serialized image, completion marker included.
+TEST(JournalDurabilityTest, AttachDurableRehomesCompleteRun) {
+  Bench b = MakeJournaledRun(59);
+  const std::string path = ::testing::TempDir() + "wuw_durable_rehome.jrnl";
+  ASSERT_EQ(b.ran.journal().AttachDurable(nullptr, path), "");
+  std::string on_disk;
+  ASSERT_EQ(io::Env::Default()->ReadFileToString(path, &on_disk), "");
+  EXPECT_EQ(on_disk, SerializeJournal(b.ran.journal()));
+  b.ran.journal().DetachDurable();
+  std::remove(path.c_str());
+}
+
+// ENOSPC at EVERY byte budget of the durable image: the attach (or the
+// appends behind it) fails with an error string, the sink fail-stops, and
+// whatever byte prefix landed on disk obeys the torn-tail rules — a load
+// either fails cleanly (not even the header fit) or yields a record prefix
+// from which resume still converges.
+TEST(JournalDurabilityTest, DurableEnospcAtEveryByteKeepsLoadablePrefix) {
+  Bench b = MakeJournaledRun(61);
+  const std::string bytes = SerializeJournal(b.ran.journal());
+  const std::string path = ::testing::TempDir() + "wuw_durable_enospc.jrnl";
+  const int64_t full_entries = b.ran.journal().size();
+
+  bool any_success = false;
+  int64_t prev_entries = 0;
+  for (size_t budget = 0; budget <= bytes.size(); ++budget) {
+    SCOPED_TRACE("enospc at byte " + std::to_string(budget) + " of " +
+                 std::to_string(bytes.size()));
+    io::IoFaultOptions o;
+    o.enospc_bytes = static_cast<int64_t>(budget);
+    io::FaultEnv fenv(o, io::Env::Default());
+
+    StrategyJournal j;
+    std::string error;
+    ASSERT_TRUE(DeserializeJournal(bytes, &j, &error)) << error;
+    std::string attach_error = j.AttachDurable(&fenv, path);
+    if (budget < bytes.size()) {
+      ASSERT_NE(attach_error.find("ENOSPC"), std::string::npos)
+          << attach_error;
+      EXPECT_EQ(j.durable_error(), attach_error);
+    } else {
+      ASSERT_EQ(attach_error, "");
+    }
+    j.DetachDurable();
+
+    StrategyJournal loaded;
+    error.clear();
+    bool ok = LoadJournal(path, &loaded, &error);
+    std::remove(path.c_str());
+    if (!ok) {
+      ASSERT_FALSE(any_success)
+          << "load failed after smaller budgets succeeded";
+      ASSERT_FALSE(error.empty());
+      continue;
+    }
+    any_success = true;
+    ASSERT_LE(loaded.size(), full_entries);
+    ASSERT_GE(loaded.size(), prev_entries) << "larger budget lost records";
+    const bool record_boundary = loaded.size() > prev_entries;
+    prev_entries = loaded.size();
+    if (record_boundary || budget % 64 == 0 || budget == bytes.size()) {
+      ExpectResumeConverges(b, loaded);
+    }
+  }
+  ASSERT_TRUE(any_success);
+  EXPECT_EQ(prev_entries, full_entries);
+}
+
+// Disk full mid-run: the sink fail-stops (the in-memory run is unharmed
+// and completes), durable_error() reports the first failure, and the disk
+// prefix written before the failure still drives recovery to convergence.
+TEST(JournalDurabilityTest, EnospcDuringLiveRunFailsStopAndRecovers) {
+  Bench b = MakeJournaledRun(67);
+  const std::string bytes = SerializeJournal(b.ran.journal());
+  const std::string path = ::testing::TempDir() + "wuw_durable_midrun.jrnl";
+
+  std::vector<size_t> budgets;
+  for (size_t n = 0; n < bytes.size(); n += 97) budgets.push_back(n);
+  budgets.push_back(bytes.size());
+  for (size_t budget : budgets) {
+    SCOPED_TRACE("enospc at byte " + std::to_string(budget));
+    io::IoFaultOptions o;
+    o.enospc_bytes = static_cast<int64_t>(budget);
+    io::FaultEnv fenv(o, io::Env::Default());
+
+    Warehouse live = b.pre.Clone();
+    ASSERT_EQ(live.journal().AttachDurable(&fenv, path), "");
+    ExecutorOptions options;
+    options.journal = true;
+    Executor(&live, options).Execute(b.strategy);
+    ASSERT_TRUE(live.catalog().ContentsEqual(b.truth));
+    if (budget < bytes.size()) {
+      EXPECT_NE(live.journal().durable_error(), "");
+    } else {
+      EXPECT_EQ(live.journal().durable_error(), "");
+    }
+    live.journal().DetachDurable();
+
+    StrategyJournal loaded;
+    std::string error;
+    if (LoadJournal(path, &loaded, &error)) {
+      ExpectResumeConverges(b, loaded);
+    } else {
+      ASSERT_FALSE(error.empty());
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// SaveJournal through a disk that fills mid-write: the failure is an
+// error string and the previously saved journal survives under the real
+// name, byte for byte (old-or-new, never a mix).
+TEST(JournalDurabilityTest, SaveJournalEnospcKeepsOldFile) {
+  Bench old_run = MakeJournaledRun(71);
+  Bench new_run = MakeJournaledRun(73);
+  const std::string path = ::testing::TempDir() + "wuw_save_enospc.jrnl";
+  std::string error;
+  ASSERT_TRUE(SaveJournal(old_run.ran.journal(), path, &error)) << error;
+  const std::string old_bytes = SerializeJournal(old_run.ran.journal());
+  const std::string new_bytes = SerializeJournal(new_run.ran.journal());
+
+  for (size_t budget : {size_t{0}, size_t{8}, new_bytes.size() / 2,
+                        new_bytes.size() - 1}) {
+    SCOPED_TRACE("enospc at byte " + std::to_string(budget));
+    io::IoFaultOptions o;
+    o.enospc_bytes = static_cast<int64_t>(budget);
+    io::FaultEnv fenv(o, io::Env::Default());
+    io::ScopedEnv scoped(&fenv);
+    error.clear();
+    ASSERT_FALSE(SaveJournal(new_run.ran.journal(), path, &error));
+    ASSERT_NE(error.find("ENOSPC"), std::string::npos) << error;
+  }
+  // No .tmp litter, and the old journal is untouched.
+  EXPECT_FALSE(io::Env::Default()->FileExists(path + ".tmp"));
+  std::string surviving;
+  ASSERT_EQ(io::Env::Default()->ReadFileToString(path, &surviving), "");
+  EXPECT_EQ(surviving, old_bytes);
+  std::remove(path.c_str());
 }
 
 TEST(JournalDurabilityTest, EmptyAndGarbageBytesAreErrors) {

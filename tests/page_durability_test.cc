@@ -20,6 +20,8 @@
 #include "exec/executor.h"
 #include "exec/recovery.h"
 #include "exec/warehouse.h"
+#include "io/env.h"
+#include "io/fault_env.h"
 #include "storage/paged_store.h"
 #include "test_util.h"
 
@@ -181,6 +183,84 @@ TEST(PageDurabilityTest, SingleByteCorruptionAtEveryOffset) {
   }
   std::remove(path.c_str());
   std::remove(flip_path.c_str());
+}
+
+// SaveTableImage through a disk that fills at every (strided) byte
+// budget: the save fails with an error string, leaves no .tmp litter, and
+// the previously saved image survives under the real name in full —
+// old-or-new, never a mix (the crash-atomic rename discipline).
+TEST(PageDurabilityTest, SaveTableImageEnospcKeepsOldImage) {
+  Table old_table = MakeTestTable(30, 29);
+  Table new_table = MakeTestTable(50, 31);
+  const std::string path = ::testing::TempDir() + "wuw_page_enospc.pages";
+  ASSERT_EQ(SaveTableImage(old_table, path, kPage), "");
+  const std::string old_bytes = ReadFileBytes(path);
+  const size_t new_image_bytes =
+      static_cast<size_t>(ApproxTableBytes(new_table)) + 2 * kPage;
+
+  for (size_t budget = 0; budget < new_image_bytes; budget += 61) {
+    SCOPED_TRACE("enospc at byte " + std::to_string(budget));
+    io::IoFaultOptions o;
+    o.enospc_bytes = static_cast<int64_t>(budget);
+    io::FaultEnv fenv(o, io::Env::Default());
+    io::ScopedEnv scoped(&fenv);
+    std::string error = SaveTableImage(new_table, path, kPage);
+    if (error.empty()) {
+      // Enough budget: the new image committed whole.  Stop the sweep —
+      // later budgets only get easier.
+      break;
+    }
+    ASSERT_NE(error.find("ENOSPC"), std::string::npos) << error;
+  }
+  EXPECT_FALSE(io::Env::Default()->FileExists(path + ".tmp"));
+  TableImage img;
+  std::string error;
+  bool torn = true;
+  ASSERT_TRUE(LoadTableImage(path, &img, &error, &torn)) << error;
+  EXPECT_FALSE(torn);
+  if (ReadFileBytes(path) == old_bytes) {
+    ExpectImageMatches(old_table, img);
+  } else {
+    ExpectImageMatches(new_table, img);
+  }
+  std::remove(path.c_str());
+}
+
+// Engine-side transient EIO: a hibernated extent whose first fault-in
+// reads hit a two-op injected EIO burst still faults in cleanly — the
+// bounded retry in PageFile::ReadPage absorbs it (counted in
+// GlobalPagedStats().read_retries) and the warehouse stays on the ground
+// truth.  No error, no throw, no torn read.
+TEST(PageDurabilityTest, TransientEioFaultInRetriesAndConverges) {
+  Warehouse w =
+      testutil::MakeLoadedWarehouse(testutil::MakeFig10Vdag(), 40, 37);
+  testutil::ApplyTripleChanges(&w, 0.25, 8, 41);
+  Catalog truth = testutil::GroundTruthAfterChanges(w);
+  Strategy strategy = MinWork(w.vdag(), w.EstimatedSizes()).strategy;
+
+  PagedOptions options;
+  options.budget_bytes = 1;
+  options.page_bytes = kPage;
+  w.EnablePaging(options);
+  Executor(&w).Execute(strategy);
+  w.paged_store()->TestOnlyEvictAll(&w.catalog());
+  const std::string victim = "V1";
+  ASSERT_TRUE(w.paged_store()->IsHibernated(victim));
+
+  const int64_t retries_before = GlobalPagedStats().read_retries;
+  {
+    // Fault-in reads: op 1 is the page file header, then the page frames.
+    // Ops 2 and 3 fail retryably — inside ReadPage's kReadAttempts = 3
+    // schedule for the first frame.
+    io::IoFaultOptions o;
+    o.read_eio_at = 2;
+    o.transient = 2;
+    io::FaultEnv fenv(o, io::Env::Default());
+    io::ScopedEnv scoped(&fenv);
+    EXPECT_NO_THROW(w.catalog().MustGetTable(victim));
+  }
+  EXPECT_EQ(GlobalPagedStats().read_retries - retries_before, 2);
+  ASSERT_TRUE(w.catalog().ContentsEqual(truth));
 }
 
 TEST(PageDurabilityTest, MissingAndGarbageFilesAreErrors) {
